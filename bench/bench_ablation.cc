@@ -1,0 +1,175 @@
+// Ablation studies for the design choices DESIGN.md calls out. Not a paper
+// table, but each block maps to an explicit paper claim:
+//
+//  (a) index family sweep — §III-C "FAISS provides a wide variety of
+//      indexing options" (flat / PQ / IVF-flat / IVF-PQ);
+//  (b) alias-expanded indexing — §III-C "one could obtain alternate
+//      embeddings for Q183 by evaluating the model on its aliases...
+//      increase the lookup accuracy but with higher storage cost";
+//  (c) loss function — §VI future work "evaluating other loss functions";
+//  (d) semantic-branch ablation — §III-B "using a single embedding model
+//      ... was less accurate than using two separate models";
+//  (e) TransE coherence for disambiguation — §VI "bootstrap ... from the
+//      corresponding KG embeddings".
+
+#include <cstdio>
+
+#include "apps/lookup_services.h"
+#include "apps/tasks.h"
+#include "bench/bench_common.h"
+#include "common/rng.h"
+#include "common/timing.h"
+#include "core/entity_index.h"
+#include "embed/transe.h"
+#include "kg/noise.h"
+#include "kg/tabular.h"
+
+using namespace emblookup;
+
+namespace {
+
+/// Hit@10 of gold entities for clean/alias/typo query streams against an
+/// EntityIndex queried through `model`'s encoder.
+struct HitRates {
+  double clean, typo, alias;
+};
+
+HitRates MeasureHits(core::EmbLookup* model, const core::EntityIndex& index,
+                     const kg::KnowledgeGraph& graph) {
+  Rng rng(7);
+  int64_t n = 0;
+  int64_t hits[3] = {0, 0, 0};
+  for (kg::EntityId e = 0; e < graph.num_entities(); e += 5) {
+    const kg::Entity& ent = graph.entity(e);
+    std::string queries[3] = {
+        ent.label, kg::RandomTypo(ent.label, &rng, 1),
+        ent.aliases.empty() ? ent.label
+                            : ent.aliases[rng.Uniform(ent.aliases.size())]};
+    for (int v = 0; v < 3; ++v) {
+      const std::vector<float> q = model->Embed(queries[v]);
+      for (const auto& nb : index.Search(q.data(), 10)) {
+        if (nb.id == e) {
+          ++hits[v];
+          break;
+        }
+      }
+    }
+    ++n;
+  }
+  return {static_cast<double>(hits[0]) / n, static_cast<double>(hits[1]) / n,
+          static_cast<double>(hits[2]) / n};
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintBanner("Ablations: index family, alias rows, loss, branches");
+
+  const kg::KnowledgeGraph& graph = bench::WikidataKg();
+  auto model =
+      bench::GetModel(graph, bench::WikidataTag(), bench::MainModelOptions());
+
+  // (a) Index family sweep.
+  std::printf("[index family] (hit@10 over clean/typo/alias queries)\n");
+  std::printf("%-10s | %6s %6s %6s | %10s %12s\n", "kind", "clean", "typo",
+              "alias", "bytes", "ms/query");
+  for (core::IndexKind kind :
+       {core::IndexKind::kFlat, core::IndexKind::kPq,
+        core::IndexKind::kIvfFlat, core::IndexKind::kIvfPq}) {
+    core::IndexConfig config;
+    config.kind = kind;
+    auto index = core::EntityIndex::Build(graph, model->encoder(), config,
+                                          model->pool());
+    if (!index.ok()) continue;
+    const HitRates rates = MeasureHits(model.get(), index.value(), graph);
+    // Time raw index scans (encoding excluded) over 200 queries.
+    std::vector<std::vector<float>> queries;
+    for (kg::EntityId e = 0; e < 200; ++e) {
+      queries.push_back(model->Embed(graph.entity(e).label));
+    }
+    Stopwatch timer;
+    for (const auto& q : queries) (void)index.value().Search(q.data(), 10);
+    const double ms = timer.ElapsedSeconds() * 1000.0 / queries.size();
+    static const char* kNames[] = {"auto", "flat", "pq", "ivf-flat",
+                                   "ivf-pq"};
+    std::printf("%-10s | %6.2f %6.2f %6.2f | %10lld %12.3f\n",
+                kNames[static_cast<int>(kind)], rates.clean, rates.typo,
+                rates.alias,
+                static_cast<long long>(index.value().StorageBytes()), ms);
+  }
+
+  // (b) Alias-expanded index.
+  std::printf("\n[alias rows] (same protocol; aliases add rows, not "
+              "entities)\n");
+  for (bool aliases : {false, true}) {
+    core::IndexConfig config;
+    config.kind = core::IndexKind::kPq;
+    config.index_aliases = aliases;
+    auto index = core::EntityIndex::Build(graph, model->encoder(), config,
+                                          model->pool());
+    if (!index.ok()) continue;
+    const HitRates rates = MeasureHits(model.get(), index.value(), graph);
+    std::printf("aliases=%d | clean %.2f  typo %.2f  alias %.2f | %lld rows, "
+                "%lld bytes\n",
+                aliases, rates.clean, rates.typo, rates.alias,
+                static_cast<long long>(index.value().size()),
+                static_cast<long long>(index.value().StorageBytes()));
+  }
+
+  // (c) Loss function and (d) semantic-branch ablations on the sweep KG.
+  const kg::KnowledgeGraph& sweep = bench::SweepKg();
+  std::printf("\n[training ablations] (sweep KG, hit@10 clean/typo/alias)\n");
+  struct Variant {
+    const char* name;
+    core::LossKind loss;
+    bool semantic;
+  };
+  for (const Variant& variant :
+       {Variant{"triplet+semantic", core::LossKind::kTriplet, true},
+        Variant{"contrastive", core::LossKind::kContrastive, true},
+        Variant{"syntactic-only", core::LossKind::kTriplet, false}}) {
+    core::EmbLookupOptions options = bench::MainModelOptions();
+    options.miner.triplets_per_entity = 20;
+    options.trainer.epochs = 12;
+    options.trainer.loss = variant.loss;
+    options.encoder.use_semantic_branch = variant.semantic;
+    auto ablated = bench::GetModel(
+        sweep,
+        std::string("ablate_") + variant.name + "_n" +
+            std::to_string(sweep.num_entities()),
+        options);
+    core::IndexConfig config;
+    config.kind = core::IndexKind::kFlat;
+    auto index = core::EntityIndex::Build(sweep, ablated->encoder(), config,
+                                          ablated->pool());
+    if (!index.ok()) continue;
+    const HitRates rates = MeasureHits(ablated.get(), index.value(), sweep);
+    std::printf("%-18s | clean %.2f  typo %.2f  alias %.2f\n", variant.name,
+                rates.clean, rates.typo, rates.alias);
+  }
+
+  // (e) TransE-based coherence for entity disambiguation.
+  std::printf("\n[EA coherence] (fact adjacency vs TransE cosine)\n");
+  {
+    Rng rng(2024);
+    const kg::TabularDataset dataset = kg::GenerateDataset(
+        graph, kg::DatasetProfile::StWikidataLike(0.4 * bench::Scale()),
+        &rng);
+    apps::EmbLookupService service(model.get(), /*parallel=*/false);
+
+    apps::TaskOptions plain;
+    const auto facts = apps::RunEntityDisambiguation(dataset, graph, &service,
+                                                     plain);
+    embed::TransE transe;
+    transe.Train(graph);
+    apps::TaskOptions with_transe;
+    with_transe.coherence = [&](kg::EntityId a, kg::EntityId b) {
+      return std::max(0.0, transe.Similarity(a, b));
+    };
+    const auto emb = apps::RunEntityDisambiguation(dataset, graph, &service,
+                                                   with_transe);
+    std::printf("fact adjacency : F1=%.3f\n", facts.metrics.F1());
+    std::printf("TransE cosine  : F1=%.3f\n", emb.metrics.F1());
+  }
+  return 0;
+}

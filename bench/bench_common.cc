@@ -1,0 +1,151 @@
+#include "bench/bench_common.h"
+
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "common/logging.h"
+#include "embed/corpus.h"
+#include "kg/synthetic_kg.h"
+
+namespace emblookup::bench {
+
+double Scale() {
+  static const double scale = [] {
+    const char* env = std::getenv("EMBLOOKUP_BENCH_SCALE");
+    if (env == nullptr) return 1.0;
+    const double v = std::atof(env);
+    return v > 0.0 ? v : 1.0;
+  }();
+  return scale;
+}
+
+std::string CacheDir() {
+  static const std::string* dir = [] {
+    const char* env = std::getenv("EMBLOOKUP_CACHE_DIR");
+    auto* d = new std::string(env != nullptr ? env
+                                             : "emblookup_bench_cache");
+    ::mkdir(d->c_str(), 0755);
+    return d;
+  }();
+  return *dir;
+}
+
+namespace {
+
+const kg::KnowledgeGraph& BuildKg(const char* flavor, int64_t base_entities,
+                                  uint64_t seed) {
+  kg::SyntheticKgOptions options;
+  options.num_entities =
+      static_cast<int64_t>(base_entities * Scale());
+  options.seed = seed;
+  options.flavor = flavor;
+  auto* graph = new kg::KnowledgeGraph(kg::GenerateSyntheticKg(options));
+  return *graph;
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+}  // namespace
+
+const kg::KnowledgeGraph& WikidataKg() {
+  static const kg::KnowledgeGraph& graph = BuildKg("wikidata", 4000, 42);
+  return graph;
+}
+
+const kg::KnowledgeGraph& DbpediaKg() {
+  static const kg::KnowledgeGraph& graph = BuildKg("dbpedia", 3000, 77);
+  return graph;
+}
+
+const kg::KnowledgeGraph& SweepKg() {
+  static const kg::KnowledgeGraph& graph = BuildKg("wikidata", 1500, 191);
+  return graph;
+}
+
+core::EmbLookupOptions MainModelOptions() {
+  core::EmbLookupOptions options;
+  options.miner.triplets_per_entity = 28;
+  options.trainer.epochs = 16;
+  options.trainer.log_every = 0;
+  return options;
+}
+
+std::string WikidataTag() {
+  return "wikidata_n" + std::to_string(WikidataKg().num_entities());
+}
+
+std::string DbpediaTag() {
+  return "dbpedia_n" + std::to_string(DbpediaKg().num_entities());
+}
+
+std::shared_ptr<embed::FastTextModel> GetFastText(
+    const kg::KnowledgeGraph& graph, const std::string& tag,
+    const core::EmbLookupOptions& options) {
+  const std::string path = CacheDir() + "/" + tag + ".fasttext";
+  auto model = std::make_shared<embed::FastTextModel>(
+      options.fasttext, embed::FastTextModel::SubwordOptions{});
+  if (FileExists(path)) {
+    std::ifstream in(path, std::ios::binary);
+    if (in && model->Load(&in).ok()) return model;
+    EL_LOG(Warning) << "stale fastText cache " << path << "; retraining";
+  }
+  const embed::Corpus corpus = embed::BuildCorpus(graph, options.corpus);
+  model->Train(corpus);
+  std::ofstream out(path, std::ios::binary);
+  if (out) {
+    const Status s = model->Save(&out);
+    if (!s.ok()) EL_LOG(Warning) << "fastText cache write: " << s.ToString();
+  }
+  return model;
+}
+
+std::shared_ptr<core::EmbLookup> GetModel(const kg::KnowledgeGraph& graph,
+                                          const std::string& tag,
+                                          core::EmbLookupOptions options) {
+  if (options.encoder.use_semantic_branch &&
+      options.pretrained_semantic == nullptr) {
+    options.pretrained_semantic = GetFastText(graph, tag, options);
+  }
+  const std::string path = CacheDir() + "/" + tag + ".encoder";
+  if (FileExists(path)) {
+    auto loaded = core::EmbLookup::LoadFromKg(graph, options, path);
+    if (loaded.ok()) {
+      return std::shared_ptr<core::EmbLookup>(
+          std::move(loaded).value().release());
+    }
+    EL_LOG(Warning) << "stale encoder cache " << path << ": "
+                    << loaded.status().ToString() << "; retraining";
+  }
+  std::fprintf(stderr, "[bench] training model '%s' (%lld entities)...\n",
+               tag.c_str(), static_cast<long long>(graph.num_entities()));
+  auto trained = core::EmbLookup::TrainFromKg(graph, options);
+  EL_CHECK(trained.ok()) << trained.status().ToString();
+  auto model = std::shared_ptr<core::EmbLookup>(
+      std::move(trained).value().release());
+  std::fprintf(stderr, "[bench] trained '%s' in %.1fs (loss %.4f)\n",
+               tag.c_str(), model->train_stats().wall_seconds,
+               model->train_stats().final_loss);
+  const Status s = model->SaveModel(path);
+  if (!s.ok()) EL_LOG(Warning) << "encoder cache write: " << s.ToString();
+  return model;
+}
+
+double Speedup(double baseline_seconds, double el_seconds) {
+  if (el_seconds <= 1e-9) return 0.0;
+  return baseline_seconds / el_seconds;
+}
+
+void PrintBanner(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("(scale=%.2f; see DESIGN.md for substitutions — speedups are "
+              "measured, 'parallel' stands in for the paper's GPU column)\n\n",
+              Scale());
+}
+
+}  // namespace emblookup::bench

@@ -1,0 +1,57 @@
+#ifndef EMBLOOKUP_BENCH_BENCH_COMMON_H_
+#define EMBLOOKUP_BENCH_BENCH_COMMON_H_
+
+#include <memory>
+#include <string>
+
+#include "core/emblookup.h"
+#include "embed/fasttext.h"
+#include "kg/knowledge_graph.h"
+#include "kg/tabular.h"
+
+namespace emblookup::bench {
+
+/// Workload scale multiplier (env EMBLOOKUP_BENCH_SCALE, default 1.0).
+/// 1.0 keeps the full suite in CPU-minutes; raise it to approach the
+/// paper's raw sizes.
+double Scale();
+
+/// Directory for cached trained artifacts (env EMBLOOKUP_CACHE_DIR,
+/// default "emblookup_bench_cache" under the current directory). Created on
+/// demand. Delete it to force retraining.
+std::string CacheDir();
+
+/// The two knowledge graphs backing the experiments (lazily built, cached
+/// per process). Sizes scale with Scale().
+const kg::KnowledgeGraph& WikidataKg();
+const kg::KnowledgeGraph& DbpediaKg();
+/// Smaller graph for training sweeps (Tables VII/VIII, Fig. 3).
+const kg::KnowledgeGraph& SweepKg();
+
+/// Baseline EmbLookup options used by the main-table models.
+core::EmbLookupOptions MainModelOptions();
+
+/// Pre-trains (or loads from cache) the fastText semantic branch for a KG.
+std::shared_ptr<embed::FastTextModel> GetFastText(
+    const kg::KnowledgeGraph& graph, const std::string& tag,
+    const core::EmbLookupOptions& options);
+
+/// Trains (or loads from cache) an EmbLookup model. `tag` keys the cache
+/// and must encode every option that affects training.
+std::shared_ptr<core::EmbLookup> GetModel(const kg::KnowledgeGraph& graph,
+                                          const std::string& tag,
+                                          core::EmbLookupOptions options);
+
+/// Tags for the two main models.
+std::string WikidataTag();
+std::string DbpediaTag();
+
+/// Speedup ratio guarded against div-by-zero.
+double Speedup(double baseline_seconds, double el_seconds);
+
+/// Prints a banner line for a table/figure reproduction.
+void PrintBanner(const std::string& title);
+
+}  // namespace emblookup::bench
+
+#endif  // EMBLOOKUP_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,66 @@
+// Reproduces Figure 3: impact of the number of training triplets per
+// entity on the four tasks (CEA, CTA, EA, DR), plus the training-time
+// series the paper quotes in the text (1h -> 1.8h -> 9.2h on a V100;
+// ours are CPU-seconds but scale the same, roughly linearly in triplets).
+//
+// Expected shape: accuracy rises slightly with more triplets while the
+// training time grows proportionally.
+
+#include <cstdio>
+
+#include "apps/lookup_services.h"
+#include "apps/tasks.h"
+#include "bench/bench_common.h"
+#include "common/rng.h"
+#include "kg/noise.h"
+#include "kg/synthetic_kg.h"
+#include "kg/tabular.h"
+
+using namespace emblookup;
+
+int main() {
+  bench::PrintBanner("Figure 3: impact of the number of triplets per entity");
+
+  // A compact KG keeps the 4-model sweep affordable.
+  kg::SyntheticKgOptions kg_options;
+  kg_options.num_entities = static_cast<int64_t>(1200 * bench::Scale());
+  kg_options.seed = 311;
+  const kg::KnowledgeGraph graph = kg::GenerateSyntheticKg(kg_options);
+
+  Rng rng(93);
+  kg::DatasetProfile profile = kg::DatasetProfile::StWikidataLike(
+      0.5 * bench::Scale());
+  const kg::TabularDataset dataset = kg::GenerateDataset(graph, profile, &rng);
+  kg::TabularDataset blanked = dataset;
+  Rng blank_rng(94);
+  kg::BlankCells(&blanked, 0.10, &blank_rng);
+
+  std::printf("%-10s | %6s %6s %6s %6s | %12s\n", "#triplets", "CEA", "CTA",
+              "EA", "DR", "train (s)");
+  std::printf("%.62s\n",
+              "--------------------------------------------------------------");
+
+  for (int per_entity : {10, 25, 50, 100}) {
+    core::EmbLookupOptions options = bench::MainModelOptions();
+    options.miner.triplets_per_entity = per_entity;
+    options.trainer.epochs = 10;
+    auto model = bench::GetModel(
+        graph,
+        "fig3_t" + std::to_string(per_entity) + "_n" +
+            std::to_string(graph.num_entities()),
+        options);
+    apps::EmbLookupService service(model.get(), /*parallel=*/false);
+
+    const auto cea = apps::RunCea(dataset, graph, &service);
+    const auto cta = apps::RunCta(dataset, graph, &service);
+    const auto ea = apps::RunEntityDisambiguation(dataset, graph, &service);
+    const auto dr = apps::RunDataRepair(blanked, graph, &service);
+    std::printf("%-10d | %6.2f %6.2f %6.2f %6.2f | %12.1f\n", per_entity,
+                cea.metrics.F1(), cta.metrics.F1(), ea.metrics.F1(),
+                dr.metrics.F1(), model->train_stats().wall_seconds);
+  }
+  std::printf("\n(train time is 0 when the model came from the bench "
+              "cache; delete %s to retrain)\n",
+              bench::CacheDir().c_str());
+  return 0;
+}

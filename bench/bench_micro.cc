@@ -1,0 +1,128 @@
+// Micro-benchmarks (google-benchmark) for the performance-critical kernels:
+// mention encoding, PQ ADC search, flat search, Levenshtein variants, BM25
+// retrieval and one-hot encoding. Not tied to a paper table; used to track
+// regressions in the substrate.
+
+#include <benchmark/benchmark.h>
+
+#include "ann/flat_index.h"
+#include "ann/pq_index.h"
+#include "bench/bench_common.h"
+#include "common/rng.h"
+#include "core/encoder.h"
+#include "kg/synthetic_kg.h"
+#include "text/alphabet.h"
+#include "text/bm25.h"
+#include "text/edit_distance.h"
+#include "text/fuzzy.h"
+
+using namespace emblookup;
+
+namespace {
+
+const kg::KnowledgeGraph& MicroKg() {
+  static const kg::KnowledgeGraph& graph = [] {
+    kg::SyntheticKgOptions options;
+    options.num_entities = 2000;
+    options.seed = 7;
+    return *new kg::KnowledgeGraph(kg::GenerateSyntheticKg(options));
+  }();
+  return graph;
+}
+
+void BM_OneHotEncode(benchmark::State& state) {
+  text::Alphabet alphabet;
+  text::OneHotEncoder encoder(&alphabet, 32);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(encoder.Encode("federal republic of germany"));
+  }
+}
+BENCHMARK(BM_OneHotEncode);
+
+void BM_EncoderForward(benchmark::State& state) {
+  const int64_t batch = state.range(0);
+  core::EncoderConfig config;
+  core::EmbLookupEncoder encoder(config, nullptr);
+  std::vector<std::string> mentions(batch, "federal republic of germany");
+  tensor::NoGradGuard guard;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(encoder.EncodeBatch(mentions));
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_EncoderForward)->Arg(1)->Arg(32)->Arg(128);
+
+void BM_FlatSearch(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(3);
+  ann::FlatIndex index(64);
+  std::vector<float> vecs(n * 64);
+  for (auto& v : vecs) v = rng.UniformFloat(-1, 1);
+  index.Add(vecs.data(), n);
+  std::vector<float> query(64);
+  for (auto& v : query) v = rng.UniformFloat(-1, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.Search(query.data(), 10));
+  }
+}
+BENCHMARK(BM_FlatSearch)->Arg(2000)->Arg(20000);
+
+void BM_PqSearch(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(3);
+  ann::PqIndex index(64, 8);
+  std::vector<float> vecs(n * 64);
+  for (auto& v : vecs) v = rng.UniformFloat(-1, 1);
+  (void)index.Train(vecs.data(), std::min<int64_t>(n, 4000), &rng);
+  (void)index.Add(vecs.data(), n);
+  std::vector<float> query(64);
+  for (auto& v : query) v = rng.UniformFloat(-1, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.Search(query.data(), 10));
+  }
+}
+BENCHMARK(BM_PqSearch)->Arg(2000)->Arg(20000);
+
+void BM_Levenshtein(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        text::Levenshtein("federal republic of germany", "republic of gemany"));
+  }
+}
+BENCHMARK(BM_Levenshtein);
+
+void BM_BoundedLevenshtein(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(text::BoundedLevenshtein(
+        "federal republic of germany", "republic of gemany", 4));
+  }
+}
+BENCHMARK(BM_BoundedLevenshtein);
+
+void BM_WRatio(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        text::WRatio("gates, william", "William Gates"));
+  }
+}
+BENCHMARK(BM_WRatio);
+
+void BM_Bm25TopK(benchmark::State& state) {
+  static text::Bm25Index* index = [] {
+    auto* idx = new text::Bm25Index();
+    const auto& graph = MicroKg();
+    for (kg::EntityId e = 0; e < graph.num_entities(); ++e) {
+      idx->Add(e, graph.entity(e).label);
+    }
+    idx->Finalize();
+    return idx;
+  }();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index->TopK("new porthaven city", 10));
+  }
+}
+BENCHMARK(BM_Bm25TopK);
+
+}  // namespace
+
+BENCHMARK_MAIN();

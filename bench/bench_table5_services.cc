@@ -1,0 +1,111 @@
+// Reproduces Table V: head-to-head comparison of EmbLookup with eight
+// lookup services on the CEA query stream (top-10 success protocol). For
+// each baseline we report the speedup of EmbLookup (CPU and parallel) over
+// it and the F-score of both under no-error and 10%-error queries.
+//
+// Expected shape: >= 1 order of magnitude speedup over local scans and
+// remote services; accuracy advantage widens under errors.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "apps/lookup_services.h"
+#include "apps/tasks.h"
+#include "bench/bench_common.h"
+#include "common/rng.h"
+#include "kg/noise.h"
+#include "kg/tabular.h"
+
+using namespace emblookup;
+
+namespace {
+
+/// Samples `n` annotated cells as (query, gold) pairs.
+void SampleQueries(const kg::TabularDataset& dataset, size_t n, Rng* rng,
+                   std::vector<std::string>* queries,
+                   std::vector<kg::EntityId>* gold) {
+  std::vector<std::pair<std::string, kg::EntityId>> all;
+  for (const kg::Table& table : dataset.tables) {
+    for (const auto& row : table.rows) {
+      for (const kg::Cell& cell : row) {
+        if (cell.gt_entity == kg::kInvalidEntity || cell.text.empty())
+          continue;
+        all.emplace_back(cell.text, cell.gt_entity);
+      }
+    }
+  }
+  rng->Shuffle(&all);
+  if (all.size() > n) all.resize(n);
+  for (auto& [q, g] : all) {
+    queries->push_back(std::move(q));
+    gold->push_back(g);
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintBanner(
+      "Table V: EmbLookup vs popular lookup services (ST-Wikidata, CEA, "
+      "top-10)");
+
+  const kg::KnowledgeGraph& graph = bench::WikidataKg();
+  Rng rng(2024);
+  const kg::TabularDataset dataset = kg::GenerateDataset(
+      graph, kg::DatasetProfile::StWikidataLike(bench::Scale()), &rng);
+
+  const size_t num_queries = static_cast<size_t>(600 * bench::Scale());
+  std::vector<std::string> clean_queries;
+  std::vector<kg::EntityId> gold;
+  Rng sample_rng(55);
+  SampleQueries(dataset, num_queries, &sample_rng, &clean_queries, &gold);
+  // Error variant: every sampled query perturbed (the "error" column).
+  std::vector<std::string> noisy_queries = clean_queries;
+  Rng noise_rng(66);
+  for (auto& q : noisy_queries) q = kg::RandomNoise(q, &noise_rng);
+
+  auto model =
+      bench::GetModel(graph, bench::WikidataTag(), bench::MainModelOptions());
+  apps::EmbLookupService el_cpu(model.get(), /*parallel=*/false);
+  apps::EmbLookupService el_par(model.get(), /*parallel=*/true);
+
+  const auto el_clean = apps::RunLookupBenchmark(clean_queries, gold, &el_cpu);
+  const auto el_noisy = apps::RunLookupBenchmark(noisy_queries, gold, &el_cpu);
+  const auto el_par_clean =
+      apps::RunLookupBenchmark(clean_queries, gold, &el_par);
+
+  std::vector<std::unique_ptr<apps::LookupService>> baselines;
+  baselines.push_back(std::make_unique<apps::FuzzyWuzzyService>(&graph));
+  baselines.push_back(std::make_unique<apps::ElasticSearchService>(
+      &graph, /*index_aliases=*/false));
+  baselines.push_back(std::make_unique<apps::LshService>(&graph));
+  baselines.push_back(std::make_unique<apps::ExactMatchService>(&graph));
+  baselines.push_back(std::make_unique<apps::QGramService>(&graph));
+  baselines.push_back(std::make_unique<apps::LevenshteinService>(&graph));
+  baselines.push_back(std::make_unique<apps::WikidataApiService>(&graph));
+  baselines.push_back(std::make_unique<apps::SearxApiService>(&graph));
+
+  std::printf("%-14s | %9s %9s | %8s %8s | %8s %8s\n", "Approach", "Spd(cpu)",
+              "Spd(par)", "F(clean)", "F(err)", "EL(clean)", "EL(err)");
+  std::printf("%.86s\n",
+              "-----------------------------------------------------------"
+              "---------------------------");
+  for (auto& baseline : baselines) {
+    const auto base_clean =
+        apps::RunLookupBenchmark(clean_queries, gold, baseline.get());
+    const auto base_noisy =
+        apps::RunLookupBenchmark(noisy_queries, gold, baseline.get());
+    std::printf("%-14s | %8.1fx %8.1fx | %8.2f %8.2f | %8.2f %8.2f\n",
+                baseline->name().c_str(),
+                bench::Speedup(base_clean.lookup_seconds,
+                               el_clean.lookup_seconds),
+                bench::Speedup(base_clean.lookup_seconds,
+                               el_par_clean.lookup_seconds),
+                base_clean.metrics.F1(), base_noisy.metrics.F1(),
+                el_clean.metrics.F1(), el_noisy.metrics.F1());
+  }
+  std::printf("\n(EL columns repeat EmbLookup's own F-scores, as in the "
+              "paper's layout.)\n");
+  return 0;
+}

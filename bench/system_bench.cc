@@ -1,0 +1,176 @@
+#include "bench/system_bench.h"
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+
+#include "apps/lookup_services.h"
+#include "apps/systems.h"
+#include "apps/tasks.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "kg/noise.h"
+
+namespace emblookup::bench {
+
+namespace {
+
+using apps::AnnotationSystem;
+using apps::LookupService;
+using apps::TaskResult;
+
+std::unique_ptr<LookupService> MakeLocalSyntactic(
+    const std::string& system, const kg::KnowledgeGraph& graph) {
+  // The §IV-D deployment: labels-only local indices, no alias awareness.
+  if (system == "bbw") {
+    return std::make_unique<apps::QGramService>(&graph);
+  }
+  if (system == "MantisTable") {
+    return std::make_unique<apps::ElasticSearchService>(
+        &graph, /*index_aliases=*/false);
+  }
+  if (system == "JenTab") {
+    return std::make_unique<apps::LevenshteinService>(&graph);
+  }
+  if (system == "DoSeR") {
+    return std::make_unique<apps::FuzzyWuzzyService>(&graph);
+  }
+  // Katara.
+  return std::make_unique<apps::ElasticSearchService>(
+      &graph, /*index_aliases=*/false);
+}
+
+std::unique_ptr<LookupService> MakeShipped(const std::string& system,
+                                           const kg::KnowledgeGraph& graph) {
+  if (system == "DoSeR") {
+    // DoSeR ships a local surface-form index (alias-aware).
+    return std::make_unique<apps::ElasticSearchService>(
+        &graph, /*index_aliases=*/true);
+  }
+  if (system == "Katara") {
+    // Katara validates patterns against a remote KB endpoint.
+    return std::make_unique<apps::WikidataApiService>(&graph);
+  }
+  apps::SystemConfig config;
+  config.name = system;
+  return apps::MakeOriginalLookup(config, graph);
+}
+
+}  // namespace
+
+std::vector<SystemRun> RunSystemSuite(const kg::KnowledgeGraph& graph,
+                                      const kg::TabularDataset& dataset,
+                                      core::EmbLookup* model, bool run_nc,
+                                      OriginalDeployment deployment) {
+  auto make_original = [&](const std::string& system) {
+    return deployment == OriginalDeployment::kShipped
+               ? MakeShipped(system, graph)
+               : MakeLocalSyntactic(system, graph);
+  };
+
+  // The 8 rows: each entry knows how to run its task given a service.
+  struct RowSpec {
+    std::string task;
+    std::string system;
+    std::function<TaskResult(LookupService*)> run;
+  };
+  std::vector<RowSpec> specs;
+  for (const auto& make_config :
+       {apps::BbwConfig, apps::MantisTableConfig, apps::JenTabConfig}) {
+    const apps::SystemConfig config = make_config();
+    specs.push_back({"CEA", config.name, [&, config](LookupService* s) {
+                       AnnotationSystem system(config, &graph, s);
+                       return system.RunCea(dataset);
+                     }});
+  }
+  for (const auto& make_config :
+       {apps::BbwConfig, apps::MantisTableConfig, apps::JenTabConfig}) {
+    const apps::SystemConfig config = make_config();
+    specs.push_back({"CTA", config.name, [&, config](LookupService* s) {
+                       AnnotationSystem system(config, &graph, s);
+                       return system.RunCta(dataset);
+                     }});
+  }
+  specs.push_back({"EA", "DoSeR", [&](LookupService* s) {
+                     return apps::RunEntityDisambiguation(dataset, graph, s);
+                   }});
+  // DR imputes missing values: blank 10% of the annotated cells (§IV).
+  auto blanked = std::make_shared<kg::TabularDataset>(dataset);
+  {
+    Rng rng(1337);
+    kg::BlankCells(blanked.get(), 0.10, &rng);
+  }
+  specs.push_back({"DR", "Katara", [&, blanked](LookupService* s) {
+                     return apps::RunDataRepair(*blanked, graph, s);
+                   }});
+
+  std::vector<SystemRun> runs(specs.size());
+
+  // Pass 1: originals + EL (compressed).
+  for (size_t i = 0; i < specs.size(); ++i) {
+    runs[i].task = specs[i].task;
+    runs[i].system = specs[i].system;
+    auto original = make_original(specs[i].system);
+    runs[i].original = specs[i].run(original.get());
+    apps::EmbLookupService el_cpu(model, /*parallel=*/false);
+    runs[i].el_cpu = specs[i].run(&el_cpu);
+    apps::EmbLookupService el_par(model, /*parallel=*/true);
+    runs[i].el_parallel = specs[i].run(&el_par);
+  }
+
+  // Pass 2: EL-NC (flat index), then restore compression.
+  if (run_nc) {
+    core::IndexConfig nc;
+    nc.compress = false;
+    EL_CHECK(model->RebuildIndex(nc).ok());
+    for (size_t i = 0; i < specs.size(); ++i) {
+      apps::EmbLookupService nc_cpu(model, /*parallel=*/false);
+      runs[i].nc_cpu = specs[i].run(&nc_cpu);
+      apps::EmbLookupService nc_par(model, /*parallel=*/true);
+      runs[i].nc_parallel = specs[i].run(&nc_par);
+    }
+    core::IndexConfig compressed;
+    compressed.compress = true;
+    EL_CHECK(model->RebuildIndex(compressed).ok());
+  }
+  return runs;
+}
+
+void PrintSpeedupTable(const std::vector<SystemRun>& runs) {
+  std::printf("%-4s %-12s | %9s %9s | %9s %9s | %6s %6s %6s\n", "Task",
+              "System", "EL(cpu)", "NC(cpu)", "EL(par)", "NC(par)", "F-orig",
+              "F-EL", "F-NC");
+  std::printf("%.95s\n",
+              "-----------------------------------------------------------"
+              "------------------------------------");
+  for (const SystemRun& r : runs) {
+    std::printf("%-4s %-12s | %8.1fx %8.1fx | %8.1fx %8.1fx | %6.2f %6.2f "
+                "%6.2f\n",
+                r.task.c_str(), r.system.c_str(),
+                Speedup(r.original.lookup_seconds, r.el_cpu.lookup_seconds),
+                Speedup(r.original.lookup_seconds, r.nc_cpu.lookup_seconds),
+                Speedup(r.original.lookup_seconds,
+                        r.el_parallel.lookup_seconds),
+                Speedup(r.original.lookup_seconds,
+                        r.nc_parallel.lookup_seconds),
+                r.original.metrics.F1(), r.el_cpu.metrics.F1(),
+                r.nc_cpu.metrics.F1());
+  }
+}
+
+void PrintFScoreTable(const std::string& label,
+                      const std::vector<SystemRun>& runs) {
+  std::printf("[%s]\n", label.c_str());
+  std::printf("%-4s %-12s | %10s %10s\n", "Task", "System", "F-Original",
+              "F-EmbLookup");
+  std::printf("%.50s\n",
+              "--------------------------------------------------");
+  for (const SystemRun& r : runs) {
+    std::printf("%-4s %-12s | %10.2f %10.2f\n", r.task.c_str(),
+                r.system.c_str(), r.original.metrics.F1(),
+                r.el_cpu.metrics.F1());
+  }
+  std::printf("\n");
+}
+
+}  // namespace emblookup::bench

@@ -1,0 +1,57 @@
+#ifndef EMBLOOKUP_BENCH_SYSTEM_BENCH_H_
+#define EMBLOOKUP_BENCH_SYSTEM_BENCH_H_
+
+#include <string>
+#include <vector>
+
+#include "apps/evaluation.h"
+#include "bench/bench_common.h"
+#include "core/emblookup.h"
+#include "kg/knowledge_graph.h"
+#include "kg/tabular.h"
+
+namespace emblookup::bench {
+
+/// One row of a Table II/III/IV/VI-style experiment: a (task, system) pair
+/// run with its original lookup service and with EmbLookup variants.
+struct SystemRun {
+  std::string task;    ///< "CEA", "CTA", "EA", "DR".
+  std::string system;  ///< "bbw", "MantisTable", "JenTab", "DoSeR", "Katara".
+  apps::TaskResult original;
+  apps::TaskResult el_cpu;       ///< EL (compressed), sequential bulk.
+  apps::TaskResult el_parallel;  ///< EL (compressed), thread-pool bulk.
+  apps::TaskResult nc_cpu;       ///< EL-NC (flat index), sequential.
+  apps::TaskResult nc_parallel;  ///< EL-NC, thread-pool bulk.
+};
+
+/// Which original lookup deployment the suite should instrument.
+enum class OriginalDeployment {
+  /// The services the systems shipped with (remote simulators + ES), used
+  /// for the speedup studies (Tables II/III): alias-aware but slow.
+  kShipped,
+  /// Local syntactic indices only (ES / q-gram / Levenshtein), the §IV-D
+  /// setting where aliases are not in the index (Table VI).
+  kLocalSyntactic,
+};
+
+/// Runs the full 8-row suite (CEA/CTA x 3 systems, EA/DoSeR, DR/Katara)
+/// over `dataset`. The model's index is rebuilt (NC then compressed again)
+/// when `run_nc` is set.
+std::vector<SystemRun> RunSystemSuite(const kg::KnowledgeGraph& graph,
+                                      const kg::TabularDataset& dataset,
+                                      core::EmbLookup* model, bool run_nc,
+                                      OriginalDeployment deployment =
+                                          OriginalDeployment::kShipped);
+
+/// Prints a Table II/III-style block: speedups (CPU & parallel, EL & EL-NC)
+/// plus the three F-score columns.
+void PrintSpeedupTable(const std::vector<SystemRun>& runs);
+
+/// Prints a Table IV/VI-style block: Original-F vs EmbLookup-F per row.
+/// `label` names the dataset column group.
+void PrintFScoreTable(const std::string& label,
+                      const std::vector<SystemRun>& runs);
+
+}  // namespace emblookup::bench
+
+#endif  // EMBLOOKUP_BENCH_SYSTEM_BENCH_H_

@@ -1,0 +1,79 @@
+// Quickstart: build a small synthetic knowledge graph, train EmbLookup on
+// it, and run a few syntactic and semantic lookups.
+//
+//   $ ./examples/quickstart
+//
+// This walks the full §III pipeline: corpus -> fastText pre-training ->
+// triplet mining -> two-phase triplet training -> PQ-compressed entity
+// index -> lookup(q, k).
+
+#include <cstdio>
+
+#include "core/emblookup.h"
+#include "kg/synthetic_kg.h"
+
+using emblookup::core::EmbLookup;
+using emblookup::core::EmbLookupOptions;
+using emblookup::core::LookupResult;
+using emblookup::kg::GenerateSyntheticKg;
+using emblookup::kg::KnowledgeGraph;
+using emblookup::kg::SyntheticKgOptions;
+
+namespace {
+
+void ShowLookup(const EmbLookup& el, const KnowledgeGraph& graph,
+                const std::string& query, int64_t k) {
+  std::printf("lookup(%-28s k=%zd):\n", ("\"" + query + "\",").c_str(),
+              static_cast<size_t>(k));
+  for (const LookupResult& hit : el.Lookup(query, k)) {
+    const auto& e = graph.entity(hit.entity);
+    std::printf("  %-8s %-30s dist=%.4f\n", e.qid.c_str(), e.label.c_str(),
+                hit.dist);
+  }
+}
+
+}  // namespace
+
+int main() {
+  // 1) A small synthetic KG (stand-in for a Wikidata slice; see DESIGN.md).
+  SyntheticKgOptions kg_options;
+  kg_options.num_entities = 2000;
+  kg_options.seed = 42;
+  const KnowledgeGraph graph = GenerateSyntheticKg(kg_options);
+  std::printf("KG: %lld entities, %lld types, %lld facts\n",
+              static_cast<long long>(graph.num_entities()),
+              static_cast<long long>(graph.num_types()),
+              static_cast<long long>(graph.num_facts()));
+
+  // 2) Train EmbLookup end-to-end (small config for a fast demo).
+  EmbLookupOptions options;
+  options.miner.triplets_per_entity = 20;
+  options.trainer.epochs = 12;
+  options.trainer.log_every = 2;
+  auto built = EmbLookup::TrainFromKg(graph, options);
+  if (!built.ok()) {
+    std::fprintf(stderr, "training failed: %s\n",
+                 built.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<EmbLookup> el = std::move(built).value();
+  std::printf("trained in %.1fs (final loss %.4f); index: %lld vectors, "
+              "%lld bytes (%s)\n",
+              el->train_stats().wall_seconds, el->train_stats().final_loss,
+              static_cast<long long>(el->index().size()),
+              static_cast<long long>(el->index().StorageBytes()),
+              el->index().compressed() ? "PQ-compressed" : "flat");
+
+  // 3) Lookups: clean, misspelled, and alias (semantic) queries.
+  const auto& e0 = graph.entity(0);
+  ShowLookup(*el, graph, e0.label, 3);
+  if (e0.label.size() > 3) {
+    std::string typo = e0.label;
+    typo.erase(typo.size() / 2, 1);  // Drop a middle character.
+    ShowLookup(*el, graph, typo, 3);
+  }
+  if (!e0.aliases.empty()) {
+    ShowLookup(*el, graph, e0.aliases[0], 3);  // Semantic lookup.
+  }
+  return 0;
+}

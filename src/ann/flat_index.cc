@@ -1,0 +1,100 @@
+#include "ann/flat_index.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace emblookup::ann {
+
+namespace {
+
+/// Keeps the k smallest (dist, id) pairs using a bounded max-heap laid over
+/// a vector. Cheaper than sorting all n candidates.
+class TopKHeap {
+ public:
+  explicit TopKHeap(int64_t k) : k_(k) { heap_.reserve(k); }
+
+  void Push(int64_t id, float dist) {
+    if (static_cast<int64_t>(heap_.size()) < k_) {
+      heap_.push_back({id, dist});
+      std::push_heap(heap_.begin(), heap_.end(), Cmp);
+    } else if (dist < heap_.front().dist) {
+      std::pop_heap(heap_.begin(), heap_.end(), Cmp);
+      heap_.back() = {id, dist};
+      std::push_heap(heap_.begin(), heap_.end(), Cmp);
+    }
+  }
+
+  float WorstDist() const {
+    return heap_.size() < static_cast<size_t>(k_)
+               ? std::numeric_limits<float>::max()
+               : heap_.front().dist;
+  }
+
+  std::vector<Neighbor> Finish() {
+    std::sort_heap(heap_.begin(), heap_.end(), Cmp);
+    return std::move(heap_);
+  }
+
+ private:
+  static bool Cmp(const Neighbor& a, const Neighbor& b) {
+    if (a.dist != b.dist) return a.dist < b.dist;
+    return a.id < b.id;
+  }
+
+  int64_t k_;
+  std::vector<Neighbor> heap_;
+};
+
+}  // namespace
+
+FlatIndex::FlatIndex(int64_t dim) : dim_(dim) { EL_CHECK_GT(dim, 0); }
+
+void FlatIndex::Add(const float* vectors, int64_t n) {
+  store_.insert(store_.end(), vectors, vectors + n * dim_);
+  count_ += n;
+}
+
+std::vector<Neighbor> FlatIndex::Search(const float* query, int64_t k) const {
+  k = std::min(k, count_);
+  if (k <= 0) return {};
+  TopKHeap heap(k);
+  const float* base = store_.data();
+  for (int64_t i = 0; i < count_; ++i) {
+    const float* v = base + i * dim_;
+    float acc = 0.0f;
+    const float worst = heap.WorstDist();
+    for (int64_t d = 0; d < dim_; ++d) {
+      const float diff = query[d] - v[d];
+      acc += diff * diff;
+      // Early abandon once we cannot beat the current worst.
+      if (acc > worst && (d & 15) == 15) break;
+    }
+    if (acc < worst) heap.Push(i, acc);
+  }
+  return heap.Finish();
+}
+
+NeighborLists FlatIndex::BatchSearch(const float* queries, int64_t num_queries,
+                                     int64_t k, ThreadPool* pool) const {
+  NeighborLists out(num_queries);
+  if (pool != nullptr) {
+    pool->ParallelFor(static_cast<size_t>(num_queries), [&](size_t i) {
+      out[i] = Search(queries + i * dim_, k);
+    });
+  } else {
+    for (int64_t i = 0; i < num_queries; ++i) {
+      out[i] = Search(queries + i * dim_, k);
+    }
+  }
+  return out;
+}
+
+const float* FlatIndex::Reconstruct(int64_t id) const {
+  EL_CHECK_GE(id, 0);
+  EL_CHECK_LT(id, count_);
+  return store_.data() + id * dim_;
+}
+
+}  // namespace emblookup::ann

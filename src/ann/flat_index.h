@@ -1,0 +1,51 @@
+#ifndef EMBLOOKUP_ANN_FLAT_INDEX_H_
+#define EMBLOOKUP_ANN_FLAT_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ann/neighbor.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+
+namespace emblookup::ann {
+
+/// Exact nearest-neighbor index over uncompressed float vectors (squared
+/// L2) — the EmbLookup-NC ("no compression") storage backend and the ground
+/// truth for the recall studies of Fig. 4.
+class FlatIndex {
+ public:
+  explicit FlatIndex(int64_t dim);
+
+  /// Appends `n` vectors (row-major). Returned ids are sequential starting
+  /// at the previous size.
+  void Add(const float* vectors, int64_t n);
+
+  /// Exact top-k by squared L2, best first. k is clamped to the index size.
+  std::vector<Neighbor> Search(const float* query, int64_t k) const;
+
+  /// Batch search; uses `pool` to parallelize across queries when provided
+  /// (the GPU-batch stand-in; see DESIGN.md).
+  NeighborLists BatchSearch(const float* queries, int64_t num_queries,
+                            int64_t k, ThreadPool* pool = nullptr) const;
+
+  /// Reconstructs the stored vector for an id (pointer into the store).
+  const float* Reconstruct(int64_t id) const;
+
+  int64_t size() const { return count_; }
+  int64_t dim() const { return dim_; }
+
+  /// Bytes used by the vector payload (the paper's index-size metric).
+  int64_t StorageBytes() const {
+    return count_ * dim_ * static_cast<int64_t>(sizeof(float));
+  }
+
+ private:
+  int64_t dim_;
+  int64_t count_ = 0;
+  std::vector<float> store_;
+};
+
+}  // namespace emblookup::ann
+
+#endif  // EMBLOOKUP_ANN_FLAT_INDEX_H_

@@ -1,0 +1,184 @@
+#include "ann/ivf_index.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace emblookup::ann {
+
+namespace {
+
+float SquaredL2(const float* a, const float* b, int64_t dim) {
+  float acc = 0.0f;
+  for (int64_t i = 0; i < dim; ++i) {
+    const float d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+/// Bounded max-heap collector shared by the scan loops.
+class Collector {
+ public:
+  explicit Collector(int64_t k) : k_(k) { heap_.reserve(k); }
+
+  void Push(int64_t id, float dist) {
+    if (static_cast<int64_t>(heap_.size()) < k_) {
+      heap_.push_back({id, dist});
+      std::push_heap(heap_.begin(), heap_.end(), Cmp);
+    } else if (dist < heap_.front().dist) {
+      std::pop_heap(heap_.begin(), heap_.end(), Cmp);
+      heap_.back() = {id, dist};
+      std::push_heap(heap_.begin(), heap_.end(), Cmp);
+    }
+  }
+
+  std::vector<Neighbor> Finish() {
+    std::sort_heap(heap_.begin(), heap_.end(), Cmp);
+    return std::move(heap_);
+  }
+
+ private:
+  static bool Cmp(const Neighbor& a, const Neighbor& b) {
+    if (a.dist != b.dist) return a.dist < b.dist;
+    return a.id < b.id;
+  }
+  int64_t k_;
+  std::vector<Neighbor> heap_;
+};
+
+}  // namespace
+
+IvfIndex::IvfIndex(int64_t dim, Options options)
+    : dim_(dim), options_(options), rng_(options.seed) {
+  EL_CHECK_GT(dim, 0);
+  EL_CHECK_GT(options_.num_lists, 0);
+  EL_CHECK_GT(options_.nprobe, 0);
+}
+
+Status IvfIndex::Train(const float* data, int64_t n) {
+  if (n <= 0) return Status::InvalidArgument("IVF training needs data");
+  coarse_ = KMeans(data, n, dim_, options_.num_lists, /*max_iters=*/20,
+                   &rng_);
+  lists_.assign(options_.num_lists, List{});
+  if (options_.storage == Storage::kPq) {
+    if (dim_ % options_.pq_m != 0) {
+      return Status::InvalidArgument("dim not divisible by pq_m");
+    }
+    pq_ = std::make_unique<ProductQuantizer>(dim_, options_.pq_m);
+    // Train the residual quantizer on (vector - assigned centroid).
+    std::vector<float> residuals(n * dim_);
+    for (int64_t i = 0; i < n; ++i) {
+      const float* x = data + i * dim_;
+      const int64_t c = NearestCentroid(coarse_, x);
+      const float* cen = coarse_.centroids.data() + c * dim_;
+      for (int64_t d = 0; d < dim_; ++d) {
+        residuals[i * dim_ + d] = x[d] - cen[d];
+      }
+    }
+    EL_RETURN_NOT_OK(pq_->Train(residuals.data(), n, &rng_));
+  }
+  trained_ = true;
+  return Status::OK();
+}
+
+Status IvfIndex::Add(const float* vectors, int64_t n) {
+  if (!trained_) return Status::FailedPrecondition("IvfIndex::Add before Train");
+  std::vector<float> residual(dim_);
+  std::vector<uint8_t> code(options_.pq_m);
+  for (int64_t i = 0; i < n; ++i) {
+    const float* x = vectors + i * dim_;
+    const int64_t c = NearestCentroid(coarse_, x);
+    List& list = lists_[c];
+    list.ids.push_back(count_ + i);
+    if (options_.storage == Storage::kFlat) {
+      list.vectors.insert(list.vectors.end(), x, x + dim_);
+    } else {
+      const float* cen = coarse_.centroids.data() + c * dim_;
+      for (int64_t d = 0; d < dim_; ++d) residual[d] = x[d] - cen[d];
+      pq_->Encode(residual.data(), 1, code.data());
+      list.codes.insert(list.codes.end(), code.begin(), code.end());
+    }
+  }
+  count_ += n;
+  return Status::OK();
+}
+
+std::vector<int64_t> IvfIndex::NearestLists(const float* query) const {
+  std::vector<std::pair<float, int64_t>> dists;
+  dists.reserve(options_.num_lists);
+  for (int64_t c = 0; c < options_.num_lists; ++c) {
+    dists.emplace_back(
+        SquaredL2(query, coarse_.centroids.data() + c * dim_, dim_), c);
+  }
+  const int64_t probes =
+      std::min<int64_t>(options_.nprobe, options_.num_lists);
+  std::partial_sort(dists.begin(), dists.begin() + probes, dists.end());
+  std::vector<int64_t> out(probes);
+  for (int64_t i = 0; i < probes; ++i) out[i] = dists[i].second;
+  return out;
+}
+
+std::vector<Neighbor> IvfIndex::Search(const float* query, int64_t k) const {
+  EL_CHECK(trained_);
+  k = std::min(k, count_);
+  if (k <= 0) return {};
+  Collector collector(k);
+  std::vector<float> table;
+  std::vector<float> residual_query(dim_);
+  if (options_.storage == Storage::kPq) {
+    table.resize(pq_->m() * pq_->ksub());
+  }
+  for (int64_t c : NearestLists(query)) {
+    const List& list = lists_[c];
+    if (list.ids.empty()) continue;
+    if (options_.storage == Storage::kFlat) {
+      for (size_t i = 0; i < list.ids.size(); ++i) {
+        collector.Push(list.ids[i],
+                       SquaredL2(query, list.vectors.data() + i * dim_, dim_));
+      }
+    } else {
+      // ADC against the query's residual w.r.t. this list's centroid.
+      const float* cen = coarse_.centroids.data() + c * dim_;
+      for (int64_t d = 0; d < dim_; ++d) {
+        residual_query[d] = query[d] - cen[d];
+      }
+      pq_->ComputeAdcTable(residual_query.data(), table.data());
+      const int64_t m = pq_->m();
+      for (size_t i = 0; i < list.ids.size(); ++i) {
+        collector.Push(list.ids[i],
+                       pq_->AdcDistance(table.data(),
+                                        list.codes.data() + i * m));
+      }
+    }
+  }
+  return collector.Finish();
+}
+
+NeighborLists IvfIndex::BatchSearch(const float* queries, int64_t num_queries,
+                                    int64_t k, ThreadPool* pool) const {
+  NeighborLists out(num_queries);
+  if (pool != nullptr) {
+    pool->ParallelFor(static_cast<size_t>(num_queries), [&](size_t i) {
+      out[i] = Search(queries + i * dim_, k);
+    });
+  } else {
+    for (int64_t i = 0; i < num_queries; ++i) {
+      out[i] = Search(queries + i * dim_, k);
+    }
+  }
+  return out;
+}
+
+int64_t IvfIndex::StorageBytes() const {
+  int64_t bytes = 0;
+  for (const List& list : lists_) {
+    bytes += static_cast<int64_t>(list.vectors.size() * sizeof(float));
+    bytes += static_cast<int64_t>(list.codes.size());
+    bytes += static_cast<int64_t>(list.ids.size() * sizeof(int64_t));
+  }
+  return bytes;
+}
+
+}  // namespace emblookup::ann

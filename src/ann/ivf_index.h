@@ -1,0 +1,82 @@
+#ifndef EMBLOOKUP_ANN_IVF_INDEX_H_
+#define EMBLOOKUP_ANN_IVF_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ann/kmeans.h"
+#include "ann/neighbor.h"
+#include "ann/pq.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+
+namespace emblookup::ann {
+
+/// Inverted-file index (IVF) with optional product-quantized residual
+/// storage — the other FAISS index family the paper's §III-C mentions
+/// ("FAISS... provides a wide variety of indexing options"). Vectors are
+/// bucketed by their nearest coarse centroid; a query scans only the
+/// `nprobe` nearest buckets, trading recall for sub-linear scan cost.
+///
+/// storage == kFlat keeps raw floats per list (IVFFlat); kPq stores m-byte
+/// PQ codes of the *residual* vector (IVFPQ, the memory-efficient variant).
+class IvfIndex {
+ public:
+  enum class Storage { kFlat, kPq };
+
+  struct Options {
+    int64_t num_lists = 64;  ///< Coarse centroids (k of the coarse k-means).
+    int64_t nprobe = 8;      ///< Lists scanned per query.
+    Storage storage = Storage::kFlat;
+    int64_t pq_m = 8;        ///< Sub-quantizers when storage == kPq.
+    uint64_t seed = 3;
+  };
+
+  IvfIndex(int64_t dim, Options options);
+
+  /// Trains the coarse quantizer (and the residual PQ, if any) on `n`
+  /// row-major vectors.
+  Status Train(const float* data, int64_t n);
+
+  /// Assigns and stores `n` vectors; ids are sequential.
+  Status Add(const float* vectors, int64_t n);
+
+  /// Approximate top-k: scans the nprobe nearest lists.
+  std::vector<Neighbor> Search(const float* query, int64_t k) const;
+
+  /// Batch search (parallel across queries when a pool is given).
+  NeighborLists BatchSearch(const float* queries, int64_t num_queries,
+                            int64_t k, ThreadPool* pool = nullptr) const;
+
+  int64_t size() const { return count_; }
+  int64_t dim() const { return dim_; }
+  bool trained() const { return trained_; }
+
+  /// Bytes used by the stored vectors/codes (excluding centroids).
+  int64_t StorageBytes() const;
+
+ private:
+  struct List {
+    std::vector<int64_t> ids;
+    std::vector<float> vectors;  ///< kFlat: raw vectors.
+    std::vector<uint8_t> codes;  ///< kPq: residual PQ codes.
+  };
+
+  /// Indices of the `nprobe` centroids nearest to `query`.
+  std::vector<int64_t> NearestLists(const float* query) const;
+
+  int64_t dim_;
+  Options options_;
+  bool trained_ = false;
+  int64_t count_ = 0;
+  KMeansResult coarse_;
+  std::unique_ptr<ProductQuantizer> pq_;  // Residual quantizer (kPq only).
+  std::vector<List> lists_;
+  Rng rng_;
+};
+
+}  // namespace emblookup::ann
+
+#endif  // EMBLOOKUP_ANN_IVF_INDEX_H_

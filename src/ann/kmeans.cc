@@ -1,0 +1,147 @@
+#include "ann/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace emblookup::ann {
+
+namespace {
+
+float SquaredL2(const float* a, const float* b, int64_t dim) {
+  float acc = 0.0f;
+  for (int64_t i = 0; i < dim; ++i) {
+    const float d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+/// k-means++ seeding: first centroid uniform, then proportional to squared
+/// distance from the nearest chosen centroid.
+std::vector<float> SeedPlusPlus(const float* data, int64_t n, int64_t dim,
+                                int64_t k, Rng* rng) {
+  std::vector<float> centroids(k * dim);
+  std::vector<float> min_dist(n, std::numeric_limits<float>::max());
+  int64_t first = static_cast<int64_t>(rng->Uniform(n));
+  std::copy_n(data + first * dim, dim, centroids.data());
+  for (int64_t c = 1; c < k; ++c) {
+    const float* prev = centroids.data() + (c - 1) * dim;
+    double total = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      min_dist[i] = std::min(min_dist[i], SquaredL2(data + i * dim, prev, dim));
+      total += min_dist[i];
+    }
+    int64_t chosen = 0;
+    if (total > 0.0) {
+      double target = rng->UniformDouble() * total;
+      double acc = 0.0;
+      for (int64_t i = 0; i < n; ++i) {
+        acc += min_dist[i];
+        if (acc >= target) {
+          chosen = i;
+          break;
+        }
+      }
+    } else {
+      chosen = static_cast<int64_t>(rng->Uniform(n));
+    }
+    std::copy_n(data + chosen * dim, dim, centroids.data() + c * dim);
+  }
+  return centroids;
+}
+
+}  // namespace
+
+KMeansResult KMeans(const float* data, int64_t n, int64_t dim, int64_t k,
+                    int64_t max_iters, Rng* rng) {
+  EL_CHECK_GT(n, 0);
+  EL_CHECK_GT(dim, 0);
+  EL_CHECK_GT(k, 0);
+  KMeansResult result;
+  result.k = k;
+  result.dim = dim;
+
+  if (n <= k) {
+    // Degenerate: every point is its own centroid; pad with copies.
+    result.centroids.resize(k * dim);
+    for (int64_t c = 0; c < k; ++c) {
+      std::copy_n(data + (c % n) * dim, dim, result.centroids.data() + c * dim);
+    }
+    result.inertia = 0.0;
+    return result;
+  }
+
+  result.centroids = SeedPlusPlus(data, n, dim, k, rng);
+  std::vector<int64_t> assignment(n, -1);
+  std::vector<int64_t> counts(k);
+  std::vector<float> sums(k * dim);
+
+  for (int64_t iter = 0; iter < max_iters; ++iter) {
+    bool changed = false;
+    double inertia = 0.0;
+    // Assignment step.
+    for (int64_t i = 0; i < n; ++i) {
+      const float* x = data + i * dim;
+      float best = std::numeric_limits<float>::max();
+      int64_t best_c = 0;
+      for (int64_t c = 0; c < k; ++c) {
+        const float d = SquaredL2(x, result.centroids.data() + c * dim, dim);
+        if (d < best) {
+          best = d;
+          best_c = c;
+        }
+      }
+      if (assignment[i] != best_c) {
+        assignment[i] = best_c;
+        changed = true;
+      }
+      inertia += best;
+    }
+    result.inertia = inertia;
+    if (!changed && iter > 0) break;
+
+    // Update step.
+    std::fill(counts.begin(), counts.end(), 0);
+    std::fill(sums.begin(), sums.end(), 0.0f);
+    for (int64_t i = 0; i < n; ++i) {
+      const int64_t c = assignment[i];
+      ++counts[c];
+      const float* x = data + i * dim;
+      float* s = sums.data() + c * dim;
+      for (int64_t d = 0; d < dim; ++d) s[d] += x[d];
+    }
+    for (int64_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed from a random point to avoid dead centroids.
+        const int64_t pick = static_cast<int64_t>(rng->Uniform(n));
+        std::copy_n(data + pick * dim, dim,
+                    result.centroids.data() + c * dim);
+        continue;
+      }
+      const float inv = 1.0f / static_cast<float>(counts[c]);
+      float* cen = result.centroids.data() + c * dim;
+      const float* s = sums.data() + c * dim;
+      for (int64_t d = 0; d < dim; ++d) cen[d] = s[d] * inv;
+    }
+  }
+  return result;
+}
+
+int64_t NearestCentroid(const KMeansResult& result, const float* vec) {
+  float best = std::numeric_limits<float>::max();
+  int64_t best_c = 0;
+  for (int64_t c = 0; c < result.k; ++c) {
+    const float d =
+        SquaredL2(vec, result.centroids.data() + c * result.dim, result.dim);
+    if (d < best) {
+      best = d;
+      best_c = c;
+    }
+  }
+  return best_c;
+}
+
+}  // namespace emblookup::ann

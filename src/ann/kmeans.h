@@ -1,0 +1,33 @@
+#ifndef EMBLOOKUP_ANN_KMEANS_H_
+#define EMBLOOKUP_ANN_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace emblookup::ann {
+
+/// Result of a k-means run: row-major (k, dim) centroid matrix.
+struct KMeansResult {
+  std::vector<float> centroids;
+  int64_t k = 0;
+  int64_t dim = 0;
+  double inertia = 0.0;  // Sum of squared distances to assigned centroids.
+};
+
+/// Lloyd's k-means with k-means++ seeding; the codebook trainer for product
+/// quantization (§III-D).
+///
+/// `data` is row-major (n, dim). If n < k, centroids are the data points
+/// padded with duplicates. Empty clusters are re-seeded from the point
+/// farthest from its centroid.
+KMeansResult KMeans(const float* data, int64_t n, int64_t dim, int64_t k,
+                    int64_t max_iters, Rng* rng);
+
+/// Index of the centroid nearest to `vec` (squared L2).
+int64_t NearestCentroid(const KMeansResult& result, const float* vec);
+
+}  // namespace emblookup::ann
+
+#endif  // EMBLOOKUP_ANN_KMEANS_H_

@@ -1,0 +1,105 @@
+#include "ann/lsh_index.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "text/edit_distance.h"
+#include "text/qgram.h"
+
+namespace emblookup::ann {
+
+namespace {
+
+uint64_t HashMix(uint64_t x, uint64_t seed) {
+  x ^= seed;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+uint64_t HashString(std::string_view s) {
+  // FNV-1a.
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+StringLshIndex::StringLshIndex(Options options) : options_(options) {
+  EL_CHECK_GT(options_.num_hashes, 0);
+  EL_CHECK_GT(options_.band_size, 0);
+  EL_CHECK_EQ(options_.num_hashes % options_.band_size, 0);
+  num_bands_ = options_.num_hashes / options_.band_size;
+  bands_.resize(num_bands_);
+  Rng rng(options_.seed);
+  hash_seeds_.resize(options_.num_hashes);
+  for (auto& s : hash_seeds_) s = rng.NextU64();
+}
+
+std::vector<uint64_t> StringLshIndex::Signature(std::string_view text) const {
+  std::vector<std::string> grams = text::QGrams(ToLower(text), options_.q);
+  std::vector<uint64_t> sig(options_.num_hashes,
+                            std::numeric_limits<uint64_t>::max());
+  for (const auto& g : grams) {
+    const uint64_t base = HashString(g);
+    for (int h = 0; h < options_.num_hashes; ++h) {
+      sig[h] = std::min(sig[h], HashMix(base, hash_seeds_[h]));
+    }
+  }
+  return sig;
+}
+
+void StringLshIndex::Add(int64_t id, std::string_view text) {
+  const int64_t internal = static_cast<int64_t>(texts_.size());
+  texts_.emplace_back(ToLower(text));
+  ids_.push_back(id);
+  const std::vector<uint64_t> sig = Signature(text);
+  for (int b = 0; b < num_bands_; ++b) {
+    uint64_t h = 14695981039346656037ULL;
+    for (int r = 0; r < options_.band_size; ++r) {
+      h = HashMix(sig[b * options_.band_size + r], h + b);
+    }
+    bands_[b][h].push_back(internal);
+  }
+}
+
+std::vector<std::pair<int64_t, double>> StringLshIndex::TopK(
+    std::string_view query, int64_t k) const {
+  const std::vector<uint64_t> sig = Signature(query);
+  std::unordered_set<int64_t> candidates;
+  for (int b = 0; b < num_bands_; ++b) {
+    uint64_t h = 14695981039346656037ULL;
+    for (int r = 0; r < options_.band_size; ++r) {
+      h = HashMix(sig[b * options_.band_size + r], h + b);
+    }
+    auto it = bands_[b].find(h);
+    if (it == bands_[b].end()) continue;
+    candidates.insert(it->second.begin(), it->second.end());
+  }
+  const std::string lowered = ToLower(query);
+  std::vector<std::pair<int64_t, double>> scored;
+  scored.reserve(candidates.size());
+  for (int64_t doc : candidates) {
+    scored.emplace_back(ids_[doc],
+                        text::LevenshteinRatio(lowered, texts_[doc]));
+  }
+  const size_t keep = std::min<size_t>(scored.size(), static_cast<size_t>(k));
+  std::partial_sort(scored.begin(), scored.begin() + keep, scored.end(),
+                    [](const auto& a, const auto& b) {
+                      if (a.second != b.second) return a.second > b.second;
+                      return a.first < b.first;
+                    });
+  scored.resize(keep);
+  return scored;
+}
+
+}  // namespace emblookup::ann

@@ -1,0 +1,53 @@
+#ifndef EMBLOOKUP_ANN_LSH_INDEX_H_
+#define EMBLOOKUP_ANN_LSH_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace emblookup::ann {
+
+/// MinHash-LSH over character trigram sets, verified with Levenshtein ratio —
+/// the "LSH (optimized for Levenshtein distance)" baseline of Table V.
+/// Strings whose trigram sets are similar collide in at least one band with
+/// high probability; colliding candidates are re-ranked exactly.
+class StringLshIndex {
+ public:
+  struct Options {
+    int num_hashes = 32;  ///< MinHash signature length.
+    int band_size = 4;    ///< Rows per band (num_hashes/band_size bands).
+    int q = 3;            ///< q-gram size.
+    uint64_t seed = 17;
+  };
+
+  StringLshIndex() : StringLshIndex(Options{}) {}
+  explicit StringLshIndex(Options options);
+
+  /// Indexes `text` under `id`.
+  void Add(int64_t id, std::string_view text);
+
+  /// Returns up to k (id, similarity) pairs among banded collision
+  /// candidates, scored with Levenshtein ratio, best first.
+  std::vector<std::pair<int64_t, double>> TopK(std::string_view query,
+                                               int64_t k) const;
+
+ private:
+  std::vector<uint64_t> Signature(std::string_view text) const;
+
+  Options options_;
+  int num_bands_;
+  std::vector<uint64_t> hash_seeds_;
+  // One hash table per band: band hash -> internal doc ids.
+  std::vector<std::unordered_map<uint64_t, std::vector<int64_t>>> bands_;
+  std::vector<std::string> texts_;
+  std::vector<int64_t> ids_;
+};
+
+}  // namespace emblookup::ann
+
+#endif  // EMBLOOKUP_ANN_LSH_INDEX_H_

@@ -1,0 +1,21 @@
+#ifndef EMBLOOKUP_ANN_NEIGHBOR_H_
+#define EMBLOOKUP_ANN_NEIGHBOR_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace emblookup::ann {
+
+/// One nearest-neighbor search result. `dist` is squared L2 (or an
+/// index-specific approximation thereof); smaller is closer.
+struct Neighbor {
+  int64_t id = -1;
+  float dist = 0.0f;
+};
+
+/// Results for a batch of queries, one list per query.
+using NeighborLists = std::vector<std::vector<Neighbor>>;
+
+}  // namespace emblookup::ann
+
+#endif  // EMBLOOKUP_ANN_NEIGHBOR_H_

@@ -1,0 +1,138 @@
+#include "ann/pca.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace emblookup::ann {
+
+namespace {
+
+/// In-place cyclic Jacobi eigendecomposition of a symmetric (d, d) matrix.
+/// On return `a` holds eigenvalues on its diagonal and `v` the eigenvectors
+/// (column j of v pairs with a[j*d+j]).
+void JacobiEigen(std::vector<double>* a_in, std::vector<double>* v_out,
+                 int64_t d) {
+  std::vector<double>& a = *a_in;
+  std::vector<double>& v = *v_out;
+  v.assign(d * d, 0.0);
+  for (int64_t i = 0; i < d; ++i) v[i * d + i] = 1.0;
+
+  for (int sweep = 0; sweep < 64; ++sweep) {
+    double off = 0.0;
+    for (int64_t p = 0; p < d; ++p) {
+      for (int64_t q = p + 1; q < d; ++q) off += a[p * d + q] * a[p * d + q];
+    }
+    if (off < 1e-20) break;
+    for (int64_t p = 0; p < d; ++p) {
+      for (int64_t q = p + 1; q < d; ++q) {
+        const double apq = a[p * d + q];
+        if (std::abs(apq) < 1e-18) continue;
+        const double app = a[p * d + p];
+        const double aqq = a[q * d + q];
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        for (int64_t i = 0; i < d; ++i) {
+          const double aip = a[i * d + p];
+          const double aiq = a[i * d + q];
+          a[i * d + p] = c * aip - s * aiq;
+          a[i * d + q] = s * aip + c * aiq;
+        }
+        for (int64_t i = 0; i < d; ++i) {
+          const double api = a[p * d + i];
+          const double aqi = a[q * d + i];
+          a[p * d + i] = c * api - s * aqi;
+          a[q * d + i] = s * api + c * aqi;
+        }
+        for (int64_t i = 0; i < d; ++i) {
+          const double vip = v[i * d + p];
+          const double viq = v[i * d + q];
+          v[i * d + p] = c * vip - s * viq;
+          v[i * d + q] = s * vip + c * viq;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Status Pca::Fit(const float* data, int64_t n, int64_t dim, int64_t out_dim) {
+  if (n <= 1) return Status::InvalidArgument("PCA needs at least 2 samples");
+  if (out_dim <= 0 || out_dim > dim) {
+    return Status::InvalidArgument("PCA out_dim must be in (0, dim]");
+  }
+  dim_ = dim;
+  out_dim_ = out_dim;
+
+  mean_.assign(dim, 0.0f);
+  for (int64_t i = 0; i < n; ++i) {
+    const float* x = data + i * dim;
+    for (int64_t d = 0; d < dim; ++d) mean_[d] += x[d];
+  }
+  for (float& m : mean_) m /= static_cast<float>(n);
+
+  // Covariance (double accumulation for stability).
+  std::vector<double> cov(dim * dim, 0.0);
+  for (int64_t i = 0; i < n; ++i) {
+    const float* x = data + i * dim;
+    for (int64_t p = 0; p < dim; ++p) {
+      const double xp = x[p] - mean_[p];
+      for (int64_t q = p; q < dim; ++q) {
+        cov[p * dim + q] += xp * (x[q] - mean_[q]);
+      }
+    }
+  }
+  const double inv = 1.0 / static_cast<double>(n - 1);
+  for (int64_t p = 0; p < dim; ++p) {
+    for (int64_t q = p; q < dim; ++q) {
+      cov[p * dim + q] *= inv;
+      cov[q * dim + p] = cov[p * dim + q];
+    }
+  }
+
+  std::vector<double> eigvecs;
+  JacobiEigen(&cov, &eigvecs, dim);
+
+  // Sort components by descending eigenvalue.
+  std::vector<int64_t> order(dim);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+    return cov[a * dim + a] > cov[b * dim + b];
+  });
+
+  double total_var = 0.0, kept_var = 0.0;
+  for (int64_t j = 0; j < dim; ++j) total_var += std::max(0.0, cov[j * dim + j]);
+  components_.assign(out_dim * dim, 0.0f);
+  for (int64_t r = 0; r < out_dim; ++r) {
+    const int64_t j = order[r];
+    kept_var += std::max(0.0, cov[j * dim + j]);
+    for (int64_t d = 0; d < dim; ++d) {
+      components_[r * dim + d] = static_cast<float>(eigvecs[d * dim + j]);
+    }
+  }
+  explained_ = total_var > 0.0 ? kept_var / total_var : 1.0;
+  fitted_ = true;
+  return Status::OK();
+}
+
+void Pca::Transform(const float* data, int64_t n, float* out) const {
+  EL_CHECK(fitted_);
+  for (int64_t i = 0; i < n; ++i) {
+    const float* x = data + i * dim_;
+    float* y = out + i * out_dim_;
+    for (int64_t r = 0; r < out_dim_; ++r) {
+      const float* comp = components_.data() + r * dim_;
+      float acc = 0.0f;
+      for (int64_t d = 0; d < dim_; ++d) acc += (x[d] - mean_[d]) * comp[d];
+      y[r] = acc;
+    }
+  }
+}
+
+}  // namespace emblookup::ann

@@ -1,0 +1,44 @@
+#ifndef EMBLOOKUP_ANN_PCA_H_
+#define EMBLOOKUP_ANN_PCA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace emblookup::ann {
+
+/// Principal component analysis via Jacobi eigendecomposition of the
+/// covariance matrix — the dimensionality-reduction alternative to product
+/// quantization evaluated in Fig. 5. Input dimensions up to a few hundred
+/// (we use 64), where the dense Jacobi sweep is exact and fast.
+class Pca {
+ public:
+  Pca() = default;
+
+  /// Fits the transform on `n` row-major (n, dim) vectors, keeping the top
+  /// `out_dim` components.
+  Status Fit(const float* data, int64_t n, int64_t dim, int64_t out_dim);
+
+  /// Projects `n` vectors into the fitted space; `out` holds n*out_dim.
+  void Transform(const float* data, int64_t n, float* out) const;
+
+  int64_t dim() const { return dim_; }
+  int64_t out_dim() const { return out_dim_; }
+  bool fitted() const { return fitted_; }
+
+  /// Fraction of total variance captured by the kept components.
+  double ExplainedVariance() const { return explained_; }
+
+ private:
+  int64_t dim_ = 0;
+  int64_t out_dim_ = 0;
+  bool fitted_ = false;
+  double explained_ = 0.0;
+  std::vector<float> mean_;        // (dim)
+  std::vector<float> components_;  // (out_dim, dim) row-major
+};
+
+}  // namespace emblookup::ann
+
+#endif  // EMBLOOKUP_ANN_PCA_H_

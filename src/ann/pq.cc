@@ -1,0 +1,93 @@
+#include "ann/pq.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "ann/kmeans.h"
+#include "common/logging.h"
+
+namespace emblookup::ann {
+
+ProductQuantizer::ProductQuantizer(int64_t dim, int64_t m, int64_t nbits)
+    : dim_(dim), m_(m), ksub_(1LL << nbits), dsub_(dim / m) {
+  EL_CHECK_GT(dim, 0);
+  EL_CHECK_GT(m, 0);
+  EL_CHECK_EQ(dim % m, 0) << "dim must be divisible by m";
+  EL_CHECK_EQ(nbits, 8) << "only 8-bit codes are supported";
+}
+
+Status ProductQuantizer::Train(const float* data, int64_t n, Rng* rng,
+                               int64_t kmeans_iters) {
+  if (n <= 0) return Status::InvalidArgument("PQ training needs data");
+  codebooks_.assign(m_ * ksub_ * dsub_, 0.0f);
+  std::vector<float> sub(n * dsub_);
+  for (int64_t j = 0; j < m_; ++j) {
+    // Slice out sub-space j from every training vector.
+    for (int64_t i = 0; i < n; ++i) {
+      std::copy_n(data + i * dim_ + j * dsub_, dsub_, sub.data() + i * dsub_);
+    }
+    KMeansResult km = KMeans(sub.data(), n, dsub_, ksub_, kmeans_iters, rng);
+    std::copy(km.centroids.begin(), km.centroids.end(),
+              codebooks_.begin() + j * ksub_ * dsub_);
+  }
+  trained_ = true;
+  return Status::OK();
+}
+
+void ProductQuantizer::Encode(const float* data, int64_t n,
+                              uint8_t* codes) const {
+  EL_CHECK(trained_);
+  for (int64_t i = 0; i < n; ++i) {
+    const float* x = data + i * dim_;
+    uint8_t* code = codes + i * m_;
+    for (int64_t j = 0; j < m_; ++j) {
+      const float* xs = x + j * dsub_;
+      const float* cb = codebooks_.data() + j * ksub_ * dsub_;
+      float best = std::numeric_limits<float>::max();
+      int64_t best_c = 0;
+      for (int64_t c = 0; c < ksub_; ++c) {
+        const float* cen = cb + c * dsub_;
+        float acc = 0.0f;
+        for (int64_t d = 0; d < dsub_; ++d) {
+          const float diff = xs[d] - cen[d];
+          acc += diff * diff;
+        }
+        if (acc < best) {
+          best = acc;
+          best_c = c;
+        }
+      }
+      code[j] = static_cast<uint8_t>(best_c);
+    }
+  }
+}
+
+void ProductQuantizer::Decode(const uint8_t* code, float* out) const {
+  EL_CHECK(trained_);
+  for (int64_t j = 0; j < m_; ++j) {
+    const float* cen =
+        codebooks_.data() + (j * ksub_ + code[j]) * dsub_;
+    std::copy_n(cen, dsub_, out + j * dsub_);
+  }
+}
+
+void ProductQuantizer::ComputeAdcTable(const float* query,
+                                       float* table) const {
+  EL_CHECK(trained_);
+  for (int64_t j = 0; j < m_; ++j) {
+    const float* qs = query + j * dsub_;
+    const float* cb = codebooks_.data() + j * ksub_ * dsub_;
+    float* trow = table + j * ksub_;
+    for (int64_t c = 0; c < ksub_; ++c) {
+      const float* cen = cb + c * dsub_;
+      float acc = 0.0f;
+      for (int64_t d = 0; d < dsub_; ++d) {
+        const float diff = qs[d] - cen[d];
+        acc += diff * diff;
+      }
+      trow[c] = acc;
+    }
+  }
+}
+
+}  // namespace emblookup::ann

@@ -1,0 +1,66 @@
+#ifndef EMBLOOKUP_ANN_PQ_H_
+#define EMBLOOKUP_ANN_PQ_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace emblookup::ann {
+
+/// Product quantizer (Jégou et al.), as described in §III-D of the paper:
+/// the D-dimensional vector is split into M contiguous sub-vectors; each
+/// sub-space gets a 2^nbits-entry codebook trained with k-means; a vector is
+/// stored as M code bytes. With D=64, M=8, nbits=8 an embedding shrinks from
+/// 256 bytes to 8 bytes.
+class ProductQuantizer {
+ public:
+  /// `dim` must be divisible by `m`. Only nbits == 8 is supported (one code
+  /// byte per sub-space), which matches the paper's configuration.
+  ProductQuantizer(int64_t dim, int64_t m, int64_t nbits = 8);
+
+  /// Trains the M codebooks on `n` row-major training vectors.
+  Status Train(const float* data, int64_t n, Rng* rng,
+               int64_t kmeans_iters = 20);
+
+  /// Encodes `n` vectors into `n * m` code bytes (row-major).
+  void Encode(const float* data, int64_t n, uint8_t* codes) const;
+
+  /// Reconstructs an approximation of a coded vector.
+  void Decode(const uint8_t* code, float* out) const;
+
+  /// Builds the asymmetric-distance (ADC) lookup table for a query: entry
+  /// (j, c) is the squared L2 distance between the query's j-th sub-vector
+  /// and centroid c of codebook j. Table layout is (m, ksub) row-major.
+  void ComputeAdcTable(const float* query, float* table) const;
+
+  /// Squared-L2 approximation of ||query - decode(code)|| using a
+  /// precomputed ADC table.
+  float AdcDistance(const float* table, const uint8_t* code) const {
+    float acc = 0.0f;
+    for (int64_t j = 0; j < m_; ++j) acc += table[j * ksub_ + code[j]];
+    return acc;
+  }
+
+  int64_t dim() const { return dim_; }
+  int64_t m() const { return m_; }
+  int64_t ksub() const { return ksub_; }
+  int64_t dsub() const { return dsub_; }
+  bool trained() const { return trained_; }
+
+  /// Codebook storage in bytes (m * ksub * dsub floats).
+  int64_t CodebookBytes() const {
+    return m_ * ksub_ * dsub_ * static_cast<int64_t>(sizeof(float));
+  }
+
+ private:
+  int64_t dim_, m_, ksub_, dsub_;
+  bool trained_ = false;
+  // Codebooks: (m, ksub, dsub) row-major.
+  std::vector<float> codebooks_;
+};
+
+}  // namespace emblookup::ann
+
+#endif  // EMBLOOKUP_ANN_PQ_H_

@@ -1,0 +1,79 @@
+#include "ann/pq_index.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace emblookup::ann {
+
+PqIndex::PqIndex(int64_t dim, int64_t m) : pq_(dim, m) {}
+
+Status PqIndex::Train(const float* data, int64_t n, Rng* rng) {
+  return pq_.Train(data, n, rng);
+}
+
+Status PqIndex::Add(const float* vectors, int64_t n) {
+  if (!pq_.trained()) {
+    return Status::FailedPrecondition("PqIndex::Add before Train");
+  }
+  const size_t old = codes_.size();
+  codes_.resize(old + n * pq_.m());
+  pq_.Encode(vectors, n, codes_.data() + old);
+  count_ += n;
+  return Status::OK();
+}
+
+std::vector<Neighbor> PqIndex::Search(const float* query, int64_t k) const {
+  EL_CHECK(pq_.trained());
+  k = std::min(k, count_);
+  if (k <= 0) return {};
+  std::vector<float> table(pq_.m() * pq_.ksub());
+  pq_.ComputeAdcTable(query, table.data());
+
+  // Bounded max-heap of the k best.
+  std::vector<Neighbor> heap;
+  heap.reserve(k);
+  auto cmp = [](const Neighbor& a, const Neighbor& b) {
+    if (a.dist != b.dist) return a.dist < b.dist;
+    return a.id < b.id;
+  };
+  const int64_t m = pq_.m();
+  for (int64_t i = 0; i < count_; ++i) {
+    const float d = pq_.AdcDistance(table.data(), codes_.data() + i * m);
+    if (static_cast<int64_t>(heap.size()) < k) {
+      heap.push_back({i, d});
+      std::push_heap(heap.begin(), heap.end(), cmp);
+    } else if (d < heap.front().dist) {
+      std::pop_heap(heap.begin(), heap.end(), cmp);
+      heap.back() = {i, d};
+      std::push_heap(heap.begin(), heap.end(), cmp);
+    }
+  }
+  std::sort_heap(heap.begin(), heap.end(), cmp);
+  return heap;
+}
+
+NeighborLists PqIndex::BatchSearch(const float* queries, int64_t num_queries,
+                                   int64_t k, ThreadPool* pool) const {
+  NeighborLists out(num_queries);
+  const int64_t dim = pq_.dim();
+  if (pool != nullptr) {
+    pool->ParallelFor(static_cast<size_t>(num_queries), [&](size_t i) {
+      out[i] = Search(queries + i * dim, k);
+    });
+  } else {
+    for (int64_t i = 0; i < num_queries; ++i) {
+      out[i] = Search(queries + i * dim, k);
+    }
+  }
+  return out;
+}
+
+void PqIndex::Reconstruct(int64_t id, float* out) const {
+  EL_CHECK_GE(id, 0);
+  EL_CHECK_LT(id, count_);
+  pq_.Decode(codes_.data() + id * pq_.m(), out);
+}
+
+}  // namespace emblookup::ann

@@ -1,0 +1,55 @@
+#ifndef EMBLOOKUP_ANN_PQ_INDEX_H_
+#define EMBLOOKUP_ANN_PQ_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ann/neighbor.h"
+#include "ann/pq.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+
+namespace emblookup::ann {
+
+/// Compressed nearest-neighbor index: vectors stored as PQ codes, queries
+/// answered with asymmetric distance computation (ADC). This is the
+/// "EL" (EmbLookup with compression) storage backend.
+class PqIndex {
+ public:
+  /// `m` sub-quantizers of 8 bits each: every vector costs m bytes.
+  PqIndex(int64_t dim, int64_t m);
+
+  /// Trains the quantizer on (a sample of) the vectors to be indexed.
+  Status Train(const float* data, int64_t n, Rng* rng);
+
+  /// Encodes and appends `n` vectors. Ids are sequential.
+  Status Add(const float* vectors, int64_t n);
+
+  /// Approximate top-k by ADC distance, best first.
+  std::vector<Neighbor> Search(const float* query, int64_t k) const;
+
+  /// Batch search; parallel across queries when a pool is given.
+  NeighborLists BatchSearch(const float* queries, int64_t num_queries,
+                            int64_t k, ThreadPool* pool = nullptr) const;
+
+  /// Decodes the stored approximation of vector `id`.
+  void Reconstruct(int64_t id, float* out) const;
+
+  int64_t size() const { return count_; }
+  int64_t dim() const { return pq_.dim(); }
+
+  /// Bytes used by the code payload (m bytes per vector).
+  int64_t StorageBytes() const { return count_ * pq_.m(); }
+
+  const ProductQuantizer& quantizer() const { return pq_; }
+
+ private:
+  ProductQuantizer pq_;
+  int64_t count_ = 0;
+  std::vector<uint8_t> codes_;
+};
+
+}  // namespace emblookup::ann
+
+#endif  // EMBLOOKUP_ANN_PQ_INDEX_H_

@@ -1,0 +1,44 @@
+#ifndef EMBLOOKUP_APPS_EVALUATION_H_
+#define EMBLOOKUP_APPS_EVALUATION_H_
+
+#include <cstdint>
+
+namespace emblookup::apps {
+
+/// Micro precision/recall/F1 accumulator (the paper's accuracy metric).
+struct Metrics {
+  int64_t tp = 0;
+  int64_t fp = 0;
+  int64_t fn = 0;
+
+  void AddPrediction(bool correct) { correct ? ++tp : ++fp; }
+  void AddMiss() { ++fn; }
+
+  double Precision() const {
+    return tp + fp == 0 ? 0.0
+                        : static_cast<double>(tp) /
+                              static_cast<double>(tp + fp);
+  }
+  double Recall() const {
+    return tp + fn == 0 ? 0.0
+                        : static_cast<double>(tp) /
+                              static_cast<double>(tp + fn);
+  }
+  double F1() const {
+    const double p = Precision(), r = Recall();
+    return p + r == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+  }
+};
+
+/// Outcome of one task run: accuracy plus the instrumented lookup cost
+/// (measured wall time + modeled remote delay), which is what the paper's
+/// speedup ratios compare.
+struct TaskResult {
+  Metrics metrics;
+  double lookup_seconds = 0.0;
+  int64_t num_lookups = 0;
+};
+
+}  // namespace emblookup::apps
+
+#endif  // EMBLOOKUP_APPS_EVALUATION_H_

@@ -1,0 +1,50 @@
+#ifndef EMBLOOKUP_APPS_LOOKUP_SERVICE_H_
+#define EMBLOOKUP_APPS_LOOKUP_SERVICE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kg/knowledge_graph.h"
+
+namespace emblookup::apps {
+
+/// The pluggable lookup(q, k) operation of §II: returns a candidate set of
+/// KG entity ids for a query string, most relevant first. Implementations
+/// cover EmbLookup itself and the eight baselines of Table V. Annotation
+/// systems depend only on this interface, so swapping their lookup
+/// component for EmbLookup (the paper's central experiment) is one line.
+class LookupService {
+ public:
+  virtual ~LookupService() = default;
+
+  /// Human-readable name for report tables.
+  virtual std::string name() const = 0;
+
+  /// Candidate entities for `query`, best first, at most k.
+  virtual std::vector<kg::EntityId> Lookup(const std::string& query,
+                                           int64_t k) = 0;
+
+  /// Bulk lookup. Default: sequential Lookup calls. EmbLookup overrides
+  /// with its batched (optionally parallel) path; remote services override
+  /// to model rate-limited request streams.
+  virtual std::vector<std::vector<kg::EntityId>> BulkLookup(
+      const std::vector<std::string>& queries, int64_t k) {
+    std::vector<std::vector<kg::EntityId>> out;
+    out.reserve(queries.size());
+    for (const auto& q : queries) out.push_back(Lookup(q, k));
+    return out;
+  }
+
+  /// Modeled (not actually slept) delay accumulated so far, in seconds —
+  /// network RTT and rate-limit stalls of simulated remote services. Local
+  /// services return 0. Total lookup cost = measured wall time + this.
+  virtual double modeled_delay_seconds() const { return 0.0; }
+
+  /// Resets the modeled-delay accumulator.
+  virtual void ResetModeledDelay() {}
+};
+
+}  // namespace emblookup::apps
+
+#endif  // EMBLOOKUP_APPS_LOOKUP_SERVICE_H_

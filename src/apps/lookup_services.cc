@@ -1,0 +1,360 @@
+#include "apps/lookup_services.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "text/edit_distance.h"
+#include "text/fuzzy.h"
+
+namespace emblookup::apps {
+
+namespace {
+
+/// Deduplicates ids, preserving first-seen order, capped at k.
+std::vector<kg::EntityId> DedupTopK(const std::vector<kg::EntityId>& ids,
+                                    int64_t k) {
+  std::vector<kg::EntityId> out;
+  std::unordered_set<kg::EntityId> seen;
+  for (kg::EntityId id : ids) {
+    if (seen.insert(id).second) {
+      out.push_back(id);
+      if (static_cast<int64_t>(out.size()) >= k) break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// EmbLookupService
+// ---------------------------------------------------------------------------
+
+EmbLookupService::EmbLookupService(core::EmbLookup* el, bool parallel,
+                                   std::string name)
+    : el_(el), parallel_(parallel), name_(std::move(name)) {}
+
+std::vector<kg::EntityId> EmbLookupService::Lookup(const std::string& query,
+                                                   int64_t k) {
+  std::vector<kg::EntityId> out;
+  for (const core::LookupResult& r : el_->Lookup(query, k)) {
+    out.push_back(r.entity);
+  }
+  return out;
+}
+
+std::vector<std::vector<kg::EntityId>> EmbLookupService::BulkLookup(
+    const std::vector<std::string>& queries, int64_t k) {
+  std::vector<std::vector<kg::EntityId>> out(queries.size());
+  auto results = el_->BulkLookup(queries, k, parallel_);
+  for (size_t i = 0; i < results.size(); ++i) {
+    for (const core::LookupResult& r : results[i]) {
+      out[i].push_back(r.entity);
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// FuzzyWuzzyService
+// ---------------------------------------------------------------------------
+
+FuzzyWuzzyService::FuzzyWuzzyService(const kg::KnowledgeGraph* graph)
+    : graph_(graph) {}
+
+std::vector<kg::EntityId> FuzzyWuzzyService::Lookup(const std::string& query,
+                                                    int64_t k) {
+  std::vector<std::pair<kg::EntityId, double>> scored;
+  scored.reserve(graph_->num_entities());
+  for (kg::EntityId e = 0; e < graph_->num_entities(); ++e) {
+    scored.emplace_back(e, text::WRatio(query, graph_->entity(e).label));
+  }
+  const size_t keep = std::min<size_t>(scored.size(), static_cast<size_t>(k));
+  std::partial_sort(scored.begin(), scored.begin() + keep, scored.end(),
+                    [](const auto& a, const auto& b) {
+                      if (a.second != b.second) return a.second > b.second;
+                      return a.first < b.first;
+                    });
+  std::vector<kg::EntityId> out;
+  out.reserve(keep);
+  for (size_t i = 0; i < keep; ++i) out.push_back(scored[i].first);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// ElasticSearchService
+// ---------------------------------------------------------------------------
+
+ElasticSearchService::ElasticSearchService(const kg::KnowledgeGraph* graph,
+                                           bool index_aliases) {
+  for (kg::EntityId e = 0; e < graph->num_entities(); ++e) {
+    const kg::Entity& ent = graph->entity(e);
+    index_.Add(e, ent.label);
+    // Rough payload estimate: text + trigram postings overhead factor.
+    approx_bytes_ += static_cast<int64_t>(ent.label.size()) * 12;
+    if (index_aliases) {
+      for (const std::string& alias : ent.aliases) {
+        index_.Add(e, alias);
+        approx_bytes_ += static_cast<int64_t>(alias.size()) * 12;
+      }
+    }
+  }
+  index_.Finalize();
+}
+
+namespace {
+// Serving overhead of the ES daemon (HTTP request + JSON response parse),
+// in seconds; _msearch amortizes part of it across a bulk request.
+constexpr double kEsPerQueryOverhead = 8e-4;
+constexpr double kEsBulkPerQueryOverhead = 4e-4;
+}  // namespace
+
+std::vector<kg::EntityId> ElasticSearchService::Query(
+    const std::string& query, int64_t k) {
+  std::vector<kg::EntityId> ids;
+  // Over-fetch then dedup: alias-indexed docs map many docs to one entity.
+  for (const auto& [id, score] : index_.TopK(query, 2 * k)) {
+    ids.push_back(id);
+  }
+  return DedupTopK(ids, k);
+}
+
+std::vector<kg::EntityId> ElasticSearchService::Lookup(
+    const std::string& query, int64_t k) {
+  clock_.Advance(kEsPerQueryOverhead);
+  return Query(query, k);
+}
+
+std::vector<std::vector<kg::EntityId>> ElasticSearchService::BulkLookup(
+    const std::vector<std::string>& queries, int64_t k) {
+  clock_.Advance(kEsBulkPerQueryOverhead *
+                 static_cast<double>(queries.size()));
+  std::vector<std::vector<kg::EntityId>> out;
+  out.reserve(queries.size());
+  for (const auto& q : queries) out.push_back(Query(q, k));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// LshService
+// ---------------------------------------------------------------------------
+
+LshService::LshService(const kg::KnowledgeGraph* graph) {
+  for (kg::EntityId e = 0; e < graph->num_entities(); ++e) {
+    index_.Add(e, graph->entity(e).label);
+  }
+}
+
+std::vector<kg::EntityId> LshService::Lookup(const std::string& query,
+                                             int64_t k) {
+  std::vector<kg::EntityId> out;
+  for (const auto& [id, score] : index_.TopK(query, k)) out.push_back(id);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// EsHostedService
+// ---------------------------------------------------------------------------
+
+std::vector<kg::EntityId> EsHostedService::Lookup(const std::string& query,
+                                                  int64_t k) {
+  clock_.Advance(kEsPerQueryOverhead);
+  return RawLookup(query, k);
+}
+
+std::vector<std::vector<kg::EntityId>> EsHostedService::BulkLookup(
+    const std::vector<std::string>& queries, int64_t k) {
+  clock_.Advance(kEsBulkPerQueryOverhead *
+                 static_cast<double>(queries.size()));
+  std::vector<std::vector<kg::EntityId>> out;
+  out.reserve(queries.size());
+  for (const auto& q : queries) out.push_back(RawLookup(q, k));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// ExactMatchService
+// ---------------------------------------------------------------------------
+
+ExactMatchService::ExactMatchService(const kg::KnowledgeGraph* graph) {
+  for (kg::EntityId e = 0; e < graph->num_entities(); ++e) {
+    index_.Add(e, graph->entity(e).label);
+  }
+}
+
+std::vector<kg::EntityId> ExactMatchService::RawLookup(
+    const std::string& query, int64_t k) {
+  std::vector<kg::EntityId> ids = index_.Lookup(query);
+  if (static_cast<int64_t>(ids.size()) > k) ids.resize(k);
+  return ids;
+}
+
+// ---------------------------------------------------------------------------
+// QGramService
+// ---------------------------------------------------------------------------
+
+QGramService::QGramService(const kg::KnowledgeGraph* graph) {
+  for (kg::EntityId e = 0; e < graph->num_entities(); ++e) {
+    index_.Add(e, graph->entity(e).label);
+  }
+}
+
+std::vector<kg::EntityId> QGramService::RawLookup(const std::string& query,
+                                                  int64_t k) {
+  std::vector<kg::EntityId> out;
+  for (const auto& [id, score] : index_.TopK(query, k)) out.push_back(id);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// LevenshteinService
+// ---------------------------------------------------------------------------
+
+LevenshteinService::LevenshteinService(const kg::KnowledgeGraph* graph,
+                                       int64_t max_distance)
+    : graph_(graph), max_distance_(max_distance) {}
+
+std::vector<kg::EntityId> LevenshteinService::RawLookup(
+    const std::string& query, int64_t k) {
+  const std::string q = text::ExactIndex::Normalize(query);
+  std::vector<std::pair<kg::EntityId, int64_t>> scored;
+  for (kg::EntityId e = 0; e < graph_->num_entities(); ++e) {
+    const int64_t d = text::BoundedLevenshtein(
+        q, text::ExactIndex::Normalize(graph_->entity(e).label),
+        max_distance_);
+    if (d <= max_distance_) scored.emplace_back(e, d);
+  }
+  const size_t keep = std::min<size_t>(scored.size(), static_cast<size_t>(k));
+  std::partial_sort(scored.begin(), scored.begin() + keep, scored.end(),
+                    [](const auto& a, const auto& b) {
+                      if (a.second != b.second) return a.second < b.second;
+                      return a.first < b.first;
+                    });
+  std::vector<kg::EntityId> out;
+  out.reserve(keep);
+  for (size_t i = 0; i < keep; ++i) out.push_back(scored[i].first);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// WikidataApiService
+// ---------------------------------------------------------------------------
+
+WikidataApiService::WikidataApiService(const kg::KnowledgeGraph* graph,
+                                       RemoteModel model)
+    : model_(model) {
+  for (kg::EntityId e = 0; e < graph->num_entities(); ++e) {
+    const kg::Entity& ent = graph->entity(e);
+    exact_.Add(e, ent.label);
+    bm25_.Add(e, ent.label);
+    for (const std::string& alias : ent.aliases) {
+      exact_.Add(e, alias);
+      bm25_.Add(e, alias);
+    }
+  }
+  bm25_.Finalize();
+}
+
+std::vector<kg::EntityId> WikidataApiService::ServerSideSearch(
+    const std::string& query, int64_t k) {
+  // Wikidata's wbsearchentities: exact/prefix match over labels+aliases,
+  // word-level fallback, but no robust typo handling.
+  std::vector<kg::EntityId> ids = exact_.Lookup(query);
+  if (static_cast<int64_t>(ids.size()) < k) {
+    for (const auto& [id, score] : bm25_.TopK(query, 2 * k)) {
+      ids.push_back(id);
+    }
+  }
+  return DedupTopK(ids, k);
+}
+
+std::vector<kg::EntityId> WikidataApiService::Lookup(const std::string& query,
+                                                     int64_t k) {
+  clock_.Advance(model_.rtt_seconds + model_.service_seconds);
+  return ServerSideSearch(query, k);
+}
+
+std::vector<std::vector<kg::EntityId>> WikidataApiService::BulkLookup(
+    const std::vector<std::string>& queries, int64_t k) {
+  // Rate-limited pipeline: at most max_parallel_requests in flight, so the
+  // modeled makespan is ceil(n / P) round trips.
+  const int64_t waves =
+      (static_cast<int64_t>(queries.size()) + model_.max_parallel_requests -
+       1) /
+      model_.max_parallel_requests;
+  clock_.Advance(static_cast<double>(waves) *
+                 (model_.rtt_seconds + model_.service_seconds));
+  std::vector<std::vector<kg::EntityId>> out;
+  out.reserve(queries.size());
+  for (const auto& q : queries) out.push_back(ServerSideSearch(q, k));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// SearxApiService
+// ---------------------------------------------------------------------------
+
+SearxApiService::SearxApiService(const kg::KnowledgeGraph* graph,
+                                 RemoteModel model)
+    : model_(model) {
+  for (kg::EntityId e = 0; e < graph->num_entities(); ++e) {
+    const kg::Entity& ent = graph->entity(e);
+    exact_.Add(e, ent.label);
+    bm25_.Add(e, ent.label);
+    qgram_.Add(e, ent.label);
+    for (const std::string& alias : ent.aliases) {
+      exact_.Add(e, alias);
+      bm25_.Add(e, alias);
+      qgram_.Add(e, alias);
+    }
+  }
+  bm25_.Finalize();
+}
+
+std::vector<kg::EntityId> SearxApiService::Aggregate(const std::string& query,
+                                                     int64_t k) {
+  // Metasearch: merge engine result lists round-robin (rank aggregation).
+  std::vector<std::vector<kg::EntityId>> engines;
+  engines.push_back(exact_.Lookup(query));
+  std::vector<kg::EntityId> bm;
+  for (const auto& [id, s] : bm25_.TopK(query, k)) bm.push_back(id);
+  engines.push_back(std::move(bm));
+  std::vector<kg::EntityId> qg;
+  for (const auto& [id, s] : qgram_.TopK(query, k)) qg.push_back(id);
+  engines.push_back(std::move(qg));
+
+  std::vector<kg::EntityId> merged;
+  for (size_t rank = 0;; ++rank) {
+    bool any = false;
+    for (const auto& engine : engines) {
+      if (rank < engine.size()) {
+        merged.push_back(engine[rank]);
+        any = true;
+      }
+    }
+    if (!any || static_cast<int64_t>(merged.size()) >= 3 * k) break;
+  }
+  return DedupTopK(merged, k);
+}
+
+std::vector<kg::EntityId> SearxApiService::Lookup(const std::string& query,
+                                                  int64_t k) {
+  clock_.Advance(model_.rtt_seconds + model_.service_seconds);
+  return Aggregate(query, k);
+}
+
+std::vector<std::vector<kg::EntityId>> SearxApiService::BulkLookup(
+    const std::vector<std::string>& queries, int64_t k) {
+  const int64_t waves =
+      (static_cast<int64_t>(queries.size()) + model_.max_parallel_requests -
+       1) /
+      model_.max_parallel_requests;
+  clock_.Advance(static_cast<double>(waves) *
+                 (model_.rtt_seconds + model_.service_seconds));
+  std::vector<std::vector<kg::EntityId>> out;
+  out.reserve(queries.size());
+  for (const auto& q : queries) out.push_back(Aggregate(q, k));
+  return out;
+}
+
+}  // namespace emblookup::apps

@@ -1,0 +1,237 @@
+#include "apps/systems.h"
+
+#include <algorithm>
+#include <array>
+#include <unordered_map>
+
+#include "apps/lookup_services.h"
+#include "common/timing.h"
+#include "text/exact_index.h"
+#include "text/fuzzy.h"
+
+namespace emblookup::apps {
+
+SystemConfig BbwConfig() {
+  SystemConfig c;
+  c.name = "bbw";
+  c.candidate_k = 20;
+  c.scorer = LexicalScorer::kTokenSort;
+  c.exact_first = false;
+  c.type_filter = false;
+  c.type_boost = 0.15;
+  return c;
+}
+
+SystemConfig MantisTableConfig() {
+  SystemConfig c;
+  c.name = "MantisTable";
+  c.candidate_k = 30;
+  c.scorer = LexicalScorer::kRatio;
+  c.exact_first = false;
+  c.type_filter = true;
+  return c;
+}
+
+SystemConfig JenTabConfig() {
+  SystemConfig c;
+  c.name = "JenTab";
+  c.candidate_k = 10;
+  c.scorer = LexicalScorer::kWRatio;
+  c.exact_first = true;
+  c.type_filter = true;
+  return c;
+}
+
+std::unique_ptr<LookupService> MakeOriginalLookup(
+    const SystemConfig& config, const kg::KnowledgeGraph& graph) {
+  if (config.name == "bbw") {
+    return std::make_unique<SearxApiService>(&graph);
+  }
+  if (config.name == "MantisTable") {
+    return std::make_unique<ElasticSearchService>(&graph,
+                                                  /*index_aliases=*/false);
+  }
+  if (config.name == "JenTab") {
+    return std::make_unique<WikidataApiService>(&graph);
+  }
+  return std::make_unique<ElasticSearchService>(&graph,
+                                                /*index_aliases=*/false);
+}
+
+AnnotationSystem::AnnotationSystem(SystemConfig config,
+                                   const kg::KnowledgeGraph* graph,
+                                   LookupService* service)
+    : config_(std::move(config)), graph_(graph), service_(service) {}
+
+double AnnotationSystem::Score(const std::string& query,
+                               kg::EntityId candidate) const {
+  const std::string& label = graph_->entity(candidate).label;
+  switch (config_.scorer) {
+    case LexicalScorer::kRatio:
+      return text::Ratio(query, label);
+    case LexicalScorer::kTokenSort:
+      return text::TokenSortRatio(query, label);
+    case LexicalScorer::kWRatio:
+      return text::WRatio(query, label);
+  }
+  return 0.0;
+}
+
+struct AnnotationSystem::Resolution {
+  // Parallel arrays over every annotated cell of the dataset.
+  std::vector<std::string> queries;
+  std::vector<std::array<int64_t, 3>> pos;  // (table, row, col)
+  std::vector<kg::EntityId> prediction;
+  // Winning type per (table, column); kInvalidType if no votes.
+  std::vector<std::vector<kg::TypeId>> column_type;
+};
+
+AnnotationSystem::Resolution AnnotationSystem::Resolve(
+    const kg::TabularDataset& dataset, TaskResult* result) {
+  Resolution res;
+  res.column_type.resize(dataset.tables.size());
+  for (size_t t = 0; t < dataset.tables.size(); ++t) {
+    const kg::Table& table = dataset.tables[t];
+    res.column_type[t].assign(table.num_cols(), kg::kInvalidType);
+    for (size_t r = 0; r < table.rows.size(); ++r) {
+      for (size_t c = 0; c < table.rows[r].size(); ++c) {
+        const kg::Cell& cell = table.rows[r][c];
+        if (cell.gt_entity == kg::kInvalidEntity || cell.text.empty())
+          continue;
+        res.queries.push_back(cell.text);
+        res.pos.push_back({static_cast<int64_t>(t), static_cast<int64_t>(r),
+                           static_cast<int64_t>(c)});
+      }
+    }
+  }
+  res.prediction.assign(res.queries.size(), kg::kInvalidEntity);
+  if (res.queries.empty()) return res;
+
+  // JenTab's exact-first strategy resolves unambiguous exact hits without
+  // touching the (possibly remote) lookup service.
+  std::vector<std::vector<kg::EntityId>> candidates(res.queries.size());
+  std::vector<size_t> need_lookup;
+  if (config_.exact_first) {
+    for (size_t i = 0; i < res.queries.size(); ++i) {
+      const auto& hits = graph_->EntitiesByMention(res.queries[i]);
+      if (hits.size() == 1) {
+        candidates[i] = hits;
+      } else {
+        need_lookup.push_back(i);
+      }
+    }
+  } else {
+    need_lookup.resize(res.queries.size());
+    for (size_t i = 0; i < res.queries.size(); ++i) need_lookup[i] = i;
+  }
+
+  // Timed lookup for the remaining cells.
+  {
+    std::vector<std::string> lookup_queries;
+    lookup_queries.reserve(need_lookup.size());
+    for (size_t i : need_lookup) lookup_queries.push_back(res.queries[i]);
+    service_->ResetModeledDelay();
+    Stopwatch timer;
+    auto lists = service_->BulkLookup(lookup_queries, config_.candidate_k);
+    result->lookup_seconds +=
+        timer.ElapsedSeconds() + service_->modeled_delay_seconds();
+    result->num_lookups += static_cast<int64_t>(lookup_queries.size());
+    for (size_t j = 0; j < need_lookup.size(); ++j) {
+      candidates[need_lookup[j]] = std::move(lists[j]);
+    }
+  }
+
+  // Pass 1: lexical-best predictions + column type votes.
+  std::vector<std::vector<std::unordered_map<kg::TypeId, int>>> votes(
+      dataset.tables.size());
+  for (size_t t = 0; t < dataset.tables.size(); ++t) {
+    votes[t].resize(dataset.tables[t].num_cols());
+  }
+  std::vector<std::vector<double>> scores(res.queries.size());
+  for (size_t i = 0; i < res.queries.size(); ++i) {
+    scores[i].resize(candidates[i].size());
+    double best = -1.0;
+    for (size_t j = 0; j < candidates[i].size(); ++j) {
+      scores[i][j] = Score(res.queries[i], candidates[i][j]);
+      if (scores[i][j] > best) {
+        best = scores[i][j];
+        res.prediction[i] = candidates[i][j];
+      }
+    }
+    if (res.prediction[i] != kg::kInvalidEntity) {
+      const auto& types = graph_->entity(res.prediction[i]).types;
+      if (!types.empty()) ++votes[res.pos[i][0]][res.pos[i][2]][types[0]];
+    }
+  }
+  for (size_t t = 0; t < dataset.tables.size(); ++t) {
+    for (int64_t c = 0; c < dataset.tables[t].num_cols(); ++c) {
+      int best_votes = 0;
+      for (const auto& [type, v] : votes[t][c]) {
+        if (v > best_votes) {
+          best_votes = v;
+          res.column_type[t][c] = type;
+        }
+      }
+    }
+  }
+
+  // Pass 2: type-aware re-ranking (hard filter or soft boost).
+  for (size_t i = 0; i < res.queries.size(); ++i) {
+    const kg::TypeId col_type = res.column_type[res.pos[i][0]][res.pos[i][2]];
+    if (col_type == kg::kInvalidType || candidates[i].empty()) continue;
+    double best = -1.0;
+    kg::EntityId best_entity = res.prediction[i];
+    for (size_t j = 0; j < candidates[i].size(); ++j) {
+      const auto& types = graph_->entity(candidates[i][j]).types;
+      const bool type_match =
+          std::find(types.begin(), types.end(), col_type) != types.end();
+      double s = scores[i][j];
+      if (config_.type_filter) {
+        if (!type_match) continue;
+      } else if (type_match) {
+        s *= 1.0 + config_.type_boost;
+      }
+      if (s > best) {
+        best = s;
+        best_entity = candidates[i][j];
+      }
+    }
+    if (best >= 0.0) res.prediction[i] = best_entity;
+  }
+  return res;
+}
+
+TaskResult AnnotationSystem::RunCea(const kg::TabularDataset& dataset) {
+  TaskResult result;
+  Resolution res = Resolve(dataset, &result);
+  for (size_t i = 0; i < res.queries.size(); ++i) {
+    const kg::Cell& cell =
+        dataset.tables[res.pos[i][0]].rows[res.pos[i][1]][res.pos[i][2]];
+    if (res.prediction[i] == kg::kInvalidEntity) {
+      result.metrics.AddMiss();
+    } else {
+      result.metrics.AddPrediction(res.prediction[i] == cell.gt_entity);
+    }
+  }
+  return result;
+}
+
+TaskResult AnnotationSystem::RunCta(const kg::TabularDataset& dataset) {
+  TaskResult result;
+  Resolution res = Resolve(dataset, &result);
+  for (size_t t = 0; t < dataset.tables.size(); ++t) {
+    const kg::Table& table = dataset.tables[t];
+    for (int64_t c = 0; c < table.num_cols(); ++c) {
+      if (table.columns[c].gt_type == kg::kInvalidType) continue;
+      if (res.column_type[t][c] == kg::kInvalidType) {
+        result.metrics.AddMiss();
+      } else {
+        result.metrics.AddPrediction(res.column_type[t][c] ==
+                                     table.columns[c].gt_type);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace emblookup::apps

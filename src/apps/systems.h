@@ -1,0 +1,82 @@
+#ifndef EMBLOOKUP_APPS_SYSTEMS_H_
+#define EMBLOOKUP_APPS_SYSTEMS_H_
+
+#include <memory>
+#include <string>
+
+#include "apps/evaluation.h"
+#include "apps/lookup_service.h"
+#include "apps/tasks.h"
+#include "kg/knowledge_graph.h"
+#include "kg/tabular.h"
+
+namespace emblookup::apps {
+
+/// Candidate re-ranking scorers used by the different systems.
+enum class LexicalScorer { kRatio, kTokenSort, kWRatio };
+
+/// Configuration distinguishing the three semantic-table-annotation systems
+/// the paper instruments (bbw, MantisTable, JenTab). Each system is a
+/// pipeline around a *replaceable* lookup service — the paper's experiment
+/// swaps that service for EmbLookup and measures speedup and F-score.
+struct SystemConfig {
+  std::string name;
+  int64_t candidate_k = 20;
+  LexicalScorer scorer = LexicalScorer::kWRatio;
+  /// Try exact match before invoking the lookup service (JenTab's cheap
+  /// first strategy).
+  bool exact_first = false;
+  /// Hard-filter candidates by the column's majority type before final
+  /// re-ranking (MantisTable/JenTab) vs. soft-boosting matches (bbw).
+  bool type_filter = false;
+  double type_boost = 0.15;
+};
+
+/// bbw: SearX-metasearch-based contextual matching; k=20, token-sort
+/// re-ranking, soft type boost.
+SystemConfig BbwConfig();
+/// MantisTable: ElasticSearch-backed; wide candidate sets (k=30), plain
+/// ratio scorer, hard type filtering in a second pass.
+SystemConfig MantisTableConfig();
+/// JenTab: Wikidata-API-backed multi-strategy pipeline; exact-first, k=10,
+/// WRatio re-ranking, hard type filtering.
+SystemConfig JenTabConfig();
+
+/// The lookup service each original system shipped with (bbw -> SearX,
+/// MantisTable -> ElasticSearch, JenTab -> Wikidata API).
+std::unique_ptr<LookupService> MakeOriginalLookup(
+    const SystemConfig& config, const kg::KnowledgeGraph& graph);
+
+/// A semantic-table-annotation pipeline (CEA + CTA) parameterized by a
+/// SystemConfig and a pluggable LookupService.
+class AnnotationSystem {
+ public:
+  AnnotationSystem(SystemConfig config, const kg::KnowledgeGraph* graph,
+                   LookupService* service);
+
+  /// Cell-entity annotation over the dataset (two-pass: resolve, vote
+  /// column types, then re-rank with type awareness).
+  TaskResult RunCea(const kg::TabularDataset& dataset);
+
+  /// Column-type annotation (same resolution machinery, column metric).
+  TaskResult RunCta(const kg::TabularDataset& dataset);
+
+  const SystemConfig& config() const { return config_; }
+
+ private:
+  struct Resolution;
+  /// Shared two-pass resolution over the whole dataset (one bulk lookup,
+  /// the paper's bulk protocol); fills per-cell predictions and per-column
+  /// type votes.
+  Resolution Resolve(const kg::TabularDataset& dataset, TaskResult* result);
+
+  double Score(const std::string& query, kg::EntityId candidate) const;
+
+  SystemConfig config_;
+  const kg::KnowledgeGraph* graph_;
+  LookupService* service_;
+};
+
+}  // namespace emblookup::apps
+
+#endif  // EMBLOOKUP_APPS_SYSTEMS_H_

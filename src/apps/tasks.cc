@@ -1,0 +1,334 @@
+#include "apps/tasks.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "common/timing.h"
+#include "text/fuzzy.h"
+
+namespace emblookup::apps {
+
+namespace {
+
+/// A flattened reference to one annotated cell.
+struct CellRef {
+  int64_t table;
+  int64_t row;
+  int64_t col;
+  const kg::Cell* cell;
+};
+
+/// Collects every annotated entity cell with non-empty text.
+std::vector<CellRef> CollectCells(const kg::TabularDataset& dataset,
+                                  bool include_blank = false) {
+  std::vector<CellRef> refs;
+  for (size_t t = 0; t < dataset.tables.size(); ++t) {
+    const kg::Table& table = dataset.tables[t];
+    for (size_t r = 0; r < table.rows.size(); ++r) {
+      for (size_t c = 0; c < table.rows[r].size(); ++c) {
+        const kg::Cell& cell = table.rows[r][c];
+        if (cell.gt_entity == kg::kInvalidEntity) continue;
+        if (cell.text.empty() && !include_blank) continue;
+        refs.push_back({static_cast<int64_t>(t), static_cast<int64_t>(r),
+                        static_cast<int64_t>(c), &cell});
+      }
+    }
+  }
+  return refs;
+}
+
+/// Runs the (timed) lookups for a list of queries. Timing covers only the
+/// lookup operation — the paper instruments lookup, not post-processing.
+std::vector<std::vector<kg::EntityId>> TimedLookups(
+    LookupService* service, const std::vector<std::string>& queries,
+    int64_t k, bool bulk, TaskResult* result) {
+  service->ResetModeledDelay();
+  Stopwatch timer;
+  std::vector<std::vector<kg::EntityId>> candidates;
+  if (bulk) {
+    candidates = service->BulkLookup(queries, k);
+  } else {
+    candidates.reserve(queries.size());
+    for (const auto& q : queries) candidates.push_back(service->Lookup(q, k));
+  }
+  result->lookup_seconds +=
+      timer.ElapsedSeconds() + service->modeled_delay_seconds();
+  result->num_lookups += static_cast<int64_t>(queries.size());
+  return candidates;
+}
+
+/// Picks the candidate with the best lexical similarity to the query.
+kg::EntityId BestLexical(const kg::KnowledgeGraph& graph,
+                         const std::string& query,
+                         const std::vector<kg::EntityId>& candidates) {
+  kg::EntityId best = kg::kInvalidEntity;
+  double best_score = -1.0;
+  for (kg::EntityId c : candidates) {
+    const double s = text::WRatio(query, graph.entity(c).label);
+    if (s > best_score) {
+      best_score = s;
+      best = c;
+    }
+  }
+  return best;
+}
+
+/// Primary type of an entity (first listed), or kInvalidType.
+kg::TypeId PrimaryType(const kg::KnowledgeGraph& graph, kg::EntityId e) {
+  const auto& types = graph.entity(e).types;
+  return types.empty() ? kg::kInvalidType : types[0];
+}
+
+}  // namespace
+
+TaskResult RunCea(const kg::TabularDataset& dataset,
+                  const kg::KnowledgeGraph& graph, LookupService* service,
+                  const TaskOptions& options) {
+  TaskResult result;
+  const std::vector<CellRef> cells = CollectCells(dataset);
+  std::vector<std::string> queries;
+  queries.reserve(cells.size());
+  for (const CellRef& ref : cells) queries.push_back(ref.cell->text);
+
+  const auto candidates =
+      TimedLookups(service, queries, options.candidate_k, options.bulk,
+                   &result);
+
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const kg::EntityId pred =
+        BestLexical(graph, queries[i], candidates[i]);
+    if (pred == kg::kInvalidEntity) {
+      result.metrics.AddMiss();
+    } else {
+      result.metrics.AddPrediction(pred == cells[i].cell->gt_entity);
+    }
+  }
+  return result;
+}
+
+TaskResult RunCta(const kg::TabularDataset& dataset,
+                  const kg::KnowledgeGraph& graph, LookupService* service,
+                  const TaskOptions& options) {
+  TaskResult result;
+  // One dataset-wide bulk lookup (the paper's bulk protocol), then
+  // per-table column voting.
+  const std::vector<CellRef> cells = CollectCells(dataset);
+  std::vector<std::string> queries;
+  queries.reserve(cells.size());
+  for (const CellRef& ref : cells) queries.push_back(ref.cell->text);
+  const auto candidates =
+      TimedLookups(service, queries, options.candidate_k, options.bulk,
+                   &result);
+
+  // Column type votes from resolved entities, keyed by (table, col).
+  std::vector<std::vector<std::unordered_map<kg::TypeId, int>>> votes(
+      dataset.tables.size());
+  for (size_t t = 0; t < dataset.tables.size(); ++t) {
+    votes[t].resize(dataset.tables[t].num_cols());
+  }
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const kg::EntityId pred = BestLexical(graph, queries[i], candidates[i]);
+    if (pred == kg::kInvalidEntity) continue;
+    const kg::TypeId type = PrimaryType(graph, pred);
+    if (type != kg::kInvalidType) ++votes[cells[i].table][cells[i].col][type];
+  }
+  for (size_t t = 0; t < dataset.tables.size(); ++t) {
+    const kg::Table& table = dataset.tables[t];
+    for (int64_t c = 0; c < table.num_cols(); ++c) {
+      if (table.columns[c].gt_type == kg::kInvalidType) continue;
+      kg::TypeId best = kg::kInvalidType;
+      int best_votes = 0;
+      for (const auto& [type, v] : votes[t][c]) {
+        if (v > best_votes) {
+          best_votes = v;
+          best = type;
+        }
+      }
+      if (best == kg::kInvalidType) {
+        result.metrics.AddMiss();
+      } else {
+        result.metrics.AddPrediction(best == table.columns[c].gt_type);
+      }
+    }
+  }
+  return result;
+}
+
+TaskResult RunEntityDisambiguation(const kg::TabularDataset& dataset,
+                                   const kg::KnowledgeGraph& graph,
+                                   LookupService* service,
+                                   const TaskOptions& options) {
+  TaskResult result;
+  // Dataset-wide bulk lookup, then per-table collective assignment.
+  const std::vector<CellRef> cells = CollectCells(dataset);
+  std::vector<std::string> queries;
+  queries.reserve(cells.size());
+  for (const CellRef& ref : cells) queries.push_back(ref.cell->text);
+  const auto candidates =
+      TimedLookups(service, queries, options.candidate_k, options.bulk,
+                   &result);
+
+  // Initial assignment: best lexical candidate.
+  std::vector<kg::EntityId> assign(cells.size(), kg::kInvalidEntity);
+  std::vector<std::vector<double>> lexical(cells.size());
+  for (size_t i = 0; i < cells.size(); ++i) {
+    lexical[i].resize(candidates[i].size());
+    double best = -1.0;
+    for (size_t j = 0; j < candidates[i].size(); ++j) {
+      lexical[i][j] =
+          text::WRatio(queries[i], graph.entity(candidates[i][j]).label) /
+          100.0;
+      if (lexical[i][j] > best) {
+        best = lexical[i][j];
+        assign[i] = candidates[i][j];
+      }
+    }
+  }
+
+  // Row-neighbor index: cells sharing a (table, row) disambiguate each
+  // other.
+  std::unordered_map<int64_t, std::vector<size_t>> by_row;
+  for (size_t i = 0; i < cells.size(); ++i) {
+    by_row[cells[i].table * 1000000 + cells[i].row].push_back(i);
+  }
+
+  // Two ICM passes: pick the candidate maximizing lexical + coherence with
+  // the current assignment of row neighbors (DoSeR's collective signal).
+  // Coherence defaults to binary KG-fact adjacency; callers may supply an
+  // embedding similarity instead (e.g. TransE, see TaskOptions).
+  constexpr double kCoherenceWeight = 0.6;
+  auto pair_coherence = [&](kg::EntityId a, kg::EntityId b) {
+    if (options.coherence) return options.coherence(a, b);
+    return graph.Related(a, b) ? 1.0 : 0.0;
+  };
+  for (int pass = 0; pass < 2; ++pass) {
+    for (size_t i = 0; i < cells.size(); ++i) {
+      const auto& neighbors =
+          by_row[cells[i].table * 1000000 + cells[i].row];
+      double best_score = -1.0;
+      kg::EntityId best = assign[i];
+      for (size_t j = 0; j < candidates[i].size(); ++j) {
+        const kg::EntityId c = candidates[i][j];
+        double coherence = 0.0;
+        for (size_t nb : neighbors) {
+          if (nb == i || assign[nb] == kg::kInvalidEntity) continue;
+          coherence += pair_coherence(c, assign[nb]);
+        }
+        const double score = lexical[i][j] + kCoherenceWeight * coherence;
+        if (score > best_score) {
+          best_score = score;
+          best = c;
+        }
+      }
+      assign[i] = best;
+    }
+  }
+
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (assign[i] == kg::kInvalidEntity) {
+      result.metrics.AddMiss();
+    } else {
+      result.metrics.AddPrediction(assign[i] == cells[i].cell->gt_entity);
+    }
+  }
+  return result;
+}
+
+TaskResult RunDataRepair(const kg::TabularDataset& dataset,
+                         const kg::KnowledgeGraph& graph,
+                         LookupService* service, const TaskOptions& options) {
+  TaskResult result;
+  // 1) Resolve observable cells with one dataset-wide bulk lookup.
+  const std::vector<CellRef> all_cells = CollectCells(dataset);
+  std::vector<std::string> all_queries;
+  all_queries.reserve(all_cells.size());
+  for (const CellRef& ref : all_cells) all_queries.push_back(ref.cell->text);
+  const auto all_candidates =
+      TimedLookups(service, all_queries, options.candidate_k, options.bulk,
+                   &result);
+  // resolved_by_table[t][r][c] = entity or kInvalid.
+  std::vector<std::vector<std::vector<kg::EntityId>>> resolved_by_table(
+      dataset.tables.size());
+  for (size_t t = 0; t < dataset.tables.size(); ++t) {
+    resolved_by_table[t].assign(
+        dataset.tables[t].num_rows(),
+        std::vector<kg::EntityId>(dataset.tables[t].num_cols(),
+                                  kg::kInvalidEntity));
+  }
+  for (size_t i = 0; i < all_cells.size(); ++i) {
+    resolved_by_table[all_cells[i].table][all_cells[i].row][all_cells[i].col] =
+        BestLexical(graph, all_queries[i], all_candidates[i]);
+  }
+
+  for (size_t ti = 0; ti < dataset.tables.size(); ++ti) {
+    const kg::Table& table = dataset.tables[ti];
+    const auto& resolved = resolved_by_table[ti];
+
+    // 2) Discover each column's relation to the subject column (col 0) by
+    //    voting over rows where both entities resolved (Katara's pattern
+    //    validation against the KG).
+    std::vector<kg::PropertyId> col_relation(table.num_cols(),
+                                             kg::kInvalidType);
+    for (int64_t c = 1; c < table.num_cols(); ++c) {
+      if (table.columns[c].is_literal) continue;
+      std::unordered_map<kg::PropertyId, int> votes;
+      for (int64_t r = 0; r < table.num_rows(); ++r) {
+        const kg::EntityId s = resolved[r][0];
+        const kg::EntityId o = resolved[r][c];
+        if (s == kg::kInvalidEntity || o == kg::kInvalidEntity) continue;
+        for (const kg::Fact& f : graph.FactsOf(s)) {
+          if (!f.is_literal() && f.object == o) ++votes[f.property];
+        }
+      }
+      int best_votes = 0;
+      for (const auto& [p, v] : votes) {
+        if (v > best_votes) {
+          best_votes = v;
+          col_relation[c] = p;
+        }
+      }
+    }
+
+    // 3) Impute blanked cells via the discovered relation.
+    for (int64_t r = 0; r < table.num_rows(); ++r) {
+      for (int64_t c = 0; c < table.num_cols(); ++c) {
+        const kg::Cell& cell = table.rows[r][c];
+        if (cell.gt_entity == kg::kInvalidEntity || !cell.text.empty())
+          continue;  // Only blanked entity cells count.
+        kg::EntityId pred = kg::kInvalidEntity;
+        if (c > 0 && col_relation[c] != kg::kInvalidType &&
+            resolved[r][0] != kg::kInvalidEntity) {
+          pred = graph.ObjectOf(resolved[r][0], col_relation[c]);
+        }
+        if (pred == kg::kInvalidEntity) {
+          result.metrics.AddMiss();
+        } else {
+          result.metrics.AddPrediction(pred == cell.gt_entity);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+TaskResult RunLookupBenchmark(const std::vector<std::string>& queries,
+                              const std::vector<kg::EntityId>& gold,
+                              LookupService* service, int64_t k, bool bulk) {
+  EL_CHECK_EQ(queries.size(), gold.size());
+  TaskResult result;
+  const auto candidates = TimedLookups(service, queries, k, bulk, &result);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const bool hit =
+        std::find(candidates[i].begin(), candidates[i].end(), gold[i]) !=
+        candidates[i].end();
+    if (candidates[i].empty()) {
+      result.metrics.AddMiss();
+    } else {
+      result.metrics.AddPrediction(hit);
+    }
+  }
+  return result;
+}
+
+}  // namespace emblookup::apps

@@ -1,0 +1,67 @@
+#ifndef EMBLOOKUP_APPS_TASKS_H_
+#define EMBLOOKUP_APPS_TASKS_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "apps/evaluation.h"
+#include "apps/lookup_service.h"
+#include "kg/knowledge_graph.h"
+#include "kg/tabular.h"
+
+namespace emblookup::apps {
+
+/// Options shared by the annotation tasks.
+struct TaskOptions {
+  /// Candidate-set size requested from the lookup service (the paper's
+  /// applications retrieve 20-100 and post-process, §III-D).
+  int64_t candidate_k = 20;
+  /// Use the service's bulk interface (all cell queries in one call).
+  bool bulk = true;
+  /// Optional entity-to-entity coherence signal for the disambiguator
+  /// (e.g. TransE cosine similarity). When unset, binary KG-fact adjacency
+  /// is used. Must return larger values for more related entities.
+  std::function<double(kg::EntityId, kg::EntityId)> coherence;
+};
+
+/// Cell Entity Annotation (CEA, §II): resolve every annotated cell to an
+/// entity via lookup + lexical re-ranking; micro-F against gold.
+TaskResult RunCea(const kg::TabularDataset& dataset,
+                  const kg::KnowledgeGraph& graph, LookupService* service,
+                  const TaskOptions& options = TaskOptions());
+
+/// Column Type Annotation (CTA, §II): resolve cells, then vote the column
+/// type from the resolved entities' types; micro-F over entity columns.
+TaskResult RunCta(const kg::TabularDataset& dataset,
+                  const kg::KnowledgeGraph& graph, LookupService* service,
+                  const TaskOptions& options = TaskOptions());
+
+/// Entity Disambiguation (EA, §II), DoSeR-style: candidates from lookup,
+/// then collective assignment maximizing lexical score + row-coherence
+/// (shared KG facts between chosen entities), refined with two ICM passes.
+TaskResult RunEntityDisambiguation(const kg::TabularDataset& dataset,
+                                   const kg::KnowledgeGraph& graph,
+                                   LookupService* service,
+                                   const TaskOptions& options = TaskOptions());
+
+/// Data Repair (DR, §II), Katara-style: resolve the observable cells,
+/// discover each column's relation to the subject column from the KG, and
+/// impute blanked cells via the discovered relation. `dataset` must contain
+/// blanked cells (see kg::BlankCells); only those count toward the metric.
+TaskResult RunDataRepair(const kg::TabularDataset& dataset,
+                         const kg::KnowledgeGraph& graph,
+                         LookupService* service,
+                         const TaskOptions& options = TaskOptions());
+
+/// Table V's head-to-head protocol: a query succeeds if the gold entity is
+/// in the top-10. Returns hit-rate as the metric (tp = hits) plus timing.
+TaskResult RunLookupBenchmark(const std::vector<std::string>& queries,
+                              const std::vector<kg::EntityId>& gold,
+                              LookupService* service, int64_t k = 10,
+                              bool bulk = true);
+
+}  // namespace emblookup::apps
+
+#endif  // EMBLOOKUP_APPS_TASKS_H_

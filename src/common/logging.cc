@@ -1,0 +1,63 @@
+#include "common/logging.h"
+
+#include <mutex>
+
+namespace emblookup {
+namespace internal {
+
+namespace {
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+std::mutex& SinkMutex() {
+  static std::mutex mu;
+  return mu;
+}
+}  // namespace
+
+LogLevel& MinLogLevel() {
+  static LogLevel level = LogLevel::kInfo;
+  return level;
+}
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  stream_ << "[" << LevelName(level) << " " << file << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (level_ < MinLogLevel()) return;
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  std::cerr << stream_.str() << "\n";
+}
+
+FatalLogMessage::FatalLogMessage(const char* file, int line,
+                                 const char* condition) {
+  stream_ << "[FATAL " << file << ":" << line << "] Check failed: "
+          << condition << " ";
+}
+
+FatalLogMessage::~FatalLogMessage() {
+  {
+    std::lock_guard<std::mutex> lock(SinkMutex());
+    std::cerr << stream_.str() << std::endl;
+  }
+  std::abort();
+}
+
+}  // namespace internal
+
+void SetMinLogLevel(LogLevel level) { internal::MinLogLevel() = level; }
+
+}  // namespace emblookup

@@ -1,0 +1,76 @@
+#ifndef EMBLOOKUP_COMMON_LOGGING_H_
+#define EMBLOOKUP_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace emblookup {
+
+/// Severity levels for the lightweight logger.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+namespace internal {
+
+/// Global minimum severity; messages below it are dropped.
+LogLevel& MinLogLevel();
+
+/// Stream-style log sink that emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Like LogMessage but aborts the process on destruction. Used by EL_CHECK.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalLogMessage();
+
+  FatalLogMessage(const FatalLogMessage&) = delete;
+  FatalLogMessage& operator=(const FatalLogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+/// Sets the global minimum log level (default kInfo).
+void SetMinLogLevel(LogLevel level);
+
+#define EL_LOG(level)                                                    \
+  ::emblookup::internal::LogMessage(::emblookup::LogLevel::k##level,     \
+                                    __FILE__, __LINE__)                  \
+      .stream()
+
+/// Internal invariant check; aborts with a message when `cond` is false.
+/// Use only for programmer errors; recoverable conditions return Status.
+#define EL_CHECK(cond)                                                 \
+  if (cond) {                                                          \
+  } else                                                               \
+    ::emblookup::internal::FatalLogMessage(__FILE__, __LINE__, #cond)  \
+        .stream()
+
+#define EL_CHECK_EQ(a, b) EL_CHECK((a) == (b)) << " (" << (a) << " vs " << (b) << ") "
+#define EL_CHECK_LT(a, b) EL_CHECK((a) < (b)) << " (" << (a) << " vs " << (b) << ") "
+#define EL_CHECK_LE(a, b) EL_CHECK((a) <= (b)) << " (" << (a) << " vs " << (b) << ") "
+#define EL_CHECK_GT(a, b) EL_CHECK((a) > (b)) << " (" << (a) << " vs " << (b) << ") "
+#define EL_CHECK_GE(a, b) EL_CHECK((a) >= (b)) << " (" << (a) << " vs " << (b) << ") "
+
+}  // namespace emblookup
+
+#endif  // EMBLOOKUP_COMMON_LOGGING_H_

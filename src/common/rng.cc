@@ -1,0 +1,98 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace emblookup {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+void Rng::Seed(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(&sm);
+  have_cached_normal_ = false;
+}
+
+uint64_t Rng::NextU64() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::Uniform(uint64_t bound) {
+  EL_CHECK_GT(bound, 0u);
+  // Rejection sampling to avoid modulo bias.
+  uint64_t threshold = (0ULL - bound) % bound;
+  while (true) {
+    uint64_t r = NextU64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  EL_CHECK_LE(lo, hi);
+  return lo + static_cast<int64_t>(
+                  Uniform(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::UniformDouble() {
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+float Rng::UniformFloat(float lo, float hi) {
+  return lo + static_cast<float>(UniformDouble()) * (hi - lo);
+}
+
+double Rng::Normal() {
+  if (have_cached_normal_) {
+    have_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = UniformDouble();
+  } while (u1 <= 1e-300);
+  double u2 = UniformDouble();
+  double r = std::sqrt(-2.0 * std::log(u1));
+  double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  have_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+uint64_t Rng::Zipf(uint64_t n, double s) {
+  EL_CHECK_GT(n, 0u);
+  // Inverse-CDF by rejection (Devroye). Good enough for workload generation.
+  // For s == 1 the distribution degenerates; nudge away from 1.
+  if (std::abs(s - 1.0) < 1e-9) s = 1.0 + 1e-9;
+  const double t = std::pow(static_cast<double>(n), 1.0 - s);
+  while (true) {
+    double u = UniformDouble();
+    double v = UniformDouble();
+    double x = std::pow((t - 1.0) * u + 1.0, 1.0 / (1.0 - s));
+    uint64_t k = static_cast<uint64_t>(x);
+    if (k >= n) k = n - 1;
+    double ratio = std::pow(static_cast<double>(k + 1) / x, s);
+    if (v * x * (t - 1.0) / (t - 1.0 + 1e-12) <= ratio) return k;
+  }
+}
+
+}  // namespace emblookup

@@ -1,0 +1,71 @@
+#ifndef EMBLOOKUP_COMMON_RNG_H_
+#define EMBLOOKUP_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace emblookup {
+
+/// Deterministic, fast pseudo-random generator (xoshiro256**), seeded via
+/// splitmix64. All randomized components of the library take an explicit Rng
+/// (or seed) so experiments are reproducible run-to-run.
+class Rng {
+ public:
+  /// Seeds the generator. The same seed yields the same stream on every
+  /// platform (no reliance on std::random_device or libstdc++ internals).
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) { Seed(seed); }
+
+  /// Re-seeds the generator.
+  void Seed(uint64_t seed);
+
+  /// Returns a uniformly distributed 64-bit value.
+  uint64_t NextU64();
+
+  /// Returns a uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t Uniform(uint64_t bound);
+
+  /// Returns a uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Returns a uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Returns a uniform float in [lo, hi).
+  float UniformFloat(float lo, float hi);
+
+  /// Returns a standard normal sample (Box-Muller).
+  double Normal();
+
+  /// Returns true with probability p.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  /// Returns a Zipf-distributed integer in [0, n) with exponent s.
+  /// Used to model the skewed popularity of KG entities.
+  uint64_t Zipf(uint64_t n, double s);
+
+  /// Fisher-Yates shuffles `v` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = Uniform(i);
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  /// Picks a uniformly random element of `v` (must be non-empty).
+  template <typename T>
+  const T& Choice(const std::vector<T>& v) {
+    return v[Uniform(v.size())];
+  }
+
+ private:
+  uint64_t state_[4];
+  bool have_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace emblookup
+
+#endif  // EMBLOOKUP_COMMON_RNG_H_

@@ -1,0 +1,39 @@
+#ifndef EMBLOOKUP_COMMON_STRING_UTIL_H_
+#define EMBLOOKUP_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace emblookup {
+
+/// ASCII-lowercases a string (entity mentions are normalized to lowercase
+/// before encoding, matching the paper's preprocessing).
+std::string ToLower(std::string_view s);
+
+/// ASCII-uppercases a string.
+std::string ToUpper(std::string_view s);
+
+/// Removes leading/trailing whitespace.
+std::string Trim(std::string_view s);
+
+/// Splits on a delimiter character; empty pieces are kept.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Splits on runs of whitespace; empty tokens are dropped.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+/// Joins strings with a separator.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+/// Returns true if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Collapses runs of whitespace to single spaces and trims; canonical form
+/// for mention comparison.
+std::string NormalizeWhitespace(std::string_view s);
+
+}  // namespace emblookup
+
+#endif  // EMBLOOKUP_COMMON_STRING_UTIL_H_

@@ -1,0 +1,52 @@
+#ifndef EMBLOOKUP_COMMON_THREAD_POOL_H_
+#define EMBLOOKUP_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace emblookup {
+
+/// Fixed-size worker pool used for bulk-parallel lookup (the stand-in for the
+/// paper's GPU batch path) and for parallel training data generation.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers (defaults to hardware concurrency).
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has completed.
+  void Wait();
+
+  /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
+  /// Work is partitioned into contiguous chunks to amortize dispatch cost.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+}  // namespace emblookup
+
+#endif  // EMBLOOKUP_COMMON_THREAD_POOL_H_

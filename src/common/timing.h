@@ -1,0 +1,51 @@
+#ifndef EMBLOOKUP_COMMON_TIMING_H_
+#define EMBLOOKUP_COMMON_TIMING_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace emblookup {
+
+/// Wall-clock stopwatch for instrumenting lookup latency.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time in seconds since construction or last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in microseconds.
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Virtual clock used to *model* time that we do not want to actually spend,
+/// e.g. the network round-trips and rate-limit stalls of remote lookup
+/// services (Wikidata API, SearX). Real computation is measured with
+/// Stopwatch; modeled delays are accumulated here, and total cost is the sum.
+///
+/// This keeps the benchmark suite fast while reproducing the paper's
+/// remote-vs-local latency gap (see DESIGN.md, substitution table).
+class VirtualClock {
+ public:
+  /// Advances the virtual clock by `seconds` of modeled delay.
+  void Advance(double seconds) { now_ += seconds; }
+
+  /// Current virtual time in seconds since construction.
+  double NowSeconds() const { return now_; }
+
+ private:
+  double now_ = 0.0;
+};
+
+}  // namespace emblookup
+
+#endif  // EMBLOOKUP_COMMON_TIMING_H_

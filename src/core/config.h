@@ -1,0 +1,100 @@
+#ifndef EMBLOOKUP_CORE_CONFIG_H_
+#define EMBLOOKUP_CORE_CONFIG_H_
+
+#include <cstdint>
+
+namespace emblookup::core {
+
+/// Architecture of the EmbLookup mention encoder (§III-B).
+struct EncoderConfig {
+  /// One-hot input length L (mentions truncated/padded to this).
+  int64_t max_len = 32;
+  /// Number of convolution layers ("5 convolutional layers").
+  int num_conv_layers = 5;
+  /// Kernels per layer ("8 kernels of size 3 in each of them").
+  int64_t conv_channels = 8;
+  int64_t kernel_size = 3;
+  /// Output embedding dimension (64 by default, swept in Table VIII).
+  int64_t embedding_dim = 64;
+  /// Hidden width of the two-layer fusion MLP.
+  int64_t fusion_hidden = 64;
+  /// Halve the temporal axis between conv layers (keeps compute linear in
+  /// depth; every layer's global max pool is still fused, so no feature is
+  /// lost).
+  bool pool_between_layers = true;
+  /// Whether to fuse the fastText semantic branch (disable to ablate).
+  bool use_semantic_branch = true;
+  uint64_t seed = 1234;
+};
+
+/// Triplet mining configuration (§III-B "Triplet Generation" and
+/// "Heuristics for Triplet Mining").
+struct MinerConfig {
+  /// Triplets generated per entity (paper default 100; Fig. 3 sweeps it).
+  int triplets_per_entity = 20;
+  /// Fraction of an entity's triplet budget spent on alias positives (all
+  /// synonyms are enumerated first; §IV-E notes <=50 synonyms for 95% of
+  /// entities).
+  double typo_fraction = 0.45;
+  /// Fraction spent on same-type positives (the semantic heuristic).
+  double type_fraction = 0.05;
+  /// Max character edits per synthetic typo positive.
+  int max_typo_edits = 2;
+  uint64_t seed = 99;
+};
+
+/// Metric-learning objectives (triplet loss is the paper's choice; the
+/// contrastive pair loss is the §VI future-work alternative, exposed for
+/// the ablation bench).
+enum class LossKind { kTriplet = 0, kContrastive };
+
+/// Training loop configuration (§III-B "Model Training Procedure").
+struct TrainerConfig {
+  LossKind loss = LossKind::kTriplet;
+  /// Total epochs; the first half uses offline (all-triplet) training, the
+  /// second half online hard/semi-hard mining (paper: 50 + 50).
+  int epochs = 10;
+  int batch_size = 128;
+  float lr = 1e-3f;
+  /// Margin on the unit hypersphere (squared distances are in [0, 4]).
+  float margin = 0.4f;
+  /// Print a log line every N epochs (0 = silent).
+  int log_every = 0;
+  uint64_t seed = 7;
+};
+
+/// ANN index families (the FAISS-style options of §III-C).
+enum class IndexKind {
+  /// Derived from `compress`: kPq when true, kFlat otherwise.
+  kAuto = 0,
+  kFlat,    ///< Exact scan over raw floats (EL-NC).
+  kPq,      ///< Product-quantized codes + ADC scan (EL, §III-D).
+  kIvfFlat, ///< Inverted file over raw floats (sub-linear scan).
+  kIvfPq,   ///< Inverted file over residual PQ codes (smallest + fastest).
+};
+
+/// Entity embedding index configuration (§III-C/D).
+struct IndexConfig {
+  /// Product-quantize the embeddings (EL) or store raw floats (EL-NC).
+  bool compress = true;
+  /// Index family; kAuto maps `compress` to kPq/kFlat.
+  IndexKind kind = IndexKind::kAuto;
+  /// PQ sub-quantizers; with 8-bit codes, bytes per vector == pq_m.
+  int64_t pq_m = 8;
+  /// Max vectors used to train the PQ codebooks.
+  int64_t pq_train_sample = 20000;
+  /// IVF coarse lists / probes (IVF kinds only).
+  int64_t ivf_lists = 64;
+  int64_t ivf_nprobe = 8;
+  /// Additionally index each entity under its aliases (§III-C: "alternate
+  /// embeddings for Q183 by evaluating the embedding model on its
+  /// aliases... could possibly increase the lookup accuracy but with
+  /// higher storage and retrieval cost"). Rows are deduplicated back to
+  /// entity ids at query time.
+  bool index_aliases = false;
+  uint64_t seed = 5;
+};
+
+}  // namespace emblookup::core
+
+#endif  // EMBLOOKUP_CORE_CONFIG_H_

@@ -1,0 +1,144 @@
+#include "core/emblookup.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "embed/corpus.h"
+#include "tensor/tensor.h"
+
+namespace emblookup::core {
+
+namespace {
+
+std::vector<LookupResult> ToResults(const std::vector<ann::Neighbor>& nbrs) {
+  std::vector<LookupResult> out;
+  out.reserve(nbrs.size());
+  for (const ann::Neighbor& n : nbrs) out.push_back({n.id, n.dist});
+  return out;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<EmbLookup>> EmbLookup::TrainFromKg(
+    const kg::KnowledgeGraph& graph, const EmbLookupOptions& options) {
+  auto el = std::unique_ptr<EmbLookup>(new EmbLookup());
+  el->graph_ = &graph;
+  el->pool_ = std::make_unique<ThreadPool>(options.num_threads);
+  el->index_config_ = options.index;
+
+  // 1) Pre-train the fastText semantic branch on the KG-derived corpus
+  //    (or adopt a caller-supplied pre-trained model).
+  if (options.encoder.use_semantic_branch) {
+    if (options.pretrained_semantic != nullptr) {
+      el->fasttext_ = options.pretrained_semantic;
+    } else {
+      const embed::Corpus corpus = embed::BuildCorpus(graph, options.corpus);
+      el->fasttext_ = std::make_shared<embed::FastTextModel>(
+          options.fasttext, embed::FastTextModel::SubwordOptions{});
+      el->fasttext_->Train(corpus);
+    }
+  }
+
+  // 2) Build the encoder and train it on mined triplets.
+  el->encoder_ = std::make_unique<EmbLookupEncoder>(options.encoder,
+                                                    el->fasttext_.get());
+  const std::vector<Triplet> triplets = MineTriplets(graph, options.miner);
+  TripletTrainer trainer(options.trainer);
+  auto stats = trainer.Train(el->encoder_.get(), triplets);
+  if (!stats.ok()) return stats.status();
+  el->train_stats_ = stats.value();
+
+  // 3) Embed every entity and build the (compressed) index.
+  auto index = EntityIndex::Build(graph, el->encoder_.get(), options.index,
+                                  el->pool_.get());
+  if (!index.ok()) return index.status();
+  el->index_ = std::make_unique<EntityIndex>(std::move(index).value());
+  return el;
+}
+
+Result<std::unique_ptr<EmbLookup>> EmbLookup::LoadFromKg(
+    const kg::KnowledgeGraph& graph, const EmbLookupOptions& options,
+    const std::string& model_path) {
+  auto el = std::unique_ptr<EmbLookup>(new EmbLookup());
+  el->graph_ = &graph;
+  el->pool_ = std::make_unique<ThreadPool>(options.num_threads);
+  el->index_config_ = options.index;
+
+  if (options.encoder.use_semantic_branch) {
+    if (options.pretrained_semantic != nullptr) {
+      el->fasttext_ = options.pretrained_semantic;
+    } else {
+      const embed::Corpus corpus = embed::BuildCorpus(graph, options.corpus);
+      el->fasttext_ = std::make_shared<embed::FastTextModel>(
+          options.fasttext, embed::FastTextModel::SubwordOptions{});
+      el->fasttext_->Train(corpus);
+    }
+  }
+  el->encoder_ = std::make_unique<EmbLookupEncoder>(options.encoder,
+                                                    el->fasttext_.get());
+  EL_RETURN_NOT_OK(el->encoder_->Load(model_path));
+
+  auto index = EntityIndex::Build(graph, el->encoder_.get(), options.index,
+                                  el->pool_.get());
+  if (!index.ok()) return index.status();
+  el->index_ = std::make_unique<EntityIndex>(std::move(index).value());
+  return el;
+}
+
+std::vector<LookupResult> EmbLookup::Lookup(const std::string& query,
+                                            int64_t k) const {
+  tensor::NoGradGuard guard;
+  tensor::Tensor emb = encoder_->EncodeBatch({query});
+  return ToResults(index_->Search(emb.data(), k));
+}
+
+std::vector<std::vector<LookupResult>> EmbLookup::BulkLookup(
+    const std::vector<std::string>& queries, int64_t k, bool parallel) const {
+  const int64_t n = static_cast<int64_t>(queries.size());
+  std::vector<std::vector<LookupResult>> out(n);
+  if (n == 0) return out;
+  const int64_t dim = encoder_->dim();
+
+  // Encode all queries (batched; parallel batches when requested).
+  std::vector<float> embs(n * dim);
+  constexpr int64_t kBatch = 128;
+  const int64_t num_batches = (n + kBatch - 1) / kBatch;
+  auto encode_batch = [&](int64_t bi) {
+    const int64_t begin = bi * kBatch;
+    const int64_t end = std::min(n, begin + kBatch);
+    std::vector<std::string> chunk(queries.begin() + begin,
+                                   queries.begin() + end);
+    tensor::NoGradGuard guard;
+    tensor::Tensor e = encoder_->EncodeBatch(chunk);
+    std::copy_n(e.data(), (end - begin) * dim, embs.data() + begin * dim);
+  };
+  if (parallel) {
+    pool_->ParallelFor(static_cast<size_t>(num_batches), [&](size_t bi) {
+      encode_batch(static_cast<int64_t>(bi));
+    });
+  } else {
+    for (int64_t bi = 0; bi < num_batches; ++bi) encode_batch(bi);
+  }
+
+  ann::NeighborLists lists =
+      index_->BatchSearch(embs.data(), n, k, parallel ? pool_.get() : nullptr);
+  for (int64_t i = 0; i < n; ++i) out[i] = ToResults(lists[i]);
+  return out;
+}
+
+Status EmbLookup::RebuildIndex(const IndexConfig& config) {
+  auto index = EntityIndex::Build(*graph_, encoder_.get(), config,
+                                  pool_.get());
+  if (!index.ok()) return index.status();
+  index_ = std::make_unique<EntityIndex>(std::move(index).value());
+  index_config_ = config;
+  return Status::OK();
+}
+
+std::vector<float> EmbLookup::Embed(const std::string& query) const {
+  tensor::NoGradGuard guard;
+  tensor::Tensor emb = encoder_->EncodeBatch({query});
+  return std::vector<float>(emb.data(), emb.data() + emb.size());
+}
+
+}  // namespace emblookup::core

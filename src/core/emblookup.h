@@ -1,0 +1,107 @@
+#ifndef EMBLOOKUP_CORE_EMBLOOKUP_H_
+#define EMBLOOKUP_CORE_EMBLOOKUP_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "core/config.h"
+#include "core/encoder.h"
+#include "core/entity_index.h"
+#include "core/trainer.h"
+#include "embed/fasttext.h"
+#include "kg/knowledge_graph.h"
+
+namespace emblookup::core {
+
+/// One lookup hit: a KG entity and its embedding-space distance.
+struct LookupResult {
+  kg::EntityId entity = kg::kInvalidEntity;
+  float dist = 0.0f;
+};
+
+/// Aggregate options for building an EmbLookup instance end-to-end.
+struct EmbLookupOptions {
+  EncoderConfig encoder;
+  MinerConfig miner;
+  TrainerConfig trainer;
+  IndexConfig index;
+  embed::Word2Vec::Options fasttext;  ///< Pre-training for the semantic branch.
+  embed::CorpusOptions corpus;
+  /// Worker threads for bulk lookup & index build (0 = hardware threads).
+  size_t num_threads = 0;
+  /// Optional already-trained semantic model; when set, corpus synthesis
+  /// and fastText pre-training are skipped (used by the bench harness's
+  /// model cache and by multi-instance experiments sharing one branch).
+  std::shared_ptr<embed::FastTextModel> pretrained_semantic;
+};
+
+/// The EmbLookup system (§III, Fig. 1): a trained mention encoder plus a
+/// (compressed) entity-embedding index, exposing the lookup(q, k) operation
+/// of §II. This is the paper's primary contribution, packaged as a drop-in
+/// replacement for syntactic lookup services.
+///
+/// Typical use:
+///
+///   auto el = core::EmbLookup::TrainFromKg(graph, options).ValueOrDie();
+///   for (const auto& hit : el->Lookup("Germeny", 10)) { ... }
+class EmbLookup {
+ public:
+  /// End-to-end build: synthesizes the corpus, pre-trains the fastText
+  /// semantic branch, mines triplets, trains the encoder with the two-phase
+  /// triplet procedure, embeds every entity and builds the ANN index.
+  static Result<std::unique_ptr<EmbLookup>> TrainFromKg(
+      const kg::KnowledgeGraph& graph, const EmbLookupOptions& options);
+
+  /// lookup(q, k): the k entities whose embeddings are nearest to f(q).
+  std::vector<LookupResult> Lookup(const std::string& query, int64_t k) const;
+
+  /// Bulk lookup over many queries; `parallel` routes the batch through the
+  /// thread pool (the GPU-batch stand-in — see DESIGN.md).
+  std::vector<std::vector<LookupResult>> BulkLookup(
+      const std::vector<std::string>& queries, int64_t k,
+      bool parallel = false) const;
+
+  /// Re-embeds all entities and rebuilds the index with a new index config
+  /// (e.g. toggling compression) without retraining the encoder.
+  Status RebuildIndex(const IndexConfig& config);
+
+  /// Embeds a query string (no tape).
+  std::vector<float> Embed(const std::string& query) const;
+
+  const kg::KnowledgeGraph& graph() const { return *graph_; }
+  EmbLookupEncoder* encoder() { return encoder_.get(); }
+  const EntityIndex& index() const { return *index_; }
+  const embed::FastTextModel& semantic_model() const { return *fasttext_; }
+  const TrainStats& train_stats() const { return train_stats_; }
+  ThreadPool* pool() const { return pool_.get(); }
+
+  /// Persists the trained encoder weights (the index is rebuilt on load).
+  Status SaveModel(const std::string& path) const {
+    return encoder_->Save(path);
+  }
+
+  /// Builds an instance from saved encoder weights: pre-trains fastText
+  /// (deterministic given options), loads weights, rebuilds the index —
+  /// skipping triplet mining and encoder training.
+  static Result<std::unique_ptr<EmbLookup>> LoadFromKg(
+      const kg::KnowledgeGraph& graph, const EmbLookupOptions& options,
+      const std::string& model_path);
+
+ private:
+  EmbLookup() = default;
+
+  const kg::KnowledgeGraph* graph_ = nullptr;  // Borrowed.
+  std::shared_ptr<embed::FastTextModel> fasttext_;
+  std::unique_ptr<EmbLookupEncoder> encoder_;
+  std::unique_ptr<EntityIndex> index_;
+  std::unique_ptr<ThreadPool> pool_;
+  IndexConfig index_config_;
+  TrainStats train_stats_;
+};
+
+}  // namespace emblookup::core
+
+#endif  // EMBLOOKUP_CORE_EMBLOOKUP_H_

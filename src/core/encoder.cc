@@ -1,0 +1,105 @@
+#include "core/encoder.h"
+
+#include <fstream>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "tensor/ops.h"
+#include "tensor/serialize.h"
+
+namespace emblookup::core {
+
+using tensor::Tensor;
+
+EmbLookupEncoder::EmbLookupEncoder(const EncoderConfig& config,
+                                   const embed::FastTextModel* semantic)
+    : config_(config),
+      alphabet_(),
+      one_hot_(&alphabet_, config.max_len),
+      semantic_(config.use_semantic_branch ? semantic : nullptr) {
+  Rng rng(config_.seed);
+  int64_t in_channels = alphabet_.size();
+  const int64_t pad = config_.kernel_size / 2;
+  for (int l = 0; l < config_.num_conv_layers; ++l) {
+    convs_.push_back(std::make_unique<tensor::nn::Conv1dLayer>(
+        in_channels, config_.conv_channels, config_.kernel_size, pad, &rng));
+    in_channels = config_.conv_channels;
+  }
+  const int64_t cnn_features =
+      config_.conv_channels * config_.num_conv_layers;
+  // Two semantic blocks: word-level (synonymy) and subword (typo-robust).
+  const int64_t semantic_dim =
+      semantic_ != nullptr ? 2 * semantic_->dim() : 0;
+  fuse1_ = std::make_unique<tensor::nn::Linear>(cnn_features + semantic_dim,
+                                                config_.fusion_hidden, &rng);
+  fuse2_ = std::make_unique<tensor::nn::Linear>(config_.fusion_hidden,
+                                                config_.embedding_dim, &rng);
+}
+
+Tensor EmbLookupEncoder::EncodeBatch(const std::vector<std::string>& mentions) {
+  EL_CHECK(!mentions.empty());
+  Tensor x = one_hot_.EncodeBatch(mentions);
+  Tensor pooled;  // (B, channels * layers): per-layer global max pools.
+  for (size_t l = 0; l < convs_.size(); ++l) {
+    x = tensor::Relu(convs_[l]->Forward(x));
+    Tensor p = tensor::GlobalMaxPool1d(x);
+    pooled = pooled.defined() ? tensor::ConcatCols(pooled, p) : p;
+    if (config_.pool_between_layers && l + 1 < convs_.size() &&
+        x.dim(2) >= 4) {
+      x = tensor::MaxPool1d(x, 2);
+    }
+  }
+  Tensor features = pooled;
+  if (semantic_ != nullptr) {
+    // Frozen semantic branch: plain data tensor, no gradient path. Mention
+    // features are memoized — triplet strings recur across epochs.
+    const int64_t b = static_cast<int64_t>(mentions.size());
+    const int64_t sd = 2 * semantic_->dim();
+    std::vector<float> sem(b * sd);
+    {
+      std::lock_guard<std::mutex> lock(cache_mu_);
+      for (int64_t i = 0; i < b; ++i) {
+        auto [it, inserted] = semantic_cache_.try_emplace(mentions[i]);
+        if (inserted) {
+          it->second.resize(sd);
+          semantic_->EncodeMentionSplit(mentions[i], it->second.data(),
+                                        it->second.data() +
+                                            semantic_->dim());
+        }
+        std::copy(it->second.begin(), it->second.end(),
+                  sem.begin() + i * sd);
+      }
+    }
+    features = tensor::ConcatCols(
+        features, Tensor::FromData({b, sd}, std::move(sem)));
+  }
+  Tensor hidden = tensor::Relu(fuse1_->Forward(features));
+  // Unit-normalized output: triplet margins become scale-free and squared
+  // distances live in [0, 4].
+  return tensor::RowL2Normalize(fuse2_->Forward(hidden));
+}
+
+std::vector<Tensor> EmbLookupEncoder::Parameters() {
+  std::vector<Tensor> params;
+  for (auto& conv : convs_) {
+    for (auto& p : conv->Parameters()) params.push_back(p);
+  }
+  for (auto& p : fuse1_->Parameters()) params.push_back(p);
+  for (auto& p : fuse2_->Parameters()) params.push_back(p);
+  return params;
+}
+
+Status EmbLookupEncoder::Save(const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  return tensor::SaveParameters(Parameters(), &out);
+}
+
+Status EmbLookupEncoder::Load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::vector<Tensor> params = Parameters();
+  return tensor::LoadParameters(&params, &in);
+}
+
+}  // namespace emblookup::core

@@ -1,0 +1,66 @@
+#ifndef EMBLOOKUP_CORE_ENCODER_H_
+#define EMBLOOKUP_CORE_ENCODER_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "core/config.h"
+#include "embed/encoder_interface.h"
+#include "embed/fasttext.h"
+#include "tensor/nn.h"
+#include "text/alphabet.h"
+
+namespace emblookup::core {
+
+/// The EmbLookup mention encoder (§III-B, Fig. 2):
+///
+///   one-hot(|A| x L) -> [Conv1d(8ch, k=3) + ReLU] x 5  -- syntactic branch
+///                       global-max-pool of every layer, concatenated
+///   fastText(mention) -> 64-d frozen features           -- semantic branch
+///   concat -> Linear -> ReLU -> Linear -> 64-d embedding -- fusion MLP
+///
+/// The CNN branch carries the edit-distance inductive bias (CNN-ED); the
+/// fastText branch carries alias/synonym similarity; the fusion MLP learns
+/// to balance them under the triplet loss. Pooling every layer's feature
+/// map (rather than only the last) exposes receptive fields of 3..11
+/// characters to the fusion layer.
+class EmbLookupEncoder : public embed::TrainableMentionEncoder {
+ public:
+  /// `semantic` may be nullptr (or config.use_semantic_branch false) to run
+  /// the syntactic-only ablation; it is borrowed, not owned, and is frozen
+  /// (no gradients flow into fastText).
+  EmbLookupEncoder(const EncoderConfig& config,
+                   const embed::FastTextModel* semantic);
+
+  tensor::Tensor EncodeBatch(const std::vector<std::string>& mentions)
+      override;
+  std::vector<tensor::Tensor> Parameters() override;
+  int64_t dim() const override { return config_.embedding_dim; }
+
+  const EncoderConfig& config() const { return config_; }
+
+  /// Serializes/restores trainable parameters.
+  Status Save(const std::string& path);
+  Status Load(const std::string& path);
+
+ private:
+  EncoderConfig config_;
+  text::Alphabet alphabet_;
+  text::OneHotEncoder one_hot_;
+  const embed::FastTextModel* semantic_;  // Not owned; may be null.
+  std::vector<std::unique_ptr<tensor::nn::Conv1dLayer>> convs_;
+  std::unique_ptr<tensor::nn::Linear> fuse1_;
+  std::unique_ptr<tensor::nn::Linear> fuse2_;
+
+  // Memoized fastText mention features (triplets recur across epochs).
+  mutable std::mutex cache_mu_;
+  mutable std::unordered_map<std::string, std::vector<float>> semantic_cache_;
+};
+
+}  // namespace emblookup::core
+
+#endif  // EMBLOOKUP_CORE_ENCODER_H_

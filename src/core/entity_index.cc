@@ -1,0 +1,172 @@
+#include "core/entity_index.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace emblookup::core {
+
+namespace {
+
+IndexKind ResolveKind(const IndexConfig& config) {
+  if (config.kind != IndexKind::kAuto) return config.kind;
+  return config.compress ? IndexKind::kPq : IndexKind::kFlat;
+}
+
+}  // namespace
+
+Result<EntityIndex> EntityIndex::Build(const kg::KnowledgeGraph& graph,
+                                       embed::TrainableMentionEncoder* encoder,
+                                       const IndexConfig& config,
+                                       ThreadPool* pool) {
+  const int64_t num_entities = graph.num_entities();
+  if (num_entities == 0) {
+    return Status::InvalidArgument("empty knowledge graph");
+  }
+  const int64_t dim = encoder->dim();
+
+  // Mention rows: labels, plus aliases when configured.
+  std::vector<std::string> mentions;
+  std::vector<kg::EntityId> row_to_entity;
+  mentions.reserve(num_entities);
+  for (kg::EntityId e = 0; e < num_entities; ++e) {
+    mentions.push_back(graph.entity(e).label);
+    if (config.index_aliases) row_to_entity.push_back(e);
+  }
+  if (config.index_aliases) {
+    for (kg::EntityId e = 0; e < num_entities; ++e) {
+      for (const std::string& alias : graph.entity(e).aliases) {
+        mentions.push_back(alias);
+        row_to_entity.push_back(e);
+      }
+    }
+  }
+  const int64_t n = static_cast<int64_t>(mentions.size());
+
+  // Embed every mention, batched; parallel batches when a pool exists.
+  std::vector<float> embeddings(n * dim);
+  constexpr int64_t kBatch = 256;
+  const int64_t num_batches = (n + kBatch - 1) / kBatch;
+  auto embed_batch = [&](int64_t bi) {
+    const int64_t begin = bi * kBatch;
+    const int64_t end = std::min(n, begin + kBatch);
+    std::vector<std::string> chunk(mentions.begin() + begin,
+                                   mentions.begin() + end);
+    tensor::NoGradGuard guard;
+    tensor::Tensor out = encoder->EncodeBatch(chunk);
+    std::copy_n(out.data(), (end - begin) * dim,
+                embeddings.data() + begin * dim);
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(static_cast<size_t>(num_batches),
+                      [&](size_t bi) { embed_batch(static_cast<int64_t>(bi)); });
+  } else {
+    for (int64_t bi = 0; bi < num_batches; ++bi) embed_batch(bi);
+  }
+
+  EntityIndex index;
+  index.dim_ = dim;
+  index.kind_ = ResolveKind(config);
+  index.row_to_entity_ = std::move(row_to_entity);
+  Rng rng(config.seed);
+  const int64_t train_sample = std::min(n, config.pq_train_sample);
+  switch (index.kind_) {
+    case IndexKind::kAuto:
+    case IndexKind::kFlat:
+      index.flat_ = std::make_unique<ann::FlatIndex>(dim);
+      index.flat_->Add(embeddings.data(), n);
+      break;
+    case IndexKind::kPq: {
+      if (dim % config.pq_m != 0) {
+        return Status::InvalidArgument("embedding dim not divisible by pq_m");
+      }
+      index.pq_ = std::make_unique<ann::PqIndex>(dim, config.pq_m);
+      EL_RETURN_NOT_OK(index.pq_->Train(embeddings.data(), train_sample, &rng));
+      EL_RETURN_NOT_OK(index.pq_->Add(embeddings.data(), n));
+      break;
+    }
+    case IndexKind::kIvfFlat:
+    case IndexKind::kIvfPq: {
+      ann::IvfIndex::Options options;
+      options.num_lists = std::min<int64_t>(config.ivf_lists, n);
+      options.nprobe = config.ivf_nprobe;
+      options.storage = index.kind_ == IndexKind::kIvfPq
+                            ? ann::IvfIndex::Storage::kPq
+                            : ann::IvfIndex::Storage::kFlat;
+      options.pq_m = config.pq_m;
+      options.seed = config.seed;
+      index.ivf_ = std::make_unique<ann::IvfIndex>(dim, options);
+      EL_RETURN_NOT_OK(index.ivf_->Train(embeddings.data(), train_sample));
+      EL_RETURN_NOT_OK(index.ivf_->Add(embeddings.data(), n));
+      break;
+    }
+  }
+  return index;
+}
+
+std::vector<ann::Neighbor> EntityIndex::RawSearch(const float* query,
+                                                  int64_t k) const {
+  if (pq_ != nullptr) return pq_->Search(query, k);
+  if (ivf_ != nullptr) return ivf_->Search(query, k);
+  EL_CHECK(flat_ != nullptr);
+  return flat_->Search(query, k);
+}
+
+std::vector<ann::Neighbor> EntityIndex::DedupRows(
+    std::vector<ann::Neighbor> rows, int64_t k) const {
+  if (row_to_entity_.empty()) return rows;
+  std::vector<ann::Neighbor> out;
+  std::unordered_map<int64_t, bool> seen;
+  out.reserve(k);
+  for (const ann::Neighbor& row : rows) {
+    const kg::EntityId entity = row_to_entity_[row.id];
+    if (seen.emplace(entity, true).second) {
+      out.push_back({entity, row.dist});
+      if (static_cast<int64_t>(out.size()) >= k) break;
+    }
+  }
+  return out;
+}
+
+std::vector<ann::Neighbor> EntityIndex::Search(const float* query,
+                                               int64_t k) const {
+  if (row_to_entity_.empty()) return RawSearch(query, k);
+  // Over-fetch so alias rows of the same entity don't crowd out others.
+  return DedupRows(RawSearch(query, 3 * k), k);
+}
+
+ann::NeighborLists EntityIndex::BatchSearch(const float* queries,
+                                            int64_t num_queries, int64_t k,
+                                            ThreadPool* pool) const {
+  const int64_t fetch = row_to_entity_.empty() ? k : 3 * k;
+  ann::NeighborLists lists;
+  if (pq_ != nullptr) {
+    lists = pq_->BatchSearch(queries, num_queries, fetch, pool);
+  } else if (ivf_ != nullptr) {
+    lists = ivf_->BatchSearch(queries, num_queries, fetch, pool);
+  } else {
+    EL_CHECK(flat_ != nullptr);
+    lists = flat_->BatchSearch(queries, num_queries, fetch, pool);
+  }
+  if (!row_to_entity_.empty()) {
+    for (auto& list : lists) list = DedupRows(std::move(list), k);
+  }
+  return lists;
+}
+
+int64_t EntityIndex::size() const {
+  if (pq_ != nullptr) return pq_->size();
+  if (ivf_ != nullptr) return ivf_->size();
+  return flat_ != nullptr ? flat_->size() : 0;
+}
+
+int64_t EntityIndex::StorageBytes() const {
+  if (pq_ != nullptr) return pq_->StorageBytes();
+  if (ivf_ != nullptr) return ivf_->StorageBytes();
+  return flat_ != nullptr ? flat_->StorageBytes() : 0;
+}
+
+}  // namespace emblookup::core

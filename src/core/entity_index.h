@@ -1,0 +1,74 @@
+#ifndef EMBLOOKUP_CORE_ENTITY_INDEX_H_
+#define EMBLOOKUP_CORE_ENTITY_INDEX_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ann/flat_index.h"
+#include "ann/ivf_index.h"
+#include "ann/pq_index.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "core/config.h"
+#include "embed/encoder_interface.h"
+#include "kg/knowledge_graph.h"
+
+namespace emblookup::core {
+
+/// Embedding index over every KG entity (§III-C/D). By default row i stores
+/// the embedding of entity i's canonical label; with `index_aliases` each
+/// alias contributes an extra row (deduplicated back to entities at query
+/// time). Four storage backends are supported (flat / PQ / IVF-flat /
+/// IVF-PQ), mirroring the FAISS options the paper selects among.
+class EntityIndex {
+ public:
+  /// Embeds the indexed mentions with `encoder` (no-grad, batched,
+  /// optionally parallel via `pool`) and builds the configured index.
+  static Result<EntityIndex> Build(const kg::KnowledgeGraph& graph,
+                                   embed::TrainableMentionEncoder* encoder,
+                                   const IndexConfig& config,
+                                   ThreadPool* pool = nullptr);
+
+  /// Top-k nearest entities to a query embedding (already deduplicated when
+  /// aliases are indexed).
+  std::vector<ann::Neighbor> Search(const float* query, int64_t k) const;
+
+  /// Batch variant (parallel across queries when `pool` is given).
+  ann::NeighborLists BatchSearch(const float* queries, int64_t num_queries,
+                                 int64_t k, ThreadPool* pool = nullptr) const;
+
+  bool compressed() const { return pq_ != nullptr || ivf_ != nullptr; }
+  IndexKind kind() const { return kind_; }
+  /// Number of indexed rows (== entities unless aliases are indexed).
+  int64_t size() const;
+  int64_t dim() const { return dim_; }
+  bool aliases_indexed() const { return !row_to_entity_.empty(); }
+
+  /// Bytes consumed by the vector payload (Table comparison metric).
+  int64_t StorageBytes() const;
+
+  EntityIndex(EntityIndex&&) = default;
+  EntityIndex& operator=(EntityIndex&&) = default;
+
+ private:
+  EntityIndex() = default;
+
+  /// Raw row-level search on the active backend.
+  std::vector<ann::Neighbor> RawSearch(const float* query, int64_t k) const;
+  /// Maps row hits to entity hits, deduplicating (keeps best distance).
+  std::vector<ann::Neighbor> DedupRows(std::vector<ann::Neighbor> rows,
+                                       int64_t k) const;
+
+  IndexKind kind_ = IndexKind::kFlat;
+  int64_t dim_ = 0;
+  std::unique_ptr<ann::FlatIndex> flat_;
+  std::unique_ptr<ann::PqIndex> pq_;
+  std::unique_ptr<ann::IvfIndex> ivf_;
+  /// row -> entity id; empty when rows are exactly entities.
+  std::vector<kg::EntityId> row_to_entity_;
+};
+
+}  // namespace emblookup::core
+
+#endif  // EMBLOOKUP_CORE_ENTITY_INDEX_H_

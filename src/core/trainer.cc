@@ -1,0 +1,134 @@
+#include "core/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "common/timing.h"
+#include "tensor/ops.h"
+#include "tensor/optim.h"
+
+namespace emblookup::core {
+
+using tensor::Tensor;
+
+namespace {
+
+/// Row-wise squared distances between the data of two (B, D) tensors,
+/// computed outside the tape (used only for hard-triplet selection).
+std::vector<float> RowDistances(const Tensor& a, const Tensor& b) {
+  const int64_t m = a.dim(0), n = a.dim(1);
+  std::vector<float> out(m, 0.0f);
+  for (int64_t i = 0; i < m; ++i) {
+    const float* pa = a.data() + i * n;
+    const float* pb = b.data() + i * n;
+    float acc = 0.0f;
+    for (int64_t j = 0; j < n; ++j) {
+      const float d = pa[j] - pb[j];
+      acc += d * d;
+    }
+    out[i] = acc;
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<TrainStats> TripletTrainer::Train(
+    embed::TrainableMentionEncoder* encoder,
+    const std::vector<Triplet>& triplets) const {
+  if (triplets.empty()) {
+    return Status::InvalidArgument("no triplets to train on");
+  }
+  Stopwatch timer;
+  tensor::Adam optimizer(encoder->Parameters(), config_.lr);
+  Rng rng(config_.seed);
+  ThreadPool pool(3);
+
+  std::vector<int64_t> order(triplets.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int64_t>(i);
+
+  TrainStats stats;
+  const int offline_epochs = config_.epochs / 2;
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    const bool online_mining = epoch >= offline_epochs;
+    rng.Shuffle(&order);
+    double epoch_loss = 0.0;
+    int64_t batches = 0;
+    int64_t active = 0;
+
+    for (size_t begin = 0; begin < order.size();
+         begin += config_.batch_size) {
+      const size_t end =
+          std::min(order.size(), begin + static_cast<size_t>(config_.batch_size));
+      std::vector<std::string> anchors, positives, negatives;
+      anchors.reserve(end - begin);
+      for (size_t i = begin; i < end; ++i) {
+        const Triplet& t = triplets[order[i]];
+        anchors.push_back(t.anchor);
+        positives.push_back(t.positive);
+        negatives.push_back(t.negative);
+      }
+
+      optimizer.ZeroGrad();
+      // The three encodes build independent tape subgraphs; run them
+      // concurrently (backward over the merged graph stays sequential).
+      Tensor ea, ep, en;
+      pool.Submit([&] { ea = encoder->EncodeBatch(anchors); });
+      pool.Submit([&] { ep = encoder->EncodeBatch(positives); });
+      pool.Submit([&] { en = encoder->EncodeBatch(negatives); });
+      pool.Wait();
+
+      auto batch_loss = [this](const Tensor& a, const Tensor& p,
+                               const Tensor& n) {
+        return config_.loss == LossKind::kContrastive
+                   ? tensor::ContrastiveLossFromTriplets(a, p, n,
+                                                         config_.margin)
+                   : tensor::TripletLoss(a, p, n, config_.margin);
+      };
+
+      Tensor loss;
+      if (online_mining) {
+        // Keep only rows with positive loss: hard and semi-hard triplets.
+        const std::vector<float> d_ap = RowDistances(ea, ep);
+        const std::vector<float> d_an = RowDistances(ea, en);
+        std::vector<int64_t> keep;
+        for (size_t i = 0; i < d_ap.size(); ++i) {
+          const bool hard =
+              config_.loss == LossKind::kContrastive
+                  ? (d_ap[i] > 1e-4f || d_an[i] < config_.margin)
+                  : (d_ap[i] - d_an[i] + config_.margin > 0.0f);
+          if (hard) keep.push_back(static_cast<int64_t>(i));
+        }
+        if (keep.empty()) continue;
+        active += static_cast<int64_t>(keep.size());
+        loss = batch_loss(tensor::GatherRows(ea, keep),
+                          tensor::GatherRows(ep, keep),
+                          tensor::GatherRows(en, keep));
+      } else {
+        active += static_cast<int64_t>(end - begin);
+        loss = batch_loss(ea, ep, en);
+      }
+      epoch_loss += loss.item();
+      ++batches;
+      loss.Backward();
+      optimizer.Step();
+    }
+
+    stats.epochs_run = epoch + 1;
+    stats.final_loss = batches > 0 ? epoch_loss / static_cast<double>(batches)
+                                   : 0.0;
+    stats.last_active_triplets = active;
+    if (config_.log_every > 0 && (epoch + 1) % config_.log_every == 0) {
+      EL_LOG(Info) << "epoch " << (epoch + 1) << "/" << config_.epochs
+                   << (online_mining ? " [online]" : " [offline]")
+                   << " loss=" << stats.final_loss << " active=" << active;
+    }
+  }
+  stats.wall_seconds = timer.ElapsedSeconds();
+  return stats;
+}
+
+}  // namespace emblookup::core

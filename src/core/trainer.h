@@ -1,0 +1,41 @@
+#ifndef EMBLOOKUP_CORE_TRAINER_H_
+#define EMBLOOKUP_CORE_TRAINER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/config.h"
+#include "core/triplets.h"
+#include "embed/encoder_interface.h"
+
+namespace emblookup::core {
+
+/// Outcome statistics of a training run.
+struct TrainStats {
+  int epochs_run = 0;
+  double final_loss = 0.0;
+  double wall_seconds = 0.0;
+  /// Hard+semi-hard triplets selected in the last online-mining epoch.
+  int64_t last_active_triplets = 0;
+};
+
+/// Trains any TrainableMentionEncoder with the paper's two-phase procedure
+/// (§III-B): the first half of the epochs applies the triplet loss to every
+/// triplet (offline); the second half keeps only hard (d(a,n) < d(a,p)) and
+/// semi-hard (d(a,p) <= d(a,n) < d(a,p)+margin) triplets — easy triplets
+/// contribute zero loss and would only dilute the gradient.
+class TripletTrainer {
+ public:
+  explicit TripletTrainer(TrainerConfig config) : config_(config) {}
+
+  /// Runs training; the encoder is modified in place.
+  Result<TrainStats> Train(embed::TrainableMentionEncoder* encoder,
+                           const std::vector<Triplet>& triplets) const;
+
+ private:
+  TrainerConfig config_;
+};
+
+}  // namespace emblookup::core
+
+#endif  // EMBLOOKUP_CORE_TRAINER_H_

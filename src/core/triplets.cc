@@ -1,0 +1,83 @@
+#include "core/triplets.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "kg/noise.h"
+
+namespace emblookup::core {
+
+namespace {
+
+/// Label of an entity that is (very likely) unrelated to `self`.
+std::string RandomNegative(const kg::KnowledgeGraph& graph,
+                           kg::EntityId self, Rng* rng) {
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const kg::EntityId other =
+        static_cast<kg::EntityId>(rng->Uniform(graph.num_entities()));
+    if (other != self) return graph.entity(other).label;
+  }
+  return graph.entity((self + 1) % graph.num_entities()).label;
+}
+
+}  // namespace
+
+std::vector<Triplet> MineTriplets(const kg::KnowledgeGraph& graph,
+                                  const MinerConfig& config) {
+  EL_CHECK_GT(graph.num_entities(), 1);
+  Rng rng(config.seed);
+  std::vector<Triplet> triplets;
+  triplets.reserve(graph.num_entities() * config.triplets_per_entity);
+
+  for (kg::EntityId e = 0; e < graph.num_entities(); ++e) {
+    const kg::Entity& ent = graph.entity(e);
+    const int budget = config.triplets_per_entity;
+    int used = 0;
+
+    // 1) Alias positives: enumerate all synonyms first (§IV-E).
+    for (const std::string& alias : ent.aliases) {
+      if (used >= budget) break;
+      triplets.push_back({ent.label, alias, RandomNegative(graph, e, &rng)});
+      ++used;
+    }
+
+    // 2) Type positives: a small same-type slice.
+    const int type_budget = static_cast<int>(config.type_fraction * budget);
+    for (int i = 0; i < type_budget && used < budget && !ent.types.empty();
+         ++i) {
+      const auto& peers = graph.EntitiesOfType(rng.Choice(ent.types));
+      if (peers.size() < 2) break;
+      const kg::EntityId peer = peers[rng.Uniform(peers.size())];
+      if (peer == e) continue;
+      triplets.push_back(
+          {ent.label, graph.entity(peer).label, RandomNegative(graph, e, &rng)});
+      ++used;
+    }
+
+    // 3) Syntactic positives fill the remaining budget: typo perturbations
+    //    of label and aliases, plus the token-level error families the
+    //    paper's heuristics call out (swapped tokens, abbreviations) so the
+    //    encoder learns the full injected-noise model of §IV-B.
+    while (used < budget) {
+      const std::string& base =
+          (!ent.aliases.empty() && rng.Bernoulli(0.3))
+              ? ent.aliases[rng.Uniform(ent.aliases.size())]
+              : ent.label;
+      std::string positive;
+      if (rng.Bernoulli(0.7)) {
+        const int edits =
+            1 + static_cast<int>(rng.Uniform(config.max_typo_edits));
+        positive = kg::RandomTypo(base, &rng, edits);
+      } else {
+        positive = kg::RandomNoise(base, &rng);
+      }
+      triplets.push_back(
+          {ent.label, std::move(positive), RandomNegative(graph, e, &rng)});
+      ++used;
+    }
+  }
+  rng.Shuffle(&triplets);
+  return triplets;
+}
+
+}  // namespace emblookup::core

@@ -1,0 +1,37 @@
+#ifndef EMBLOOKUP_CORE_TRIPLETS_H_
+#define EMBLOOKUP_CORE_TRIPLETS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/config.h"
+#include "kg/knowledge_graph.h"
+
+namespace emblookup::core {
+
+/// One (anchor, positive, negative) training string triplet (§III-B).
+struct Triplet {
+  std::string anchor;
+  std::string positive;
+  std::string negative;
+};
+
+/// Mines the training triplets for a knowledge graph, following §III-B:
+///
+///  - semantic positives: every alias of the entity (enumerated first —
+///    "we can completely enumerate all the synonyms");
+///  - syntactic positives: typo-perturbed copies of the label (drop /
+///    insert / substitute / transpose / duplicate), injecting the CNN's
+///    error-model domain knowledge;
+///  - type positives (small fraction): labels of same-type entities, the
+///    lightweight semantic-relatedness heuristic;
+///  - negatives: labels of uniformly random other entities ("blahX").
+///
+/// At most `config.triplets_per_entity` triplets are produced per entity.
+std::vector<Triplet> MineTriplets(const kg::KnowledgeGraph& graph,
+                                  const MinerConfig& config);
+
+}  // namespace emblookup::core
+
+#endif  // EMBLOOKUP_CORE_TRIPLETS_H_

@@ -1,0 +1,105 @@
+#include "embed/corpus.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace emblookup::embed {
+
+int64_t Corpus::TotalTokens() const {
+  int64_t total = 0;
+  for (const auto& s : sentences) total += static_cast<int64_t>(s.size());
+  return total;
+}
+
+std::vector<std::string> TokenizeMention(std::string_view mention) {
+  std::string cleaned;
+  cleaned.reserve(mention.size());
+  for (char c : mention) {
+    const unsigned char uc = static_cast<unsigned char>(c);
+    if (std::isalnum(uc)) {
+      cleaned.push_back(
+          static_cast<char>(std::tolower(uc)));
+    } else if (std::isspace(uc) || c == '-' || c == '/' || c == ':' ||
+               c == ',') {
+      cleaned.push_back(' ');
+    }
+    // Other punctuation (periods in initials, apostrophes) is dropped.
+  }
+  return SplitWhitespace(cleaned);
+}
+
+namespace {
+
+void AddSentence(Corpus* corpus, std::vector<std::string> tokens) {
+  if (tokens.empty()) return;
+  for (const auto& t : tokens) ++corpus->token_counts[t];
+  corpus->sentences.push_back(std::move(tokens));
+}
+
+std::vector<std::string> Concat(std::vector<std::string> a,
+                                const std::vector<std::string>& b) {
+  a.insert(a.end(), b.begin(), b.end());
+  return a;
+}
+
+}  // namespace
+
+Corpus BuildCorpus(const kg::KnowledgeGraph& graph,
+                   const CorpusOptions& options) {
+  Corpus corpus;
+  for (kg::EntityId e = 0; e < graph.num_entities(); ++e) {
+    const kg::Entity& ent = graph.entity(e);
+    const std::vector<std::string> label_tokens = TokenizeMention(ent.label);
+
+    for (const std::string& alias : ent.aliases) {
+      const std::vector<std::string> alias_tokens = TokenizeMention(alias);
+      for (int r = 0; r < options.alias_repeats; ++r) {
+        // "X aka Y" and the reverse; short connective keeps windows tight.
+        AddSentence(&corpus,
+                    Concat(label_tokens,
+                           Concat({"aka"}, alias_tokens)));
+        AddSentence(&corpus,
+                    Concat(alias_tokens, Concat({"aka"}, label_tokens)));
+      }
+    }
+    if (options.include_type_sentences) {
+      for (kg::TypeId t : ent.types) {
+        AddSentence(&corpus, Concat(label_tokens,
+                                    {"isa", graph.TypeName(t)}));
+        // Aliases get the same type contexts as the label, so label and
+        // alias words develop matching context distributions — the
+        // second-order signal that makes their embeddings converge.
+        for (const std::string& alias : ent.aliases) {
+          AddSentence(&corpus, Concat(TokenizeMention(alias),
+                                      {"isa", graph.TypeName(t)}));
+        }
+      }
+    }
+    if (options.include_fact_sentences) {
+      for (const kg::Fact& f : graph.FactsOf(e)) {
+        if (f.is_literal()) continue;
+        const std::vector<std::string> object_tokens =
+            TokenizeMention(graph.entity(f.object).label);
+        AddSentence(&corpus,
+                    Concat(label_tokens,
+                           Concat({graph.PropertyName(f.property)},
+                                  object_tokens)));
+        // Emit each fact once more with an alias subject (round-robin over
+        // aliases) for the same context-sharing reason as above.
+        if (!ent.aliases.empty()) {
+          const std::string& alias =
+              ent.aliases[static_cast<size_t>(f.property) %
+                          ent.aliases.size()];
+          AddSentence(&corpus,
+                      Concat(TokenizeMention(alias),
+                             Concat({graph.PropertyName(f.property)},
+                                    object_tokens)));
+        }
+      }
+    }
+  }
+  return corpus;
+}
+
+}  // namespace emblookup::embed

@@ -1,0 +1,42 @@
+#ifndef EMBLOOKUP_EMBED_CORPUS_H_
+#define EMBLOOKUP_EMBED_CORPUS_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "kg/knowledge_graph.h"
+
+namespace emblookup::embed {
+
+/// A tokenized training corpus synthesized from a knowledge graph: the
+/// pre-training material for the word2vec / fastText / MiniBERT baselines
+/// and for EmbLookup's semantic (fastText) branch. Sentences interleave
+/// labels with their aliases ("X also known as Y"), types and facts, so
+/// that co-occurrence ties synonyms together — the signal a web-scale
+/// corpus would provide for real entities.
+struct Corpus {
+  std::vector<std::vector<std::string>> sentences;
+  std::unordered_map<std::string, int64_t> token_counts;
+
+  int64_t TotalTokens() const;
+};
+
+struct CorpusOptions {
+  /// Repeat alias sentences this many times to strengthen synonym signal.
+  int alias_repeats = 2;
+  bool include_fact_sentences = true;
+  bool include_type_sentences = true;
+};
+
+/// Builds the corpus. Tokens are lowercased; punctuation is stripped.
+Corpus BuildCorpus(const kg::KnowledgeGraph& graph,
+                   const CorpusOptions& options = CorpusOptions());
+
+/// Lowercases, strips punctuation (except intra-word) and splits a mention
+/// into tokens — the shared tokenizer for all word-level models.
+std::vector<std::string> TokenizeMention(std::string_view mention);
+
+}  // namespace emblookup::embed
+
+#endif  // EMBLOOKUP_EMBED_CORPUS_H_

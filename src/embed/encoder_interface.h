@@ -1,0 +1,39 @@
+#ifndef EMBLOOKUP_EMBED_ENCODER_INTERFACE_H_
+#define EMBLOOKUP_EMBED_ENCODER_INTERFACE_H_
+
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace emblookup::embed {
+
+/// Any model that maps a batch of mention strings to a (B, dim) embedding
+/// tensor and can be trained end-to-end with the triplet loss. Implemented
+/// by EmbLookup's fused CNN+fastText encoder (src/core) and by the char-LSTM
+/// ablation baseline (Table VII).
+class TrainableMentionEncoder {
+ public:
+  virtual ~TrainableMentionEncoder() = default;
+
+  /// Embeds a batch of mentions; records autograd tape when enabled.
+  virtual tensor::Tensor EncodeBatch(
+      const std::vector<std::string>& mentions) = 0;
+
+  /// Trainable parameters (for the optimizer and checkpointing).
+  virtual std::vector<tensor::Tensor> Parameters() = 0;
+
+  /// Output embedding dimensionality.
+  virtual int64_t dim() const = 0;
+
+  /// Convenience: embeds one mention without building the tape.
+  std::vector<float> Encode(const std::string& mention) {
+    tensor::NoGradGuard guard;
+    tensor::Tensor out = EncodeBatch({mention});
+    return std::vector<float>(out.data(), out.data() + out.size());
+  }
+};
+
+}  // namespace emblookup::embed
+
+#endif  // EMBLOOKUP_EMBED_ENCODER_INTERFACE_H_

@@ -1,0 +1,201 @@
+#include "embed/fasttext.h"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+
+#include "common/logging.h"
+
+namespace emblookup::embed {
+
+namespace {
+uint64_t HashNgram(std::string_view s) {
+  uint64_t h = 2166136261ULL;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 16777619ULL;
+  }
+  return h;
+}
+}  // namespace
+
+FastTextModel::FastTextModel(Options options, SubwordOptions subword)
+    : Word2Vec(options), subword_(subword) {
+  ngram_vecs_.resize(subword_.buckets * options_.dim);
+  Rng init_rng(options_.seed ^ 0x9d2c5680);
+  const float bound = 0.5f / static_cast<float>(options_.dim);
+  for (auto& x : ngram_vecs_) x = init_rng.UniformFloat(-bound, bound);
+}
+
+std::vector<int64_t> FastTextModel::NgramBuckets(std::string_view word) const {
+  std::string bounded = "<";
+  bounded += word;
+  bounded += ">";
+  std::vector<int64_t> buckets;
+  const int64_t len = static_cast<int64_t>(bounded.size());
+  for (int n = subword_.minn; n <= subword_.maxn; ++n) {
+    for (int64_t i = 0; i + n <= len; ++i) {
+      buckets.push_back(static_cast<int64_t>(
+          HashNgram(std::string_view(bounded).substr(i, n)) %
+          static_cast<uint64_t>(subword_.buckets)));
+    }
+  }
+  return buckets;
+}
+
+const std::vector<int64_t>& FastTextModel::VocabNgrams(int64_t w) const {
+  if (vocab_ngrams_.size() != words_.size()) {
+    vocab_ngrams_.resize(words_.size());
+  }
+  if (vocab_ngrams_[w].empty()) {
+    vocab_ngrams_[w] = NgramBuckets(words_[w]);
+    if (vocab_ngrams_[w].empty()) vocab_ngrams_[w].push_back(0);
+  }
+  return vocab_ngrams_[w];
+}
+
+void FastTextModel::CenterVector(int64_t w, float* out) const {
+  const int64_t dim = options_.dim;
+  const float* wv = in_.data() + w * dim;
+  std::copy_n(wv, dim, out);
+  const auto& grams = VocabNgrams(w);
+  for (int64_t g : grams) {
+    const float* gv = ngram_vecs_.data() + g * dim;
+    for (int64_t d = 0; d < dim; ++d) out[d] += gv[d];
+  }
+  const float inv = 1.0f / static_cast<float>(1 + grams.size());
+  for (int64_t d = 0; d < dim; ++d) out[d] *= inv;
+}
+
+void FastTextModel::ApplyCenterGradient(int64_t w, const float* grad,
+                                        float lr) {
+  const int64_t dim = options_.dim;
+  const auto& grams = VocabNgrams(w);
+  const float scale = lr / static_cast<float>(1 + grams.size());
+  float* wv = in_.data() + w * dim;
+  for (int64_t d = 0; d < dim; ++d) wv[d] -= scale * grad[d];
+  for (int64_t g : grams) {
+    float* gv = ngram_vecs_.data() + g * dim;
+    for (int64_t d = 0; d < dim; ++d) gv[d] -= scale * grad[d];
+  }
+}
+
+std::vector<float> FastTextModel::WordEmbedding(std::string_view word) const {
+  const int64_t dim = options_.dim;
+  // Subword part: mean of the hashed n-gram vectors (always available, the
+  // typo-robust component).
+  std::vector<float> sub(dim, 0.0f);
+  const std::vector<int64_t> grams = NgramBuckets(word);
+  for (int64_t g : grams) {
+    const float* gv = ngram_vecs_.data() + g * dim;
+    for (int64_t d = 0; d < dim; ++d) sub[d] += gv[d];
+  }
+  if (!grams.empty()) {
+    const float inv = 1.0f / static_cast<float>(grams.size());
+    for (float& x : sub) x *= inv;
+  }
+  const int64_t id = WordId(word);
+  if (id < 0) return sub;  // OOV: subword-only.
+  // In-vocabulary: blend the discriminative word-level (in+out)/2 vector
+  // (first-order synonymy, see Word2Vec::Options) with the subword part.
+  constexpr float kWordWeight = 0.65f;
+  std::vector<float> acc(dim);
+  const float* iv = in_.data() + id * dim;
+  const float* ov = out_.data() + id * dim;
+  for (int64_t d = 0; d < dim; ++d) {
+    const float word_part = options_.use_in_out_average
+                                ? 0.5f * (iv[d] + ov[d])
+                                : iv[d];
+    acc[d] = kWordWeight * word_part + (1.0f - kWordWeight) * sub[d];
+  }
+  return acc;
+}
+
+void FastTextModel::EncodeMentionSplit(std::string_view mention,
+                                       float* word_out,
+                                       float* sub_out) const {
+  const int64_t dim = options_.dim;
+  std::fill_n(word_out, dim, 0.0f);
+  std::fill_n(sub_out, dim, 0.0f);
+  int64_t word_hits = 0, sub_hits = 0;
+  std::vector<float> token_sub(dim);
+  for (const std::string& token : TokenizeMention(mention)) {
+    const std::vector<int64_t> grams = NgramBuckets(token);
+    std::fill(token_sub.begin(), token_sub.end(), 0.0f);
+    if (!grams.empty()) {
+      const float inv = 1.0f / static_cast<float>(grams.size());
+      for (int64_t g : grams) {
+        const float* gv = ngram_vecs_.data() + g * dim;
+        for (int64_t d = 0; d < dim; ++d) token_sub[d] += gv[d] * inv;
+      }
+      for (int64_t d = 0; d < dim; ++d) sub_out[d] += token_sub[d];
+      ++sub_hits;
+    }
+    const int64_t id = WordId(token);
+    if (id >= 0) {
+      const float* iv = in_.data() + id * dim;
+      const float* ov = out_.data() + id * dim;
+      for (int64_t d = 0; d < dim; ++d) {
+        word_out[d] += options_.use_in_out_average ? 0.5f * (iv[d] + ov[d])
+                                                   : iv[d];
+      }
+    } else {
+      // OOV (typically a typo): impute the word-level part with the token's
+      // subword vector — n-grams and their word co-train, so this lands the
+      // query near the clean word's region instead of at the origin.
+      for (int64_t d = 0; d < dim; ++d) word_out[d] += token_sub[d];
+    }
+    ++word_hits;
+  }
+  if (word_hits > 0) {
+    const float inv = 1.0f / static_cast<float>(word_hits);
+    for (int64_t d = 0; d < dim; ++d) word_out[d] *= inv;
+  }
+  if (sub_hits > 0) {
+    const float inv = 1.0f / static_cast<float>(sub_hits);
+    for (int64_t d = 0; d < dim; ++d) sub_out[d] *= inv;
+  }
+}
+
+std::vector<float> FastTextModel::EncodeMention(
+    std::string_view mention) const {
+  const int64_t dim = options_.dim;
+  std::vector<float> acc(dim, 0.0f);
+  int64_t tokens = 0;
+  for (const std::string& token : TokenizeMention(mention)) {
+    const std::vector<float> wv = WordEmbedding(token);
+    for (int64_t d = 0; d < dim; ++d) acc[d] += wv[d];
+    ++tokens;
+  }
+  if (tokens > 0) {
+    const float inv = 1.0f / static_cast<float>(tokens);
+    for (float& x : acc) x *= inv;
+  }
+  return acc;
+}
+
+Status FastTextModel::Save(std::ostream* os) const {
+  EL_RETURN_NOT_OK(Word2Vec::Save(os));
+  const uint64_t n = ngram_vecs_.size();
+  os->write(reinterpret_cast<const char*>(&n), sizeof(n));
+  os->write(reinterpret_cast<const char*>(ngram_vecs_.data()),
+            static_cast<std::streamsize>(n * sizeof(float)));
+  if (!os->good()) return Status::IoError("fasttext save failed");
+  return Status::OK();
+}
+
+Status FastTextModel::Load(std::istream* is) {
+  EL_RETURN_NOT_OK(Word2Vec::Load(is));
+  uint64_t n = 0;
+  is->read(reinterpret_cast<char*>(&n), sizeof(n));
+  if (!is->good() || n != ngram_vecs_.size()) {
+    return Status::IoError("fasttext ngram table mismatch");
+  }
+  is->read(reinterpret_cast<char*>(ngram_vecs_.data()),
+           static_cast<std::streamsize>(n * sizeof(float)));
+  if (!is->good()) return Status::IoError("truncated fasttext ngram table");
+  vocab_ngrams_.clear();
+  return Status::OK();
+}
+
+}  // namespace emblookup::embed

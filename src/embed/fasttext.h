@@ -1,0 +1,67 @@
+#ifndef EMBLOOKUP_EMBED_FASTTEXT_H_
+#define EMBLOOKUP_EMBED_FASTTEXT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "embed/word2vec.h"
+
+namespace emblookup::embed {
+
+/// fastText-style subword skip-gram model (Bojanowski et al.): a word's
+/// center vector is the mean of its word vector and its hashed character
+/// n-gram vectors. Unknown words still get a (subword) embedding, giving
+/// moderate typo robustness. This is both a Table VII baseline and the
+/// semantic branch that EmbLookup bootstraps from (§III-B).
+class FastTextModel : public Word2Vec {
+ public:
+  struct SubwordOptions {
+    int minn = 3;
+    int maxn = 5;
+    int64_t buckets = 1 << 16;
+  };
+
+  FastTextModel() : FastTextModel(Options{}, SubwordOptions{}) {}
+  FastTextModel(Options options, SubwordOptions subword);
+
+  /// Mention embedding: mean over tokens of (word vec if known + subword
+  /// n-gram vectors). Never all-zero for non-empty alphanumeric input.
+  std::vector<float> EncodeMention(std::string_view mention) const;
+
+  /// Mention embedding split into its two components, each of dim():
+  /// `word_out` — mean of word-level (in+out)/2 vectors (zero if all OOV;
+  /// carries first-order synonymy), and `sub_out` — mean of subword n-gram
+  /// vectors (always available; typo-robust). EmbLookup's fusion MLP
+  /// consumes both blocks so triplet training can weight them per-dimension
+  /// instead of committing to a fixed blend.
+  void EncodeMentionSplit(std::string_view mention, float* word_out,
+                          float* sub_out) const;
+
+  /// Embedding of a single (possibly OOV) word.
+  std::vector<float> WordEmbedding(std::string_view word) const;
+
+  /// Serializes the trained model including the n-gram bucket table.
+  Status Save(std::ostream* os) const;
+  /// Restores a model saved by Save().
+  Status Load(std::istream* is);
+
+ protected:
+  void CenterVector(int64_t w, float* out) const override;
+  void ApplyCenterGradient(int64_t w, const float* grad, float lr) override;
+
+ private:
+  /// Bucket ids of the n-grams of `word` (with boundary markers).
+  std::vector<int64_t> NgramBuckets(std::string_view word) const;
+  /// Cached n-gram buckets for an in-vocabulary word id.
+  const std::vector<int64_t>& VocabNgrams(int64_t w) const;
+
+  SubwordOptions subword_;
+  std::vector<float> ngram_vecs_;  // (buckets, dim)
+  mutable std::vector<std::vector<int64_t>> vocab_ngrams_;
+};
+
+}  // namespace emblookup::embed
+
+#endif  // EMBLOOKUP_EMBED_FASTTEXT_H_

@@ -1,0 +1,56 @@
+#include "embed/lstm_encoder.h"
+
+#include <algorithm>
+
+#include "tensor/ops.h"
+
+namespace emblookup::embed {
+
+CharLstmEncoder::CharLstmEncoder(Options options)
+    : options_(options), alphabet_() {
+  Rng rng(options_.seed);
+  char_embedding_ = tensor::Tensor::Zeros({alphabet_.size(), options_.char_dim},
+                                          /*requires_grad=*/true);
+  tensor::nn::UniformInit(&char_embedding_, 0.1f, &rng);
+  cell_ = std::make_unique<tensor::nn::LstmCell>(options_.char_dim,
+                                                 options_.hidden, &rng);
+  proj_ =
+      std::make_unique<tensor::nn::Linear>(options_.hidden, options_.out_dim,
+                                           &rng);
+}
+
+tensor::Tensor CharLstmEncoder::EncodeBatch(
+    const std::vector<std::string>& mentions) {
+  const int64_t b = static_cast<int64_t>(mentions.size());
+  int64_t max_t = 1;
+  for (const auto& m : mentions) {
+    max_t = std::max<int64_t>(
+        max_t, std::min<int64_t>(static_cast<int64_t>(m.size()),
+                                 options_.max_len));
+  }
+  auto [h, c] = cell_->InitialState(b);
+  for (int64_t t = 0; t < max_t; ++t) {
+    std::vector<int64_t> ids(b);
+    for (int64_t i = 0; i < b; ++i) {
+      const std::string& m = mentions[i];
+      // Past the mention's end, feed the space character (acts as padding).
+      ids[i] = (t < static_cast<int64_t>(m.size()) && t < options_.max_len)
+                   ? alphabet_.Pos(m[t])
+                   : alphabet_.Pos(' ');
+    }
+    tensor::Tensor x = tensor::GatherRows(char_embedding_, ids);
+    auto next = cell_->Step(x, h, c);
+    h = next.first;
+    c = next.second;
+  }
+  return proj_->Forward(h);
+}
+
+std::vector<tensor::Tensor> CharLstmEncoder::Parameters() {
+  std::vector<tensor::Tensor> params = {char_embedding_};
+  for (auto& p : cell_->Parameters()) params.push_back(p);
+  for (auto& p : proj_->Parameters()) params.push_back(p);
+  return params;
+}
+
+}  // namespace emblookup::embed

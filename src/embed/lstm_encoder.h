@@ -1,0 +1,47 @@
+#ifndef EMBLOOKUP_EMBED_LSTM_ENCODER_H_
+#define EMBLOOKUP_EMBED_LSTM_ENCODER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "embed/encoder_interface.h"
+#include "tensor/nn.h"
+#include "text/alphabet.h"
+
+namespace emblookup::embed {
+
+/// Character-level LSTM mention encoder — the "LSTM model trained over the
+/// labels and aliases of the KG entities" baseline of Table VII. Each
+/// character is embedded, the LSTM is unrolled over the (truncated) mention
+/// and the final hidden state is projected to the output dimension.
+class CharLstmEncoder : public TrainableMentionEncoder {
+ public:
+  struct Options {
+    int64_t char_dim = 16;
+    int64_t hidden = 64;
+    int64_t out_dim = 64;
+    int64_t max_len = 24;
+    uint64_t seed = 11;
+  };
+
+  CharLstmEncoder() : CharLstmEncoder(Options{}) {}
+  explicit CharLstmEncoder(Options options);
+
+  tensor::Tensor EncodeBatch(const std::vector<std::string>& mentions)
+      override;
+  std::vector<tensor::Tensor> Parameters() override;
+  int64_t dim() const override { return options_.out_dim; }
+
+ private:
+  Options options_;
+  text::Alphabet alphabet_;
+  tensor::Tensor char_embedding_;  // (|A|, char_dim)
+  std::unique_ptr<tensor::nn::LstmCell> cell_;
+  std::unique_ptr<tensor::nn::Linear> proj_;
+};
+
+}  // namespace emblookup::embed
+
+#endif  // EMBLOOKUP_EMBED_LSTM_ENCODER_H_

@@ -1,0 +1,190 @@
+#include "embed/minibert.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "tensor/ops.h"
+#include "tensor/optim.h"
+
+namespace emblookup::embed {
+
+using tensor::Tensor;
+
+/// One pre-norm transformer block (single attention head).
+struct MiniBert::Layer {
+  Layer(int64_t dim, int64_t ffn_dim, Rng* rng)
+      : wq(dim, dim, rng),
+        wk(dim, dim, rng),
+        wv(dim, dim, rng),
+        wo(dim, dim, rng),
+        ffn1(dim, ffn_dim, rng),
+        ffn2(ffn_dim, dim, rng),
+        ln1(dim),
+        ln2(dim),
+        scale(1.0f / std::sqrt(static_cast<float>(dim))) {}
+
+  Tensor Forward(const Tensor& x) const {
+    // Self-attention sub-layer with residual.
+    Tensor xn = const_cast<tensor::nn::LayerNorm&>(ln1).Forward(x);
+    Tensor q = const_cast<tensor::nn::Linear&>(wq).Forward(xn);
+    Tensor k = const_cast<tensor::nn::Linear&>(wk).Forward(xn);
+    Tensor v = const_cast<tensor::nn::Linear&>(wv).Forward(xn);
+    Tensor scores = tensor::MulScalar(tensor::MatMul(q, tensor::Transpose(k)),
+                                      scale);
+    Tensor probs = tensor::SoftmaxRows(scores);
+    Tensor ctx = tensor::MatMul(probs, v);
+    Tensor attn = const_cast<tensor::nn::Linear&>(wo).Forward(ctx);
+    Tensor h = tensor::Add(x, attn);
+    // Feed-forward sub-layer with residual.
+    Tensor hn = const_cast<tensor::nn::LayerNorm&>(ln2).Forward(h);
+    Tensor ff = const_cast<tensor::nn::Linear&>(ffn2).Forward(
+        tensor::Relu(const_cast<tensor::nn::Linear&>(ffn1).Forward(hn)));
+    return tensor::Add(h, ff);
+  }
+
+  std::vector<Tensor> Parameters() {
+    std::vector<Tensor> params;
+    for (auto* m : std::initializer_list<tensor::nn::Module*>{
+             &wq, &wk, &wv, &wo, &ffn1, &ffn2, &ln1, &ln2}) {
+      for (auto& p : m->Parameters()) params.push_back(p);
+    }
+    return params;
+  }
+
+  tensor::nn::Linear wq, wk, wv, wo, ffn1, ffn2;
+  tensor::nn::LayerNorm ln1, ln2;
+  float scale;
+};
+
+MiniBert::MiniBert(Options options) : options_(options), rng_(options.seed) {}
+MiniBert::~MiniBert() = default;
+
+std::vector<int64_t> MiniBert::ToIds(
+    const std::vector<std::string>& tokens) const {
+  std::vector<int64_t> ids;
+  ids.reserve(tokens.size());
+  for (const auto& t : tokens) {
+    if (static_cast<int64_t>(ids.size()) >= options_.max_len) break;
+    auto it = vocab_.find(t);
+    ids.push_back(it == vocab_.end() ? kUnkId : it->second);
+  }
+  if (ids.empty()) ids.push_back(kUnkId);
+  return ids;
+}
+
+Tensor MiniBert::Forward(const std::vector<int64_t>& ids) const {
+  const int64_t t = static_cast<int64_t>(ids.size());
+  std::vector<int64_t> pos(t);
+  for (int64_t i = 0; i < t; ++i) pos[i] = i;
+  Tensor x = tensor::Add(tensor::GatherRows(tok_embedding_, ids),
+                         tensor::GatherRows(pos_embedding_, pos));
+  for (const auto& layer : layers_) x = layer->Forward(x);
+  return x;
+}
+
+std::vector<Tensor> MiniBert::Parameters() {
+  std::vector<Tensor> params = {tok_embedding_, pos_embedding_};
+  for (auto& layer : layers_) {
+    for (auto& p : layer->Parameters()) params.push_back(p);
+  }
+  for (auto& p : mlm_head_->Parameters()) params.push_back(p);
+  return params;
+}
+
+void MiniBert::Pretrain(const Corpus& corpus) {
+  // Vocabulary: [UNK], [MASK], then frequency-sorted tokens.
+  std::vector<std::pair<std::string, int64_t>> items;
+  for (const auto& [token, count] : corpus.token_counts) {
+    if (count >= options_.min_count) items.emplace_back(token, count);
+  }
+  std::sort(items.begin(), items.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  words_ = {"[UNK]", "[MASK]"};
+  for (const auto& [token, count] : items) {
+    vocab_.emplace(token, static_cast<int64_t>(words_.size()));
+    words_.push_back(token);
+  }
+
+  const int64_t v = vocab_size();
+  tok_embedding_ = Tensor::Zeros({v, options_.dim}, /*requires_grad=*/true);
+  pos_embedding_ =
+      Tensor::Zeros({options_.max_len, options_.dim}, /*requires_grad=*/true);
+  tensor::nn::UniformInit(&tok_embedding_, 0.05f, &rng_);
+  tensor::nn::UniformInit(&pos_embedding_, 0.05f, &rng_);
+  layers_.clear();
+  for (int l = 0; l < options_.num_layers; ++l) {
+    layers_.push_back(
+        std::make_unique<Layer>(options_.dim, options_.ffn_dim, &rng_));
+  }
+  mlm_head_ = std::make_unique<tensor::nn::Linear>(options_.dim, v, &rng_);
+
+  tensor::Adam optimizer(Parameters(), options_.lr);
+
+  // Sentence order shuffled once; capped if requested.
+  std::vector<int64_t> order(corpus.sentences.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int64_t>(i);
+  rng_.Shuffle(&order);
+  if (options_.max_sentences > 0 &&
+      static_cast<int64_t>(order.size()) > options_.max_sentences) {
+    order.resize(options_.max_sentences);
+  }
+
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    size_t idx = 0;
+    while (idx < order.size()) {
+      optimizer.ZeroGrad();
+      Tensor batch_loss = Tensor::Scalar(0.0f);
+      int in_batch = 0;
+      for (; in_batch < options_.batch_size && idx < order.size(); ++idx) {
+        const auto& sentence = corpus.sentences[order[idx]];
+        std::vector<int64_t> ids = ToIds(sentence);
+        if (ids.size() < 2) continue;
+        // Mask ~mask_prob of positions (at least one).
+        std::vector<int64_t> masked_pos;
+        std::vector<int64_t> targets;
+        std::vector<int64_t> corrupted = ids;
+        for (size_t p = 0; p < ids.size(); ++p) {
+          if (ids[p] != kUnkId && rng_.Bernoulli(options_.mask_prob)) {
+            masked_pos.push_back(static_cast<int64_t>(p));
+            targets.push_back(ids[p]);
+            corrupted[p] = kMaskId;
+          }
+        }
+        if (masked_pos.empty()) {
+          const int64_t p = static_cast<int64_t>(rng_.Uniform(ids.size()));
+          if (ids[p] == kUnkId) continue;
+          masked_pos.push_back(p);
+          targets.push_back(ids[p]);
+          corrupted[p] = kMaskId;
+        }
+        Tensor states = Forward(corrupted);
+        Tensor picked = tensor::GatherRows(states, masked_pos);
+        Tensor logits = mlm_head_->Forward(picked);
+        batch_loss =
+            tensor::Add(batch_loss, tensor::CrossEntropyRows(logits, targets));
+        ++in_batch;
+      }
+      if (in_batch == 0) continue;
+      batch_loss =
+          tensor::MulScalar(batch_loss, 1.0f / static_cast<float>(in_batch));
+      batch_loss.Backward();
+      optimizer.Step();
+    }
+  }
+}
+
+std::vector<float> MiniBert::EncodeMention(std::string_view mention) const {
+  tensor::NoGradGuard guard;
+  if (layers_.empty()) {
+    return std::vector<float>(options_.dim, 0.0f);
+  }
+  const std::vector<int64_t> ids = ToIds(TokenizeMention(mention));
+  Tensor states = Forward(ids);
+  Tensor pooled = tensor::MeanRows(states);
+  return std::vector<float>(pooled.data(), pooled.data() + pooled.size());
+}
+
+}  // namespace emblookup::embed

@@ -1,0 +1,76 @@
+#ifndef EMBLOOKUP_EMBED_MINIBERT_H_
+#define EMBLOOKUP_EMBED_MINIBERT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "embed/corpus.h"
+#include "tensor/nn.h"
+
+namespace emblookup::embed {
+
+/// A small transformer encoder pre-trained with masked-language modeling —
+/// the contextual-embedding (BERT) baseline of Table VII, scaled to what a
+/// CPU can pre-train in minutes. Word-level tokenization with an [UNK]
+/// fallback, so heavy typos degrade it more than fastText but less than
+/// word2vec (whole mentions rarely go fully OOV thanks to clean co-tokens).
+class MiniBert {
+ public:
+  struct Options {
+    int64_t dim = 64;
+    int num_layers = 2;
+    int64_t ffn_dim = 128;
+    int64_t max_len = 16;
+    int64_t min_count = 2;
+    int epochs = 1;
+    int batch_size = 8;
+    float lr = 1e-3f;
+    double mask_prob = 0.15;
+    /// Cap on pre-training sentences (0 = use all).
+    int64_t max_sentences = 0;
+    uint64_t seed = 23;
+  };
+
+  MiniBert() : MiniBert(Options{}) {}
+  explicit MiniBert(Options options);
+  ~MiniBert();
+
+  /// Builds the vocabulary and runs MLM pre-training.
+  void Pretrain(const Corpus& corpus);
+
+  /// Mention embedding: mean-pooled final hidden states (no masking).
+  std::vector<float> EncodeMention(std::string_view mention) const;
+
+  int64_t dim() const { return options_.dim; }
+  int64_t vocab_size() const { return static_cast<int64_t>(words_.size()); }
+
+ private:
+  struct Layer;
+
+  std::vector<int64_t> ToIds(const std::vector<std::string>& tokens) const;
+  /// Transformer forward over one sequence: (T) ids -> (T, dim) states.
+  tensor::Tensor Forward(const std::vector<int64_t>& ids) const;
+  std::vector<tensor::Tensor> Parameters();
+
+  static constexpr int64_t kUnkId = 0;
+  static constexpr int64_t kMaskId = 1;
+
+  Options options_;
+  mutable Rng rng_;
+  std::unordered_map<std::string, int64_t> vocab_;
+  std::vector<std::string> words_;
+
+  tensor::Tensor tok_embedding_;  // (V, dim)
+  tensor::Tensor pos_embedding_;  // (max_len, dim)
+  std::vector<std::unique_ptr<Layer>> layers_;
+  std::unique_ptr<tensor::nn::Linear> mlm_head_;  // (dim, V)
+};
+
+}  // namespace emblookup::embed
+
+#endif  // EMBLOOKUP_EMBED_MINIBERT_H_

@@ -1,0 +1,147 @@
+#include "embed/transe.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace emblookup::embed {
+
+TransE::TransE(Options options) : options_(options), rng_(options.seed) {}
+
+void TransE::NormalizeEntity(kg::EntityId e) {
+  float* v = entity_.data() + e * options_.dim;
+  float sq = 0.0f;
+  for (int64_t d = 0; d < options_.dim; ++d) sq += v[d] * v[d];
+  const float inv = 1.0f / std::max(std::sqrt(sq), 1e-8f);
+  for (int64_t d = 0; d < options_.dim; ++d) v[d] *= inv;
+}
+
+void TransE::Train(const kg::KnowledgeGraph& graph) {
+  num_entities_ = graph.num_entities();
+  const int64_t dim = options_.dim;
+  entity_.resize(num_entities_ * dim);
+  relation_.resize(std::max<int64_t>(1, graph.num_properties()) * dim);
+  const float bound = 6.0f / std::sqrt(static_cast<float>(dim));
+  for (auto& x : entity_) x = rng_.UniformFloat(-bound, bound);
+  for (auto& x : relation_) x = rng_.UniformFloat(-bound, bound);
+  for (kg::EntityId e = 0; e < num_entities_; ++e) NormalizeEntity(e);
+
+  // Collect entity-valued facts once.
+  struct Triple {
+    kg::EntityId h;
+    kg::PropertyId r;
+    kg::EntityId t;
+  };
+  std::vector<Triple> facts;
+  for (kg::EntityId e = 0; e < num_entities_; ++e) {
+    for (const kg::Fact& f : graph.FactsOf(e)) {
+      if (!f.is_literal()) facts.push_back({f.subject, f.property, f.object});
+    }
+  }
+  if (facts.empty()) {
+    trained_ = true;
+    return;
+  }
+
+  std::vector<float> grad(dim);
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    for (const Triple& fact : facts) {
+      // Corrupt head or tail uniformly.
+      Triple corrupted = fact;
+      if (rng_.Bernoulli(0.5)) {
+        corrupted.h = static_cast<kg::EntityId>(rng_.Uniform(num_entities_));
+      } else {
+        corrupted.t = static_cast<kg::EntityId>(rng_.Uniform(num_entities_));
+      }
+      float* h = entity_.data() + fact.h * dim;
+      float* t = entity_.data() + fact.t * dim;
+      float* r = relation_.data() + fact.r * dim;
+      float* ch = entity_.data() + corrupted.h * dim;
+      float* ct = entity_.data() + corrupted.t * dim;
+
+      float pos = 0.0f, neg = 0.0f;
+      for (int64_t d = 0; d < dim; ++d) {
+        const float dp = h[d] + r[d] - t[d];
+        const float dn = ch[d] + r[d] - ct[d];
+        pos += dp * dp;
+        neg += dn * dn;
+      }
+      pos = std::sqrt(pos);
+      neg = std::sqrt(neg);
+      if (pos + options_.margin <= neg) continue;  // Margin satisfied.
+
+      // Gradient of (pos - neg): d pos/d h = (h+r-t)/pos, etc.
+      const float lr = options_.lr;
+      const float inv_pos = 1.0f / std::max(pos, 1e-8f);
+      const float inv_neg = 1.0f / std::max(neg, 1e-8f);
+      for (int64_t d = 0; d < dim; ++d) {
+        const float gp = (h[d] + r[d] - t[d]) * inv_pos;
+        const float gn = (ch[d] + r[d] - ct[d]) * inv_neg;
+        h[d] -= lr * gp;
+        t[d] += lr * gp;
+        r[d] -= lr * (gp - gn);
+        ch[d] += lr * gn;
+        ct[d] -= lr * gn;
+      }
+      NormalizeEntity(fact.h);
+      NormalizeEntity(fact.t);
+      NormalizeEntity(corrupted.h);
+      NormalizeEntity(corrupted.t);
+    }
+  }
+  trained_ = true;
+}
+
+const float* TransE::EntityVec(kg::EntityId e) const {
+  EL_CHECK(trained_);
+  EL_CHECK_GE(e, 0);
+  EL_CHECK_LT(e, num_entities_);
+  return entity_.data() + e * options_.dim;
+}
+
+float TransE::Score(kg::EntityId head, kg::PropertyId relation,
+                    kg::EntityId tail) const {
+  EL_CHECK(trained_);
+  const float* h = entity_.data() + head * options_.dim;
+  const float* t = entity_.data() + tail * options_.dim;
+  const float* r = relation_.data() + relation * options_.dim;
+  float sq = 0.0f;
+  for (int64_t d = 0; d < options_.dim; ++d) {
+    const float diff = h[d] + r[d] - t[d];
+    sq += diff * diff;
+  }
+  return -std::sqrt(sq);
+}
+
+double TransE::Similarity(kg::EntityId a, kg::EntityId b) const {
+  const float* va = EntityVec(a);
+  const float* vb = EntityVec(b);
+  float dot = 0.0f;
+  for (int64_t d = 0; d < options_.dim; ++d) dot += va[d] * vb[d];
+  return dot;  // Rows are unit-norm, so the dot is the cosine.
+}
+
+double TransE::TailHitsAt10(const kg::KnowledgeGraph& graph, int64_t sample,
+                            Rng* rng) const {
+  EL_CHECK(trained_);
+  int64_t hits = 0, total = 0;
+  for (kg::EntityId e = 0; e < graph.num_entities() && total < sample; ++e) {
+    for (const kg::Fact& f : graph.FactsOf(e)) {
+      if (f.is_literal() || total >= sample) continue;
+      // Rank the true tail against 100 random corruptions.
+      const float true_score = Score(f.subject, f.property, f.object);
+      int rank = 0;
+      for (int c = 0; c < 100; ++c) {
+        const kg::EntityId other =
+            static_cast<kg::EntityId>(rng->Uniform(graph.num_entities()));
+        if (Score(f.subject, f.property, other) > true_score) ++rank;
+      }
+      if (rank < 10) ++hits;
+      ++total;
+    }
+  }
+  return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+}
+
+}  // namespace emblookup::embed

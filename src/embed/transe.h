@@ -1,0 +1,68 @@
+#ifndef EMBLOOKUP_EMBED_TRANSE_H_
+#define EMBLOOKUP_EMBED_TRANSE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "kg/knowledge_graph.h"
+
+namespace emblookup::embed {
+
+/// TransE knowledge-graph embeddings (Bordes et al.): facts <h, r, t> are
+/// modeled as translations h + r ≈ t, trained with a margin ranking loss
+/// against corrupted facts. The paper's related-work and future-work
+/// sections position KG embeddings as (a) what EmbLookup is *not* — they
+/// need a lookup service to be usable from strings — and (b) a candidate
+/// bootstrap for the semantic branch. This module provides them for the
+/// ablation benches and the embedding-based coherence signal of the
+/// DoSeR-style disambiguator.
+class TransE {
+ public:
+  struct Options {
+    int64_t dim = 32;
+    int epochs = 30;
+    float lr = 0.02f;
+    float margin = 1.0f;
+    uint64_t seed = 29;
+  };
+
+  TransE() : TransE(Options{}) {}
+  explicit TransE(Options options);
+
+  /// Trains on every entity-valued fact of the graph.
+  void Train(const kg::KnowledgeGraph& graph);
+
+  /// Embedding of an entity (valid after Train). Unit-norm rows.
+  const float* EntityVec(kg::EntityId e) const;
+
+  /// Plausibility score of a fact: -||h + r - t||_2 (higher = more
+  /// plausible).
+  float Score(kg::EntityId head, kg::PropertyId relation,
+              kg::EntityId tail) const;
+
+  /// Cosine similarity of two entity embeddings — the coherence signal.
+  double Similarity(kg::EntityId a, kg::EntityId b) const;
+
+  /// Filtered-ish hits@10 for tail prediction over `sample` facts (test
+  /// metric; corrupted candidates drawn from all entities).
+  double TailHitsAt10(const kg::KnowledgeGraph& graph, int64_t sample,
+                      Rng* rng) const;
+
+  int64_t dim() const { return options_.dim; }
+  bool trained() const { return trained_; }
+
+ private:
+  void NormalizeEntity(kg::EntityId e);
+
+  Options options_;
+  Rng rng_;
+  bool trained_ = false;
+  int64_t num_entities_ = 0;
+  std::vector<float> entity_;    // (E, dim)
+  std::vector<float> relation_;  // (R, dim)
+};
+
+}  // namespace emblookup::embed
+
+#endif  // EMBLOOKUP_EMBED_TRANSE_H_

@@ -1,0 +1,246 @@
+#include "embed/word2vec.h"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <ostream>
+
+#include "common/logging.h"
+
+namespace emblookup::embed {
+
+Word2Vec::Word2Vec(Options options) : options_(options), rng_(options.seed) {}
+
+void Word2Vec::BuildVocab(const Corpus& corpus) {
+  std::vector<std::pair<std::string, int64_t>> items;
+  items.reserve(corpus.token_counts.size());
+  for (const auto& [token, count] : corpus.token_counts) {
+    if (count >= options_.min_count) items.emplace_back(token, count);
+  }
+  // Deterministic order: frequency desc, then lexicographic.
+  std::sort(items.begin(), items.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  for (const auto& [token, count] : items) {
+    vocab_.emplace(token, static_cast<int64_t>(words_.size()));
+    words_.push_back(token);
+    counts_.push_back(count);
+  }
+  const int64_t v = vocab_size();
+  in_.resize(v * options_.dim);
+  out_.assign(v * options_.dim, 0.0f);
+  const float bound = 0.5f / static_cast<float>(options_.dim);
+  for (auto& x : in_) x = rng_.UniformFloat(-bound, bound);
+}
+
+void Word2Vec::BuildUnigramTable() {
+  constexpr int64_t kTableSize = 1 << 20;
+  unigram_table_.clear();
+  unigram_table_.reserve(kTableSize);
+  double total = 0.0;
+  for (int64_t c : counts_) total += std::pow(static_cast<double>(c), 0.75);
+  if (total <= 0.0) return;
+  int64_t w = 0;
+  double acc = std::pow(static_cast<double>(counts_[0]), 0.75) / total;
+  for (int64_t i = 0; i < kTableSize; ++i) {
+    unigram_table_.push_back(w);
+    if (static_cast<double>(i) / kTableSize > acc &&
+        w + 1 < vocab_size()) {
+      ++w;
+      acc += std::pow(static_cast<double>(counts_[w]), 0.75) / total;
+    }
+  }
+}
+
+int64_t Word2Vec::WordId(std::string_view word) const {
+  auto it = vocab_.find(std::string(word));
+  return it == vocab_.end() ? -1 : it->second;
+}
+
+bool Word2Vec::Contains(std::string_view word) const {
+  return WordId(word) >= 0;
+}
+
+void Word2Vec::CenterVector(int64_t w, float* out) const {
+  std::copy_n(in_.data() + w * options_.dim, options_.dim, out);
+}
+
+void Word2Vec::ApplyCenterGradient(int64_t w, const float* grad, float lr) {
+  float* vec = in_.data() + w * options_.dim;
+  for (int64_t d = 0; d < options_.dim; ++d) vec[d] -= lr * grad[d];
+}
+
+void Word2Vec::TrainPair(int64_t center, int64_t context, float lr) {
+  const int64_t dim = options_.dim;
+  std::vector<float> h(dim);
+  CenterVector(center, h.data());
+  std::vector<float> grad_h(dim, 0.0f);
+
+  // One positive + `negatives` negative targets.
+  for (int neg = 0; neg <= options_.negatives; ++neg) {
+    int64_t target;
+    float label;
+    if (neg == 0) {
+      target = context;
+      label = 1.0f;
+    } else {
+      target = unigram_table_[rng_.Uniform(unigram_table_.size())];
+      if (target == context) continue;
+      label = 0.0f;
+    }
+    float* o = out_.data() + target * dim;
+    float dot = 0.0f;
+    for (int64_t d = 0; d < dim; ++d) dot += h[d] * o[d];
+    const float pred = 1.0f / (1.0f + std::exp(-dot));
+    const float g = pred - label;  // d(loss)/d(dot)
+    for (int64_t d = 0; d < dim; ++d) {
+      grad_h[d] += g * o[d];
+      o[d] -= lr * g * h[d];
+    }
+  }
+  ApplyCenterGradient(center, grad_h.data(), lr);
+}
+
+void Word2Vec::Train(const Corpus& corpus) {
+  BuildVocab(corpus);
+  if (vocab_.empty()) return;
+  BuildUnigramTable();
+  // Pre-map sentences to ids once.
+  std::vector<std::vector<int64_t>> id_sentences;
+  id_sentences.reserve(corpus.sentences.size());
+  for (const auto& sentence : corpus.sentences) {
+    std::vector<int64_t> ids;
+    ids.reserve(sentence.size());
+    for (const auto& token : sentence) {
+      const int64_t id = WordId(token);
+      if (id >= 0) ids.push_back(id);
+    }
+    if (ids.size() >= 2) id_sentences.push_back(std::move(ids));
+  }
+
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    const float lr =
+        options_.lr *
+        (1.0f - static_cast<float>(epoch) /
+                    static_cast<float>(std::max(1, options_.epochs)));
+    for (const auto& ids : id_sentences) {
+      const int64_t len = static_cast<int64_t>(ids.size());
+      for (int64_t i = 0; i < len; ++i) {
+        const int64_t win =
+            1 + static_cast<int64_t>(rng_.Uniform(options_.window));
+        for (int64_t j = std::max<int64_t>(0, i - win);
+             j <= std::min(len - 1, i + win); ++j) {
+          if (j == i) continue;
+          TrainPair(ids[i], ids[j], lr);
+        }
+      }
+    }
+  }
+}
+
+const float* Word2Vec::WordVector(std::string_view word) const {
+  const int64_t id = WordId(word);
+  return id < 0 ? nullptr : in_.data() + id * options_.dim;
+}
+
+std::vector<float> Word2Vec::EncodeMention(std::string_view mention) const {
+  const int64_t dim = options_.dim;
+  std::vector<float> acc(dim, 0.0f);
+  int64_t hits = 0;
+  for (const std::string& token : TokenizeMention(mention)) {
+    const int64_t id = WordId(token);
+    if (id < 0) continue;
+    const float* iv = in_.data() + id * dim;
+    if (options_.use_in_out_average) {
+      const float* ov = out_.data() + id * dim;
+      for (int64_t d = 0; d < dim; ++d) acc[d] += 0.5f * (iv[d] + ov[d]);
+    } else {
+      for (int64_t d = 0; d < dim; ++d) acc[d] += iv[d];
+    }
+    ++hits;
+  }
+  if (hits > 0) {
+    const float inv = 1.0f / static_cast<float>(hits);
+    for (float& x : acc) x *= inv;
+  }
+  return acc;
+}
+
+namespace {
+constexpr uint32_t kW2vMagic = 0x57325631;  // "W2V1"
+
+template <typename T>
+void WritePod(std::ostream* os, T v) {
+  os->write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+template <typename T>
+bool ReadPod(std::istream* is, T* v) {
+  is->read(reinterpret_cast<char*>(v), sizeof(T));
+  return is->good();
+}
+void WriteFloats(std::ostream* os, const std::vector<float>& v) {
+  WritePod(os, static_cast<uint64_t>(v.size()));
+  os->write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(float)));
+}
+bool ReadFloats(std::istream* is, std::vector<float>* v) {
+  uint64_t n = 0;
+  if (!ReadPod(is, &n)) return false;
+  v->resize(n);
+  is->read(reinterpret_cast<char*>(v->data()),
+           static_cast<std::streamsize>(n * sizeof(float)));
+  return is->good();
+}
+}  // namespace
+
+Status Word2Vec::Save(std::ostream* os) const {
+  WritePod(os, kW2vMagic);
+  WritePod(os, static_cast<int64_t>(options_.dim));
+  WritePod(os, static_cast<uint64_t>(words_.size()));
+  for (size_t i = 0; i < words_.size(); ++i) {
+    WritePod(os, static_cast<uint32_t>(words_[i].size()));
+    os->write(words_[i].data(),
+              static_cast<std::streamsize>(words_[i].size()));
+    WritePod(os, counts_[i]);
+  }
+  WriteFloats(os, in_);
+  WriteFloats(os, out_);
+  if (!os->good()) return Status::IoError("word2vec save failed");
+  return Status::OK();
+}
+
+Status Word2Vec::Load(std::istream* is) {
+  uint32_t magic = 0;
+  if (!ReadPod(is, &magic) || magic != kW2vMagic) {
+    return Status::IoError("bad word2vec magic");
+  }
+  int64_t dim = 0;
+  if (!ReadPod(is, &dim)) return Status::IoError("truncated word2vec header");
+  if (dim != options_.dim) {
+    return Status::InvalidArgument("word2vec dim mismatch");
+  }
+  uint64_t vocab = 0;
+  if (!ReadPod(is, &vocab)) return Status::IoError("truncated vocab size");
+  words_.clear();
+  counts_.clear();
+  vocab_.clear();
+  words_.reserve(vocab);
+  for (uint64_t i = 0; i < vocab; ++i) {
+    uint32_t len = 0;
+    if (!ReadPod(is, &len)) return Status::IoError("truncated word length");
+    std::string word(len, '\0');
+    is->read(word.data(), len);
+    int64_t count = 0;
+    if (!ReadPod(is, &count)) return Status::IoError("truncated word count");
+    vocab_.emplace(word, static_cast<int64_t>(words_.size()));
+    words_.push_back(std::move(word));
+    counts_.push_back(count);
+  }
+  if (!ReadFloats(is, &in_) || !ReadFloats(is, &out_)) {
+    return Status::IoError("truncated word2vec vectors");
+  }
+  return Status::OK();
+}
+
+}  // namespace emblookup::embed

@@ -1,0 +1,87 @@
+#ifndef EMBLOOKUP_EMBED_WORD2VEC_H_
+#define EMBLOOKUP_EMBED_WORD2VEC_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "embed/corpus.h"
+
+namespace emblookup::embed {
+
+/// Skip-gram with negative sampling (word2vec) — the word-level baseline of
+/// Table VII. Word-level lookup means any out-of-vocabulary token (e.g. a
+/// typo) contributes nothing to the mention embedding, which is exactly why
+/// this baseline collapses under noise in the paper.
+class Word2Vec {
+ public:
+  struct Options {
+    int64_t dim = 64;
+    int epochs = 20;
+    int window = 4;
+    int negatives = 5;
+    float lr = 0.05f;
+    int64_t min_count = 1;
+    uint64_t seed = 7;
+    /// Represent a word by (input + output vector) / 2 at encode time.
+    /// SGNS directly maximizes in(alias)·out(label) for co-occurring words,
+    /// so the averaged representation captures first-order synonymy
+    /// (GERMANY/DEUTSCHLAND) that input-only vectors only learn second-hand.
+    bool use_in_out_average = true;
+  };
+
+  Word2Vec() : Word2Vec(Options{}) {}
+  explicit Word2Vec(Options options);
+  virtual ~Word2Vec() = default;
+
+  /// Builds the vocabulary and trains on the corpus.
+  void Train(const Corpus& corpus);
+
+  bool Contains(std::string_view word) const;
+  int64_t vocab_size() const { return static_cast<int64_t>(vocab_.size()); }
+  int64_t dim() const { return options_.dim; }
+
+  /// Mention embedding: mean of in-vocabulary word vectors (zero vector if
+  /// every token is OOV).
+  std::vector<float> EncodeMention(std::string_view mention) const;
+
+  /// Raw input vector of a word, or nullptr if OOV.
+  const float* WordVector(std::string_view word) const;
+
+  /// Serializes the trained model (vocab + vector tables) to a stream.
+  Status Save(std::ostream* os) const;
+  /// Restores a model saved by Save(). Options must match (dim).
+  Status Load(std::istream* is);
+
+ protected:
+  int64_t WordId(std::string_view word) const;
+  void BuildVocab(const Corpus& corpus);
+  void BuildUnigramTable();
+
+  /// Input vector for vocab word `w` used when it is the center word.
+  /// Overridden by FastText to mix in subword vectors.
+  virtual void CenterVector(int64_t w, float* out) const;
+  /// Applies the accumulated center-vector gradient. Overridden by FastText.
+  virtual void ApplyCenterGradient(int64_t w, const float* grad, float lr);
+
+  Options options_;
+  std::unordered_map<std::string, int64_t> vocab_;
+  std::vector<std::string> words_;
+  std::vector<int64_t> counts_;
+  std::vector<float> in_;   // (V, dim) center vectors.
+  std::vector<float> out_;  // (V, dim) context vectors.
+  std::vector<int64_t> unigram_table_;
+  Rng rng_;
+
+ private:
+  void TrainPair(int64_t center, int64_t context, float lr);
+};
+
+}  // namespace emblookup::embed
+
+#endif  // EMBLOOKUP_EMBED_WORD2VEC_H_

@@ -1,0 +1,273 @@
+#include "kg/knowledge_graph.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "text/exact_index.h"
+
+namespace emblookup::kg {
+
+namespace {
+const std::vector<EntityId> kEmptyIdList;
+const std::vector<Fact> kEmptyFactList;
+
+std::string MentionKey(std::string_view mention) {
+  return text::ExactIndex::Normalize(mention);
+}
+}  // namespace
+
+TypeId KnowledgeGraph::AddType(std::string_view name) {
+  auto it = type_ids_.find(std::string(name));
+  if (it != type_ids_.end()) return it->second;
+  const TypeId id = static_cast<TypeId>(type_names_.size());
+  type_names_.emplace_back(name);
+  type_ids_.emplace(std::string(name), id);
+  entities_by_type_.emplace_back();
+  return id;
+}
+
+PropertyId KnowledgeGraph::AddProperty(std::string_view name) {
+  auto it = property_ids_.find(std::string(name));
+  if (it != property_ids_.end()) return it->second;
+  const PropertyId id = static_cast<PropertyId>(property_names_.size());
+  property_names_.emplace_back(name);
+  property_ids_.emplace(std::string(name), id);
+  return id;
+}
+
+TypeId KnowledgeGraph::FindType(std::string_view name) const {
+  auto it = type_ids_.find(std::string(name));
+  return it == type_ids_.end() ? kInvalidType : it->second;
+}
+
+PropertyId KnowledgeGraph::FindProperty(std::string_view name) const {
+  auto it = property_ids_.find(std::string(name));
+  return it == property_ids_.end() ? kInvalidType : it->second;
+}
+
+const std::string& KnowledgeGraph::TypeName(TypeId t) const {
+  EL_CHECK_GE(t, 0);
+  EL_CHECK_LT(static_cast<size_t>(t), type_names_.size());
+  return type_names_[t];
+}
+
+const std::string& KnowledgeGraph::PropertyName(PropertyId p) const {
+  EL_CHECK_GE(p, 0);
+  EL_CHECK_LT(static_cast<size_t>(p), property_names_.size());
+  return property_names_[p];
+}
+
+EntityId KnowledgeGraph::AddEntity(std::string_view label,
+                                   std::string_view qid) {
+  const EntityId id = static_cast<EntityId>(entities_.size());
+  Entity e;
+  e.id = id;
+  e.label = std::string(label);
+  e.qid = qid.empty() ? "Q" + std::to_string(id) : std::string(qid);
+  entities_.push_back(std::move(e));
+  facts_by_subject_.emplace_back();
+  mention_index_[MentionKey(label)].push_back(id);
+  return id;
+}
+
+void KnowledgeGraph::AddAlias(EntityId e, std::string_view alias) {
+  EL_CHECK_GE(e, 0);
+  EL_CHECK_LT(e, num_entities());
+  Entity& ent = entities_[e];
+  const std::string a(alias);
+  if (a == ent.label) return;
+  if (std::find(ent.aliases.begin(), ent.aliases.end(), a) !=
+      ent.aliases.end()) {
+    return;
+  }
+  ent.aliases.push_back(a);
+  auto& bucket = mention_index_[MentionKey(a)];
+  if (std::find(bucket.begin(), bucket.end(), e) == bucket.end()) {
+    bucket.push_back(e);
+  }
+}
+
+void KnowledgeGraph::AddEntityType(EntityId e, TypeId t) {
+  EL_CHECK_GE(e, 0);
+  EL_CHECK_LT(e, num_entities());
+  EL_CHECK_GE(t, 0);
+  EL_CHECK_LT(static_cast<size_t>(t), type_names_.size());
+  Entity& ent = entities_[e];
+  if (std::find(ent.types.begin(), ent.types.end(), t) != ent.types.end()) {
+    return;
+  }
+  ent.types.push_back(t);
+  entities_by_type_[t].push_back(e);
+}
+
+const Entity& KnowledgeGraph::entity(EntityId e) const {
+  EL_CHECK_GE(e, 0);
+  EL_CHECK_LT(e, num_entities());
+  return entities_[e];
+}
+
+const std::vector<EntityId>& KnowledgeGraph::EntitiesOfType(TypeId t) const {
+  if (t < 0 || static_cast<size_t>(t) >= entities_by_type_.size()) {
+    return kEmptyIdList;
+  }
+  return entities_by_type_[t];
+}
+
+const std::vector<EntityId>& KnowledgeGraph::EntitiesByMention(
+    std::string_view mention) const {
+  auto it = mention_index_.find(MentionKey(mention));
+  return it == mention_index_.end() ? kEmptyIdList : it->second;
+}
+
+void KnowledgeGraph::AddFact(EntityId subject, PropertyId property,
+                             EntityId object) {
+  EL_CHECK_GE(subject, 0);
+  EL_CHECK_LT(subject, num_entities());
+  EL_CHECK_GE(object, 0);
+  EL_CHECK_LT(object, num_entities());
+  facts_by_subject_[subject].push_back(Fact{subject, property, object, ""});
+  ++num_facts_;
+}
+
+void KnowledgeGraph::AddLiteralFact(EntityId subject, PropertyId property,
+                                    std::string_view literal) {
+  EL_CHECK_GE(subject, 0);
+  EL_CHECK_LT(subject, num_entities());
+  facts_by_subject_[subject].push_back(
+      Fact{subject, property, kInvalidEntity, std::string(literal)});
+  ++num_facts_;
+}
+
+const std::vector<Fact>& KnowledgeGraph::FactsOf(EntityId subject) const {
+  if (subject < 0 || subject >= num_entities()) return kEmptyFactList;
+  return facts_by_subject_[subject];
+}
+
+EntityId KnowledgeGraph::ObjectOf(EntityId subject,
+                                  PropertyId property) const {
+  for (const Fact& f : FactsOf(subject)) {
+    if (f.property == property && !f.is_literal()) return f.object;
+  }
+  return kInvalidEntity;
+}
+
+bool KnowledgeGraph::Related(EntityId s, EntityId o) const {
+  for (const Fact& f : FactsOf(s)) {
+    if (!f.is_literal() && f.object == o) return true;
+  }
+  for (const Fact& f : FactsOf(o)) {
+    if (!f.is_literal() && f.object == s) return true;
+  }
+  return false;
+}
+
+Status KnowledgeGraph::SaveTsv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out << "#types\n";
+  for (const auto& t : type_names_) out << t << "\n";
+  out << "#properties\n";
+  for (const auto& p : property_names_) out << p << "\n";
+  out << "#entities\n";
+  for (const Entity& e : entities_) {
+    out << e.qid << "\t" << e.label << "\t";
+    for (size_t i = 0; i < e.aliases.size(); ++i) {
+      if (i > 0) out << "|";
+      out << e.aliases[i];
+    }
+    out << "\t";
+    for (size_t i = 0; i < e.types.size(); ++i) {
+      if (i > 0) out << "|";
+      out << e.types[i];
+    }
+    out << "\n";
+  }
+  out << "#facts\n";
+  for (const auto& facts : facts_by_subject_) {
+    for (const Fact& f : facts) {
+      out << f.subject << "\t" << f.property << "\t";
+      if (f.is_literal()) {
+        out << "L\t" << f.literal << "\n";
+      } else {
+        out << "E\t" << f.object << "\n";
+      }
+    }
+  }
+  if (!out.good()) return Status::IoError("write failure on " + path);
+  return Status::OK();
+}
+
+Result<KnowledgeGraph> KnowledgeGraph::LoadTsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  KnowledgeGraph kg;
+  std::string line;
+  enum Section { kNone, kTypes, kProps, kEntities, kFacts } section = kNone;
+  while (std::getline(in, line)) {
+    if (line == "#types") {
+      section = kTypes;
+      continue;
+    }
+    if (line == "#properties") {
+      section = kProps;
+      continue;
+    }
+    if (line == "#entities") {
+      section = kEntities;
+      continue;
+    }
+    if (line == "#facts") {
+      section = kFacts;
+      continue;
+    }
+    if (line.empty()) continue;
+    switch (section) {
+      case kTypes:
+        kg.AddType(line);
+        break;
+      case kProps:
+        kg.AddProperty(line);
+        break;
+      case kEntities: {
+        const std::vector<std::string> parts = Split(line, '\t');
+        if (parts.size() != 4) {
+          return Status::IoError("malformed entity line: " + line);
+        }
+        const EntityId id = kg.AddEntity(parts[1], parts[0]);
+        if (!parts[2].empty()) {
+          for (const auto& alias : Split(parts[2], '|')) {
+            kg.AddAlias(id, alias);
+          }
+        }
+        if (!parts[3].empty()) {
+          for (const auto& t : Split(parts[3], '|')) {
+            kg.AddEntityType(id, static_cast<TypeId>(std::stoi(t)));
+          }
+        }
+        break;
+      }
+      case kFacts: {
+        const std::vector<std::string> parts = Split(line, '\t');
+        if (parts.size() != 4) {
+          return Status::IoError("malformed fact line: " + line);
+        }
+        const EntityId s = std::stoll(parts[0]);
+        const PropertyId p = static_cast<PropertyId>(std::stoi(parts[1]));
+        if (parts[2] == "L") {
+          kg.AddLiteralFact(s, p, parts[3]);
+        } else {
+          kg.AddFact(s, p, std::stoll(parts[3]));
+        }
+        break;
+      }
+      case kNone:
+        return Status::IoError("content before section header: " + line);
+    }
+  }
+  return kg;
+}
+
+}  // namespace emblookup::kg

@@ -1,0 +1,130 @@
+#ifndef EMBLOOKUP_KG_KNOWLEDGE_GRAPH_H_
+#define EMBLOOKUP_KG_KNOWLEDGE_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace emblookup::kg {
+
+using EntityId = int64_t;
+using TypeId = int32_t;
+using PropertyId = int32_t;
+
+inline constexpr EntityId kInvalidEntity = -1;
+inline constexpr TypeId kInvalidType = -1;
+
+/// One KG entity: canonical label plus alias mentions (the rdfs:label /
+/// skos:altLabel material of §III-B) and type memberships.
+struct Entity {
+  EntityId id = kInvalidEntity;
+  std::string qid;    ///< External identifier, e.g. "Q183".
+  std::string label;  ///< Canonical label, e.g. "Germany".
+  std::vector<std::string> aliases;
+  std::vector<TypeId> types;
+};
+
+/// One fact <subject, property, object>. Exactly one of `object` /
+/// `literal` is meaningful: entity-valued facts have object != kInvalid,
+/// literal-valued facts carry the literal string.
+struct Fact {
+  EntityId subject = kInvalidEntity;
+  PropertyId property = kInvalidType;
+  EntityId object = kInvalidEntity;
+  std::string literal;
+
+  bool is_literal() const { return object == kInvalidEntity; }
+};
+
+/// In-memory knowledge graph <E, T, P, F> (§II). Append-only; ids are dense
+/// and stable, making them directly usable as ANN index row ids.
+class KnowledgeGraph {
+ public:
+  KnowledgeGraph() = default;
+
+  // -- Schema ---------------------------------------------------------------
+
+  /// Registers (or finds) a type by name. Names are unique.
+  TypeId AddType(std::string_view name);
+  /// Registers (or finds) a property by name.
+  PropertyId AddProperty(std::string_view name);
+
+  TypeId FindType(std::string_view name) const;
+  PropertyId FindProperty(std::string_view name) const;
+
+  const std::string& TypeName(TypeId t) const;
+  const std::string& PropertyName(PropertyId p) const;
+  int64_t num_types() const { return static_cast<int64_t>(type_names_.size()); }
+  int64_t num_properties() const {
+    return static_cast<int64_t>(property_names_.size());
+  }
+
+  // -- Entities -------------------------------------------------------------
+
+  /// Creates an entity with the given canonical label; returns its id.
+  EntityId AddEntity(std::string_view label, std::string_view qid = "");
+
+  /// Adds an alias mention to an entity (duplicates ignored).
+  void AddAlias(EntityId e, std::string_view alias);
+
+  /// Adds a type membership (duplicates ignored).
+  void AddEntityType(EntityId e, TypeId t);
+
+  const Entity& entity(EntityId e) const;
+  int64_t num_entities() const {
+    return static_cast<int64_t>(entities_.size());
+  }
+
+  /// All entities carrying type `t`.
+  const std::vector<EntityId>& EntitiesOfType(TypeId t) const;
+
+  /// Ids of entities whose label or alias exactly equals `mention`
+  /// (normalized: lowercase, collapsed whitespace). Empty if none.
+  const std::vector<EntityId>& EntitiesByMention(std::string_view mention)
+      const;
+
+  // -- Facts ----------------------------------------------------------------
+
+  /// Adds an entity-valued fact.
+  void AddFact(EntityId subject, PropertyId property, EntityId object);
+  /// Adds a literal-valued fact.
+  void AddLiteralFact(EntityId subject, PropertyId property,
+                      std::string_view literal);
+
+  /// Facts with the given subject.
+  const std::vector<Fact>& FactsOf(EntityId subject) const;
+  int64_t num_facts() const { return num_facts_; }
+
+  /// Object of the first fact (subject, property, *), or kInvalidEntity.
+  EntityId ObjectOf(EntityId subject, PropertyId property) const;
+
+  /// True if s and o share any fact in either direction (used by the
+  /// disambiguator's coherence signal).
+  bool Related(EntityId s, EntityId o) const;
+
+  // -- Persistence ----------------------------------------------------------
+
+  /// Writes the graph as TSV sections to `path`.
+  Status SaveTsv(const std::string& path) const;
+  /// Reads a graph written by SaveTsv.
+  static Result<KnowledgeGraph> LoadTsv(const std::string& path);
+
+ private:
+  std::vector<Entity> entities_;
+  std::vector<std::string> type_names_;
+  std::vector<std::string> property_names_;
+  std::unordered_map<std::string, TypeId> type_ids_;
+  std::unordered_map<std::string, PropertyId> property_ids_;
+  std::vector<std::vector<EntityId>> entities_by_type_;
+  std::unordered_map<std::string, std::vector<EntityId>> mention_index_;
+  std::vector<std::vector<Fact>> facts_by_subject_;
+  int64_t num_facts_ = 0;
+};
+
+}  // namespace emblookup::kg
+
+#endif  // EMBLOOKUP_KG_KNOWLEDGE_GRAPH_H_

@@ -1,0 +1,78 @@
+#include "kg/name_factory.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace emblookup::kg {
+
+namespace {
+// Onsets/nuclei/codas chosen to yield plausible toponym- and name-like words.
+const char* const kOnsets[] = {"b",  "br", "c",  "d",  "dr", "f",  "g",
+                               "gr", "h",  "j",  "k",  "kl", "l",  "m",
+                               "n",  "p",  "pr", "r",  "s",  "st", "t",
+                               "tr", "v",  "w",  "z",  "sh", "ch", "th"};
+const char* const kNuclei[] = {"a",  "e",  "i",  "o",  "u",  "ai",
+                               "ea", "ia", "io", "ou", "ei", "oa"};
+const char* const kCodas[] = {"",  "",  "",  "n", "r", "l", "s",
+                              "t", "m", "k", "d", "x", "nd", "rg"};
+}  // namespace
+
+NameFactory::NameFactory(uint64_t seed) : rng_(seed) {}
+
+std::string NameFactory::Syllable() {
+  std::string s = kOnsets[rng_.Uniform(std::size(kOnsets))];
+  s += kNuclei[rng_.Uniform(std::size(kNuclei))];
+  s += kCodas[rng_.Uniform(std::size(kCodas))];
+  return s;
+}
+
+std::string NameFactory::Word(int min_syllables, int max_syllables) {
+  const int n = static_cast<int>(
+      rng_.UniformInt(min_syllables, max_syllables));
+  std::string word;
+  for (int i = 0; i < n; ++i) word += Syllable();
+  return word;
+}
+
+std::string NameFactory::Translate(const std::string& word) {
+  auto it = lexicon_.find(word);
+  if (it != lexicon_.end()) return it->second;
+  // Derive the translation from a word-keyed generator so the lexicon is
+  // stable regardless of request order.
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : word) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  Rng local(h ^ 0xabcdef1234567890ULL);
+  const int syllables = 2 + static_cast<int>(local.Uniform(2));
+  std::string translated;
+  for (int i = 0; i < syllables; ++i) {
+    translated += kOnsets[local.Uniform(std::size(kOnsets))];
+    translated += kNuclei[local.Uniform(std::size(kNuclei))];
+    translated += kCodas[local.Uniform(std::size(kCodas))];
+  }
+  lexicon_.emplace(word, translated);
+  return translated;
+}
+
+std::string NameFactory::Capitalize(std::string word) {
+  if (!word.empty()) {
+    word[0] = static_cast<char>(
+        std::toupper(static_cast<unsigned char>(word[0])));
+  }
+  return word;
+}
+
+std::string NameFactory::Acronym(const std::string& phrase) {
+  std::string acronym;
+  for (const std::string& token : SplitWhitespace(phrase)) {
+    if (token == "of" || token == "the" || token == "and") continue;
+    acronym += static_cast<char>(
+        std::toupper(static_cast<unsigned char>(token[0])));
+  }
+  return acronym;
+}
+
+}  // namespace emblookup::kg

@@ -1,0 +1,49 @@
+#ifndef EMBLOOKUP_KG_NAME_FACTORY_H_
+#define EMBLOOKUP_KG_NAME_FACTORY_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "common/rng.h"
+
+namespace emblookup::kg {
+
+/// Deterministic generator of pronounceable synthetic words and their
+/// consistent "pseudo-translations". The translation lexicon is the key
+/// device for simulating semantic aliases: every occurrence of a base word
+/// translates to the same foreign-looking word (GERMANY -> DEUTSCHLAND
+/// style), so they are syntactically unrelated but co-occur consistently —
+/// exactly the signal the paper's fastText branch learns from.
+class NameFactory {
+ public:
+  explicit NameFactory(uint64_t seed);
+
+  /// A fresh pronounceable word of `min_syllables`..`max_syllables`
+  /// syllables, e.g. "kaldor", "venista".
+  std::string Word(int min_syllables, int max_syllables);
+
+  /// The consistent pseudo-translation of `word`: generated on first
+  /// request, cached thereafter. Shares no systematic character overlap
+  /// with the source word.
+  std::string Translate(const std::string& word);
+
+  /// Capitalizes the first letter ("berlin" -> "Berlin").
+  static std::string Capitalize(std::string word);
+
+  /// Acronym of a multi-word phrase ("european union" -> "EU").
+  static std::string Acronym(const std::string& phrase);
+
+  /// Direct access to the generator (for callers that need coordinated
+  /// sampling).
+  Rng* rng() { return &rng_; }
+
+ private:
+  std::string Syllable();
+
+  Rng rng_;
+  std::unordered_map<std::string, std::string> lexicon_;
+};
+
+}  // namespace emblookup::kg
+
+#endif  // EMBLOOKUP_KG_NAME_FACTORY_H_

@@ -1,0 +1,153 @@
+#include "kg/noise.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace emblookup::kg {
+
+namespace {
+constexpr std::string_view kLetters = "abcdefghijklmnopqrstuvwxyz";
+
+/// Picks a position with an alphanumeric character, or -1.
+int64_t PickCharPos(const std::string& s, Rng* rng) {
+  if (s.empty()) return -1;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const int64_t p = static_cast<int64_t>(rng->Uniform(s.size()));
+    if (std::isalnum(static_cast<unsigned char>(s[p]))) return p;
+  }
+  return -1;
+}
+}  // namespace
+
+std::string ApplyNoise(std::string_view mention, NoiseKind kind, Rng* rng) {
+  std::string s(mention);
+  switch (kind) {
+    case NoiseKind::kDropChar: {
+      if (s.size() < 2) return s;
+      const int64_t p = PickCharPos(s, rng);
+      if (p < 0) return s;
+      s.erase(p, 1);
+      return s;
+    }
+    case NoiseKind::kInsertChar: {
+      const int64_t p = static_cast<int64_t>(rng->Uniform(s.size() + 1));
+      s.insert(s.begin() + p, kLetters[rng->Uniform(kLetters.size())]);
+      return s;
+    }
+    case NoiseKind::kSubstituteChar: {
+      const int64_t p = PickCharPos(s, rng);
+      if (p < 0) return s;
+      char c = kLetters[rng->Uniform(kLetters.size())];
+      if (std::isupper(static_cast<unsigned char>(s[p]))) {
+        c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+      }
+      s[p] = c;
+      return s;
+    }
+    case NoiseKind::kTransposeChars: {
+      if (s.size() < 2) return s;
+      const int64_t p = static_cast<int64_t>(rng->Uniform(s.size() - 1));
+      std::swap(s[p], s[p + 1]);
+      return s;
+    }
+    case NoiseKind::kDuplicateChar: {
+      const int64_t p = PickCharPos(s, rng);
+      if (p < 0) return s;
+      s.insert(s.begin() + p, s[p]);
+      return s;
+    }
+    case NoiseKind::kSwapTokens: {
+      std::vector<std::string> tokens = SplitWhitespace(s);
+      if (tokens.size() < 2) {
+        // Fall back to a character transposition for single-token strings.
+        return ApplyNoise(mention, NoiseKind::kTransposeChars, rng);
+      }
+      const int64_t p = static_cast<int64_t>(rng->Uniform(tokens.size() - 1));
+      std::swap(tokens[p], tokens[p + 1]);
+      return Join(tokens, " ");
+    }
+    case NoiseKind::kAbbreviateToken: {
+      std::vector<std::string> tokens = SplitWhitespace(s);
+      if (tokens.empty()) return s;
+      const int64_t p = static_cast<int64_t>(rng->Uniform(tokens.size()));
+      if (tokens[p].size() < 2) return s;
+      tokens[p] = tokens[p].substr(0, 1) + ".";
+      return Join(tokens, " ");
+    }
+  }
+  return s;
+}
+
+std::string RandomTypo(std::string_view mention, Rng* rng, int num_edits) {
+  std::string s(mention);
+  for (int i = 0; i < num_edits; ++i) {
+    // Character-level kinds only (first five enumerators).
+    const NoiseKind kind = static_cast<NoiseKind>(rng->Uniform(5));
+    s = ApplyNoise(s, kind, rng);
+  }
+  return s;
+}
+
+std::string RandomNoise(std::string_view mention, Rng* rng) {
+  const NoiseKind kind =
+      static_cast<NoiseKind>(rng->Uniform(kNumNoiseKinds));
+  std::string out = ApplyNoise(mention, kind, rng);
+  // Occasionally compound the error, as real data does.
+  if (rng->Bernoulli(0.25)) {
+    out = ApplyNoise(out, static_cast<NoiseKind>(rng->Uniform(5)), rng);
+  }
+  return out;
+}
+
+int64_t InjectCellNoise(TabularDataset* dataset, double fraction, Rng* rng) {
+  int64_t touched = 0;
+  for (Table& table : dataset->tables) {
+    for (auto& row : table.rows) {
+      for (Cell& cell : row) {
+        if (cell.gt_entity == kInvalidEntity || cell.text.empty()) continue;
+        if (rng->Bernoulli(fraction)) {
+          cell.text = RandomNoise(cell.text, rng);
+          ++touched;
+        }
+      }
+    }
+  }
+  return touched;
+}
+
+int64_t SubstituteAliases(TabularDataset* dataset, const KnowledgeGraph& kg,
+                          Rng* rng) {
+  int64_t replaced = 0;
+  for (Table& table : dataset->tables) {
+    for (auto& row : table.rows) {
+      for (Cell& cell : row) {
+        if (cell.gt_entity == kInvalidEntity || cell.text.empty()) continue;
+        const Entity& e = kg.entity(cell.gt_entity);
+        if (e.aliases.empty()) continue;
+        cell.text = e.aliases[rng->Uniform(e.aliases.size())];
+        ++replaced;
+      }
+    }
+  }
+  return replaced;
+}
+
+int64_t BlankCells(TabularDataset* dataset, double fraction, Rng* rng) {
+  int64_t blanked = 0;
+  for (Table& table : dataset->tables) {
+    for (auto& row : table.rows) {
+      for (Cell& cell : row) {
+        if (cell.gt_entity == kInvalidEntity || cell.text.empty()) continue;
+        if (rng->Bernoulli(fraction)) {
+          cell.text.clear();
+          ++blanked;
+        }
+      }
+    }
+  }
+  return blanked;
+}
+
+}  // namespace emblookup::kg

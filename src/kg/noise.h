@@ -1,0 +1,57 @@
+#ifndef EMBLOOKUP_KG_NOISE_H_
+#define EMBLOOKUP_KG_NOISE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/rng.h"
+#include "kg/knowledge_graph.h"
+#include "kg/tabular.h"
+
+namespace emblookup::kg {
+
+/// The misspelling families the paper injects (§IV-B): "dropping/inserting
+/// one or more letters, transposing letters, swapping the tokens,
+/// abbreviations, and so on".
+enum class NoiseKind {
+  kDropChar = 0,
+  kInsertChar,
+  kSubstituteChar,
+  kTransposeChars,
+  kDuplicateChar,
+  kSwapTokens,
+  kAbbreviateToken,
+};
+inline constexpr int kNumNoiseKinds = 7;
+
+/// Applies one instance of the given perturbation. Returns the input
+/// unchanged when it is too short for the perturbation.
+std::string ApplyNoise(std::string_view mention, NoiseKind kind, Rng* rng);
+
+/// Applies `num_edits` random character-level perturbations (the typo model
+/// used for both noise injection and syntactic triplet mining).
+std::string RandomTypo(std::string_view mention, Rng* rng, int num_edits = 1);
+
+/// Applies a random perturbation drawn from all noise kinds (including the
+/// token-level ones).
+std::string RandomNoise(std::string_view mention, Rng* rng);
+
+/// Corrupts `fraction` of the annotated entity cells in-place with
+/// RandomNoise (ground truth untouched). Returns #cells modified.
+int64_t InjectCellNoise(TabularDataset* dataset, double fraction, Rng* rng);
+
+/// Replaces each annotated cell's text with a uniformly random alias of its
+/// ground-truth entity when one exists (§IV-D semantic-lookup variant).
+/// Returns #cells replaced.
+int64_t SubstituteAliases(TabularDataset* dataset, const KnowledgeGraph& kg,
+                          Rng* rng);
+
+/// Blanks out `fraction` of annotated cells (text becomes empty, ground
+/// truth retained) to create the Data Repair workload (§IV: "randomly
+/// replaced 10% of the cells with missing values"). Returns #cells blanked.
+int64_t BlankCells(TabularDataset* dataset, double fraction, Rng* rng);
+
+}  // namespace emblookup::kg
+
+#endif  // EMBLOOKUP_KG_NOISE_H_

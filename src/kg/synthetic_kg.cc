@@ -1,0 +1,275 @@
+#include "kg/synthetic_kg.h"
+
+#include <algorithm>
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "kg/name_factory.h"
+
+namespace emblookup::kg {
+
+namespace {
+
+/// Mutable generation context shared by the per-type builders.
+struct GenContext {
+  KnowledgeGraph* kg;
+  NameFactory* names;
+  Rng* rng;
+  std::string flavor;
+
+  TypeId country, city, person, organization, film, species;
+  PropertyId located_in, capital, citizen_of, works_for, headquartered_in,
+      directed_by, population, inception;
+
+  // Shared name pools so person names repeat realistically.
+  std::vector<std::string> first_names;
+  std::vector<std::string> last_names;
+};
+
+std::string Cap(const std::string& w) { return NameFactory::Capitalize(w); }
+
+/// Adds a generated entity with a label and common alias machinery, and
+/// guarantees the >=3 alias property for most entities.
+EntityId AddEntityWithAliases(GenContext* ctx, TypeId type,
+                              const std::string& label,
+                              std::vector<std::string> aliases) {
+  const EntityId id = ctx->kg->AddEntity(label);
+  ctx->kg->AddEntityType(id, type);
+  for (const auto& a : aliases) {
+    if (!a.empty() && a != label) ctx->kg->AddAlias(id, a);
+  }
+  return id;
+}
+
+EntityId MakeCountry(GenContext* ctx) {
+  const std::string base = ctx->names->Word(2, 3);
+  const std::string label = Cap(base);
+  std::vector<std::string> aliases;
+  // Semantic alias: pseudo-translation (GERMANY -> DEUTSCHLAND).
+  aliases.push_back(Cap(ctx->names->Translate(base)));
+  // Extended official form and its acronym (EUROPEAN UNION -> EU).
+  const std::string official = "Republic of " + label;
+  aliases.push_back(official);
+  aliases.push_back(NameFactory::Acronym(ToLower(official)) );
+  // Short vowel-less form (FRG/BRD style codes).
+  std::string code;
+  for (char c : base) {
+    if (c != 'a' && c != 'e' && c != 'i' && c != 'o' && c != 'u') {
+      code += static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    }
+    if (code.size() == 3) break;
+  }
+  if (code.size() >= 2) aliases.push_back(code);
+  return AddEntityWithAliases(ctx, ctx->country, label, std::move(aliases));
+}
+
+EntityId MakeCity(GenContext* ctx, const std::vector<EntityId>& countries) {
+  const std::string base = ctx->names->Word(2, 3);
+  std::string label = Cap(base);
+  Rng& rng = *ctx->rng;
+  const uint64_t form = rng.Uniform(5);
+  if (form == 1) label = "New " + label;
+  if (form == 2) label = "Port " + label;
+  if (form == 3) label = label + " City";
+  std::vector<std::string> aliases;
+  aliases.push_back(Cap(ctx->names->Translate(base)));
+  if (form == 0) aliases.push_back(label + " City");
+  if (form == 3) aliases.push_back(Cap(base));
+  aliases.push_back("Old " + Cap(base));
+  const EntityId id =
+      AddEntityWithAliases(ctx, ctx->city, label, std::move(aliases));
+  if (!countries.empty()) {
+    const EntityId country = rng.Choice(countries);
+    ctx->kg->AddFact(id, ctx->located_in, country);
+    ctx->kg->AddLiteralFact(id, ctx->population,
+                            std::to_string(10000 + rng.Uniform(5000000)));
+  }
+  return id;
+}
+
+EntityId MakePerson(GenContext* ctx, const std::vector<EntityId>& countries,
+                    const std::vector<EntityId>& orgs) {
+  Rng& rng = *ctx->rng;
+  const std::string& first = rng.Choice(ctx->first_names);
+  const std::string& last = rng.Choice(ctx->last_names);
+  const std::string label = Cap(first) + " " + Cap(last);
+  std::vector<std::string> aliases;
+  // Initial form: "W. Gates".
+  aliases.push_back(std::string(1, static_cast<char>(std::toupper(
+                        static_cast<unsigned char>(first[0])))) +
+                    ". " + Cap(last));
+  // Inverted form: "Gates, William".
+  aliases.push_back(Cap(last) + ", " + Cap(first));
+  // Formal variant of the first name (BILL -> WILLIAM analog): the
+  // translation lexicon provides the consistent long form.
+  aliases.push_back(Cap(ctx->names->Translate(first)) + " " + Cap(last));
+  const EntityId id =
+      AddEntityWithAliases(ctx, ctx->person, label, std::move(aliases));
+  if (!countries.empty()) {
+    ctx->kg->AddFact(id, ctx->citizen_of, rng.Choice(countries));
+  }
+  if (!orgs.empty() && rng.Bernoulli(0.6)) {
+    ctx->kg->AddFact(id, ctx->works_for, rng.Choice(orgs));
+  }
+  return id;
+}
+
+EntityId MakeOrganization(GenContext* ctx,
+                          const std::vector<EntityId>& cities) {
+  Rng& rng = *ctx->rng;
+  const std::string w1 = ctx->names->Word(2, 3);
+  const std::string w2 = ctx->names->Word(2, 2);
+  std::string label;
+  std::vector<std::string> aliases;
+  const uint64_t form = rng.Uniform(4);
+  if (form == 0) {
+    label = "University of " + Cap(w1);
+    aliases.push_back(Cap(w1) + " University");
+    aliases.push_back(NameFactory::Acronym(ToLower(label)));
+  } else if (form == 1) {
+    label = Cap(w1) + " " + Cap(w2) + " Institute";
+    aliases.push_back(NameFactory::Acronym(ToLower(label)));
+    aliases.push_back(Cap(w1) + " Institute");
+  } else if (form == 2) {
+    label = Cap(w1) + " Corporation";
+    aliases.push_back(Cap(w1) + " Corp");
+    aliases.push_back(Cap(w1) + " Inc");
+  } else {
+    label = Cap(w1) + " " + Cap(w2) + " Union";
+    aliases.push_back(NameFactory::Acronym(ToLower(label)));
+    aliases.push_back(Cap(ctx->names->Translate(w1)) + " Union");
+  }
+  const EntityId id =
+      AddEntityWithAliases(ctx, ctx->organization, label, std::move(aliases));
+  if (!cities.empty()) {
+    ctx->kg->AddFact(id, ctx->headquartered_in, rng.Choice(cities));
+    ctx->kg->AddLiteralFact(id, ctx->inception,
+                            std::to_string(1800 + rng.Uniform(220)));
+  }
+  return id;
+}
+
+EntityId MakeFilm(GenContext* ctx, const std::vector<EntityId>& persons) {
+  Rng& rng = *ctx->rng;
+  const std::string w1 = ctx->names->Word(2, 3);
+  const std::string w2 = ctx->names->Word(2, 2);
+  std::string label;
+  std::vector<std::string> aliases;
+  const uint64_t form = rng.Uniform(3);
+  if (form == 0) {
+    label = "The " + Cap(w1);
+    aliases.push_back(Cap(w1));
+  } else if (form == 1) {
+    label = Cap(w1) + " of " + Cap(w2);
+    aliases.push_back(Cap(w1));
+  } else {
+    label = Cap(w1) + ": " + Cap(w2);
+    aliases.push_back(Cap(w1));
+  }
+  aliases.push_back(Cap(ctx->names->Translate(w1)));
+  const EntityId id =
+      AddEntityWithAliases(ctx, ctx->film, label, std::move(aliases));
+  if (!persons.empty()) {
+    ctx->kg->AddFact(id, ctx->directed_by, rng.Choice(persons));
+  }
+  return id;
+}
+
+EntityId MakeSpecies(GenContext* ctx) {
+  const std::string w1 = ctx->names->Word(2, 3);
+  const std::string w2 = ctx->names->Word(2, 3);
+  const std::string label = Cap(w1) + " " + w2;  // Binomial style.
+  std::vector<std::string> aliases;
+  aliases.push_back(Cap(ctx->names->Translate(w1)));
+  aliases.push_back(Cap(w1));
+  return AddEntityWithAliases(ctx, ctx->species, label, std::move(aliases));
+}
+
+}  // namespace
+
+KnowledgeGraph GenerateSyntheticKg(const SyntheticKgOptions& options) {
+  EL_CHECK_GT(options.num_entities, 20);
+  KnowledgeGraph kg;
+  NameFactory names(options.seed);
+  Rng rng(options.seed ^ 0x5bd1e995);
+
+  GenContext ctx;
+  ctx.kg = &kg;
+  ctx.names = &names;
+  ctx.rng = &rng;
+  ctx.flavor = options.flavor;
+  ctx.country = kg.AddType(SyntheticSchema::kCountry);
+  ctx.city = kg.AddType(SyntheticSchema::kCity);
+  ctx.person = kg.AddType(SyntheticSchema::kPerson);
+  ctx.organization = kg.AddType(SyntheticSchema::kOrganization);
+  ctx.film = kg.AddType(SyntheticSchema::kFilm);
+  ctx.species = kg.AddType(SyntheticSchema::kSpecies);
+  ctx.located_in = kg.AddProperty(SyntheticSchema::kLocatedIn);
+  ctx.capital = kg.AddProperty(SyntheticSchema::kCapital);
+  ctx.citizen_of = kg.AddProperty(SyntheticSchema::kCitizenOf);
+  ctx.works_for = kg.AddProperty(SyntheticSchema::kWorksFor);
+  ctx.headquartered_in = kg.AddProperty(SyntheticSchema::kHeadquarteredIn);
+  ctx.directed_by = kg.AddProperty(SyntheticSchema::kDirectedBy);
+  ctx.population = kg.AddProperty(SyntheticSchema::kPopulation);
+  ctx.inception = kg.AddProperty(SyntheticSchema::kInception);
+
+  // Name pools sized with the graph so frequencies stay realistic.
+  const int64_t n = options.num_entities;
+  const int64_t pool = std::max<int64_t>(20, n / 40);
+  for (int64_t i = 0; i < pool; ++i) {
+    ctx.first_names.push_back(names.Word(1, 2));
+    ctx.last_names.push_back(names.Word(2, 3));
+    ctx.last_names.push_back(names.Word(2, 3));
+  }
+
+  const int64_t num_countries = std::max<int64_t>(8, n / 400);
+  const int64_t num_cities = n * 15 / 100;
+  const int64_t num_orgs = n * 18 / 100;
+  const int64_t num_films = n * 15 / 100;
+  const int64_t num_species = n * 12 / 100;
+
+  std::vector<EntityId> countries, cities, orgs, persons;
+  for (int64_t i = 0; i < num_countries; ++i) {
+    countries.push_back(MakeCountry(&ctx));
+  }
+  for (int64_t i = 0; i < num_cities; ++i) {
+    cities.push_back(MakeCity(&ctx, countries));
+  }
+  // Each country gets a capital from its cities.
+  for (EntityId c : countries) {
+    if (!cities.empty()) {
+      kg.AddFact(c, ctx.capital, rng.Choice(cities));
+    }
+  }
+  for (int64_t i = 0; i < num_orgs; ++i) {
+    orgs.push_back(MakeOrganization(&ctx, cities));
+  }
+  // Remaining budget: persons, films, species.
+  while (kg.num_entities() < n - num_films - num_species) {
+    persons.push_back(MakePerson(&ctx, countries, orgs));
+  }
+  for (int64_t i = 0; i < num_films && kg.num_entities() < n; ++i) {
+    MakeFilm(&ctx, persons);
+  }
+  while (kg.num_entities() < n) {
+    MakeSpecies(&ctx);
+  }
+
+  // Inject label ambiguity: duplicate some labels across entities of
+  // different (or same) types, e.g. the many BERLINs of the introduction.
+  const int64_t dup = static_cast<int64_t>(
+      options.ambiguity_rate * static_cast<double>(kg.num_entities()));
+  for (int64_t i = 0; i < dup; ++i) {
+    const EntityId src = static_cast<EntityId>(rng.Uniform(kg.num_entities()));
+    const EntityId dst = static_cast<EntityId>(rng.Uniform(kg.num_entities()));
+    if (src == dst) continue;
+    kg.AddAlias(dst, kg.entity(src).label);
+  }
+  return kg;
+}
+
+}  // namespace emblookup::kg

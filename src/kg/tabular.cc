@@ -1,0 +1,213 @@
+#include "kg/tabular.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "kg/noise.h"
+#include "kg/synthetic_kg.h"
+
+namespace emblookup::kg {
+
+double TabularDataset::AvgRows() const {
+  if (tables.empty()) return 0.0;
+  int64_t total = 0;
+  for (const Table& t : tables) total += t.num_rows();
+  return static_cast<double>(total) / static_cast<double>(tables.size());
+}
+
+double TabularDataset::AvgCols() const {
+  if (tables.empty()) return 0.0;
+  int64_t total = 0;
+  for (const Table& t : tables) total += t.num_cols();
+  return static_cast<double>(total) / static_cast<double>(tables.size());
+}
+
+int64_t TabularDataset::NumAnnotatedCells() const {
+  int64_t count = 0;
+  for (const Table& t : tables) {
+    for (const auto& row : t.rows) {
+      for (const Cell& c : row) {
+        if (c.gt_entity != kInvalidEntity) ++count;
+      }
+    }
+  }
+  return count;
+}
+
+DatasetProfile DatasetProfile::StWikidataLike(double scale) {
+  DatasetProfile p;
+  p.name = "ST-Wikidata";
+  p.num_tables = static_cast<int64_t>(220 * scale);
+  p.min_rows = 3;
+  p.max_rows = 10;  // Paper avg 6.6 rows.
+  p.min_entity_cols = 2;
+  p.max_entity_cols = 4;  // Paper avg 4.1 cols incl. literals.
+  p.literal_col_prob = 0.5;
+  // Even "no error" SemTab data carries mild ambiguity: occasional alias
+  // mentions and rare typos keep the clean-data F-scores below 1.
+  p.alias_cell_rate = 0.08;
+  p.typo_cell_rate = 0.02;
+  return p;
+}
+
+DatasetProfile DatasetProfile::StDbpediaLike(double scale) {
+  DatasetProfile p;
+  p.name = "ST-DBPedia";
+  p.num_tables = static_cast<int64_t>(60 * scale);
+  p.min_rows = 12;
+  p.max_rows = 40;  // Paper avg 26.2 rows.
+  p.min_entity_cols = 3;
+  p.max_entity_cols = 5;
+  p.literal_col_prob = 0.5;
+  p.alias_cell_rate = 0.08;
+  p.typo_cell_rate = 0.02;
+  return p;
+}
+
+DatasetProfile DatasetProfile::ToughTablesLike(double scale) {
+  DatasetProfile p;
+  p.name = "ToughTables";
+  p.num_tables = std::max<int64_t>(2, static_cast<int64_t>(6 * scale));
+  p.min_rows = 150;
+  p.max_rows = 500;  // Paper avg 1080 rows over 180 tables.
+  p.min_entity_cols = 2;
+  p.max_entity_cols = 4;
+  p.literal_col_prob = 0.35;
+  p.alias_cell_rate = 0.25;  // Inherent ambiguity.
+  p.typo_cell_rate = 0.20;   // Inherent noise.
+  return p;
+}
+
+namespace {
+
+/// Relation columns available per subject type: (property name, object type
+/// name).
+struct Relation {
+  const char* property;
+  const char* object_type;
+};
+
+std::vector<Relation> RelationsFor(const KnowledgeGraph& kg, TypeId type) {
+  const std::string& name = kg.TypeName(type);
+  if (name == SyntheticSchema::kCity) {
+    return {{SyntheticSchema::kLocatedIn, SyntheticSchema::kCountry}};
+  }
+  if (name == SyntheticSchema::kPerson) {
+    return {{SyntheticSchema::kCitizenOf, SyntheticSchema::kCountry},
+            {SyntheticSchema::kWorksFor, SyntheticSchema::kOrganization}};
+  }
+  if (name == SyntheticSchema::kOrganization) {
+    return {{SyntheticSchema::kHeadquarteredIn, SyntheticSchema::kCity}};
+  }
+  if (name == SyntheticSchema::kFilm) {
+    return {{SyntheticSchema::kDirectedBy, SyntheticSchema::kPerson}};
+  }
+  if (name == SyntheticSchema::kCountry) {
+    return {{SyntheticSchema::kCapital, SyntheticSchema::kCity}};
+  }
+  return {};
+}
+
+std::string CellText(const KnowledgeGraph& kg, EntityId e,
+                     const DatasetProfile& profile, Rng* rng) {
+  const Entity& ent = kg.entity(e);
+  std::string text = ent.label;
+  if (profile.alias_cell_rate > 0.0 && !ent.aliases.empty() &&
+      rng->Bernoulli(profile.alias_cell_rate)) {
+    text = ent.aliases[rng->Uniform(ent.aliases.size())];
+  }
+  if (profile.typo_cell_rate > 0.0 && rng->Bernoulli(profile.typo_cell_rate)) {
+    text = RandomTypo(text, rng, 1);
+  }
+  return text;
+}
+
+}  // namespace
+
+TabularDataset GenerateDataset(const KnowledgeGraph& kg,
+                               const DatasetProfile& profile, Rng* rng) {
+  TabularDataset dataset;
+  dataset.name = profile.name;
+
+  // Subject types: every type with enough members.
+  std::vector<TypeId> subject_types;
+  for (TypeId t = 0; t < kg.num_types(); ++t) {
+    if (static_cast<int64_t>(kg.EntitiesOfType(t).size()) >=
+        profile.max_rows) {
+      subject_types.push_back(t);
+    }
+  }
+  EL_CHECK(!subject_types.empty()) << "KG too small for profile";
+
+  for (int64_t ti = 0; ti < profile.num_tables; ++ti) {
+    Table table;
+    table.name = profile.name + "_t" + std::to_string(ti);
+    const TypeId subject_type = rng->Choice(subject_types);
+    const auto& pool = kg.EntitiesOfType(subject_type);
+
+    const int64_t rows = rng->UniformInt(profile.min_rows, profile.max_rows);
+    const int64_t entity_cols =
+        rng->UniformInt(profile.min_entity_cols, profile.max_entity_cols);
+
+    // Column plan: col 0 = subject; relation columns next; filler columns of
+    // an independent type after that; optionally one literal column.
+    std::vector<Relation> rels = RelationsFor(kg, subject_type);
+    std::vector<ColumnInfo> plan;
+    std::vector<PropertyId> rel_props;
+    std::vector<TypeId> filler_types;
+    plan.push_back({subject_type, false});
+    for (const Relation& r : rels) {
+      if (static_cast<int64_t>(plan.size()) >= entity_cols) break;
+      const TypeId ot = kg.FindType(r.object_type);
+      if (ot == kInvalidType || kg.EntitiesOfType(ot).empty()) continue;
+      plan.push_back({ot, false});
+      rel_props.push_back(kg.FindProperty(r.property));
+    }
+    while (static_cast<int64_t>(plan.size()) < entity_cols) {
+      const TypeId t = rng->Choice(subject_types);
+      plan.push_back({t, false});
+      filler_types.push_back(t);
+    }
+    const bool has_literal = rng->Bernoulli(profile.literal_col_prob);
+    if (has_literal) plan.push_back({kInvalidType, true});
+    table.columns = plan;
+
+    // Distinct subjects per table.
+    std::unordered_set<EntityId> used;
+    for (int64_t ri = 0; ri < rows; ++ri) {
+      EntityId subject = pool[rng->Uniform(pool.size())];
+      for (int attempt = 0;
+           attempt < 5 && used.count(subject) > 0; ++attempt) {
+        subject = pool[rng->Uniform(pool.size())];
+      }
+      used.insert(subject);
+
+      std::vector<Cell> row;
+      row.push_back({CellText(kg, subject, profile, rng), subject});
+      size_t rel_idx = 0;
+      for (size_t ci = 1; ci < plan.size(); ++ci) {
+        if (plan[ci].is_literal) {
+          row.push_back(
+              {std::to_string(1900 + rng->Uniform(125)), kInvalidEntity});
+          continue;
+        }
+        EntityId obj = kInvalidEntity;
+        if (rel_idx < rel_props.size()) {
+          obj = kg.ObjectOf(subject, rel_props[rel_idx]);
+          ++rel_idx;
+        }
+        if (obj == kInvalidEntity) {
+          const auto& opool = kg.EntitiesOfType(plan[ci].gt_type);
+          obj = opool[rng->Uniform(opool.size())];
+        }
+        row.push_back({CellText(kg, obj, profile, rng), obj});
+      }
+      table.rows.push_back(std::move(row));
+    }
+    dataset.tables.push_back(std::move(table));
+  }
+  return dataset;
+}
+
+}  // namespace emblookup::kg

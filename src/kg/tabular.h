@@ -1,0 +1,78 @@
+#ifndef EMBLOOKUP_KG_TABULAR_H_
+#define EMBLOOKUP_KG_TABULAR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "kg/knowledge_graph.h"
+
+namespace emblookup::kg {
+
+/// One table cell: the surface mention plus (held-out) ground truth used
+/// only for evaluation, mirroring the SemTab gold annotations.
+struct Cell {
+  std::string text;
+  EntityId gt_entity = kInvalidEntity;  ///< kInvalidEntity for literals.
+};
+
+/// Per-column annotation target.
+struct ColumnInfo {
+  TypeId gt_type = kInvalidType;  ///< kInvalidType for literal columns.
+  bool is_literal = false;
+};
+
+/// A relational table T with m rows and n columns (§II).
+struct Table {
+  std::string name;
+  std::vector<ColumnInfo> columns;
+  std::vector<std::vector<Cell>> rows;  ///< rows[i][j] = t_{i,j}.
+
+  int64_t num_rows() const { return static_cast<int64_t>(rows.size()); }
+  int64_t num_cols() const { return static_cast<int64_t>(columns.size()); }
+};
+
+/// A benchmark dataset: a collection of tables with gold annotations.
+struct TabularDataset {
+  std::string name;
+  std::vector<Table> tables;
+
+  int64_t NumTables() const { return static_cast<int64_t>(tables.size()); }
+  double AvgRows() const;
+  double AvgCols() const;
+  /// Number of entity cells carrying ground truth (the "#cells to annotate"
+  /// statistic of Table I).
+  int64_t NumAnnotatedCells() const;
+};
+
+/// Shape parameters for dataset generation, mirroring Table I profiles.
+struct DatasetProfile {
+  std::string name;
+  int64_t num_tables = 100;
+  int64_t min_rows = 3, max_rows = 12;
+  int64_t min_entity_cols = 2, max_entity_cols = 5;
+  double literal_col_prob = 0.35;  ///< Chance of adding a literal column.
+  /// Fraction of entity cells rendered with an alias instead of the label
+  /// (Tough Tables-style inherent ambiguity).
+  double alias_cell_rate = 0.0;
+  /// Fraction of entity cells with baked-in typos (Tough Tables noise).
+  double typo_cell_rate = 0.0;
+
+  /// Scaled-down analogs of the paper's three datasets. `scale` multiplies
+  /// table counts (1.0 = the default bench size, not the paper's raw size).
+  static DatasetProfile StWikidataLike(double scale = 1.0);
+  static DatasetProfile StDbpediaLike(double scale = 1.0);
+  static DatasetProfile ToughTablesLike(double scale = 1.0);
+};
+
+/// Generates a dataset over `kg` with gold cell/column annotations.
+/// Column 0 of each table is the subject column; further entity columns are
+/// fact-related to the subject when the KG provides a relation, otherwise
+/// independent entities of the column's type.
+TabularDataset GenerateDataset(const KnowledgeGraph& kg,
+                               const DatasetProfile& profile, Rng* rng);
+
+}  // namespace emblookup::kg
+
+#endif  // EMBLOOKUP_KG_TABULAR_H_

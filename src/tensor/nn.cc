@@ -1,0 +1,69 @@
+#include "tensor/nn.h"
+
+#include <cmath>
+
+namespace emblookup::tensor::nn {
+
+void UniformInit(Tensor* t, float bound, Rng* rng) {
+  for (int64_t i = 0; i < t->size(); ++i) {
+    t->data()[i] = rng->UniformFloat(-bound, bound);
+  }
+}
+
+float KaimingBound(int64_t fan_in) {
+  return std::sqrt(1.0f / static_cast<float>(fan_in));
+}
+
+Linear::Linear(int64_t in_features, int64_t out_features, Rng* rng) {
+  weight_ = Tensor::Zeros({in_features, out_features}, /*requires_grad=*/true);
+  bias_ = Tensor::Zeros({out_features}, /*requires_grad=*/true);
+  const float bound = KaimingBound(in_features);
+  UniformInit(&weight_, bound, rng);
+  UniformInit(&bias_, bound, rng);
+}
+
+Conv1dLayer::Conv1dLayer(int64_t in_channels, int64_t out_channels,
+                         int64_t kernel, int64_t padding, Rng* rng)
+    : padding_(padding) {
+  weight_ = Tensor::Zeros({out_channels, in_channels, kernel},
+                          /*requires_grad=*/true);
+  bias_ = Tensor::Zeros({out_channels}, /*requires_grad=*/true);
+  const float bound = KaimingBound(in_channels * kernel);
+  UniformInit(&weight_, bound, rng);
+  UniformInit(&bias_, bound, rng);
+}
+
+LstmCell::LstmCell(int64_t input_size, int64_t hidden_size, Rng* rng)
+    : hidden_size_(hidden_size) {
+  w_ih_ = Tensor::Zeros({input_size, 4 * hidden_size}, /*requires_grad=*/true);
+  w_hh_ = Tensor::Zeros({hidden_size, 4 * hidden_size},
+                        /*requires_grad=*/true);
+  bias_ = Tensor::Zeros({4 * hidden_size}, /*requires_grad=*/true);
+  const float bound = KaimingBound(hidden_size);
+  UniformInit(&w_ih_, bound, rng);
+  UniformInit(&w_hh_, bound, rng);
+  UniformInit(&bias_, bound, rng);
+  // Forget-gate bias init to 1 encourages gradient flow early in training.
+  for (int64_t j = hidden_size; j < 2 * hidden_size; ++j) {
+    bias_.data()[j] = 1.0f;
+  }
+}
+
+std::pair<Tensor, Tensor> LstmCell::Step(const Tensor& x, const Tensor& h,
+                                         const Tensor& c) {
+  Tensor gates = Add(Add(MatMul(x, w_ih_), MatMul(h, w_hh_)), bias_);
+  Tensor i_gate = Sigmoid(SliceCols(gates, 0, hidden_size_));
+  Tensor f_gate = Sigmoid(SliceCols(gates, hidden_size_, hidden_size_));
+  Tensor g_gate = Tanh(SliceCols(gates, 2 * hidden_size_, hidden_size_));
+  Tensor o_gate = Sigmoid(SliceCols(gates, 3 * hidden_size_, hidden_size_));
+  Tensor c_next = Add(Mul(f_gate, c), Mul(i_gate, g_gate));
+  Tensor h_next = Mul(o_gate, Tanh(c_next));
+  return {h_next, c_next};
+}
+
+LayerNorm::LayerNorm(int64_t features) {
+  gamma_ = Tensor::Full({features}, 1.0f, /*requires_grad=*/true);
+  beta_ = Tensor::Zeros({features}, /*requires_grad=*/true);
+}
+
+}  // namespace emblookup::tensor::nn

@@ -1,0 +1,127 @@
+#ifndef EMBLOOKUP_TENSOR_NN_H_
+#define EMBLOOKUP_TENSOR_NN_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace emblookup::tensor::nn {
+
+/// Base class for trainable components. Parameters() returns the trainable
+/// leaves (aliasing handles, not copies).
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// All trainable parameter tensors of this module.
+  virtual std::vector<Tensor> Parameters() = 0;
+
+  /// Zeroes every parameter gradient.
+  void ZeroGrad() {
+    for (Tensor& p : Parameters()) p.ZeroGrad();
+  }
+
+  /// Total number of trainable scalars.
+  int64_t NumParameters() {
+    int64_t n = 0;
+    for (Tensor& p : Parameters()) n += p.size();
+    return n;
+  }
+};
+
+/// Fully connected layer: y = x W + b with x (B, in), W (in, out), b (out).
+class Linear : public Module {
+ public:
+  /// Kaiming-uniform initialization using `rng`.
+  Linear(int64_t in_features, int64_t out_features, Rng* rng);
+
+  Tensor Forward(const Tensor& x) { return Add(MatMul(x, weight_), bias_); }
+
+  std::vector<Tensor> Parameters() override { return {weight_, bias_}; }
+
+  Tensor& weight() { return weight_; }
+  Tensor& bias() { return bias_; }
+
+ private:
+  Tensor weight_;
+  Tensor bias_;
+};
+
+/// 1-D convolution layer (stride 1, configurable symmetric padding).
+/// Weight (out_channels, in_channels, kernel), bias (out_channels).
+class Conv1dLayer : public Module {
+ public:
+  Conv1dLayer(int64_t in_channels, int64_t out_channels, int64_t kernel,
+              int64_t padding, Rng* rng);
+
+  Tensor Forward(const Tensor& x) {
+    return Conv1d(x, weight_, bias_, padding_);
+  }
+
+  std::vector<Tensor> Parameters() override { return {weight_, bias_}; }
+
+ private:
+  Tensor weight_;
+  Tensor bias_;
+  int64_t padding_;
+};
+
+/// Single LSTM cell; unroll it manually over time steps. Gate order in the
+/// fused projection is (input, forget, cell, output).
+class LstmCell : public Module {
+ public:
+  LstmCell(int64_t input_size, int64_t hidden_size, Rng* rng);
+
+  /// One time step: returns (h_next, c_next) for x (B, input_size) and
+  /// state h, c (B, hidden_size).
+  std::pair<Tensor, Tensor> Step(const Tensor& x, const Tensor& h,
+                                 const Tensor& c);
+
+  /// Zero-filled initial state for a batch.
+  std::pair<Tensor, Tensor> InitialState(int64_t batch) const {
+    return {Tensor::Zeros({batch, hidden_size_}),
+            Tensor::Zeros({batch, hidden_size_})};
+  }
+
+  std::vector<Tensor> Parameters() override {
+    return {w_ih_, w_hh_, bias_};
+  }
+
+  int64_t hidden_size() const { return hidden_size_; }
+
+ private:
+  Tensor w_ih_;   // (input, 4*hidden)
+  Tensor w_hh_;   // (hidden, 4*hidden)
+  Tensor bias_;   // (4*hidden)
+  int64_t hidden_size_;
+};
+
+/// Learned layer normalization over the last dimension of a rank-2 input.
+class LayerNorm : public Module {
+ public:
+  explicit LayerNorm(int64_t features);
+
+  Tensor Forward(const Tensor& x) {
+    return LayerNormRows(x, gamma_, beta_);
+  }
+
+  std::vector<Tensor> Parameters() override { return {gamma_, beta_}; }
+
+ private:
+  Tensor gamma_;
+  Tensor beta_;
+};
+
+/// Fills `t` with U(-bound, bound).
+void UniformInit(Tensor* t, float bound, Rng* rng);
+
+/// Kaiming-uniform bound for a layer with `fan_in` inputs.
+float KaimingBound(int64_t fan_in);
+
+}  // namespace emblookup::tensor::nn
+
+#endif  // EMBLOOKUP_TENSOR_NN_H_

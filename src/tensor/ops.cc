@@ -1,0 +1,742 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "common/logging.h"
+
+namespace emblookup::tensor {
+
+namespace {
+
+using internal::TensorImpl;
+using ImplPtr = std::shared_ptr<TensorImpl>;
+
+/// Creates the result tensor for an op. `backward` receives the raw result
+/// impl; it must scatter result->grad into the parents' grad buffers.
+/// The tape entry is recorded only when recording is on and some parent
+/// requires grad.
+Tensor MakeOp(Shape shape, std::vector<float> data,
+              std::vector<ImplPtr> parents,
+              std::function<void(TensorImpl*)> backward) {
+  auto impl = std::make_shared<TensorImpl>();
+  impl->shape = std::move(shape);
+  impl->data = std::move(data);
+  bool need_grad = false;
+  if (GradEnabled()) {
+    for (const auto& p : parents) {
+      if (p->requires_grad) {
+        need_grad = true;
+        break;
+      }
+    }
+  }
+  if (need_grad) {
+    impl->requires_grad = true;
+    TensorImpl* raw = impl.get();
+    impl->parents = std::move(parents);
+    auto fn = std::move(backward);
+    // Parents are kept alive by impl->parents; capture only what's needed.
+    // Gradient buffers are allocated for every parent (so closures may
+    // accumulate blindly), but expensive closures additionally check
+    // requires_grad to skip work for constant inputs (e.g. one-hot input).
+    impl->backward_fn = [raw, fn]() {
+      for (const auto& p : raw->parents) p->AllocGrad();
+      fn(raw);
+    };
+  }
+  return Tensor(std::move(impl));
+}
+
+void CheckSameShape(const Tensor& a, const Tensor& b, const char* op) {
+  EL_CHECK(a.shape() == b.shape())
+      << op << ": shape mismatch " << ShapeToString(a.shape()) << " vs "
+      << ShapeToString(b.shape());
+}
+
+}  // namespace
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  // Bias-broadcast case: (M,N) + (N).
+  if (a.ndim() == 2 && b.ndim() == 1 && a.dim(1) == b.dim(0)) {
+    const int64_t m = a.dim(0), n = a.dim(1);
+    std::vector<float> out(a.data(), a.data() + a.size());
+    for (int64_t i = 0; i < m; ++i) {
+      for (int64_t j = 0; j < n; ++j) out[i * n + j] += b.data()[j];
+    }
+    return MakeOp(a.shape(), std::move(out), {a.impl(), b.impl()},
+                  [m, n](TensorImpl* r) {
+                    TensorImpl* pa = r->parents[0].get();
+                    TensorImpl* pb = r->parents[1].get();
+                    for (int64_t i = 0; i < m * n; ++i) {
+                      pa->grad[i] += r->grad[i];
+                    }
+                    for (int64_t i = 0; i < m; ++i) {
+                      for (int64_t j = 0; j < n; ++j) {
+                        pb->grad[j] += r->grad[i * n + j];
+                      }
+                    }
+                  });
+  }
+  CheckSameShape(a, b, "Add");
+  std::vector<float> out(a.size());
+  for (int64_t i = 0; i < a.size(); ++i) out[i] = a.data()[i] + b.data()[i];
+  return MakeOp(a.shape(), std::move(out), {a.impl(), b.impl()},
+                [](TensorImpl* r) {
+                  TensorImpl* pa = r->parents[0].get();
+                  TensorImpl* pb = r->parents[1].get();
+                  for (size_t i = 0; i < r->grad.size(); ++i) {
+                    pa->grad[i] += r->grad[i];
+                    pb->grad[i] += r->grad[i];
+                  }
+                });
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b, "Sub");
+  std::vector<float> out(a.size());
+  for (int64_t i = 0; i < a.size(); ++i) out[i] = a.data()[i] - b.data()[i];
+  return MakeOp(a.shape(), std::move(out), {a.impl(), b.impl()},
+                [](TensorImpl* r) {
+                  TensorImpl* pa = r->parents[0].get();
+                  TensorImpl* pb = r->parents[1].get();
+                  for (size_t i = 0; i < r->grad.size(); ++i) {
+                    pa->grad[i] += r->grad[i];
+                    pb->grad[i] -= r->grad[i];
+                  }
+                });
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b, "Mul");
+  std::vector<float> out(a.size());
+  for (int64_t i = 0; i < a.size(); ++i) out[i] = a.data()[i] * b.data()[i];
+  return MakeOp(a.shape(), std::move(out), {a.impl(), b.impl()},
+                [](TensorImpl* r) {
+                  TensorImpl* pa = r->parents[0].get();
+                  TensorImpl* pb = r->parents[1].get();
+                  for (size_t i = 0; i < r->grad.size(); ++i) {
+                    pa->grad[i] += r->grad[i] * pb->data[i];
+                    pb->grad[i] += r->grad[i] * pa->data[i];
+                  }
+                });
+}
+
+Tensor AddScalar(const Tensor& a, float s) {
+  std::vector<float> out(a.size());
+  for (int64_t i = 0; i < a.size(); ++i) out[i] = a.data()[i] + s;
+  return MakeOp(a.shape(), std::move(out), {a.impl()}, [](TensorImpl* r) {
+    TensorImpl* pa = r->parents[0].get();
+    for (size_t i = 0; i < r->grad.size(); ++i) pa->grad[i] += r->grad[i];
+  });
+}
+
+Tensor MulScalar(const Tensor& a, float s) {
+  std::vector<float> out(a.size());
+  for (int64_t i = 0; i < a.size(); ++i) out[i] = a.data()[i] * s;
+  return MakeOp(a.shape(), std::move(out), {a.impl()}, [s](TensorImpl* r) {
+    TensorImpl* pa = r->parents[0].get();
+    for (size_t i = 0; i < r->grad.size(); ++i) pa->grad[i] += r->grad[i] * s;
+  });
+}
+
+Tensor Relu(const Tensor& a) {
+  std::vector<float> out(a.size());
+  for (int64_t i = 0; i < a.size(); ++i) out[i] = std::max(0.0f, a.data()[i]);
+  return MakeOp(a.shape(), std::move(out), {a.impl()}, [](TensorImpl* r) {
+    TensorImpl* pa = r->parents[0].get();
+    for (size_t i = 0; i < r->grad.size(); ++i) {
+      if (r->data[i] > 0.0f) pa->grad[i] += r->grad[i];
+    }
+  });
+}
+
+Tensor Sigmoid(const Tensor& a) {
+  std::vector<float> out(a.size());
+  for (int64_t i = 0; i < a.size(); ++i) {
+    out[i] = 1.0f / (1.0f + std::exp(-a.data()[i]));
+  }
+  return MakeOp(a.shape(), std::move(out), {a.impl()}, [](TensorImpl* r) {
+    TensorImpl* pa = r->parents[0].get();
+    for (size_t i = 0; i < r->grad.size(); ++i) {
+      const float y = r->data[i];
+      pa->grad[i] += r->grad[i] * y * (1.0f - y);
+    }
+  });
+}
+
+Tensor Tanh(const Tensor& a) {
+  std::vector<float> out(a.size());
+  for (int64_t i = 0; i < a.size(); ++i) out[i] = std::tanh(a.data()[i]);
+  return MakeOp(a.shape(), std::move(out), {a.impl()}, [](TensorImpl* r) {
+    TensorImpl* pa = r->parents[0].get();
+    for (size_t i = 0; i < r->grad.size(); ++i) {
+      const float y = r->data[i];
+      pa->grad[i] += r->grad[i] * (1.0f - y * y);
+    }
+  });
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  EL_CHECK_EQ(a.ndim(), 2);
+  EL_CHECK_EQ(b.ndim(), 2);
+  EL_CHECK_EQ(a.dim(1), b.dim(0))
+      << "MatMul: " << ShapeToString(a.shape()) << " x "
+      << ShapeToString(b.shape());
+  const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  std::vector<float> out(m * n, 0.0f);
+  const float* pa = a.data();
+  const float* pb = b.data();
+  // i-k-j loop order for cache-friendly access to b.
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float av = pa[i * k + kk];
+      if (av == 0.0f) continue;
+      const float* brow = pb + kk * n;
+      float* orow = out.data() + i * n;
+      for (int64_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+  return MakeOp({m, n}, std::move(out), {a.impl(), b.impl()},
+                [m, k, n](TensorImpl* r) {
+                  TensorImpl* A = r->parents[0].get();
+                  TensorImpl* B = r->parents[1].get();
+                  // dA = dR * B^T
+                  for (int64_t i = 0; i < m; ++i) {
+                    for (int64_t j = 0; j < n; ++j) {
+                      const float g = r->grad[i * n + j];
+                      if (g == 0.0f) continue;
+                      const float* brow = B->data.data() + j;
+                      float* arow = A->grad.data() + i * k;
+                      for (int64_t kk = 0; kk < k; ++kk) {
+                        arow[kk] += g * brow[kk * n];
+                      }
+                    }
+                  }
+                  // dB = A^T * dR
+                  for (int64_t kk = 0; kk < k; ++kk) {
+                    for (int64_t i = 0; i < m; ++i) {
+                      const float av = A->data[i * k + kk];
+                      if (av == 0.0f) continue;
+                      const float* grow = r->grad.data() + i * n;
+                      float* brow = B->grad.data() + kk * n;
+                      for (int64_t j = 0; j < n; ++j) brow[j] += av * grow[j];
+                    }
+                  }
+                });
+}
+
+Tensor Transpose(const Tensor& a) {
+  EL_CHECK_EQ(a.ndim(), 2);
+  const int64_t m = a.dim(0), n = a.dim(1);
+  std::vector<float> out(m * n);
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) out[j * m + i] = a.data()[i * n + j];
+  }
+  return MakeOp({n, m}, std::move(out), {a.impl()}, [m, n](TensorImpl* r) {
+    TensorImpl* pa = r->parents[0].get();
+    for (int64_t i = 0; i < m; ++i) {
+      for (int64_t j = 0; j < n; ++j) {
+        pa->grad[i * n + j] += r->grad[j * m + i];
+      }
+    }
+  });
+}
+
+Tensor Conv1d(const Tensor& input, const Tensor& weight, const Tensor& bias,
+              int64_t padding) {
+  EL_CHECK_EQ(input.ndim(), 3);
+  EL_CHECK_EQ(weight.ndim(), 3);
+  EL_CHECK_EQ(bias.ndim(), 1);
+  const int64_t b = input.dim(0), cin = input.dim(1), len = input.dim(2);
+  const int64_t cout = weight.dim(0), k = weight.dim(2);
+  EL_CHECK_EQ(weight.dim(1), cin);
+  EL_CHECK_EQ(bias.dim(0), cout);
+  const int64_t lout = len + 2 * padding - k + 1;
+  EL_CHECK_GT(lout, 0) << "Conv1d: input too short";
+
+  std::vector<float> out(b * cout * lout);
+  const float* x = input.data();
+  const float* w = weight.data();
+  const float* bs = bias.data();
+  // Rows (bi, ci) that are entirely zero contribute nothing; one-hot input
+  // matrices (the CNN's first layer, §III-B) are mostly empty rows, so this
+  // check removes the bulk of the first layer's work.
+  std::vector<uint8_t> row_nonzero(b * cin);
+  for (int64_t i = 0; i < b * cin; ++i) {
+    const float* row = x + i * len;
+    uint8_t any = 0;
+    for (int64_t t = 0; t < len; ++t) {
+      if (row[t] != 0.0f) {
+        any = 1;
+        break;
+      }
+    }
+    row_nonzero[i] = any;
+  }
+  for (int64_t bi = 0; bi < b; ++bi) {
+    const float* xb = x + bi * cin * len;
+    float* ob = out.data() + bi * cout * lout;
+    for (int64_t co = 0; co < cout; ++co) {
+      float* orow = ob + co * lout;
+      for (int64_t t = 0; t < lout; ++t) orow[t] = bs[co];
+      const float* wc = w + co * cin * k;
+      for (int64_t ci = 0; ci < cin; ++ci) {
+        if (!row_nonzero[bi * cin + ci]) continue;
+        const float* xrow = xb + ci * len;
+        const float* wrow = wc + ci * k;
+        for (int64_t kk = 0; kk < k; ++kk) {
+          const float wv = wrow[kk];
+          if (wv == 0.0f) continue;
+          // Output position t reads input position t + kk - padding.
+          const int64_t t_begin = std::max<int64_t>(0, padding - kk);
+          const int64_t t_end = std::min(lout, len + padding - kk);
+          const float* xoff = xrow + (t_begin + kk - padding);
+          float* ooff = orow + t_begin;
+          for (int64_t t = 0; t < t_end - t_begin; ++t) {
+            ooff[t] += wv * xoff[t];
+          }
+        }
+      }
+    }
+  }
+
+  return MakeOp(
+      {b, cout, lout}, std::move(out),
+      {input.impl(), weight.impl(), bias.impl()},
+      [b, cin, len, cout, k, lout, padding,
+       row_nonzero = std::move(row_nonzero)](TensorImpl* r) {
+        TensorImpl* X = r->parents[0].get();
+        TensorImpl* W = r->parents[1].get();
+        TensorImpl* B = r->parents[2].get();
+        // The one-hot input is a leaf without requires_grad; skipping its
+        // gradient halves the first layer's backward cost.
+        const bool need_dx = X->requires_grad;
+        for (int64_t bi = 0; bi < b; ++bi) {
+          const float* gb = r->grad.data() + bi * cout * lout;
+          const float* xb = X->data.data() + bi * cin * len;
+          float* gxb = need_dx ? X->grad.data() + bi * cin * len : nullptr;
+          for (int64_t co = 0; co < cout; ++co) {
+            const float* grow = gb + co * lout;
+            // Bias gradient.
+            float gsum = 0.0f;
+            for (int64_t t = 0; t < lout; ++t) gsum += grow[t];
+            B->grad[co] += gsum;
+            const float* wc = W->data.data() + co * cin * k;
+            float* gwc = W->grad.data() + co * cin * k;
+            for (int64_t ci = 0; ci < cin; ++ci) {
+              if (!need_dx && !row_nonzero[bi * cin + ci]) continue;
+              const float* xrow = xb + ci * len;
+              float* gxrow = need_dx ? gxb + ci * len : nullptr;
+              const float* wrow = wc + ci * k;
+              float* gwrow = gwc + ci * k;
+              for (int64_t kk = 0; kk < k; ++kk) {
+                const int64_t t_begin = std::max<int64_t>(0, padding - kk);
+                const int64_t t_end = std::min(lout, len + padding - kk);
+                const float* xoff = xrow + (t_begin + kk - padding);
+                const float* goff = grow + t_begin;
+                const float wv = wrow[kk];
+                float gw_acc = 0.0f;
+                const int64_t span = t_end - t_begin;
+                if (need_dx) {
+                  float* gxoff = gxrow + (t_begin + kk - padding);
+                  for (int64_t t = 0; t < span; ++t) {
+                    gw_acc += goff[t] * xoff[t];
+                    gxoff[t] += goff[t] * wv;
+                  }
+                } else {
+                  for (int64_t t = 0; t < span; ++t) {
+                    gw_acc += goff[t] * xoff[t];
+                  }
+                }
+                gwrow[kk] += gw_acc;
+              }
+            }
+          }
+        }
+      });
+}
+
+Tensor GlobalMaxPool1d(const Tensor& input) {
+  EL_CHECK_EQ(input.ndim(), 3);
+  const int64_t b = input.dim(0), c = input.dim(1), len = input.dim(2);
+  std::vector<float> out(b * c);
+  std::vector<int64_t> argmax(b * c);
+  const float* x = input.data();
+  for (int64_t i = 0; i < b * c; ++i) {
+    const float* row = x + i * len;
+    int64_t best = 0;
+    for (int64_t t = 1; t < len; ++t) {
+      if (row[t] > row[best]) best = t;
+    }
+    out[i] = row[best];
+    argmax[i] = best;
+  }
+  return MakeOp({b, c}, std::move(out), {input.impl()},
+                [len, argmax = std::move(argmax)](TensorImpl* r) {
+                  TensorImpl* X = r->parents[0].get();
+                  for (size_t i = 0; i < r->grad.size(); ++i) {
+                    X->grad[i * len + argmax[i]] += r->grad[i];
+                  }
+                });
+}
+
+Tensor MaxPool1d(const Tensor& input, int64_t kernel) {
+  EL_CHECK_EQ(input.ndim(), 3);
+  EL_CHECK_GT(kernel, 0);
+  const int64_t b = input.dim(0), c = input.dim(1), len = input.dim(2);
+  const int64_t lout = len / kernel;
+  EL_CHECK_GT(lout, 0) << "MaxPool1d: input shorter than kernel";
+  std::vector<float> out(b * c * lout);
+  std::vector<int64_t> argmax(b * c * lout);
+  const float* x = input.data();
+  for (int64_t i = 0; i < b * c; ++i) {
+    const float* row = x + i * len;
+    for (int64_t t = 0; t < lout; ++t) {
+      int64_t best = t * kernel;
+      for (int64_t kk = 1; kk < kernel; ++kk) {
+        if (row[t * kernel + kk] > row[best]) best = t * kernel + kk;
+      }
+      out[i * lout + t] = row[best];
+      argmax[i * lout + t] = best;
+    }
+  }
+  return MakeOp({b, c, lout}, std::move(out), {input.impl()},
+                [len, lout, argmax = std::move(argmax)](TensorImpl* r) {
+                  TensorImpl* X = r->parents[0].get();
+                  const int64_t rows = static_cast<int64_t>(r->grad.size()) / lout;
+                  for (int64_t i = 0; i < rows; ++i) {
+                    for (int64_t t = 0; t < lout; ++t) {
+                      X->grad[i * len + argmax[i * lout + t]] +=
+                          r->grad[i * lout + t];
+                    }
+                  }
+                });
+}
+
+Tensor Sum(const Tensor& a) {
+  float total = 0.0f;
+  for (int64_t i = 0; i < a.size(); ++i) total += a.data()[i];
+  return MakeOp({1}, {total}, {a.impl()}, [](TensorImpl* r) {
+    TensorImpl* pa = r->parents[0].get();
+    const float g = r->grad[0];
+    for (float& gi : pa->grad) gi += g;
+  });
+}
+
+Tensor Mean(const Tensor& a) {
+  const float inv = 1.0f / static_cast<float>(a.size());
+  float total = 0.0f;
+  for (int64_t i = 0; i < a.size(); ++i) total += a.data()[i];
+  return MakeOp({1}, {total * inv}, {a.impl()}, [inv](TensorImpl* r) {
+    TensorImpl* pa = r->parents[0].get();
+    const float g = r->grad[0] * inv;
+    for (float& gi : pa->grad) gi += g;
+  });
+}
+
+Tensor RowSum(const Tensor& a) {
+  EL_CHECK_EQ(a.ndim(), 2);
+  const int64_t m = a.dim(0), n = a.dim(1);
+  std::vector<float> out(m, 0.0f);
+  for (int64_t i = 0; i < m; ++i) {
+    const float* row = a.data() + i * n;
+    for (int64_t j = 0; j < n; ++j) out[i] += row[j];
+  }
+  return MakeOp({m}, std::move(out), {a.impl()}, [m, n](TensorImpl* r) {
+    TensorImpl* pa = r->parents[0].get();
+    for (int64_t i = 0; i < m; ++i) {
+      const float g = r->grad[i];
+      float* grow = pa->grad.data() + i * n;
+      for (int64_t j = 0; j < n; ++j) grow[j] += g;
+    }
+  });
+}
+
+Tensor MeanRows(const Tensor& a) {
+  EL_CHECK_EQ(a.ndim(), 2);
+  const int64_t m = a.dim(0), n = a.dim(1);
+  const float inv = 1.0f / static_cast<float>(m);
+  std::vector<float> out(n, 0.0f);
+  for (int64_t i = 0; i < m; ++i) {
+    const float* row = a.data() + i * n;
+    for (int64_t j = 0; j < n; ++j) out[j] += row[j];
+  }
+  for (float& v : out) v *= inv;
+  return MakeOp({n}, std::move(out), {a.impl()}, [m, n, inv](TensorImpl* r) {
+    TensorImpl* pa = r->parents[0].get();
+    for (int64_t i = 0; i < m; ++i) {
+      float* grow = pa->grad.data() + i * n;
+      for (int64_t j = 0; j < n; ++j) grow[j] += r->grad[j] * inv;
+    }
+  });
+}
+
+Tensor ConcatCols(const Tensor& a, const Tensor& b) {
+  EL_CHECK_EQ(a.ndim(), 2);
+  EL_CHECK_EQ(b.ndim(), 2);
+  EL_CHECK_EQ(a.dim(0), b.dim(0));
+  const int64_t m = a.dim(0), n1 = a.dim(1), n2 = b.dim(1);
+  std::vector<float> out(m * (n1 + n2));
+  for (int64_t i = 0; i < m; ++i) {
+    std::copy_n(a.data() + i * n1, n1, out.data() + i * (n1 + n2));
+    std::copy_n(b.data() + i * n2, n2, out.data() + i * (n1 + n2) + n1);
+  }
+  return MakeOp({m, n1 + n2}, std::move(out), {a.impl(), b.impl()},
+                [m, n1, n2](TensorImpl* r) {
+                  TensorImpl* pa = r->parents[0].get();
+                  TensorImpl* pb = r->parents[1].get();
+                  for (int64_t i = 0; i < m; ++i) {
+                    const float* grow = r->grad.data() + i * (n1 + n2);
+                    for (int64_t j = 0; j < n1; ++j) {
+                      pa->grad[i * n1 + j] += grow[j];
+                    }
+                    for (int64_t j = 0; j < n2; ++j) {
+                      pb->grad[i * n2 + j] += grow[n1 + j];
+                    }
+                  }
+                });
+}
+
+Tensor SliceCols(const Tensor& a, int64_t start, int64_t len) {
+  EL_CHECK_EQ(a.ndim(), 2);
+  const int64_t m = a.dim(0), n = a.dim(1);
+  EL_CHECK_GE(start, 0);
+  EL_CHECK_LE(start + len, n);
+  std::vector<float> out(m * len);
+  for (int64_t i = 0; i < m; ++i) {
+    std::copy_n(a.data() + i * n + start, len, out.data() + i * len);
+  }
+  return MakeOp({m, len}, std::move(out), {a.impl()},
+                [m, n, start, len](TensorImpl* r) {
+                  TensorImpl* pa = r->parents[0].get();
+                  for (int64_t i = 0; i < m; ++i) {
+                    for (int64_t j = 0; j < len; ++j) {
+                      pa->grad[i * n + start + j] += r->grad[i * len + j];
+                    }
+                  }
+                });
+}
+
+Tensor GatherRows(const Tensor& a, const std::vector<int64_t>& ids) {
+  EL_CHECK_EQ(a.ndim(), 2);
+  const int64_t n = a.dim(1);
+  const int64_t t = static_cast<int64_t>(ids.size());
+  std::vector<float> out(t * n);
+  for (int64_t i = 0; i < t; ++i) {
+    EL_CHECK_GE(ids[i], 0);
+    EL_CHECK_LT(ids[i], a.dim(0));
+    std::copy_n(a.data() + ids[i] * n, n, out.data() + i * n);
+  }
+  return MakeOp({t, n}, std::move(out), {a.impl()},
+                [n, ids](TensorImpl* r) {
+                  TensorImpl* pa = r->parents[0].get();
+                  for (size_t i = 0; i < ids.size(); ++i) {
+                    const float* grow = r->grad.data() + i * n;
+                    float* arow = pa->grad.data() + ids[i] * n;
+                    for (int64_t j = 0; j < n; ++j) arow[j] += grow[j];
+                  }
+                });
+}
+
+Tensor SoftmaxRows(const Tensor& a) {
+  EL_CHECK_EQ(a.ndim(), 2);
+  const int64_t m = a.dim(0), n = a.dim(1);
+  std::vector<float> out(m * n);
+  for (int64_t i = 0; i < m; ++i) {
+    const float* row = a.data() + i * n;
+    float* orow = out.data() + i * n;
+    float mx = row[0];
+    for (int64_t j = 1; j < n; ++j) mx = std::max(mx, row[j]);
+    float denom = 0.0f;
+    for (int64_t j = 0; j < n; ++j) {
+      orow[j] = std::exp(row[j] - mx);
+      denom += orow[j];
+    }
+    const float inv = 1.0f / denom;
+    for (int64_t j = 0; j < n; ++j) orow[j] *= inv;
+  }
+  return MakeOp({m, n}, std::move(out), {a.impl()}, [m, n](TensorImpl* r) {
+    TensorImpl* pa = r->parents[0].get();
+    for (int64_t i = 0; i < m; ++i) {
+      const float* y = r->data.data() + i * n;
+      const float* g = r->grad.data() + i * n;
+      float dot = 0.0f;
+      for (int64_t j = 0; j < n; ++j) dot += y[j] * g[j];
+      float* ga = pa->grad.data() + i * n;
+      for (int64_t j = 0; j < n; ++j) ga[j] += y[j] * (g[j] - dot);
+    }
+  });
+}
+
+Tensor LogSoftmaxRows(const Tensor& a) {
+  EL_CHECK_EQ(a.ndim(), 2);
+  const int64_t m = a.dim(0), n = a.dim(1);
+  std::vector<float> out(m * n);
+  for (int64_t i = 0; i < m; ++i) {
+    const float* row = a.data() + i * n;
+    float* orow = out.data() + i * n;
+    float mx = row[0];
+    for (int64_t j = 1; j < n; ++j) mx = std::max(mx, row[j]);
+    float denom = 0.0f;
+    for (int64_t j = 0; j < n; ++j) denom += std::exp(row[j] - mx);
+    const float lse = mx + std::log(denom);
+    for (int64_t j = 0; j < n; ++j) orow[j] = row[j] - lse;
+  }
+  return MakeOp({m, n}, std::move(out), {a.impl()}, [m, n](TensorImpl* r) {
+    TensorImpl* pa = r->parents[0].get();
+    for (int64_t i = 0; i < m; ++i) {
+      const float* y = r->data.data() + i * n;
+      const float* g = r->grad.data() + i * n;
+      float gsum = 0.0f;
+      for (int64_t j = 0; j < n; ++j) gsum += g[j];
+      float* ga = pa->grad.data() + i * n;
+      for (int64_t j = 0; j < n; ++j) ga[j] += g[j] - std::exp(y[j]) * gsum;
+    }
+  });
+}
+
+Tensor NllLoss(const Tensor& log_probs, const std::vector<int64_t>& targets) {
+  EL_CHECK_EQ(log_probs.ndim(), 2);
+  const int64_t m = log_probs.dim(0), n = log_probs.dim(1);
+  EL_CHECK_EQ(m, static_cast<int64_t>(targets.size()));
+  float total = 0.0f;
+  for (int64_t i = 0; i < m; ++i) {
+    EL_CHECK_GE(targets[i], 0);
+    EL_CHECK_LT(targets[i], n);
+    total -= log_probs.data()[i * n + targets[i]];
+  }
+  const float inv = 1.0f / static_cast<float>(m);
+  return MakeOp({1}, {total * inv}, {log_probs.impl()},
+                [n, inv, targets](TensorImpl* r) {
+                  TensorImpl* pa = r->parents[0].get();
+                  const float g = r->grad[0] * inv;
+                  for (size_t i = 0; i < targets.size(); ++i) {
+                    pa->grad[i * n + targets[i]] -= g;
+                  }
+                });
+}
+
+Tensor CrossEntropyRows(const Tensor& logits,
+                        const std::vector<int64_t>& targets) {
+  return NllLoss(LogSoftmaxRows(logits), targets);
+}
+
+Tensor RowL2Normalize(const Tensor& a, float eps) {
+  EL_CHECK_EQ(a.ndim(), 2);
+  const int64_t m = a.dim(0), n = a.dim(1);
+  std::vector<float> out(m * n);
+  std::vector<float> inv_norms(m);
+  for (int64_t i = 0; i < m; ++i) {
+    const float* row = a.data() + i * n;
+    float sq = 0.0f;
+    for (int64_t j = 0; j < n; ++j) sq += row[j] * row[j];
+    const float inv = 1.0f / std::max(std::sqrt(sq), eps);
+    inv_norms[i] = inv;
+    float* orow = out.data() + i * n;
+    for (int64_t j = 0; j < n; ++j) orow[j] = row[j] * inv;
+  }
+  return MakeOp({m, n}, std::move(out), {a.impl()},
+                [m, n, inv_norms = std::move(inv_norms)](TensorImpl* r) {
+                  TensorImpl* pa = r->parents[0].get();
+                  for (int64_t i = 0; i < m; ++i) {
+                    const float* y = r->data.data() + i * n;
+                    const float* g = r->grad.data() + i * n;
+                    float dot = 0.0f;
+                    for (int64_t j = 0; j < n; ++j) dot += y[j] * g[j];
+                    float* ga = pa->grad.data() + i * n;
+                    const float inv = inv_norms[i];
+                    for (int64_t j = 0; j < n; ++j) {
+                      ga[j] += inv * (g[j] - y[j] * dot);
+                    }
+                  }
+                });
+}
+
+Tensor LayerNormRows(const Tensor& a, const Tensor& gamma, const Tensor& beta,
+                     float eps) {
+  EL_CHECK_EQ(a.ndim(), 2);
+  EL_CHECK_EQ(gamma.ndim(), 1);
+  EL_CHECK_EQ(beta.ndim(), 1);
+  const int64_t m = a.dim(0), n = a.dim(1);
+  EL_CHECK_EQ(gamma.dim(0), n);
+  EL_CHECK_EQ(beta.dim(0), n);
+  std::vector<float> out(m * n);
+  std::vector<float> means(m), inv_stds(m);
+  for (int64_t i = 0; i < m; ++i) {
+    const float* row = a.data() + i * n;
+    float mean = 0.0f;
+    for (int64_t j = 0; j < n; ++j) mean += row[j];
+    mean /= static_cast<float>(n);
+    float var = 0.0f;
+    for (int64_t j = 0; j < n; ++j) {
+      const float d = row[j] - mean;
+      var += d * d;
+    }
+    var /= static_cast<float>(n);
+    const float inv_std = 1.0f / std::sqrt(var + eps);
+    means[i] = mean;
+    inv_stds[i] = inv_std;
+    float* orow = out.data() + i * n;
+    for (int64_t j = 0; j < n; ++j) {
+      orow[j] = (row[j] - mean) * inv_std * gamma.data()[j] + beta.data()[j];
+    }
+  }
+  return MakeOp(
+      {m, n}, std::move(out), {a.impl(), gamma.impl(), beta.impl()},
+      [m, n, means = std::move(means),
+       inv_stds = std::move(inv_stds)](TensorImpl* r) {
+        TensorImpl* X = r->parents[0].get();
+        TensorImpl* G = r->parents[1].get();
+        TensorImpl* B = r->parents[2].get();
+        for (int64_t i = 0; i < m; ++i) {
+          const float* x = X->data.data() + i * n;
+          const float* g = r->grad.data() + i * n;
+          const float mean = means[i];
+          const float inv_std = inv_stds[i];
+          // dxhat_j = g_j * gamma_j; dx via layer-norm backward identity.
+          float sum_dxhat = 0.0f, sum_dxhat_xhat = 0.0f;
+          for (int64_t j = 0; j < n; ++j) {
+            const float xhat = (x[j] - mean) * inv_std;
+            const float dxhat = g[j] * G->data[j];
+            sum_dxhat += dxhat;
+            sum_dxhat_xhat += dxhat * xhat;
+            G->grad[j] += g[j] * xhat;
+            B->grad[j] += g[j];
+          }
+          float* gx = X->grad.data() + i * n;
+          const float invn = 1.0f / static_cast<float>(n);
+          for (int64_t j = 0; j < n; ++j) {
+            const float xhat = (x[j] - mean) * inv_std;
+            const float dxhat = g[j] * G->data[j];
+            gx[j] += inv_std *
+                     (dxhat - invn * sum_dxhat - xhat * invn * sum_dxhat_xhat);
+          }
+        }
+      });
+}
+
+Tensor RowSquaredDistance(const Tensor& a, const Tensor& b) {
+  Tensor diff = Sub(a, b);
+  return RowSum(Mul(diff, diff));
+}
+
+Tensor TripletLoss(const Tensor& anchor, const Tensor& positive,
+                   const Tensor& negative, float margin) {
+  Tensor d_ap = RowSquaredDistance(anchor, positive);
+  Tensor d_an = RowSquaredDistance(anchor, negative);
+  Tensor hinge = Relu(AddScalar(Sub(d_ap, d_an), margin));
+  return Mean(hinge);
+}
+
+Tensor ContrastiveLossFromTriplets(const Tensor& anchor,
+                                   const Tensor& positive,
+                                   const Tensor& negative, float margin) {
+  Tensor d_ap = RowSquaredDistance(anchor, positive);
+  Tensor d_an = RowSquaredDistance(anchor, negative);
+  Tensor push = Relu(MulScalar(AddScalar(d_an, -margin), -1.0f));
+  return Mean(Add(d_ap, push));
+}
+
+}  // namespace emblookup::tensor

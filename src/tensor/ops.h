@@ -1,0 +1,154 @@
+#ifndef EMBLOOKUP_TENSOR_OPS_H_
+#define EMBLOOKUP_TENSOR_OPS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace emblookup::tensor {
+
+// ---------------------------------------------------------------------------
+// Elementwise & scalar ops. All ops record autograd tape entries when grad
+// recording is enabled and any operand requires grad.
+// ---------------------------------------------------------------------------
+
+/// Elementwise a + b. Shapes must match, except that a rank-1 `b` whose
+/// length equals the last dimension of a rank-2 `a` broadcasts row-wise
+/// (the bias-add case).
+Tensor Add(const Tensor& a, const Tensor& b);
+
+/// Elementwise a - b (same shapes).
+Tensor Sub(const Tensor& a, const Tensor& b);
+
+/// Elementwise a * b (same shapes).
+Tensor Mul(const Tensor& a, const Tensor& b);
+
+/// a + s applied elementwise.
+Tensor AddScalar(const Tensor& a, float s);
+
+/// a * s applied elementwise.
+Tensor MulScalar(const Tensor& a, float s);
+
+/// Elementwise max(a, 0).
+Tensor Relu(const Tensor& a);
+
+/// Elementwise logistic sigmoid.
+Tensor Sigmoid(const Tensor& a);
+
+/// Elementwise tanh.
+Tensor Tanh(const Tensor& a);
+
+// ---------------------------------------------------------------------------
+// Linear algebra.
+// ---------------------------------------------------------------------------
+
+/// Matrix product of a (M,K) and b (K,N) -> (M,N).
+Tensor MatMul(const Tensor& a, const Tensor& b);
+
+/// Transpose of a rank-2 tensor.
+Tensor Transpose(const Tensor& a);
+
+// ---------------------------------------------------------------------------
+// Convolution & pooling (the paper's syntactic CNN, §III-B).
+// ---------------------------------------------------------------------------
+
+/// 1-D convolution: input (B, Cin, L), weight (Cout, Cin, K), bias (Cout),
+/// stride 1, symmetric zero `padding` -> (B, Cout, L + 2*padding - K + 1).
+Tensor Conv1d(const Tensor& input, const Tensor& weight, const Tensor& bias,
+              int64_t padding);
+
+/// Global max over the temporal axis: (B, C, L) -> (B, C). This is the
+/// "max-pooling to aggregate outputs" step of the paper's CNN and the
+/// operation that preserves edit-distance bounds (CNN-ED property).
+Tensor GlobalMaxPool1d(const Tensor& input);
+
+/// Non-overlapping temporal max pool with the given kernel/stride:
+/// (B, C, L) -> (B, C, floor(L / kernel)).
+Tensor MaxPool1d(const Tensor& input, int64_t kernel);
+
+// ---------------------------------------------------------------------------
+// Reductions.
+// ---------------------------------------------------------------------------
+
+/// Sum of all elements -> scalar.
+Tensor Sum(const Tensor& a);
+
+/// Mean of all elements -> scalar.
+Tensor Mean(const Tensor& a);
+
+/// Row-wise sum of a rank-2 tensor: (M, N) -> (M).
+Tensor RowSum(const Tensor& a);
+
+/// Column-wise mean of a rank-2 tensor: (M, N) -> (N). Mean-pooling over a
+/// token sequence (used by the MiniBERT baseline).
+Tensor MeanRows(const Tensor& a);
+
+// ---------------------------------------------------------------------------
+// Shape manipulation & gathering.
+// ---------------------------------------------------------------------------
+
+/// Concatenates two rank-2 tensors along dim 1: (M,N1)+(M,N2) -> (M,N1+N2).
+Tensor ConcatCols(const Tensor& a, const Tensor& b);
+
+/// Column slice of a rank-2 tensor: (M,N) -> (M,len), columns
+/// [start, start+len).
+Tensor SliceCols(const Tensor& a, int64_t start, int64_t len);
+
+/// Row gather: selects rows `ids` of a (M,N) tensor -> (|ids|, N).
+/// Backward scatters (accumulates into repeated rows). Doubles as the
+/// embedding-table lookup.
+Tensor GatherRows(const Tensor& a, const std::vector<int64_t>& ids);
+
+// ---------------------------------------------------------------------------
+// Softmax family & losses.
+// ---------------------------------------------------------------------------
+
+/// Row-wise softmax of a rank-2 tensor (numerically stabilized).
+Tensor SoftmaxRows(const Tensor& a);
+
+/// Row-wise log-softmax of a rank-2 tensor.
+Tensor LogSoftmaxRows(const Tensor& a);
+
+/// Mean negative log likelihood: `log_probs` (M,N) row-wise log-softmax
+/// output, `targets` M class ids -> scalar.
+Tensor NllLoss(const Tensor& log_probs, const std::vector<int64_t>& targets);
+
+/// Convenience: NllLoss(LogSoftmaxRows(logits), targets).
+Tensor CrossEntropyRows(const Tensor& logits,
+                        const std::vector<int64_t>& targets);
+
+/// L2-normalizes each row of a rank-2 tensor: y_i = x_i / max(||x_i||, eps).
+/// Applied to the encoder output so triplet margins are scale-free (unit
+/// hypersphere metric learning).
+Tensor RowL2Normalize(const Tensor& a, float eps = 1e-8f);
+
+/// Row-wise layer normalization with learned gain/bias:
+/// a (M,N), gamma (N), beta (N) -> (M,N).
+Tensor LayerNormRows(const Tensor& a, const Tensor& gamma, const Tensor& beta,
+                     float eps = 1e-5f);
+
+// ---------------------------------------------------------------------------
+// Composite distance helpers (triplet loss building blocks, §III-B).
+// ---------------------------------------------------------------------------
+
+/// Row-wise squared Euclidean distance of equal-shape (M,N) tensors -> (M).
+Tensor RowSquaredDistance(const Tensor& a, const Tensor& b);
+
+/// Triplet margin loss (Eq. 3 of the paper):
+///   mean_i max(||a_i-p_i||^2 - ||a_i-n_i||^2 + margin, 0)
+/// for row-aligned (M,N) anchor/positive/negative batches.
+Tensor TripletLoss(const Tensor& anchor, const Tensor& positive,
+                   const Tensor& negative, float margin);
+
+/// Contrastive (pair) loss applied to the same triplet stream — the
+/// alternative loss function the paper's future-work section proposes
+/// evaluating:
+///   mean_i [ ||a_i-p_i||^2 + max(margin - ||a_i-n_i||^2, 0) ]
+Tensor ContrastiveLossFromTriplets(const Tensor& anchor,
+                                   const Tensor& positive,
+                                   const Tensor& negative, float margin);
+
+}  // namespace emblookup::tensor
+
+#endif  // EMBLOOKUP_TENSOR_OPS_H_

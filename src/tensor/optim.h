@@ -1,0 +1,65 @@
+#ifndef EMBLOOKUP_TENSOR_OPTIM_H_
+#define EMBLOOKUP_TENSOR_OPTIM_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace emblookup::tensor {
+
+/// Base interface for gradient-descent optimizers over a fixed parameter set.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Tensor> params)
+      : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  /// Applies one update using the gradients currently stored in the params.
+  virtual void Step() = 0;
+
+  /// Zeroes every parameter gradient; call between batches.
+  void ZeroGrad() {
+    for (Tensor& p : params_) p.ZeroGrad();
+  }
+
+ protected:
+  std::vector<Tensor> params_;
+};
+
+/// Plain SGD with optional classical momentum.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Tensor> params, float lr, float momentum = 0.0f);
+
+  void Step() override;
+
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ private:
+  float lr_;
+  float momentum_;
+  std::vector<std::vector<float>> velocity_;
+};
+
+/// Adam (Kingma & Ba) — the optimizer the paper trains with (§III-B).
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Tensor> params, float lr = 1e-3f, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f);
+
+  void Step() override;
+
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ private:
+  float lr_, beta1_, beta2_, eps_;
+  int64_t step_ = 0;
+  std::vector<std::vector<float>> m_;
+  std::vector<std::vector<float>> v_;
+};
+
+}  // namespace emblookup::tensor
+
+#endif  // EMBLOOKUP_TENSOR_OPTIM_H_

@@ -1,0 +1,70 @@
+#include "tensor/serialize.h"
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace emblookup::tensor {
+
+namespace {
+constexpr uint32_t kMagic = 0x454C5431;  // "ELT1"
+
+template <typename T>
+void WritePod(std::ostream* os, T value) {
+  os->write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::istream* is, T* value) {
+  is->read(reinterpret_cast<char*>(value), sizeof(T));
+  return is->good();
+}
+}  // namespace
+
+Status SaveParameters(const std::vector<Tensor>& params, std::ostream* os) {
+  WritePod(os, kMagic);
+  WritePod(os, static_cast<uint64_t>(params.size()));
+  for (const Tensor& p : params) {
+    WritePod(os, static_cast<uint32_t>(p.shape().size()));
+    for (int64_t d : p.shape()) WritePod(os, static_cast<int64_t>(d));
+    os->write(reinterpret_cast<const char*>(p.data()),
+              static_cast<std::streamsize>(p.size() * sizeof(float)));
+  }
+  if (!os->good()) return Status::IoError("failed writing parameters");
+  return Status::OK();
+}
+
+Status LoadParameters(std::vector<Tensor>* params, std::istream* is) {
+  uint32_t magic = 0;
+  if (!ReadPod(is, &magic) || magic != kMagic) {
+    return Status::IoError("bad parameter file magic");
+  }
+  uint64_t count = 0;
+  if (!ReadPod(is, &count)) return Status::IoError("truncated header");
+  if (count != params->size()) {
+    std::ostringstream msg;
+    msg << "parameter count mismatch: file has " << count << ", model has "
+        << params->size();
+    return Status::InvalidArgument(msg.str());
+  }
+  for (Tensor& p : *params) {
+    uint32_t ndim = 0;
+    if (!ReadPod(is, &ndim)) return Status::IoError("truncated tensor header");
+    Shape shape(ndim);
+    for (uint32_t i = 0; i < ndim; ++i) {
+      if (!ReadPod(is, &shape[i])) return Status::IoError("truncated shape");
+    }
+    if (shape != p.shape()) {
+      return Status::InvalidArgument(
+          "tensor shape mismatch: file " + ShapeToString(shape) + " vs model " +
+          ShapeToString(p.shape()));
+    }
+    is->read(reinterpret_cast<char*>(p.data()),
+             static_cast<std::streamsize>(p.size() * sizeof(float)));
+    if (!is->good()) return Status::IoError("truncated tensor data");
+  }
+  return Status::OK();
+}
+
+}  // namespace emblookup::tensor

@@ -1,0 +1,21 @@
+#ifndef EMBLOOKUP_TENSOR_SERIALIZE_H_
+#define EMBLOOKUP_TENSOR_SERIALIZE_H_
+
+#include <iosfwd>
+#include <vector>
+
+#include "common/status.h"
+#include "tensor/tensor.h"
+
+namespace emblookup::tensor {
+
+/// Writes a parameter list to a binary stream (little-endian, versioned).
+Status SaveParameters(const std::vector<Tensor>& params, std::ostream* os);
+
+/// Reads parameters saved by SaveParameters into pre-constructed tensors.
+/// Shapes must match exactly (models must be built with the same config).
+Status LoadParameters(std::vector<Tensor>* params, std::istream* is);
+
+}  // namespace emblookup::tensor
+
+#endif  // EMBLOOKUP_TENSOR_SERIALIZE_H_

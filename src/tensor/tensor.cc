@@ -1,0 +1,196 @@
+#include "tensor/tensor.h"
+
+#include <sstream>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace emblookup::tensor {
+
+namespace {
+thread_local bool g_grad_enabled = true;
+}  // namespace
+
+int64_t NumElements(const Shape& shape) {
+  int64_t n = 1;
+  for (int64_t d : shape) n *= d;
+  return n;
+}
+
+std::string ShapeToString(const Shape& shape) {
+  std::ostringstream os;
+  os << "(";
+  for (size_t i = 0; i < shape.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << shape[i];
+  }
+  os << ")";
+  return os.str();
+}
+
+Tensor Tensor::Zeros(Shape shape, bool requires_grad) {
+  auto impl = std::make_shared<internal::TensorImpl>();
+  impl->shape = std::move(shape);
+  impl->data.assign(NumElements(impl->shape), 0.0f);
+  impl->requires_grad = requires_grad;
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::Full(Shape shape, float value, bool requires_grad) {
+  Tensor t = Zeros(std::move(shape), requires_grad);
+  for (int64_t i = 0; i < t.size(); ++i) t.data()[i] = value;
+  return t;
+}
+
+Tensor Tensor::FromData(Shape shape, std::vector<float> data,
+                        bool requires_grad) {
+  EL_CHECK_EQ(NumElements(shape), static_cast<int64_t>(data.size()))
+      << "shape " << ShapeToString(shape);
+  auto impl = std::make_shared<internal::TensorImpl>();
+  impl->shape = std::move(shape);
+  impl->data = std::move(data);
+  impl->requires_grad = requires_grad;
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::Scalar(float value, bool requires_grad) {
+  return FromData({1}, {value}, requires_grad);
+}
+
+const Shape& Tensor::shape() const {
+  EL_CHECK(impl_ != nullptr);
+  return impl_->shape;
+}
+
+int64_t Tensor::size() const {
+  EL_CHECK(impl_ != nullptr);
+  return static_cast<int64_t>(impl_->data.size());
+}
+
+float* Tensor::data() {
+  EL_CHECK(impl_ != nullptr);
+  return impl_->data.data();
+}
+
+const float* Tensor::data() const {
+  EL_CHECK(impl_ != nullptr);
+  return impl_->data.data();
+}
+
+const float* Tensor::grad() const {
+  EL_CHECK(impl_ != nullptr);
+  EL_CHECK_EQ(impl_->grad.size(), impl_->data.size())
+      << "gradient not populated; call Backward() first";
+  return impl_->grad.data();
+}
+
+float* Tensor::mutable_grad() {
+  EL_CHECK(impl_ != nullptr);
+  impl_->AllocGrad();
+  return impl_->grad.data();
+}
+
+bool Tensor::requires_grad() const {
+  EL_CHECK(impl_ != nullptr);
+  return impl_->requires_grad;
+}
+
+void Tensor::set_requires_grad(bool value) {
+  EL_CHECK(impl_ != nullptr);
+  impl_->requires_grad = value;
+}
+
+void Tensor::ZeroGrad() {
+  EL_CHECK(impl_ != nullptr);
+  if (!impl_->grad.empty()) {
+    std::fill(impl_->grad.begin(), impl_->grad.end(), 0.0f);
+  }
+}
+
+float Tensor::item() const {
+  EL_CHECK(impl_ != nullptr);
+  EL_CHECK_GE(impl_->data.size(), 1u);
+  return impl_->data[0];
+}
+
+void Tensor::Backward() {
+  EL_CHECK(impl_ != nullptr);
+  EL_CHECK_EQ(size(), 1) << "Backward() requires a scalar loss";
+
+  // Iterative post-order DFS to get a reverse topological order of the tape.
+  std::vector<internal::TensorImpl*> topo;
+  std::unordered_set<internal::TensorImpl*> visited;
+  struct Frame {
+    internal::TensorImpl* node;
+    size_t next_parent;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({impl_.get(), 0});
+  visited.insert(impl_.get());
+  while (!stack.empty()) {
+    Frame& top = stack.back();
+    if (top.next_parent < top.node->parents.size()) {
+      internal::TensorImpl* parent =
+          top.node->parents[top.next_parent++].get();
+      if (visited.insert(parent).second) {
+        stack.push_back({parent, 0});
+      }
+    } else {
+      topo.push_back(top.node);
+      stack.pop_back();
+    }
+  }
+
+  // Seed and propagate.
+  for (internal::TensorImpl* node : topo) node->AllocGrad();
+  impl_->grad[0] = 1.0f;
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    if ((*it)->backward_fn) (*it)->backward_fn();
+  }
+}
+
+Tensor Tensor::Clone() const {
+  EL_CHECK(impl_ != nullptr);
+  auto impl = std::make_shared<internal::TensorImpl>();
+  impl->shape = impl_->shape;
+  impl->data = impl_->data;
+  impl->requires_grad = impl_->requires_grad;
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::Detach() const {
+  EL_CHECK(impl_ != nullptr);
+  auto impl = std::make_shared<internal::TensorImpl>();
+  impl->shape = impl_->shape;
+  impl->data = impl_->data;  // Copy; detached views don't alias for safety.
+  impl->requires_grad = false;
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::Reshape(Shape new_shape) const {
+  EL_CHECK(impl_ != nullptr);
+  EL_CHECK_EQ(NumElements(new_shape), size());
+  auto out = std::make_shared<internal::TensorImpl>();
+  out->shape = std::move(new_shape);
+  out->data = impl_->data;
+  if (GradEnabled() && impl_->requires_grad) {
+    out->requires_grad = true;
+    auto self = impl_;
+    auto out_raw = out.get();
+    out->parents = {self};
+    out->backward_fn = [self, out_raw]() {
+      self->AllocGrad();
+      for (size_t i = 0; i < self->grad.size(); ++i) {
+        self->grad[i] += out_raw->grad[i];
+      }
+    };
+  }
+  return Tensor(std::move(out));
+}
+
+NoGradGuard::NoGradGuard() : prev_(g_grad_enabled) { g_grad_enabled = false; }
+NoGradGuard::~NoGradGuard() { g_grad_enabled = prev_; }
+
+bool GradEnabled() { return g_grad_enabled; }
+
+}  // namespace emblookup::tensor

@@ -1,0 +1,132 @@
+#ifndef EMBLOOKUP_TENSOR_TENSOR_H_
+#define EMBLOOKUP_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace emblookup::tensor {
+
+/// Shape of a tensor; rank ≤ 3 is sufficient for every model in this repo
+/// (the CNN path uses (batch, channels, length); everything else is 1-D/2-D).
+using Shape = std::vector<int64_t>;
+
+/// Returns the number of elements implied by a shape.
+int64_t NumElements(const Shape& shape);
+
+/// Renders a shape as "(2, 3, 4)" for error messages.
+std::string ShapeToString(const Shape& shape);
+
+namespace internal {
+
+/// Reference-counted tensor storage plus the autograd tape hooks.
+/// Not part of the public API; use Tensor.
+struct TensorImpl {
+  std::vector<float> data;
+  Shape shape;
+  std::vector<float> grad;  // Same size as data once AllocGrad() runs.
+  bool requires_grad = false;
+
+  // Autograd tape: parents this node was computed from and the closure that
+  // scatters this node's grad into theirs.
+  std::vector<std::shared_ptr<TensorImpl>> parents;
+  std::function<void()> backward_fn;
+
+  void AllocGrad() {
+    if (grad.size() != data.size()) grad.assign(data.size(), 0.0f);
+  }
+};
+
+}  // namespace internal
+
+/// Dynamically-shaped float32 tensor with reverse-mode autodiff, modeled on
+/// the subset of torch::Tensor the paper's models need. Value-semantic handle
+/// to shared storage: copying a Tensor aliases the same buffer.
+class Tensor {
+ public:
+  /// Constructs an empty (null) tensor.
+  Tensor() = default;
+
+  /// Creates a zero-filled tensor.
+  static Tensor Zeros(Shape shape, bool requires_grad = false);
+
+  /// Creates a tensor filled with `value`.
+  static Tensor Full(Shape shape, float value, bool requires_grad = false);
+
+  /// Creates a tensor from existing data (copied). `data.size()` must match
+  /// the shape's element count.
+  static Tensor FromData(Shape shape, std::vector<float> data,
+                         bool requires_grad = false);
+
+  /// Creates a scalar (rank-0 is represented as shape {1}).
+  static Tensor Scalar(float value, bool requires_grad = false);
+
+  bool defined() const { return impl_ != nullptr; }
+
+  const Shape& shape() const;
+  int64_t ndim() const { return static_cast<int64_t>(shape().size()); }
+  int64_t dim(int i) const { return shape()[i]; }
+  int64_t size() const;
+
+  float* data();
+  const float* data() const;
+
+  /// Gradient buffer; valid after Backward() has run through this node.
+  const float* grad() const;
+  float* mutable_grad();
+
+  bool requires_grad() const;
+  /// Marks this tensor as a trainable leaf.
+  void set_requires_grad(bool value);
+
+  /// Zeroes the gradient buffer (if allocated).
+  void ZeroGrad();
+
+  /// Returns element 0; handy for scalar losses.
+  float item() const;
+
+  /// Runs reverse-mode autodiff from this (scalar) tensor: topologically
+  /// sorts the tape and accumulates gradients into every `requires_grad`
+  /// ancestor. The seed gradient is 1.
+  void Backward();
+
+  /// Returns a deep copy detached from the autograd tape.
+  Tensor Clone() const;
+
+  /// Returns a tensor aliasing the same data but detached from the tape.
+  Tensor Detach() const;
+
+  /// Reinterprets the underlying buffer with a new shape (same element
+  /// count). Returns a tape-connected view (gradient flows through).
+  Tensor Reshape(Shape new_shape) const;
+
+  std::shared_ptr<internal::TensorImpl> impl() const { return impl_; }
+  explicit Tensor(std::shared_ptr<internal::TensorImpl> impl)
+      : impl_(std::move(impl)) {}
+
+ private:
+  std::shared_ptr<internal::TensorImpl> impl_;
+};
+
+/// RAII guard disabling tape construction, used on inference paths (bulk
+/// entity encoding) to avoid graph build cost — the torch::NoGradGuard analog.
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  bool prev_;
+};
+
+/// True when gradient recording is enabled (no NoGradGuard active).
+bool GradEnabled();
+
+}  // namespace emblookup::tensor
+
+#endif  // EMBLOOKUP_TENSOR_TENSOR_H_

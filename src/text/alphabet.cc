@@ -1,0 +1,66 @@
+#include "text/alphabet.h"
+
+#include <cctype>
+
+#include "common/logging.h"
+
+namespace emblookup::text {
+
+namespace {
+constexpr std::string_view kDefaultChars =
+    "abcdefghijklmnopqrstuvwxyz0123456789 .-'&,()/";
+}  // namespace
+
+Alphabet::Alphabet() : Alphabet(kDefaultChars) {}
+
+Alphabet::Alphabet(std::string_view chars) : chars_(chars) {
+  pos_.fill(-1);
+  for (size_t i = 0; i < chars_.size(); ++i) {
+    pos_[static_cast<unsigned char>(chars_[i])] = static_cast<int16_t>(i);
+  }
+}
+
+int64_t Alphabet::Pos(char c) const {
+  const unsigned char lc =
+      static_cast<unsigned char>(std::tolower(static_cast<unsigned char>(c)));
+  const int16_t p = pos_[lc];
+  if (p >= 0) return p;
+  return static_cast<int64_t>(chars_.size());  // Unknown slot.
+}
+
+OneHotEncoder::OneHotEncoder(const Alphabet* alphabet, int64_t max_len)
+    : alphabet_(alphabet), max_len_(max_len) {
+  EL_CHECK(alphabet != nullptr);
+  EL_CHECK_GT(max_len, 0);
+}
+
+void OneHotEncoder::EncodeInto(std::string_view mention, float* out) const {
+  const int64_t rows = alphabet_->size();
+  const int64_t len =
+      std::min<int64_t>(static_cast<int64_t>(mention.size()), max_len_);
+  for (int64_t t = 0; t < len; ++t) {
+    out[alphabet_->Pos(mention[t]) * max_len_ + t] = 1.0f;
+  }
+  (void)rows;
+}
+
+tensor::Tensor OneHotEncoder::Encode(std::string_view mention) const {
+  const int64_t rows = alphabet_->size();
+  std::vector<float> data(rows * max_len_, 0.0f);
+  EncodeInto(mention, data.data());
+  return tensor::Tensor::FromData({1, rows, max_len_}, std::move(data));
+}
+
+tensor::Tensor OneHotEncoder::EncodeBatch(
+    const std::vector<std::string>& mentions) const {
+  const int64_t rows = alphabet_->size();
+  const int64_t b = static_cast<int64_t>(mentions.size());
+  EL_CHECK_GT(b, 0);
+  std::vector<float> data(b * rows * max_len_, 0.0f);
+  for (int64_t i = 0; i < b; ++i) {
+    EncodeInto(mentions[i], data.data() + i * rows * max_len_);
+  }
+  return tensor::Tensor::FromData({b, rows, max_len_}, std::move(data));
+}
+
+}  // namespace emblookup::text

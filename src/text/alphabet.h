@@ -1,0 +1,69 @@
+#ifndef EMBLOOKUP_TEXT_ALPHABET_H_
+#define EMBLOOKUP_TEXT_ALPHABET_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace emblookup::text {
+
+/// Character alphabet for the one-hot mention encoding of §III-B. Mentions
+/// are lowercased; characters outside the alphabet map to a shared
+/// "unknown" slot so arbitrary input never fails to encode.
+class Alphabet {
+ public:
+  /// Builds the default alphabet: 'a'-'z', '0'-'9', space, and common
+  /// punctuation ('.', '-', '\'', '&', ',', '(', ')', '/'), plus one
+  /// unknown slot.
+  Alphabet();
+
+  /// Builds from an explicit character set (an unknown slot is appended).
+  explicit Alphabet(std::string_view chars);
+
+  /// Number of rows in the one-hot encoding (|A| + 1 for unknown).
+  int64_t size() const { return static_cast<int64_t>(chars_.size()) + 1; }
+
+  /// Position of `c` in the alphabet; characters not in the alphabet map to
+  /// the last slot (unknown). Input is lowercased first.
+  int64_t Pos(char c) const;
+
+  /// The alphabet characters (excluding the unknown slot).
+  const std::string& chars() const { return chars_; }
+
+ private:
+  std::string chars_;
+  std::array<int16_t, 256> pos_;
+};
+
+/// Converts entity mentions into the |A| x L one-hot matrices the CNN
+/// consumes (§III-B "Data Preprocessing"). Strings longer than `max_len`
+/// are truncated; shorter ones are zero-padded on the right.
+class OneHotEncoder {
+ public:
+  OneHotEncoder(const Alphabet* alphabet, int64_t max_len);
+
+  /// Encodes one mention as a (1, |A|, L) tensor.
+  tensor::Tensor Encode(std::string_view mention) const;
+
+  /// Encodes a batch of mentions as a (B, |A|, L) tensor.
+  tensor::Tensor EncodeBatch(const std::vector<std::string>& mentions) const;
+
+  int64_t max_len() const { return max_len_; }
+  const Alphabet& alphabet() const { return *alphabet_; }
+
+ private:
+  /// Writes the one-hot block for `mention` at `out` (|A| * L floats,
+  /// channel-major: row = alphabet position, column = string position).
+  void EncodeInto(std::string_view mention, float* out) const;
+
+  const Alphabet* alphabet_;  // Not owned.
+  int64_t max_len_;
+};
+
+}  // namespace emblookup::text
+
+#endif  // EMBLOOKUP_TEXT_ALPHABET_H_

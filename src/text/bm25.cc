@@ -1,0 +1,91 @@
+#include "text/bm25.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "text/qgram.h"
+
+namespace emblookup::text {
+
+Bm25Index::Bm25Index(Options options) : options_(options) {}
+
+void Bm25Index::AddToField(Field* field, int32_t doc,
+                           const std::vector<std::string>& terms) {
+  std::unordered_map<std::string, float> tf;
+  for (const auto& t : terms) tf[t] += 1.0f;
+  for (const auto& [term, count] : tf) {
+    field->postings[term].push_back({doc, count});
+  }
+  field->doc_len.push_back(static_cast<float>(terms.size()));
+}
+
+void Bm25Index::Add(int64_t id, std::string_view text) {
+  EL_CHECK(!finalized_) << "Add() after Finalize()";
+  const int32_t doc = static_cast<int32_t>(doc_ids_.size());
+  doc_ids_.push_back(id);
+  const std::string lowered = ToLower(text);
+  AddToField(&words_, doc, SplitWhitespace(lowered));
+  AddToField(&trigrams_, doc, QGrams(lowered, 3));
+}
+
+void Bm25Index::Finalize() {
+  for (Field* f : {&words_, &trigrams_}) {
+    double total = 0.0;
+    for (float len : f->doc_len) total += len;
+    f->avg_len = f->doc_len.empty()
+                     ? 1.0
+                     : total / static_cast<double>(f->doc_len.size());
+    if (f->avg_len <= 0.0) f->avg_len = 1.0;
+  }
+  finalized_ = true;
+}
+
+void Bm25Index::ScoreField(const Field& field,
+                           const std::vector<std::string>& terms,
+                           double weight,
+                           std::unordered_map<int32_t, double>* acc) const {
+  const double n = static_cast<double>(doc_ids_.size());
+  for (const auto& term : terms) {
+    auto it = field.postings.find(term);
+    if (it == field.postings.end()) continue;
+    const auto& plist = it->second;
+    const double df = static_cast<double>(plist.size());
+    const double idf = std::log(1.0 + (n - df + 0.5) / (df + 0.5));
+    for (const Posting& p : plist) {
+      const double tf = p.tf;
+      const double norm =
+          options_.k1 *
+          (1.0 - options_.b +
+           options_.b * field.doc_len[p.doc] / field.avg_len);
+      (*acc)[p.doc] += weight * idf * tf * (options_.k1 + 1.0) / (tf + norm);
+    }
+  }
+}
+
+std::vector<std::pair<int64_t, double>> Bm25Index::TopK(
+    std::string_view query, int64_t k) const {
+  EL_CHECK(finalized_) << "TopK() before Finalize()";
+  const std::string lowered = ToLower(query);
+  std::unordered_map<int32_t, double> acc;
+  ScoreField(words_, SplitWhitespace(lowered), 1.0, &acc);
+  ScoreField(trigrams_, QGrams(lowered, 3), options_.trigram_weight, &acc);
+
+  std::vector<std::pair<int64_t, double>> scored;
+  scored.reserve(acc.size());
+  for (const auto& [doc, score] : acc) {
+    scored.emplace_back(doc_ids_[doc], score);
+  }
+  const size_t keep = std::min<size_t>(scored.size(), static_cast<size_t>(k));
+  std::partial_sort(scored.begin(), scored.begin() + keep, scored.end(),
+                    [](const auto& x, const auto& y) {
+                      if (x.second != y.second) return x.second > y.second;
+                      return x.first < y.first;
+                    });
+  scored.resize(keep);
+  return scored;
+}
+
+}  // namespace emblookup::text

@@ -1,0 +1,68 @@
+#ifndef EMBLOOKUP_TEXT_BM25_H_
+#define EMBLOOKUP_TEXT_BM25_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace emblookup::text {
+
+/// BM25 full-text index over a word field and a character-trigram field —
+/// the scoring ElasticSearch uses for fuzzy entity lookup (paper §I: a
+/// "weighted combination of word and trigram based BM25 score"). Serves as
+/// the local ElasticSearch stand-in in Table V.
+class Bm25Index {
+ public:
+  struct Options {
+    double k1 = 1.2;
+    double b = 0.75;
+    /// Weight of the trigram field relative to the word field.
+    double trigram_weight = 0.6;
+  };
+
+  Bm25Index() : Bm25Index(Options{}) {}
+  explicit Bm25Index(Options options);
+
+  /// Adds a document with caller-assigned id. Must be called before Finalize.
+  void Add(int64_t id, std::string_view text);
+
+  /// Computes document statistics; call once after all Add()s.
+  void Finalize();
+
+  /// Returns up to k (id, score) pairs, best first. Must be Finalize()d.
+  std::vector<std::pair<int64_t, double>> TopK(std::string_view query,
+                                               int64_t k) const;
+
+  int64_t num_docs() const { return static_cast<int64_t>(doc_ids_.size()); }
+  bool finalized() const { return finalized_; }
+
+ private:
+  struct Posting {
+    int32_t doc;
+    float tf;
+  };
+  struct Field {
+    std::unordered_map<std::string, std::vector<Posting>> postings;
+    std::vector<float> doc_len;
+    double avg_len = 0.0;
+  };
+
+  void AddToField(Field* field, int32_t doc,
+                  const std::vector<std::string>& terms);
+  void ScoreField(const Field& field, const std::vector<std::string>& terms,
+                  double weight, std::unordered_map<int32_t, double>* acc)
+      const;
+
+  Options options_;
+  Field words_;
+  Field trigrams_;
+  std::vector<int64_t> doc_ids_;
+  bool finalized_ = false;
+};
+
+}  // namespace emblookup::text
+
+#endif  // EMBLOOKUP_TEXT_BM25_H_

@@ -1,0 +1,94 @@
+#include "text/edit_distance.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace emblookup::text {
+
+int64_t Levenshtein(std::string_view a, std::string_view b) {
+  if (a.size() > b.size()) std::swap(a, b);
+  const int64_t n = static_cast<int64_t>(a.size());
+  const int64_t m = static_cast<int64_t>(b.size());
+  if (n == 0) return m;
+  std::vector<int64_t> row(n + 1);
+  for (int64_t j = 0; j <= n; ++j) row[j] = j;
+  for (int64_t i = 1; i <= m; ++i) {
+    int64_t prev_diag = row[0];
+    row[0] = i;
+    for (int64_t j = 1; j <= n; ++j) {
+      const int64_t cur = row[j];
+      const int64_t cost = (a[j - 1] == b[i - 1]) ? 0 : 1;
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, prev_diag + cost});
+      prev_diag = cur;
+    }
+  }
+  return row[n];
+}
+
+int64_t BoundedLevenshtein(std::string_view a, std::string_view b,
+                           int64_t bound) {
+  if (a.size() > b.size()) std::swap(a, b);
+  const int64_t n = static_cast<int64_t>(a.size());
+  const int64_t m = static_cast<int64_t>(b.size());
+  if (m - n > bound) return bound + 1;
+  if (n == 0) return m <= bound ? m : bound + 1;
+
+  // Banded DP (Ukkonen): only cells with |i - j| <= bound can hold a value
+  // <= bound, so each row only evaluates that diagonal band. Cells outside
+  // the band are pinned at kInf.
+  const int64_t kInf = bound + 1;
+  std::vector<int64_t> prev(n + 1, kInf), cur(n + 1, kInf);
+  for (int64_t j = 0; j <= std::min(n, bound); ++j) prev[j] = j;
+  for (int64_t i = 1; i <= m; ++i) {
+    const int64_t lo = std::max<int64_t>(1, i - bound);
+    const int64_t hi = std::min(n, i + bound);
+    cur[0] = (i <= bound) ? i : kInf;
+    if (lo > 1) cur[lo - 1] = kInf;  // Left neighbor of the band's first cell.
+    int64_t row_min = cur[0];
+    for (int64_t j = lo; j <= hi; ++j) {
+      const int64_t cost = (a[j - 1] == b[i - 1]) ? 0 : 1;
+      const int64_t best =
+          std::min({prev[j] + 1, cur[j - 1] + 1, prev[j - 1] + cost});
+      cur[j] = std::min(best, kInf);
+      row_min = std::min(row_min, cur[j]);
+    }
+    if (hi < n) cur[hi + 1] = kInf;  // Stale cell right of the band.
+    if (row_min > bound) return bound + 1;
+    std::swap(prev, cur);
+  }
+  return std::min(prev[n], kInf);
+}
+
+int64_t DamerauLevenshtein(std::string_view a, std::string_view b) {
+  const int64_t n = static_cast<int64_t>(a.size());
+  const int64_t m = static_cast<int64_t>(b.size());
+  if (n == 0) return m;
+  if (m == 0) return n;
+  // Three rolling rows (need i-2 for transpositions).
+  std::vector<int64_t> prev2(m + 1), prev(m + 1), cur(m + 1);
+  for (int64_t j = 0; j <= m; ++j) prev[j] = j;
+  for (int64_t i = 1; i <= n; ++i) {
+    cur[0] = i;
+    for (int64_t j = 1; j <= m; ++j) {
+      const int64_t cost = (a[i - 1] == b[j - 1]) ? 0 : 1;
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, prev[j - 1] + cost});
+      if (i > 1 && j > 1 && a[i - 1] == b[j - 2] && a[i - 2] == b[j - 1]) {
+        cur[j] = std::min(cur[j], prev2[j - 2] + 1);
+      }
+    }
+    std::swap(prev2, prev);
+    std::swap(prev, cur);
+  }
+  return prev[m];
+}
+
+double LevenshteinRatio(std::string_view a, std::string_view b) {
+  const int64_t max_len =
+      std::max<int64_t>(static_cast<int64_t>(a.size()),
+                        static_cast<int64_t>(b.size()));
+  if (max_len == 0) return 100.0;
+  const int64_t d = Levenshtein(a, b);
+  return 100.0 * (1.0 - static_cast<double>(d) / static_cast<double>(max_len));
+}
+
+}  // namespace emblookup::text

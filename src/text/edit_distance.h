@@ -1,0 +1,29 @@
+#ifndef EMBLOOKUP_TEXT_EDIT_DISTANCE_H_
+#define EMBLOOKUP_TEXT_EDIT_DISTANCE_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace emblookup::text {
+
+/// Levenshtein distance (insert/delete/substitute, unit costs).
+/// O(|a| * |b|) time, O(min) memory.
+int64_t Levenshtein(std::string_view a, std::string_view b);
+
+/// Levenshtein distance with early exit: returns `bound + 1` as soon as the
+/// distance provably exceeds `bound`. Uses the banded DP (Ukkonen), which is
+/// the optimization the SemTab submissions relied on for bulk matching.
+int64_t BoundedLevenshtein(std::string_view a, std::string_view b,
+                           int64_t bound);
+
+/// Damerau-Levenshtein (adds adjacent transposition), matching the error
+/// model of the paper's noise experiments.
+int64_t DamerauLevenshtein(std::string_view a, std::string_view b);
+
+/// FuzzyWuzzy-style similarity ratio in [0, 100]:
+/// 100 * (1 - lev(a,b) / max(|a|,|b|)). Returns 100 for two empty strings.
+double LevenshteinRatio(std::string_view a, std::string_view b);
+
+}  // namespace emblookup::text
+
+#endif  // EMBLOOKUP_TEXT_EDIT_DISTANCE_H_

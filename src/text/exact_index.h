@@ -1,0 +1,44 @@
+#ifndef EMBLOOKUP_TEXT_EXACT_INDEX_H_
+#define EMBLOOKUP_TEXT_EXACT_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace emblookup::text {
+
+/// Hash index from normalized string to ids — the "Exact Match" baseline of
+/// Table V and the candidate pre-filter in the annotation systems. Keys are
+/// whitespace-normalized and lowercased.
+class ExactIndex {
+ public:
+  /// Associates `id` with `text` (many ids may share a key).
+  void Add(int64_t id, std::string_view text) {
+    index_[Normalize(text)].push_back(id);
+  }
+
+  /// Returns the ids registered for `text`, or an empty list.
+  const std::vector<int64_t>& Lookup(std::string_view text) const {
+    static const std::vector<int64_t> kEmpty;
+    auto it = index_.find(Normalize(text));
+    return it == index_.end() ? kEmpty : it->second;
+  }
+
+  size_t num_keys() const { return index_.size(); }
+
+  /// The canonical key form used by this index.
+  static std::string Normalize(std::string_view text) {
+    return NormalizeWhitespace(ToLower(text));
+  }
+
+ private:
+  std::unordered_map<std::string, std::vector<int64_t>> index_;
+};
+
+}  // namespace emblookup::text
+
+#endif  // EMBLOOKUP_TEXT_EXACT_INDEX_H_

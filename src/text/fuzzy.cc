@@ -1,0 +1,85 @@
+#include "text/fuzzy.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "text/edit_distance.h"
+
+namespace emblookup::text {
+
+namespace {
+
+std::string SortedTokens(std::string_view s) {
+  std::vector<std::string> tokens = SplitWhitespace(ToLower(s));
+  std::sort(tokens.begin(), tokens.end());
+  return Join(tokens, " ");
+}
+
+}  // namespace
+
+double Ratio(std::string_view a, std::string_view b) {
+  return LevenshteinRatio(ToLower(a), ToLower(b));
+}
+
+double PartialRatio(std::string_view a, std::string_view b) {
+  std::string la = ToLower(a);
+  std::string lb = ToLower(b);
+  if (la.size() > lb.size()) std::swap(la, lb);
+  if (la.empty()) return lb.empty() ? 100.0 : 0.0;
+  double best = 0.0;
+  for (size_t i = 0; i + la.size() <= lb.size(); ++i) {
+    best = std::max(best, LevenshteinRatio(
+                              la, std::string_view(lb).substr(i, la.size())));
+    if (best >= 100.0) break;
+  }
+  // Also compare against the whole string when it is shorter than |la|.
+  if (lb.size() < la.size()) best = std::max(best, LevenshteinRatio(la, lb));
+  if (best == 0.0 && !lb.empty()) best = LevenshteinRatio(la, lb);
+  return best;
+}
+
+double TokenSortRatio(std::string_view a, std::string_view b) {
+  return LevenshteinRatio(SortedTokens(a), SortedTokens(b));
+}
+
+double TokenSetRatio(std::string_view a, std::string_view b) {
+  std::vector<std::string> ta = SplitWhitespace(ToLower(a));
+  std::vector<std::string> tb = SplitWhitespace(ToLower(b));
+  std::set<std::string> sa(ta.begin(), ta.end());
+  std::set<std::string> sb(tb.begin(), tb.end());
+  std::vector<std::string> inter;
+  std::set_intersection(sa.begin(), sa.end(), sb.begin(), sb.end(),
+                        std::back_inserter(inter));
+  std::vector<std::string> only_a, only_b;
+  std::set_difference(sa.begin(), sa.end(), sb.begin(), sb.end(),
+                      std::back_inserter(only_a));
+  std::set_difference(sb.begin(), sb.end(), sa.begin(), sa.end(),
+                      std::back_inserter(only_b));
+  const std::string core = Join(inter, " ");
+  std::string combined_a = core;
+  if (!only_a.empty()) {
+    if (!combined_a.empty()) combined_a += " ";
+    combined_a += Join(only_a, " ");
+  }
+  std::string combined_b = core;
+  if (!only_b.empty()) {
+    if (!combined_b.empty()) combined_b += " ";
+    combined_b += Join(only_b, " ");
+  }
+  return std::max({LevenshteinRatio(core, combined_a),
+                   LevenshteinRatio(core, combined_b),
+                   LevenshteinRatio(combined_a, combined_b)});
+}
+
+double WRatio(std::string_view a, std::string_view b) {
+  const double base = Ratio(a, b);
+  const double tsort = TokenSortRatio(a, b);
+  const double tset = TokenSetRatio(a, b);
+  const double partial = 0.9 * PartialRatio(a, b);
+  return std::max({base, tsort, tset, partial});
+}
+
+}  // namespace emblookup::text

@@ -1,0 +1,34 @@
+#ifndef EMBLOOKUP_TEXT_FUZZY_H_
+#define EMBLOOKUP_TEXT_FUZZY_H_
+
+#include <string_view>
+
+namespace emblookup::text {
+
+/// FuzzyWuzzy-compatible string similarity scorers, all returning values in
+/// [0, 100]. These power the FuzzyWuzzy baseline of Table V and the lexical
+/// re-ranking inside the annotation systems.
+
+/// Plain Levenshtein ratio over the raw (lowercased) strings.
+double Ratio(std::string_view a, std::string_view b);
+
+/// Best ratio of the shorter string against any equal-length substring of
+/// the longer one.
+double PartialRatio(std::string_view a, std::string_view b);
+
+/// Ratio after sorting whitespace tokens — invariant to token order
+/// ("gates bill" vs "bill gates" -> 100).
+double TokenSortRatio(std::string_view a, std::string_view b);
+
+/// Set-based variant: compares shared-token core against each full token
+/// set, taking the max. Tolerant of extra/missing tokens.
+double TokenSetRatio(std::string_view a, std::string_view b);
+
+/// Weighted combination used by FuzzyWuzzy's extractOne-style matching:
+/// max of Ratio, TokenSortRatio and TokenSetRatio (partial variants down-
+/// weighted).
+double WRatio(std::string_view a, std::string_view b);
+
+}  // namespace emblookup::text
+
+#endif  // EMBLOOKUP_TEXT_FUZZY_H_

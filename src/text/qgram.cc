@@ -1,0 +1,72 @@
+#include "text/qgram.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace emblookup::text {
+
+std::vector<std::string> QGrams(std::string_view s, int q) {
+  std::string padded(q - 1, '#');
+  padded += ToLower(s);
+  padded.append(q - 1, '#');
+  std::vector<std::string> grams;
+  if (static_cast<int>(padded.size()) < q) return grams;
+  grams.reserve(padded.size() - q + 1);
+  for (size_t i = 0; i + q <= padded.size(); ++i) {
+    grams.emplace_back(padded.substr(i, q));
+  }
+  return grams;
+}
+
+double QGramJaccard(std::string_view a, std::string_view b, int q) {
+  std::vector<std::string> ga = QGrams(a, q);
+  std::vector<std::string> gb = QGrams(b, q);
+  std::unordered_set<std::string> sa(ga.begin(), ga.end());
+  std::unordered_set<std::string> sb(gb.begin(), gb.end());
+  if (sa.empty() && sb.empty()) return 1.0;
+  size_t inter = 0;
+  for (const auto& g : sa) inter += sb.count(g);
+  const size_t uni = sa.size() + sb.size() - inter;
+  return uni == 0 ? 0.0 : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+void QGramIndex::Add(int64_t id, std::string_view text) {
+  std::vector<std::string> grams = QGrams(text, q_);
+  std::unordered_set<std::string> distinct(grams.begin(), grams.end());
+  const int64_t internal = static_cast<int64_t>(doc_ids_.size());
+  doc_ids_.push_back(id);
+  doc_sizes_.push_back(static_cast<int32_t>(distinct.size()));
+  for (const auto& g : distinct) postings_[g].push_back(internal);
+}
+
+std::vector<std::pair<int64_t, double>> QGramIndex::TopK(
+    std::string_view query, int64_t k) const {
+  std::vector<std::string> grams = QGrams(query, q_);
+  std::unordered_set<std::string> distinct(grams.begin(), grams.end());
+  std::unordered_map<int64_t, int32_t> overlap;
+  for (const auto& g : distinct) {
+    auto it = postings_.find(g);
+    if (it == postings_.end()) continue;
+    for (int64_t doc : it->second) ++overlap[doc];
+  }
+  std::vector<std::pair<int64_t, double>> scored;
+  scored.reserve(overlap.size());
+  const double qsize = static_cast<double>(distinct.size());
+  for (const auto& [doc, shared] : overlap) {
+    const double dice =
+        2.0 * shared / (qsize + static_cast<double>(doc_sizes_[doc]));
+    scored.emplace_back(doc_ids_[doc], dice);
+  }
+  const size_t keep = std::min<size_t>(scored.size(), static_cast<size_t>(k));
+  std::partial_sort(scored.begin(), scored.begin() + keep, scored.end(),
+                    [](const auto& x, const auto& y) {
+                      if (x.second != y.second) return x.second > y.second;
+                      return x.first < y.first;
+                    });
+  scored.resize(keep);
+  return scored;
+}
+
+}  // namespace emblookup::text

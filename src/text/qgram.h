@@ -1,0 +1,47 @@
+#ifndef EMBLOOKUP_TEXT_QGRAM_H_
+#define EMBLOOKUP_TEXT_QGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace emblookup::text {
+
+/// Extracts the padded q-grams of `s` (pad char '#', q-1 pads on each side).
+/// "abc" with q=3 -> {"##a", "#ab", "abc", "bc#", "c##"}.
+std::vector<std::string> QGrams(std::string_view s, int q = 3);
+
+/// Jaccard similarity of the q-gram *sets* of two strings, in [0,1].
+double QGramJaccard(std::string_view a, std::string_view b, int q = 3);
+
+/// Inverted q-gram index supporting top-k retrieval by Dice coefficient of
+/// shared q-grams — the "q-gram" baseline of Table V.
+class QGramIndex {
+ public:
+  explicit QGramIndex(int q = 3) : q_(q) {}
+
+  /// Adds a document. Ids are the caller's (entity ids); duplicates allowed.
+  void Add(int64_t id, std::string_view text);
+
+  /// Returns up to k (id, score) pairs, best first. Score is the Dice
+  /// coefficient 2*|shared| / (|q(a)| + |q(b)|).
+  std::vector<std::pair<int64_t, double>> TopK(std::string_view query,
+                                               int64_t k) const;
+
+  int64_t num_docs() const { return static_cast<int64_t>(doc_sizes_.size()); }
+
+ private:
+  int q_;
+  std::unordered_map<std::string, std::vector<int64_t>> postings_;
+  // Dense internal doc indexing: doc i has external id doc_ids_[i] and
+  // doc_sizes_[i] distinct q-grams.
+  std::vector<int64_t> doc_ids_;
+  std::vector<int32_t> doc_sizes_;
+};
+
+}  // namespace emblookup::text
+
+#endif  // EMBLOOKUP_TEXT_QGRAM_H_

@@ -1,0 +1,345 @@
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ann/flat_index.h"
+#include "ann/kmeans.h"
+#include "ann/lsh_index.h"
+#include "ann/pca.h"
+#include "ann/pq.h"
+#include "ann/pq_index.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+
+namespace emblookup::ann {
+namespace {
+
+/// Well-separated Gaussian blobs for clustering/recall tests.
+std::vector<float> MakeBlobs(int64_t n, int64_t dim, int64_t num_blobs,
+                             Rng* rng, std::vector<int64_t>* labels) {
+  std::vector<float> centers(num_blobs * dim);
+  for (auto& c : centers) c = rng->UniformFloat(-10.0f, 10.0f);
+  std::vector<float> data(n * dim);
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t blob = static_cast<int64_t>(rng->Uniform(num_blobs));
+    if (labels != nullptr) labels->push_back(blob);
+    for (int64_t d = 0; d < dim; ++d) {
+      data[i * dim + d] = centers[blob * dim + d] +
+                          static_cast<float>(rng->Normal()) * 0.3f;
+    }
+  }
+  return data;
+}
+
+// --- KMeans ------------------------------------------------------------------
+
+TEST(KMeansTest, RecoversSeparatedClusters) {
+  Rng rng(1);
+  std::vector<int64_t> labels;
+  const auto data = MakeBlobs(300, 4, 3, &rng, &labels);
+  KMeansResult km = KMeans(data.data(), 300, 4, 3, 30, &rng);
+  EXPECT_EQ(km.k, 3);
+  // Points in the same blob should share a nearest centroid.
+  for (int64_t i = 1; i < 300; ++i) {
+    if (labels[i] == labels[0]) {
+      EXPECT_EQ(NearestCentroid(km, data.data() + i * 4),
+                NearestCentroid(km, data.data()));
+    }
+  }
+}
+
+TEST(KMeansTest, InertiaDecreasesWithMoreClusters) {
+  Rng rng(2);
+  const auto data = MakeBlobs(400, 6, 8, &rng, nullptr);
+  Rng r1(3), r2(3);
+  const double inertia2 = KMeans(data.data(), 400, 6, 2, 25, &r1).inertia;
+  const double inertia16 = KMeans(data.data(), 400, 6, 16, 25, &r2).inertia;
+  EXPECT_LT(inertia16, inertia2);
+}
+
+TEST(KMeansTest, FewerPointsThanCentroids) {
+  Rng rng(4);
+  std::vector<float> data = {0, 0, 1, 1, 2, 2};
+  KMeansResult km = KMeans(data.data(), 3, 2, 8, 10, &rng);
+  EXPECT_EQ(km.k, 8);
+  EXPECT_EQ(static_cast<int64_t>(km.centroids.size()), 8 * 2);
+}
+
+// --- FlatIndex ---------------------------------------------------------------
+
+TEST(FlatIndexTest, ExactAgainstBruteForce) {
+  Rng rng(5);
+  const int64_t n = 500, dim = 16;
+  std::vector<float> data(n * dim);
+  for (auto& v : data) v = rng.UniformFloat(-1, 1);
+  FlatIndex index(dim);
+  index.Add(data.data(), n);
+
+  std::vector<float> query(dim);
+  for (auto& v : query) v = rng.UniformFloat(-1, 1);
+  const auto got = index.Search(query.data(), 10);
+  ASSERT_EQ(got.size(), 10u);
+
+  // Brute force reference.
+  std::vector<std::pair<float, int64_t>> ref;
+  for (int64_t i = 0; i < n; ++i) {
+    float d = 0;
+    for (int64_t j = 0; j < dim; ++j) {
+      const float diff = query[j] - data[i * dim + j];
+      d += diff * diff;
+    }
+    ref.emplace_back(d, i);
+  }
+  std::sort(ref.begin(), ref.end());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].id, ref[i].second);
+    EXPECT_NEAR(got[i].dist, ref[i].first, 1e-4f);
+  }
+}
+
+TEST(FlatIndexTest, ResultsSortedAscending) {
+  Rng rng(6);
+  FlatIndex index(8);
+  std::vector<float> data(100 * 8);
+  for (auto& v : data) v = rng.UniformFloat(-1, 1);
+  index.Add(data.data(), 100);
+  const auto got = index.Search(data.data(), 20);
+  for (size_t i = 1; i < got.size(); ++i) {
+    EXPECT_LE(got[i - 1].dist, got[i].dist);
+  }
+  EXPECT_EQ(got[0].id, 0);  // Query equals vector 0.
+}
+
+TEST(FlatIndexTest, KClampedToSize) {
+  FlatIndex index(2);
+  std::vector<float> v = {1, 2, 3, 4};
+  index.Add(v.data(), 2);
+  EXPECT_EQ(index.Search(v.data(), 100).size(), 2u);
+}
+
+TEST(FlatIndexTest, BatchMatchesSingleWithAndWithoutPool) {
+  Rng rng(7);
+  FlatIndex index(4);
+  std::vector<float> data(50 * 4);
+  for (auto& v : data) v = rng.UniformFloat(-1, 1);
+  index.Add(data.data(), 50);
+  ThreadPool pool(3);
+  const auto seq = index.BatchSearch(data.data(), 10, 5, nullptr);
+  const auto par = index.BatchSearch(data.data(), 10, 5, &pool);
+  ASSERT_EQ(seq.size(), par.size());
+  for (size_t i = 0; i < seq.size(); ++i) {
+    ASSERT_EQ(seq[i].size(), par[i].size());
+    for (size_t j = 0; j < seq[i].size(); ++j) {
+      EXPECT_EQ(seq[i][j].id, par[i][j].id);
+    }
+  }
+}
+
+TEST(FlatIndexTest, StorageBytes) {
+  FlatIndex index(64);
+  std::vector<float> v(64, 0.0f);
+  index.Add(v.data(), 1);
+  EXPECT_EQ(index.StorageBytes(), 64 * 4);
+}
+
+// --- ProductQuantizer ---------------------------------------------------------
+
+TEST(PqTest, RoundTripErrorSmallOnClusteredData) {
+  Rng rng(8);
+  const int64_t n = 600, dim = 16;
+  const auto data = MakeBlobs(n, dim, 5, &rng, nullptr);
+  ProductQuantizer pq(dim, 4);
+  ASSERT_TRUE(pq.Train(data.data(), n, &rng).ok());
+  std::vector<uint8_t> codes(n * 4);
+  pq.Encode(data.data(), n, codes.data());
+  std::vector<float> decoded(dim);
+  double err = 0.0, norm = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    pq.Decode(codes.data() + i * 4, decoded.data());
+    for (int64_t d = 0; d < dim; ++d) {
+      const float diff = decoded[d] - data[i * dim + d];
+      err += diff * diff;
+      norm += data[i * dim + d] * data[i * dim + d];
+    }
+  }
+  EXPECT_LT(err / norm, 0.05);  // < 5% relative reconstruction error.
+}
+
+TEST(PqTest, MoreSubquantizersReduceError) {
+  Rng rng(9);
+  const int64_t n = 500, dim = 16;
+  std::vector<float> data(n * dim);
+  for (auto& v : data) v = rng.UniformFloat(-1, 1);
+  auto recon_error = [&](int64_t m) {
+    Rng local(10);
+    ProductQuantizer pq(dim, m);
+    EXPECT_TRUE(pq.Train(data.data(), n, &local).ok());
+    std::vector<uint8_t> codes(n * m);
+    pq.Encode(data.data(), n, codes.data());
+    std::vector<float> decoded(dim);
+    double err = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      pq.Decode(codes.data() + i * m, decoded.data());
+      for (int64_t d = 0; d < dim; ++d) {
+        const float diff = decoded[d] - data[i * dim + d];
+        err += diff * diff;
+      }
+    }
+    return err;
+  };
+  EXPECT_LT(recon_error(8), recon_error(2));
+}
+
+TEST(PqTest, AdcMatchesDecodedDistance) {
+  Rng rng(11);
+  const int64_t n = 300, dim = 8;
+  std::vector<float> data(n * dim);
+  for (auto& v : data) v = rng.UniformFloat(-1, 1);
+  ProductQuantizer pq(dim, 2);
+  ASSERT_TRUE(pq.Train(data.data(), n, &rng).ok());
+  std::vector<uint8_t> codes(n * 2);
+  pq.Encode(data.data(), n, codes.data());
+  std::vector<float> table(pq.m() * pq.ksub());
+  std::vector<float> query(dim);
+  for (auto& v : query) v = rng.UniformFloat(-1, 1);
+  pq.ComputeAdcTable(query.data(), table.data());
+  std::vector<float> decoded(dim);
+  for (int64_t i = 0; i < 20; ++i) {
+    pq.Decode(codes.data() + i * 2, decoded.data());
+    float exact = 0;
+    for (int64_t d = 0; d < dim; ++d) {
+      const float diff = query[d] - decoded[d];
+      exact += diff * diff;
+    }
+    EXPECT_NEAR(pq.AdcDistance(table.data(), codes.data() + i * 2), exact,
+                1e-3f);
+  }
+}
+
+TEST(PqTest, RejectsIndivisibleDim) {
+  EXPECT_DEATH(ProductQuantizer(10, 3), "divisible");
+}
+
+// --- PqIndex -------------------------------------------------------------------
+
+TEST(PqIndexTest, HighRecallOnClusteredData) {
+  Rng rng(12);
+  const int64_t n = 800, dim = 32;
+  const auto data = MakeBlobs(n, dim, 10, &rng, nullptr);
+  PqIndex pq(dim, 8);
+  ASSERT_TRUE(pq.Train(data.data(), n, &rng).ok());
+  ASSERT_TRUE(pq.Add(data.data(), n).ok());
+  FlatIndex flat(dim);
+  flat.Add(data.data(), n);
+
+  double recall = 0;
+  const int64_t queries = 50, k = 10;
+  for (int64_t q = 0; q < queries; ++q) {
+    const float* qv = data.data() + q * dim;
+    const auto truth = flat.Search(qv, k);
+    const auto approx = pq.Search(qv, k);
+    int64_t inter = 0;
+    for (const auto& t : truth) {
+      for (const auto& a : approx) {
+        if (a.id == t.id) {
+          ++inter;
+          break;
+        }
+      }
+    }
+    recall += static_cast<double>(inter) / k;
+  }
+  EXPECT_GT(recall / queries, 0.7);
+}
+
+TEST(PqIndexTest, AddBeforeTrainFails) {
+  PqIndex pq(8, 2);
+  std::vector<float> v(8, 0.0f);
+  EXPECT_FALSE(pq.Add(v.data(), 1).ok());
+}
+
+TEST(PqIndexTest, StorageIsMBytesPerVector) {
+  Rng rng(13);
+  PqIndex pq(16, 4);
+  std::vector<float> data(100 * 16);
+  for (auto& v : data) v = rng.UniformFloat(-1, 1);
+  ASSERT_TRUE(pq.Train(data.data(), 100, &rng).ok());
+  ASSERT_TRUE(pq.Add(data.data(), 100).ok());
+  EXPECT_EQ(pq.StorageBytes(), 400);
+}
+
+// --- PCA ------------------------------------------------------------------------
+
+TEST(PcaTest, FullDimIsLosslessRotation) {
+  Rng rng(14);
+  const int64_t n = 200, dim = 6;
+  std::vector<float> data(n * dim);
+  for (auto& v : data) v = rng.UniformFloat(-1, 1);
+  Pca pca;
+  ASSERT_TRUE(pca.Fit(data.data(), n, dim, dim).ok());
+  EXPECT_NEAR(pca.ExplainedVariance(), 1.0, 1e-6);
+  // Pairwise distances preserved by a full-rank orthogonal projection.
+  std::vector<float> proj(n * dim);
+  pca.Transform(data.data(), n, proj.data());
+  auto dist = [&](const float* base, int64_t i, int64_t j) {
+    float d = 0;
+    for (int64_t k = 0; k < dim; ++k) {
+      const float diff = base[i * dim + k] - base[j * dim + k];
+      d += diff * diff;
+    }
+    return d;
+  };
+  for (int64_t i = 0; i < 10; ++i) {
+    EXPECT_NEAR(dist(data.data(), i, i + 1), dist(proj.data(), i, i + 1),
+                1e-2f);
+  }
+}
+
+TEST(PcaTest, FindsDominantDirection) {
+  Rng rng(15);
+  const int64_t n = 500;
+  // Data varies mostly along (1,1)/sqrt(2) in 2-D.
+  std::vector<float> data(n * 2);
+  for (int64_t i = 0; i < n; ++i) {
+    const float t = rng.UniformFloat(-5, 5);
+    const float noise = rng.UniformFloat(-0.1f, 0.1f);
+    data[i * 2] = t + noise;
+    data[i * 2 + 1] = t - noise;
+  }
+  Pca pca;
+  ASSERT_TRUE(pca.Fit(data.data(), n, 2, 1).ok());
+  EXPECT_GT(pca.ExplainedVariance(), 0.99);
+}
+
+TEST(PcaTest, RejectsBadArgs) {
+  std::vector<float> data = {1, 2};
+  Pca pca;
+  EXPECT_FALSE(pca.Fit(data.data(), 1, 2, 1).ok());
+  EXPECT_FALSE(pca.Fit(data.data(), 2, 1, 2).ok());
+}
+
+// --- LSH -----------------------------------------------------------------------
+
+TEST(LshTest, FindsNearDuplicates) {
+  StringLshIndex index;
+  index.Add(1, "international business machines");
+  index.Add(2, "quantum flux capacitor");
+  index.Add(3, "apple computer incorporated");
+  auto top = index.TopK("international busines machines", 2);
+  ASSERT_FALSE(top.empty());
+  EXPECT_EQ(top[0].first, 1);
+  EXPECT_GT(top[0].second, 90.0);
+}
+
+TEST(LshTest, UnrelatedQueryFindsLittle) {
+  StringLshIndex index;
+  index.Add(1, "alpha beta gamma");
+  auto top = index.TopK("zzzzqqqq wwww", 5);
+  // Either empty or a low-similarity candidate.
+  if (!top.empty()) EXPECT_LT(top[0].second, 50.0);
+}
+
+}  // namespace
+}  // namespace emblookup::ann

@@ -1,0 +1,289 @@
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "apps/evaluation.h"
+#include "apps/lookup_services.h"
+#include "apps/systems.h"
+#include "apps/tasks.h"
+#include "common/rng.h"
+#include "kg/noise.h"
+#include "kg/synthetic_kg.h"
+#include "kg/tabular.h"
+
+namespace emblookup::apps {
+namespace {
+
+const kg::KnowledgeGraph& Graph() {
+  static const kg::KnowledgeGraph& graph = [] {
+    kg::SyntheticKgOptions options;
+    options.num_entities = 600;
+    options.seed = 33;
+    options.ambiguity_rate = 0.0;
+    return *new kg::KnowledgeGraph(kg::GenerateSyntheticKg(options));
+  }();
+  return graph;
+}
+
+kg::TabularDataset CleanDataset() {
+  Rng rng(44);
+  kg::DatasetProfile profile = kg::DatasetProfile::StWikidataLike(0.1);
+  profile.alias_cell_rate = 0.0;
+  profile.typo_cell_rate = 0.0;
+  return kg::GenerateDataset(Graph(), profile, &rng);
+}
+
+// --- Metrics ------------------------------------------------------------------
+
+TEST(MetricsTest, PrecisionRecallF1) {
+  Metrics m;
+  m.AddPrediction(true);
+  m.AddPrediction(true);
+  m.AddPrediction(false);
+  m.AddMiss();
+  EXPECT_DOUBLE_EQ(m.Precision(), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(m.Recall(), 2.0 / 3.0);
+  EXPECT_NEAR(m.F1(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(MetricsTest, EmptyIsZero) {
+  Metrics m;
+  EXPECT_EQ(m.Precision(), 0.0);
+  EXPECT_EQ(m.Recall(), 0.0);
+  EXPECT_EQ(m.F1(), 0.0);
+}
+
+// --- Individual services ----------------------------------------------------------
+
+struct ServiceCase {
+  std::string name;
+  std::function<std::unique_ptr<LookupService>()> make;
+  bool alias_aware;
+};
+
+class ServiceTest : public ::testing::TestWithParam<ServiceCase> {};
+
+TEST_P(ServiceTest, ExactLabelRetrieved) {
+  auto service = GetParam().make();
+  for (kg::EntityId e : {0, 50, 300}) {
+    const auto hits = service->Lookup(Graph().entity(e).label, 10);
+    bool found = false;
+    for (kg::EntityId id : hits) found |= (id == e);
+    EXPECT_TRUE(found) << GetParam().name << " entity " << e;
+  }
+}
+
+TEST_P(ServiceTest, KLimitRespected) {
+  auto service = GetParam().make();
+  EXPECT_LE(service->Lookup(Graph().entity(0).label, 3).size(), 3u);
+}
+
+TEST_P(ServiceTest, BulkMatchesSingle) {
+  auto service = GetParam().make();
+  std::vector<std::string> queries = {Graph().entity(1).label,
+                                      Graph().entity(2).label};
+  const auto bulk = service->BulkLookup(queries, 5);
+  ASSERT_EQ(bulk.size(), 2u);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(bulk[i], service->Lookup(queries[i], 5));
+  }
+}
+
+TEST_P(ServiceTest, AliasAwarenessMatchesDeployment) {
+  auto service = GetParam().make();
+  // Find an entity with a distinctly-spelled alias (the translation).
+  const kg::Entity& e = Graph().entity(0);
+  ASSERT_FALSE(e.aliases.empty());
+  const auto hits = service->Lookup(e.aliases[0], 10);
+  bool found = false;
+  for (kg::EntityId id : hits) found |= (id == e.id);
+  if (GetParam().alias_aware) {
+    EXPECT_TRUE(found) << GetParam().name;
+  }
+  // Local label-only services are *allowed* to miss; no assertion.
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllServices, ServiceTest,
+    ::testing::Values(
+        ServiceCase{"fuzzywuzzy",
+                    [] { return std::make_unique<FuzzyWuzzyService>(&Graph()); },
+                    false},
+        ServiceCase{"elasticsearch",
+                    [] {
+                      return std::make_unique<ElasticSearchService>(&Graph(),
+                                                                    false);
+                    },
+                    false},
+        ServiceCase{"es_aliases",
+                    [] {
+                      return std::make_unique<ElasticSearchService>(&Graph(),
+                                                                    true);
+                    },
+                    true},
+        ServiceCase{"lsh",
+                    [] { return std::make_unique<LshService>(&Graph()); },
+                    false},
+        ServiceCase{"exact",
+                    [] { return std::make_unique<ExactMatchService>(&Graph()); },
+                    false},
+        ServiceCase{"qgram",
+                    [] { return std::make_unique<QGramService>(&Graph()); },
+                    false},
+        ServiceCase{"levenshtein",
+                    [] {
+                      return std::make_unique<LevenshteinService>(&Graph());
+                    },
+                    false},
+        ServiceCase{"wikidata_api",
+                    [] {
+                      return std::make_unique<WikidataApiService>(&Graph());
+                    },
+                    true},
+        ServiceCase{"searx",
+                    [] { return std::make_unique<SearxApiService>(&Graph()); },
+                    true}),
+    [](const ::testing::TestParamInfo<ServiceCase>& info) {
+      return info.param.name;
+    });
+
+TEST(RemoteServiceTest, ModeledDelayAccumulatesAndResets) {
+  WikidataApiService service(&Graph());
+  EXPECT_EQ(service.modeled_delay_seconds(), 0.0);
+  (void)service.Lookup("anything", 5);
+  const double after_one = service.modeled_delay_seconds();
+  EXPECT_GT(after_one, 0.0);
+  service.ResetModeledDelay();
+  EXPECT_EQ(service.modeled_delay_seconds(), 0.0);
+}
+
+TEST(RemoteServiceTest, RateLimitShapesBulkDelay) {
+  RemoteModel model;
+  model.rtt_seconds = 0.1;
+  model.service_seconds = 0.0;
+  model.max_parallel_requests = 5;
+  WikidataApiService service(&Graph(), model);
+  std::vector<std::string> queries(10, "x");
+  (void)service.BulkLookup(queries, 5);
+  // 10 queries / 5 parallel = 2 waves of 0.1s.
+  EXPECT_NEAR(service.modeled_delay_seconds(), 0.2, 1e-9);
+}
+
+TEST(EsHostedTest, BulkCheaperPerQueryThanSingles) {
+  ExactMatchService a(&Graph());
+  ExactMatchService b(&Graph());
+  std::vector<std::string> queries(100, "x");
+  (void)a.BulkLookup(queries, 5);
+  for (const auto& q : queries) (void)b.Lookup(q, 5);
+  EXPECT_LT(a.modeled_delay_seconds(), b.modeled_delay_seconds());
+}
+
+// --- Tasks -------------------------------------------------------------------------
+
+TEST(TasksTest, CeaNearPerfectWithAliasAwareService) {
+  const kg::TabularDataset dataset = CleanDataset();
+  ElasticSearchService service(&Graph(), /*index_aliases=*/true);
+  const TaskResult result = RunCea(dataset, Graph(), &service);
+  EXPECT_GT(result.metrics.F1(), 0.95);
+  EXPECT_GT(result.num_lookups, 0);
+  EXPECT_GT(result.lookup_seconds, 0.0);
+}
+
+TEST(TasksTest, CtaVotesColumnTypes) {
+  const kg::TabularDataset dataset = CleanDataset();
+  ElasticSearchService service(&Graph(), /*index_aliases=*/true);
+  const TaskResult result = RunCta(dataset, Graph(), &service);
+  EXPECT_GT(result.metrics.F1(), 0.95);
+}
+
+TEST(TasksTest, CeaDegradesWithExactMatchUnderNoise) {
+  kg::TabularDataset dataset = CleanDataset();
+  Rng rng(9);
+  kg::InjectCellNoise(&dataset, 0.5, &rng);
+  ExactMatchService service(&Graph());
+  const TaskResult noisy = RunCea(dataset, Graph(), &service);
+  ExactMatchService service2(&Graph());
+  const TaskResult clean = RunCea(CleanDataset(), Graph(), &service2);
+  EXPECT_LT(noisy.metrics.F1(), clean.metrics.F1());
+}
+
+TEST(TasksTest, EntityDisambiguationUsesCoherence) {
+  const kg::TabularDataset dataset = CleanDataset();
+  ElasticSearchService service(&Graph(), /*index_aliases=*/true);
+  const TaskResult result =
+      RunEntityDisambiguation(dataset, Graph(), &service);
+  EXPECT_GT(result.metrics.F1(), 0.9);
+}
+
+TEST(TasksTest, DataRepairImputesBlankedCells) {
+  kg::TabularDataset dataset = CleanDataset();
+  Rng rng(10);
+  const int64_t blanked = kg::BlankCells(&dataset, 0.10, &rng);
+  ASSERT_GT(blanked, 0);
+  ElasticSearchService service(&Graph(), /*index_aliases=*/true);
+  const TaskResult result = RunDataRepair(dataset, Graph(), &service);
+  // Relation columns are imputable; filler columns are not — recall is
+  // bounded but precision should be decent.
+  EXPECT_GT(result.metrics.tp, 0);
+  EXPECT_GT(result.metrics.Precision(), 0.5);
+}
+
+TEST(TasksTest, LookupBenchmarkCountsHits) {
+  std::vector<std::string> queries = {Graph().entity(0).label, "zzz-nothing"};
+  std::vector<kg::EntityId> gold = {0, 1};
+  ElasticSearchService service(&Graph(), false);
+  const TaskResult result = RunLookupBenchmark(queries, gold, &service, 10);
+  EXPECT_EQ(result.metrics.tp, 1);
+  EXPECT_EQ(result.num_lookups, 2);
+}
+
+// --- Annotation systems ---------------------------------------------------------------
+
+TEST(SystemsTest, ConfigsDiffer) {
+  EXPECT_EQ(BbwConfig().name, "bbw");
+  EXPECT_EQ(MantisTableConfig().name, "MantisTable");
+  EXPECT_EQ(JenTabConfig().name, "JenTab");
+  EXPECT_TRUE(JenTabConfig().exact_first);
+  EXPECT_FALSE(BbwConfig().type_filter);
+  EXPECT_TRUE(MantisTableConfig().type_filter);
+}
+
+TEST(SystemsTest, OriginalLookupFactories) {
+  EXPECT_EQ(MakeOriginalLookup(BbwConfig(), Graph())->name(), "SearX");
+  EXPECT_EQ(MakeOriginalLookup(MantisTableConfig(), Graph())->name(),
+            "ElasticSearch");
+  EXPECT_EQ(MakeOriginalLookup(JenTabConfig(), Graph())->name(),
+            "WikidataAPI");
+}
+
+class SystemPipelineTest
+    : public ::testing::TestWithParam<SystemConfig (*)()> {};
+
+TEST_P(SystemPipelineTest, HighFOnCleanDataWithShippedLookup) {
+  const SystemConfig config = GetParam()();
+  auto service = MakeOriginalLookup(config, Graph());
+  AnnotationSystem system(config, &Graph(), service.get());
+  const kg::TabularDataset dataset = CleanDataset();
+  EXPECT_GT(system.RunCea(dataset).metrics.F1(), 0.9) << config.name;
+  EXPECT_GT(system.RunCta(dataset).metrics.F1(), 0.9) << config.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSystems, SystemPipelineTest,
+                         ::testing::Values(&BbwConfig, &MantisTableConfig,
+                                           &JenTabConfig),
+                         [](const auto& info) {
+                           return info.param().name;
+                         });
+
+TEST(SystemsTest, LookupTimeInstrumented) {
+  const SystemConfig config = MantisTableConfig();
+  auto service = MakeOriginalLookup(config, Graph());
+  AnnotationSystem system(config, &Graph(), service.get());
+  const TaskResult result = system.RunCea(CleanDataset());
+  EXPECT_GT(result.num_lookups, 0);
+  EXPECT_GT(result.lookup_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace emblookup::apps

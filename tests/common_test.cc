@@ -1,0 +1,218 @@
+#include <atomic>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "common/thread_pool.h"
+#include "common/timing.h"
+
+namespace emblookup {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("k must be > 0");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "InvalidArgument: k must be > 0");
+}
+
+TEST(StatusTest, AllFactoriesProduceDistinctCodes) {
+  std::set<StatusCode> codes = {
+      Status::InvalidArgument("").code(), Status::NotFound("").code(),
+      Status::AlreadyExists("").code(),   Status::OutOfRange("").code(),
+      Status::FailedPrecondition("").code(), Status::IoError("").code(),
+      Status::Internal("").code(),        Status::Unimplemented("").code()};
+  EXPECT_EQ(codes.size(), 8u);
+}
+
+TEST(ResultTest, ValueAndStatusPaths) {
+  Result<int> ok(42);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 42);
+  Result<int> err(Status::NotFound("missing"));
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::vector<int>> r(std::vector<int>{1, 2, 3});
+  std::vector<int> v = std::move(r).ValueOrDie();
+  EXPECT_EQ(v.size(), 3u);
+}
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  bool differ = false;
+  for (int i = 0; i < 10; ++i) differ |= (a.NextU64() != b.NextU64());
+  EXPECT_TRUE(differ);
+}
+
+TEST(RngTest, UniformRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveRange) {
+  Rng rng(8);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.UniformInt(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= (v == -2);
+    saw_hi |= (v == 2);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, NormalHasRoughlyZeroMeanUnitVar) {
+  Rng rng(10);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.Normal();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.1);
+}
+
+TEST(RngTest, ZipfIsSkewedTowardSmallRanks) {
+  Rng rng(11);
+  int64_t low = 0, high = 0;
+  for (int i = 0; i < 5000; ++i) {
+    uint64_t v = rng.Zipf(1000, 1.2);
+    EXPECT_LT(v, 1000u);
+    if (v < 10) ++low;
+    if (v >= 500) ++high;
+  }
+  EXPECT_GT(low, high);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(12);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  pool.ParallelFor(100, [&](size_t i) { hits[i]++; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, WaitBlocksUntilDone) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit([&] { counter++; });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, ZeroRequestsHardwareThreads) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.num_threads(), 1u);
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyIsNoop) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, [](size_t) { FAIL(); });
+}
+
+TEST(StringUtilTest, ToLowerUpper) {
+  EXPECT_EQ(ToLower("BeRLin 42!"), "berlin 42!");
+  EXPECT_EQ(ToUpper("beRlin"), "BERLIN");
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  x y  "), "x y");
+  EXPECT_EQ(Trim("\t\n"), "");
+  EXPECT_EQ(Trim(""), "");
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyPieces) {
+  auto parts = Split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[1], "");
+}
+
+TEST(StringUtilTest, SplitWhitespaceDropsEmpty) {
+  auto parts = SplitWhitespace("  a \t b\nc ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringUtilTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("hello", "he"));
+  EXPECT_FALSE(StartsWith("he", "hello"));
+}
+
+TEST(StringUtilTest, NormalizeWhitespace) {
+  EXPECT_EQ(NormalizeWhitespace("  East   Berlin  "), "East Berlin");
+  EXPECT_EQ(NormalizeWhitespace(""), "");
+}
+
+TEST(TimingTest, StopwatchAdvances) {
+  Stopwatch sw;
+  volatile double x = 0;
+  for (int i = 0; i < 100000; ++i) x += i;
+  EXPECT_GT(sw.ElapsedSeconds(), 0.0);
+}
+
+TEST(TimingTest, VirtualClockAccumulates) {
+  VirtualClock clock;
+  EXPECT_EQ(clock.NowSeconds(), 0.0);
+  clock.Advance(1.5);
+  clock.Advance(0.5);
+  EXPECT_DOUBLE_EQ(clock.NowSeconds(), 2.0);
+}
+
+}  // namespace
+}  // namespace emblookup

@@ -1,0 +1,345 @@
+#include <cmath>
+#include <cstdio>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/emblookup.h"
+#include "core/encoder.h"
+#include "core/entity_index.h"
+#include "core/trainer.h"
+#include "core/triplets.h"
+#include "kg/synthetic_kg.h"
+
+namespace emblookup::core {
+namespace {
+
+const kg::KnowledgeGraph& SmallKg() {
+  static const kg::KnowledgeGraph& graph = [] {
+    kg::SyntheticKgOptions options;
+    options.num_entities = 300;
+    options.seed = 21;
+    return *new kg::KnowledgeGraph(kg::GenerateSyntheticKg(options));
+  }();
+  return graph;
+}
+
+// --- Encoder -----------------------------------------------------------------
+
+TEST(EncoderTest, OutputShapeAndUnitNorm) {
+  EncoderConfig config;
+  EmbLookupEncoder encoder(config, nullptr);
+  tensor::NoGradGuard guard;
+  tensor::Tensor out = encoder.EncodeBatch({"germany", "east berlin"});
+  EXPECT_EQ(out.dim(0), 2);
+  EXPECT_EQ(out.dim(1), config.embedding_dim);
+  for (int64_t i = 0; i < 2; ++i) {
+    float sq = 0;
+    for (int64_t j = 0; j < out.dim(1); ++j) {
+      const float v = out.data()[i * out.dim(1) + j];
+      sq += v * v;
+    }
+    EXPECT_NEAR(sq, 1.0f, 1e-3f);
+  }
+}
+
+TEST(EncoderTest, DeterministicForSeed) {
+  EncoderConfig config;
+  EmbLookupEncoder a(config, nullptr);
+  EmbLookupEncoder b(config, nullptr);
+  tensor::NoGradGuard guard;
+  tensor::Tensor ea = a.EncodeBatch({"germany"});
+  tensor::Tensor eb = b.EncodeBatch({"germany"});
+  for (int64_t i = 0; i < ea.size(); ++i) {
+    EXPECT_EQ(ea.data()[i], eb.data()[i]);
+  }
+}
+
+TEST(EncoderTest, ConfigurableDimension) {
+  EncoderConfig config;
+  config.embedding_dim = 128;
+  EmbLookupEncoder encoder(config, nullptr);
+  tensor::NoGradGuard guard;
+  EXPECT_EQ(encoder.EncodeBatch({"x"}).dim(1), 128);
+}
+
+TEST(EncoderTest, SaveLoadRoundTrip) {
+  EncoderConfig config;
+  EmbLookupEncoder a(config, nullptr);
+  const std::string path = ::testing::TempDir() + "/encoder_params.bin";
+  ASSERT_TRUE(a.Save(path).ok());
+  config.seed = 999;  // Different init...
+  EmbLookupEncoder b(config, nullptr);
+  ASSERT_TRUE(b.Load(path).ok());  // ...but loaded weights must match.
+  tensor::NoGradGuard guard;
+  tensor::Tensor ea = a.EncodeBatch({"germany"});
+  tensor::Tensor eb = b.EncodeBatch({"germany"});
+  for (int64_t i = 0; i < ea.size(); ++i) {
+    EXPECT_EQ(ea.data()[i], eb.data()[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(EncoderTest, GradientsFlowToAllParameters) {
+  EncoderConfig config;
+  EmbLookupEncoder encoder(config, nullptr);
+  tensor::Tensor out = encoder.EncodeBatch({"germany", "berlin"});
+  tensor::Mean(tensor::Mul(out, out)).Backward();
+  // Fusion layers must receive gradient; conv layers may have sparsely
+  // activated channels but the full parameter set is wired up.
+  double total = 0.0;
+  for (tensor::Tensor& p : encoder.Parameters()) {
+    for (int64_t i = 0; i < p.size(); ++i) {
+      total += std::abs(p.grad()[i]);
+    }
+  }
+  EXPECT_GT(total, 0.0);
+}
+
+// --- Triplet mining -------------------------------------------------------------
+
+TEST(TripletsTest, BudgetRespected) {
+  MinerConfig config;
+  config.triplets_per_entity = 10;
+  const auto triplets = MineTriplets(SmallKg(), config);
+  EXPECT_EQ(static_cast<int64_t>(triplets.size()),
+            SmallKg().num_entities() * 10);
+}
+
+TEST(TripletsTest, AliasesAppearAsPositives) {
+  MinerConfig config;
+  config.triplets_per_entity = 12;
+  const auto triplets = MineTriplets(SmallKg(), config);
+  const kg::Entity& first = SmallKg().entity(0);
+  ASSERT_FALSE(first.aliases.empty());
+  bool found = false;
+  for (const Triplet& t : triplets) {
+    if (t.anchor == first.label && t.positive == first.aliases[0]) {
+      found = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(TripletsTest, NegativesDifferFromAnchor) {
+  MinerConfig config;
+  config.triplets_per_entity = 5;
+  const auto triplets = MineTriplets(SmallKg(), config);
+  int64_t same = 0;
+  for (const Triplet& t : triplets) {
+    if (t.negative == t.anchor) ++same;
+  }
+  // Labels can collide (ambiguity), but the negative should essentially
+  // never be the anchor string itself.
+  EXPECT_LT(same, static_cast<int64_t>(triplets.size()) / 50 + 2);
+}
+
+TEST(TripletsTest, DeterministicForSeed) {
+  MinerConfig config;
+  config.triplets_per_entity = 4;
+  const auto a = MineTriplets(SmallKg(), config);
+  const auto b = MineTriplets(SmallKg(), config);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].anchor, b[i].anchor);
+    EXPECT_EQ(a[i].positive, b[i].positive);
+    EXPECT_EQ(a[i].negative, b[i].negative);
+  }
+}
+
+// --- Trainer ---------------------------------------------------------------------
+
+TEST(TrainerTest, LossDecreasesOnTinyTask) {
+  EncoderConfig enc_config;
+  enc_config.conv_channels = 4;
+  enc_config.num_conv_layers = 2;
+  enc_config.embedding_dim = 16;
+  enc_config.fusion_hidden = 16;
+  EmbLookupEncoder encoder(enc_config, nullptr);
+
+  MinerConfig miner;
+  miner.triplets_per_entity = 4;
+  const auto triplets = MineTriplets(SmallKg(), miner);
+
+  // Probe initial loss on a fixed batch.
+  auto batch_loss = [&](EmbLookupEncoder* e) {
+    std::vector<std::string> a, p, n;
+    for (size_t i = 0; i < 64 && i < triplets.size(); ++i) {
+      a.push_back(triplets[i].anchor);
+      p.push_back(triplets[i].positive);
+      n.push_back(triplets[i].negative);
+    }
+    tensor::NoGradGuard guard;
+    return tensor::TripletLoss(e->EncodeBatch(a), e->EncodeBatch(p),
+                               e->EncodeBatch(n), 0.4f)
+        .item();
+  };
+  const float before = batch_loss(&encoder);
+
+  TrainerConfig config;
+  config.epochs = 4;
+  TripletTrainer trainer(config);
+  auto stats = trainer.Train(&encoder, triplets);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().epochs_run, 4);
+  EXPECT_GT(stats.value().wall_seconds, 0.0);
+  EXPECT_LT(batch_loss(&encoder), before);
+}
+
+TEST(TrainerTest, EmptyTripletsRejected) {
+  EncoderConfig config;
+  EmbLookupEncoder encoder(config, nullptr);
+  TripletTrainer trainer(TrainerConfig{});
+  EXPECT_FALSE(trainer.Train(&encoder, {}).ok());
+}
+
+// --- EntityIndex -----------------------------------------------------------------
+
+TEST(EntityIndexTest, FlatAndPqAgreeOnTopCandidates) {
+  EncoderConfig config;
+  EmbLookupEncoder encoder(config, nullptr);
+  IndexConfig flat_config;
+  flat_config.compress = false;
+  auto flat = EntityIndex::Build(SmallKg(), &encoder, flat_config);
+  ASSERT_TRUE(flat.ok());
+  IndexConfig pq_config;
+  pq_config.compress = true;
+  auto pq = EntityIndex::Build(SmallKg(), &encoder, pq_config);
+  ASSERT_TRUE(pq.ok());
+  EXPECT_FALSE(flat.value().compressed());
+  EXPECT_TRUE(pq.value().compressed());
+  EXPECT_EQ(flat.value().size(), SmallKg().num_entities());
+  EXPECT_LT(pq.value().StorageBytes(), flat.value().StorageBytes() / 20);
+
+  // Exact-label query: flat puts the entity first; PQ within a few.
+  const std::string& label = SmallKg().entity(5).label;
+  tensor::NoGradGuard guard;
+  tensor::Tensor q = encoder.EncodeBatch({label});
+  const auto exact = flat.value().Search(q.data(), 5);
+  bool found = false;
+  for (const auto& n : exact) found |= (n.id == 5);
+  EXPECT_TRUE(found);
+}
+
+TEST(EntityIndexTest, PqRequiresDivisibleDim) {
+  EncoderConfig config;
+  config.embedding_dim = 60;  // Not divisible by pq_m=8.
+  EmbLookupEncoder encoder(config, nullptr);
+  IndexConfig index_config;
+  index_config.compress = true;
+  EXPECT_FALSE(EntityIndex::Build(SmallKg(), &encoder, index_config).ok());
+}
+
+// --- EmbLookup end-to-end -----------------------------------------------------------
+
+class EmbLookupE2ETest : public ::testing::Test {
+ protected:
+  static EmbLookup* Model() {
+    static EmbLookup* model = [] {
+      EmbLookupOptions options;
+      options.miner.triplets_per_entity = 8;
+      options.trainer.epochs = 6;
+      options.fasttext.epochs = 8;
+      auto built = EmbLookup::TrainFromKg(SmallKg(), options);
+      EXPECT_TRUE(built.ok());
+      return std::move(built).value().release();
+    }();
+    return model;
+  }
+};
+
+TEST_F(EmbLookupE2ETest, ExactLabelIsTopHit) {
+  int64_t hits = 0, total = 0;
+  for (kg::EntityId e = 0; e < SmallKg().num_entities(); e += 5) {
+    const auto results = Model()->Lookup(SmallKg().entity(e).label, 5);
+    ASSERT_FALSE(results.empty());
+    // The label may be shared (ambiguity); accept any entity carrying it.
+    for (const auto& r : results) {
+      if (r.entity == e) {
+        ++hits;
+        break;
+      }
+    }
+    ++total;
+  }
+  EXPECT_GT(static_cast<double>(hits) / total, 0.9);
+}
+
+TEST_F(EmbLookupE2ETest, ResultsSortedByDistance) {
+  const auto results = Model()->Lookup("some query", 10);
+  for (size_t i = 1; i < results.size(); ++i) {
+    EXPECT_LE(results[i - 1].dist, results[i].dist);
+  }
+}
+
+TEST_F(EmbLookupE2ETest, BulkMatchesSingle) {
+  std::vector<std::string> queries = {SmallKg().entity(1).label,
+                                      SmallKg().entity(2).label};
+  const auto bulk = Model()->BulkLookup(queries, 3, /*parallel=*/false);
+  ASSERT_EQ(bulk.size(), 2u);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const auto single = Model()->Lookup(queries[i], 3);
+    ASSERT_EQ(single.size(), bulk[i].size());
+    for (size_t j = 0; j < single.size(); ++j) {
+      EXPECT_EQ(single[j].entity, bulk[i][j].entity);
+    }
+  }
+}
+
+TEST_F(EmbLookupE2ETest, ParallelBulkMatchesSequential) {
+  std::vector<std::string> queries;
+  for (kg::EntityId e = 0; e < 50; ++e) {
+    queries.push_back(SmallKg().entity(e).label);
+  }
+  const auto seq = Model()->BulkLookup(queries, 5, false);
+  const auto par = Model()->BulkLookup(queries, 5, true);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    ASSERT_EQ(seq[i].size(), par[i].size());
+    for (size_t j = 0; j < seq[i].size(); ++j) {
+      EXPECT_EQ(seq[i][j].entity, par[i][j].entity);
+    }
+  }
+}
+
+TEST_F(EmbLookupE2ETest, RebuildIndexTogglesCompression) {
+  ASSERT_TRUE(Model()->index().compressed());
+  IndexConfig nc;
+  nc.compress = false;
+  ASSERT_TRUE(Model()->RebuildIndex(nc).ok());
+  EXPECT_FALSE(Model()->index().compressed());
+  IndexConfig pq;
+  pq.compress = true;
+  ASSERT_TRUE(Model()->RebuildIndex(pq).ok());
+  EXPECT_TRUE(Model()->index().compressed());
+}
+
+TEST_F(EmbLookupE2ETest, SaveAndLoadModelReproducesLookups) {
+  const std::string path = ::testing::TempDir() + "/el_model.bin";
+  ASSERT_TRUE(Model()->SaveModel(path).ok());
+  EmbLookupOptions options;
+  options.miner.triplets_per_entity = 8;
+  options.trainer.epochs = 6;
+  options.fasttext.epochs = 8;
+  auto loaded = EmbLookup::LoadFromKg(SmallKg(), options, path);
+  ASSERT_TRUE(loaded.ok());
+  const std::string& query = SmallKg().entity(3).label;
+  const auto a = Model()->Lookup(query, 5);
+  const auto b = loaded.value()->Lookup(query, 5);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].entity, b[i].entity);
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(EmbLookupE2ETest, EmbedIsUnitNorm) {
+  const auto v = Model()->Embed("whatever string");
+  float sq = 0;
+  for (float x : v) sq += x * x;
+  EXPECT_NEAR(sq, 1.0f, 1e-3f);
+}
+
+}  // namespace
+}  // namespace emblookup::core

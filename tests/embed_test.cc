@@ -1,0 +1,225 @@
+#include <cmath>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "embed/corpus.h"
+#include "embed/fasttext.h"
+#include "embed/lstm_encoder.h"
+#include "embed/minibert.h"
+#include "embed/word2vec.h"
+#include "kg/synthetic_kg.h"
+
+namespace emblookup::embed {
+namespace {
+
+float Cosine(const std::vector<float>& a, const std::vector<float>& b) {
+  float dot = 0, na = 0, nb = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    dot += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  return dot / (std::sqrt(na) * std::sqrt(nb) + 1e-9f);
+}
+
+/// Tiny corpus with an unambiguous synonym pair: "alpha" and "omega" always
+/// co-occur; "zebra" never meets them.
+Corpus SynonymCorpus() {
+  Corpus corpus;
+  auto add = [&corpus](std::vector<std::string> tokens) {
+    for (const auto& t : tokens) ++corpus.token_counts[t];
+    corpus.sentences.push_back(std::move(tokens));
+  };
+  for (int i = 0; i < 200; ++i) {
+    add({"alpha", "aka", "omega"});
+    add({"omega", "aka", "alpha"});
+    add({"zebra", "eats", "grass"});
+    add({"grass", "feeds", "zebra"});
+  }
+  return corpus;
+}
+
+TEST(CorpusTest, TokenizeMentionLowercasesAndStrips) {
+  const auto tokens = TokenizeMention("Gates, William H.");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0], "gates");
+  EXPECT_EQ(tokens[1], "william");
+  EXPECT_EQ(tokens[2], "h");
+}
+
+TEST(CorpusTest, TokenizeSplitsOnHyphenSlash) {
+  const auto tokens = TokenizeMention("Baden-Württemberg/Bayern");
+  EXPECT_GE(tokens.size(), 2u);
+}
+
+TEST(CorpusTest, BuildFromKgCoversAliases) {
+  kg::SyntheticKgOptions options;
+  options.num_entities = 100;
+  options.seed = 4;
+  const kg::KnowledgeGraph graph = kg::GenerateSyntheticKg(options);
+  const Corpus corpus = BuildCorpus(graph, {});
+  EXPECT_GT(corpus.sentences.size(), 200u);
+  EXPECT_GT(corpus.TotalTokens(), 1000);
+  // "aka" and "isa" connectives exist.
+  EXPECT_GT(corpus.token_counts.at("aka"), 0);
+  EXPECT_GT(corpus.token_counts.at("isa"), 0);
+}
+
+TEST(Word2VecTest, LearnsDirectCooccurrence) {
+  Word2Vec::Options options;
+  options.epochs = 10;
+  options.dim = 16;
+  Word2Vec model(options);
+  model.Train(SynonymCorpus());
+  const float syn = Cosine(model.EncodeMention("alpha"),
+                           model.EncodeMention("omega"));
+  const float unrel = Cosine(model.EncodeMention("alpha"),
+                             model.EncodeMention("zebra"));
+  EXPECT_GT(syn, unrel);
+}
+
+TEST(Word2VecTest, OovEncodesToZero) {
+  Word2Vec model;
+  model.Train(SynonymCorpus());
+  const auto v = model.EncodeMention("qqqqq");
+  for (float x : v) EXPECT_EQ(x, 0.0f);
+}
+
+TEST(Word2VecTest, ContainsAndVocab) {
+  Word2Vec model;
+  model.Train(SynonymCorpus());
+  EXPECT_TRUE(model.Contains("alpha"));
+  EXPECT_FALSE(model.Contains("nonexistent"));
+  EXPECT_EQ(model.vocab_size(), 7);
+}
+
+TEST(Word2VecTest, SaveLoadRoundTrip) {
+  Word2Vec::Options options;
+  options.epochs = 3;
+  Word2Vec model(options);
+  model.Train(SynonymCorpus());
+  std::stringstream buffer;
+  ASSERT_TRUE(model.Save(&buffer).ok());
+  Word2Vec restored(options);
+  ASSERT_TRUE(restored.Load(&buffer).ok());
+  EXPECT_EQ(restored.vocab_size(), model.vocab_size());
+  const auto a = model.EncodeMention("alpha omega");
+  const auto b = restored.EncodeMention("alpha omega");
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(Word2VecTest, LoadRejectsDimMismatch) {
+  Word2Vec::Options options;
+  options.epochs = 1;
+  Word2Vec model(options);
+  model.Train(SynonymCorpus());
+  std::stringstream buffer;
+  ASSERT_TRUE(model.Save(&buffer).ok());
+  Word2Vec::Options other = options;
+  other.dim = 32;
+  Word2Vec restored(other);
+  EXPECT_FALSE(restored.Load(&buffer).ok());
+}
+
+TEST(FastTextTest, OovStillEncodesViaSubwords) {
+  FastTextModel model;
+  model.Train(SynonymCorpus());
+  const auto v = model.EncodeMention("alphq");  // Typo'd, OOV.
+  float norm = 0;
+  for (float x : v) norm += x * x;
+  EXPECT_GT(norm, 0.0f);
+}
+
+TEST(FastTextTest, TypoCloserThanUnrelated) {
+  FastTextModel model;
+  model.Train(SynonymCorpus());
+  const auto clean = model.EncodeMention("alpha");
+  const float typo_sim = Cosine(clean, model.EncodeMention("alpht"));
+  const float unrel_sim = Cosine(clean, model.EncodeMention("zzyyxx"));
+  EXPECT_GT(typo_sim, unrel_sim);
+}
+
+TEST(FastTextTest, SplitPartsHaveExpectedZeroing) {
+  FastTextModel model;
+  model.Train(SynonymCorpus());
+  std::vector<float> word(model.dim()), sub(model.dim());
+  // In-vocab word: both parts nonzero.
+  model.EncodeMentionSplit("alpha", word.data(), sub.data());
+  float wn = 0, sn = 0;
+  for (int64_t i = 0; i < model.dim(); ++i) {
+    wn += word[i] * word[i];
+    sn += sub[i] * sub[i];
+  }
+  EXPECT_GT(wn, 0.0f);
+  EXPECT_GT(sn, 0.0f);
+}
+
+TEST(FastTextTest, SaveLoadRoundTrip) {
+  FastTextModel model;
+  model.Train(SynonymCorpus());
+  std::stringstream buffer;
+  ASSERT_TRUE(model.Save(&buffer).ok());
+  FastTextModel restored;
+  ASSERT_TRUE(restored.Load(&buffer).ok());
+  const auto a = model.EncodeMention("alpha omega");
+  const auto b = restored.EncodeMention("alpha omega");
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(LstmEncoderTest, OutputShapeAndDeterminism) {
+  CharLstmEncoder::Options options;
+  options.hidden = 16;
+  options.out_dim = 8;
+  CharLstmEncoder encoder(options);
+  tensor::NoGradGuard guard;
+  tensor::Tensor a = encoder.EncodeBatch({"berlin", "munich"});
+  EXPECT_EQ(a.dim(0), 2);
+  EXPECT_EQ(a.dim(1), 8);
+  tensor::Tensor b = encoder.EncodeBatch({"berlin", "munich"});
+  for (int64_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.data()[i], b.data()[i]);
+  }
+}
+
+TEST(LstmEncoderTest, DifferentStringsDifferentEmbeddings) {
+  CharLstmEncoder encoder;
+  const auto a = encoder.Encode("berlin");
+  const auto b = encoder.Encode("tokyo");
+  bool differ = false;
+  for (size_t i = 0; i < a.size(); ++i) differ |= (a[i] != b[i]);
+  EXPECT_TRUE(differ);
+}
+
+TEST(LstmEncoderTest, ParametersExposeAllModules) {
+  CharLstmEncoder encoder;
+  // char embedding + 3 LSTM tensors + 2 linear tensors.
+  EXPECT_EQ(encoder.Parameters().size(), 6u);
+}
+
+TEST(MiniBertTest, PretrainAndEncodeSmoke) {
+  MiniBert::Options options;
+  options.dim = 16;
+  options.ffn_dim = 32;
+  options.num_layers = 1;
+  options.epochs = 1;
+  options.max_sentences = 200;
+  MiniBert bert(options);
+  bert.Pretrain(SynonymCorpus());
+  EXPECT_GT(bert.vocab_size(), 2);
+  const auto v = bert.EncodeMention("alpha omega");
+  EXPECT_EQ(v.size(), 16u);
+  float norm = 0;
+  for (float x : v) norm += x * x;
+  EXPECT_GT(norm, 0.0f);
+  for (float x : v) EXPECT_TRUE(std::isfinite(x));
+}
+
+TEST(MiniBertTest, EncodeBeforePretrainIsZero) {
+  MiniBert bert;
+  const auto v = bert.EncodeMention("anything");
+  for (float x : v) EXPECT_EQ(x, 0.0f);
+}
+
+}  // namespace
+}  // namespace emblookup::embed

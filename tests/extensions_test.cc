@@ -1,0 +1,326 @@
+// Tests for the extension features: IVF indexes, alias-expanded entity
+// indexing, the contrastive loss, and TransE KG embeddings.
+
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "ann/flat_index.h"
+#include "ann/ivf_index.h"
+#include "common/rng.h"
+#include "core/emblookup.h"
+#include "core/encoder.h"
+#include "core/entity_index.h"
+#include "embed/transe.h"
+#include "kg/synthetic_kg.h"
+#include "tensor/ops.h"
+#include "tests/gradcheck.h"
+
+namespace emblookup {
+namespace {
+
+std::vector<float> Blobs(int64_t n, int64_t dim, int64_t blobs, Rng* rng) {
+  std::vector<float> centers(blobs * dim);
+  for (auto& c : centers) c = rng->UniformFloat(-10, 10);
+  std::vector<float> data(n * dim);
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t b = static_cast<int64_t>(rng->Uniform(blobs));
+    for (int64_t d = 0; d < dim; ++d) {
+      data[i * dim + d] =
+          centers[b * dim + d] + static_cast<float>(rng->Normal()) * 0.3f;
+    }
+  }
+  return data;
+}
+
+// --- IVF -------------------------------------------------------------------------
+
+class IvfStorageTest
+    : public ::testing::TestWithParam<ann::IvfIndex::Storage> {};
+
+TEST_P(IvfStorageTest, HighRecallWithEnoughProbes) {
+  Rng rng(3);
+  const int64_t n = 1000, dim = 16;
+  const auto data = Blobs(n, dim, 12, &rng);
+  ann::IvfIndex::Options options;
+  options.num_lists = 16;
+  options.nprobe = 8;
+  options.storage = GetParam();
+  options.pq_m = 4;
+  ann::IvfIndex ivf(dim, options);
+  ASSERT_TRUE(ivf.Train(data.data(), n).ok());
+  ASSERT_TRUE(ivf.Add(data.data(), n).ok());
+  ann::FlatIndex flat(dim);
+  flat.Add(data.data(), n);
+
+  double recall = 0;
+  const int64_t queries = 40, k = 10;
+  for (int64_t q = 0; q < queries; ++q) {
+    const auto truth = flat.Search(data.data() + q * dim, k);
+    const auto approx = ivf.Search(data.data() + q * dim, k);
+    int64_t inter = 0;
+    for (const auto& t : truth) {
+      for (const auto& a : approx) {
+        if (a.id == t.id) {
+          ++inter;
+          break;
+        }
+      }
+    }
+    recall += static_cast<double>(inter) / k;
+  }
+  EXPECT_GT(recall / queries, 0.6);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothStorages, IvfStorageTest,
+                         ::testing::Values(ann::IvfIndex::Storage::kFlat,
+                                           ann::IvfIndex::Storage::kPq),
+                         [](const auto& info) {
+                           return info.param == ann::IvfIndex::Storage::kFlat
+                                      ? "flat"
+                                      : "pq";
+                         });
+
+TEST(IvfIndexTest, MoreProbesNeverHurtRecall) {
+  Rng rng(4);
+  const int64_t n = 600, dim = 8;
+  const auto data = Blobs(n, dim, 10, &rng);
+  auto recall_at = [&](int64_t nprobe) {
+    ann::IvfIndex::Options options;
+    options.num_lists = 20;
+    options.nprobe = nprobe;
+    ann::IvfIndex ivf(dim, options);
+    EXPECT_TRUE(ivf.Train(data.data(), n).ok());
+    EXPECT_TRUE(ivf.Add(data.data(), n).ok());
+    ann::FlatIndex flat(dim);
+    flat.Add(data.data(), n);
+    double recall = 0;
+    for (int64_t q = 0; q < 30; ++q) {
+      const auto truth = flat.Search(data.data() + q * dim, 5);
+      const auto approx = ivf.Search(data.data() + q * dim, 5);
+      for (const auto& t : truth) {
+        for (const auto& a : approx) {
+          if (a.id == t.id) {
+            recall += 0.2;
+            break;
+          }
+        }
+      }
+    }
+    return recall / 30.0;
+  };
+  EXPECT_GE(recall_at(20) + 1e-9, recall_at(2));
+}
+
+TEST(IvfIndexTest, AddBeforeTrainRejected) {
+  ann::IvfIndex ivf(8, {});
+  std::vector<float> v(8, 0.0f);
+  EXPECT_FALSE(ivf.Add(v.data(), 1).ok());
+}
+
+TEST(IvfIndexTest, PqStorageSmallerThanFlat) {
+  Rng rng(5);
+  const int64_t n = 400, dim = 16;
+  const auto data = Blobs(n, dim, 6, &rng);
+  ann::IvfIndex::Options flat_options;
+  flat_options.storage = ann::IvfIndex::Storage::kFlat;
+  ann::IvfIndex ivf_flat(dim, flat_options);
+  ASSERT_TRUE(ivf_flat.Train(data.data(), n).ok());
+  ASSERT_TRUE(ivf_flat.Add(data.data(), n).ok());
+  ann::IvfIndex::Options pq_options;
+  pq_options.storage = ann::IvfIndex::Storage::kPq;
+  pq_options.pq_m = 4;
+  ann::IvfIndex ivf_pq(dim, pq_options);
+  ASSERT_TRUE(ivf_pq.Train(data.data(), n).ok());
+  ASSERT_TRUE(ivf_pq.Add(data.data(), n).ok());
+  EXPECT_LT(ivf_pq.StorageBytes(), ivf_flat.StorageBytes());
+}
+
+// --- EntityIndex extensions -----------------------------------------------------------
+
+const kg::KnowledgeGraph& SmallKg() {
+  static const kg::KnowledgeGraph& graph = [] {
+    kg::SyntheticKgOptions options;
+    options.num_entities = 250;
+    options.seed = 77;
+    return *new kg::KnowledgeGraph(kg::GenerateSyntheticKg(options));
+  }();
+  return graph;
+}
+
+class IndexKindTest : public ::testing::TestWithParam<core::IndexKind> {};
+
+TEST_P(IndexKindTest, ExactLabelRetrievable) {
+  core::EncoderConfig enc_config;
+  core::EmbLookupEncoder encoder(enc_config, nullptr);
+  core::IndexConfig config;
+  config.kind = GetParam();
+  config.ivf_lists = 8;
+  config.ivf_nprobe = 8;  // Probe everything: exactness at tiny scale.
+  auto index = core::EntityIndex::Build(SmallKg(), &encoder, config);
+  ASSERT_TRUE(index.ok());
+  tensor::NoGradGuard guard;
+  int hits = 0, total = 0;
+  for (kg::EntityId e = 0; e < SmallKg().num_entities(); e += 10) {
+    tensor::Tensor q = encoder.EncodeBatch({SmallKg().entity(e).label});
+    for (const auto& nb : index.value().Search(q.data(), 10)) {
+      if (nb.id == e) {
+        ++hits;
+        break;
+      }
+    }
+    ++total;
+  }
+  EXPECT_GT(static_cast<double>(hits) / total, 0.8);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, IndexKindTest,
+    ::testing::Values(core::IndexKind::kFlat, core::IndexKind::kPq,
+                      core::IndexKind::kIvfFlat, core::IndexKind::kIvfPq),
+    [](const auto& info) {
+      switch (info.param) {
+        case core::IndexKind::kFlat: return "flat";
+        case core::IndexKind::kPq: return "pq";
+        case core::IndexKind::kIvfFlat: return "ivf_flat";
+        case core::IndexKind::kIvfPq: return "ivf_pq";
+        default: return "auto";
+      }
+    });
+
+TEST(AliasIndexTest, RowsExceedEntitiesAndDedupWorks) {
+  core::EncoderConfig enc_config;
+  core::EmbLookupEncoder encoder(enc_config, nullptr);
+  core::IndexConfig config;
+  config.kind = core::IndexKind::kFlat;
+  config.index_aliases = true;
+  auto index = core::EntityIndex::Build(SmallKg(), &encoder, config);
+  ASSERT_TRUE(index.ok());
+  EXPECT_TRUE(index.value().aliases_indexed());
+  EXPECT_GT(index.value().size(), SmallKg().num_entities());
+
+  // Results are entity ids (within range) and unique.
+  tensor::NoGradGuard guard;
+  tensor::Tensor q = encoder.EncodeBatch({SmallKg().entity(0).label});
+  const auto results = index.value().Search(q.data(), 10);
+  std::set<int64_t> unique;
+  for (const auto& nb : results) {
+    EXPECT_GE(nb.id, 0);
+    EXPECT_LT(nb.id, SmallKg().num_entities());
+    unique.insert(nb.id);
+  }
+  EXPECT_EQ(unique.size(), results.size());
+}
+
+TEST(AliasIndexTest, AliasQueryHitsByConstruction) {
+  // With an untrained encoder, an alias query still retrieves its entity
+  // because the alias string itself is indexed (exact embedding match).
+  core::EncoderConfig enc_config;
+  core::EmbLookupEncoder encoder(enc_config, nullptr);
+  core::IndexConfig config;
+  config.kind = core::IndexKind::kFlat;
+  config.index_aliases = true;
+  auto index = core::EntityIndex::Build(SmallKg(), &encoder, config);
+  ASSERT_TRUE(index.ok());
+  tensor::NoGradGuard guard;
+  int hits = 0, total = 0;
+  for (kg::EntityId e = 0; e < SmallKg().num_entities(); e += 10) {
+    const auto& aliases = SmallKg().entity(e).aliases;
+    if (aliases.empty()) continue;
+    tensor::Tensor q = encoder.EncodeBatch({aliases[0]});
+    for (const auto& nb : index.value().Search(q.data(), 10)) {
+      if (nb.id == e) {
+        ++hits;
+        break;
+      }
+    }
+    ++total;
+  }
+  ASSERT_GT(total, 0);
+  EXPECT_GT(static_cast<double>(hits) / total, 0.8);
+}
+
+// --- Contrastive loss ---------------------------------------------------------------
+
+TEST(ContrastiveLossTest, ZeroOnlyWhenPairsSeparated) {
+  tensor::Tensor a = tensor::Tensor::FromData({1, 2}, {0, 0});
+  tensor::Tensor p = tensor::Tensor::FromData({1, 2}, {0, 0});
+  tensor::Tensor n = tensor::Tensor::FromData({1, 2}, {3, 0});
+  EXPECT_FLOAT_EQ(
+      tensor::ContrastiveLossFromTriplets(a, p, n, 1.0f).item(), 0.0f);
+  tensor::Tensor near = tensor::Tensor::FromData({1, 2}, {0.5f, 0});
+  EXPECT_GT(tensor::ContrastiveLossFromTriplets(a, p, near, 1.0f).item(),
+            0.0f);
+}
+
+TEST(ContrastiveLossTest, GradientsMatchNumeric) {
+  Rng rng(6);
+  tensor::ExpectGradientsMatch(
+      [](const std::vector<tensor::Tensor>& in) {
+        return tensor::ContrastiveLossFromTriplets(in[0], in[1], in[2],
+                                                   0.5f);
+      },
+      {tensor::RandomTensor({3, 4}, &rng), tensor::RandomTensor({3, 4}, &rng),
+       tensor::RandomTensor({3, 4}, &rng)});
+}
+
+// --- TransE ---------------------------------------------------------------------------
+
+TEST(TransETest, LearnsLinkStructure) {
+  embed::TransE::Options options;
+  options.epochs = 40;
+  embed::TransE transe(options);
+  transe.Train(SmallKg());
+  ASSERT_TRUE(transe.trained());
+  Rng rng(9);
+  // Far better than the 10/100 random baseline.
+  EXPECT_GT(transe.TailHitsAt10(SmallKg(), 200, &rng), 0.5);
+}
+
+TEST(TransETest, EntityVectorsUnitNorm) {
+  embed::TransE transe;
+  transe.Train(SmallKg());
+  for (kg::EntityId e = 0; e < 20; ++e) {
+    const float* v = transe.EntityVec(e);
+    float sq = 0;
+    for (int64_t d = 0; d < transe.dim(); ++d) sq += v[d] * v[d];
+    EXPECT_NEAR(sq, 1.0f, 1e-3f);
+  }
+}
+
+TEST(TransETest, CoSubjectsOfSameFactAreSimilar) {
+  // TransE's translation property h + r ≈ t makes entities that share a
+  // (relation, object) pair nearly identical — e.g. two citizens of the
+  // same country — while unrelated pairs stay apart.
+  embed::TransE::Options options;
+  options.epochs = 40;
+  embed::TransE transe(options);
+  transe.Train(SmallKg());
+
+  // Group subjects by (relation, object).
+  std::map<std::pair<kg::PropertyId, kg::EntityId>, std::vector<kg::EntityId>>
+      groups;
+  for (kg::EntityId e = 0; e < SmallKg().num_entities(); ++e) {
+    for (const kg::Fact& f : SmallKg().FactsOf(e)) {
+      if (!f.is_literal()) groups[{f.property, f.object}].push_back(e);
+    }
+  }
+  double co_subject = 0, random = 0;
+  int64_t nc = 0, nn = 0;
+  Rng rng(10);
+  for (const auto& [key, members] : groups) {
+    if (members.size() < 2) continue;
+    co_subject += transe.Similarity(members[0], members[1]);
+    ++nc;
+    random += transe.Similarity(
+        members[0],
+        static_cast<kg::EntityId>(rng.Uniform(SmallKg().num_entities())));
+    ++nn;
+  }
+  ASSERT_GT(nc, 0);
+  EXPECT_GT(co_subject / nc, random / nn);
+}
+
+}  // namespace
+}  // namespace emblookup

@@ -1,0 +1,62 @@
+#ifndef EMBLOOKUP_TESTS_GRADCHECK_H_
+#define EMBLOOKUP_TESTS_GRADCHECK_H_
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace emblookup::tensor {
+
+/// Checks analytic gradients of `fn` (a scalar-valued tensor function of
+/// `inputs`) against central finite differences. Every input must have
+/// requires_grad set.
+inline void ExpectGradientsMatch(
+    const std::function<Tensor(const std::vector<Tensor>&)>& fn,
+    std::vector<Tensor> inputs, float eps = 1e-3f, float tol = 2e-2f) {
+  // Analytic pass.
+  Tensor loss = fn(inputs);
+  ASSERT_EQ(loss.size(), 1) << "gradcheck needs a scalar output";
+  loss.Backward();
+  std::vector<std::vector<float>> analytic;
+  for (Tensor& in : inputs) {
+    analytic.emplace_back(in.grad(), in.grad() + in.size());
+  }
+
+  // Numeric pass.
+  for (size_t t = 0; t < inputs.size(); ++t) {
+    Tensor& in = inputs[t];
+    for (int64_t i = 0; i < in.size(); ++i) {
+      const float saved = in.data()[i];
+      in.data()[i] = saved + eps;
+      const float up = fn(inputs).item();
+      in.data()[i] = saved - eps;
+      const float down = fn(inputs).item();
+      in.data()[i] = saved;
+      const float numeric = (up - down) / (2.0f * eps);
+      const float diff = std::abs(numeric - analytic[t][i]);
+      const float scale =
+          std::max({1.0f, std::abs(numeric), std::abs(analytic[t][i])});
+      EXPECT_LE(diff / scale, tol)
+          << "input " << t << " element " << i << ": analytic "
+          << analytic[t][i] << " vs numeric " << numeric;
+    }
+  }
+}
+
+/// Random tensor with entries in [-1, 1].
+inline Tensor RandomTensor(Shape shape, Rng* rng, bool requires_grad = true) {
+  Tensor t = Tensor::Zeros(std::move(shape), requires_grad);
+  for (int64_t i = 0; i < t.size(); ++i) {
+    t.data()[i] = rng->UniformFloat(-1.0f, 1.0f);
+  }
+  return t;
+}
+
+}  // namespace emblookup::tensor
+
+#endif  // EMBLOOKUP_TESTS_GRADCHECK_H_

@@ -1,0 +1,174 @@
+// Cross-module integration tests: trained pipelines, alternative losses,
+// alias-expanded end-to-end lookup, coherence overrides, and service
+// parity properties that only show up when modules are composed.
+
+#include <gtest/gtest.h>
+
+#include "apps/lookup_services.h"
+#include "apps/tasks.h"
+#include "common/rng.h"
+#include "core/emblookup.h"
+#include "core/trainer.h"
+#include "core/triplets.h"
+#include "embed/transe.h"
+#include "kg/noise.h"
+#include "kg/synthetic_kg.h"
+#include "kg/tabular.h"
+
+namespace emblookup {
+namespace {
+
+const kg::KnowledgeGraph& Graph() {
+  static const kg::KnowledgeGraph& graph = [] {
+    kg::SyntheticKgOptions options;
+    options.num_entities = 300;
+    options.seed = 404;
+    return *new kg::KnowledgeGraph(kg::GenerateSyntheticKg(options));
+  }();
+  return graph;
+}
+
+TEST(ContrastiveTrainingTest, LossDecreases) {
+  core::EncoderConfig enc_config;
+  enc_config.conv_channels = 4;
+  enc_config.num_conv_layers = 2;
+  enc_config.embedding_dim = 16;
+  enc_config.fusion_hidden = 16;
+  core::EmbLookupEncoder encoder(enc_config, nullptr);
+
+  core::MinerConfig miner;
+  miner.triplets_per_entity = 4;
+  const auto triplets = core::MineTriplets(Graph(), miner);
+
+  core::TrainerConfig config;
+  config.epochs = 4;
+  config.loss = core::LossKind::kContrastive;
+  core::TripletTrainer trainer(config);
+  auto stats = trainer.Train(&encoder, triplets);
+  ASSERT_TRUE(stats.ok());
+  // Contrastive loss on unit-norm embeddings starts near E[d_ap] ~ 2;
+  // a few epochs should push it well below that.
+  EXPECT_LT(stats.value().final_loss, 1.0);
+}
+
+TEST(AliasIndexEndToEndTest, AliasLookupWorksUntrainedViaIndexRows) {
+  core::EmbLookupOptions options;
+  options.miner.triplets_per_entity = 4;
+  options.trainer.epochs = 2;
+  options.fasttext.epochs = 2;
+  options.index.index_aliases = true;
+  options.index.compress = false;
+  auto el = core::EmbLookup::TrainFromKg(Graph(), options);
+  ASSERT_TRUE(el.ok());
+  int hits = 0, total = 0;
+  for (kg::EntityId e = 0; e < Graph().num_entities(); e += 10) {
+    const auto& aliases = Graph().entity(e).aliases;
+    if (aliases.empty()) continue;
+    for (const auto& r : el.value()->Lookup(aliases[0], 10)) {
+      if (r.entity == e) {
+        ++hits;
+        break;
+      }
+    }
+    ++total;
+  }
+  ASSERT_GT(total, 0);
+  EXPECT_GT(static_cast<double>(hits) / total, 0.85);
+}
+
+TEST(CoherenceOverrideTest, TransECoherencePluggable) {
+  Rng rng(5);
+  kg::DatasetProfile profile = kg::DatasetProfile::StWikidataLike(0.05);
+  const kg::TabularDataset dataset =
+      kg::GenerateDataset(Graph(), profile, &rng);
+  apps::ElasticSearchService service(&Graph(), /*index_aliases=*/true);
+
+  embed::TransE transe;
+  transe.Train(Graph());
+  apps::TaskOptions options;
+  options.coherence = [&](kg::EntityId a, kg::EntityId b) {
+    return std::max(0.0, transe.Similarity(a, b));
+  };
+  const auto result =
+      apps::RunEntityDisambiguation(dataset, Graph(), &service, options);
+  EXPECT_GT(result.metrics.F1(), 0.8);
+}
+
+TEST(EsHostedParityTest, BulkAndSingleReturnSameCandidates) {
+  apps::LevenshteinService service(&Graph());
+  std::vector<std::string> queries;
+  Rng rng(6);
+  for (kg::EntityId e = 0; e < 20; ++e) {
+    queries.push_back(kg::RandomTypo(Graph().entity(e).label, &rng, 1));
+  }
+  const auto bulk = service.BulkLookup(queries, 5);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(bulk[i], service.Lookup(queries[i], 5));
+  }
+}
+
+TEST(IndexKindEndToEndTest, IvfPqSmallerThanIvfFlat) {
+  core::EncoderConfig enc_config;
+  core::EmbLookupEncoder encoder(enc_config, nullptr);
+  core::IndexConfig flat_config;
+  flat_config.kind = core::IndexKind::kIvfFlat;
+  core::IndexConfig pq_config;
+  pq_config.kind = core::IndexKind::kIvfPq;
+  auto flat = core::EntityIndex::Build(Graph(), &encoder, flat_config);
+  auto pq = core::EntityIndex::Build(Graph(), &encoder, pq_config);
+  ASSERT_TRUE(flat.ok());
+  ASSERT_TRUE(pq.ok());
+  EXPECT_LT(pq.value().StorageBytes(), flat.value().StorageBytes());
+}
+
+TEST(RebuildIndexTest, SwitchesBetweenAllKinds) {
+  core::EmbLookupOptions options;
+  options.miner.triplets_per_entity = 4;
+  options.trainer.epochs = 2;
+  options.fasttext.epochs = 2;
+  auto el = core::EmbLookup::TrainFromKg(Graph(), options);
+  ASSERT_TRUE(el.ok());
+  const std::string& label = Graph().entity(7).label;
+  for (core::IndexKind kind :
+       {core::IndexKind::kFlat, core::IndexKind::kIvfFlat,
+        core::IndexKind::kIvfPq, core::IndexKind::kPq}) {
+    core::IndexConfig config;
+    config.kind = kind;
+    config.ivf_nprobe = 16;
+    ASSERT_TRUE(el.value()->RebuildIndex(config).ok());
+    EXPECT_FALSE(el.value()->Lookup(label, 5).empty());
+  }
+}
+
+TEST(NoiseRobustnessProperty, SingleTypoKeepsEmbeddingCloserThanRandom) {
+  // Even an untrained encoder maps a 1-edit typo closer to the original
+  // than to an unrelated string — the CNN-ED inductive bias of §III-B.
+  core::EncoderConfig config;
+  core::EmbLookupEncoder encoder(config, nullptr);
+  tensor::NoGradGuard guard;
+  Rng rng(8);
+  int closer = 0, total = 0;
+  for (kg::EntityId e = 0; e < Graph().num_entities(); e += 7) {
+    const std::string& label = Graph().entity(e).label;
+    if (label.size() < 6) continue;
+    const std::string typo = kg::RandomTypo(label, &rng, 1);
+    const std::string other =
+        Graph().entity((e + 131) % Graph().num_entities()).label;
+    tensor::Tensor batch = encoder.EncodeBatch({label, typo, other});
+    auto dist = [&](int64_t i, int64_t j) {
+      float acc = 0;
+      const int64_t d = batch.dim(1);
+      for (int64_t x = 0; x < d; ++x) {
+        const float diff = batch.data()[i * d + x] - batch.data()[j * d + x];
+        acc += diff * diff;
+      }
+      return acc;
+    };
+    if (dist(0, 1) < dist(0, 2)) ++closer;
+    ++total;
+  }
+  EXPECT_GT(static_cast<double>(closer) / total, 0.8);
+}
+
+}  // namespace
+}  // namespace emblookup

@@ -1,0 +1,414 @@
+#include <cstdio>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "kg/knowledge_graph.h"
+#include "kg/name_factory.h"
+#include "kg/noise.h"
+#include "kg/synthetic_kg.h"
+#include "kg/tabular.h"
+#include "text/edit_distance.h"
+
+namespace emblookup::kg {
+namespace {
+
+TEST(KnowledgeGraphTest, AddAndFetchEntity) {
+  KnowledgeGraph kg;
+  const EntityId id = kg.AddEntity("Germany", "Q183");
+  EXPECT_EQ(kg.num_entities(), 1);
+  EXPECT_EQ(kg.entity(id).label, "Germany");
+  EXPECT_EQ(kg.entity(id).qid, "Q183");
+}
+
+TEST(KnowledgeGraphTest, AutoQidWhenOmitted) {
+  KnowledgeGraph kg;
+  const EntityId id = kg.AddEntity("Berlin");
+  EXPECT_EQ(kg.entity(id).qid, "Q0");
+}
+
+TEST(KnowledgeGraphTest, AliasDeduplicated) {
+  KnowledgeGraph kg;
+  const EntityId id = kg.AddEntity("Germany");
+  kg.AddAlias(id, "Deutschland");
+  kg.AddAlias(id, "Deutschland");
+  kg.AddAlias(id, "Germany");  // Same as label: ignored.
+  EXPECT_EQ(kg.entity(id).aliases.size(), 1u);
+}
+
+TEST(KnowledgeGraphTest, TypesRegisteredOnce) {
+  KnowledgeGraph kg;
+  const TypeId a = kg.AddType("country");
+  const TypeId b = kg.AddType("country");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(kg.num_types(), 1);
+  EXPECT_EQ(kg.TypeName(a), "country");
+  EXPECT_EQ(kg.FindType("city"), kInvalidType);
+}
+
+TEST(KnowledgeGraphTest, EntitiesOfTypeTracksMembership) {
+  KnowledgeGraph kg;
+  const TypeId country = kg.AddType("country");
+  const EntityId g = kg.AddEntity("Germany");
+  const EntityId f = kg.AddEntity("France");
+  kg.AddEntityType(g, country);
+  kg.AddEntityType(f, country);
+  kg.AddEntityType(f, country);  // Duplicate ignored.
+  EXPECT_EQ(kg.EntitiesOfType(country).size(), 2u);
+  EXPECT_EQ(kg.entity(f).types.size(), 1u);
+}
+
+TEST(KnowledgeGraphTest, MentionIndexCoversLabelAndAliases) {
+  KnowledgeGraph kg;
+  const EntityId id = kg.AddEntity("Germany");
+  kg.AddAlias(id, "Deutschland");
+  EXPECT_EQ(kg.EntitiesByMention("germany").size(), 1u);
+  EXPECT_EQ(kg.EntitiesByMention("  DEUTSCHLAND ").size(), 1u);
+  EXPECT_TRUE(kg.EntitiesByMention("france").empty());
+}
+
+TEST(KnowledgeGraphTest, SharedMentionMapsToMultipleEntities) {
+  KnowledgeGraph kg;
+  kg.AddEntity("Berlin");
+  kg.AddEntity("Berlin");
+  EXPECT_EQ(kg.EntitiesByMention("berlin").size(), 2u);
+}
+
+TEST(KnowledgeGraphTest, FactsAndObjectOf) {
+  KnowledgeGraph kg;
+  const PropertyId cap = kg.AddProperty("capital");
+  const EntityId g = kg.AddEntity("Germany");
+  const EntityId b = kg.AddEntity("Berlin");
+  kg.AddFact(g, cap, b);
+  kg.AddLiteralFact(g, kg.AddProperty("population"), "83000000");
+  EXPECT_EQ(kg.num_facts(), 2);
+  EXPECT_EQ(kg.ObjectOf(g, cap), b);
+  EXPECT_EQ(kg.ObjectOf(b, cap), kInvalidEntity);
+  EXPECT_TRUE(kg.Related(g, b));
+  EXPECT_TRUE(kg.Related(b, g));  // Either direction.
+}
+
+TEST(KnowledgeGraphTest, TsvRoundTrip) {
+  KnowledgeGraph kg;
+  const TypeId country = kg.AddType("country");
+  const PropertyId cap = kg.AddProperty("capital");
+  const EntityId g = kg.AddEntity("Germany", "Q183");
+  const EntityId b = kg.AddEntity("Berlin", "Q64");
+  kg.AddEntityType(g, country);
+  kg.AddAlias(g, "Deutschland");
+  kg.AddFact(g, cap, b);
+  kg.AddLiteralFact(b, kg.AddProperty("population"), "3600000");
+
+  const std::string path = ::testing::TempDir() + "/kg_roundtrip.tsv";
+  ASSERT_TRUE(kg.SaveTsv(path).ok());
+  auto loaded = KnowledgeGraph::LoadTsv(path);
+  ASSERT_TRUE(loaded.ok());
+  const KnowledgeGraph& kg2 = loaded.value();
+  EXPECT_EQ(kg2.num_entities(), 2);
+  EXPECT_EQ(kg2.entity(0).label, "Germany");
+  EXPECT_EQ(kg2.entity(0).aliases.size(), 1u);
+  EXPECT_EQ(kg2.entity(0).types.size(), 1u);
+  EXPECT_EQ(kg2.num_facts(), 2);
+  EXPECT_EQ(kg2.ObjectOf(0, kg2.FindProperty("capital")), 1);
+  std::remove(path.c_str());
+}
+
+TEST(KnowledgeGraphTest, LoadRejectsGarbage) {
+  const std::string path = ::testing::TempDir() + "/kg_bad.tsv";
+  FILE* f = std::fopen(path.c_str(), "w");
+  std::fputs("no header here\n", f);
+  std::fclose(f);
+  EXPECT_FALSE(KnowledgeGraph::LoadTsv(path).ok());
+  std::remove(path.c_str());
+}
+
+// --- NameFactory ---------------------------------------------------------------
+
+TEST(NameFactoryTest, TranslationIsConsistent) {
+  NameFactory names(1);
+  const std::string w = names.Word(2, 3);
+  EXPECT_EQ(names.Translate(w), names.Translate(w));
+  EXPECT_NE(names.Translate(w), w);
+}
+
+TEST(NameFactoryTest, TranslationIndependentOfRequestOrder) {
+  NameFactory a(1), b(2);
+  EXPECT_EQ(a.Translate("germany"), b.Translate("germany"));
+}
+
+TEST(NameFactoryTest, AcronymSkipsStopWords) {
+  EXPECT_EQ(NameFactory::Acronym("university of berlin"), "UB");
+  EXPECT_EQ(NameFactory::Acronym("european union"), "EU");
+}
+
+TEST(NameFactoryTest, CapitalizeFirstLetter) {
+  EXPECT_EQ(NameFactory::Capitalize("berlin"), "Berlin");
+  EXPECT_EQ(NameFactory::Capitalize(""), "");
+}
+
+// --- Synthetic KG -----------------------------------------------------------------
+
+class SyntheticKgTest : public ::testing::Test {
+ protected:
+  static const KnowledgeGraph& Graph() {
+    static const KnowledgeGraph& kg = [] {
+      SyntheticKgOptions options;
+      options.num_entities = 1000;
+      options.seed = 99;
+      return *new KnowledgeGraph(GenerateSyntheticKg(options));
+    }();
+    return kg;
+  }
+};
+
+TEST_F(SyntheticKgTest, EntityCountMatches) {
+  EXPECT_EQ(Graph().num_entities(), 1000);
+}
+
+TEST_F(SyntheticKgTest, AllSixTypesPopulated) {
+  for (const char* type :
+       {SyntheticSchema::kCountry, SyntheticSchema::kCity,
+        SyntheticSchema::kPerson, SyntheticSchema::kOrganization,
+        SyntheticSchema::kFilm, SyntheticSchema::kSpecies}) {
+    const TypeId t = Graph().FindType(type);
+    ASSERT_NE(t, kInvalidType) << type;
+    EXPECT_FALSE(Graph().EntitiesOfType(t).empty()) << type;
+  }
+}
+
+TEST_F(SyntheticKgTest, MostEntitiesHaveMultipleAliases) {
+  int64_t with3 = 0;
+  for (EntityId e = 0; e < Graph().num_entities(); ++e) {
+    if (Graph().entity(e).aliases.size() >= 2) ++with3;
+  }
+  // §IV-D: "for the vast majority of the entities, there were at least 3
+  // aliases" — our generator guarantees >= 2 for essentially all.
+  EXPECT_GT(with3, Graph().num_entities() * 9 / 10);
+}
+
+TEST_F(SyntheticKgTest, EveryEntityHasAType) {
+  for (EntityId e = 0; e < Graph().num_entities(); ++e) {
+    EXPECT_FALSE(Graph().entity(e).types.empty());
+  }
+}
+
+TEST_F(SyntheticKgTest, CitiesHaveLocatedInFacts) {
+  const TypeId city = Graph().FindType(SyntheticSchema::kCity);
+  const PropertyId located = Graph().FindProperty(SyntheticSchema::kLocatedIn);
+  int64_t with_fact = 0;
+  for (EntityId e : Graph().EntitiesOfType(city)) {
+    if (Graph().ObjectOf(e, located) != kInvalidEntity) ++with_fact;
+  }
+  EXPECT_EQ(with_fact,
+            static_cast<int64_t>(Graph().EntitiesOfType(city).size()));
+}
+
+TEST_F(SyntheticKgTest, DeterministicForSeed) {
+  SyntheticKgOptions options;
+  options.num_entities = 200;
+  options.seed = 7;
+  const KnowledgeGraph a = GenerateSyntheticKg(options);
+  const KnowledgeGraph b = GenerateSyntheticKg(options);
+  ASSERT_EQ(a.num_entities(), b.num_entities());
+  for (EntityId e = 0; e < a.num_entities(); ++e) {
+    EXPECT_EQ(a.entity(e).label, b.entity(e).label);
+  }
+}
+
+// --- Noise -------------------------------------------------------------------------
+
+class NoiseKindTest : public ::testing::TestWithParam<NoiseKind> {};
+
+TEST_P(NoiseKindTest, ProducesBoundedEdit) {
+  Rng rng(42);
+  const std::string base = "federal republic of germany";
+  for (int i = 0; i < 50; ++i) {
+    const std::string noisy = ApplyNoise(base, GetParam(), &rng);
+    // Every single perturbation stays within a small Damerau distance of
+    // the base (token swap moves a whole token, hence the loose bound).
+    EXPECT_LE(text::DamerauLevenshtein(base, noisy), 16);
+    EXPECT_FALSE(noisy.empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, NoiseKindTest,
+    ::testing::Values(NoiseKind::kDropChar, NoiseKind::kInsertChar,
+                      NoiseKind::kSubstituteChar, NoiseKind::kTransposeChars,
+                      NoiseKind::kDuplicateChar, NoiseKind::kSwapTokens,
+                      NoiseKind::kAbbreviateToken));
+
+TEST(NoiseTest, DropShortens) {
+  Rng rng(1);
+  EXPECT_EQ(ApplyNoise("ab", NoiseKind::kDropChar, &rng).size(), 1u);
+}
+
+TEST(NoiseTest, InsertLengthens) {
+  Rng rng(2);
+  EXPECT_EQ(ApplyNoise("abc", NoiseKind::kInsertChar, &rng).size(), 4u);
+}
+
+TEST(NoiseTest, TransposeIsDamerauOne) {
+  Rng rng(3);
+  for (int i = 0; i < 20; ++i) {
+    const std::string noisy =
+        ApplyNoise("germany", NoiseKind::kTransposeChars, &rng);
+    EXPECT_LE(text::DamerauLevenshtein("germany", noisy), 1);
+  }
+}
+
+TEST(NoiseTest, SwapTokensPreservesTokenMultiset) {
+  Rng rng(4);
+  const std::string noisy =
+      ApplyNoise("bill gates", NoiseKind::kSwapTokens, &rng);
+  EXPECT_EQ(noisy, "gates bill");
+}
+
+TEST(NoiseTest, AbbreviateKeepsInitial) {
+  Rng rng(5);
+  const std::string noisy =
+      ApplyNoise("gates", NoiseKind::kAbbreviateToken, &rng);
+  EXPECT_EQ(noisy, "g.");
+}
+
+TEST(NoiseTest, RandomTypoRespectsEditBudget) {
+  Rng rng(6);
+  for (int i = 0; i < 100; ++i) {
+    const std::string noisy = RandomTypo("knowledge graph", &rng, 2);
+    EXPECT_LE(text::DamerauLevenshtein("knowledge graph", noisy), 4);
+  }
+}
+
+// --- Tabular datasets -------------------------------------------------------------
+
+class TabularTest : public ::testing::Test {
+ protected:
+  static const KnowledgeGraph& Graph() {
+    static const KnowledgeGraph& kg = [] {
+      SyntheticKgOptions options;
+      options.num_entities = 1500;
+      options.seed = 5;
+      return *new KnowledgeGraph(GenerateSyntheticKg(options));
+    }();
+    return kg;
+  }
+};
+
+TEST_F(TabularTest, ProfileShapesRespected) {
+  Rng rng(10);
+  const DatasetProfile profile = DatasetProfile::StWikidataLike(0.2);
+  const TabularDataset ds = GenerateDataset(Graph(), profile, &rng);
+  EXPECT_EQ(ds.NumTables(), profile.num_tables);
+  for (const Table& t : ds.tables) {
+    EXPECT_GE(t.num_rows(), profile.min_rows);
+    EXPECT_LE(t.num_rows(), profile.max_rows);
+    EXPECT_GE(t.num_cols(), profile.min_entity_cols);
+  }
+}
+
+TEST_F(TabularTest, GroundTruthConsistent) {
+  Rng rng(11);
+  const TabularDataset ds =
+      GenerateDataset(Graph(), DatasetProfile::StWikidataLike(0.1), &rng);
+  for (const Table& t : ds.tables) {
+    for (const auto& row : t.rows) {
+      ASSERT_EQ(static_cast<int64_t>(row.size()), t.num_cols());
+      for (size_t c = 0; c < row.size(); ++c) {
+        if (t.columns[c].is_literal) {
+          EXPECT_EQ(row[c].gt_entity, kInvalidEntity);
+        } else {
+          ASSERT_NE(row[c].gt_entity, kInvalidEntity);
+          // The gt entity carries the column's type.
+          const auto& types = Graph().entity(row[c].gt_entity).types;
+          EXPECT_TRUE(std::find(types.begin(), types.end(),
+                                t.columns[c].gt_type) != types.end());
+        }
+      }
+    }
+  }
+}
+
+TEST_F(TabularTest, CleanProfileCellsMostlyMatchLabels) {
+  Rng rng(12);
+  DatasetProfile profile = DatasetProfile::StWikidataLike(0.1);
+  profile.alias_cell_rate = 0.0;
+  profile.typo_cell_rate = 0.0;
+  const TabularDataset ds = GenerateDataset(Graph(), profile, &rng);
+  for (const Table& t : ds.tables) {
+    for (const auto& row : t.rows) {
+      for (const Cell& cell : row) {
+        if (cell.gt_entity == kInvalidEntity) continue;
+        EXPECT_EQ(cell.text, Graph().entity(cell.gt_entity).label);
+      }
+    }
+  }
+}
+
+TEST_F(TabularTest, StatsHelpers) {
+  Rng rng(13);
+  const TabularDataset ds =
+      GenerateDataset(Graph(), DatasetProfile::StDbpediaLike(0.1), &rng);
+  EXPECT_GT(ds.AvgRows(), 0.0);
+  EXPECT_GT(ds.AvgCols(), 0.0);
+  EXPECT_GT(ds.NumAnnotatedCells(), 0);
+}
+
+TEST_F(TabularTest, InjectCellNoiseTouchesRequestedFraction) {
+  Rng rng(14);
+  TabularDataset ds =
+      GenerateDataset(Graph(), DatasetProfile::StWikidataLike(0.2), &rng);
+  const int64_t annotated = ds.NumAnnotatedCells();
+  Rng noise_rng(15);
+  const int64_t touched = InjectCellNoise(&ds, 0.10, &noise_rng);
+  EXPECT_GT(touched, annotated / 20);
+  EXPECT_LT(touched, annotated / 5);
+}
+
+TEST_F(TabularTest, SubstituteAliasesChangesText) {
+  Rng rng(16);
+  DatasetProfile profile = DatasetProfile::StWikidataLike(0.1);
+  profile.alias_cell_rate = 0.0;
+  profile.typo_cell_rate = 0.0;
+  TabularDataset ds = GenerateDataset(Graph(), profile, &rng);
+  Rng alias_rng(17);
+  const int64_t replaced = SubstituteAliases(&ds, Graph(), &alias_rng);
+  EXPECT_GT(replaced, 0);
+  // Replaced cells now show an alias of the gold entity.
+  int64_t verified = 0;
+  for (const Table& t : ds.tables) {
+    for (const auto& row : t.rows) {
+      for (const Cell& cell : row) {
+        if (cell.gt_entity == kInvalidEntity) continue;
+        const Entity& e = Graph().entity(cell.gt_entity);
+        if (cell.text == e.label) continue;
+        EXPECT_TRUE(std::find(e.aliases.begin(), e.aliases.end(),
+                              cell.text) != e.aliases.end());
+        ++verified;
+      }
+    }
+  }
+  EXPECT_GT(verified, 0);
+}
+
+TEST_F(TabularTest, BlankCellsEmptiesTextKeepsGold) {
+  Rng rng(18);
+  TabularDataset ds =
+      GenerateDataset(Graph(), DatasetProfile::StWikidataLike(0.1), &rng);
+  Rng blank_rng(19);
+  const int64_t blanked = BlankCells(&ds, 0.10, &blank_rng);
+  EXPECT_GT(blanked, 0);
+  int64_t found = 0;
+  for (const Table& t : ds.tables) {
+    for (const auto& row : t.rows) {
+      for (const Cell& cell : row) {
+        if (cell.text.empty() && cell.gt_entity != kInvalidEntity) ++found;
+      }
+    }
+  }
+  EXPECT_EQ(found, blanked);
+}
+
+}  // namespace
+}  // namespace emblookup::kg

@@ -1,0 +1,550 @@
+#include <cmath>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "tensor/nn.h"
+#include "tensor/ops.h"
+#include "tensor/optim.h"
+#include "tensor/serialize.h"
+#include "tensor/tensor.h"
+#include "tests/gradcheck.h"
+
+namespace emblookup::tensor {
+namespace {
+
+TEST(TensorTest, ZerosAndShape) {
+  Tensor t = Tensor::Zeros({2, 3});
+  EXPECT_EQ(t.size(), 6);
+  EXPECT_EQ(t.ndim(), 2);
+  EXPECT_EQ(t.dim(0), 2);
+  EXPECT_EQ(t.dim(1), 3);
+  for (int64_t i = 0; i < t.size(); ++i) EXPECT_EQ(t.data()[i], 0.0f);
+}
+
+TEST(TensorTest, FromDataAndItem) {
+  Tensor t = Tensor::FromData({3}, {1.0f, 2.0f, 3.0f});
+  EXPECT_EQ(t.item(), 1.0f);
+  EXPECT_EQ(t.data()[2], 3.0f);
+}
+
+TEST(TensorTest, FullFillsValue) {
+  Tensor t = Tensor::Full({2, 2}, 7.5f);
+  for (int64_t i = 0; i < 4; ++i) EXPECT_EQ(t.data()[i], 7.5f);
+}
+
+TEST(TensorTest, CloneIsDeep) {
+  Tensor a = Tensor::FromData({2}, {1.0f, 2.0f});
+  Tensor b = a.Clone();
+  b.data()[0] = 99.0f;
+  EXPECT_EQ(a.data()[0], 1.0f);
+}
+
+TEST(TensorTest, CopyAliasesStorage) {
+  Tensor a = Tensor::FromData({2}, {1.0f, 2.0f});
+  Tensor b = a;  // Handle copy.
+  b.data()[0] = 99.0f;
+  EXPECT_EQ(a.data()[0], 99.0f);
+}
+
+TEST(TensorTest, ReshapePreservesDataAndGradient) {
+  Tensor a = Tensor::FromData({2, 3}, {1, 2, 3, 4, 5, 6}, true);
+  Tensor r = a.Reshape({3, 2});
+  EXPECT_EQ(r.dim(0), 3);
+  EXPECT_EQ(r.data()[5], 6.0f);
+  Tensor loss = Sum(Mul(r, r));
+  loss.Backward();
+  EXPECT_FLOAT_EQ(a.grad()[0], 2.0f);   // d(sum x^2)/dx = 2x.
+  EXPECT_FLOAT_EQ(a.grad()[5], 12.0f);
+}
+
+TEST(TensorTest, BackwardThroughSharedNode) {
+  // y = x + x should give dy/dx = 2.
+  Tensor x = Tensor::FromData({1}, {3.0f}, true);
+  Tensor y = Add(x, x);
+  y.Backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 2.0f);
+}
+
+TEST(TensorTest, NoGradGuardSuppressesTape) {
+  Tensor x = Tensor::FromData({1}, {3.0f}, true);
+  NoGradGuard guard;
+  Tensor y = Mul(x, x);
+  EXPECT_FALSE(y.requires_grad());
+}
+
+TEST(TensorTest, DetachBreaksTape) {
+  Tensor x = Tensor::FromData({1}, {3.0f}, true);
+  Tensor d = Mul(x, x).Detach();
+  EXPECT_FALSE(d.requires_grad());
+  EXPECT_FLOAT_EQ(d.item(), 9.0f);
+}
+
+TEST(TensorTest, ShapeToStringFormats) {
+  EXPECT_EQ(ShapeToString({2, 3, 4}), "(2, 3, 4)");
+  EXPECT_EQ(NumElements({2, 3, 4}), 24);
+}
+
+// ---------------------------------------------------------------------------
+// Forward-value sanity checks.
+// ---------------------------------------------------------------------------
+
+TEST(OpsForwardTest, AddBroadcastBias) {
+  Tensor a = Tensor::FromData({2, 2}, {1, 2, 3, 4});
+  Tensor b = Tensor::FromData({2}, {10, 20});
+  Tensor y = Add(a, b);
+  EXPECT_FLOAT_EQ(y.data()[0], 11.0f);
+  EXPECT_FLOAT_EQ(y.data()[3], 24.0f);
+}
+
+TEST(OpsForwardTest, MatMulValues) {
+  Tensor a = Tensor::FromData({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::FromData({3, 2}, {7, 8, 9, 10, 11, 12});
+  Tensor y = MatMul(a, b);
+  EXPECT_FLOAT_EQ(y.data()[0], 58.0f);
+  EXPECT_FLOAT_EQ(y.data()[3], 154.0f);
+}
+
+TEST(OpsForwardTest, TransposeValues) {
+  Tensor a = Tensor::FromData({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor y = Transpose(a);
+  EXPECT_EQ(y.dim(0), 3);
+  EXPECT_FLOAT_EQ(y.data()[1], 4.0f);
+}
+
+TEST(OpsForwardTest, ReluClamps) {
+  Tensor a = Tensor::FromData({3}, {-1.0f, 0.0f, 2.0f});
+  Tensor y = Relu(a);
+  EXPECT_FLOAT_EQ(y.data()[0], 0.0f);
+  EXPECT_FLOAT_EQ(y.data()[2], 2.0f);
+}
+
+TEST(OpsForwardTest, SoftmaxRowsSumToOne) {
+  Rng rng(1);
+  Tensor a = RandomTensor({4, 7}, &rng);
+  Tensor y = SoftmaxRows(a);
+  for (int64_t i = 0; i < 4; ++i) {
+    float sum = 0.0f;
+    for (int64_t j = 0; j < 7; ++j) sum += y.data()[i * 7 + j];
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+}
+
+TEST(OpsForwardTest, LogSoftmaxMatchesSoftmax) {
+  Rng rng(2);
+  Tensor a = RandomTensor({3, 5}, &rng);
+  Tensor s = SoftmaxRows(a);
+  Tensor ls = LogSoftmaxRows(a);
+  for (int64_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(std::log(s.data()[i]), ls.data()[i], 1e-4f);
+  }
+}
+
+TEST(OpsForwardTest, GlobalMaxPoolPicksMax) {
+  Tensor a = Tensor::FromData({1, 2, 3}, {1, 5, 2, -1, -7, -2});
+  Tensor y = GlobalMaxPool1d(a);
+  EXPECT_FLOAT_EQ(y.data()[0], 5.0f);
+  EXPECT_FLOAT_EQ(y.data()[1], -1.0f);
+}
+
+TEST(OpsForwardTest, MaxPool1dHalvesLength) {
+  Tensor a = Tensor::FromData({1, 1, 4}, {1, 9, 3, 2});
+  Tensor y = MaxPool1d(a, 2);
+  EXPECT_EQ(y.dim(2), 2);
+  EXPECT_FLOAT_EQ(y.data()[0], 9.0f);
+  EXPECT_FLOAT_EQ(y.data()[1], 3.0f);
+}
+
+TEST(OpsForwardTest, Conv1dIdentityKernel) {
+  // Kernel of size 1 with weight 1 reproduces the input channel.
+  Tensor x = Tensor::FromData({1, 1, 4}, {1, 2, 3, 4});
+  Tensor w = Tensor::FromData({1, 1, 1}, {1.0f});
+  Tensor b = Tensor::Zeros({1});
+  Tensor y = Conv1d(x, w, b, /*padding=*/0);
+  for (int64_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(y.data()[i], x.data()[i]);
+}
+
+TEST(OpsForwardTest, Conv1dPaddingKeepsLength) {
+  Tensor x = Tensor::FromData({1, 1, 4}, {1, 2, 3, 4});
+  Tensor w = Tensor::FromData({1, 1, 3}, {1, 1, 1});
+  Tensor b = Tensor::Zeros({1});
+  Tensor y = Conv1d(x, w, b, /*padding=*/1);
+  EXPECT_EQ(y.dim(2), 4);
+  EXPECT_FLOAT_EQ(y.data()[0], 3.0f);   // 0+1+2.
+  EXPECT_FLOAT_EQ(y.data()[1], 6.0f);   // 1+2+3.
+  EXPECT_FLOAT_EQ(y.data()[3], 7.0f);   // 3+4+0.
+}
+
+TEST(OpsForwardTest, RowL2NormalizeUnitNorm) {
+  Rng rng(3);
+  Tensor a = RandomTensor({5, 8}, &rng);
+  Tensor y = RowL2Normalize(a);
+  for (int64_t i = 0; i < 5; ++i) {
+    float sq = 0.0f;
+    for (int64_t j = 0; j < 8; ++j) {
+      sq += y.data()[i * 8 + j] * y.data()[i * 8 + j];
+    }
+    EXPECT_NEAR(sq, 1.0f, 1e-4f);
+  }
+}
+
+TEST(OpsForwardTest, GatherRowsSelectsAndRepeats) {
+  Tensor a = Tensor::FromData({3, 2}, {1, 2, 3, 4, 5, 6});
+  Tensor y = GatherRows(a, {2, 0, 2});
+  EXPECT_EQ(y.dim(0), 3);
+  EXPECT_FLOAT_EQ(y.data()[0], 5.0f);
+  EXPECT_FLOAT_EQ(y.data()[2], 1.0f);
+  EXPECT_FLOAT_EQ(y.data()[4], 5.0f);
+}
+
+TEST(OpsForwardTest, ConcatAndSliceRoundTrip) {
+  Tensor a = Tensor::FromData({2, 2}, {1, 2, 3, 4});
+  Tensor b = Tensor::FromData({2, 1}, {9, 8});
+  Tensor c = ConcatCols(a, b);
+  EXPECT_EQ(c.dim(1), 3);
+  Tensor back = SliceCols(c, 0, 2);
+  for (int64_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(back.data()[i], a.data()[i]);
+  Tensor tail = SliceCols(c, 2, 1);
+  EXPECT_FLOAT_EQ(tail.data()[1], 8.0f);
+}
+
+TEST(OpsForwardTest, TripletLossZeroWhenWellSeparated) {
+  Tensor a = Tensor::FromData({1, 2}, {0, 0});
+  Tensor p = Tensor::FromData({1, 2}, {0.1f, 0});
+  Tensor n = Tensor::FromData({1, 2}, {5, 5});
+  EXPECT_FLOAT_EQ(TripletLoss(a, p, n, 0.5f).item(), 0.0f);
+}
+
+TEST(OpsForwardTest, TripletLossPositiveWhenViolated) {
+  Tensor a = Tensor::FromData({1, 2}, {0, 0});
+  Tensor p = Tensor::FromData({1, 2}, {2, 0});  // d_ap = 4.
+  Tensor n = Tensor::FromData({1, 2}, {1, 0});  // d_an = 1.
+  EXPECT_FLOAT_EQ(TripletLoss(a, p, n, 0.5f).item(), 3.5f);
+}
+
+TEST(OpsForwardTest, NllLossPicksTargets) {
+  Tensor lp = Tensor::FromData({2, 2},
+                               {std::log(0.9f), std::log(0.1f),
+                                std::log(0.2f), std::log(0.8f)});
+  Tensor loss = NllLoss(lp, {0, 1});
+  EXPECT_NEAR(loss.item(), -(std::log(0.9f) + std::log(0.8f)) / 2.0f, 1e-5f);
+}
+
+// ---------------------------------------------------------------------------
+// Gradient checks (parameterized over ops).
+// ---------------------------------------------------------------------------
+
+struct GradCase {
+  std::string name;
+  std::function<void(Rng*)> run;
+};
+
+class GradCheckTest : public ::testing::TestWithParam<GradCase> {};
+
+TEST_P(GradCheckTest, AnalyticMatchesNumeric) {
+  Rng rng(1234);
+  GetParam().run(&rng);
+}
+
+std::vector<GradCase> MakeGradCases() {
+  std::vector<GradCase> cases;
+  auto scalar = [](const Tensor& t) { return Mean(Mul(t, t)); };
+
+  cases.push_back({"Add", [scalar](Rng* rng) {
+    ExpectGradientsMatch(
+        [&](const std::vector<Tensor>& in) {
+          return Mean(Mul(Add(in[0], in[1]), Add(in[0], in[1])));
+        },
+        {RandomTensor({3, 4}, rng), RandomTensor({3, 4}, rng)});
+  }});
+  cases.push_back({"AddBias", [](Rng* rng) {
+    ExpectGradientsMatch(
+        [&](const std::vector<Tensor>& in) {
+          return Mean(Mul(Add(in[0], in[1]), Add(in[0], in[1])));
+        },
+        {RandomTensor({3, 4}, rng), RandomTensor({4}, rng)});
+  }});
+  cases.push_back({"SubMul", [](Rng* rng) {
+    ExpectGradientsMatch(
+        [&](const std::vector<Tensor>& in) {
+          return Sum(Mul(Sub(in[0], in[1]), in[2]));
+        },
+        {RandomTensor({2, 3}, rng), RandomTensor({2, 3}, rng),
+         RandomTensor({2, 3}, rng)});
+  }});
+  cases.push_back({"Scalars", [](Rng* rng) {
+    ExpectGradientsMatch(
+        [&](const std::vector<Tensor>& in) {
+          return Mean(MulScalar(AddScalar(in[0], 0.7f), 1.3f));
+        },
+        {RandomTensor({5}, rng)});
+  }});
+  cases.push_back({"Sigmoid", [](Rng* rng) {
+    ExpectGradientsMatch(
+        [&](const std::vector<Tensor>& in) { return Mean(Sigmoid(in[0])); },
+        {RandomTensor({4, 3}, rng)});
+  }});
+  cases.push_back({"Tanh", [](Rng* rng) {
+    ExpectGradientsMatch(
+        [&](const std::vector<Tensor>& in) { return Mean(Tanh(in[0])); },
+        {RandomTensor({4, 3}, rng)});
+  }});
+  cases.push_back({"MatMul", [](Rng* rng) {
+    ExpectGradientsMatch(
+        [&](const std::vector<Tensor>& in) {
+          return Mean(Mul(MatMul(in[0], in[1]), MatMul(in[0], in[1])));
+        },
+        {RandomTensor({3, 4}, rng), RandomTensor({4, 2}, rng)});
+  }});
+  cases.push_back({"Transpose", [scalar](Rng* rng) {
+    ExpectGradientsMatch(
+        [&](const std::vector<Tensor>& in) {
+          return Mean(Mul(Transpose(in[0]), Transpose(in[0])));
+        },
+        {RandomTensor({3, 5}, rng)});
+  }});
+  cases.push_back({"Conv1dNoPad", [](Rng* rng) {
+    ExpectGradientsMatch(
+        [&](const std::vector<Tensor>& in) {
+          Tensor y = Conv1d(in[0], in[1], in[2], 0);
+          return Mean(Mul(y, y));
+        },
+        {RandomTensor({2, 3, 6}, rng), RandomTensor({4, 3, 3}, rng),
+         RandomTensor({4}, rng)});
+  }});
+  cases.push_back({"Conv1dPad", [](Rng* rng) {
+    ExpectGradientsMatch(
+        [&](const std::vector<Tensor>& in) {
+          Tensor y = Conv1d(in[0], in[1], in[2], 1);
+          return Mean(Mul(y, y));
+        },
+        {RandomTensor({2, 2, 5}, rng), RandomTensor({3, 2, 3}, rng),
+         RandomTensor({3}, rng)});
+  }});
+  cases.push_back({"GlobalMaxPool", [](Rng* rng) {
+    ExpectGradientsMatch(
+        [&](const std::vector<Tensor>& in) {
+          return Mean(Mul(GlobalMaxPool1d(in[0]), GlobalMaxPool1d(in[0])));
+        },
+        {RandomTensor({2, 3, 5}, rng)});
+  }});
+  cases.push_back({"MaxPool1d", [](Rng* rng) {
+    ExpectGradientsMatch(
+        [&](const std::vector<Tensor>& in) {
+          Tensor y = MaxPool1d(in[0], 2);
+          return Mean(Mul(y, y));
+        },
+        {RandomTensor({2, 2, 6}, rng)});
+  }});
+  cases.push_back({"RowSum", [](Rng* rng) {
+    ExpectGradientsMatch(
+        [&](const std::vector<Tensor>& in) {
+          Tensor y = RowSum(in[0]);
+          return Mean(Mul(y, y));
+        },
+        {RandomTensor({3, 4}, rng)});
+  }});
+  cases.push_back({"MeanRows", [](Rng* rng) {
+    ExpectGradientsMatch(
+        [&](const std::vector<Tensor>& in) {
+          Tensor y = MeanRows(in[0]);
+          return Sum(Mul(y, y));
+        },
+        {RandomTensor({3, 4}, rng)});
+  }});
+  cases.push_back({"ConcatSlice", [](Rng* rng) {
+    ExpectGradientsMatch(
+        [&](const std::vector<Tensor>& in) {
+          Tensor c = ConcatCols(in[0], in[1]);
+          Tensor s = SliceCols(c, 1, 3);
+          return Mean(Mul(s, s));
+        },
+        {RandomTensor({2, 3}, rng), RandomTensor({2, 2}, rng)});
+  }});
+  cases.push_back({"GatherRows", [](Rng* rng) {
+    ExpectGradientsMatch(
+        [&](const std::vector<Tensor>& in) {
+          Tensor y = GatherRows(in[0], {0, 2, 2, 1});
+          return Mean(Mul(y, y));
+        },
+        {RandomTensor({3, 4}, rng)});
+  }});
+  cases.push_back({"Softmax", [](Rng* rng) {
+    ExpectGradientsMatch(
+        [&](const std::vector<Tensor>& in) {
+          Tensor y = SoftmaxRows(in[0]);
+          return Mean(Mul(y, y));
+        },
+        {RandomTensor({3, 4}, rng)});
+  }});
+  cases.push_back({"CrossEntropy", [](Rng* rng) {
+    ExpectGradientsMatch(
+        [&](const std::vector<Tensor>& in) {
+          return CrossEntropyRows(in[0], {1, 0, 3});
+        },
+        {RandomTensor({3, 4}, rng)});
+  }});
+  cases.push_back({"LayerNorm", [](Rng* rng) {
+    ExpectGradientsMatch(
+        [&](const std::vector<Tensor>& in) {
+          Tensor y = LayerNormRows(in[0], in[1], in[2]);
+          return Mean(Mul(y, y));
+        },
+        {RandomTensor({3, 6}, rng), RandomTensor({6}, rng),
+         RandomTensor({6}, rng)});
+  }});
+  cases.push_back({"RowL2Normalize", [](Rng* rng) {
+    ExpectGradientsMatch(
+        [&](const std::vector<Tensor>& in) {
+          Tensor y = RowL2Normalize(in[0]);
+          return Mean(Mul(y, Tanh(y)));
+        },
+        {RandomTensor({3, 5}, rng)});
+  }});
+  cases.push_back({"TripletLoss", [](Rng* rng) {
+    ExpectGradientsMatch(
+        [&](const std::vector<Tensor>& in) {
+          return TripletLoss(in[0], in[1], in[2], 0.4f);
+        },
+        {RandomTensor({4, 6}, rng), RandomTensor({4, 6}, rng),
+         RandomTensor({4, 6}, rng)});
+  }});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOps, GradCheckTest, ::testing::ValuesIn(MakeGradCases()),
+    [](const ::testing::TestParamInfo<GradCase>& info) {
+      return info.param.name;
+    });
+
+// ---------------------------------------------------------------------------
+// nn layers & optimizers.
+// ---------------------------------------------------------------------------
+
+TEST(NnTest, LinearShapesAndGrad) {
+  Rng rng(5);
+  nn::Linear layer(4, 3, &rng);
+  Tensor x = RandomTensor({2, 4}, &rng, /*requires_grad=*/false);
+  Tensor y = layer.Forward(x);
+  EXPECT_EQ(y.dim(0), 2);
+  EXPECT_EQ(y.dim(1), 3);
+  Mean(Mul(y, y)).Backward();
+  EXPECT_EQ(layer.Parameters().size(), 2u);
+}
+
+TEST(NnTest, LstmCellStateShapes) {
+  Rng rng(6);
+  nn::LstmCell cell(3, 5, &rng);
+  auto [h, c] = cell.InitialState(2);
+  Tensor x = RandomTensor({2, 3}, &rng, false);
+  auto [h2, c2] = cell.Step(x, h, c);
+  EXPECT_EQ(h2.dim(1), 5);
+  EXPECT_EQ(c2.dim(1), 5);
+  // Repeated steps keep shapes and produce finite values.
+  auto [h3, c3] = cell.Step(x, h2, c2);
+  for (int64_t i = 0; i < h3.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(h3.data()[i]));
+  }
+}
+
+TEST(NnTest, LstmGradFlowsThroughTime) {
+  Rng rng(7);
+  nn::LstmCell cell(2, 3, &rng);
+  Tensor x = RandomTensor({1, 2}, &rng, false);
+  auto [h, c] = cell.InitialState(1);
+  for (int t = 0; t < 3; ++t) {
+    auto next = cell.Step(x, h, c);
+    h = next.first;
+    c = next.second;
+  }
+  Mean(Mul(h, h)).Backward();
+  float grad_norm = 0.0f;
+  for (Tensor& p : cell.Parameters()) {
+    for (int64_t i = 0; i < p.size(); ++i) {
+      grad_norm += p.grad()[i] * p.grad()[i];
+    }
+  }
+  EXPECT_GT(grad_norm, 0.0f);
+}
+
+TEST(OptimTest, SgdConvergesOnQuadratic) {
+  Tensor w = Tensor::FromData({1}, {5.0f}, true);
+  Sgd opt({w}, 0.1f);
+  for (int i = 0; i < 100; ++i) {
+    opt.ZeroGrad();
+    Tensor loss = Mul(w, w);
+    loss.Backward();
+    opt.Step();
+  }
+  EXPECT_NEAR(w.item(), 0.0f, 1e-3f);
+}
+
+TEST(OptimTest, AdamConvergesOnQuadratic) {
+  Tensor w = Tensor::FromData({2}, {5.0f, -3.0f}, true);
+  Adam opt({w}, 0.1f);
+  for (int i = 0; i < 300; ++i) {
+    opt.ZeroGrad();
+    Tensor loss = Sum(Mul(w, w));
+    loss.Backward();
+    opt.Step();
+  }
+  EXPECT_NEAR(w.data()[0], 0.0f, 1e-2f);
+  EXPECT_NEAR(w.data()[1], 0.0f, 1e-2f);
+}
+
+TEST(OptimTest, SgdMomentumAcceleratesDescent) {
+  Tensor w1 = Tensor::FromData({1}, {5.0f}, true);
+  Tensor w2 = Tensor::FromData({1}, {5.0f}, true);
+  Sgd plain({w1}, 0.01f, 0.0f);
+  Sgd momentum({w2}, 0.01f, 0.9f);
+  for (int i = 0; i < 20; ++i) {
+    plain.ZeroGrad();
+    Mul(w1, w1).Backward();
+    plain.Step();
+    momentum.ZeroGrad();
+    Mul(w2, w2).Backward();
+    momentum.Step();
+  }
+  EXPECT_LT(std::abs(w2.item()), std::abs(w1.item()));
+}
+
+TEST(SerializeTest, RoundTripPreservesParameters) {
+  Rng rng(8);
+  nn::Linear layer(3, 2, &rng);
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveParameters(layer.Parameters(), &buffer).ok());
+
+  nn::Linear other(3, 2, &rng);  // Different init.
+  std::vector<Tensor> params = other.Parameters();
+  ASSERT_TRUE(LoadParameters(&params, &buffer).ok());
+  for (size_t i = 0; i < params.size(); ++i) {
+    Tensor a = layer.Parameters()[i];
+    for (int64_t j = 0; j < a.size(); ++j) {
+      EXPECT_EQ(a.data()[j], params[i].data()[j]);
+    }
+  }
+}
+
+TEST(SerializeTest, ShapeMismatchRejected) {
+  Rng rng(9);
+  nn::Linear layer(3, 2, &rng);
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveParameters(layer.Parameters(), &buffer).ok());
+  nn::Linear other(2, 3, &rng);
+  std::vector<Tensor> params = other.Parameters();
+  EXPECT_FALSE(LoadParameters(&params, &buffer).ok());
+}
+
+TEST(SerializeTest, CountMismatchRejected) {
+  Rng rng(10);
+  nn::Linear layer(3, 2, &rng);
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveParameters(layer.Parameters(), &buffer).ok());
+  std::vector<Tensor> params = {Tensor::Zeros({3, 2})};
+  EXPECT_FALSE(LoadParameters(&params, &buffer).ok());
+}
+
+}  // namespace
+}  // namespace emblookup::tensor

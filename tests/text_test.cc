@@ -1,0 +1,228 @@
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "kg/noise.h"
+#include "text/alphabet.h"
+#include "text/bm25.h"
+#include "text/edit_distance.h"
+#include "text/exact_index.h"
+#include "text/fuzzy.h"
+#include "text/qgram.h"
+
+namespace emblookup::text {
+namespace {
+
+TEST(AlphabetTest, DefaultCoversLettersDigits) {
+  Alphabet a;
+  EXPECT_LT(a.Pos('a'), a.size() - 1);
+  EXPECT_LT(a.Pos('9'), a.size() - 1);
+  EXPECT_LT(a.Pos(' '), a.size() - 1);
+  EXPECT_EQ(a.Pos('a'), a.Pos('A'));  // Case-insensitive.
+}
+
+TEST(AlphabetTest, UnknownMapsToLastSlot) {
+  Alphabet a;
+  EXPECT_EQ(a.Pos('\x7f'), a.size() - 1);
+  EXPECT_EQ(a.Pos('%'), a.size() - 1);
+}
+
+TEST(OneHotTest, MatchesPaperExample) {
+  // §III-B example: A={a..e}, L=4, "cad" -> columns c,a,d,0.
+  Alphabet a("abcde");
+  OneHotEncoder enc(&a, 4);
+  tensor::Tensor x = enc.Encode("cad");
+  ASSERT_EQ(x.shape(), (tensor::Shape{1, 6, 4}));  // 5 chars + unknown row.
+  auto at = [&](int64_t row, int64_t col) { return x.data()[row * 4 + col]; };
+  EXPECT_EQ(at(2, 0), 1.0f);  // 'c' at position 0.
+  EXPECT_EQ(at(0, 1), 1.0f);  // 'a' at position 1.
+  EXPECT_EQ(at(3, 2), 1.0f);  // 'd' at position 2.
+  float col3 = 0;
+  for (int64_t r = 0; r < 6; ++r) col3 += at(r, 3);
+  EXPECT_EQ(col3, 0.0f);  // Padding column all zero.
+}
+
+TEST(OneHotTest, TruncatesLongMentions) {
+  Alphabet a;
+  OneHotEncoder enc(&a, 4);
+  tensor::Tensor x = enc.Encode("abcdefgh");
+  float total = 0;
+  for (int64_t i = 0; i < x.size(); ++i) total += x.data()[i];
+  EXPECT_EQ(total, 4.0f);  // Only 4 positions encoded.
+}
+
+TEST(OneHotTest, BatchStacksMentions) {
+  Alphabet a;
+  OneHotEncoder enc(&a, 8);
+  tensor::Tensor x = enc.EncodeBatch({"ab", "c"});
+  EXPECT_EQ(x.dim(0), 2);
+}
+
+// --- Edit distance ---------------------------------------------------------
+
+TEST(EditDistanceTest, KnownValues) {
+  EXPECT_EQ(Levenshtein("kitten", "sitting"), 3);
+  EXPECT_EQ(Levenshtein("", "abc"), 3);
+  EXPECT_EQ(Levenshtein("abc", "abc"), 0);
+  EXPECT_EQ(Levenshtein("germany", "germoney"), 2);
+}
+
+TEST(EditDistanceTest, Symmetry) {
+  EXPECT_EQ(Levenshtein("abcdef", "azced"), Levenshtein("azced", "abcdef"));
+}
+
+TEST(EditDistanceTest, DamerauCountsTranspositionAsOne) {
+  EXPECT_EQ(Levenshtein("ab", "ba"), 2);
+  EXPECT_EQ(DamerauLevenshtein("ab", "ba"), 1);
+  EXPECT_EQ(DamerauLevenshtein("berlin", "berlni"), 1);
+}
+
+TEST(EditDistanceTest, BoundedAgreesWithinBound) {
+  Rng rng(3);
+  // Property sweep: bounded == exact whenever exact <= bound.
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string a = "entity lookup benchmark";
+    a = kg::RandomTypo(a, &rng, 1 + rng.Uniform(3));
+    std::string b = "entity lookup benchmark";
+    b = kg::RandomTypo(b, &rng, 1 + rng.Uniform(3));
+    const int64_t exact = Levenshtein(a, b);
+    for (int64_t bound : {1, 2, 4, 8}) {
+      const int64_t bounded = BoundedLevenshtein(a, b, bound);
+      if (exact <= bound) {
+        EXPECT_EQ(bounded, exact) << a << " vs " << b;
+      } else {
+        EXPECT_GT(bounded, bound);
+      }
+    }
+  }
+}
+
+TEST(EditDistanceTest, BoundedEarlyExitOnLengthGap) {
+  EXPECT_EQ(BoundedLevenshtein("ab", "abcdefghij", 3), 4);
+}
+
+TEST(EditDistanceTest, RatioRange) {
+  EXPECT_DOUBLE_EQ(LevenshteinRatio("abc", "abc"), 100.0);
+  EXPECT_DOUBLE_EQ(LevenshteinRatio("", ""), 100.0);
+  EXPECT_DOUBLE_EQ(LevenshteinRatio("abc", "xyz"), 0.0);
+}
+
+// --- q-grams ---------------------------------------------------------------
+
+TEST(QGramTest, PaddedTrigrams) {
+  auto grams = QGrams("abc", 3);
+  ASSERT_EQ(grams.size(), 5u);
+  EXPECT_EQ(grams.front(), "##a");
+  EXPECT_EQ(grams.back(), "c##");
+}
+
+TEST(QGramTest, JaccardIdentityAndDisjoint) {
+  EXPECT_DOUBLE_EQ(QGramJaccard("berlin", "berlin"), 1.0);
+  EXPECT_LT(QGramJaccard("berlin", "xqwzzz"), 0.1);
+}
+
+TEST(QGramTest, IndexRanksCloseStringsFirst) {
+  QGramIndex index;
+  index.Add(1, "berlin");
+  index.Add(2, "munich");
+  index.Add(3, "bern");
+  auto top = index.TopK("berlin", 2);
+  ASSERT_GE(top.size(), 1u);
+  EXPECT_EQ(top[0].first, 1);
+}
+
+TEST(QGramTest, IndexHandlesMissQuery) {
+  QGramIndex index;
+  index.Add(1, "berlin");
+  EXPECT_TRUE(index.TopK("qqqqxxxx", 5).empty());
+}
+
+// --- BM25 ------------------------------------------------------------------
+
+TEST(Bm25Test, ExactTitleWinsOverPartial) {
+  Bm25Index index;
+  index.Add(1, "united states of america");
+  index.Add(2, "united kingdom");
+  index.Add(3, "germany");
+  index.Finalize();
+  auto top = index.TopK("united states", 3);
+  ASSERT_FALSE(top.empty());
+  EXPECT_EQ(top[0].first, 1);
+}
+
+TEST(Bm25Test, TrigramFieldCatchesTypos) {
+  Bm25Index index;
+  index.Add(1, "germany");
+  index.Add(2, "france");
+  index.Finalize();
+  auto top = index.TopK("germny", 2);  // Dropped 'a'.
+  ASSERT_FALSE(top.empty());
+  EXPECT_EQ(top[0].first, 1);
+}
+
+TEST(Bm25Test, RareTermsOutweighCommonOnes) {
+  Bm25Index index;
+  for (int i = 0; i < 20; ++i) {
+    index.Add(i, "common city " + std::to_string(i));
+  }
+  index.Add(99, "zanzibar island");
+  index.Finalize();
+  auto top = index.TopK("zanzibar", 1);
+  ASSERT_FALSE(top.empty());
+  EXPECT_EQ(top[0].first, 99);
+}
+
+TEST(Bm25Test, ChecksLifecycle) {
+  Bm25Index index;
+  index.Add(1, "a");
+  EXPECT_FALSE(index.finalized());
+  index.Finalize();
+  EXPECT_TRUE(index.finalized());
+  EXPECT_EQ(index.num_docs(), 1);
+}
+
+// --- FuzzyWuzzy scorers ------------------------------------------------------
+
+TEST(FuzzyTest, RatioIsCaseInsensitive) {
+  EXPECT_DOUBLE_EQ(Ratio("Berlin", "berlin"), 100.0);
+}
+
+TEST(FuzzyTest, TokenSortHandlesReordering) {
+  EXPECT_DOUBLE_EQ(TokenSortRatio("gates bill", "bill gates"), 100.0);
+  EXPECT_LT(Ratio("gates bill", "bill gates"), 100.0);
+}
+
+TEST(FuzzyTest, TokenSetToleratesExtraTokens) {
+  EXPECT_GT(TokenSetRatio("barack obama", "president barack obama"), 95.0);
+}
+
+TEST(FuzzyTest, PartialRatioFindsSubstring) {
+  EXPECT_DOUBLE_EQ(PartialRatio("berlin", "east berlin district"), 100.0);
+}
+
+TEST(FuzzyTest, WRatioAtLeastPlainRatio) {
+  const char* a = "federal republic of germany";
+  const char* b = "germany federal republic";
+  EXPECT_GE(WRatio(a, b), Ratio(a, b));
+}
+
+// --- ExactIndex --------------------------------------------------------------
+
+TEST(ExactIndexTest, NormalizedMatch) {
+  ExactIndex index;
+  index.Add(7, "  East   Berlin ");
+  EXPECT_EQ(index.Lookup("east berlin").size(), 1u);
+  EXPECT_EQ(index.Lookup("east berlin")[0], 7);
+  EXPECT_TRUE(index.Lookup("west berlin").empty());
+}
+
+TEST(ExactIndexTest, ManyIdsPerKey) {
+  ExactIndex index;
+  index.Add(1, "berlin");
+  index.Add(2, "Berlin");
+  EXPECT_EQ(index.Lookup("BERLIN").size(), 2u);
+}
+
+}  // namespace
+}  // namespace emblookup::text

@@ -1,0 +1,164 @@
+// Command-line front end for the EmbLookup library. Subcommands:
+//
+//   emblookup_cli generate-kg --entities 5000 --seed 42 --out kg.tsv
+//   emblookup_cli train       --kg kg.tsv --model model.bin
+//                             [--epochs 16] [--triplets 24]
+//   emblookup_cli lookup      --kg kg.tsv --model model.bin
+//                             --query "Germeny" [-k 10]
+//   emblookup_cli repl        --kg kg.tsv --model model.bin
+//
+// The KG format is the TSV produced by KnowledgeGraph::SaveTsv. Training
+// writes only the encoder weights; `lookup`/`repl` rebuild the entity
+// index on startup (deterministic given the KG + options).
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "core/emblookup.h"
+#include "kg/synthetic_kg.h"
+
+using namespace emblookup;
+
+namespace {
+
+/// Minimal --flag value parser; flags may appear in any order.
+std::map<std::string, std::string> ParseFlags(int argc, char** argv,
+                                              int start) {
+  std::map<std::string, std::string> flags;
+  for (int i = start; i + 1 < argc; i += 2) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) == 0) key = key.substr(2);
+    if (key.rfind('-', 0) == 0) key = key.substr(1);
+    flags[key] = argv[i + 1];
+  }
+  return flags;
+}
+
+int64_t FlagInt(const std::map<std::string, std::string>& flags,
+                const std::string& key, int64_t fallback) {
+  auto it = flags.find(key);
+  return it == flags.end() ? fallback : std::stoll(it->second);
+}
+
+std::string FlagStr(const std::map<std::string, std::string>& flags,
+                    const std::string& key, const std::string& fallback = "") {
+  auto it = flags.find(key);
+  return it == flags.end() ? fallback : it->second;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  emblookup_cli generate-kg --entities N [--seed S] --out kg.tsv\n"
+      "  emblookup_cli train  --kg kg.tsv --model model.bin [--epochs E]"
+      " [--triplets T]\n"
+      "  emblookup_cli lookup --kg kg.tsv --model model.bin --query Q"
+      " [--k K]\n"
+      "  emblookup_cli repl   --kg kg.tsv --model model.bin\n");
+  return 2;
+}
+
+core::EmbLookupOptions MakeOptions(
+    const std::map<std::string, std::string>& flags) {
+  core::EmbLookupOptions options;
+  options.trainer.epochs = static_cast<int>(FlagInt(flags, "epochs", 16));
+  options.miner.triplets_per_entity =
+      static_cast<int>(FlagInt(flags, "triplets", 24));
+  options.trainer.log_every = 2;
+  return options;
+}
+
+void PrintResults(const kg::KnowledgeGraph& graph,
+                  const std::vector<core::LookupResult>& results) {
+  for (const core::LookupResult& r : results) {
+    const kg::Entity& e = graph.entity(r.entity);
+    std::printf("  %-10s %-36s dist=%.4f\n", e.qid.c_str(), e.label.c_str(),
+                r.dist);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  const auto flags = ParseFlags(argc, argv, 2);
+
+  if (command == "generate-kg") {
+    const std::string out = FlagStr(flags, "out");
+    if (out.empty()) return Usage();
+    kg::SyntheticKgOptions options;
+    options.num_entities = FlagInt(flags, "entities", 5000);
+    options.seed = static_cast<uint64_t>(FlagInt(flags, "seed", 42));
+    const kg::KnowledgeGraph graph = kg::GenerateSyntheticKg(options);
+    const Status status = graph.SaveTsv(out);
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %lld entities, %lld facts to %s\n",
+                static_cast<long long>(graph.num_entities()),
+                static_cast<long long>(graph.num_facts()), out.c_str());
+    return 0;
+  }
+
+  // Remaining commands need a KG.
+  const std::string kg_path = FlagStr(flags, "kg");
+  const std::string model_path = FlagStr(flags, "model");
+  if (kg_path.empty() || model_path.empty()) return Usage();
+  auto loaded = kg::KnowledgeGraph::LoadTsv(kg_path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "cannot load KG: %s\n",
+                 loaded.status().ToString().c_str());
+    return 1;
+  }
+  const kg::KnowledgeGraph graph = std::move(loaded).value();
+  const core::EmbLookupOptions options = MakeOptions(flags);
+
+  if (command == "train") {
+    auto built = core::EmbLookup::TrainFromKg(graph, options);
+    if (!built.ok()) {
+      std::fprintf(stderr, "training failed: %s\n",
+                   built.status().ToString().c_str());
+      return 1;
+    }
+    const Status status = built.value()->SaveModel(model_path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "save failed: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("trained in %.1fs (loss %.4f); weights -> %s\n",
+                built.value()->train_stats().wall_seconds,
+                built.value()->train_stats().final_loss, model_path.c_str());
+    return 0;
+  }
+
+  if (command == "lookup" || command == "repl") {
+    auto restored = core::EmbLookup::LoadFromKg(graph, options, model_path);
+    if (!restored.ok()) {
+      std::fprintf(stderr, "cannot load model: %s\n",
+                   restored.status().ToString().c_str());
+      return 1;
+    }
+    const int64_t k = FlagInt(flags, "k", 10);
+    if (command == "lookup") {
+      const std::string query = FlagStr(flags, "query");
+      if (query.empty()) return Usage();
+      PrintResults(graph, restored.value()->Lookup(query, k));
+      return 0;
+    }
+    std::printf("EmbLookup REPL — type a query, empty line to exit.\n");
+    std::string line;
+    while (std::printf("> "), std::fflush(stdout),
+           std::getline(std::cin, line)) {
+      if (line.empty()) break;
+      PrintResults(graph, restored.value()->Lookup(line, k));
+    }
+    return 0;
+  }
+  return Usage();
+}
