@@ -20,6 +20,8 @@ enum class StatusCode {
   kIoError,
   kInternal,
   kUnimplemented,
+  kUnavailable,        ///< Transient overload, e.g. a full admission queue.
+  kDeadlineExceeded,   ///< A per-request deadline expired before execution.
 };
 
 /// Result of a fallible operation. Cheap to copy when OK (no allocation).
@@ -60,6 +62,12 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -52,7 +52,7 @@ Result<std::unique_ptr<EmbLookup>> EmbLookup::TrainFromKg(
   auto index = EntityIndex::Build(graph, el->encoder_.get(), options.index,
                                   el->pool_.get());
   if (!index.ok()) return index.status();
-  el->index_ = std::make_unique<EntityIndex>(std::move(index).value());
+  el->index_.store(std::make_shared<EntityIndex>(std::move(index).value()));
   return el;
 }
 
@@ -81,15 +81,16 @@ Result<std::unique_ptr<EmbLookup>> EmbLookup::LoadFromKg(
   auto index = EntityIndex::Build(graph, el->encoder_.get(), options.index,
                                   el->pool_.get());
   if (!index.ok()) return index.status();
-  el->index_ = std::make_unique<EntityIndex>(std::move(index).value());
+  el->index_.store(std::make_shared<EntityIndex>(std::move(index).value()));
   return el;
 }
 
 std::vector<LookupResult> EmbLookup::Lookup(const std::string& query,
                                             int64_t k) const {
+  const std::shared_ptr<const EntityIndex> index = IndexSnapshot();
   tensor::NoGradGuard guard;
   tensor::Tensor emb = encoder_->EncodeBatch({query});
-  return ToResults(index_->Search(emb.data(), k));
+  return ToResults(index->Search(emb.data(), k));
 }
 
 std::vector<std::vector<LookupResult>> EmbLookup::BulkLookup(
@@ -97,6 +98,9 @@ std::vector<std::vector<LookupResult>> EmbLookup::BulkLookup(
   const int64_t n = static_cast<int64_t>(queries.size());
   std::vector<std::vector<LookupResult>> out(n);
   if (n == 0) return out;
+  // One snapshot for the whole batch: a concurrent SwapIndex affects only
+  // batches submitted after it.
+  const std::shared_ptr<const EntityIndex> index = IndexSnapshot();
   const int64_t dim = encoder_->dim();
 
   // Encode all queries (batched; parallel batches when requested).
@@ -121,17 +125,36 @@ std::vector<std::vector<LookupResult>> EmbLookup::BulkLookup(
   }
 
   ann::NeighborLists lists =
-      index_->BatchSearch(embs.data(), n, k, parallel ? pool_.get() : nullptr);
+      index->BatchSearch(embs.data(), n, k, parallel ? pool_.get() : nullptr);
   for (int64_t i = 0; i < n; ++i) out[i] = ToResults(lists[i]);
   return out;
 }
 
 Status EmbLookup::RebuildIndex(const IndexConfig& config) {
+  auto snapshot = BuildIndexSnapshot(config);
+  if (!snapshot.ok()) return snapshot.status();
+  EL_RETURN_NOT_OK(SwapIndex(std::move(snapshot).value()));
+  index_config_ = config;
+  return Status::OK();
+}
+
+Result<std::shared_ptr<const EntityIndex>> EmbLookup::BuildIndexSnapshot(
+    const IndexConfig& config) {
   auto index = EntityIndex::Build(*graph_, encoder_.get(), config,
                                   pool_.get());
   if (!index.ok()) return index.status();
-  index_ = std::make_unique<EntityIndex>(std::move(index).value());
-  index_config_ = config;
+  return std::shared_ptr<const EntityIndex>(
+      std::make_shared<EntityIndex>(std::move(index).value()));
+}
+
+Status EmbLookup::SwapIndex(std::shared_ptr<const EntityIndex> snapshot) {
+  if (snapshot == nullptr) {
+    return Status::InvalidArgument("SwapIndex: null index snapshot");
+  }
+  if (snapshot->dim() != encoder_->dim()) {
+    return Status::InvalidArgument("SwapIndex: snapshot dim mismatch");
+  }
+  index_.store(std::move(snapshot), std::memory_order_release);
   return Status::OK();
 }
 

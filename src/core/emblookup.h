@@ -1,6 +1,7 @@
 #ifndef EMBLOOKUP_CORE_EMBLOOKUP_H_
 #define EMBLOOKUP_CORE_EMBLOOKUP_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -65,15 +66,35 @@ class EmbLookup {
       bool parallel = false) const;
 
   /// Re-embeds all entities and rebuilds the index with a new index config
-  /// (e.g. toggling compression) without retraining the encoder.
+  /// (e.g. toggling compression) without retraining the encoder. Online:
+  /// the new index is built off to the side and installed atomically, so
+  /// concurrent Lookup/BulkLookup calls never observe a missing index.
   Status RebuildIndex(const IndexConfig& config);
+
+  /// Builds a fresh index snapshot for `config` without installing it.
+  /// The expensive part of an online rebuild; pair with SwapIndex.
+  Result<std::shared_ptr<const EntityIndex>> BuildIndexSnapshot(
+      const IndexConfig& config);
+
+  /// Atomically installs `snapshot` as the serving index (RCU-style):
+  /// in-flight lookups finish on the snapshot they already acquired, new
+  /// lookups see `snapshot`. The old index is freed when its last reader
+  /// releases it.
+  Status SwapIndex(std::shared_ptr<const EntityIndex> snapshot);
+
+  /// The current index snapshot; safe to search concurrently with swaps.
+  std::shared_ptr<const EntityIndex> IndexSnapshot() const {
+    return index_.load(std::memory_order_acquire);
+  }
 
   /// Embeds a query string (no tape).
   std::vector<float> Embed(const std::string& query) const;
 
   const kg::KnowledgeGraph& graph() const { return *graph_; }
   EmbLookupEncoder* encoder() { return encoder_.get(); }
-  const EntityIndex& index() const { return *index_; }
+  /// Convenience accessor for single-threaded callers (tests, benches).
+  /// Concurrent-swap-safe readers should hold an IndexSnapshot() instead.
+  const EntityIndex& index() const { return *IndexSnapshot(); }
   const embed::FastTextModel& semantic_model() const { return *fasttext_; }
   const TrainStats& train_stats() const { return train_stats_; }
   ThreadPool* pool() const { return pool_.get(); }
@@ -96,7 +117,8 @@ class EmbLookup {
   const kg::KnowledgeGraph* graph_ = nullptr;  // Borrowed.
   std::shared_ptr<embed::FastTextModel> fasttext_;
   std::unique_ptr<EmbLookupEncoder> encoder_;
-  std::unique_ptr<EntityIndex> index_;
+  /// Serving index, swappable at runtime (see SwapIndex).
+  std::atomic<std::shared_ptr<const EntityIndex>> index_;
   std::unique_ptr<ThreadPool> pool_;
   IndexConfig index_config_;
   TrainStats train_stats_;

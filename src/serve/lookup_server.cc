@@ -1,0 +1,222 @@
+#include "serve/lookup_server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "apps/lookup_services.h"
+
+namespace emblookup::serve {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+double ToMicros(SteadyClock::duration d) {
+  return std::chrono::duration<double, std::micro>(d).count();
+}
+
+/// An already-completed future carrying `status`.
+std::future<Result<LookupResponse>> ReadyError(Status status) {
+  std::promise<Result<LookupResponse>> promise;
+  promise.set_value(std::move(status));
+  return promise.get_future();
+}
+
+}  // namespace
+
+LookupServer::LookupServer(apps::LookupService* backend,
+                           ServerOptions options, core::EmbLookup* emblookup)
+    : backend_(backend),
+      emblookup_(emblookup),
+      options_(options),
+      cache_(options.cache),
+      dispatcher_([this] { DispatcherLoop(); }) {}
+
+LookupServer::LookupServer(core::EmbLookup* emblookup, ServerOptions options)
+    : owned_backend_(std::make_unique<apps::EmbLookupService>(
+          emblookup, options.parallel_backend)),
+      backend_(owned_backend_.get()),
+      emblookup_(emblookup),
+      options_(options),
+      cache_(options.cache),
+      dispatcher_([this] { DispatcherLoop(); }) {}
+
+LookupServer::~LookupServer() { Shutdown(); }
+
+std::future<Result<LookupResponse>> LookupServer::Submit(
+    std::string query, int64_t k, std::chrono::microseconds timeout) {
+  if (k <= 0) return ReadyError(Status::InvalidArgument("k must be > 0"));
+  Request req;
+  req.query = std::move(query);
+  req.k = k;
+  req.enqueue_time = SteadyClock::now();
+  req.deadline = timeout.count() > 0 ? req.enqueue_time + timeout
+                                     : SteadyClock::time_point::max();
+  std::future<Result<LookupResponse>> future = req.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) {
+      return ReadyError(Status::Unavailable("server is shut down"));
+    }
+    if (queue_.size() >= options_.max_queue_depth) {
+      metrics_.OnShed();
+      return ReadyError(
+          Status::Unavailable("admission control: queue depth " +
+                              std::to_string(queue_.size()) + " >= " +
+                              std::to_string(options_.max_queue_depth)));
+    }
+    metrics_.OnSubmitted();
+    queue_.push_back(std::move(req));
+  }
+  work_available_.notify_one();
+  return future;
+}
+
+Result<LookupResponse> LookupServer::LookupSync(
+    std::string query, int64_t k, std::chrono::microseconds timeout) {
+  return Submit(std::move(query), k, timeout).get();
+}
+
+Status LookupServer::SwapIndex(const core::IndexConfig& config) {
+  if (emblookup_ == nullptr) {
+    return Status::FailedPrecondition(
+        "SwapIndex: this server wraps no EmbLookup instance");
+  }
+  std::lock_guard<std::mutex> lock(swap_mu_);
+  auto snapshot = emblookup_->BuildIndexSnapshot(config);
+  if (!snapshot.ok()) return snapshot.status();
+  EL_RETURN_NOT_OK(emblookup_->SwapIndex(std::move(snapshot).value()));
+  // Cached results describe the retired snapshot.
+  cache_.Clear();
+  metrics_.OnSwap();
+  return Status::OK();
+}
+
+void LookupServer::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_available_.notify_all();
+  std::lock_guard<std::mutex> join_lock(join_mu_);
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+std::string LookupServer::StatsText() const {
+  std::string out = metrics_.Snapshot().ToText();
+  const QueryCacheStats cache = cache_.Stats();
+  out += "cache_entries            " + std::to_string(cache.entries) + "\n";
+  out += "cache_bytes              " + std::to_string(cache.bytes) + "\n";
+  out += "cache_evictions          " + std::to_string(cache.evictions) + "\n";
+  return out;
+}
+
+size_t LookupServer::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+void LookupServer::DispatcherLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    work_available_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stop_) return;
+      continue;
+    }
+    if (!stop_) {
+      // Batch window: flush when max_batch requests accumulated or the
+      // oldest request has waited max_delay, whichever comes first.
+      const auto flush_at = queue_.front().enqueue_time + options_.max_delay;
+      work_available_.wait_until(lock, flush_at, [this] {
+        return stop_ ||
+               queue_.size() >= static_cast<size_t>(options_.max_batch);
+      });
+    }
+    std::vector<Request> batch;
+    const size_t take = std::min(
+        queue_.size(), static_cast<size_t>(std::max<int64_t>(
+                           1, options_.max_batch)));
+    batch.reserve(take);
+    for (size_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    const bool fail_batch = stop_ && !options_.drain_on_shutdown;
+    lock.unlock();
+    if (fail_batch) {
+      FailBatch(&batch);
+    } else {
+      ExecuteBatch(&batch);
+    }
+    lock.lock();
+  }
+}
+
+void LookupServer::ExecuteBatch(std::vector<Request>* batch) {
+  const auto now = SteadyClock::now();
+  // Triage: expire, serve from cache, or collect for backend execution.
+  std::vector<Request*> misses;
+  std::vector<std::string> queries;
+  int64_t max_k = 0;
+  misses.reserve(batch->size());
+  queries.reserve(batch->size());
+  for (Request& req : *batch) {
+    const double wait_us = ToMicros(now - req.enqueue_time);
+    metrics_.ObserveQueueWaitMicros(wait_us);
+    if (now >= req.deadline) {
+      metrics_.OnExpired();
+      req.promise.set_value(Status::DeadlineExceeded(
+          "request expired after " + std::to_string(wait_us) +
+          "us in queue"));
+      continue;
+    }
+    if (options_.enable_cache) {
+      LookupResponse resp;
+      if (cache_.Get(req.query, req.k, &resp.ids)) {
+        metrics_.OnCacheHit();
+        resp.from_cache = true;
+        resp.queue_wait_seconds = wait_us * 1e-6;
+        metrics_.ObserveLatencyMicros(
+            ToMicros(SteadyClock::now() - req.enqueue_time));
+        metrics_.OnCompleted();
+        req.promise.set_value(std::move(resp));
+        continue;
+      }
+      metrics_.OnCacheMiss();
+    }
+    misses.push_back(&req);
+    queries.push_back(req.query);
+    max_k = std::max(max_k, req.k);
+  }
+  if (queries.empty()) return;
+
+  // One bulk call at the batch's largest k; per-request results are the
+  // best-first prefix, so truncation preserves each request's answer.
+  metrics_.OnBatch(static_cast<int64_t>(queries.size()));
+  std::vector<std::vector<kg::EntityId>> results =
+      backend_->BulkLookup(queries, max_k);
+  for (size_t i = 0; i < misses.size(); ++i) {
+    Request* req = misses[i];
+    LookupResponse resp;
+    resp.ids = std::move(results[i]);
+    if (static_cast<int64_t>(resp.ids.size()) > req->k) {
+      resp.ids.resize(req->k);
+    }
+    if (options_.enable_cache) cache_.Put(req->query, req->k, resp.ids);
+    resp.queue_wait_seconds = ToMicros(now - req->enqueue_time) * 1e-6;
+    metrics_.ObserveLatencyMicros(
+        ToMicros(SteadyClock::now() - req->enqueue_time));
+    metrics_.OnCompleted();
+    req->promise.set_value(std::move(resp));
+  }
+}
+
+void LookupServer::FailBatch(std::vector<Request>* batch) {
+  for (Request& req : *batch) {
+    req.promise.set_value(
+        Status::Unavailable("server shut down with request queued"));
+  }
+}
+
+}  // namespace emblookup::serve

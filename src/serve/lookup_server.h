@@ -1,0 +1,141 @@
+#ifndef EMBLOOKUP_SERVE_LOOKUP_SERVER_H_
+#define EMBLOOKUP_SERVE_LOOKUP_SERVER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/lookup_service.h"
+#include "common/status.h"
+#include "core/emblookup.h"
+#include "kg/knowledge_graph.h"
+#include "serve/metrics.h"
+#include "serve/query_cache.h"
+
+namespace emblookup::serve {
+
+/// Tuning knobs for the serving pipeline.
+struct ServerOptions {
+  /// Micro-batch flush threshold: a batch executes as soon as this many
+  /// requests are queued...
+  int64_t max_batch = 32;
+  /// ...or once the oldest queued request has waited this long.
+  std::chrono::microseconds max_delay{2000};
+  /// Admission control: submits beyond this queue depth are shed with
+  /// Unavailable instead of growing the queue without bound.
+  size_t max_queue_depth = 4096;
+  bool enable_cache = true;
+  QueryCacheOptions cache;
+  /// For the EmbLookup-backed convenience constructor: route batches
+  /// through the thread-pool parallel bulk path (the GPU stand-in).
+  bool parallel_backend = true;
+  /// Shutdown drains queued requests (completing their futures) before the
+  /// dispatcher exits; set false to fail them with Unavailable instead.
+  bool drain_on_shutdown = true;
+};
+
+/// One served lookup result.
+struct LookupResponse {
+  std::vector<kg::EntityId> ids;  ///< Best-first candidates, at most k.
+  bool from_cache = false;
+  double queue_wait_seconds = 0.0;
+};
+
+/// In-process production-style serving front end for a LookupService
+/// (DESIGN.md "Serving subsystem"): callers Submit (query, k, deadline)
+/// requests; a dispatcher thread drains the queue into dynamic
+/// micro-batches (flush on max_batch or max_delay) and executes them
+/// through the backend's bulk path, completing futures. A sharded LRU
+/// QueryCache short-circuits repeated queries, admission control sheds
+/// load past max_queue_depth, per-request deadlines expire queued work,
+/// and SwapIndex installs a freshly built index snapshot RCU-style while
+/// lookups continue uninterrupted.
+class LookupServer {
+ public:
+  /// Serves an arbitrary LookupService (not owned). `emblookup` may name
+  /// the EmbLookup instance behind `backend` to enable SwapIndex.
+  LookupServer(apps::LookupService* backend,
+               ServerOptions options = ServerOptions(),
+               core::EmbLookup* emblookup = nullptr);
+
+  /// Convenience: serves `emblookup` through an internally owned
+  /// EmbLookupService (parallelism per options.parallel_backend);
+  /// SwapIndex is enabled.
+  explicit LookupServer(core::EmbLookup* emblookup,
+                        ServerOptions options = ServerOptions());
+
+  /// Calls Shutdown().
+  ~LookupServer();
+
+  LookupServer(const LookupServer&) = delete;
+  LookupServer& operator=(const LookupServer&) = delete;
+
+  /// Enqueues a request. `timeout` zero means no deadline; a request whose
+  /// deadline passes while queued completes with DeadlineExceeded. Returns
+  /// an already-failed future (Unavailable) when shed or shut down.
+  std::future<Result<LookupResponse>> Submit(
+      std::string query, int64_t k,
+      std::chrono::microseconds timeout = std::chrono::microseconds::zero());
+
+  /// Submit + wait, for closed-loop callers.
+  Result<LookupResponse> LookupSync(
+      std::string query, int64_t k,
+      std::chrono::microseconds timeout = std::chrono::microseconds::zero());
+
+  /// Builds a fresh index snapshot for `config` (off the serving path) and
+  /// installs it atomically; in-flight batches finish on the old snapshot.
+  /// The query cache is cleared — its entries describe the old index.
+  /// FailedPrecondition when the server wraps no EmbLookup.
+  Status SwapIndex(const core::IndexConfig& config);
+
+  /// Stops accepting work, drains or fails the queue per
+  /// ServerOptions::drain_on_shutdown, and joins the dispatcher. Idempotent.
+  void Shutdown();
+
+  MetricsSnapshot Metrics() const { return metrics_.Snapshot(); }
+  QueryCacheStats CacheStats() const { return cache_.Stats(); }
+  /// Metrics + cache statistics as a human-readable text block.
+  std::string StatsText() const;
+  size_t queue_depth() const;
+
+ private:
+  struct Request {
+    std::string query;
+    int64_t k = 0;
+    std::chrono::steady_clock::time_point enqueue_time;
+    std::chrono::steady_clock::time_point deadline;
+    std::promise<Result<LookupResponse>> promise;
+  };
+
+  void DispatcherLoop();
+  /// Expires/serves-from-cache/executes one drained batch (queue unlocked).
+  void ExecuteBatch(std::vector<Request>* batch);
+  /// Completes every request in `batch` with Unavailable (non-drain stop).
+  static void FailBatch(std::vector<Request>* batch);
+
+  std::unique_ptr<apps::LookupService> owned_backend_;
+  apps::LookupService* backend_;    // Not owned (may point at owned_backend_).
+  core::EmbLookup* emblookup_;      // Not owned; nullptr disables SwapIndex.
+  ServerOptions options_;
+  QueryCache cache_;
+  serve::Metrics metrics_;
+
+  std::mutex swap_mu_;  ///< Serializes concurrent SwapIndex builds.
+  std::mutex join_mu_;  ///< Makes Shutdown idempotent and thread-safe.
+
+  mutable std::mutex mu_;
+  std::condition_variable work_available_;
+  std::deque<Request> queue_;
+  bool stop_ = false;
+  std::thread dispatcher_;  ///< Last member: started after state is ready.
+};
+
+}  // namespace emblookup::serve
+
+#endif  // EMBLOOKUP_SERVE_LOOKUP_SERVER_H_

@@ -1,0 +1,136 @@
+#include "serve/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace emblookup::serve {
+
+namespace {
+
+/// Default buckets for microsecond latencies: 10 us .. ~10.5 s.
+std::vector<double> LatencyBuckets() {
+  return Histogram::ExponentialBuckets(10.0, 2.0, 21);
+}
+
+/// Default buckets for batch sizes: 1 .. 1024.
+std::vector<double> BatchBuckets() {
+  return Histogram::ExponentialBuckets(1.0, 2.0, 11);
+}
+
+void AppendCounter(std::string* out, const char* name, uint64_t value) {
+  char line[128];
+  std::snprintf(line, sizeof(line), "%-24s %llu\n", name,
+                static_cast<unsigned long long>(value));
+  *out += line;
+}
+
+void AppendHistogram(std::string* out, const char* name,
+                     const HistogramSnapshot& h) {
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "%-24s n=%llu mean=%.1f p50=%.1f p99=%.1f\n", name,
+                static_cast<unsigned long long>(h.total), h.Mean(),
+                h.Percentile(0.5), h.Percentile(0.99));
+  *out += line;
+}
+
+}  // namespace
+
+double HistogramSnapshot::Percentile(double p) const {
+  if (total == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  const double rank = p * static_cast<double>(total);
+  uint64_t seen = 0;
+  for (size_t b = 0; b < counts.size(); ++b) {
+    seen += counts[b];
+    if (static_cast<double>(seen) < rank) continue;
+    // Interpolate inside bucket b between its bounds.
+    const double hi =
+        b < upper_bounds.size() ? upper_bounds[b] : upper_bounds.back();
+    if (counts[b] == 0) return hi;
+    const double lo = b == 0 ? 0.0 : upper_bounds[b - 1];
+    const double into =
+        (rank - static_cast<double>(seen - counts[b])) / counts[b];
+    return lo + (hi - lo) * std::clamp(into, 0.0, 1.0);
+  }
+  return upper_bounds.empty() ? 0.0 : upper_bounds.back();
+}
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), counts_(bounds_.size() + 1) {}
+
+void Histogram::Record(double value) {
+  const size_t b =
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin();
+  counts_[b].fetch_add(1, std::memory_order_relaxed);
+  total_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.upper_bounds = bounds_;
+  snap.counts.reserve(counts_.size());
+  for (const auto& c : counts_) {
+    snap.counts.push_back(c.load(std::memory_order_relaxed));
+  }
+  snap.total = total_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+std::vector<double> Histogram::ExponentialBuckets(double start, double factor,
+                                                  int count) {
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  double b = start;
+  for (int i = 0; i < count; ++i, b *= factor) bounds.push_back(b);
+  return bounds;
+}
+
+Metrics::Metrics()
+    : queue_wait_us_(LatencyBuckets()),
+      batch_size_(BatchBuckets()),
+      e2e_latency_us_(LatencyBuckets()) {}
+
+MetricsSnapshot Metrics::Snapshot() const {
+  MetricsSnapshot snap;
+  snap.requests_submitted = requests_submitted_.load();
+  snap.requests_completed = requests_completed_.load();
+  snap.requests_shed = requests_shed_.load();
+  snap.requests_expired = requests_expired_.load();
+  snap.cache_hits = cache_hits_.load();
+  snap.cache_misses = cache_misses_.load();
+  snap.batches_executed = batches_executed_.load();
+  snap.index_swaps = index_swaps_.load();
+  snap.queue_wait_us = queue_wait_us_.Snapshot();
+  snap.batch_size = batch_size_.Snapshot();
+  snap.e2e_latency_us = e2e_latency_us_.Snapshot();
+  return snap;
+}
+
+std::string MetricsSnapshot::ToText() const {
+  std::string out;
+  AppendCounter(&out, "requests_submitted", requests_submitted);
+  AppendCounter(&out, "requests_completed", requests_completed);
+  AppendCounter(&out, "requests_shed", requests_shed);
+  AppendCounter(&out, "requests_expired", requests_expired);
+  AppendCounter(&out, "cache_hits", cache_hits);
+  AppendCounter(&out, "cache_misses", cache_misses);
+  char rate[64];
+  std::snprintf(rate, sizeof(rate), "%-24s %.3f\n", "cache_hit_rate",
+                CacheHitRate());
+  out += rate;
+  AppendCounter(&out, "batches_executed", batches_executed);
+  AppendCounter(&out, "index_swaps", index_swaps);
+  AppendHistogram(&out, "queue_wait_us", queue_wait_us);
+  AppendHistogram(&out, "batch_size", batch_size);
+  AppendHistogram(&out, "e2e_latency_us", e2e_latency_us);
+  return out;
+}
+
+}  // namespace emblookup::serve

@@ -1,0 +1,124 @@
+#ifndef EMBLOOKUP_SERVE_METRICS_H_
+#define EMBLOOKUP_SERVE_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace emblookup::serve {
+
+/// Point-in-time copy of one fixed-bucket histogram.
+struct HistogramSnapshot {
+  /// Inclusive upper bounds per bucket; an implicit +inf bucket follows.
+  std::vector<double> upper_bounds;
+  /// Per-bucket observation counts (upper_bounds.size() + 1 entries).
+  std::vector<uint64_t> counts;
+  uint64_t total = 0;
+  double sum = 0.0;
+
+  double Mean() const { return total == 0 ? 0.0 : sum / total; }
+
+  /// Bucket-interpolated percentile estimate, p in [0, 1]. The +inf bucket
+  /// reports the last finite bound (the histogram's resolution limit).
+  double Percentile(double p) const;
+};
+
+/// Fixed-bucket histogram with wait-free Record (relaxed atomics) and a
+/// monitoring-grade Snapshot — counters may be mutually slightly stale, the
+/// Prometheus client-library contract.
+class Histogram {
+ public:
+  /// `upper_bounds` must be sorted ascending; a +inf bucket is appended.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Record(double value);
+  HistogramSnapshot Snapshot() const;
+
+  /// `count` bucket bounds: start, start*factor, start*factor^2, ...
+  static std::vector<double> ExponentialBuckets(double start, double factor,
+                                                int count);
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<uint64_t>> counts_;  // bounds_.size() + 1 buckets.
+  std::atomic<uint64_t> total_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Point-in-time copy of every serving counter and histogram.
+struct MetricsSnapshot {
+  uint64_t requests_submitted = 0;
+  uint64_t requests_completed = 0;
+  uint64_t requests_shed = 0;      ///< Rejected by admission control.
+  uint64_t requests_expired = 0;   ///< Deadline passed before execution.
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t batches_executed = 0;
+  uint64_t index_swaps = 0;
+  HistogramSnapshot queue_wait_us;
+  HistogramSnapshot batch_size;
+  HistogramSnapshot e2e_latency_us;
+
+  double CacheHitRate() const {
+    const uint64_t n = cache_hits + cache_misses;
+    return n == 0 ? 0.0 : static_cast<double>(cache_hits) / n;
+  }
+
+  /// Multi-line human-readable dump (counter per line, histogram summary
+  /// lines with mean/p50/p99).
+  std::string ToText() const;
+};
+
+/// Registry of serving counters + latency histograms. All mutators are
+/// wait-free and safe to call from any thread.
+class Metrics {
+ public:
+  Metrics();
+
+  Metrics(const Metrics&) = delete;
+  Metrics& operator=(const Metrics&) = delete;
+
+  void OnSubmitted() { Inc(&requests_submitted_); }
+  void OnCompleted() { Inc(&requests_completed_); }
+  void OnShed() { Inc(&requests_shed_); }
+  void OnExpired() { Inc(&requests_expired_); }
+  void OnCacheHit() { Inc(&cache_hits_); }
+  void OnCacheMiss() { Inc(&cache_misses_); }
+  void OnSwap() { Inc(&index_swaps_); }
+
+  /// Records one executed backend batch of `size` queries.
+  void OnBatch(int64_t size) {
+    Inc(&batches_executed_);
+    batch_size_.Record(static_cast<double>(size));
+  }
+
+  void ObserveQueueWaitMicros(double us) { queue_wait_us_.Record(us); }
+  void ObserveLatencyMicros(double us) { e2e_latency_us_.Record(us); }
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  static void Inc(std::atomic<uint64_t>* c) {
+    c->fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::atomic<uint64_t> requests_submitted_{0};
+  std::atomic<uint64_t> requests_completed_{0};
+  std::atomic<uint64_t> requests_shed_{0};
+  std::atomic<uint64_t> requests_expired_{0};
+  std::atomic<uint64_t> cache_hits_{0};
+  std::atomic<uint64_t> cache_misses_{0};
+  std::atomic<uint64_t> batches_executed_{0};
+  std::atomic<uint64_t> index_swaps_{0};
+  Histogram queue_wait_us_;
+  Histogram batch_size_;
+  Histogram e2e_latency_us_;
+};
+
+}  // namespace emblookup::serve
+
+#endif  // EMBLOOKUP_SERVE_METRICS_H_

@@ -1,0 +1,121 @@
+#include "serve/query_cache.h"
+
+#include <algorithm>
+#include <functional>
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace emblookup::serve {
+
+namespace {
+
+/// Fixed per-entry bookkeeping estimate (list/map nodes, small-string
+/// headers) charged on top of payload bytes.
+constexpr size_t kEntryOverheadBytes = 96;
+
+std::string MakeKey(const std::string& query, int64_t k) {
+  std::string key = QueryCache::NormalizeQuery(query);
+  key.push_back('\x1f');  // Unit separator: cannot occur in normalized text.
+  key += std::to_string(k);
+  return key;
+}
+
+size_t EntryBytes(const std::string& key,
+                  const std::vector<kg::EntityId>& ids) {
+  return kEntryOverheadBytes + 2 * key.size() +  // Key lives in list + map.
+         ids.size() * sizeof(kg::EntityId);
+}
+
+}  // namespace
+
+QueryCache::QueryCache(QueryCacheOptions options) : options_(options) {
+  const size_t shards = std::max<size_t>(1, options_.num_shards);
+  per_shard_entries_ = std::max<size_t>(1, options_.max_entries / shards);
+  per_shard_bytes_ = std::max<size_t>(1, options_.max_bytes / shards);
+  shards_.reserve(shards);
+  for (size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+QueryCache::Shard& QueryCache::ShardFor(const std::string& key) {
+  return *shards_[std::hash<std::string>{}(key) % shards_.size()];
+}
+
+bool QueryCache::Get(const std::string& query, int64_t k,
+                     std::vector<kg::EntityId>* out) {
+  const std::string key = MakeKey(query, k);
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);  // Promote.
+  *out = it->second->ids;
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void QueryCache::Put(const std::string& query, int64_t k,
+                     std::vector<kg::EntityId> ids) {
+  std::string key = MakeKey(query, k);
+  Shard& shard = ShardFor(key);
+  const size_t bytes = EntryBytes(key, ids);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it != shard.map.end()) {
+    shard.bytes -= it->second->bytes;
+    it->second->ids = std::move(ids);
+    it->second->bytes = bytes;
+    shard.bytes += bytes;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  } else {
+    shard.lru.push_front(Entry{key, std::move(ids), bytes});
+    shard.map.emplace(std::move(key), shard.lru.begin());
+    shard.bytes += bytes;
+  }
+  EvictLocked(&shard);
+}
+
+void QueryCache::EvictLocked(Shard* shard) {
+  while (!shard->lru.empty() &&
+         (shard->lru.size() > per_shard_entries_ ||
+          shard->bytes > per_shard_bytes_)) {
+    const Entry& victim = shard->lru.back();
+    shard->bytes -= victim.bytes;
+    shard->map.erase(victim.key);
+    shard->lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void QueryCache::Clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->lru.clear();
+    shard->map.clear();
+    shard->bytes = 0;
+  }
+}
+
+QueryCacheStats QueryCache::Stats() const {
+  QueryCacheStats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    stats.entries += shard->lru.size();
+    stats.bytes += shard->bytes;
+  }
+  return stats;
+}
+
+std::string QueryCache::NormalizeQuery(std::string_view query) {
+  return ToLower(NormalizeWhitespace(query));
+}
+
+}  // namespace emblookup::serve

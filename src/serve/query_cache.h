@@ -1,0 +1,96 @@
+#ifndef EMBLOOKUP_SERVE_QUERY_CACHE_H_
+#define EMBLOOKUP_SERVE_QUERY_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "kg/knowledge_graph.h"
+
+namespace emblookup::serve {
+
+/// Sizing of the sharded lookup-result cache. Capacities are totals across
+/// shards; each shard enforces its 1/num_shards slice independently.
+struct QueryCacheOptions {
+  size_t num_shards = 8;
+  size_t max_entries = 1 << 16;
+  size_t max_bytes = 16ull << 20;
+};
+
+/// Point-in-time cache statistics.
+struct QueryCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;  ///< Capacity evictions (not Clear()).
+  uint64_t entries = 0;
+  uint64_t bytes = 0;
+};
+
+/// Sharded, mutex-striped LRU cache of lookup results keyed on
+/// (normalized query, k). Shards are independent LRUs, so the global
+/// eviction order is approximate — the standard trade for stripe-level
+/// concurrency (cf. Magnitude's query cache; see DESIGN.md serving §).
+class QueryCache {
+ public:
+  explicit QueryCache(QueryCacheOptions options = QueryCacheOptions());
+
+  QueryCache(const QueryCache&) = delete;
+  QueryCache& operator=(const QueryCache&) = delete;
+
+  /// Copies the cached result for (query, k) into `out` and returns true
+  /// on a hit (promoting the entry to most-recently-used).
+  bool Get(const std::string& query, int64_t k,
+           std::vector<kg::EntityId>* out);
+
+  /// Inserts or refreshes the result for (query, k), evicting LRU entries
+  /// while the shard exceeds its entry or byte budget.
+  void Put(const std::string& query, int64_t k,
+           std::vector<kg::EntityId> ids);
+
+  /// Drops every entry (used on index swap: cached results are stale the
+  /// moment a new snapshot serves). Does not count as evictions.
+  void Clear();
+
+  QueryCacheStats Stats() const;
+
+  /// Canonical key form: whitespace-collapsed, ASCII-lowercased — the same
+  /// normalization the encoder applies, so cache keys collapse exactly the
+  /// queries that encode identically.
+  static std::string NormalizeQuery(std::string_view query);
+
+ private:
+  struct Entry {
+    std::string key;
+    std::vector<kg::EntityId> ids;
+    size_t bytes = 0;
+  };
+
+  struct Shard {
+    std::mutex mu;
+    std::list<Entry> lru;  ///< Front = most recently used.
+    std::unordered_map<std::string, std::list<Entry>::iterator> map;
+    size_t bytes = 0;
+  };
+
+  Shard& ShardFor(const std::string& key);
+  /// Evicts from `shard` (locked by caller) until it fits its budgets.
+  void EvictLocked(Shard* shard);
+
+  QueryCacheOptions options_;
+  size_t per_shard_entries_ = 0;
+  size_t per_shard_bytes_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+};
+
+}  // namespace emblookup::serve
+
+#endif  // EMBLOOKUP_SERVE_QUERY_CACHE_H_

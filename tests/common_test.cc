@@ -1,5 +1,7 @@
 #include <atomic>
+#include <chrono>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -159,6 +161,54 @@ TEST(ThreadPoolTest, ZeroRequestsHardwareThreads) {
 TEST(ThreadPoolTest, ParallelForEmptyIsNoop) {
   ThreadPool pool(2);
   pool.ParallelFor(0, [](size_t) { FAIL(); });
+}
+
+TEST(ThreadPoolTest, ConcurrentSubmittersAllExecute) {
+  // The serving dispatcher and index-swap builder submit concurrently;
+  // every task from every producer thread must run exactly once.
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  constexpr int kProducers = 8;
+  constexpr int kTasksPerProducer = 250;
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&] {
+      for (int i = 0; i < kTasksPerProducer; ++i) {
+        pool.Submit([&] { counter.fetch_add(1); });
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  pool.Wait();
+  EXPECT_EQ(counter.load(), kProducers * kTasksPerProducer);
+}
+
+TEST(ThreadPoolTest, ConcurrentParallelForsCoverBothRanges) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> a(64), b(64);
+  std::thread other([&] {
+    pool.ParallelFor(a.size(), [&](size_t i) { a[i]++; });
+  });
+  pool.ParallelFor(b.size(), [&](size_t i) { b[i]++; });
+  other.join();
+  for (auto& h : a) EXPECT_EQ(h.load(), 1);
+  for (auto& h : b) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 100; ++i) {
+      pool.Submit([&] {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+        counter.fetch_add(1);
+      });
+    }
+    // No Wait(): destruction races the queue; every task must still run.
+  }
+  EXPECT_EQ(counter.load(), 100);
 }
 
 TEST(StringUtilTest, ToLowerUpper) {

@@ -274,6 +274,45 @@ TEST_F(EmbLookupE2ETest, ResultsSortedByDistance) {
   }
 }
 
+TEST_F(EmbLookupE2ETest, BulkLookupParallelMatchesSequential) {
+  // The serving layer batches through the parallel bulk path; it must be
+  // bit-identical to the sequential path (same encode batches, same scan).
+  std::vector<std::string> queries;
+  for (kg::EntityId e = 0; e < SmallKg().num_entities(); e += 2) {
+    queries.push_back(SmallKg().entity(e).label);
+  }
+  const auto seq = Model()->BulkLookup(queries, 5, /*parallel=*/false);
+  const auto par = Model()->BulkLookup(queries, 5, /*parallel=*/true);
+  ASSERT_EQ(seq.size(), par.size());
+  for (size_t i = 0; i < seq.size(); ++i) {
+    ASSERT_EQ(seq[i].size(), par[i].size()) << "query " << i;
+    for (size_t j = 0; j < seq[i].size(); ++j) {
+      EXPECT_EQ(seq[i][j].entity, par[i][j].entity) << "query " << i;
+      EXPECT_EQ(seq[i][j].dist, par[i][j].dist) << "query " << i;
+    }
+  }
+}
+
+TEST_F(EmbLookupE2ETest, RebuildIndexIsOnline) {
+  // RebuildIndex swaps a snapshot in place of the old index; a snapshot
+  // acquired before the swap must stay searchable afterwards (RCU).
+  const auto before = Model()->IndexSnapshot();
+  IndexConfig config;
+  config.compress = false;
+  config.kind = IndexKind::kIvfFlat;
+  config.ivf_lists = 8;
+  config.ivf_nprobe = 8;
+  ASSERT_TRUE(Model()->RebuildIndex(config).ok());
+  EXPECT_EQ(Model()->index().kind(), IndexKind::kIvfFlat);
+  EXPECT_NE(before.get(), Model()->IndexSnapshot().get());
+  const auto emb = Model()->Embed(SmallKg().entity(0).label);
+  EXPECT_FALSE(before->Search(emb.data(), 3).empty());
+
+  // Restore the default index for any test running after this one.
+  IndexConfig original;
+  ASSERT_TRUE(Model()->RebuildIndex(original).ok());
+}
+
 TEST_F(EmbLookupE2ETest, BulkMatchesSingle) {
   std::vector<std::string> queries = {SmallKg().entity(1).label,
                                       SmallKg().entity(2).label};

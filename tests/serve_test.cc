@@ -1,0 +1,467 @@
+// Tests for the src/serve subsystem: micro-batching flush rules, query
+// cache semantics, admission control, per-request deadlines, clean
+// shutdown with queued work, and RCU-style index swap under load.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "apps/lookup_service.h"
+#include "common/logging.h"
+#include "core/emblookup.h"
+#include "kg/synthetic_kg.h"
+#include "serve/lookup_server.h"
+#include "serve/metrics.h"
+#include "serve/query_cache.h"
+
+namespace emblookup::serve {
+namespace {
+
+using std::chrono::microseconds;
+using std::chrono::milliseconds;
+
+/// Manually opened latch used to hold a fake backend inside BulkLookup.
+class Gate {
+ public:
+  void Open() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      open_ = true;
+    }
+    cv_.notify_all();
+  }
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return open_; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool open_ = false;
+};
+
+/// Deterministic backend: entity ids derived from the query text, batch
+/// sizes recorded, optional gate blocking every BulkLookup call.
+class FakeService : public apps::LookupService {
+ public:
+  std::string name() const override { return "fake"; }
+
+  std::vector<kg::EntityId> Lookup(const std::string& query,
+                                   int64_t k) override {
+    std::vector<kg::EntityId> ids;
+    kg::EntityId base = 0;
+    for (char c : query) base = base * 31 + static_cast<unsigned char>(c);
+    for (int64_t i = 0; i < k; ++i) ids.push_back((base + i) % 100000);
+    return ids;
+  }
+
+  std::vector<std::vector<kg::EntityId>> BulkLookup(
+      const std::vector<std::string>& queries, int64_t k) override {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      batch_sizes_.push_back(queries.size());
+    }
+    ++batches_started_;
+    if (gate_ != nullptr) gate_->Wait();
+    std::vector<std::vector<kg::EntityId>> out;
+    out.reserve(queries.size());
+    for (const auto& q : queries) out.push_back(Lookup(q, k));
+    return out;
+  }
+
+  std::vector<size_t> batch_sizes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return batch_sizes_;
+  }
+  int batches_started() const { return batches_started_.load(); }
+  void set_gate(Gate* gate) { gate_ = gate; }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<size_t> batch_sizes_;
+  std::atomic<int> batches_started_{0};
+  Gate* gate_ = nullptr;
+};
+
+// --- Micro-batching ----------------------------------------------------------
+
+TEST(LookupServerTest, FlushesOnMaxBatch) {
+  FakeService backend;
+  ServerOptions options;
+  options.max_batch = 8;
+  options.max_delay = std::chrono::duration_cast<microseconds>(
+      std::chrono::seconds(10));  // Effectively: flush on size only.
+  options.enable_cache = false;
+  LookupServer server(&backend, options);
+
+  std::vector<std::future<Result<LookupResponse>>> futures;
+  for (int i = 0; i < 16; ++i) {
+    futures.push_back(server.Submit("query-" + std::to_string(i), 5));
+  }
+  for (auto& f : futures) {
+    auto result = f.get();
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(result.value().ids.size(), 5u);
+  }
+  // With a 10 s delay window the only flush trigger is max_batch.
+  for (size_t size : backend.batch_sizes()) EXPECT_EQ(size, 8u);
+  EXPECT_EQ(backend.batch_sizes().size(), 2u);
+}
+
+TEST(LookupServerTest, FlushesOnMaxDelay) {
+  FakeService backend;
+  ServerOptions options;
+  options.max_batch = 1000;  // Never reached: only the delay can flush.
+  options.max_delay = microseconds(3000);
+  options.enable_cache = false;
+  LookupServer server(&backend, options);
+
+  auto f0 = server.Submit("alpha", 3);
+  auto f1 = server.Submit("beta", 3);
+  auto f2 = server.Submit("gamma", 3);
+  EXPECT_TRUE(f0.get().ok());
+  EXPECT_TRUE(f1.get().ok());
+  EXPECT_TRUE(f2.get().ok());
+  size_t total = 0;
+  for (size_t size : backend.batch_sizes()) total += size;
+  EXPECT_EQ(total, 3u);
+}
+
+// --- Query cache -------------------------------------------------------------
+
+TEST(LookupServerTest, CacheHitMatchesUncachedResult) {
+  FakeService backend;
+  ServerOptions options;
+  options.max_batch = 1;
+  options.max_delay = microseconds(100);
+  LookupServer server(&backend, options);
+
+  auto first = server.LookupSync("Berlin", 7);
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first.value().from_cache);
+  EXPECT_EQ(first.value().ids, backend.Lookup("Berlin", 7));
+
+  auto second = server.LookupSync("Berlin", 7);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second.value().from_cache);
+  EXPECT_EQ(second.value().ids, first.value().ids);
+
+  // Normalization folds casing and whitespace into the same key.
+  auto folded = server.LookupSync("  BERLIN ", 7);
+  ASSERT_TRUE(folded.ok());
+  EXPECT_TRUE(folded.value().from_cache);
+  EXPECT_EQ(folded.value().ids, first.value().ids);
+
+  // Different k is a different cache entry.
+  auto other_k = server.LookupSync("Berlin", 3);
+  ASSERT_TRUE(other_k.ok());
+  EXPECT_FALSE(other_k.value().from_cache);
+  EXPECT_EQ(other_k.value().ids.size(), 3u);
+
+  const MetricsSnapshot snap = server.Metrics();
+  EXPECT_EQ(snap.cache_hits, 2u);
+  EXPECT_EQ(snap.cache_misses, 2u);
+}
+
+TEST(QueryCacheTest, LruEvictionAndByteAccounting) {
+  QueryCacheOptions options;
+  options.num_shards = 1;
+  options.max_entries = 2;
+  QueryCache cache(options);
+
+  cache.Put("a", 5, {1, 2});
+  cache.Put("b", 5, {3});
+  std::vector<kg::EntityId> out;
+  ASSERT_TRUE(cache.Get("a", 5, &out));  // Promotes "a"; "b" is now LRU.
+  cache.Put("c", 5, {4});
+
+  EXPECT_TRUE(cache.Get("a", 5, &out));
+  EXPECT_EQ(out, (std::vector<kg::EntityId>{1, 2}));
+  EXPECT_FALSE(cache.Get("b", 5, &out));
+  EXPECT_TRUE(cache.Get("c", 5, &out));
+
+  const QueryCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_GT(stats.bytes, 0u);
+
+  cache.Clear();
+  EXPECT_EQ(cache.Stats().entries, 0u);
+  EXPECT_EQ(cache.Stats().bytes, 0u);
+}
+
+TEST(QueryCacheTest, ByteBudgetEvicts) {
+  QueryCacheOptions options;
+  options.num_shards = 1;
+  options.max_entries = 1000;
+  options.max_bytes = 300;  // A couple of small entries at most.
+  QueryCache cache(options);
+  for (int i = 0; i < 16; ++i) {
+    cache.Put("query-" + std::to_string(i), 10,
+              std::vector<kg::EntityId>(10, i));
+  }
+  const QueryCacheStats stats = cache.Stats();
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_LE(stats.bytes, 300u);
+}
+
+// --- Admission control & deadlines -------------------------------------------
+
+TEST(LookupServerTest, AdmissionControlShedsWhenQueueFull) {
+  Gate gate;
+  FakeService backend;
+  backend.set_gate(&gate);
+  ServerOptions options;
+  options.max_batch = 1;
+  options.max_delay = microseconds(100);
+  options.max_queue_depth = 2;
+  options.enable_cache = false;
+  LookupServer server(&backend, options);
+
+  auto blocked = server.Submit("block", 3);
+  // Wait until the dispatcher has popped "block" and parked in the backend,
+  // so the queue is empty and depth accounting below is exact.
+  while (backend.batches_started() == 0) {
+    std::this_thread::sleep_for(milliseconds(1));
+  }
+  auto q1 = server.Submit("one", 3);
+  auto q2 = server.Submit("two", 3);
+  auto shed = server.Submit("three", 3);
+  ASSERT_EQ(shed.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  const auto shed_result = shed.get();
+  EXPECT_FALSE(shed_result.ok());
+  EXPECT_EQ(shed_result.status().code(), StatusCode::kUnavailable);
+
+  gate.Open();
+  EXPECT_TRUE(blocked.get().ok());
+  EXPECT_TRUE(q1.get().ok());
+  EXPECT_TRUE(q2.get().ok());
+  EXPECT_EQ(server.Metrics().requests_shed, 1u);
+}
+
+TEST(LookupServerTest, QueuedDeadlineExpires) {
+  Gate gate;
+  FakeService backend;
+  backend.set_gate(&gate);
+  ServerOptions options;
+  options.max_batch = 1;
+  options.max_delay = microseconds(100);
+  options.enable_cache = false;
+  LookupServer server(&backend, options);
+
+  auto blocked = server.Submit("block", 3);
+  while (backend.batches_started() == 0) {
+    std::this_thread::sleep_for(milliseconds(1));
+  }
+  auto doomed = server.Submit("late", 3, microseconds(1000));
+  std::this_thread::sleep_for(milliseconds(10));  // Let the deadline pass.
+  gate.Open();
+
+  EXPECT_TRUE(blocked.get().ok());
+  const auto result = doomed.get();
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(server.Metrics().requests_expired, 1u);
+}
+
+// --- Shutdown ----------------------------------------------------------------
+
+TEST(LookupServerTest, ShutdownDrainsQueuedWork) {
+  Gate gate;
+  FakeService backend;
+  backend.set_gate(&gate);
+  ServerOptions options;
+  options.max_batch = 2;
+  options.max_delay = microseconds(100);
+  options.enable_cache = false;
+  auto server = std::make_unique<LookupServer>(&backend, options);
+
+  std::vector<std::future<Result<LookupResponse>>> futures;
+  for (int i = 0; i < 5; ++i) {
+    futures.push_back(server->Submit("drain-" + std::to_string(i), 4));
+  }
+  gate.Open();
+  server->Shutdown();  // Must complete the three still-queued requests.
+  for (auto& f : futures) {
+    auto result = f.get();
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(result.value().ids.size(), 4u);
+  }
+  // Submits after shutdown fail fast.
+  auto late = server->Submit("late", 4);
+  EXPECT_EQ(late.get().status().code(), StatusCode::kUnavailable);
+  server.reset();  // Double shutdown via destructor is a no-op.
+}
+
+TEST(LookupServerTest, NonDrainShutdownFailsQueuedWork) {
+  Gate gate;
+  FakeService backend;
+  backend.set_gate(&gate);
+  ServerOptions options;
+  options.max_batch = 1;
+  options.max_delay = microseconds(100);
+  options.enable_cache = false;
+  options.drain_on_shutdown = false;
+  LookupServer server(&backend, options);
+
+  auto executing = server.Submit("block", 3);
+  while (backend.batches_started() == 0) {
+    std::this_thread::sleep_for(milliseconds(1));
+  }
+  auto queued = server.Submit("queued", 3);
+
+  std::thread shutdown([&server] { server.Shutdown(); });
+  // Shutdown is committed once new submits fail fast; only then release
+  // the backend so the dispatcher observes stop_ before draining "queued".
+  while (true) {
+    auto probe = server.Submit("probe", 3);
+    if (probe.wait_for(std::chrono::seconds(0)) ==
+        std::future_status::ready) {
+      EXPECT_EQ(probe.get().status().code(), StatusCode::kUnavailable);
+      break;
+    }
+    std::this_thread::sleep_for(milliseconds(1));
+  }
+  gate.Open();
+  shutdown.join();
+
+  EXPECT_TRUE(executing.get().ok());  // In-flight work still completes.
+  EXPECT_EQ(queued.get().status().code(), StatusCode::kUnavailable);
+}
+
+// --- Metrics -----------------------------------------------------------------
+
+TEST(MetricsTest, HistogramPercentilesAndText) {
+  Histogram h(Histogram::ExponentialBuckets(1.0, 2.0, 12));
+  for (int i = 1; i <= 1000; ++i) h.Record(static_cast<double>(i));
+  const HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.total, 1000u);
+  EXPECT_NEAR(snap.Mean(), 500.5, 1e-6);
+  // Bucket interpolation: coarse, but the medians land in the right decade.
+  EXPECT_GT(snap.Percentile(0.5), 250.0);
+  EXPECT_LT(snap.Percentile(0.5), 1000.0);
+  EXPECT_GE(snap.Percentile(0.99), snap.Percentile(0.5));
+
+  Metrics metrics;
+  metrics.OnSubmitted();
+  metrics.OnBatch(4);
+  const std::string text = metrics.Snapshot().ToText();
+  EXPECT_NE(text.find("requests_submitted"), std::string::npos);
+  EXPECT_NE(text.find("batch_size"), std::string::npos);
+}
+
+// --- End-to-end with a real EmbLookup: swap under load -----------------------
+
+const kg::KnowledgeGraph& ServeKg() {
+  static const kg::KnowledgeGraph graph = [] {
+    kg::SyntheticKgOptions options;
+    options.num_entities = 150;
+    options.seed = 1723;
+    return kg::GenerateSyntheticKg(options);
+  }();
+  return graph;
+}
+
+core::EmbLookup* ServeModel() {
+  static const std::unique_ptr<core::EmbLookup> el = [] {
+    core::EmbLookupOptions options;
+    options.miner.triplets_per_entity = 4;
+    options.trainer.epochs = 2;
+    options.fasttext.epochs = 2;
+    options.index.compress = false;
+    options.num_threads = 2;
+    auto built = core::EmbLookup::TrainFromKg(ServeKg(), options);
+    EL_CHECK(built.ok());
+    return std::move(built).ValueOrDie();
+  }();
+  return el.get();
+}
+
+TEST(LookupServerEndToEndTest, ServedResultsMatchDirectLookupAndCache) {
+  ServerOptions options;
+  options.max_batch = 4;
+  options.max_delay = microseconds(500);
+  options.parallel_backend = false;
+  LookupServer server(ServeModel(), options);
+
+  const std::string query = ServeKg().entity(3).label;
+  std::vector<kg::EntityId> direct;
+  for (const auto& r : ServeModel()->Lookup(query, 5)) {
+    direct.push_back(r.entity);
+  }
+  auto served = server.LookupSync(query, 5);
+  ASSERT_TRUE(served.ok());
+  EXPECT_EQ(served.value().ids, direct);
+
+  auto cached = server.LookupSync(query, 5);
+  ASSERT_TRUE(cached.ok());
+  EXPECT_TRUE(cached.value().from_cache);
+  EXPECT_EQ(cached.value().ids, direct);
+}
+
+TEST(LookupServerEndToEndTest, SwapIndexUnderSustainedLoad) {
+  ServerOptions options;
+  options.max_batch = 4;
+  options.max_delay = microseconds(200);
+  options.parallel_backend = false;
+  LookupServer server(ServeModel(), options);
+
+  std::atomic<int> failures{0};
+  std::atomic<int> empties{0};
+  std::atomic<bool> done{false};
+  std::thread client([&] {
+    int i = 0;
+    while (!done.load() || i < 200) {
+      const auto& entity = ServeKg().entity(i % ServeKg().num_entities());
+      auto result = server.LookupSync(entity.label, 5);
+      if (!result.ok()) {
+        failures.fetch_add(1);
+      } else if (result.value().ids.empty()) {
+        empties.fetch_add(1);
+      }
+      ++i;
+      if (i >= 5000) break;  // Safety valve; never hit in practice.
+    }
+  });
+
+  // Three online rebuilds under load: flat -> IVF-flat -> flat.
+  for (int swap = 0; swap < 3; ++swap) {
+    core::IndexConfig config;
+    config.compress = false;
+    config.kind = swap % 2 == 0 ? core::IndexKind::kIvfFlat
+                                : core::IndexKind::kFlat;
+    config.ivf_lists = 8;
+    config.ivf_nprobe = 8;
+    const Status status = server.SwapIndex(config);
+    ASSERT_TRUE(status.ok()) << status.ToString();
+  }
+  done.store(true);
+  client.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(empties.load(), 0);
+  const MetricsSnapshot snap = server.Metrics();
+  EXPECT_EQ(snap.index_swaps, 3u);
+  EXPECT_EQ(snap.requests_completed, snap.requests_submitted);
+  // The last installed snapshot is live.
+  EXPECT_EQ(ServeModel()->index().kind(), core::IndexKind::kIvfFlat);
+}
+
+TEST(LookupServerEndToEndTest, SwapWithoutEmbLookupIsRejected) {
+  FakeService backend;
+  LookupServer server(&backend, ServerOptions());
+  const Status status = server.SwapIndex(core::IndexConfig());
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace emblookup::serve

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Continuous-integration driver:
+#   1. tier-1 verify — portable (no -march=native) Release build + full
+#      ctest suite (ROADMAP.md's gate);
+#   2. ASan pass over the concurrency-heavy suites (common_test +
+#      serve_test), which exercise the thread pool and the serving
+#      dispatcher/cache/swap paths.
+#
+# Usage: tools/ci.sh [jobs]    (defaults to nproc)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+
+echo "== tier-1: portable build + ctest =="
+cmake -B build-ci -S . -DEMBLOOKUP_NATIVE_ARCH=OFF
+cmake --build build-ci -j "$JOBS"
+(cd build-ci && ctest --output-on-failure -j "$JOBS")
+
+echo "== asan: common_test + serve_test =="
+cmake -B build-asan -S . -DEMBLOOKUP_NATIVE_ARCH=OFF \
+  -DEMBLOOKUP_SANITIZE=address
+cmake --build build-asan -j "$JOBS" --target common_test serve_test
+./build-asan/tests/common_test
+./build-asan/tests/serve_test
+
+echo "CI OK"

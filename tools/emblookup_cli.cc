@@ -6,19 +6,33 @@
 //   emblookup_cli lookup      --kg kg.tsv --model model.bin
 //                             --query "Germeny" [-k 10]
 //   emblookup_cli repl        --kg kg.tsv --model model.bin
+//   emblookup_cli serve       --kg kg.tsv --model model.bin
+//                             [--clients 4] [--requests 2000] [--k 10]
+//                             [--batch 32] [--delay-us 1000] [--cache 1]
+//                             [--depth 4096] [--swaps 0]
 //
 // The KG format is the TSV produced by KnowledgeGraph::SaveTsv. Training
-// writes only the encoder weights; `lookup`/`repl` rebuild the entity
-// index on startup (deterministic given the KG + options).
+// writes only the encoder weights; `lookup`/`repl`/`serve` rebuild the
+// entity index on startup (deterministic given the KG + options). `serve`
+// starts the in-process LookupServer (micro-batching dispatcher + query
+// cache, DESIGN.md serving section), drives it with a closed-loop Zipfian
+// load generator, optionally performs online index swaps mid-run, and
+// prints the serving metrics dump.
 
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
 #include <map>
 #include <string>
+#include <thread>
+#include <vector>
 
+#include "common/rng.h"
+#include "common/timing.h"
 #include "core/emblookup.h"
 #include "kg/synthetic_kg.h"
+#include "serve/lookup_server.h"
 
 using namespace emblookup;
 
@@ -58,8 +72,40 @@ int Usage() {
       " [--triplets T]\n"
       "  emblookup_cli lookup --kg kg.tsv --model model.bin --query Q"
       " [--k K]\n"
-      "  emblookup_cli repl   --kg kg.tsv --model model.bin\n");
+      "  emblookup_cli repl   --kg kg.tsv --model model.bin\n"
+      "  emblookup_cli serve  --kg kg.tsv --model model.bin [--clients C]"
+      " [--requests N] [--k K] [--batch B] [--delay-us D] [--cache 0|1]"
+      " [--depth Q] [--swaps S]\n");
   return 2;
+}
+
+/// Closed-loop load generator against a running LookupServer: `clients`
+/// threads issue Zipfian-popularity label/alias queries and wait for each
+/// future before sending the next (the closed-loop protocol of the bench
+/// suite). Returns the number of failed lookups.
+uint64_t RunLoad(serve::LookupServer* server, const kg::KnowledgeGraph& graph,
+                 int clients, int64_t requests, int64_t k) {
+  std::atomic<uint64_t> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      Rng rng(0x5e57e + c);
+      const uint64_t n = static_cast<uint64_t>(graph.num_entities());
+      for (int64_t i = c; i < requests; i += clients) {
+        const kg::Entity& entity =
+            graph.entity(static_cast<kg::EntityId>(rng.Zipf(n, 1.1)));
+        const std::string& query =
+            !entity.aliases.empty() && rng.Bernoulli(0.3)
+                ? rng.Choice(entity.aliases)
+                : entity.label;
+        auto result = server->LookupSync(query, k);
+        if (!result.ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  return failures.load();
 }
 
 core::EmbLookupOptions MakeOptions(
@@ -135,6 +181,58 @@ int main(int argc, char** argv) {
                 built.value()->train_stats().wall_seconds,
                 built.value()->train_stats().final_loss, model_path.c_str());
     return 0;
+  }
+
+  if (command == "serve") {
+    auto restored = core::EmbLookup::LoadFromKg(graph, options, model_path);
+    if (!restored.ok()) {
+      std::fprintf(stderr, "cannot load model: %s\n",
+                   restored.status().ToString().c_str());
+      return 1;
+    }
+    serve::ServerOptions server_options;
+    server_options.max_batch = FlagInt(flags, "batch", 32);
+    server_options.max_delay =
+        std::chrono::microseconds(FlagInt(flags, "delay-us", 1000));
+    server_options.enable_cache = FlagInt(flags, "cache", 1) != 0;
+    server_options.max_queue_depth =
+        static_cast<size_t>(FlagInt(flags, "depth", 4096));
+    const int clients = static_cast<int>(FlagInt(flags, "clients", 4));
+    const int64_t requests = FlagInt(flags, "requests", 2000);
+    const int64_t k = FlagInt(flags, "k", 10);
+    const int64_t swaps = FlagInt(flags, "swaps", 0);
+
+    serve::LookupServer server(restored.value().get(), server_options);
+    std::printf("serving %lld requests from %d closed-loop clients "
+                "(batch<=%lld, delay %lldus, cache %s)\n",
+                static_cast<long long>(requests), clients,
+                static_cast<long long>(server_options.max_batch),
+                static_cast<long long>(FlagInt(flags, "delay-us", 1000)),
+                server_options.enable_cache ? "on" : "off");
+    Stopwatch wall;
+    std::thread swapper;
+    if (swaps > 0) {
+      swapper = std::thread([&] {
+        for (int64_t s = 0; s < swaps; ++s) {
+          core::IndexConfig config;
+          config.compress = false;
+          config.kind = s % 2 == 0 ? core::IndexKind::kIvfFlat
+                                   : core::IndexKind::kFlat;
+          const Status status = server.SwapIndex(config);
+          std::printf("swap %lld (%s): %s\n", static_cast<long long>(s),
+                      s % 2 == 0 ? "ivf-flat" : "flat",
+                      status.ToString().c_str());
+        }
+      });
+    }
+    const uint64_t failures = RunLoad(&server, graph, clients, requests, k);
+    if (swapper.joinable()) swapper.join();
+    const double seconds = wall.ElapsedSeconds();
+    std::printf("\n%.0f qps (%lld requests in %.2fs), %llu failures\n\n",
+                requests / seconds, static_cast<long long>(requests),
+                seconds, static_cast<unsigned long long>(failures));
+    std::printf("%s", server.StatsText().c_str());
+    return failures == 0 ? 0 : 1;
   }
 
   if (command == "lookup" || command == "repl") {
