@@ -6,6 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include "ann/flat_index.h"
+#include "ann/kernels.h"
 #include "ann/pq_index.h"
 #include "bench/bench_common.h"
 #include "common/rng.h"
@@ -51,6 +52,86 @@ void BM_EncoderForward(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * batch);
 }
 BENCHMARK(BM_EncoderForward)->Arg(1)->Arg(32)->Arg(128);
+
+// --- kernel layer: scalar baseline vs runtime-dispatched SIMD ---------------
+
+void RunL2Batch(benchmark::State& state, const ann::kernels::KernelTable& kt) {
+  const int64_t dim = state.range(0);
+  const int64_t n = 4096;
+  Rng rng(17);
+  std::vector<float> rows(n * dim), query(dim), out(n);
+  for (auto& v : rows) v = rng.UniformFloat(-1, 1);
+  for (auto& v : query) v = rng.UniformFloat(-1, 1);
+  for (auto _ : state) {
+    kt.l2_sqr_batch(query.data(), rows.data(), n, dim, out.data());
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.SetBytesProcessed(state.iterations() * n * dim *
+                          static_cast<int64_t>(sizeof(float)));
+}
+
+void BM_KernelL2BatchScalar(benchmark::State& state) {
+  RunL2Batch(state, *ann::kernels::Table(ann::kernels::Arch::kScalar));
+}
+BENCHMARK(BM_KernelL2BatchScalar)->Arg(16)->Arg(64)->Arg(300);
+
+void BM_KernelL2BatchDispatch(benchmark::State& state) {
+  state.SetLabel(ann::kernels::Dispatch().name);
+  RunL2Batch(state, ann::kernels::Dispatch());
+}
+BENCHMARK(BM_KernelL2BatchDispatch)->Arg(16)->Arg(64)->Arg(300);
+
+void RunAdcScan(benchmark::State& state, const ann::kernels::KernelTable& kt) {
+  // m=8, ksub=256 matches the paper's dim-64 PQ configuration.
+  const int64_t m = 8, ksub = 256;
+  const int64_t blocks = state.range(0) / ann::kernels::kAdcBlock;
+  Rng rng(18);
+  std::vector<float> table(m * ksub), out(ann::kernels::kAdcBlock);
+  for (auto& v : table) v = rng.UniformFloat(0, 4);
+  std::vector<uint8_t> codes(blocks * m * ann::kernels::kAdcBlock);
+  for (auto& c : codes) c = static_cast<uint8_t>(rng.Uniform(256));
+  for (auto _ : state) {
+    for (int64_t b = 0; b < blocks; ++b) {
+      kt.adc_scan_block(table.data(), m, ksub,
+                        codes.data() + b * m * ann::kernels::kAdcBlock,
+                        out.data());
+      benchmark::DoNotOptimize(out.data());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * blocks *
+                          ann::kernels::kAdcBlock);
+}
+
+void BM_KernelAdcScanScalar(benchmark::State& state) {
+  RunAdcScan(state, *ann::kernels::Table(ann::kernels::Arch::kScalar));
+}
+BENCHMARK(BM_KernelAdcScanScalar)->Arg(20000);
+
+void BM_KernelAdcScanDispatch(benchmark::State& state) {
+  state.SetLabel(ann::kernels::Dispatch().name);
+  RunAdcScan(state, ann::kernels::Dispatch());
+}
+BENCHMARK(BM_KernelAdcScanDispatch)->Arg(20000);
+
+void BM_KernelAdcTable(benchmark::State& state) {
+  const int64_t m = 8, ksub = 256, dsub = 8;
+  Rng rng(19);
+  std::vector<float> codebooks(m * ksub * dsub), query(m * dsub),
+      table(m * ksub);
+  for (auto& v : codebooks) v = rng.UniformFloat(-1, 1);
+  for (auto& v : query) v = rng.UniformFloat(-1, 1);
+  const auto& kt = state.range(0) == 0
+                       ? *ann::kernels::Table(ann::kernels::Arch::kScalar)
+                       : ann::kernels::Dispatch();
+  state.SetLabel(kt.name);
+  for (auto _ : state) {
+    kt.adc_table(query.data(), codebooks.data(), m, ksub, dsub, table.data());
+    benchmark::DoNotOptimize(table.data());
+  }
+}
+BENCHMARK(BM_KernelAdcTable)->Arg(0)->Arg(1);
 
 void BM_FlatSearch(benchmark::State& state) {
   const int64_t n = state.range(0);

@@ -1,51 +1,18 @@
 #include "ann/flat_index.h"
 
 #include <algorithm>
-#include <limits>
 
+#include "ann/kernels.h"
+#include "ann/topk.h"
 #include "common/logging.h"
 
 namespace emblookup::ann {
 
 namespace {
 
-/// Keeps the k smallest (dist, id) pairs using a bounded max-heap laid over
-/// a vector. Cheaper than sorting all n candidates.
-class TopKHeap {
- public:
-  explicit TopKHeap(int64_t k) : k_(k) { heap_.reserve(k); }
-
-  void Push(int64_t id, float dist) {
-    if (static_cast<int64_t>(heap_.size()) < k_) {
-      heap_.push_back({id, dist});
-      std::push_heap(heap_.begin(), heap_.end(), Cmp);
-    } else if (dist < heap_.front().dist) {
-      std::pop_heap(heap_.begin(), heap_.end(), Cmp);
-      heap_.back() = {id, dist};
-      std::push_heap(heap_.begin(), heap_.end(), Cmp);
-    }
-  }
-
-  float WorstDist() const {
-    return heap_.size() < static_cast<size_t>(k_)
-               ? std::numeric_limits<float>::max()
-               : heap_.front().dist;
-  }
-
-  std::vector<Neighbor> Finish() {
-    std::sort_heap(heap_.begin(), heap_.end(), Cmp);
-    return std::move(heap_);
-  }
-
- private:
-  static bool Cmp(const Neighbor& a, const Neighbor& b) {
-    if (a.dist != b.dist) return a.dist < b.dist;
-    return a.id < b.id;
-  }
-
-  int64_t k_;
-  std::vector<Neighbor> heap_;
-};
+/// Rows per vectorized scan block: large enough to amortize the dispatch
+/// indirection, small enough that the distance buffer stays in L1.
+constexpr int64_t kScanBlock = 256;
 
 }  // namespace
 
@@ -59,21 +26,21 @@ void FlatIndex::Add(const float* vectors, int64_t n) {
 std::vector<Neighbor> FlatIndex::Search(const float* query, int64_t k) const {
   k = std::min(k, count_);
   if (k <= 0) return {};
-  TopKHeap heap(k);
+  const kernels::KernelTable& kt = kernels::Dispatch();
+  TopK top(k);
+  float dists[kScanBlock];
   const float* base = store_.data();
-  for (int64_t i = 0; i < count_; ++i) {
-    const float* v = base + i * dim_;
-    float acc = 0.0f;
-    const float worst = heap.WorstDist();
-    for (int64_t d = 0; d < dim_; ++d) {
-      const float diff = query[d] - v[d];
-      acc += diff * diff;
-      // Early abandon once we cannot beat the current worst.
-      if (acc > worst && (d & 15) == 15) break;
+  for (int64_t start = 0; start < count_; start += kScanBlock) {
+    const int64_t bn = std::min(kScanBlock, count_ - start);
+    kt.l2_sqr_batch(query, base + start * dim_, bn, dim_, dists);
+    // Block-wise early abandon: refresh the heap bound once per block;
+    // rows that cannot beat it never touch the heap.
+    const float worst = top.WorstDist();
+    for (int64_t i = 0; i < bn; ++i) {
+      if (dists[i] <= worst) top.Push(start + i, dists[i]);
     }
-    if (acc < worst) heap.Push(i, acc);
   }
-  return heap.Finish();
+  return top.Finish();
 }
 
 NeighborLists FlatIndex::BatchSearch(const float* queries, int64_t num_queries,

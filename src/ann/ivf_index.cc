@@ -3,50 +3,31 @@
 #include <algorithm>
 #include <limits>
 
+#include "ann/kernels.h"
+#include "ann/topk.h"
 #include "common/logging.h"
 
 namespace emblookup::ann {
 
 namespace {
 
-float SquaredL2(const float* a, const float* b, int64_t dim) {
-  float acc = 0.0f;
-  for (int64_t i = 0; i < dim; ++i) {
-    const float d = a[i] - b[i];
-    acc += d * d;
-  }
-  return acc;
+/// Per-thread scan scratch: ADC table, distance buffer, residual query and
+/// coarse-centroid distances are reused across searches on a thread.
+struct IvfScratch {
+  std::vector<float> table;
+  std::vector<float> dists;
+  std::vector<float> residual;
+  std::vector<float> coarse;
+};
+
+IvfScratch& Scratch() {
+  thread_local IvfScratch scratch;
+  return scratch;
 }
 
-/// Bounded max-heap collector shared by the scan loops.
-class Collector {
- public:
-  explicit Collector(int64_t k) : k_(k) { heap_.reserve(k); }
-
-  void Push(int64_t id, float dist) {
-    if (static_cast<int64_t>(heap_.size()) < k_) {
-      heap_.push_back({id, dist});
-      std::push_heap(heap_.begin(), heap_.end(), Cmp);
-    } else if (dist < heap_.front().dist) {
-      std::pop_heap(heap_.begin(), heap_.end(), Cmp);
-      heap_.back() = {id, dist};
-      std::push_heap(heap_.begin(), heap_.end(), Cmp);
-    }
-  }
-
-  std::vector<Neighbor> Finish() {
-    std::sort_heap(heap_.begin(), heap_.end(), Cmp);
-    return std::move(heap_);
-  }
-
- private:
-  static bool Cmp(const Neighbor& a, const Neighbor& b) {
-    if (a.dist != b.dist) return a.dist < b.dist;
-    return a.id < b.id;
-  }
-  int64_t k_;
-  std::vector<Neighbor> heap_;
-};
+void EnsureSize(std::vector<float>* v, int64_t n) {
+  if (static_cast<int64_t>(v->size()) < n) v->resize(n);
+}
 
 }  // namespace
 
@@ -57,10 +38,10 @@ IvfIndex::IvfIndex(int64_t dim, Options options)
   EL_CHECK_GT(options_.nprobe, 0);
 }
 
-Status IvfIndex::Train(const float* data, int64_t n) {
+Status IvfIndex::Train(const float* data, int64_t n, ThreadPool* pool) {
   if (n <= 0) return Status::InvalidArgument("IVF training needs data");
   coarse_ = KMeans(data, n, dim_, options_.num_lists, /*max_iters=*/20,
-                   &rng_);
+                   &rng_, pool);
   lists_.assign(options_.num_lists, List{});
   if (options_.storage == Storage::kPq) {
     if (dim_ % options_.pq_m != 0) {
@@ -77,7 +58,8 @@ Status IvfIndex::Train(const float* data, int64_t n) {
         residuals[i * dim_ + d] = x[d] - cen[d];
       }
     }
-    EL_RETURN_NOT_OK(pq_->Train(residuals.data(), n, &rng_));
+    EL_RETURN_NOT_OK(pq_->Train(residuals.data(), n, &rng_,
+                                /*kmeans_iters=*/20, pool));
   }
   trained_ = true;
   return Status::OK();
@@ -106,11 +88,14 @@ Status IvfIndex::Add(const float* vectors, int64_t n) {
 }
 
 std::vector<int64_t> IvfIndex::NearestLists(const float* query) const {
+  IvfScratch& scratch = Scratch();
+  EnsureSize(&scratch.coarse, options_.num_lists);
+  kernels::L2SqrBatch(query, coarse_.centroids.data(), options_.num_lists,
+                      dim_, scratch.coarse.data());
   std::vector<std::pair<float, int64_t>> dists;
   dists.reserve(options_.num_lists);
   for (int64_t c = 0; c < options_.num_lists; ++c) {
-    dists.emplace_back(
-        SquaredL2(query, coarse_.centroids.data() + c * dim_, dim_), c);
+    dists.emplace_back(scratch.coarse[c], c);
   }
   const int64_t probes =
       std::min<int64_t>(options_.nprobe, options_.num_lists);
@@ -124,36 +109,37 @@ std::vector<Neighbor> IvfIndex::Search(const float* query, int64_t k) const {
   EL_CHECK(trained_);
   k = std::min(k, count_);
   if (k <= 0) return {};
-  Collector collector(k);
-  std::vector<float> table;
-  std::vector<float> residual_query(dim_);
+  const kernels::KernelTable& kt = kernels::Dispatch();
+  IvfScratch& scratch = Scratch();
+  TopK top(k);
   if (options_.storage == Storage::kPq) {
-    table.resize(pq_->m() * pq_->ksub());
+    EnsureSize(&scratch.table, pq_->m() * pq_->ksub());
+    EnsureSize(&scratch.residual, dim_);
   }
   for (int64_t c : NearestLists(query)) {
     const List& list = lists_[c];
     if (list.ids.empty()) continue;
+    const int64_t list_n = static_cast<int64_t>(list.ids.size());
+    EnsureSize(&scratch.dists, list_n);
     if (options_.storage == Storage::kFlat) {
-      for (size_t i = 0; i < list.ids.size(); ++i) {
-        collector.Push(list.ids[i],
-                       SquaredL2(query, list.vectors.data() + i * dim_, dim_));
-      }
+      kt.l2_sqr_batch(query, list.vectors.data(), list_n, dim_,
+                      scratch.dists.data());
     } else {
       // ADC against the query's residual w.r.t. this list's centroid.
       const float* cen = coarse_.centroids.data() + c * dim_;
       for (int64_t d = 0; d < dim_; ++d) {
-        residual_query[d] = query[d] - cen[d];
+        scratch.residual[d] = query[d] - cen[d];
       }
-      pq_->ComputeAdcTable(residual_query.data(), table.data());
-      const int64_t m = pq_->m();
-      for (size_t i = 0; i < list.ids.size(); ++i) {
-        collector.Push(list.ids[i],
-                       pq_->AdcDistance(table.data(),
-                                        list.codes.data() + i * m));
-      }
+      pq_->ComputeAdcTable(scratch.residual.data(), scratch.table.data());
+      kt.adc_scan_rowmajor(scratch.table.data(), pq_->m(), pq_->ksub(),
+                           list.codes.data(), list_n, scratch.dists.data());
+    }
+    const float worst = top.WorstDist();
+    for (int64_t i = 0; i < list_n; ++i) {
+      if (scratch.dists[i] <= worst) top.Push(list.ids[i], scratch.dists[i]);
     }
   }
-  return collector.Finish();
+  return top.Finish();
 }
 
 NeighborLists IvfIndex::BatchSearch(const float* queries, int64_t num_queries,

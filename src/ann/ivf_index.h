@@ -37,8 +37,9 @@ class IvfIndex {
   IvfIndex(int64_t dim, Options options);
 
   /// Trains the coarse quantizer (and the residual PQ, if any) on `n`
-  /// row-major vectors.
-  Status Train(const float* data, int64_t n);
+  /// row-major vectors. `pool`, when given, parallelizes the k-means
+  /// assignment steps.
+  Status Train(const float* data, int64_t n, ThreadPool* pool = nullptr);
 
   /// Assigns and stores `n` vectors; ids are sequential.
   Status Add(const float* vectors, int64_t n);

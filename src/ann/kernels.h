@@ -1,0 +1,83 @@
+#ifndef EMBLOOKUP_ANN_KERNELS_H_
+#define EMBLOOKUP_ANN_KERNELS_H_
+
+#include <cstdint>
+
+namespace emblookup::ann::kernels {
+
+/// Instruction-set families a kernel table can be built for.
+enum class Arch { kScalar, kAvx2, kNeon };
+
+/// Human-readable name ("scalar", "avx2", "neon").
+const char* ArchName(Arch arch);
+
+/// Vectors per interleaved ADC code block (see PqIndex): the code byte of
+/// sub-quantizer j for the block's t-th vector lives at
+/// blk[j * kAdcBlock + t], so one LUT row feeds kAdcBlock accumulators.
+inline constexpr int64_t kAdcBlock = 8;
+
+/// A complete set of distance kernels for one instruction-set family.
+/// Every pointer is non-null in every table; SIMD variants handle
+/// arbitrary (including odd) dims with scalar tails.
+struct KernelTable {
+  Arch arch;
+  const char* name;
+
+  /// Squared L2 distance between two dim-float vectors.
+  float (*l2_sqr)(const float* a, const float* b, int64_t dim);
+
+  /// Inner (dot) product of two dim-float vectors.
+  float (*inner_product)(const float* a, const float* b, int64_t dim);
+
+  /// One query vs. n row-major rows: out[i] = ||query - rows[i]||^2.
+  void (*l2_sqr_batch)(const float* query, const float* rows, int64_t n,
+                       int64_t dim, float* out);
+
+  /// ADC lookup table (§III-D): table[j*ksub + c] = squared L2 between the
+  /// query's j-th dsub-slice and centroid c of the j-th codebook.
+  /// `codebooks` is (m, ksub, dsub) row-major.
+  void (*adc_table)(const float* query, const float* codebooks, int64_t m,
+                    int64_t ksub, int64_t dsub, float* table);
+
+  /// ADC scan over n row-major m-byte codes:
+  /// out[i] = sum_j table[j*ksub + codes[i*m + j]].
+  void (*adc_scan_rowmajor)(const float* table, int64_t m, int64_t ksub,
+                            const uint8_t* codes, int64_t n, float* out);
+
+  /// ADC scan over one interleaved block of kAdcBlock codes:
+  /// out[t] = sum_j table[j*ksub + blk[j*kAdcBlock + t]].
+  void (*adc_scan_block)(const float* table, int64_t m, int64_t ksub,
+                         const uint8_t* blk, float* out);
+};
+
+/// The table selected at startup: the widest family this CPU supports,
+/// unless the EMBLOOKUP_KERNELS env var (scalar|avx2|neon) overrides the
+/// choice. An unknown or unsupported override logs a warning and falls
+/// back to auto-detection. Selection happens once; later calls are a
+/// single atomic load.
+const KernelTable& Dispatch();
+
+/// Table for a specific family, or nullptr when this build/CPU cannot run
+/// it. kScalar is always available. Intended for tests and benchmarks.
+const KernelTable* Table(Arch arch);
+
+/// Test-only: re-points Dispatch() at `arch`. Returns false (and leaves
+/// dispatch untouched) when the family is unsupported. Not thread-safe
+/// against concurrent searches.
+bool ForceArch(Arch arch);
+
+/// Convenience wrappers through the dispatched table.
+inline float L2Sqr(const float* a, const float* b, int64_t dim) {
+  return Dispatch().l2_sqr(a, b, dim);
+}
+inline float InnerProduct(const float* a, const float* b, int64_t dim) {
+  return Dispatch().inner_product(a, b, dim);
+}
+inline void L2SqrBatch(const float* query, const float* rows, int64_t n,
+                       int64_t dim, float* out) {
+  Dispatch().l2_sqr_batch(query, rows, n, dim, out);
+}
+
+}  // namespace emblookup::ann::kernels
+
+#endif  // EMBLOOKUP_ANN_KERNELS_H_

@@ -1,23 +1,17 @@
 #include "ann/kmeans.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
+#include <vector>
 
+#include "ann/kernels.h"
 #include "common/logging.h"
 
 namespace emblookup::ann {
 
 namespace {
-
-float SquaredL2(const float* a, const float* b, int64_t dim) {
-  float acc = 0.0f;
-  for (int64_t i = 0; i < dim; ++i) {
-    const float d = a[i] - b[i];
-    acc += d * d;
-  }
-  return acc;
-}
 
 /// k-means++ seeding: first centroid uniform, then proportional to squared
 /// distance from the nearest chosen centroid.
@@ -31,7 +25,8 @@ std::vector<float> SeedPlusPlus(const float* data, int64_t n, int64_t dim,
     const float* prev = centroids.data() + (c - 1) * dim;
     double total = 0.0;
     for (int64_t i = 0; i < n; ++i) {
-      min_dist[i] = std::min(min_dist[i], SquaredL2(data + i * dim, prev, dim));
+      min_dist[i] =
+          std::min(min_dist[i], kernels::L2Sqr(data + i * dim, prev, dim));
       total += min_dist[i];
     }
     int64_t chosen = 0;
@@ -56,7 +51,7 @@ std::vector<float> SeedPlusPlus(const float* data, int64_t n, int64_t dim,
 }  // namespace
 
 KMeansResult KMeans(const float* data, int64_t n, int64_t dim, int64_t k,
-                    int64_t max_iters, Rng* rng) {
+                    int64_t max_iters, Rng* rng, ThreadPool* pool) {
   EL_CHECK_GT(n, 0);
   EL_CHECK_GT(dim, 0);
   EL_CHECK_GT(k, 0);
@@ -76,32 +71,45 @@ KMeansResult KMeans(const float* data, int64_t n, int64_t dim, int64_t k,
 
   result.centroids = SeedPlusPlus(data, n, dim, k, rng);
   std::vector<int64_t> assignment(n, -1);
+  std::vector<float> best_dists(n);
   std::vector<int64_t> counts(k);
   std::vector<float> sums(k * dim);
+  const kernels::KernelTable& kt = kernels::Dispatch();
 
   for (int64_t iter = 0; iter < max_iters; ++iter) {
-    bool changed = false;
-    double inertia = 0.0;
-    // Assignment step.
-    for (int64_t i = 0; i < n; ++i) {
-      const float* x = data + i * dim;
+    // Assignment step: one point vs. all centroids through the batched
+    // kernel; embarrassingly parallel across points.
+    std::atomic<bool> changed{false};
+    const float* centroids = result.centroids.data();
+    auto assign_point = [&](int64_t i) {
+      thread_local std::vector<float> dists;
+      if (static_cast<int64_t>(dists.size()) < k) dists.resize(k);
+      kt.l2_sqr_batch(data + i * dim, centroids, k, dim, dists.data());
       float best = std::numeric_limits<float>::max();
       int64_t best_c = 0;
       for (int64_t c = 0; c < k; ++c) {
-        const float d = SquaredL2(x, result.centroids.data() + c * dim, dim);
-        if (d < best) {
-          best = d;
+        if (dists[c] < best) {
+          best = dists[c];
           best_c = c;
         }
       }
+      best_dists[i] = best;
       if (assignment[i] != best_c) {
         assignment[i] = best_c;
-        changed = true;
+        changed.store(true, std::memory_order_relaxed);
       }
-      inertia += best;
+    };
+    if (pool != nullptr) {
+      pool->ParallelFor(static_cast<size_t>(n), [&](size_t i) {
+        assign_point(static_cast<int64_t>(i));
+      });
+    } else {
+      for (int64_t i = 0; i < n; ++i) assign_point(i);
     }
+    double inertia = 0.0;
+    for (int64_t i = 0; i < n; ++i) inertia += best_dists[i];
     result.inertia = inertia;
-    if (!changed && iter > 0) break;
+    if (!changed.load(std::memory_order_relaxed) && iter > 0) break;
 
     // Update step.
     std::fill(counts.begin(), counts.end(), 0);
@@ -131,13 +139,15 @@ KMeansResult KMeans(const float* data, int64_t n, int64_t dim, int64_t k,
 }
 
 int64_t NearestCentroid(const KMeansResult& result, const float* vec) {
+  thread_local std::vector<float> dists;
+  if (static_cast<int64_t>(dists.size()) < result.k) dists.resize(result.k);
+  kernels::L2SqrBatch(vec, result.centroids.data(), result.k, result.dim,
+                      dists.data());
   float best = std::numeric_limits<float>::max();
   int64_t best_c = 0;
   for (int64_t c = 0; c < result.k; ++c) {
-    const float d =
-        SquaredL2(vec, result.centroids.data() + c * result.dim, result.dim);
-    if (d < best) {
-      best = d;
+    if (dists[c] < best) {
+      best = dists[c];
       best_c = c;
     }
   }

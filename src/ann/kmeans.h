@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 
 namespace emblookup::ann {
 
@@ -21,9 +22,11 @@ struct KMeansResult {
 ///
 /// `data` is row-major (n, dim). If n < k, centroids are the data points
 /// padded with duplicates. Empty clusters are re-seeded from the point
-/// farthest from its centroid.
+/// farthest from its centroid. When `pool` is given, the assignment step
+/// (the O(n·k·dim) hot loop) runs across its threads; results are
+/// identical with and without a pool.
 KMeansResult KMeans(const float* data, int64_t n, int64_t dim, int64_t k,
-                    int64_t max_iters, Rng* rng);
+                    int64_t max_iters, Rng* rng, ThreadPool* pool = nullptr);
 
 /// Index of the centroid nearest to `vec` (squared L2).
 int64_t NearestCentroid(const KMeansResult& result, const float* vec);

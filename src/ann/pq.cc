@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <limits>
+#include <vector>
 
+#include "ann/kernels.h"
 #include "ann/kmeans.h"
 #include "common/logging.h"
 
@@ -17,7 +19,7 @@ ProductQuantizer::ProductQuantizer(int64_t dim, int64_t m, int64_t nbits)
 }
 
 Status ProductQuantizer::Train(const float* data, int64_t n, Rng* rng,
-                               int64_t kmeans_iters) {
+                               int64_t kmeans_iters, ThreadPool* pool) {
   if (n <= 0) return Status::InvalidArgument("PQ training needs data");
   codebooks_.assign(m_ * ksub_ * dsub_, 0.0f);
   std::vector<float> sub(n * dsub_);
@@ -26,7 +28,8 @@ Status ProductQuantizer::Train(const float* data, int64_t n, Rng* rng,
     for (int64_t i = 0; i < n; ++i) {
       std::copy_n(data + i * dim_ + j * dsub_, dsub_, sub.data() + i * dsub_);
     }
-    KMeansResult km = KMeans(sub.data(), n, dsub_, ksub_, kmeans_iters, rng);
+    KMeansResult km = KMeans(sub.data(), n, dsub_, ksub_, kmeans_iters, rng,
+                             pool);
     std::copy(km.centroids.begin(), km.centroids.end(),
               codebooks_.begin() + j * ksub_ * dsub_);
   }
@@ -37,23 +40,21 @@ Status ProductQuantizer::Train(const float* data, int64_t n, Rng* rng,
 void ProductQuantizer::Encode(const float* data, int64_t n,
                               uint8_t* codes) const {
   EL_CHECK(trained_);
+  const kernels::KernelTable& kt = kernels::Dispatch();
+  thread_local std::vector<float> dists;
+  if (static_cast<int64_t>(dists.size()) < ksub_) dists.resize(ksub_);
   for (int64_t i = 0; i < n; ++i) {
     const float* x = data + i * dim_;
     uint8_t* code = codes + i * m_;
     for (int64_t j = 0; j < m_; ++j) {
       const float* xs = x + j * dsub_;
       const float* cb = codebooks_.data() + j * ksub_ * dsub_;
+      kt.l2_sqr_batch(xs, cb, ksub_, dsub_, dists.data());
       float best = std::numeric_limits<float>::max();
       int64_t best_c = 0;
       for (int64_t c = 0; c < ksub_; ++c) {
-        const float* cen = cb + c * dsub_;
-        float acc = 0.0f;
-        for (int64_t d = 0; d < dsub_; ++d) {
-          const float diff = xs[d] - cen[d];
-          acc += diff * diff;
-        }
-        if (acc < best) {
-          best = acc;
+        if (dists[c] < best) {
+          best = dists[c];
           best_c = c;
         }
       }
@@ -74,20 +75,8 @@ void ProductQuantizer::Decode(const uint8_t* code, float* out) const {
 void ProductQuantizer::ComputeAdcTable(const float* query,
                                        float* table) const {
   EL_CHECK(trained_);
-  for (int64_t j = 0; j < m_; ++j) {
-    const float* qs = query + j * dsub_;
-    const float* cb = codebooks_.data() + j * ksub_ * dsub_;
-    float* trow = table + j * ksub_;
-    for (int64_t c = 0; c < ksub_; ++c) {
-      const float* cen = cb + c * dsub_;
-      float acc = 0.0f;
-      for (int64_t d = 0; d < dsub_; ++d) {
-        const float diff = qs[d] - cen[d];
-        acc += diff * diff;
-      }
-      trow[c] = acc;
-    }
-  }
+  kernels::Dispatch().adc_table(query, codebooks_.data(), m_, ksub_, dsub_,
+                                table);
 }
 
 }  // namespace emblookup::ann

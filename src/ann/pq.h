@@ -6,6 +6,7 @@
 
 #include "common/rng.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 
 namespace emblookup::ann {
 
@@ -20,9 +21,10 @@ class ProductQuantizer {
   /// byte per sub-space), which matches the paper's configuration.
   ProductQuantizer(int64_t dim, int64_t m, int64_t nbits = 8);
 
-  /// Trains the M codebooks on `n` row-major training vectors.
+  /// Trains the M codebooks on `n` row-major training vectors. When `pool`
+  /// is given, the k-means assignment step runs across its threads.
   Status Train(const float* data, int64_t n, Rng* rng,
-               int64_t kmeans_iters = 20);
+               int64_t kmeans_iters = 20, ThreadPool* pool = nullptr);
 
   /// Encodes `n` vectors into `n * m` code bytes (row-major).
   void Encode(const float* data, int64_t n, uint8_t* codes) const;

@@ -1,26 +1,44 @@
 #include "ann/pq_index.h"
 
 #include <algorithm>
-#include <limits>
 
+#include "ann/topk.h"
 #include "common/logging.h"
 
 namespace emblookup::ann {
 
+namespace {
+
+constexpr int64_t kBlock = kernels::kAdcBlock;
+
+}  // namespace
+
 PqIndex::PqIndex(int64_t dim, int64_t m) : pq_(dim, m) {}
 
-Status PqIndex::Train(const float* data, int64_t n, Rng* rng) {
-  return pq_.Train(data, n, rng);
+Status PqIndex::Train(const float* data, int64_t n, Rng* rng,
+                      ThreadPool* pool) {
+  return pq_.Train(data, n, rng, /*kmeans_iters=*/20, pool);
 }
 
 Status PqIndex::Add(const float* vectors, int64_t n) {
   if (!pq_.trained()) {
     return Status::FailedPrecondition("PqIndex::Add before Train");
   }
-  const size_t old = codes_.size();
-  codes_.resize(old + n * pq_.m());
-  pq_.Encode(vectors, n, codes_.data() + old);
-  count_ += n;
+  if (n <= 0) return Status::OK();
+  const int64_t m = pq_.m();
+  std::vector<uint8_t> flat(n * m);
+  pq_.Encode(vectors, n, flat.data());
+  const int64_t new_count = count_ + n;
+  const int64_t blocks = (new_count + kBlock - 1) / kBlock;
+  codes_.resize(blocks * m * kBlock, 0);
+  // Scatter row-major codes into the interleaved block layout.
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t id = count_ + i;
+    uint8_t* blk = codes_.data() + (id / kBlock) * m * kBlock;
+    const int64_t t = id % kBlock;
+    for (int64_t j = 0; j < m; ++j) blk[j * kBlock + t] = flat[i * m + j];
+  }
+  count_ = new_count;
   return Status::OK();
 }
 
@@ -28,35 +46,37 @@ std::vector<Neighbor> PqIndex::Search(const float* query, int64_t k) const {
   EL_CHECK(pq_.trained());
   k = std::min(k, count_);
   if (k <= 0) return {};
-  std::vector<float> table(pq_.m() * pq_.ksub());
+  const kernels::KernelTable& kt = kernels::Dispatch();
+  const int64_t m = pq_.m();
+  const int64_t ksub = pq_.ksub();
+
+  // Reusable per-thread ADC table — no per-query heap allocation.
+  thread_local std::vector<float> table;
+  if (static_cast<int64_t>(table.size()) < m * ksub) table.resize(m * ksub);
   pq_.ComputeAdcTable(query, table.data());
 
-  // Bounded max-heap of the k best.
-  std::vector<Neighbor> heap;
-  heap.reserve(k);
-  auto cmp = [](const Neighbor& a, const Neighbor& b) {
-    if (a.dist != b.dist) return a.dist < b.dist;
-    return a.id < b.id;
-  };
-  const int64_t m = pq_.m();
-  for (int64_t i = 0; i < count_; ++i) {
-    const float d = pq_.AdcDistance(table.data(), codes_.data() + i * m);
-    if (static_cast<int64_t>(heap.size()) < k) {
-      heap.push_back({i, d});
-      std::push_heap(heap.begin(), heap.end(), cmp);
-    } else if (d < heap.front().dist) {
-      std::pop_heap(heap.begin(), heap.end(), cmp);
-      heap.back() = {i, d};
-      std::push_heap(heap.begin(), heap.end(), cmp);
+  TopK top(k);
+  float dists[kBlock];
+  const int64_t blocks = (count_ + kBlock - 1) / kBlock;
+  for (int64_t b = 0; b < blocks; ++b) {
+    kt.adc_scan_block(table.data(), m, ksub, codes_.data() + b * m * kBlock,
+                      dists);
+    const int64_t base = b * kBlock;
+    const int64_t bn = std::min(kBlock, count_ - base);
+    const float worst = top.WorstDist();
+    for (int64_t t = 0; t < bn; ++t) {
+      if (dists[t] <= worst) top.Push(base + t, dists[t]);
     }
   }
-  std::sort_heap(heap.begin(), heap.end(), cmp);
-  return heap;
+  return top.Finish();
 }
 
 NeighborLists PqIndex::BatchSearch(const float* queries, int64_t num_queries,
                                    int64_t k, ThreadPool* pool) const {
   NeighborLists out(num_queries);
+  // An empty index answers every query with an empty list — skip the
+  // per-query ADC-table round-trip (and the pool dispatch) entirely.
+  if (count_ <= 0 || k <= 0) return out;
   const int64_t dim = pq_.dim();
   if (pool != nullptr) {
     pool->ParallelFor(static_cast<size_t>(num_queries), [&](size_t i) {
@@ -73,7 +93,13 @@ NeighborLists PqIndex::BatchSearch(const float* queries, int64_t num_queries,
 void PqIndex::Reconstruct(int64_t id, float* out) const {
   EL_CHECK_GE(id, 0);
   EL_CHECK_LT(id, count_);
-  pq_.Decode(codes_.data() + id * pq_.m(), out);
+  const int64_t m = pq_.m();
+  thread_local std::vector<uint8_t> code;
+  if (static_cast<int64_t>(code.size()) < m) code.resize(m);
+  const uint8_t* blk = codes_.data() + (id / kBlock) * m * kBlock;
+  const int64_t t = id % kBlock;
+  for (int64_t j = 0; j < m; ++j) code[j] = blk[j * kBlock + t];
+  pq_.Decode(code.data(), out);
 }
 
 }  // namespace emblookup::ann

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "ann/kernels.h"
 #include "ann/neighbor.h"
 #include "ann/pq.h"
 #include "common/rng.h"
@@ -15,18 +16,28 @@ namespace emblookup::ann {
 /// Compressed nearest-neighbor index: vectors stored as PQ codes, queries
 /// answered with asymmetric distance computation (ADC). This is the
 /// "EL" (EmbLookup with compression) storage backend.
+///
+/// Codes are stored interleaved in blocks of kernels::kAdcBlock vectors —
+/// within block b, the code byte of sub-quantizer j for the block's t-th
+/// vector sits at codes_[(b * m + j) * kAdcBlock + t] — so one ADC-table
+/// row feeds a whole block of accumulators while the block stays
+/// cache-resident (the FAISS fast-scan layout idea, at 8-bit codes).
 class PqIndex {
  public:
   /// `m` sub-quantizers of 8 bits each: every vector costs m bytes.
   PqIndex(int64_t dim, int64_t m);
 
   /// Trains the quantizer on (a sample of) the vectors to be indexed.
-  Status Train(const float* data, int64_t n, Rng* rng);
+  /// `pool`, when given, parallelizes the k-means assignment step.
+  Status Train(const float* data, int64_t n, Rng* rng,
+               ThreadPool* pool = nullptr);
 
   /// Encodes and appends `n` vectors. Ids are sequential.
   Status Add(const float* vectors, int64_t n);
 
-  /// Approximate top-k by ADC distance, best first.
+  /// Approximate top-k by ADC distance, best first. The ADC table and the
+  /// result heap come from reusable per-thread scratch — no per-query
+  /// heap allocation.
   std::vector<Neighbor> Search(const float* query, int64_t k) const;
 
   /// Batch search; parallel across queries when a pool is given.
@@ -39,7 +50,8 @@ class PqIndex {
   int64_t size() const { return count_; }
   int64_t dim() const { return pq_.dim(); }
 
-  /// Bytes used by the code payload (m bytes per vector).
+  /// Bytes used by the code payload (m bytes per vector, excluding the
+  /// partial-block padding).
   int64_t StorageBytes() const { return count_ * pq_.m(); }
 
   const ProductQuantizer& quantizer() const { return pq_; }
@@ -47,6 +59,8 @@ class PqIndex {
  private:
   ProductQuantizer pq_;
   int64_t count_ = 0;
+  // Interleaved code blocks; sized to a whole number of blocks, padding
+  // slots zero-filled (scanned but never emitted).
   std::vector<uint8_t> codes_;
 };
 

@@ -1,0 +1,64 @@
+#ifndef EMBLOOKUP_ANN_TOPK_H_
+#define EMBLOOKUP_ANN_TOPK_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "ann/neighbor.h"
+
+namespace emblookup::ann {
+
+/// Bounded max-heap keeping the k smallest (dist, id) pairs, ties broken
+/// toward the smaller id. The one top-k collector shared by the flat, PQ
+/// and IVF scan loops, so all index families rank identically.
+class TopK {
+ public:
+  explicit TopK(int64_t k) : k_(k) { heap_.reserve(k); }
+
+  /// Re-arms the collector for a new query without releasing storage.
+  void Reset(int64_t k) {
+    k_ = k;
+    heap_.clear();
+    heap_.reserve(k);
+  }
+
+  /// The distance bound a candidate must beat (or tie with a smaller id)
+  /// to enter the heap — the scan loops' early-abandon threshold.
+  float WorstDist() const {
+    return static_cast<int64_t>(heap_.size()) < k_
+               ? std::numeric_limits<float>::max()
+               : heap_.front().dist;
+  }
+
+  void Push(int64_t id, float dist) {
+    if (static_cast<int64_t>(heap_.size()) < k_) {
+      heap_.push_back({id, dist});
+      std::push_heap(heap_.begin(), heap_.end(), Cmp);
+    } else if (Cmp(Neighbor{id, dist}, heap_.front())) {
+      std::pop_heap(heap_.begin(), heap_.end(), Cmp);
+      heap_.back() = {id, dist};
+      std::push_heap(heap_.begin(), heap_.end(), Cmp);
+    }
+  }
+
+  /// Sorted best-first results; leaves the collector empty.
+  std::vector<Neighbor> Finish() {
+    std::sort_heap(heap_.begin(), heap_.end(), Cmp);
+    return std::move(heap_);
+  }
+
+ private:
+  static bool Cmp(const Neighbor& a, const Neighbor& b) {
+    if (a.dist != b.dist) return a.dist < b.dist;
+    return a.id < b.id;
+  }
+
+  int64_t k_;
+  std::vector<Neighbor> heap_;
+};
+
+}  // namespace emblookup::ann
+
+#endif  // EMBLOOKUP_ANN_TOPK_H_

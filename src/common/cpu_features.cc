@@ -1,0 +1,20 @@
+#include "common/cpu_features.h"
+
+namespace emblookup {
+
+const CpuFeatures& GetCpuFeatures() {
+  static const CpuFeatures features = [] {
+    CpuFeatures f;
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+    __builtin_cpu_init();
+    f.avx2 = __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#elif defined(__aarch64__)
+    // Advanced SIMD is part of the base AArch64 profile.
+    f.neon = true;
+#endif
+    return f;
+  }();
+  return features;
+}
+
+}  // namespace emblookup

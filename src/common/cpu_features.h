@@ -1,0 +1,19 @@
+#ifndef EMBLOOKUP_COMMON_CPU_FEATURES_H_
+#define EMBLOOKUP_COMMON_CPU_FEATURES_H_
+
+namespace emblookup {
+
+/// SIMD capabilities of the executing CPU, detected once at startup. The
+/// kernel dispatcher (ann/kernels.h) consults this to pick the widest
+/// implementation the hardware can run.
+struct CpuFeatures {
+  bool avx2 = false;  ///< x86-64 AVX2 *and* FMA (both required together).
+  bool neon = false;  ///< AArch64 Advanced SIMD (mandatory on aarch64).
+};
+
+/// Detected features, cached after the first call. Thread-safe.
+const CpuFeatures& GetCpuFeatures();
+
+}  // namespace emblookup
+
+#endif  // EMBLOOKUP_COMMON_CPU_FEATURES_H_

@@ -84,7 +84,8 @@ Result<EntityIndex> EntityIndex::Build(const kg::KnowledgeGraph& graph,
         return Status::InvalidArgument("embedding dim not divisible by pq_m");
       }
       index.pq_ = std::make_unique<ann::PqIndex>(dim, config.pq_m);
-      EL_RETURN_NOT_OK(index.pq_->Train(embeddings.data(), train_sample, &rng));
+      EL_RETURN_NOT_OK(
+          index.pq_->Train(embeddings.data(), train_sample, &rng, pool));
       EL_RETURN_NOT_OK(index.pq_->Add(embeddings.data(), n));
       break;
     }
@@ -99,7 +100,8 @@ Result<EntityIndex> EntityIndex::Build(const kg::KnowledgeGraph& graph,
       options.pq_m = config.pq_m;
       options.seed = config.seed;
       index.ivf_ = std::make_unique<ann::IvfIndex>(dim, options);
-      EL_RETURN_NOT_OK(index.ivf_->Train(embeddings.data(), train_sample));
+      EL_RETURN_NOT_OK(
+          index.ivf_->Train(embeddings.data(), train_sample, pool));
       EL_RETURN_NOT_OK(index.ivf_->Add(embeddings.data(), n));
       break;
     }

@@ -1,0 +1,301 @@
+#include "ann/kernels.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ann/flat_index.h"
+#include "ann/pq_index.h"
+#include "ann/topk.h"
+#include "common/cpu_features.h"
+#include "common/rng.h"
+
+namespace emblookup::ann {
+namespace {
+
+namespace k = kernels;
+
+/// Every non-scalar family this build + CPU can actually run.
+std::vector<const k::KernelTable*> SimdTables() {
+  std::vector<const k::KernelTable*> tables;
+  for (k::Arch arch : {k::Arch::kAvx2, k::Arch::kNeon}) {
+    if (const k::KernelTable* t = k::Table(arch)) tables.push_back(t);
+  }
+  return tables;
+}
+
+/// Restores the dispatched table on scope exit.
+class DispatchGuard {
+ public:
+  DispatchGuard() : original_(k::Dispatch().arch) {}
+  ~DispatchGuard() { k::ForceArch(original_); }
+
+ private:
+  k::Arch original_;
+};
+
+void ExpectRelNear(float got, float want, float rel_tol) {
+  const float tol = rel_tol * std::max(1.0f, std::fabs(want));
+  EXPECT_NEAR(got, want, tol);
+}
+
+std::vector<float> RandomVec(Rng* rng, int64_t n, float lo = -1.0f,
+                             float hi = 1.0f) {
+  std::vector<float> v(n);
+  for (auto& x : v) x = rng->UniformFloat(lo, hi);
+  return v;
+}
+
+// Odd sizes on purpose: every SIMD kernel has 16-, 8- and scalar-tail
+// paths, and the tails are where bugs hide.
+constexpr int64_t kDims[] = {1, 2, 3, 7, 8, 15, 16, 17, 31, 33,
+                             64, 100, 127, 128, 300};
+
+TEST(KernelsTest, ScalarTableAlwaysAvailable) {
+  const k::KernelTable* scalar = k::Table(k::Arch::kScalar);
+  ASSERT_NE(scalar, nullptr);
+  EXPECT_EQ(scalar->arch, k::Arch::kScalar);
+  EXPECT_STREQ(scalar->name, "scalar");
+}
+
+TEST(KernelsTest, DispatchHonorsEnvOverride) {
+  // Meaningful under `EMBLOOKUP_KERNELS=scalar ctest` (the CI fallback
+  // pass); otherwise just asserts dispatch picked a runnable family.
+  const char* env = std::getenv("EMBLOOKUP_KERNELS");
+  const k::KernelTable& dispatched = k::Dispatch();
+  if (env != nullptr && std::string(env) == "scalar") {
+    EXPECT_EQ(dispatched.arch, k::Arch::kScalar);
+  } else {
+    EXPECT_NE(k::Table(dispatched.arch), nullptr);
+  }
+}
+
+TEST(KernelsTest, L2SqrMatchesScalarAcrossDims) {
+  const k::KernelTable* scalar = k::Table(k::Arch::kScalar);
+  Rng rng(101);
+  for (const k::KernelTable* simd : SimdTables()) {
+    for (int64_t dim : kDims) {
+      for (int rep = 0; rep < 8; ++rep) {
+        const auto a = RandomVec(&rng, dim, -2.0f, 2.0f);
+        const auto b = RandomVec(&rng, dim, -2.0f, 2.0f);
+        const float want = scalar->l2_sqr(a.data(), b.data(), dim);
+        const float got = simd->l2_sqr(a.data(), b.data(), dim);
+        ExpectRelNear(got, want, 1e-4f);
+      }
+    }
+  }
+}
+
+TEST(KernelsTest, InnerProductMatchesScalarAcrossDims) {
+  const k::KernelTable* scalar = k::Table(k::Arch::kScalar);
+  Rng rng(102);
+  for (const k::KernelTable* simd : SimdTables()) {
+    for (int64_t dim : kDims) {
+      for (int rep = 0; rep < 8; ++rep) {
+        const auto a = RandomVec(&rng, dim, -2.0f, 2.0f);
+        const auto b = RandomVec(&rng, dim, -2.0f, 2.0f);
+        const float want = scalar->inner_product(a.data(), b.data(), dim);
+        const float got = simd->inner_product(a.data(), b.data(), dim);
+        ExpectRelNear(got, want, 1e-4f);
+      }
+    }
+  }
+}
+
+TEST(KernelsTest, L2SqrBatchMatchesScalarAcrossOddLengths) {
+  const k::KernelTable* scalar = k::Table(k::Arch::kScalar);
+  Rng rng(103);
+  for (const k::KernelTable* simd : SimdTables()) {
+    for (int64_t dim : {3, 17, 64}) {
+      for (int64_t n : {1, 2, 7, 63, 100}) {
+        const auto rows = RandomVec(&rng, n * dim);
+        const auto query = RandomVec(&rng, dim);
+        std::vector<float> want(n), got(n);
+        scalar->l2_sqr_batch(query.data(), rows.data(), n, dim, want.data());
+        simd->l2_sqr_batch(query.data(), rows.data(), n, dim, got.data());
+        for (int64_t i = 0; i < n; ++i) ExpectRelNear(got[i], want[i], 1e-4f);
+      }
+    }
+  }
+}
+
+TEST(KernelsTest, AdcTableMatchesScalar) {
+  const k::KernelTable* scalar = k::Table(k::Arch::kScalar);
+  Rng rng(104);
+  for (const k::KernelTable* simd : SimdTables()) {
+    // dsub 3 exercises the scalar tail inside the sub-space distance.
+    for (int64_t dsub : {3, 8}) {
+      const int64_t m = 4, ksub = 256;
+      const auto codebooks = RandomVec(&rng, m * ksub * dsub);
+      const auto query = RandomVec(&rng, m * dsub);
+      std::vector<float> want(m * ksub), got(m * ksub);
+      scalar->adc_table(query.data(), codebooks.data(), m, ksub, dsub,
+                        want.data());
+      simd->adc_table(query.data(), codebooks.data(), m, ksub, dsub,
+                      got.data());
+      for (int64_t i = 0; i < m * ksub; ++i) {
+        ExpectRelNear(got[i], want[i], 1e-4f);
+      }
+    }
+  }
+}
+
+TEST(KernelsTest, AdcScanRowMajorMatchesScalar) {
+  const k::KernelTable* scalar = k::Table(k::Arch::kScalar);
+  Rng rng(105);
+  for (const k::KernelTable* simd : SimdTables()) {
+    // m 5 and 11 exercise the non-multiple-of-8 tail of the scan.
+    for (int64_t m : {5, 8, 11, 16}) {
+      const int64_t ksub = 256, n = 37;
+      const auto table = RandomVec(&rng, m * ksub, 0.0f, 4.0f);
+      std::vector<uint8_t> codes(n * m);
+      for (auto& c : codes) c = static_cast<uint8_t>(rng.Uniform(256));
+      std::vector<float> want(n), got(n);
+      scalar->adc_scan_rowmajor(table.data(), m, ksub, codes.data(), n,
+                                want.data());
+      simd->adc_scan_rowmajor(table.data(), m, ksub, codes.data(), n,
+                              got.data());
+      for (int64_t i = 0; i < n; ++i) ExpectRelNear(got[i], want[i], 1e-4f);
+    }
+  }
+}
+
+TEST(KernelsTest, AdcScanBlockMatchesScalar) {
+  const k::KernelTable* scalar = k::Table(k::Arch::kScalar);
+  Rng rng(106);
+  for (const k::KernelTable* simd : SimdTables()) {
+    for (int64_t m : {1, 4, 8, 16}) {
+      const int64_t ksub = 256;
+      const auto table = RandomVec(&rng, m * ksub, 0.0f, 4.0f);
+      std::vector<uint8_t> blk(m * k::kAdcBlock);
+      for (auto& c : blk) c = static_cast<uint8_t>(rng.Uniform(256));
+      float want[k::kAdcBlock], got[k::kAdcBlock];
+      scalar->adc_scan_block(table.data(), m, ksub, blk.data(), want);
+      simd->adc_scan_block(table.data(), m, ksub, blk.data(), got);
+      for (int64_t t = 0; t < k::kAdcBlock; ++t) {
+        ExpectRelNear(got[t], want[t], 1e-4f);
+      }
+    }
+  }
+}
+
+// --- end-to-end equivalence: scalar vs dispatched ---------------------------
+
+TEST(KernelDispatchTest, FlatIndexResultsIdenticalScalarVsSimd) {
+  if (SimdTables().empty()) GTEST_SKIP() << "no SIMD family on this CPU";
+  DispatchGuard guard;
+  Rng rng(107);
+  const int64_t n = 700, dim = 33;  // odd dim: tails in the hot loop
+  const auto data = RandomVec(&rng, n * dim);
+  FlatIndex index(dim);
+  index.Add(data.data(), n);
+  const auto queries = RandomVec(&rng, 20 * dim);
+
+  ASSERT_TRUE(k::ForceArch(k::Arch::kScalar));
+  const auto scalar_res = index.BatchSearch(queries.data(), 20, 10);
+  ASSERT_TRUE(k::ForceArch(SimdTables().front()->arch));
+  const auto simd_res = index.BatchSearch(queries.data(), 20, 10);
+
+  ASSERT_EQ(scalar_res.size(), simd_res.size());
+  for (size_t q = 0; q < scalar_res.size(); ++q) {
+    ASSERT_EQ(scalar_res[q].size(), simd_res[q].size());
+    for (size_t i = 0; i < scalar_res[q].size(); ++i) {
+      EXPECT_EQ(scalar_res[q][i].id, simd_res[q][i].id)
+          << "query " << q << " rank " << i;
+      ExpectRelNear(simd_res[q][i].dist, scalar_res[q][i].dist, 1e-4f);
+    }
+  }
+}
+
+TEST(KernelDispatchTest, PqIndexResultsIdenticalScalarVsSimd) {
+  if (SimdTables().empty()) GTEST_SKIP() << "no SIMD family on this CPU";
+  DispatchGuard guard;
+  Rng rng(108);
+  const int64_t n = 600, dim = 32;
+
+  // Train/encode under the scalar kernels so both searches scan the exact
+  // same codes; only the query-time path differs between runs.
+  ASSERT_TRUE(k::ForceArch(k::Arch::kScalar));
+  const auto data = RandomVec(&rng, n * dim);
+  PqIndex index(dim, 8);
+  ASSERT_TRUE(index.Train(data.data(), n, &rng).ok());
+  ASSERT_TRUE(index.Add(data.data(), n).ok());
+  const auto queries = RandomVec(&rng, 20 * dim);
+
+  const auto scalar_res = index.BatchSearch(queries.data(), 20, 10);
+  ASSERT_TRUE(k::ForceArch(SimdTables().front()->arch));
+  const auto simd_res = index.BatchSearch(queries.data(), 20, 10);
+
+  ASSERT_EQ(scalar_res.size(), simd_res.size());
+  for (size_t q = 0; q < scalar_res.size(); ++q) {
+    ASSERT_EQ(scalar_res[q].size(), simd_res[q].size());
+    for (size_t i = 0; i < scalar_res[q].size(); ++i) {
+      EXPECT_EQ(scalar_res[q][i].id, simd_res[q][i].id)
+          << "query " << q << " rank " << i;
+      ExpectRelNear(simd_res[q][i].dist, scalar_res[q][i].dist, 1e-4f);
+    }
+  }
+}
+
+TEST(KernelDispatchTest, ForceArchRejectsUnsupported) {
+  DispatchGuard guard;
+#if !defined(__aarch64__)
+  EXPECT_FALSE(k::ForceArch(k::Arch::kNeon));
+#endif
+#if !defined(__x86_64__)
+  EXPECT_FALSE(k::ForceArch(k::Arch::kAvx2));
+#endif
+  EXPECT_TRUE(k::ForceArch(k::Arch::kScalar));
+  EXPECT_EQ(k::Dispatch().arch, k::Arch::kScalar);
+}
+
+// --- TopK (the shared bounded heap) ----------------------------------------
+
+TEST(TopKTest, KeepsKSmallestSortedWithIdTieBreak) {
+  TopK top(3);
+  top.Push(5, 2.0f);
+  top.Push(1, 1.0f);
+  top.Push(9, 1.0f);  // ties with id 1; larger id ranks after it
+  top.Push(2, 3.0f);
+  top.Push(7, 0.5f);
+  const auto out = top.Finish();
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].id, 7);
+  EXPECT_EQ(out[1].id, 1);
+  EXPECT_EQ(out[2].id, 9);
+}
+
+TEST(TopKTest, EqualDistSmallerIdEvictsLargerId) {
+  TopK top(1);
+  top.Push(9, 1.0f);
+  top.Push(3, 1.0f);  // same dist, smaller id: must win
+  const auto out = top.Finish();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].id, 3);
+}
+
+TEST(TopKTest, WorstDistBoundsAdmission) {
+  TopK top(2);
+  EXPECT_EQ(top.WorstDist(), std::numeric_limits<float>::max());
+  top.Push(0, 1.0f);
+  top.Push(1, 2.0f);
+  EXPECT_EQ(top.WorstDist(), 2.0f);
+  top.Push(2, 1.5f);
+  EXPECT_EQ(top.WorstDist(), 1.5f);
+}
+
+TEST(TopKTest, ResetReusesStorage) {
+  TopK top(2);
+  top.Push(0, 1.0f);
+  top.Reset(1);
+  top.Push(4, 9.0f);
+  const auto out = top.Finish();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].id, 4);
+}
+
+}  // namespace
+}  // namespace emblookup::ann

@@ -1,8 +1,12 @@
 #!/usr/bin/env bash
 # Continuous-integration driver:
 #   1. tier-1 verify — portable (no -march=native) Release build + full
-#      ctest suite (ROADMAP.md's gate);
-#   2. ASan pass over the concurrency-heavy suites (common_test +
+#      ctest suite (ROADMAP.md's gate); the build includes every bench
+#      target, so bench-only bit-rot fails here too;
+#   2. the same suite under EMBLOOKUP_KERNELS=scalar, pinning the SIMD
+#      dispatcher to the portable fallback kernels so that path stays
+#      green on hardware where it is never auto-selected;
+#   3. ASan pass over the concurrency-heavy suites (common_test +
 #      serve_test), which exercise the thread pool and the serving
 #      dispatcher/cache/swap paths.
 #
@@ -11,16 +15,21 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="${1:-$(nproc)}"
 
-echo "== tier-1: portable build + ctest =="
+echo "== tier-1: portable build (tests + benches) + ctest =="
 cmake -B build-ci -S . -DEMBLOOKUP_NATIVE_ARCH=OFF
 cmake --build build-ci -j "$JOBS"
 (cd build-ci && ctest --output-on-failure -j "$JOBS")
 
-echo "== asan: common_test + serve_test =="
+echo "== tier-1b: scalar-kernel fallback ctest =="
+(cd build-ci && EMBLOOKUP_KERNELS=scalar ctest --output-on-failure -j "$JOBS")
+
+echo "== asan: common_test + serve_test + kernels_test =="
 cmake -B build-asan -S . -DEMBLOOKUP_NATIVE_ARCH=OFF \
   -DEMBLOOKUP_SANITIZE=address
-cmake --build build-asan -j "$JOBS" --target common_test serve_test
+cmake --build build-asan -j "$JOBS" --target common_test serve_test \
+  kernels_test
 ./build-asan/tests/common_test
 ./build-asan/tests/serve_test
+./build-asan/tests/kernels_test
 
 echo "CI OK"
