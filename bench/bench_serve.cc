@@ -206,6 +206,66 @@ int main() {
         static_cast<unsigned long long>(failures.load()));
   }
 
+  // Cold start: rebuilding the serving index from the KG (re-embed every
+  // entity + PQ training) vs mmap-loading a snapshot (src/store). Results
+  // must be bit-identical; acceptance bar is >= 10x.
+  {
+    core::IndexConfig config;
+    config.kind = core::IndexKind::kPq;
+
+    Stopwatch rebuild_watch;
+    Status status = model->RebuildIndex(config);
+    const double rebuild_s = rebuild_watch.ElapsedSeconds();
+    if (!status.ok()) {
+      std::printf("rebuild failed: %s\n", status.ToString().c_str());
+      return 1;
+    }
+
+    const std::string snap_path = bench::CacheDir() + "/coldstart.snap";
+    status = model->SaveSnapshot(snap_path);
+    if (!status.ok()) {
+      std::printf("snapshot save failed: %s\n", status.ToString().c_str());
+      return 1;
+    }
+
+    std::vector<std::vector<core::LookupResult>> before;
+    for (size_t i = 0; i < 64 && i < queries.size(); ++i) {
+      before.push_back(model->Lookup(queries[i], k));
+    }
+
+    Stopwatch load_watch;
+    status = model->LoadIndexSnapshot(snap_path);
+    const double load_s = load_watch.ElapsedSeconds();
+    if (!status.ok()) {
+      std::printf("snapshot load failed: %s\n", status.ToString().c_str());
+      return 1;
+    }
+
+    size_t mismatches = 0;
+    for (size_t i = 0; i < before.size(); ++i) {
+      const auto after = model->Lookup(queries[i], k);
+      if (after.size() != before[i].size()) {
+        ++mismatches;
+        continue;
+      }
+      for (size_t j = 0; j < after.size(); ++j) {
+        if (after[j].entity != before[i][j].entity ||
+            after[j].dist != before[i][j].dist) {
+          ++mismatches;
+          break;
+        }
+      }
+    }
+
+    std::printf(
+        "\ncold start (PQ index, %lld rows): rebuild-from-KG %.3fs, "
+        "snapshot mmap load %.4fs -> %.0fx faster, "
+        "%zu/%zu mismatched lookups (want 0)\n",
+        static_cast<long long>(model->index().size()), rebuild_s, load_s,
+        rebuild_s / load_s, mismatches, before.size());
+    std::remove(snap_path.c_str());
+  }
+
   std::printf("\nfinal server metrics are available via "
               "tools/emblookup_cli serve --help\n");
   return 0;

@@ -18,7 +18,18 @@ constexpr int64_t kScanBlock = 256;
 
 FlatIndex::FlatIndex(int64_t dim) : dim_(dim) { EL_CHECK_GT(dim, 0); }
 
+FlatIndex FlatIndex::FromBorrowed(int64_t dim, const float* vectors,
+                                  int64_t n) {
+  EL_CHECK_GE(n, 0);
+  EL_CHECK(n == 0 || vectors != nullptr);
+  FlatIndex index(dim);
+  index.borrowed_ = vectors;
+  index.count_ = n;
+  return index;
+}
+
 void FlatIndex::Add(const float* vectors, int64_t n) {
+  EL_CHECK(borrowed_ == nullptr) << "Add on a borrowed-storage FlatIndex";
   store_.insert(store_.end(), vectors, vectors + n * dim_);
   count_ += n;
 }
@@ -29,7 +40,7 @@ std::vector<Neighbor> FlatIndex::Search(const float* query, int64_t k) const {
   const kernels::KernelTable& kt = kernels::Dispatch();
   TopK top(k);
   float dists[kScanBlock];
-  const float* base = store_.data();
+  const float* base = data();
   for (int64_t start = 0; start < count_; start += kScanBlock) {
     const int64_t bn = std::min(kScanBlock, count_ - start);
     kt.l2_sqr_batch(query, base + start * dim_, bn, dim_, dists);
@@ -61,7 +72,7 @@ NeighborLists FlatIndex::BatchSearch(const float* queries, int64_t num_queries,
 const float* FlatIndex::Reconstruct(int64_t id) const {
   EL_CHECK_GE(id, 0);
   EL_CHECK_LT(id, count_);
-  return store_.data() + id * dim_;
+  return data() + id * dim_;
 }
 
 }  // namespace emblookup::ann

@@ -17,8 +17,15 @@ class FlatIndex {
  public:
   explicit FlatIndex(int64_t dim);
 
+  /// Borrowed-storage mode (src/store zero-copy loading): serves `n`
+  /// row-major vectors directly out of caller-owned memory — typically an
+  /// mmap'd snapshot section — with no copy. The storage must outlive the
+  /// index (EntityIndex keeps the mapping alive) and the index is
+  /// read-only: Add is a checked error.
+  static FlatIndex FromBorrowed(int64_t dim, const float* vectors, int64_t n);
+
   /// Appends `n` vectors (row-major). Returned ids are sequential starting
-  /// at the previous size.
+  /// at the previous size. Invalid on a borrowed index.
   void Add(const float* vectors, int64_t n);
 
   /// Exact top-k by squared L2, best first. k is clamped to the index size.
@@ -34,6 +41,13 @@ class FlatIndex {
 
   int64_t size() const { return count_; }
   int64_t dim() const { return dim_; }
+  bool borrowed() const { return borrowed_ != nullptr; }
+
+  /// The contiguous (count, dim) row-major vector payload — owned or
+  /// borrowed (the snapshot writer serializes through this).
+  const float* data() const {
+    return borrowed_ != nullptr ? borrowed_ : store_.data();
+  }
 
   /// Bytes used by the vector payload (the paper's index-size metric).
   int64_t StorageBytes() const {
@@ -44,6 +58,7 @@ class FlatIndex {
   int64_t dim_;
   int64_t count_ = 0;
   std::vector<float> store_;
+  const float* borrowed_ = nullptr;  ///< Non-null in borrowed-storage mode.
 };
 
 }  // namespace emblookup::ann

@@ -38,7 +38,73 @@ IvfIndex::IvfIndex(int64_t dim, Options options)
   EL_CHECK_GT(options_.nprobe, 0);
 }
 
+Result<IvfIndex> IvfIndex::FromParts(int64_t dim, Options options,
+                                     const float* centroids,
+                                     std::unique_ptr<ProductQuantizer> pq,
+                                     const uint64_t* list_sizes,
+                                     const int64_t* ids, const float* vectors,
+                                     const uint8_t* codes, int64_t count) {
+  if (centroids == nullptr || list_sizes == nullptr) {
+    return Status::InvalidArgument("IvfIndex::FromParts: missing quantizer "
+                                   "or list-size storage");
+  }
+  const bool is_pq = options.storage == Storage::kPq;
+  if (is_pq && (pq == nullptr || !pq->trained())) {
+    return Status::InvalidArgument(
+        "IvfIndex::FromParts: kPq storage needs a trained residual PQ");
+  }
+  if (count > 0 &&
+      (ids == nullptr || (is_pq ? codes == nullptr : vectors == nullptr))) {
+    return Status::InvalidArgument("IvfIndex::FromParts: null list payload");
+  }
+  IvfIndex index(dim, options);
+  index.coarse_.k = options.num_lists;
+  index.coarse_.dim = dim;
+  index.coarse_.centroids.assign(centroids,
+                                 centroids + options.num_lists * dim);
+  index.pq_ = std::move(pq);
+  index.borrowed_lists_.resize(options.num_lists);
+  uint64_t consumed = 0;
+  const int64_t m = is_pq ? index.pq_->m() : 0;
+  for (int64_t c = 0; c < options.num_lists; ++c) {
+    ListView& view = index.borrowed_lists_[c];
+    view.size = static_cast<int64_t>(list_sizes[c]);
+    if (view.size < 0 ||
+        consumed + static_cast<uint64_t>(view.size) >
+            static_cast<uint64_t>(count)) {
+      return Status::InvalidArgument(
+          "IvfIndex::FromParts: list sizes exceed entry count");
+    }
+    view.ids = ids + consumed;
+    if (is_pq) {
+      view.codes = codes + consumed * m;
+    } else {
+      view.vectors = vectors + consumed * dim;
+    }
+    consumed += static_cast<uint64_t>(view.size);
+  }
+  if (consumed != static_cast<uint64_t>(count)) {
+    return Status::InvalidArgument(
+        "IvfIndex::FromParts: list sizes sum to " + std::to_string(consumed) +
+        ", want " + std::to_string(count));
+  }
+  index.count_ = count;
+  index.borrowed_ = true;
+  index.trained_ = true;
+  return index;
+}
+
+IvfIndex::ListView IvfIndex::list(int64_t c) const {
+  if (borrowed_) return borrowed_lists_[c];
+  const List& l = lists_[c];
+  return ListView{l.ids.data(), l.vectors.data(), l.codes.data(),
+                  static_cast<int64_t>(l.ids.size())};
+}
+
 Status IvfIndex::Train(const float* data, int64_t n, ThreadPool* pool) {
+  if (borrowed_) {
+    return Status::FailedPrecondition("Train on a borrowed-storage IvfIndex");
+  }
   if (n <= 0) return Status::InvalidArgument("IVF training needs data");
   coarse_ = KMeans(data, n, dim_, options_.num_lists, /*max_iters=*/20,
                    &rng_, pool);
@@ -66,6 +132,9 @@ Status IvfIndex::Train(const float* data, int64_t n, ThreadPool* pool) {
 }
 
 Status IvfIndex::Add(const float* vectors, int64_t n) {
+  if (borrowed_) {
+    return Status::FailedPrecondition("Add on a borrowed-storage IvfIndex");
+  }
   if (!trained_) return Status::FailedPrecondition("IvfIndex::Add before Train");
   std::vector<float> residual(dim_);
   std::vector<uint8_t> code(options_.pq_m);
@@ -117,12 +186,11 @@ std::vector<Neighbor> IvfIndex::Search(const float* query, int64_t k) const {
     EnsureSize(&scratch.residual, dim_);
   }
   for (int64_t c : NearestLists(query)) {
-    const List& list = lists_[c];
-    if (list.ids.empty()) continue;
-    const int64_t list_n = static_cast<int64_t>(list.ids.size());
-    EnsureSize(&scratch.dists, list_n);
+    const ListView view = list(c);
+    if (view.size == 0) continue;
+    EnsureSize(&scratch.dists, view.size);
     if (options_.storage == Storage::kFlat) {
-      kt.l2_sqr_batch(query, list.vectors.data(), list_n, dim_,
+      kt.l2_sqr_batch(query, view.vectors, view.size, dim_,
                       scratch.dists.data());
     } else {
       // ADC against the query's residual w.r.t. this list's centroid.
@@ -132,11 +200,11 @@ std::vector<Neighbor> IvfIndex::Search(const float* query, int64_t k) const {
       }
       pq_->ComputeAdcTable(scratch.residual.data(), scratch.table.data());
       kt.adc_scan_rowmajor(scratch.table.data(), pq_->m(), pq_->ksub(),
-                           list.codes.data(), list_n, scratch.dists.data());
+                           view.codes, view.size, scratch.dists.data());
     }
     const float worst = top.WorstDist();
-    for (int64_t i = 0; i < list_n; ++i) {
-      if (scratch.dists[i] <= worst) top.Push(list.ids[i], scratch.dists[i]);
+    for (int64_t i = 0; i < view.size; ++i) {
+      if (scratch.dists[i] <= worst) top.Push(view.ids[i], scratch.dists[i]);
     }
   }
   return top.Finish();
@@ -158,13 +226,11 @@ NeighborLists IvfIndex::BatchSearch(const float* queries, int64_t num_queries,
 }
 
 int64_t IvfIndex::StorageBytes() const {
-  int64_t bytes = 0;
-  for (const List& list : lists_) {
-    bytes += static_cast<int64_t>(list.vectors.size() * sizeof(float));
-    bytes += static_cast<int64_t>(list.codes.size());
-    bytes += static_cast<int64_t>(list.ids.size() * sizeof(int64_t));
-  }
-  return bytes;
+  const int64_t per_entry =
+      options_.storage == Storage::kFlat
+          ? dim_ * static_cast<int64_t>(sizeof(float))
+          : (pq_ != nullptr ? pq_->m() : options_.pq_m);
+  return count_ * (per_entry + static_cast<int64_t>(sizeof(int64_t)));
 }
 
 }  // namespace emblookup::ann

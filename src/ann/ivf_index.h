@@ -34,14 +34,40 @@ class IvfIndex {
     uint64_t seed = 3;
   };
 
+  /// Read-only view of one inverted list: pointers into owned vectors or
+  /// into an mmap'd snapshot section (borrowed-storage mode). Exactly one
+  /// of `vectors` (kFlat) / `codes` (kPq) is meaningful.
+  struct ListView {
+    const int64_t* ids = nullptr;
+    const float* vectors = nullptr;  ///< (size, dim) row-major.
+    const uint8_t* codes = nullptr;  ///< (size, pq_m) row-major residuals.
+    int64_t size = 0;
+  };
+
   IvfIndex(int64_t dim, Options options);
+
+  /// Borrowed-storage mode (src/store zero-copy loading): a trained,
+  /// ready-to-serve index whose list payloads (`ids` and `vectors` or
+  /// `codes`, lists concatenated in order with per-list lengths in
+  /// `list_sizes`) live in caller-owned memory that must outlive the
+  /// index. `centroids` ((num_lists, dim), copied — it is small and the
+  /// probe loop wants it hot) and `pq` (kPq storage only, usually in
+  /// borrowed-codebooks mode) restore the quantizers. Add/Train are
+  /// checked errors.
+  static Result<IvfIndex> FromParts(int64_t dim, Options options,
+                                    const float* centroids,
+                                    std::unique_ptr<ProductQuantizer> pq,
+                                    const uint64_t* list_sizes,
+                                    const int64_t* ids, const float* vectors,
+                                    const uint8_t* codes, int64_t count);
 
   /// Trains the coarse quantizer (and the residual PQ, if any) on `n`
   /// row-major vectors. `pool`, when given, parallelizes the k-means
-  /// assignment steps.
+  /// assignment steps. Invalid on a borrowed index.
   Status Train(const float* data, int64_t n, ThreadPool* pool = nullptr);
 
-  /// Assigns and stores `n` vectors; ids are sequential.
+  /// Assigns and stores `n` vectors; ids are sequential. Invalid on a
+  /// borrowed index.
   Status Add(const float* vectors, int64_t n);
 
   /// Approximate top-k: scans the nprobe nearest lists.
@@ -54,6 +80,15 @@ class IvfIndex {
   int64_t size() const { return count_; }
   int64_t dim() const { return dim_; }
   bool trained() const { return trained_; }
+  bool borrowed() const { return borrowed_; }
+  const Options& options() const { return options_; }
+  const KMeansResult& coarse() const { return coarse_; }
+  /// Residual quantizer; nullptr for kFlat storage.
+  const ProductQuantizer* residual_quantizer() const { return pq_.get(); }
+
+  /// View of list `c` (owned or borrowed storage — the scan loops and the
+  /// snapshot writer both go through this).
+  ListView list(int64_t c) const;
 
   /// Bytes used by the stored vectors/codes (excluding centroids).
   int64_t StorageBytes() const;
@@ -71,10 +106,12 @@ class IvfIndex {
   int64_t dim_;
   Options options_;
   bool trained_ = false;
+  bool borrowed_ = false;
   int64_t count_ = 0;
   KMeansResult coarse_;
   std::unique_ptr<ProductQuantizer> pq_;  // Residual quantizer (kPq only).
-  std::vector<List> lists_;
+  std::vector<List> lists_;          ///< Owned mode.
+  std::vector<ListView> borrowed_lists_;  ///< Borrowed mode.
   Rng rng_;
 };
 

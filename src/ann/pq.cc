@@ -18,8 +18,27 @@ ProductQuantizer::ProductQuantizer(int64_t dim, int64_t m, int64_t nbits)
   EL_CHECK_EQ(nbits, 8) << "only 8-bit codes are supported";
 }
 
+Result<ProductQuantizer> ProductQuantizer::FromCodebooks(
+    int64_t dim, int64_t m, const float* codebooks) {
+  if (dim <= 0 || m <= 0 || dim % m != 0) {
+    return Status::InvalidArgument("bad PQ geometry: dim " +
+                                   std::to_string(dim) + ", m " +
+                                   std::to_string(m));
+  }
+  if (codebooks == nullptr) {
+    return Status::InvalidArgument("null codebook storage");
+  }
+  ProductQuantizer pq(dim, m);
+  pq.borrowed_ = codebooks;
+  pq.trained_ = true;
+  return pq;
+}
+
 Status ProductQuantizer::Train(const float* data, int64_t n, Rng* rng,
                                int64_t kmeans_iters, ThreadPool* pool) {
+  if (borrowed_ != nullptr) {
+    return Status::FailedPrecondition("Train on borrowed-codebook PQ");
+  }
   if (n <= 0) return Status::InvalidArgument("PQ training needs data");
   codebooks_.assign(m_ * ksub_ * dsub_, 0.0f);
   std::vector<float> sub(n * dsub_);
@@ -48,7 +67,7 @@ void ProductQuantizer::Encode(const float* data, int64_t n,
     uint8_t* code = codes + i * m_;
     for (int64_t j = 0; j < m_; ++j) {
       const float* xs = x + j * dsub_;
-      const float* cb = codebooks_.data() + j * ksub_ * dsub_;
+      const float* cb = codebook_data() + j * ksub_ * dsub_;
       kt.l2_sqr_batch(xs, cb, ksub_, dsub_, dists.data());
       float best = std::numeric_limits<float>::max();
       int64_t best_c = 0;
@@ -67,7 +86,7 @@ void ProductQuantizer::Decode(const uint8_t* code, float* out) const {
   EL_CHECK(trained_);
   for (int64_t j = 0; j < m_; ++j) {
     const float* cen =
-        codebooks_.data() + (j * ksub_ + code[j]) * dsub_;
+        codebook_data() + (j * ksub_ + code[j]) * dsub_;
     std::copy_n(cen, dsub_, out + j * dsub_);
   }
 }
@@ -75,7 +94,7 @@ void ProductQuantizer::Decode(const uint8_t* code, float* out) const {
 void ProductQuantizer::ComputeAdcTable(const float* query,
                                        float* table) const {
   EL_CHECK(trained_);
-  kernels::Dispatch().adc_table(query, codebooks_.data(), m_, ksub_, dsub_,
+  kernels::Dispatch().adc_table(query, codebook_data(), m_, ksub_, dsub_,
                                 table);
 }
 

@@ -21,6 +21,13 @@ class ProductQuantizer {
   /// byte per sub-space), which matches the paper's configuration.
   ProductQuantizer(int64_t dim, int64_t m, int64_t nbits = 8);
 
+  /// Borrowed-codebooks mode (src/store zero-copy loading): a trained
+  /// quantizer whose (m, ksub, dsub) codebook matrix lives in caller-owned
+  /// memory — typically an mmap'd snapshot section, never copied. The
+  /// storage must outlive the quantizer; Train is a checked error.
+  static Result<ProductQuantizer> FromCodebooks(int64_t dim, int64_t m,
+                                                const float* codebooks);
+
   /// Trains the M codebooks on `n` row-major training vectors. When `pool`
   /// is given, the k-means assignment step runs across its threads.
   Status Train(const float* data, int64_t n, Rng* rng,
@@ -50,6 +57,13 @@ class ProductQuantizer {
   int64_t ksub() const { return ksub_; }
   int64_t dsub() const { return dsub_; }
   bool trained() const { return trained_; }
+  bool borrowed() const { return borrowed_ != nullptr; }
+
+  /// The (m, ksub, dsub) row-major codebook matrix — owned or borrowed
+  /// (the snapshot writer serializes through this).
+  const float* codebook_data() const {
+    return borrowed_ != nullptr ? borrowed_ : codebooks_.data();
+  }
 
   /// Codebook storage in bytes (m * ksub * dsub floats).
   int64_t CodebookBytes() const {
@@ -61,6 +75,7 @@ class ProductQuantizer {
   bool trained_ = false;
   // Codebooks: (m, ksub, dsub) row-major.
   std::vector<float> codebooks_;
+  const float* borrowed_ = nullptr;  ///< Non-null in borrowed mode.
 };
 
 }  // namespace emblookup::ann

@@ -15,12 +15,34 @@ constexpr int64_t kBlock = kernels::kAdcBlock;
 
 PqIndex::PqIndex(int64_t dim, int64_t m) : pq_(dim, m) {}
 
+int64_t PqIndex::PaddedCodeBytes(int64_t count, int64_t m) {
+  const int64_t blocks = (count + kBlock - 1) / kBlock;
+  return blocks * m * kBlock;
+}
+
+Result<PqIndex> PqIndex::FromParts(ProductQuantizer pq, const uint8_t* codes,
+                                   int64_t count) {
+  if (!pq.trained()) {
+    return Status::InvalidArgument("PqIndex::FromParts: untrained quantizer");
+  }
+  if (count < 0 || (count > 0 && codes == nullptr)) {
+    return Status::InvalidArgument("PqIndex::FromParts: bad code storage");
+  }
+  PqIndex index(std::move(pq));
+  index.borrowed_ = codes;
+  index.count_ = count;
+  return index;
+}
+
 Status PqIndex::Train(const float* data, int64_t n, Rng* rng,
                       ThreadPool* pool) {
   return pq_.Train(data, n, rng, /*kmeans_iters=*/20, pool);
 }
 
 Status PqIndex::Add(const float* vectors, int64_t n) {
+  if (borrowed_ != nullptr) {
+    return Status::FailedPrecondition("Add on a borrowed-storage PqIndex");
+  }
   if (!pq_.trained()) {
     return Status::FailedPrecondition("PqIndex::Add before Train");
   }
@@ -59,7 +81,7 @@ std::vector<Neighbor> PqIndex::Search(const float* query, int64_t k) const {
   float dists[kBlock];
   const int64_t blocks = (count_ + kBlock - 1) / kBlock;
   for (int64_t b = 0; b < blocks; ++b) {
-    kt.adc_scan_block(table.data(), m, ksub, codes_.data() + b * m * kBlock,
+    kt.adc_scan_block(table.data(), m, ksub, codes_data() + b * m * kBlock,
                       dists);
     const int64_t base = b * kBlock;
     const int64_t bn = std::min(kBlock, count_ - base);
@@ -96,7 +118,7 @@ void PqIndex::Reconstruct(int64_t id, float* out) const {
   const int64_t m = pq_.m();
   thread_local std::vector<uint8_t> code;
   if (static_cast<int64_t>(code.size()) < m) code.resize(m);
-  const uint8_t* blk = codes_.data() + (id / kBlock) * m * kBlock;
+  const uint8_t* blk = codes_data() + (id / kBlock) * m * kBlock;
   const int64_t t = id % kBlock;
   for (int64_t j = 0; j < m; ++j) code[j] = blk[j * kBlock + t];
   pq_.Decode(code.data(), out);

@@ -2,6 +2,7 @@
 #define EMBLOOKUP_ANN_PQ_INDEX_H_
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "ann/kernels.h"
@@ -27,6 +28,20 @@ class PqIndex {
   /// `m` sub-quantizers of 8 bits each: every vector costs m bytes.
   PqIndex(int64_t dim, int64_t m);
 
+  /// Borrowed-storage mode (src/store zero-copy loading): a ready-to-serve
+  /// index over `count` vectors whose interleaved code blocks live in
+  /// caller-owned memory — typically an mmap'd snapshot section, scanned
+  /// in place by the ADC kernels with no deserialization copy. `codes`
+  /// must hold PaddedCodeBytes(count, pq.m()) bytes and outlive the index;
+  /// Add/Train are checked errors. `pq` is usually itself in
+  /// borrowed-codebooks mode.
+  static Result<PqIndex> FromParts(ProductQuantizer pq, const uint8_t* codes,
+                                   int64_t count);
+
+  /// Bytes of interleaved code storage for `count` vectors: whole blocks
+  /// of kernels::kAdcBlock, the partial tail zero-padded.
+  static int64_t PaddedCodeBytes(int64_t count, int64_t m);
+
   /// Trains the quantizer on (a sample of) the vectors to be indexed.
   /// `pool`, when given, parallelizes the k-means assignment step.
   Status Train(const float* data, int64_t n, Rng* rng,
@@ -49,6 +64,7 @@ class PqIndex {
 
   int64_t size() const { return count_; }
   int64_t dim() const { return pq_.dim(); }
+  bool borrowed() const { return borrowed_ != nullptr; }
 
   /// Bytes used by the code payload (m bytes per vector, excluding the
   /// partial-block padding).
@@ -56,12 +72,21 @@ class PqIndex {
 
   const ProductQuantizer& quantizer() const { return pq_; }
 
+  /// The interleaved code blocks — owned or borrowed; PaddedCodeBytes(
+  /// size(), m) bytes (the snapshot writer serializes through this).
+  const uint8_t* codes_data() const {
+    return borrowed_ != nullptr ? borrowed_ : codes_.data();
+  }
+
  private:
+  explicit PqIndex(ProductQuantizer pq) : pq_(std::move(pq)) {}
+
   ProductQuantizer pq_;
   int64_t count_ = 0;
   // Interleaved code blocks; sized to a whole number of blocks, padding
   // slots zero-filled (scanned but never emitted).
   std::vector<uint8_t> codes_;
+  const uint8_t* borrowed_ = nullptr;  ///< Non-null in borrowed mode.
 };
 
 }  // namespace emblookup::ann

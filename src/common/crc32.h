@@ -1,0 +1,17 @@
+#ifndef EMBLOOKUP_COMMON_CRC32_H_
+#define EMBLOOKUP_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace emblookup {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over `size` bytes,
+/// continuing from `seed` — pass the previous return value to checksum a
+/// buffer in chunks. The integrity check used per snapshot section
+/// (src/store); not cryptographic.
+uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+
+}  // namespace emblookup
+
+#endif  // EMBLOOKUP_COMMON_CRC32_H_

@@ -114,11 +114,17 @@ class Result {
     if (!_s.ok()) return _s;                   \
   } while (0)
 
-/// Assigns the value of a Result expression or propagates its error.
-#define EL_ASSIGN_OR_RETURN(lhs, expr)         \
-  auto _res_##__LINE__ = (expr);               \
-  if (!_res_##__LINE__.ok()) return _res_##__LINE__.status(); \
-  lhs = std::move(_res_##__LINE__).value();
+#define EL_INTERNAL_CONCAT_IMPL(a, b) a##b
+#define EL_INTERNAL_CONCAT(a, b) EL_INTERNAL_CONCAT_IMPL(a, b)
+
+/// Assigns the value of a Result expression or propagates its error. The
+/// temporary's name embeds the (expanded) line number, so multiple uses
+/// can share one scope.
+#define EL_ASSIGN_OR_RETURN(lhs, expr)                      \
+  auto EL_INTERNAL_CONCAT(_res_, __LINE__) = (expr);        \
+  if (!EL_INTERNAL_CONCAT(_res_, __LINE__).ok())            \
+    return EL_INTERNAL_CONCAT(_res_, __LINE__).status();    \
+  lhs = std::move(EL_INTERNAL_CONCAT(_res_, __LINE__)).value();
 
 }  // namespace emblookup
 

@@ -1,9 +1,15 @@
 #include "core/emblookup.h"
 
 #include <algorithm>
+#include <cstring>
+#include <sstream>
 
 #include "common/logging.h"
 #include "embed/corpus.h"
+#include "store/index_io.h"
+#include "store/snapshot_reader.h"
+#include "store/snapshot_writer.h"
+#include "tensor/serialize.h"
 #include "tensor/tensor.h"
 
 namespace emblookup::core {
@@ -82,6 +88,129 @@ Result<std::unique_ptr<EmbLookup>> EmbLookup::LoadFromKg(
                                   el->pool_.get());
   if (!index.ok()) return index.status();
   el->index_.store(std::make_shared<EntityIndex>(std::move(index).value()));
+  return el;
+}
+
+namespace {
+
+/// Builds the kEntityCatalog payload (format.h): u64 count, then
+/// (2*count + 1) cumulative u64 offsets into the string blob that follows.
+std::vector<uint8_t> BuildEntityCatalog(const kg::KnowledgeGraph& graph) {
+  const int64_t n = graph.num_entities();
+  // Header: count, then the cumulative string offsets.
+  std::vector<uint64_t> head;
+  head.reserve(2 * n + 2);
+  head.push_back(static_cast<uint64_t>(n));
+  uint64_t off = 0;
+  head.push_back(off);
+  for (kg::EntityId e = 0; e < n; ++e) {
+    const kg::Entity& entity = graph.entity(e);
+    off += entity.qid.size();
+    head.push_back(off);
+    off += entity.label.size();
+    head.push_back(off);
+  }
+  std::vector<uint8_t> blob(head.size() * sizeof(uint64_t) + off);
+  std::memcpy(blob.data(), head.data(), head.size() * sizeof(uint64_t));
+  uint8_t* dst = blob.data() + head.size() * sizeof(uint64_t);
+  for (kg::EntityId e = 0; e < n; ++e) {
+    const kg::Entity& entity = graph.entity(e);
+    std::memcpy(dst, entity.qid.data(), entity.qid.size());
+    dst += entity.qid.size();
+    std::memcpy(dst, entity.label.data(), entity.label.size());
+    dst += entity.label.size();
+  }
+  return blob;
+}
+
+}  // namespace
+
+Status EmbLookup::SaveSnapshot(const std::string& path) const {
+  const std::shared_ptr<const EntityIndex> index = IndexSnapshot();
+  if (index == nullptr) {
+    return Status::FailedPrecondition("SaveSnapshot: no serving index");
+  }
+
+  store::SnapshotWriter writer;
+  store::IndexMeta meta;
+  index->AppendTo(&meta, &writer);
+  meta.encoder_dim = encoder_->dim();
+  meta.num_entities = graph_->num_entities();
+
+  std::ostringstream params;
+  EL_RETURN_NOT_OK(tensor::SaveParameters(encoder_->Parameters(), &params));
+  const std::string params_str = params.str();
+  writer.AddOwnedSection(
+      store::SectionId::kEncoderParams,
+      std::vector<uint8_t>(params_str.begin(), params_str.end()));
+  writer.AddOwnedSection(store::SectionId::kEntityCatalog,
+                         BuildEntityCatalog(*graph_));
+  // `meta` is complete only now; it stays alive through WriteToFile.
+  writer.AddSection(store::SectionId::kIndexMeta, &meta, sizeof(meta));
+  return writer.WriteToFile(path);
+}
+
+Status EmbLookup::LoadIndexSnapshot(const std::string& path) {
+  EL_ASSIGN_OR_RETURN(std::shared_ptr<const store::SnapshotReader> reader,
+                      store::SnapshotReader::Open(path));
+  EL_ASSIGN_OR_RETURN(EntityIndex index,
+                      EntityIndex::FromSnapshot(std::move(reader)));
+  return SwapIndex(std::make_shared<EntityIndex>(std::move(index)));
+}
+
+Result<std::unique_ptr<EmbLookup>> EmbLookup::LoadSnapshot(
+    const kg::KnowledgeGraph& graph, const EmbLookupOptions& options,
+    const std::string& path) {
+  EL_ASSIGN_OR_RETURN(std::shared_ptr<const store::SnapshotReader> reader,
+                      store::SnapshotReader::Open(path));
+  EL_ASSIGN_OR_RETURN(const store::IndexMeta meta,
+                      store::ReadIndexMeta(*reader));
+  if (meta.num_entities != graph.num_entities()) {
+    return Status::InvalidArgument(
+        "LoadSnapshot: snapshot has " + std::to_string(meta.num_entities) +
+        " entities but the graph has " +
+        std::to_string(graph.num_entities()));
+  }
+  if (meta.encoder_dim != options.encoder.embedding_dim) {
+    return Status::InvalidArgument(
+        "LoadSnapshot: snapshot encoder dim " +
+        std::to_string(meta.encoder_dim) + " != configured dim " +
+        std::to_string(options.encoder.embedding_dim));
+  }
+  EL_ASSIGN_OR_RETURN(const store::Section params_section,
+                      reader->Require(store::SectionId::kEncoderParams));
+
+  auto el = std::unique_ptr<EmbLookup>(new EmbLookup());
+  el->graph_ = &graph;
+  el->pool_ = std::make_unique<ThreadPool>(options.num_threads);
+  el->index_config_ = options.index;
+
+  // fastText weights are not snapshotted: pre-train deterministically from
+  // options (or adopt a caller-supplied model), exactly as LoadFromKg does.
+  if (options.encoder.use_semantic_branch) {
+    if (options.pretrained_semantic != nullptr) {
+      el->fasttext_ = options.pretrained_semantic;
+    } else {
+      const embed::Corpus corpus = embed::BuildCorpus(graph, options.corpus);
+      el->fasttext_ = std::make_shared<embed::FastTextModel>(
+          options.fasttext, embed::FastTextModel::SubwordOptions{});
+      el->fasttext_->Train(corpus);
+    }
+  }
+  el->encoder_ = std::make_unique<EmbLookupEncoder>(options.encoder,
+                                                    el->fasttext_.get());
+  std::istringstream params_stream(std::string(
+      reinterpret_cast<const char*>(params_section.data),
+      params_section.size));
+  std::vector<tensor::Tensor> params = el->encoder_->Parameters();
+  EL_RETURN_NOT_OK(tensor::LoadParameters(&params, &params_stream));
+
+  EL_ASSIGN_OR_RETURN(EntityIndex index,
+                      EntityIndex::FromSnapshot(std::move(reader)));
+  if (index.dim() != el->encoder_->dim()) {
+    return Status::InvalidArgument("LoadSnapshot: index dim mismatch");
+  }
+  el->index_.store(std::make_shared<EntityIndex>(std::move(index)));
   return el;
 }
 

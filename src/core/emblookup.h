@@ -111,6 +111,26 @@ class EmbLookup {
       const kg::KnowledgeGraph& graph, const EmbLookupOptions& options,
       const std::string& model_path);
 
+  /// Persists the full serving state — index payloads, encoder weights and
+  /// an entity catalog — as one snapshot file (DESIGN.md §7). Atomic:
+  /// written to a temp file, fsync'd, renamed into place.
+  Status SaveSnapshot(const std::string& path) const;
+
+  /// Replaces the serving index with one mmap-loaded from `path`. The index
+  /// payloads (PQ codes, codebooks, vectors) are scanned in place from the
+  /// mapping — no deserialization copy — and the swap is RCU-style, so
+  /// concurrent lookups are never interrupted.
+  Status LoadIndexSnapshot(const std::string& path);
+
+  /// Builds an instance whose encoder weights AND index both come from the
+  /// snapshot: the expensive steps of LoadFromKg (embedding every entity,
+  /// PQ/IVF training) are skipped entirely. The fastText semantic branch is
+  /// still pre-trained from `options` when enabled (its weights are not in
+  /// the snapshot; pass `pretrained_semantic` to skip that too).
+  static Result<std::unique_ptr<EmbLookup>> LoadSnapshot(
+      const kg::KnowledgeGraph& graph, const EmbLookupOptions& options,
+      const std::string& path);
+
  private:
   EmbLookup() = default;
 

@@ -1,10 +1,15 @@
 #include "core/entity_index.h"
 
 #include <algorithm>
+#include <cstring>
 #include <unordered_map>
+#include <utility>
 
 #include "common/logging.h"
 #include "common/rng.h"
+#include "store/index_io.h"
+#include "store/snapshot_reader.h"
+#include "store/snapshot_writer.h"
 #include "tensor/tensor.h"
 
 namespace emblookup::core {
@@ -106,6 +111,70 @@ Result<EntityIndex> EntityIndex::Build(const kg::KnowledgeGraph& graph,
       break;
     }
   }
+  return index;
+}
+
+void EntityIndex::AppendTo(store::IndexMeta* meta,
+                           store::SnapshotWriter* writer) const {
+  if (pq_ != nullptr) {
+    store::AppendPq(*pq_, meta, writer);
+  } else if (ivf_ != nullptr) {
+    store::AppendIvf(*ivf_, meta, writer);
+  } else {
+    EL_CHECK(flat_ != nullptr);
+    store::AppendFlat(*flat_, meta, writer);
+  }
+  meta->row_to_entity_count = static_cast<int64_t>(row_to_entity_.size());
+  if (!row_to_entity_.empty()) {
+    writer->AddSection(store::SectionId::kRowToEntity, row_to_entity_.data(),
+                       row_to_entity_.size() * sizeof(kg::EntityId));
+  }
+}
+
+Result<EntityIndex> EntityIndex::FromSnapshot(
+    std::shared_ptr<const store::SnapshotReader> reader) {
+  EL_ASSIGN_OR_RETURN(const store::IndexMeta meta,
+                      store::ReadIndexMeta(*reader));
+  EntityIndex index;
+  index.dim_ = meta.dim;
+  switch (static_cast<store::BackendKind>(meta.backend)) {
+    case store::BackendKind::kFlat: {
+      EL_ASSIGN_OR_RETURN(ann::FlatIndex flat,
+                          store::LoadFlat(meta, *reader));
+      index.flat_ = std::make_unique<ann::FlatIndex>(std::move(flat));
+      index.kind_ = IndexKind::kFlat;
+      break;
+    }
+    case store::BackendKind::kPq: {
+      EL_ASSIGN_OR_RETURN(ann::PqIndex pq, store::LoadPq(meta, *reader));
+      index.pq_ = std::make_unique<ann::PqIndex>(std::move(pq));
+      index.kind_ = IndexKind::kPq;
+      break;
+    }
+    case store::BackendKind::kIvfFlat:
+    case store::BackendKind::kIvfPq: {
+      EL_ASSIGN_OR_RETURN(ann::IvfIndex ivf, store::LoadIvf(meta, *reader));
+      index.ivf_ = std::make_unique<ann::IvfIndex>(std::move(ivf));
+      index.kind_ = meta.backend ==
+                            static_cast<uint32_t>(store::BackendKind::kIvfPq)
+                        ? IndexKind::kIvfPq
+                        : IndexKind::kIvfFlat;
+      break;
+    }
+    default:
+      return Status::IoError("corrupt snapshot: unknown index backend");
+  }
+  if (meta.row_to_entity_count > 0) {
+    EL_ASSIGN_OR_RETURN(
+        const store::Section rows,
+        reader->Require(store::SectionId::kRowToEntity,
+                        static_cast<uint64_t>(meta.row_to_entity_count) *
+                            sizeof(kg::EntityId)));
+    index.row_to_entity_.resize(meta.row_to_entity_count);
+    std::memcpy(index.row_to_entity_.data(), rows.data, rows.size);
+  }
+  // The backends borrow their payloads from the mapping; pin it.
+  index.storage_ = std::move(reader);
   return index;
 }
 

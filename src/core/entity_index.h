@@ -14,6 +14,12 @@
 #include "embed/encoder_interface.h"
 #include "kg/knowledge_graph.h"
 
+namespace emblookup::store {
+class SnapshotReader;
+class SnapshotWriter;
+struct IndexMeta;
+}  // namespace emblookup::store
+
 namespace emblookup::core {
 
 /// Embedding index over every KG entity (§III-C/D). By default row i stores
@@ -29,6 +35,18 @@ class EntityIndex {
                                    embed::TrainableMentionEncoder* encoder,
                                    const IndexConfig& config,
                                    ThreadPool* pool = nullptr);
+
+  /// Reconstructs an index from a snapshot in borrowed-storage mode: the
+  /// vector/code payloads are served straight out of `reader`'s mmap (the
+  /// SIMD scan kernels read the mapping in place, no deserialization
+  /// copy). The reader is retained for the index's lifetime.
+  static Result<EntityIndex> FromSnapshot(
+      std::shared_ptr<const store::SnapshotReader> reader);
+
+  /// Registers this index's sections with `writer` and fills the backend
+  /// fields of `meta`. Borrowed-pointer sections reference this index's
+  /// storage: it must outlive the writer's WriteToFile call.
+  void AppendTo(store::IndexMeta* meta, store::SnapshotWriter* writer) const;
 
   /// Top-k nearest entities to a query embedding (already deduplicated when
   /// aliases are indexed).
@@ -67,6 +85,9 @@ class EntityIndex {
   std::unique_ptr<ann::IvfIndex> ivf_;
   /// row -> entity id; empty when rows are exactly entities.
   std::vector<kg::EntityId> row_to_entity_;
+  /// Keeps the mmap'd snapshot alive while a borrowed-storage backend
+  /// reads from it (type-erased: core's public header stays store-free).
+  std::shared_ptr<const void> storage_;
 };
 
 }  // namespace emblookup::core

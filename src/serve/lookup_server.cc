@@ -92,6 +92,19 @@ Status LookupServer::SwapIndex(const core::IndexConfig& config) {
   return Status::OK();
 }
 
+Status LookupServer::LoadSnapshot(const std::string& path) {
+  if (emblookup_ == nullptr) {
+    return Status::FailedPrecondition(
+        "LoadSnapshot: this server wraps no EmbLookup instance");
+  }
+  std::lock_guard<std::mutex> lock(swap_mu_);
+  EL_RETURN_NOT_OK(emblookup_->LoadIndexSnapshot(path));
+  // Cached results describe the retired snapshot.
+  cache_.Clear();
+  metrics_.OnSwap();
+  return Status::OK();
+}
+
 void LookupServer::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(mu_);

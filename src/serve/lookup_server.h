@@ -94,6 +94,13 @@ class LookupServer {
   /// FailedPrecondition when the server wraps no EmbLookup.
   Status SwapIndex(const core::IndexConfig& config);
 
+  /// Hot-swaps in an index mmap-loaded from a snapshot file — the disk
+  /// counterpart of SwapIndex: no re-embedding or quantizer training, the
+  /// payloads are served zero-copy out of the mapping. Same semantics:
+  /// in-flight batches finish on the old index, the query cache is cleared.
+  /// FailedPrecondition when the server wraps no EmbLookup.
+  Status LoadSnapshot(const std::string& path);
+
   /// Stops accepting work, drains or fails the queue per
   /// ServerOptions::drain_on_shutdown, and joins the dispatcher. Idempotent.
   void Shutdown();

@@ -1,0 +1,86 @@
+#ifndef EMBLOOKUP_STORE_FORMAT_H_
+#define EMBLOOKUP_STORE_FORMAT_H_
+
+#include <cstdint>
+
+namespace emblookup::store {
+
+/// On-disk snapshot container (DESIGN.md §7). A snapshot is one file:
+///
+///   [FileHeader (64 B)]
+///   [SectionEntry x section_count (32 B each)]
+///   [section payloads, each starting on a 64-byte file offset,
+///    zero-padded gaps]
+///
+/// All integers are little-endian; payloads are raw native-layout arrays
+/// (float32 / int64 / uint8) so an mmap of the file can be scanned in
+/// place by the SIMD kernel layer. Every payload carries a CRC-32 in its
+/// section entry; the section table itself is covered by
+/// FileHeader::table_crc.
+
+/// "EMBLSNP1" little-endian. A new magic is never needed: incompatible
+/// layout changes bump kFormatVersion instead.
+inline constexpr uint64_t kMagic = 0x31504E534C424D45ull;
+
+/// Bumped on any incompatible layout change. Readers reject versions they
+/// do not know; unknown *sections* within a known version are skipped, so
+/// additive changes do not need a bump.
+inline constexpr uint32_t kFormatVersion = 1;
+
+/// Every payload starts on a multiple of this file offset, giving mapped
+/// pointers cache-line (and SIMD-load) alignment.
+inline constexpr uint64_t kSectionAlign = 64;
+
+/// Section table capacity guard: a header claiming more than this many
+/// sections is rejected as corrupt before the table is walked.
+inline constexpr uint32_t kMaxSections = 1024;
+
+struct FileHeader {
+  uint64_t magic = kMagic;
+  uint32_t version = kFormatVersion;
+  uint32_t section_count = 0;
+  uint64_t file_size = 0;   ///< Total bytes; must equal the real file size.
+  uint32_t table_crc = 0;   ///< CRC-32 of the section-table bytes.
+  uint32_t flags = 0;       ///< Reserved, written as 0.
+  uint8_t reserved[32] = {};
+};
+static_assert(sizeof(FileHeader) == 64, "FileHeader must be 64 bytes");
+
+/// Identifies a payload section. Values are stable across versions; new
+/// sections take fresh values and old readers skip ids they don't know.
+enum class SectionId : uint32_t {
+  kInvalid = 0,
+  kIndexMeta = 1,      ///< One IndexMeta struct (index_io.h).
+  kRowToEntity = 2,    ///< int64[rows]: row -> entity id (alias indexing).
+  kFlatVectors = 3,    ///< float[count * dim], row-major.
+  kPqCodebooks = 4,    ///< float[m * ksub * dsub] PQ codebooks.
+  kPqCodes = 5,        ///< uint8 interleaved ADC blocks (PqIndex layout).
+  kIvfCentroids = 6,   ///< float[num_lists * dim] coarse centroids.
+  kIvfListSizes = 7,   ///< uint64[num_lists]: entries per inverted list.
+  kIvfIds = 8,         ///< int64[count]: ids, lists concatenated in order.
+  kIvfVectors = 9,     ///< float[count * dim] (IVF-flat storage).
+  kIvfCodes = 10,      ///< uint8[count * m] row-major residual codes (IVF-PQ).
+  kEncoderParams = 11, ///< tensor::SaveParameters stream (encoder weights).
+  kEntityCatalog = 12, ///< String table: qid/label per entity (see below).
+};
+
+struct SectionEntry {
+  uint32_t id = 0;        ///< SectionId value.
+  uint32_t reserved = 0;
+  uint64_t offset = 0;    ///< Payload start from file begin, kSectionAlign'd.
+  uint64_t size = 0;      ///< Payload bytes (excludes alignment padding).
+  uint32_t crc = 0;       ///< CRC-32 of the payload bytes.
+  uint32_t reserved2 = 0;
+};
+static_assert(sizeof(SectionEntry) == 32, "SectionEntry must be 32 bytes");
+
+/// Human-readable section name for snapshot-info ("index-meta", ...).
+const char* SectionName(SectionId id);
+
+/// kEntityCatalog layout: u64 count, then (2*count + 1) u64 cumulative
+/// byte offsets into the string blob that follows; entity i's qid spans
+/// [off[2i], off[2i+1]) and its label [off[2i+1], off[2i+2]).
+
+}  // namespace emblookup::store
+
+#endif  // EMBLOOKUP_STORE_FORMAT_H_

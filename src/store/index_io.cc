@@ -1,0 +1,231 @@
+#include "store/index_io.h"
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace emblookup::store {
+
+namespace {
+
+/// Casts a mapped section payload to a typed array. Sections start on
+/// kSectionAlign (64-byte) file offsets, so the alignment of any scalar
+/// payload type is guaranteed.
+template <typename T>
+const T* SectionArray(const Section& section) {
+  return reinterpret_cast<const T*>(section.data);
+}
+
+Status BadMeta(const std::string& what) {
+  return Status::IoError("corrupt snapshot: index-meta " + what);
+}
+
+}  // namespace
+
+void AppendFlat(const ann::FlatIndex& index, IndexMeta* meta,
+                SnapshotWriter* writer) {
+  meta->backend = static_cast<uint32_t>(BackendKind::kFlat);
+  meta->dim = index.dim();
+  meta->count = index.size();
+  writer->AddSection(SectionId::kFlatVectors, index.data(),
+                     static_cast<uint64_t>(index.StorageBytes()));
+}
+
+void AppendPq(const ann::PqIndex& index, IndexMeta* meta,
+              SnapshotWriter* writer) {
+  const ann::ProductQuantizer& pq = index.quantizer();
+  meta->backend = static_cast<uint32_t>(BackendKind::kPq);
+  meta->dim = index.dim();
+  meta->count = index.size();
+  meta->pq_m = pq.m();
+  meta->pq_ksub = pq.ksub();
+  writer->AddSection(SectionId::kPqCodebooks, pq.codebook_data(),
+                     static_cast<uint64_t>(pq.CodebookBytes()));
+  writer->AddSection(
+      SectionId::kPqCodes, index.codes_data(),
+      static_cast<uint64_t>(
+          ann::PqIndex::PaddedCodeBytes(index.size(), pq.m())));
+}
+
+void AppendIvf(const ann::IvfIndex& index, IndexMeta* meta,
+               SnapshotWriter* writer) {
+  const ann::IvfIndex::Options& options = index.options();
+  const bool is_pq = options.storage == ann::IvfIndex::Storage::kPq;
+  meta->backend = static_cast<uint32_t>(is_pq ? BackendKind::kIvfPq
+                                              : BackendKind::kIvfFlat);
+  meta->dim = index.dim();
+  meta->count = index.size();
+  meta->ivf_num_lists = options.num_lists;
+  meta->ivf_nprobe = options.nprobe;
+  meta->seed = options.seed;
+
+  const ann::KMeansResult& coarse = index.coarse();
+  writer->AddSection(
+      SectionId::kIvfCentroids, coarse.centroids.data(),
+      coarse.centroids.size() * sizeof(float));
+
+  // Concatenate the per-list payloads in list order; per-list lengths go
+  // to kIvfListSizes so the reader can rebuild the views with one prefix
+  // sum. These are assembled (owned) blobs — saving is not the hot path.
+  const int64_t m = is_pq ? index.residual_quantizer()->m() : 0;
+  std::vector<uint8_t> sizes_blob(options.num_lists * sizeof(uint64_t));
+  std::vector<uint8_t> ids_blob;
+  std::vector<uint8_t> payload_blob;
+  ids_blob.reserve(index.size() * sizeof(int64_t));
+  for (int64_t c = 0; c < options.num_lists; ++c) {
+    const ann::IvfIndex::ListView view = index.list(c);
+    const uint64_t n = static_cast<uint64_t>(view.size);
+    std::memcpy(sizes_blob.data() + c * sizeof(uint64_t), &n,
+                sizeof(uint64_t));
+    const uint8_t* ids = reinterpret_cast<const uint8_t*>(view.ids);
+    ids_blob.insert(ids_blob.end(), ids, ids + n * sizeof(int64_t));
+    if (is_pq) {
+      payload_blob.insert(payload_blob.end(), view.codes,
+                          view.codes + n * m);
+    } else {
+      const uint8_t* vecs = reinterpret_cast<const uint8_t*>(view.vectors);
+      payload_blob.insert(payload_blob.end(), vecs,
+                          vecs + n * index.dim() * sizeof(float));
+    }
+  }
+  writer->AddOwnedSection(SectionId::kIvfListSizes, std::move(sizes_blob));
+  writer->AddOwnedSection(SectionId::kIvfIds, std::move(ids_blob));
+  if (is_pq) {
+    const ann::ProductQuantizer& pq = *index.residual_quantizer();
+    meta->pq_m = pq.m();
+    meta->pq_ksub = pq.ksub();
+    writer->AddSection(SectionId::kPqCodebooks, pq.codebook_data(),
+                       static_cast<uint64_t>(pq.CodebookBytes()));
+    writer->AddOwnedSection(SectionId::kIvfCodes, std::move(payload_blob));
+  } else {
+    writer->AddOwnedSection(SectionId::kIvfVectors, std::move(payload_blob));
+  }
+}
+
+Result<ann::FlatIndex> LoadFlat(const IndexMeta& meta,
+                                const SnapshotReader& reader) {
+  EL_ASSIGN_OR_RETURN(
+      const Section vectors,
+      reader.Require(SectionId::kFlatVectors,
+                     static_cast<uint64_t>(meta.count) * meta.dim *
+                         sizeof(float)));
+  return ann::FlatIndex::FromBorrowed(
+      meta.dim, meta.count == 0 ? nullptr : SectionArray<float>(vectors),
+      meta.count);
+}
+
+namespace {
+
+/// Restores a (usually borrowed-codebook) quantizer from kPqCodebooks.
+Result<ann::ProductQuantizer> LoadQuantizer(const IndexMeta& meta,
+                                            const SnapshotReader& reader) {
+  if (meta.pq_m <= 0 || meta.dim % meta.pq_m != 0) {
+    return BadMeta("has invalid pq_m " + std::to_string(meta.pq_m));
+  }
+  if (meta.pq_ksub != 256) {
+    return BadMeta("has pq_ksub " + std::to_string(meta.pq_ksub) +
+                   " (only 8-bit codes are supported)");
+  }
+  const uint64_t codebook_bytes = static_cast<uint64_t>(meta.pq_m) * 256 *
+                                  (meta.dim / meta.pq_m) * sizeof(float);
+  EL_ASSIGN_OR_RETURN(
+      const Section codebooks,
+      reader.Require(SectionId::kPqCodebooks, codebook_bytes));
+  return ann::ProductQuantizer::FromCodebooks(
+      meta.dim, meta.pq_m, SectionArray<float>(codebooks));
+}
+
+}  // namespace
+
+Result<ann::PqIndex> LoadPq(const IndexMeta& meta,
+                            const SnapshotReader& reader) {
+  EL_ASSIGN_OR_RETURN(ann::ProductQuantizer pq, LoadQuantizer(meta, reader));
+  EL_ASSIGN_OR_RETURN(
+      const Section codes,
+      reader.Require(SectionId::kPqCodes,
+                     static_cast<uint64_t>(ann::PqIndex::PaddedCodeBytes(
+                         meta.count, meta.pq_m))));
+  return ann::PqIndex::FromParts(
+      std::move(pq), meta.count == 0 ? nullptr : codes.data, meta.count);
+}
+
+Result<ann::IvfIndex> LoadIvf(const IndexMeta& meta,
+                              const SnapshotReader& reader) {
+  const bool is_pq =
+      meta.backend == static_cast<uint32_t>(BackendKind::kIvfPq);
+  if (meta.ivf_num_lists <= 0 || meta.ivf_nprobe <= 0) {
+    return BadMeta("has invalid IVF geometry");
+  }
+  ann::IvfIndex::Options options;
+  options.num_lists = meta.ivf_num_lists;
+  options.nprobe = meta.ivf_nprobe;
+  options.storage = is_pq ? ann::IvfIndex::Storage::kPq
+                          : ann::IvfIndex::Storage::kFlat;
+  options.pq_m = is_pq ? meta.pq_m : options.pq_m;
+  options.seed = meta.seed;
+
+  EL_ASSIGN_OR_RETURN(
+      const Section centroids,
+      reader.Require(SectionId::kIvfCentroids,
+                     static_cast<uint64_t>(meta.ivf_num_lists) * meta.dim *
+                         sizeof(float)));
+  EL_ASSIGN_OR_RETURN(
+      const Section list_sizes,
+      reader.Require(SectionId::kIvfListSizes,
+                     static_cast<uint64_t>(meta.ivf_num_lists) *
+                         sizeof(uint64_t)));
+  EL_ASSIGN_OR_RETURN(
+      const Section ids,
+      reader.Require(SectionId::kIvfIds,
+                     static_cast<uint64_t>(meta.count) * sizeof(int64_t)));
+
+  std::unique_ptr<ann::ProductQuantizer> pq;
+  const float* vectors = nullptr;
+  const uint8_t* codes = nullptr;
+  if (is_pq) {
+    EL_ASSIGN_OR_RETURN(ann::ProductQuantizer loaded,
+                        LoadQuantizer(meta, reader));
+    pq = std::make_unique<ann::ProductQuantizer>(std::move(loaded));
+    EL_ASSIGN_OR_RETURN(
+        const Section codes_section,
+        reader.Require(SectionId::kIvfCodes,
+                       static_cast<uint64_t>(meta.count) * meta.pq_m));
+    codes = codes_section.data;
+  } else {
+    EL_ASSIGN_OR_RETURN(
+        const Section vectors_section,
+        reader.Require(SectionId::kIvfVectors,
+                       static_cast<uint64_t>(meta.count) * meta.dim *
+                           sizeof(float)));
+    vectors = SectionArray<float>(vectors_section);
+  }
+  return ann::IvfIndex::FromParts(
+      meta.dim, options, SectionArray<float>(centroids), std::move(pq),
+      SectionArray<uint64_t>(list_sizes), SectionArray<int64_t>(ids),
+      vectors, codes, meta.count);
+}
+
+Result<IndexMeta> ReadIndexMeta(const SnapshotReader& reader) {
+  EL_ASSIGN_OR_RETURN(const Section section,
+                      reader.Require(SectionId::kIndexMeta,
+                                     sizeof(IndexMeta)));
+  IndexMeta meta;
+  std::memcpy(&meta, section.data, sizeof(IndexMeta));
+  switch (static_cast<BackendKind>(meta.backend)) {
+    case BackendKind::kFlat:
+    case BackendKind::kPq:
+    case BackendKind::kIvfFlat:
+    case BackendKind::kIvfPq:
+      break;
+    default:
+      return BadMeta("names unknown backend " + std::to_string(meta.backend));
+  }
+  if (meta.dim <= 0) return BadMeta("has non-positive dim");
+  if (meta.count < 0) return BadMeta("has negative count");
+  if (meta.row_to_entity_count < 0 || meta.num_entities < 0) {
+    return BadMeta("has negative entity counts");
+  }
+  return meta;
+}
+
+}  // namespace emblookup::store

@@ -1,0 +1,72 @@
+#ifndef EMBLOOKUP_STORE_INDEX_IO_H_
+#define EMBLOOKUP_STORE_INDEX_IO_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "ann/flat_index.h"
+#include "ann/ivf_index.h"
+#include "ann/pq_index.h"
+#include "common/status.h"
+#include "store/snapshot_reader.h"
+#include "store/snapshot_writer.h"
+
+namespace emblookup::store {
+
+/// ANN backend stored in a snapshot. Values are on-disk stable.
+enum class BackendKind : uint32_t {
+  kNone = 0,
+  kFlat = 1,
+  kPq = 2,
+  kIvfFlat = 3,
+  kIvfPq = 4,
+};
+
+/// The kIndexMeta section: fixed-size POD describing every other section.
+/// Fields not used by the stored backend are zero. Padded with reserved
+/// space so additive fields never change the section size within a format
+/// version.
+struct IndexMeta {
+  uint32_t backend = 0;       ///< BackendKind value.
+  uint32_t flags = 0;         ///< Reserved, written as 0.
+  int64_t dim = 0;            ///< Embedding dimension.
+  int64_t count = 0;          ///< Indexed rows.
+  int64_t pq_m = 0;           ///< PQ sub-quantizers (PQ / IVF-PQ).
+  int64_t pq_ksub = 0;        ///< Codebook entries per sub-space (256).
+  int64_t ivf_num_lists = 0;  ///< Coarse lists (IVF kinds).
+  int64_t ivf_nprobe = 0;     ///< Default probes (IVF kinds).
+  int64_t row_to_entity_count = 0;  ///< kRowToEntity entries (0 = absent).
+  int64_t num_entities = 0;   ///< kEntityCatalog entries (0 = absent).
+  int64_t encoder_dim = 0;    ///< Output dim of the saved encoder (0 = none).
+  uint64_t seed = 0;          ///< IVF assignment seed (reproducibility note).
+  uint8_t reserved[40] = {};
+};
+static_assert(sizeof(IndexMeta) == 128, "IndexMeta must be 128 bytes");
+
+/// Registers the sections of one ANN backend with `writer` and fills the
+/// matching `meta` fields. Borrowed-pointer sections reference the index's
+/// own storage: the index must stay alive until WriteToFile.
+void AppendFlat(const ann::FlatIndex& index, IndexMeta* meta,
+                SnapshotWriter* writer);
+void AppendPq(const ann::PqIndex& index, IndexMeta* meta,
+              SnapshotWriter* writer);
+void AppendIvf(const ann::IvfIndex& index, IndexMeta* meta,
+               SnapshotWriter* writer);
+
+/// Reconstructs a backend in borrowed-storage mode: payload arrays are
+/// served directly out of the reader's mapping (zero-copy; only small
+/// metadata like IVF centroids is copied). The caller must keep `reader`
+/// alive for the index's lifetime.
+Result<ann::FlatIndex> LoadFlat(const IndexMeta& meta,
+                                const SnapshotReader& reader);
+Result<ann::PqIndex> LoadPq(const IndexMeta& meta,
+                            const SnapshotReader& reader);
+Result<ann::IvfIndex> LoadIvf(const IndexMeta& meta,
+                              const SnapshotReader& reader);
+
+/// Reads and structurally validates the kIndexMeta section.
+Result<IndexMeta> ReadIndexMeta(const SnapshotReader& reader);
+
+}  // namespace emblookup::store
+
+#endif  // EMBLOOKUP_STORE_INDEX_IO_H_

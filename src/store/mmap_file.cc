@@ -1,0 +1,70 @@
+#include "store/mmap_file.h"
+
+#include <cerrno>
+#include <cstring>
+
+#if defined(_WIN32)
+// The serving stack targets POSIX hosts; Windows callers get a clean
+// Status instead of a build break.
+#else
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace emblookup::store {
+
+Result<MmapFile> MmapFile::Open(const std::string& path) {
+#if defined(_WIN32)
+  return Status::Unimplemented("MmapFile is POSIX-only");
+#else
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IoError("cannot open " + path + ": " +
+                           std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::IoError("cannot stat " + path + ": " + err);
+  }
+  MmapFile file;
+  file.size_ = static_cast<size_t>(st.st_size);
+  if (file.size_ == 0) {
+    // mmap of length 0 is EINVAL; an empty file is corrupt anyway.
+    ::close(fd);
+    return Status::IoError(path + " is empty");
+  }
+  void* addr = ::mmap(nullptr, file.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // The mapping keeps its own reference.
+  if (addr == MAP_FAILED) {
+    return Status::IoError("mmap of " + path + " failed: " +
+                           std::strerror(errno));
+  }
+  file.data_ = static_cast<const uint8_t*>(addr);
+  return file;
+#endif
+}
+
+MmapFile::~MmapFile() {
+#if !defined(_WIN32)
+  if (data_ != nullptr) {
+    ::munmap(const_cast<uint8_t*>(data_), size_);
+  }
+#endif
+}
+
+MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
+  if (this != &other) {
+    this->~MmapFile();
+    data_ = other.data_;
+    size_ = other.size_;
+    other.data_ = nullptr;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+}  // namespace emblookup::store

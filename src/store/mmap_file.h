@@ -1,0 +1,40 @@
+#ifndef EMBLOOKUP_STORE_MMAP_FILE_H_
+#define EMBLOOKUP_STORE_MMAP_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "common/status.h"
+
+namespace emblookup::store {
+
+/// Read-only memory mapping of a whole file. Move-only; unmaps on
+/// destruction. The mapping is private/read-only, so a snapshot file on
+/// disk is never modified through it, and pages are faulted in lazily —
+/// opening a multi-gigabyte snapshot costs milliseconds, not a read of
+/// the payload.
+class MmapFile {
+ public:
+  static Result<MmapFile> Open(const std::string& path);
+
+  MmapFile() = default;
+  ~MmapFile();
+  MmapFile(MmapFile&& other) noexcept { *this = std::move(other); }
+  MmapFile& operator=(MmapFile&& other) noexcept;
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool valid() const { return data_ != nullptr; }
+
+ private:
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace emblookup::store
+
+#endif  // EMBLOOKUP_STORE_MMAP_FILE_H_

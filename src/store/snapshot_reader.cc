@@ -1,0 +1,113 @@
+#include "store/snapshot_reader.h"
+
+#include <cstring>
+
+#include "common/crc32.h"
+
+namespace emblookup::store {
+
+namespace {
+
+Status Corrupt(const std::string& path, const std::string& what) {
+  return Status::IoError("corrupt snapshot " + path + ": " + what);
+}
+
+}  // namespace
+
+Result<std::shared_ptr<const SnapshotReader>> SnapshotReader::Open(
+    const std::string& path, const Options& options) {
+  auto open = MmapFile::Open(path);
+  if (!open.ok()) return open.status();
+
+  auto reader = std::shared_ptr<SnapshotReader>(new SnapshotReader());
+  reader->path_ = path;
+  reader->file_ = std::move(open).value();
+  const uint8_t* base = reader->file_.data();
+  const uint64_t size = reader->file_.size();
+
+  if (size < sizeof(FileHeader)) {
+    return Corrupt(path, "file shorter than header");
+  }
+  // The header may be unaligned in principle; copy it out.
+  std::memcpy(&reader->header_, base, sizeof(FileHeader));
+  const FileHeader& header = reader->header_;
+  if (header.magic != kMagic) return Corrupt(path, "bad magic");
+  if (header.version != kFormatVersion) {
+    return Corrupt(path, "unsupported format version " +
+                             std::to_string(header.version));
+  }
+  if (header.file_size != size) {
+    return Corrupt(path, "declared size " + std::to_string(header.file_size) +
+                             " != actual " + std::to_string(size));
+  }
+  if (header.section_count > kMaxSections) {
+    return Corrupt(path, "implausible section count " +
+                             std::to_string(header.section_count));
+  }
+  const uint64_t table_bytes =
+      static_cast<uint64_t>(header.section_count) * sizeof(SectionEntry);
+  if (sizeof(FileHeader) + table_bytes > size) {
+    return Corrupt(path, "section table past end of file");
+  }
+  const uint8_t* table = base + sizeof(FileHeader);
+  if (Crc32(table, table_bytes) != header.table_crc) {
+    return Corrupt(path, "section table checksum mismatch");
+  }
+
+  reader->sections_.reserve(header.section_count);
+  for (uint32_t i = 0; i < header.section_count; ++i) {
+    SectionEntry entry;
+    std::memcpy(&entry, table + i * sizeof(SectionEntry),
+                sizeof(SectionEntry));
+    if (entry.offset % kSectionAlign != 0) {
+      return Corrupt(path, "section " + std::to_string(i) + " misaligned");
+    }
+    if (entry.offset > size || entry.size > size - entry.offset) {
+      return Corrupt(path, "section " + std::to_string(i) +
+                               " extends past end of file");
+    }
+    Section section;
+    section.id = static_cast<SectionId>(entry.id);
+    section.data = base + entry.offset;
+    section.offset = entry.offset;
+    section.size = entry.size;
+    section.crc = entry.crc;
+    if (options.verify_checksums) {
+      Status verified = reader->VerifySection(section);
+      if (!verified.ok()) return verified;
+    }
+    reader->sections_.push_back(section);
+  }
+  return std::shared_ptr<const SnapshotReader>(std::move(reader));
+}
+
+const Section* SnapshotReader::Find(SectionId id) const {
+  for (const Section& s : sections_) {
+    if (s.id == id) return &s;
+  }
+  return nullptr;
+}
+
+Result<Section> SnapshotReader::Require(SectionId id,
+                                        uint64_t expected_size) const {
+  const Section* section = Find(id);
+  if (section == nullptr) {
+    return Corrupt(path_, std::string("missing section ") + SectionName(id));
+  }
+  if (expected_size != 0 && section->size != expected_size) {
+    return Corrupt(path_, std::string(SectionName(id)) + " has " +
+                              std::to_string(section->size) + " bytes, want " +
+                              std::to_string(expected_size));
+  }
+  return *section;
+}
+
+Status SnapshotReader::VerifySection(const Section& section) const {
+  if (Crc32(section.data, section.size) != section.crc) {
+    return Corrupt(path_, std::string(SectionName(section.id)) +
+                              " payload checksum mismatch");
+  }
+  return Status::OK();
+}
+
+}  // namespace emblookup::store

@@ -1,0 +1,75 @@
+#ifndef EMBLOOKUP_STORE_SNAPSHOT_READER_H_
+#define EMBLOOKUP_STORE_SNAPSHOT_READER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "store/format.h"
+#include "store/mmap_file.h"
+
+namespace emblookup::store {
+
+/// One validated payload section: a view into the file mapping.
+struct Section {
+  SectionId id = SectionId::kInvalid;
+  const uint8_t* data = nullptr;
+  uint64_t offset = 0;  ///< File offset of the payload (snapshot-info).
+  uint64_t size = 0;
+  uint32_t crc = 0;  ///< Stored CRC (matches the payload when verified).
+};
+
+/// mmap-backed snapshot reader. Open() maps the file and validates the
+/// header and section table structurally (magic, version, declared size,
+/// table CRC, per-section bounds and alignment); with verify_checksums it
+/// also CRCs every payload. Corrupt input of any shape — truncation, bad
+/// magic, bit flips — yields a Status error, never a crash or an
+/// out-of-bounds read.
+///
+/// Section pointers stay valid for the reader's lifetime; consumers that
+/// borrow payloads zero-copy (EntityIndex::FromSnapshot) keep the reader
+/// alive via shared_ptr.
+class SnapshotReader {
+ public:
+  struct Options {
+    /// CRC every payload at open. Costs one sequential pass over the file
+    /// (GB/s); disable only for diagnostics on damaged files.
+    bool verify_checksums = true;
+  };
+
+  static Result<std::shared_ptr<const SnapshotReader>> Open(
+      const std::string& path, const Options& options);
+  static Result<std::shared_ptr<const SnapshotReader>> Open(
+      const std::string& path) {
+    return Open(path, Options{});
+  }
+
+  /// The section with `id`, or nullptr when absent.
+  const Section* Find(SectionId id) const;
+
+  /// Find + presence and exact-size check (size 0 skips the size check).
+  Result<Section> Require(SectionId id, uint64_t expected_size = 0) const;
+
+  /// Recomputes a payload CRC against its table entry (snapshot-info's
+  /// per-section integrity report when opened without verification).
+  Status VerifySection(const Section& section) const;
+
+  const std::vector<Section>& sections() const { return sections_; }
+  uint32_t version() const { return header_.version; }
+  uint64_t file_size() const { return header_.file_size; }
+  const std::string& path() const { return path_; }
+
+ private:
+  SnapshotReader() = default;
+
+  std::string path_;
+  MmapFile file_;
+  FileHeader header_;
+  std::vector<Section> sections_;
+};
+
+}  // namespace emblookup::store
+
+#endif  // EMBLOOKUP_STORE_SNAPSHOT_READER_H_

@@ -1,0 +1,148 @@
+#include "store/snapshot_writer.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#if !defined(_WIN32)
+#include <unistd.h>
+#endif
+
+#include "common/crc32.h"
+#include "common/logging.h"
+
+namespace emblookup::store {
+
+namespace {
+
+uint64_t AlignUp(uint64_t offset) {
+  return (offset + kSectionAlign - 1) / kSectionAlign * kSectionAlign;
+}
+
+bool WriteAll(std::FILE* f, const void* data, uint64_t size) {
+  return size == 0 || std::fwrite(data, 1, size, f) == size;
+}
+
+bool WriteZeros(std::FILE* f, uint64_t n) {
+  static const char zeros[kSectionAlign] = {};
+  while (n > 0) {
+    const uint64_t chunk = n < kSectionAlign ? n : kSectionAlign;
+    if (!WriteAll(f, zeros, chunk)) return false;
+    n -= chunk;
+  }
+  return true;
+}
+
+}  // namespace
+
+void SnapshotWriter::AddSection(SectionId id, const void* data,
+                                uint64_t size) {
+  EL_CHECK(id != SectionId::kInvalid);
+  EL_CHECK(size == 0 || data != nullptr);
+  for (const PendingSection& s : sections_) {
+    EL_CHECK(s.id != id) << "duplicate section " << SectionName(id);
+  }
+  PendingSection section;
+  section.id = id;
+  section.data = data;
+  section.size = size;
+  sections_.push_back(std::move(section));
+}
+
+void SnapshotWriter::AddOwnedSection(SectionId id,
+                                     std::vector<uint8_t> bytes) {
+  PendingSection section;
+  section.id = id;
+  section.owned = std::move(bytes);
+  section.data = section.owned.data();
+  section.size = section.owned.size();
+  EL_CHECK(id != SectionId::kInvalid);
+  for (const PendingSection& s : sections_) {
+    EL_CHECK(s.id != id) << "duplicate section " << SectionName(id);
+  }
+  sections_.push_back(std::move(section));
+}
+
+Status SnapshotWriter::WriteToFile(const std::string& path) const {
+  // Lay out the file: header, table, aligned payloads.
+  const uint32_t n = static_cast<uint32_t>(sections_.size());
+  std::vector<SectionEntry> table(n);
+  uint64_t offset =
+      AlignUp(sizeof(FileHeader) + n * sizeof(SectionEntry));
+  for (uint32_t i = 0; i < n; ++i) {
+    table[i].id = static_cast<uint32_t>(sections_[i].id);
+    table[i].offset = offset;
+    table[i].size = sections_[i].size;
+    table[i].crc = Crc32(sections_[i].data, sections_[i].size);
+    offset = AlignUp(offset + sections_[i].size);
+  }
+  // file_size is the end of the last payload (no trailing padding).
+  uint64_t file_size = sizeof(FileHeader) + n * sizeof(SectionEntry);
+  if (n > 0) file_size = table[n - 1].offset + table[n - 1].size;
+
+  FileHeader header;
+  header.section_count = n;
+  header.file_size = file_size;
+  header.table_crc = Crc32(table.data(), n * sizeof(SectionEntry));
+
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long long>(::getpid()));
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("cannot create " + tmp + ": " +
+                           std::strerror(errno));
+  }
+  auto fail = [&](const std::string& what) {
+    std::fclose(f);
+    std::remove(tmp.c_str());
+    return Status::IoError(what + " writing " + tmp);
+  };
+  if (!WriteAll(f, &header, sizeof(header)) ||
+      !WriteAll(f, table.data(), n * sizeof(SectionEntry))) {
+    return fail("header");
+  }
+  uint64_t written = sizeof(FileHeader) + n * sizeof(SectionEntry);
+  for (uint32_t i = 0; i < n; ++i) {
+    if (!WriteZeros(f, table[i].offset - written)) return fail("padding");
+    if (!WriteAll(f, sections_[i].data, sections_[i].size)) {
+      return fail("section " + std::string(SectionName(sections_[i].id)));
+    }
+    written = table[i].offset + sections_[i].size;
+  }
+  if (std::fflush(f) != 0) return fail("flush");
+#if !defined(_WIN32)
+  // Make the rename durable: data before metadata.
+  if (::fsync(::fileno(f)) != 0) return fail("fsync");
+#endif
+  if (std::fclose(f) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError("close failed for " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError("rename " + tmp + " -> " + path + " failed: " +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+const char* SectionName(SectionId id) {
+  switch (id) {
+    case SectionId::kInvalid: return "invalid";
+    case SectionId::kIndexMeta: return "index-meta";
+    case SectionId::kRowToEntity: return "row-to-entity";
+    case SectionId::kFlatVectors: return "flat-vectors";
+    case SectionId::kPqCodebooks: return "pq-codebooks";
+    case SectionId::kPqCodes: return "pq-codes";
+    case SectionId::kIvfCentroids: return "ivf-centroids";
+    case SectionId::kIvfListSizes: return "ivf-list-sizes";
+    case SectionId::kIvfIds: return "ivf-ids";
+    case SectionId::kIvfVectors: return "ivf-vectors";
+    case SectionId::kIvfCodes: return "ivf-codes";
+    case SectionId::kEncoderParams: return "encoder-params";
+    case SectionId::kEntityCatalog: return "entity-catalog";
+  }
+  return "unknown";
+}
+
+}  // namespace emblookup::store

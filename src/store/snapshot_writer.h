@@ -1,0 +1,48 @@
+#ifndef EMBLOOKUP_STORE_SNAPSHOT_WRITER_H_
+#define EMBLOOKUP_STORE_SNAPSHOT_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "store/format.h"
+
+namespace emblookup::store {
+
+/// Assembles a snapshot file: sections are registered (borrowed pointers
+/// for payloads the caller keeps alive, or owned blobs for assembled
+/// material), then WriteToFile lays them out with kSectionAlign'd offsets,
+/// computes per-section CRCs and the table CRC, and writes atomically —
+/// the bytes go to "<path>.tmp.<pid>", are fsync'd, and the temp file is
+/// renamed over `path`, so readers never observe a half-written snapshot.
+class SnapshotWriter {
+ public:
+  SnapshotWriter() = default;
+
+  /// Registers a borrowed payload; `data` must stay alive (and unchanged)
+  /// until WriteToFile returns. Duplicate ids are a caller bug.
+  void AddSection(SectionId id, const void* data, uint64_t size);
+
+  /// Registers a payload the writer owns.
+  void AddOwnedSection(SectionId id, std::vector<uint8_t> bytes);
+
+  /// Writes the container. May be called once per writer.
+  Status WriteToFile(const std::string& path) const;
+
+  size_t section_count() const { return sections_.size(); }
+
+ private:
+  struct PendingSection {
+    SectionId id = SectionId::kInvalid;
+    const void* data = nullptr;   ///< Borrowed, or owned_.data().
+    uint64_t size = 0;
+    std::vector<uint8_t> owned;   ///< Backing storage for owned sections.
+  };
+
+  std::vector<PendingSection> sections_;
+};
+
+}  // namespace emblookup::store
+
+#endif  // EMBLOOKUP_STORE_SNAPSHOT_WRITER_H_

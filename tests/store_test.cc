@@ -1,0 +1,576 @@
+// Tests for the src/store snapshot subsystem: container round trips,
+// corruption robustness (every damaged input must surface as a Status,
+// never a crash), zero-copy index loading equivalence across all four ANN
+// backends, SIMD-vs-scalar parity over mmap'd payloads, and the
+// EmbLookup / LookupServer wiring.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ann/flat_index.h"
+#include "ann/ivf_index.h"
+#include "ann/kernels.h"
+#include "ann/pq_index.h"
+#include "common/rng.h"
+#include "core/emblookup.h"
+#include "core/entity_index.h"
+#include "kg/synthetic_kg.h"
+#include "apps/lookup_services.h"
+#include "serve/lookup_server.h"
+#include "store/format.h"
+#include "store/index_io.h"
+#include "store/snapshot_reader.h"
+#include "store/snapshot_writer.h"
+
+namespace emblookup {
+namespace {
+
+namespace k = ann::kernels;
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::vector<uint8_t> ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::vector<uint8_t>(std::istreambuf_iterator<char>(in),
+                              std::istreambuf_iterator<char>());
+}
+
+void WriteFileBytes(const std::string& path,
+                    const std::vector<uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+/// A small two-section snapshot used by the container tests.
+std::string WriteSampleSnapshot(const std::string& name) {
+  static const std::vector<uint8_t> payload_a = {1, 2, 3, 4, 5, 6, 7};
+  store::SnapshotWriter writer;
+  writer.AddSection(store::SectionId::kRowToEntity, payload_a.data(),
+                    payload_a.size());
+  std::vector<uint8_t> payload_b(1000);
+  for (size_t i = 0; i < payload_b.size(); ++i) {
+    payload_b[i] = static_cast<uint8_t>(i * 37);
+  }
+  writer.AddOwnedSection(store::SectionId::kEntityCatalog,
+                         std::move(payload_b));
+  const std::string path = TempPath(name);
+  EXPECT_TRUE(writer.WriteToFile(path).ok());
+  return path;
+}
+
+// --- Container round trip ----------------------------------------------------
+
+TEST(SnapshotContainerTest, WriteReadRoundTrip) {
+  const std::string path = WriteSampleSnapshot("container_roundtrip.snap");
+  auto opened = store::SnapshotReader::Open(path);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  const auto reader = std::move(opened).value();
+
+  EXPECT_EQ(reader->version(), store::kFormatVersion);
+  ASSERT_EQ(reader->sections().size(), 2u);
+
+  const store::Section* a = reader->Find(store::SectionId::kRowToEntity);
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->size, 7u);
+  EXPECT_EQ(a->data[0], 1);
+  EXPECT_EQ(a->data[6], 7);
+
+  const store::Section* b = reader->Find(store::SectionId::kEntityCatalog);
+  ASSERT_NE(b, nullptr);
+  ASSERT_EQ(b->size, 1000u);
+  for (size_t i = 0; i < 1000; ++i) {
+    ASSERT_EQ(b->data[i], static_cast<uint8_t>(i * 37));
+  }
+
+  // Payloads start on kSectionAlign file offsets (zero-copy SIMD loads).
+  for (const store::Section& s : reader->sections()) {
+    EXPECT_EQ(s.offset % store::kSectionAlign, 0u);
+    EXPECT_TRUE(reader->VerifySection(s).ok());
+  }
+
+  EXPECT_EQ(reader->Find(store::SectionId::kPqCodes), nullptr);
+  EXPECT_FALSE(reader->Require(store::SectionId::kPqCodes).ok());
+  EXPECT_FALSE(reader->Require(store::SectionId::kRowToEntity, 9999).ok());
+}
+
+TEST(SnapshotContainerTest, UnknownSectionIdsAreRetainedNotFatal) {
+  // Forward compatibility: a reader must tolerate ids it does not know.
+  std::vector<uint8_t> payload = {42};
+  store::SnapshotWriter writer;
+  writer.AddSection(static_cast<store::SectionId>(999), payload.data(),
+                    payload.size());
+  const std::string path = TempPath("unknown_section.snap");
+  ASSERT_TRUE(writer.WriteToFile(path).ok());
+
+  auto opened = store::SnapshotReader::Open(path);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  EXPECT_EQ(opened.value()->sections().size(), 1u);
+  EXPECT_EQ(opened.value()->Find(store::SectionId::kIndexMeta), nullptr);
+}
+
+// --- Corruption robustness ---------------------------------------------------
+
+TEST(SnapshotCorruptionTest, MissingFileIsAnError) {
+  EXPECT_FALSE(store::SnapshotReader::Open(TempPath("nope.snap")).ok());
+}
+
+TEST(SnapshotCorruptionTest, TruncationAtEveryBoundaryIsAnError) {
+  const std::string path = WriteSampleSnapshot("truncate_src.snap");
+  const std::vector<uint8_t> bytes = ReadFileBytes(path);
+  // Below the header, mid-table, mid-payload and one-byte-short: every
+  // prefix must be rejected via Status (declared size != actual).
+  const size_t cuts[] = {0, 1, 17, sizeof(store::FileHeader),
+                         sizeof(store::FileHeader) + 16, bytes.size() / 2,
+                         bytes.size() - 1};
+  for (const size_t cut : cuts) {
+    ASSERT_LT(cut, bytes.size());
+    const std::string trunc = TempPath("truncated.snap");
+    WriteFileBytes(trunc, std::vector<uint8_t>(bytes.begin(),
+                                               bytes.begin() + cut));
+    auto opened = store::SnapshotReader::Open(trunc);
+    EXPECT_FALSE(opened.ok()) << "cut at " << cut;
+  }
+}
+
+TEST(SnapshotCorruptionTest, TrailingGarbageIsAnError) {
+  const std::string path = WriteSampleSnapshot("trailing_src.snap");
+  std::vector<uint8_t> bytes = ReadFileBytes(path);
+  bytes.push_back(0xAB);
+  WriteFileBytes(path, bytes);
+  EXPECT_FALSE(store::SnapshotReader::Open(path).ok());
+}
+
+TEST(SnapshotCorruptionTest, BadMagicIsAnError) {
+  const std::string path = WriteSampleSnapshot("magic_src.snap");
+  std::vector<uint8_t> bytes = ReadFileBytes(path);
+  bytes[0] ^= 0xFF;
+  WriteFileBytes(path, bytes);
+  auto opened = store::SnapshotReader::Open(path);
+  ASSERT_FALSE(opened.ok());
+  EXPECT_EQ(opened.status().code(), StatusCode::kIoError);
+}
+
+TEST(SnapshotCorruptionTest, UnsupportedVersionIsAnError) {
+  const std::string path = WriteSampleSnapshot("version_src.snap");
+  std::vector<uint8_t> bytes = ReadFileBytes(path);
+  bytes[8] = 0x7F;  // FileHeader::version low byte.
+  WriteFileBytes(path, bytes);
+  EXPECT_FALSE(store::SnapshotReader::Open(path).ok());
+}
+
+TEST(SnapshotCorruptionTest, BitFlippedTableIsAnError) {
+  const std::string path = WriteSampleSnapshot("table_src.snap");
+  std::vector<uint8_t> bytes = ReadFileBytes(path);
+  bytes[sizeof(store::FileHeader) + 3] ^= 0x01;  // Inside the table.
+  WriteFileBytes(path, bytes);
+  EXPECT_FALSE(store::SnapshotReader::Open(path).ok());
+}
+
+TEST(SnapshotCorruptionTest, BitFlippedPayloadIsCaughtByChecksums) {
+  const std::string path = WriteSampleSnapshot("payload_src.snap");
+  std::vector<uint8_t> bytes = ReadFileBytes(path);
+  bytes[bytes.size() - 100] ^= 0x10;  // Inside the last payload.
+  WriteFileBytes(path, bytes);
+
+  EXPECT_FALSE(store::SnapshotReader::Open(path).ok());
+
+  // Without up-front verification the open succeeds (diagnostics mode)
+  // but VerifySection pins down the damaged section.
+  store::SnapshotReader::Options lax;
+  lax.verify_checksums = false;
+  auto opened = store::SnapshotReader::Open(path, lax);
+  ASSERT_TRUE(opened.ok());
+  const store::Section* damaged =
+      opened.value()->Find(store::SectionId::kEntityCatalog);
+  ASSERT_NE(damaged, nullptr);
+  EXPECT_FALSE(opened.value()->VerifySection(*damaged).ok());
+  const store::Section* intact =
+      opened.value()->Find(store::SectionId::kRowToEntity);
+  ASSERT_NE(intact, nullptr);
+  EXPECT_TRUE(opened.value()->VerifySection(*intact).ok());
+}
+
+TEST(SnapshotCorruptionTest, RandomBytesNeverCrash) {
+  // Fuzz-ish: structurally random garbage of assorted sizes must always
+  // come back as a Status (run under ASan in CI).
+  Rng rng(99);
+  for (const size_t size : {0u, 3u, 63u, 64u, 200u, 4096u}) {
+    std::vector<uint8_t> bytes(size);
+    for (auto& b : bytes) b = static_cast<uint8_t>(rng.Uniform(256));
+    const std::string path = TempPath("random.snap");
+    WriteFileBytes(path, bytes);
+    EXPECT_FALSE(store::SnapshotReader::Open(path).ok());
+  }
+}
+
+TEST(SnapshotCorruptionTest, CorruptIndexMetaIsAnError) {
+  store::SnapshotWriter writer;
+  store::IndexMeta meta;
+  meta.backend = 77;  // No such BackendKind.
+  meta.dim = 8;
+  writer.AddSection(store::SectionId::kIndexMeta, &meta, sizeof(meta));
+  const std::string path = TempPath("badmeta.snap");
+  ASSERT_TRUE(writer.WriteToFile(path).ok());
+  auto opened = store::SnapshotReader::Open(path);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_FALSE(store::ReadIndexMeta(*opened.value()).ok());
+  EXPECT_FALSE(core::EntityIndex::FromSnapshot(opened.value()).ok());
+}
+
+// --- ANN backend round trips (zero-copy equivalence) -------------------------
+
+std::vector<float> RandomVectors(int64_t n, int64_t dim, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> data(n * dim);
+  for (auto& v : data) v = rng.UniformFloat(-1.0f, 1.0f);
+  return data;
+}
+
+/// Writes `append`'s sections plus the meta section, then reopens.
+template <typename AppendFn>
+std::shared_ptr<const store::SnapshotReader> RoundTrip(
+    const std::string& name, AppendFn append) {
+  store::SnapshotWriter writer;
+  store::IndexMeta meta;
+  append(&meta, &writer);
+  writer.AddSection(store::SectionId::kIndexMeta, &meta, sizeof(meta));
+  const std::string path = TempPath(name);
+  EXPECT_TRUE(writer.WriteToFile(path).ok());
+  auto opened = store::SnapshotReader::Open(path);
+  EXPECT_TRUE(opened.ok()) << opened.status().ToString();
+  return std::move(opened).value();
+}
+
+void ExpectSameNeighbors(const std::vector<ann::Neighbor>& got,
+                         const std::vector<ann::Neighbor>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].id, want[i].id) << "rank " << i;
+    EXPECT_EQ(got[i].dist, want[i].dist) << "rank " << i;
+  }
+}
+
+// Cross-kernel comparisons follow the kernels_test convention: ids exact,
+// distances within relative tolerance (FMA vs scalar differ in low bits).
+void ExpectNearNeighbors(const std::vector<ann::Neighbor>& got,
+                         const std::vector<ann::Neighbor>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].id, want[i].id) << "rank " << i;
+    const float tol = 1e-4f * std::max(1.0f, std::fabs(want[i].dist));
+    EXPECT_NEAR(got[i].dist, want[i].dist, tol) << "rank " << i;
+  }
+}
+
+TEST(IndexIoTest, FlatRoundTripIsBitIdentical) {
+  constexpr int64_t kDim = 16, kN = 400;
+  const auto data = RandomVectors(kN, kDim, 1);
+  ann::FlatIndex index(kDim);
+  index.Add(data.data(), kN);
+
+  auto reader = RoundTrip("flat.snap", [&](store::IndexMeta* meta,
+                                           store::SnapshotWriter* writer) {
+    store::AppendFlat(index, meta, writer);
+  });
+  auto meta = store::ReadIndexMeta(*reader);
+  ASSERT_TRUE(meta.ok());
+  auto loaded = store::LoadFlat(meta.value(), *reader);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(loaded.value().borrowed());
+  EXPECT_EQ(loaded.value().size(), kN);
+
+  const auto queries = RandomVectors(8, kDim, 2);
+  for (int64_t q = 0; q < 8; ++q) {
+    ExpectSameNeighbors(loaded.value().Search(queries.data() + q * kDim, 10),
+                        index.Search(queries.data() + q * kDim, 10));
+  }
+}
+
+TEST(IndexIoTest, PqRoundTripIsBitIdenticalAndZeroCopy) {
+  constexpr int64_t kDim = 16, kN = 500;
+  const auto data = RandomVectors(kN, kDim, 3);
+  ann::PqIndex index(kDim, /*m=*/4);
+  Rng rng(4);
+  ASSERT_TRUE(index.Train(data.data(), kN, &rng).ok());
+  ASSERT_TRUE(index.Add(data.data(), kN).ok());
+
+  auto reader = RoundTrip("pq.snap", [&](store::IndexMeta* meta,
+                                         store::SnapshotWriter* writer) {
+    store::AppendPq(index, meta, writer);
+  });
+  auto meta = store::ReadIndexMeta(*reader);
+  ASSERT_TRUE(meta.ok());
+  auto loaded = store::LoadPq(meta.value(), *reader);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ann::PqIndex& pq = loaded.value();
+
+  // Zero-copy: codes and codebooks must point INTO the mapping.
+  EXPECT_TRUE(pq.borrowed());
+  const store::Section* codes = reader->Find(store::SectionId::kPqCodes);
+  ASSERT_NE(codes, nullptr);
+  EXPECT_EQ(pq.codes_data(), codes->data);
+  const store::Section* books = reader->Find(store::SectionId::kPqCodebooks);
+  ASSERT_NE(books, nullptr);
+  EXPECT_EQ(reinterpret_cast<const uint8_t*>(pq.quantizer().codebook_data()),
+            books->data);
+
+  const auto queries = RandomVectors(8, kDim, 5);
+  for (int64_t q = 0; q < 8; ++q) {
+    ExpectSameNeighbors(pq.Search(queries.data() + q * kDim, 10),
+                        index.Search(queries.data() + q * kDim, 10));
+  }
+  auto batch_got = pq.BatchSearch(queries.data(), 8, 10);
+  auto batch_want = index.BatchSearch(queries.data(), 8, 10);
+  for (size_t q = 0; q < 8; ++q) {
+    ExpectSameNeighbors(batch_got[q], batch_want[q]);
+  }
+
+  // A borrowed index is immutable: Add fails as a Status, not a crash.
+  EXPECT_EQ(pq.Add(data.data(), 1).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(IndexIoTest, PqScanOverMappedCodesMatchesScalar) {
+  if (k::Table(k::Arch::kScalar) == nullptr) {
+    GTEST_SKIP() << "no scalar table";
+  }
+  constexpr int64_t kDim = 32, kN = 600;
+  const auto data = RandomVectors(kN, kDim, 6);
+  ann::PqIndex index(kDim, /*m=*/8);
+  Rng rng(7);
+  ASSERT_TRUE(index.Train(data.data(), kN, &rng).ok());
+  ASSERT_TRUE(index.Add(data.data(), kN).ok());
+
+  auto reader = RoundTrip("pq_simd.snap", [&](store::IndexMeta* meta,
+                                              store::SnapshotWriter* writer) {
+    store::AppendPq(index, meta, writer);
+  });
+  auto meta = store::ReadIndexMeta(*reader);
+  ASSERT_TRUE(meta.ok());
+  auto loaded = store::LoadPq(meta.value(), *reader);
+  ASSERT_TRUE(loaded.ok());
+
+  // The dispatched (possibly SIMD) kernels scan the mmap'd code blocks in
+  // place; results must equal a forced-scalar scan of the same mapping.
+  const k::Arch original = k::Dispatch().arch;
+  const auto queries = RandomVectors(4, kDim, 8);
+  std::vector<std::vector<ann::Neighbor>> dispatched;
+  for (int64_t q = 0; q < 4; ++q) {
+    dispatched.push_back(loaded.value().Search(queries.data() + q * kDim, 10));
+  }
+  ASSERT_TRUE(k::ForceArch(k::Arch::kScalar));
+  for (int64_t q = 0; q < 4; ++q) {
+    ExpectNearNeighbors(loaded.value().Search(queries.data() + q * kDim, 10),
+                        dispatched[q]);
+  }
+  k::ForceArch(original);
+}
+
+void TestIvfRoundTrip(ann::IvfIndex::Storage storage, const char* name) {
+  constexpr int64_t kDim = 16, kN = 700;
+  const auto data = RandomVectors(kN, kDim, 9);
+  ann::IvfIndex::Options options;
+  options.num_lists = 12;
+  options.nprobe = 4;
+  options.storage = storage;
+  options.pq_m = 4;
+  ann::IvfIndex index(kDim, options);
+  ASSERT_TRUE(index.Train(data.data(), kN).ok());
+  ASSERT_TRUE(index.Add(data.data(), kN).ok());
+
+  auto reader = RoundTrip(name, [&](store::IndexMeta* meta,
+                                    store::SnapshotWriter* writer) {
+    store::AppendIvf(index, meta, writer);
+  });
+  auto meta = store::ReadIndexMeta(*reader);
+  ASSERT_TRUE(meta.ok());
+  auto loaded = store::LoadIvf(meta.value(), *reader);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(loaded.value().borrowed());
+  EXPECT_EQ(loaded.value().size(), kN);
+
+  const auto queries = RandomVectors(8, kDim, 10);
+  for (int64_t q = 0; q < 8; ++q) {
+    ExpectSameNeighbors(loaded.value().Search(queries.data() + q * kDim, 10),
+                        index.Search(queries.data() + q * kDim, 10));
+  }
+  EXPECT_EQ(loaded.value().Add(data.data(), 1).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(IndexIoTest, IvfFlatRoundTripIsBitIdentical) {
+  TestIvfRoundTrip(ann::IvfIndex::Storage::kFlat, "ivf_flat.snap");
+}
+
+TEST(IndexIoTest, IvfPqRoundTripIsBitIdentical) {
+  TestIvfRoundTrip(ann::IvfIndex::Storage::kPq, "ivf_pq.snap");
+}
+
+// --- EmbLookup / serve wiring ------------------------------------------------
+
+const kg::KnowledgeGraph& SmallKg() {
+  // Destructible statics (not the leaky-singleton idiom of core_test):
+  // this suite runs under ASan/LSan in CI.
+  static const kg::KnowledgeGraph graph = [] {
+    kg::SyntheticKgOptions options;
+    options.num_entities = 300;
+    options.seed = 21;
+    return kg::GenerateSyntheticKg(options);
+  }();
+  return graph;
+}
+
+core::EmbLookupOptions FastOptions() {
+  core::EmbLookupOptions options;
+  // Syntactic-only keeps the tests fast and makes LoadSnapshot exact (the
+  // fastText branch is not snapshotted).
+  options.encoder.use_semantic_branch = false;
+  options.miner.triplets_per_entity = 6;
+  options.trainer.epochs = 4;
+  return options;
+}
+
+core::EmbLookup* TrainedModel() {
+  static const std::unique_ptr<core::EmbLookup> model = [] {
+    core::EmbLookupOptions options = FastOptions();
+    options.index.kind = core::IndexKind::kPq;
+    auto built = core::EmbLookup::TrainFromKg(SmallKg(), options);
+    EXPECT_TRUE(built.ok()) << built.status().ToString();
+    return std::move(built).value();
+  }();
+  return model.get();
+}
+
+std::vector<std::vector<core::LookupResult>> SampleLookups(
+    const core::EmbLookup& el) {
+  std::vector<std::vector<core::LookupResult>> out;
+  for (kg::EntityId e = 0; e < SmallKg().num_entities(); e += 17) {
+    out.push_back(el.Lookup(SmallKg().entity(e).label, 5));
+  }
+  return out;
+}
+
+void ExpectSameLookups(
+    const std::vector<std::vector<core::LookupResult>>& got,
+    const std::vector<std::vector<core::LookupResult>>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(got[i].size(), want[i].size()) << "query " << i;
+    for (size_t j = 0; j < got[i].size(); ++j) {
+      EXPECT_EQ(got[i][j].entity, want[i][j].entity);
+      EXPECT_EQ(got[i][j].dist, want[i][j].dist);
+    }
+  }
+}
+
+TEST(EmbLookupSnapshotTest, SaveThenLoadIndexSnapshotIsIdentical) {
+  core::EmbLookup* el = TrainedModel();
+  const auto before = SampleLookups(*el);
+  const std::string path = TempPath("emblookup.snap");
+  ASSERT_TRUE(el->SaveSnapshot(path).ok());
+
+  // Hot-swap the serving index for the mmap-loaded copy; results must be
+  // bit-identical (same codebooks, same codes, same tie-breaking).
+  ASSERT_TRUE(el->LoadIndexSnapshot(path).ok());
+  EXPECT_EQ(el->index().kind(), core::IndexKind::kPq);
+  ExpectSameLookups(SampleLookups(*el), before);
+}
+
+TEST(EmbLookupSnapshotTest, StaticLoadSnapshotRestoresEncoderAndIndex) {
+  core::EmbLookup* el = TrainedModel();
+  const std::string path = TempPath("emblookup_static.snap");
+  ASSERT_TRUE(el->SaveSnapshot(path).ok());
+
+  auto restored = core::EmbLookup::LoadSnapshot(SmallKg(), FastOptions(),
+                                                path);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  ExpectSameLookups(SampleLookups(*restored.value()), SampleLookups(*el));
+}
+
+TEST(EmbLookupSnapshotTest, LoadSnapshotRejectsMismatchedGraph) {
+  core::EmbLookup* el = TrainedModel();
+  const std::string path = TempPath("emblookup_mismatch.snap");
+  ASSERT_TRUE(el->SaveSnapshot(path).ok());
+
+  kg::SyntheticKgOptions options;
+  options.num_entities = 50;
+  const kg::KnowledgeGraph other = kg::GenerateSyntheticKg(options);
+  auto restored = core::EmbLookup::LoadSnapshot(other, FastOptions(), path);
+  ASSERT_FALSE(restored.ok());
+  EXPECT_EQ(restored.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EmbLookupSnapshotTest, EntityCatalogMatchesGraph) {
+  core::EmbLookup* el = TrainedModel();
+  const std::string path = TempPath("emblookup_catalog.snap");
+  ASSERT_TRUE(el->SaveSnapshot(path).ok());
+
+  auto opened = store::SnapshotReader::Open(path);
+  ASSERT_TRUE(opened.ok());
+  auto catalog = opened.value()->Require(store::SectionId::kEntityCatalog);
+  ASSERT_TRUE(catalog.ok());
+
+  const uint8_t* p = catalog.value().data;
+  uint64_t count = 0;
+  std::memcpy(&count, p, sizeof(count));
+  ASSERT_EQ(count, static_cast<uint64_t>(SmallKg().num_entities()));
+  const uint64_t* offsets = reinterpret_cast<const uint64_t*>(p + 8);
+  const char* blob = reinterpret_cast<const char*>(p + 8 + (2 * count + 1) * 8);
+  for (uint64_t e = 0; e < count; ++e) {
+    const kg::Entity& entity = SmallKg().entity(static_cast<kg::EntityId>(e));
+    EXPECT_EQ(std::string(blob + offsets[2 * e],
+                          blob + offsets[2 * e + 1]),
+              entity.qid);
+    EXPECT_EQ(std::string(blob + offsets[2 * e + 1],
+                          blob + offsets[2 * e + 2]),
+              entity.label);
+  }
+}
+
+TEST(LookupServerSnapshotTest, LoadSnapshotHotSwapsWithoutDowntime) {
+  core::EmbLookup* el = TrainedModel();
+  const std::string path = TempPath("server.snap");
+  ASSERT_TRUE(el->SaveSnapshot(path).ok());
+
+  serve::ServerOptions options;
+  options.enable_cache = true;
+  serve::LookupServer server(el, options);
+  const std::string query = SmallKg().entity(3).label;
+  auto before = server.LookupSync(query, 5);
+  ASSERT_TRUE(before.ok());
+
+  ASSERT_TRUE(server.LoadSnapshot(path).ok());
+  EXPECT_EQ(server.Metrics().index_swaps, 1u);
+
+  auto after = server.LookupSync(query, 5);
+  ASSERT_TRUE(after.ok());
+  EXPECT_FALSE(after.value().from_cache);  // The swap cleared the cache.
+  EXPECT_EQ(after.value().ids, before.value().ids);
+  server.Shutdown();
+}
+
+TEST(LookupServerSnapshotTest, LoadSnapshotWithoutEmbLookupFails) {
+  // A server wrapping a bare LookupService (no EmbLookup handle) must
+  // refuse snapshot swaps with a Status, not crash.
+  apps::EmbLookupService service(TrainedModel(), /*parallel=*/false);
+  serve::LookupServer bare(&service, serve::ServerOptions());
+  EXPECT_EQ(bare.LoadSnapshot("ignored.snap").code(),
+            StatusCode::kFailedPrecondition);
+  bare.Shutdown();
+}
+
+}  // namespace
+}  // namespace emblookup

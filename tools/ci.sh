@@ -7,8 +7,11 @@
 #      dispatcher to the portable fallback kernels so that path stays
 #      green on hardware where it is never auto-selected;
 #   3. ASan pass over the concurrency-heavy suites (common_test +
-#      serve_test), which exercise the thread pool and the serving
-#      dispatcher/cache/swap paths.
+#      serve_test), the kernel property tests, and store_test (snapshot
+#      corruption handling must fail with Status, never with UB);
+#   4. snapshot round trip through the CLI — build-snapshot ->
+#      snapshot-info -> serve --snapshot on a tiny synthetic KG, proving
+#      the on-disk container end to end (DESIGN.md §7).
 #
 # Usage: tools/ci.sh [jobs]    (defaults to nproc)
 set -euo pipefail
@@ -23,13 +26,27 @@ cmake --build build-ci -j "$JOBS"
 echo "== tier-1b: scalar-kernel fallback ctest =="
 (cd build-ci && EMBLOOKUP_KERNELS=scalar ctest --output-on-failure -j "$JOBS")
 
-echo "== asan: common_test + serve_test + kernels_test =="
+echo "== asan: common_test + serve_test + kernels_test + store_test =="
 cmake -B build-asan -S . -DEMBLOOKUP_NATIVE_ARCH=OFF \
   -DEMBLOOKUP_SANITIZE=address
 cmake --build build-asan -j "$JOBS" --target common_test serve_test \
-  kernels_test
+  kernels_test store_test
 ./build-asan/tests/common_test
 ./build-asan/tests/serve_test
 ./build-asan/tests/kernels_test
+./build-asan/tests/store_test
+
+echo "== snapshot round trip: build-snapshot -> snapshot-info -> serve =="
+SNAPDIR="$(mktemp -d)"
+trap 'rm -rf "$SNAPDIR"' EXIT
+CLI=build-ci/tools/emblookup_cli
+"$CLI" generate-kg --entities 200 --seed 7 --out "$SNAPDIR/kg.tsv"
+"$CLI" train --kg "$SNAPDIR/kg.tsv" --model "$SNAPDIR/model.bin" \
+  --epochs 2 --triplets 4
+"$CLI" build-snapshot --kg "$SNAPDIR/kg.tsv" --model "$SNAPDIR/model.bin" \
+  --out "$SNAPDIR/snap.bin" --kind pq --epochs 2 --triplets 4
+"$CLI" snapshot-info "$SNAPDIR/snap.bin"
+"$CLI" serve --kg "$SNAPDIR/kg.tsv" --snapshot "$SNAPDIR/snap.bin" \
+  --clients 2 --requests 100 --epochs 2 --triplets 4
 
 echo "CI OK"

@@ -7,9 +7,14 @@
 //                             --query "Germeny" [-k 10]
 //   emblookup_cli repl        --kg kg.tsv --model model.bin
 //   emblookup_cli serve       --kg kg.tsv --model model.bin
+//                             [--snapshot snap.bin]
 //                             [--clients 4] [--requests 2000] [--k 10]
 //                             [--batch 32] [--delay-us 1000] [--cache 1]
 //                             [--depth 4096] [--swaps 0]
+//   emblookup_cli build-snapshot --kg kg.tsv --model model.bin
+//                             --out snap.bin [--kind flat|pq|ivfflat|ivfpq]
+//                             [--aliases 0|1]
+//   emblookup_cli snapshot-info snap.bin
 //
 // The KG format is the TSV produced by KnowledgeGraph::SaveTsv. Training
 // writes only the encoder weights; `lookup`/`repl`/`serve` rebuild the
@@ -18,6 +23,12 @@
 // cache, DESIGN.md serving section), drives it with a closed-loop Zipfian
 // load generator, optionally performs online index swaps mid-run, and
 // prints the serving metrics dump.
+//
+// `build-snapshot` persists the full serving state (index payloads, encoder
+// weights, entity catalog) as one checksummed file (DESIGN.md §7);
+// `serve --snapshot` then mmaps it at startup instead of re-embedding the
+// KG — the instant-cold-start path. `snapshot-info` prints the container
+// header, section table and per-section checksum status.
 
 #include <atomic>
 #include <cstdio>
@@ -33,6 +44,8 @@
 #include "core/emblookup.h"
 #include "kg/synthetic_kg.h"
 #include "serve/lookup_server.h"
+#include "store/index_io.h"
+#include "store/snapshot_reader.h"
 
 using namespace emblookup;
 
@@ -73,10 +86,83 @@ int Usage() {
       "  emblookup_cli lookup --kg kg.tsv --model model.bin --query Q"
       " [--k K]\n"
       "  emblookup_cli repl   --kg kg.tsv --model model.bin\n"
-      "  emblookup_cli serve  --kg kg.tsv --model model.bin [--clients C]"
+      "  emblookup_cli serve  --kg kg.tsv --model model.bin"
+      " [--snapshot F] [--clients C]"
       " [--requests N] [--k K] [--batch B] [--delay-us D] [--cache 0|1]"
-      " [--depth Q] [--swaps S]\n");
+      " [--depth Q] [--swaps S]\n"
+      "  emblookup_cli build-snapshot --kg kg.tsv --model model.bin"
+      " --out snap.bin [--kind flat|pq|ivfflat|ivfpq] [--aliases 0|1]\n"
+      "  emblookup_cli snapshot-info snap.bin\n");
   return 2;
+}
+
+/// --kind flag -> IndexKind ("" keeps the config default).
+bool ParseKind(const std::string& name, core::IndexKind* kind) {
+  if (name.empty() || name == "auto") *kind = core::IndexKind::kAuto;
+  else if (name == "flat") *kind = core::IndexKind::kFlat;
+  else if (name == "pq") *kind = core::IndexKind::kPq;
+  else if (name == "ivfflat") *kind = core::IndexKind::kIvfFlat;
+  else if (name == "ivfpq") *kind = core::IndexKind::kIvfPq;
+  else return false;
+  return true;
+}
+
+/// snapshot-info: container header + section table + integrity report.
+int SnapshotInfo(const std::string& path) {
+  // Open without the up-front payload CRC pass so damaged files still get
+  // a per-section report below.
+  store::SnapshotReader::Options open_options;
+  open_options.verify_checksums = false;
+  auto opened = store::SnapshotReader::Open(path, open_options);
+  if (!opened.ok()) {
+    std::fprintf(stderr, "error: %s\n", opened.status().ToString().c_str());
+    return 1;
+  }
+  const std::shared_ptr<const store::SnapshotReader> reader =
+      std::move(opened).value();
+  std::printf("%s: EmbLookup snapshot, format v%u, %llu bytes, %zu sections\n",
+              path.c_str(), reader->version(),
+              static_cast<unsigned long long>(reader->file_size()),
+              reader->sections().size());
+
+  auto meta = store::ReadIndexMeta(*reader);
+  if (meta.ok()) {
+    const store::IndexMeta& m = meta.value();
+    static const char* kBackendNames[] = {"none", "flat", "pq", "ivf-flat",
+                                          "ivf-pq"};
+    const char* backend =
+        m.backend < 5 ? kBackendNames[m.backend] : "unknown";
+    std::printf("index: %s, dim=%lld, rows=%lld", backend,
+                static_cast<long long>(m.dim), static_cast<long long>(m.count));
+    if (m.pq_m > 0) {
+      std::printf(", pq_m=%lld, ksub=%lld", static_cast<long long>(m.pq_m),
+                  static_cast<long long>(m.pq_ksub));
+    }
+    if (m.ivf_num_lists > 0) {
+      std::printf(", lists=%lld, nprobe=%lld",
+                  static_cast<long long>(m.ivf_num_lists),
+                  static_cast<long long>(m.ivf_nprobe));
+    }
+    std::printf("\nentities: %lld, encoder dim: %lld, alias rows: %lld\n",
+                static_cast<long long>(m.num_entities),
+                static_cast<long long>(m.encoder_dim),
+                static_cast<long long>(m.row_to_entity_count));
+  } else {
+    std::printf("index: <%s>\n", meta.status().ToString().c_str());
+  }
+
+  std::printf("%-16s %12s %12s %10s  %s\n", "section", "offset", "bytes",
+              "crc32", "integrity");
+  bool all_ok = true;
+  for (const store::Section& s : reader->sections()) {
+    const Status verified = reader->VerifySection(s);
+    if (!verified.ok()) all_ok = false;
+    std::printf("%-16s %12llu %12llu %10x  %s\n", store::SectionName(s.id),
+                static_cast<unsigned long long>(s.offset),
+                static_cast<unsigned long long>(s.size), s.crc,
+                verified.ok() ? "ok" : "CORRUPT");
+  }
+  return all_ok ? 0 : 1;
 }
 
 /// Closed-loop load generator against a running LookupServer: `clients`
@@ -152,10 +238,21 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  // Remaining commands need a KG.
+  if (command == "snapshot-info") {
+    if (argc < 3) return Usage();
+    return SnapshotInfo(argv[2]);
+  }
+
+  // Remaining commands need a KG; all but `serve --snapshot` (which reads
+  // the encoder weights out of the snapshot) also need a model file.
   const std::string kg_path = FlagStr(flags, "kg");
   const std::string model_path = FlagStr(flags, "model");
-  if (kg_path.empty() || model_path.empty()) return Usage();
+  const std::string snapshot_path = FlagStr(flags, "snapshot");
+  const bool serve_from_snapshot =
+      command == "serve" && !snapshot_path.empty();
+  if (kg_path.empty() || (model_path.empty() && !serve_from_snapshot)) {
+    return Usage();
+  }
   auto loaded = kg::KnowledgeGraph::LoadTsv(kg_path);
   if (!loaded.ok()) {
     std::fprintf(stderr, "cannot load KG: %s\n",
@@ -183,8 +280,50 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  if (command == "build-snapshot") {
+    const std::string out = FlagStr(flags, "out");
+    if (out.empty()) return Usage();
+    core::EmbLookupOptions snap_options = options;
+    if (!ParseKind(FlagStr(flags, "kind"), &snap_options.index.kind)) {
+      return Usage();
+    }
+    snap_options.index.index_aliases = FlagInt(flags, "aliases", 0) != 0;
+    auto restored =
+        core::EmbLookup::LoadFromKg(graph, snap_options, model_path);
+    if (!restored.ok()) {
+      std::fprintf(stderr, "cannot load model: %s\n",
+                   restored.status().ToString().c_str());
+      return 1;
+    }
+    Stopwatch save_watch;
+    const Status status = restored.value()->SaveSnapshot(out);
+    if (!status.ok()) {
+      std::fprintf(stderr, "snapshot failed: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+    std::printf("snapshot (%lld rows, %lld entities) -> %s in %.1fms\n",
+                static_cast<long long>(restored.value()->index().size()),
+                static_cast<long long>(graph.num_entities()), out.c_str(),
+                save_watch.ElapsedSeconds() * 1e3);
+    return 0;
+  }
+
   if (command == "serve") {
-    auto restored = core::EmbLookup::LoadFromKg(graph, options, model_path);
+    Result<std::unique_ptr<core::EmbLookup>> restored =
+        Status::FailedPrecondition("uninitialized");
+    if (serve_from_snapshot) {
+      Stopwatch load_watch;
+      restored = core::EmbLookup::LoadSnapshot(graph, options, snapshot_path);
+      if (restored.ok()) {
+        std::printf("cold start from snapshot %s: %.1fms "
+                    "(index mmap'd zero-copy; includes fastText pre-train)\n",
+                    snapshot_path.c_str(),
+                    load_watch.ElapsedSeconds() * 1e3);
+      }
+    } else {
+      restored = core::EmbLookup::LoadFromKg(graph, options, model_path);
+    }
     if (!restored.ok()) {
       std::fprintf(stderr, "cannot load model: %s\n",
                    restored.status().ToString().c_str());
