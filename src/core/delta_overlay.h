@@ -1,0 +1,53 @@
+#ifndef EMBLOOKUP_CORE_DELTA_OVERLAY_H_
+#define EMBLOOKUP_CORE_DELTA_OVERLAY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "ann/neighbor.h"
+#include "kg/knowledge_graph.h"
+
+namespace emblookup::core {
+
+/// Read-side view of the mutable delta layered over the immutable main
+/// index (DESIGN.md §8). Implementations are immutable snapshots published
+/// RCU-style through EmbLookup's serving state: the updater builds a fresh
+/// overlay per mutation and swaps it in, so concurrent lookups never
+/// observe a half-applied mutation.
+///
+/// The interface lives in core (not src/update) so EmbLookup's merged
+/// search path can consume overlays without a dependency cycle; the
+/// production implementation is update::DeltaIndex.
+class DeltaOverlay {
+ public:
+  virtual ~DeltaOverlay() = default;
+
+  /// True when entity `e`'s rows in the MAIN index are stale — the entity
+  /// was removed, or re-encoded into the delta — and main-index hits for
+  /// it must be dropped.
+  virtual bool Masked(kg::EntityId e) const = 0;
+
+  /// Upper bound on the number of main-index rows Masked() can eliminate.
+  /// The merged search over-fetches the main index by this much so masking
+  /// never starves the top-k.
+  virtual int64_t masked_row_bound() const = 0;
+
+  /// Live rows held by the delta (freshly encoded entities).
+  virtual int64_t delta_rows() const = 0;
+
+  /// Entities removed from the serving catalog since the last compaction.
+  virtual int64_t tombstone_count() const = 0;
+
+  /// Exact best-per-entity candidates among live delta entities: at most k
+  /// neighbors, best first, deduplicated (one hit per entity), computed
+  /// with the same distance kernels as the main index so merged rankings
+  /// are bit-identical to a from-scratch rebuild.
+  virtual void Search(const float* query, int64_t k,
+                      std::vector<ann::Neighbor>* out) const = 0;
+
+  bool empty() const { return delta_rows() == 0 && masked_row_bound() == 0; }
+};
+
+}  // namespace emblookup::core
+
+#endif  // EMBLOOKUP_CORE_DELTA_OVERLAY_H_

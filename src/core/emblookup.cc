@@ -4,6 +4,7 @@
 #include <cstring>
 #include <sstream>
 
+#include "ann/topk.h"
 #include "common/logging.h"
 #include "embed/corpus.h"
 #include "store/index_io.h"
@@ -21,6 +22,41 @@ std::vector<LookupResult> ToResults(const std::vector<ann::Neighbor>& nbrs) {
   out.reserve(nbrs.size());
   for (const ann::Neighbor& n : nbrs) out.push_back({n.id, n.dist});
   return out;
+}
+
+std::shared_ptr<const ServingState> MakeState(
+    std::shared_ptr<const EntityIndex> index,
+    std::shared_ptr<const DeltaOverlay> delta, uint64_t epoch) {
+  auto state = std::make_shared<ServingState>();
+  state->index = std::move(index);
+  state->delta = std::move(delta);
+  state->epoch = epoch;
+  return state;
+}
+
+/// Scatter-gather over the main index and the delta overlay: the main
+/// index is over-fetched to compensate for masked (stale) rows, masked
+/// hits are filtered, delta candidates are merged through the shared TopK
+/// heap — so rankings (including (dist, id) tie order) are bit-identical
+/// to one exact index over the post-mutation catalog.
+std::vector<ann::Neighbor> MergedSearch(const ServingState& state,
+                                        const float* query, int64_t k) {
+  if (state.delta == nullptr || state.delta->empty()) {
+    return state.index->Search(query, k);
+  }
+  const DeltaOverlay& delta = *state.delta;
+  const std::vector<ann::Neighbor> main =
+      state.index->Search(query, k + delta.masked_row_bound());
+  std::vector<ann::Neighbor> fresh;
+  delta.Search(query, k, &fresh);
+  ann::TopK top(k);
+  // Main and delta entity sets are disjoint (an entity re-encoded into the
+  // delta is masked in main), so no cross-source dedup is needed.
+  for (const ann::Neighbor& n : main) {
+    if (!delta.Masked(n.id)) top.Push(n.id, n.dist);
+  }
+  for (const ann::Neighbor& n : fresh) top.Push(n.id, n.dist);
+  return top.Finish();
 }
 
 }  // namespace
@@ -58,7 +94,8 @@ Result<std::unique_ptr<EmbLookup>> EmbLookup::TrainFromKg(
   auto index = EntityIndex::Build(graph, el->encoder_.get(), options.index,
                                   el->pool_.get());
   if (!index.ok()) return index.status();
-  el->index_.store(std::make_shared<EntityIndex>(std::move(index).value()));
+  el->state_.store(MakeState(
+      std::make_shared<EntityIndex>(std::move(index).value()), nullptr, 0));
   return el;
 }
 
@@ -87,7 +124,8 @@ Result<std::unique_ptr<EmbLookup>> EmbLookup::LoadFromKg(
   auto index = EntityIndex::Build(graph, el->encoder_.get(), options.index,
                                   el->pool_.get());
   if (!index.ok()) return index.status();
-  el->index_.store(std::make_shared<EntityIndex>(std::move(index).value()));
+  el->state_.store(MakeState(
+      std::make_shared<EntityIndex>(std::move(index).value()), nullptr, 0));
   return el;
 }
 
@@ -125,7 +163,8 @@ std::vector<uint8_t> BuildEntityCatalog(const kg::KnowledgeGraph& graph) {
 
 }  // namespace
 
-Status EmbLookup::SaveSnapshot(const std::string& path) const {
+Status EmbLookup::SaveSnapshot(const std::string& path,
+                               const SnapshotExtras* extras) const {
   const std::shared_ptr<const EntityIndex> index = IndexSnapshot();
   if (index == nullptr) {
     return Status::FailedPrecondition("SaveSnapshot: no serving index");
@@ -136,6 +175,15 @@ Status EmbLookup::SaveSnapshot(const std::string& path) const {
   index->AppendTo(&meta, &writer);
   meta.encoder_dim = encoder_->dim();
   meta.num_entities = graph_->num_entities();
+  if (extras != nullptr) {
+    meta.delta_rows = extras->delta_rows;
+    meta.tombstone_count = extras->tombstone_count;
+    meta.last_seq = extras->last_seq;
+    if (!extras->wal_tail.empty()) {
+      writer.AddSection(store::SectionId::kWalTail, extras->wal_tail.data(),
+                        extras->wal_tail.size());
+    }
+  }
 
   std::ostringstream params;
   EL_RETURN_NOT_OK(tensor::SaveParameters(encoder_->Parameters(), &params));
@@ -210,16 +258,17 @@ Result<std::unique_ptr<EmbLookup>> EmbLookup::LoadSnapshot(
   if (index.dim() != el->encoder_->dim()) {
     return Status::InvalidArgument("LoadSnapshot: index dim mismatch");
   }
-  el->index_.store(std::make_shared<EntityIndex>(std::move(index)));
+  el->state_.store(
+      MakeState(std::make_shared<EntityIndex>(std::move(index)), nullptr, 0));
   return el;
 }
 
 std::vector<LookupResult> EmbLookup::Lookup(const std::string& query,
                                             int64_t k) const {
-  const std::shared_ptr<const EntityIndex> index = IndexSnapshot();
+  const std::shared_ptr<const ServingState> state = State();
   tensor::NoGradGuard guard;
   tensor::Tensor emb = encoder_->EncodeBatch({query});
-  return ToResults(index->Search(emb.data(), k));
+  return ToResults(MergedSearch(*state, emb.data(), k));
 }
 
 std::vector<std::vector<LookupResult>> EmbLookup::BulkLookup(
@@ -229,7 +278,7 @@ std::vector<std::vector<LookupResult>> EmbLookup::BulkLookup(
   if (n == 0) return out;
   // One snapshot for the whole batch: a concurrent SwapIndex affects only
   // batches submitted after it.
-  const std::shared_ptr<const EntityIndex> index = IndexSnapshot();
+  const std::shared_ptr<const ServingState> state = State();
   const int64_t dim = encoder_->dim();
 
   // Encode all queries (batched; parallel batches when requested).
@@ -253,9 +302,24 @@ std::vector<std::vector<LookupResult>> EmbLookup::BulkLookup(
     for (int64_t bi = 0; bi < num_batches; ++bi) encode_batch(bi);
   }
 
-  ann::NeighborLists lists =
-      index->BatchSearch(embs.data(), n, k, parallel ? pool_.get() : nullptr);
-  for (int64_t i = 0; i < n; ++i) out[i] = ToResults(lists[i]);
+  if (state->delta == nullptr || state->delta->empty()) {
+    ann::NeighborLists lists = state->index->BatchSearch(
+        embs.data(), n, k, parallel ? pool_.get() : nullptr);
+    for (int64_t i = 0; i < n; ++i) out[i] = ToResults(lists[i]);
+    return out;
+  }
+  // Delta overlay active: per-query merged search (the delta is small, so
+  // the per-query scatter-gather dominates neither path).
+  auto merged = [&](int64_t i) {
+    out[i] = ToResults(MergedSearch(*state, embs.data() + i * dim, k));
+  };
+  if (parallel) {
+    pool_->ParallelFor(static_cast<size_t>(n), [&](size_t i) {
+      merged(static_cast<int64_t>(i));
+    });
+  } else {
+    for (int64_t i = 0; i < n; ++i) merged(i);
+  }
   return out;
 }
 
@@ -268,22 +332,48 @@ Status EmbLookup::RebuildIndex(const IndexConfig& config) {
 }
 
 Result<std::shared_ptr<const EntityIndex>> EmbLookup::BuildIndexSnapshot(
-    const IndexConfig& config) {
+    const IndexConfig& config,
+    const std::unordered_set<kg::EntityId>* exclude) {
   auto index = EntityIndex::Build(*graph_, encoder_.get(), config,
-                                  pool_.get());
+                                  pool_.get(), exclude);
   if (!index.ok()) return index.status();
   return std::shared_ptr<const EntityIndex>(
       std::make_shared<EntityIndex>(std::move(index).value()));
 }
 
+void EmbLookup::InstallState(std::shared_ptr<const EntityIndex> index,
+                             std::shared_ptr<const DeltaOverlay> delta) {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  const uint64_t epoch = state_.load(std::memory_order_acquire)->epoch + 1;
+  state_.store(MakeState(std::move(index), std::move(delta), epoch),
+               std::memory_order_release);
+}
+
 Status EmbLookup::SwapIndex(std::shared_ptr<const EntityIndex> snapshot) {
-  if (snapshot == nullptr) {
-    return Status::InvalidArgument("SwapIndex: null index snapshot");
+  return SwapState(std::move(snapshot), nullptr);
+}
+
+Status EmbLookup::SwapState(std::shared_ptr<const EntityIndex> index,
+                            std::shared_ptr<const DeltaOverlay> delta) {
+  if (index == nullptr) {
+    return Status::InvalidArgument("SwapState: null index snapshot");
   }
-  if (snapshot->dim() != encoder_->dim()) {
-    return Status::InvalidArgument("SwapIndex: snapshot dim mismatch");
+  if (index->dim() != encoder_->dim()) {
+    return Status::InvalidArgument("SwapState: snapshot dim mismatch");
   }
-  index_.store(std::move(snapshot), std::memory_order_release);
+  InstallState(std::move(index), std::move(delta));
+  return Status::OK();
+}
+
+Status EmbLookup::ApplyDelta(std::shared_ptr<const DeltaOverlay> delta) {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  const std::shared_ptr<const ServingState> cur =
+      state_.load(std::memory_order_acquire);
+  if (cur->index == nullptr) {
+    return Status::FailedPrecondition("ApplyDelta: no serving index");
+  }
+  state_.store(MakeState(cur->index, std::move(delta), cur->epoch + 1),
+               std::memory_order_release);
   return Status::OK();
 }
 

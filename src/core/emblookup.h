@@ -2,13 +2,17 @@
 #define EMBLOOKUP_CORE_EMBLOOKUP_H_
 
 #include <atomic>
+#include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "core/config.h"
+#include "core/delta_overlay.h"
 #include "core/encoder.h"
 #include "core/entity_index.h"
 #include "core/trainer.h"
@@ -37,6 +41,18 @@ struct EmbLookupOptions {
   /// and fastText pre-training are skipped (used by the bench harness's
   /// model cache and by multi-instance experiments sharing one branch).
   std::shared_ptr<embed::FastTextModel> pretrained_semantic;
+};
+
+/// What EmbLookup serves from at one instant: the immutable main index, an
+/// optional delta overlay of un-compacted mutations, and a monotonically
+/// increasing epoch. Published as one atomic shared_ptr so readers always
+/// see a mutually consistent (index, delta) pair; the epoch tags derived
+/// artifacts (query-cache entries) so they invalidate on every delta apply
+/// and index swap.
+struct ServingState {
+  std::shared_ptr<const EntityIndex> index;
+  std::shared_ptr<const DeltaOverlay> delta;  ///< May be null (no overlay).
+  uint64_t epoch = 0;
 };
 
 /// The EmbLookup system (§III, Fig. 1): a trained mention encoder plus a
@@ -73,24 +89,52 @@ class EmbLookup {
 
   /// Builds a fresh index snapshot for `config` without installing it.
   /// The expensive part of an online rebuild; pair with SwapIndex.
+  /// `exclude` skips the given entities' rows (the updater's compaction
+  /// passes its tombstone set so removed entities stay gone).
   Result<std::shared_ptr<const EntityIndex>> BuildIndexSnapshot(
-      const IndexConfig& config);
+      const IndexConfig& config,
+      const std::unordered_set<kg::EntityId>* exclude = nullptr);
 
   /// Atomically installs `snapshot` as the serving index (RCU-style):
   /// in-flight lookups finish on the snapshot they already acquired, new
   /// lookups see `snapshot`. The old index is freed when its last reader
-  /// releases it.
+  /// releases it. Any delta overlay is dropped (callers folding a delta
+  /// into a rebuild use SwapState; plain swaps rebuild from the full graph
+  /// and therefore supersede the delta's rows — but NOT its tombstones, so
+  /// updater-managed instances should compact instead).
   Status SwapIndex(std::shared_ptr<const EntityIndex> snapshot);
+
+  /// Atomically installs a (main index, delta overlay) pair and bumps the
+  /// serving epoch — the updater's publication point for both per-mutation
+  /// delta applies (index unchanged) and compactions (fresh index, shrunk
+  /// delta). `delta` may be null.
+  Status SwapState(std::shared_ptr<const EntityIndex> index,
+                   std::shared_ptr<const DeltaOverlay> delta);
+
+  /// Replaces only the delta overlay, keeping the serving index. The
+  /// single-writer path for online mutations.
+  Status ApplyDelta(std::shared_ptr<const DeltaOverlay> delta);
+
+  /// The current serving state (index + delta + epoch); safe to search
+  /// concurrently with swaps and delta applies.
+  std::shared_ptr<const ServingState> State() const {
+    return state_.load(std::memory_order_acquire);
+  }
 
   /// The current index snapshot; safe to search concurrently with swaps.
   std::shared_ptr<const EntityIndex> IndexSnapshot() const {
-    return index_.load(std::memory_order_acquire);
+    return State()->index;
   }
+
+  /// Monotonic counter bumped on every delta apply and index swap. Cached
+  /// lookup results tagged with an older epoch are stale.
+  uint64_t serving_epoch() const { return State()->epoch; }
 
   /// Embeds a query string (no tape).
   std::vector<float> Embed(const std::string& query) const;
 
   const kg::KnowledgeGraph& graph() const { return *graph_; }
+  const IndexConfig& index_config() const { return index_config_; }
   EmbLookupEncoder* encoder() { return encoder_.get(); }
   /// Convenience accessor for single-threaded callers (tests, benches).
   /// Concurrent-swap-safe readers should hold an IndexSnapshot() instead.
@@ -111,10 +155,22 @@ class EmbLookup {
       const kg::KnowledgeGraph& graph, const EmbLookupOptions& options,
       const std::string& model_path);
 
+  /// Optional material the updater folds into a snapshot (DESIGN.md §8):
+  /// the un-compacted WAL tail (embedded as a kWalTail section so the
+  /// snapshot is a self-contained backup) and delta/tombstone bookkeeping
+  /// recorded in the index metadata for snapshot-info and restore.
+  struct SnapshotExtras {
+    std::vector<uint8_t> wal_tail;  ///< Raw WAL-file image; empty = omit.
+    int64_t delta_rows = 0;
+    int64_t tombstone_count = 0;
+    uint64_t last_seq = 0;  ///< Highest mutation seq baked into the index.
+  };
+
   /// Persists the full serving state — index payloads, encoder weights and
   /// an entity catalog — as one snapshot file (DESIGN.md §7). Atomic:
   /// written to a temp file, fsync'd, renamed into place.
-  Status SaveSnapshot(const std::string& path) const;
+  Status SaveSnapshot(const std::string& path,
+                      const SnapshotExtras* extras = nullptr) const;
 
   /// Replaces the serving index with one mmap-loaded from `path`. The index
   /// payloads (PQ codes, codebooks, vectors) are scanned in place from the
@@ -134,11 +190,17 @@ class EmbLookup {
  private:
   EmbLookup() = default;
 
+  /// Installs a new serving state under state_mu_ (single-writer; readers
+  /// stay lock-free) and bumps the epoch.
+  void InstallState(std::shared_ptr<const EntityIndex> index,
+                    std::shared_ptr<const DeltaOverlay> delta);
+
   const kg::KnowledgeGraph* graph_ = nullptr;  // Borrowed.
   std::shared_ptr<embed::FastTextModel> fasttext_;
   std::unique_ptr<EmbLookupEncoder> encoder_;
-  /// Serving index, swappable at runtime (see SwapIndex).
-  std::atomic<std::shared_ptr<const EntityIndex>> index_;
+  /// Serving state (index + delta overlay), swappable at runtime.
+  std::atomic<std::shared_ptr<const ServingState>> state_;
+  std::mutex state_mu_;  ///< Serializes state writers (swap vs delta apply).
   std::unique_ptr<ThreadPool> pool_;
   IndexConfig index_config_;
   TrainStats train_stats_;

@@ -23,31 +23,44 @@ IndexKind ResolveKind(const IndexConfig& config) {
 
 }  // namespace
 
-Result<EntityIndex> EntityIndex::Build(const kg::KnowledgeGraph& graph,
-                                       embed::TrainableMentionEncoder* encoder,
-                                       const IndexConfig& config,
-                                       ThreadPool* pool) {
+Result<EntityIndex> EntityIndex::Build(
+    const kg::KnowledgeGraph& graph,
+    embed::TrainableMentionEncoder* encoder, const IndexConfig& config,
+    ThreadPool* pool, const std::unordered_set<kg::EntityId>* exclude) {
   const int64_t num_entities = graph.num_entities();
   if (num_entities == 0) {
     return Status::InvalidArgument("empty knowledge graph");
   }
+  const bool has_exclusions = exclude != nullptr && !exclude->empty();
+  auto excluded = [&](kg::EntityId e) {
+    return has_exclusions && exclude->count(e) > 0;
+  };
   const int64_t dim = encoder->dim();
 
-  // Mention rows: labels, plus aliases when configured.
+  // Mention rows: labels, plus aliases when configured. With exclusions
+  // (or alias indexing) rows are not 1:1 with entity ids, so a row map is
+  // materialized.
+  const bool need_row_map = config.index_aliases || has_exclusions;
   std::vector<std::string> mentions;
   std::vector<kg::EntityId> row_to_entity;
   mentions.reserve(num_entities);
   for (kg::EntityId e = 0; e < num_entities; ++e) {
+    if (excluded(e)) continue;
     mentions.push_back(graph.entity(e).label);
-    if (config.index_aliases) row_to_entity.push_back(e);
+    if (need_row_map) row_to_entity.push_back(e);
   }
   if (config.index_aliases) {
     for (kg::EntityId e = 0; e < num_entities; ++e) {
+      if (excluded(e)) continue;
       for (const std::string& alias : graph.entity(e).aliases) {
         mentions.push_back(alias);
         row_to_entity.push_back(e);
       }
     }
+  }
+  if (mentions.empty()) {
+    return Status::InvalidArgument(
+        "EntityIndex::Build: every entity is excluded");
   }
   const int64_t n = static_cast<int64_t>(mentions.size());
 
@@ -189,30 +202,50 @@ std::vector<ann::Neighbor> EntityIndex::RawSearch(const float* query,
 std::vector<ann::Neighbor> EntityIndex::DedupRows(
     std::vector<ann::Neighbor> rows, int64_t k) const {
   if (row_to_entity_.empty()) return rows;
-  std::vector<ann::Neighbor> out;
-  std::unordered_map<int64_t, bool> seen;
-  out.reserve(k);
+  // Best row per entity, then the canonical (dist, entity id) order. Row
+  // order must not leak into results: it depends on the internal layout
+  // (labels vs aliases), so exact-tie ranks would otherwise differ between
+  // physically different but logically identical indexes — the delta
+  // overlay's bit-exact equivalence contract forbids that.
+  std::unordered_map<int64_t, float> best;
+  best.reserve(rows.size());
   for (const ann::Neighbor& row : rows) {
     const kg::EntityId entity = row_to_entity_[row.id];
-    if (seen.emplace(entity, true).second) {
-      out.push_back({entity, row.dist});
-      if (static_cast<int64_t>(out.size()) >= k) break;
-    }
+    auto [it, inserted] = best.emplace(entity, row.dist);
+    if (!inserted && row.dist < it->second) it->second = row.dist;
   }
+  std::vector<ann::Neighbor> out;
+  out.reserve(best.size());
+  for (const auto& [entity, dist] : best) out.push_back({entity, dist});
+  std::sort(out.begin(), out.end(), [](const ann::Neighbor& a,
+                                       const ann::Neighbor& b) {
+    return a.dist != b.dist ? a.dist < b.dist : a.id < b.id;
+  });
+  if (static_cast<int64_t>(out.size()) > k) out.resize(k);
   return out;
+}
+
+int64_t EntityIndex::DedupFetch(int64_t k) const {
+  // Over-fetch so alias rows of the same entity don't crowd out others.
+  // The flat backend scans every row anyway, so its dedup is made exact by
+  // ranking them all — deep ranks can't be crowded out, and delta-path
+  // lookups stay bit-identical to a from-scratch rebuild (the update
+  // subsystem's equivalence contract). The compressed backends are
+  // approximate already; a bounded over-fetch keeps their cost flat.
+  if (flat_ != nullptr) return size();
+  return 3 * k;
 }
 
 std::vector<ann::Neighbor> EntityIndex::Search(const float* query,
                                                int64_t k) const {
   if (row_to_entity_.empty()) return RawSearch(query, k);
-  // Over-fetch so alias rows of the same entity don't crowd out others.
-  return DedupRows(RawSearch(query, 3 * k), k);
+  return DedupRows(RawSearch(query, DedupFetch(k)), k);
 }
 
 ann::NeighborLists EntityIndex::BatchSearch(const float* queries,
                                             int64_t num_queries, int64_t k,
                                             ThreadPool* pool) const {
-  const int64_t fetch = row_to_entity_.empty() ? k : 3 * k;
+  const int64_t fetch = row_to_entity_.empty() ? k : DedupFetch(k);
   ann::NeighborLists lists;
   if (pq_ != nullptr) {
     lists = pq_->BatchSearch(queries, num_queries, fetch, pool);

@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "ann/flat_index.h"
@@ -31,10 +32,15 @@ class EntityIndex {
  public:
   /// Embeds the indexed mentions with `encoder` (no-grad, batched,
   /// optionally parallel via `pool`) and builds the configured index.
-  static Result<EntityIndex> Build(const kg::KnowledgeGraph& graph,
-                                   embed::TrainableMentionEncoder* encoder,
-                                   const IndexConfig& config,
-                                   ThreadPool* pool = nullptr);
+  /// `exclude` (may be null/empty) skips the given entities entirely —
+  /// the compaction path's tombstones. With exclusions the row ids no
+  /// longer equal entity ids, so a row -> entity map is kept (the same
+  /// mechanism alias indexing uses) and Search still returns entity ids.
+  static Result<EntityIndex> Build(
+      const kg::KnowledgeGraph& graph,
+      embed::TrainableMentionEncoder* encoder, const IndexConfig& config,
+      ThreadPool* pool = nullptr,
+      const std::unordered_set<kg::EntityId>* exclude = nullptr);
 
   /// Reconstructs an index from a snapshot in borrowed-storage mode: the
   /// vector/code payloads are served straight out of `reader`'s mmap (the
@@ -74,6 +80,9 @@ class EntityIndex {
 
   /// Raw row-level search on the active backend.
   std::vector<ann::Neighbor> RawSearch(const float* query, int64_t k) const;
+  /// Rows to fetch before dedup when aliases are indexed: every row for the
+  /// exact flat backend, a bounded over-fetch for compressed ones.
+  int64_t DedupFetch(int64_t k) const;
   /// Maps row hits to entity hits, deduplicating (keeps best distance).
   std::vector<ann::Neighbor> DedupRows(std::vector<ann::Neighbor> rows,
                                        int64_t k) const;

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "apps/lookup_services.h"
+#include "update/updater.h"
 
 namespace emblookup::serve {
 
@@ -105,6 +106,46 @@ Status LookupServer::LoadSnapshot(const std::string& path) {
   return Status::OK();
 }
 
+Result<kg::EntityId> LookupServer::AddEntity(
+    const std::string& label, const std::string& qid,
+    const std::vector<std::string>& aliases) {
+  if (updater_ == nullptr) {
+    return Status::FailedPrecondition("AddEntity: no updater attached");
+  }
+  EL_ASSIGN_OR_RETURN(const kg::EntityId id,
+                      updater_->AddEntity(label, qid, aliases));
+  metrics_.OnUpdate();
+  return id;
+}
+
+Status LookupServer::RemoveEntity(kg::EntityId entity) {
+  if (updater_ == nullptr) {
+    return Status::FailedPrecondition("RemoveEntity: no updater attached");
+  }
+  EL_RETURN_NOT_OK(updater_->RemoveEntity(entity));
+  metrics_.OnUpdate();
+  return Status::OK();
+}
+
+Status LookupServer::UpdateAliases(kg::EntityId entity,
+                                   const std::vector<std::string>& aliases) {
+  if (updater_ == nullptr) {
+    return Status::FailedPrecondition("UpdateAliases: no updater attached");
+  }
+  EL_RETURN_NOT_OK(updater_->UpdateAliases(entity, aliases));
+  metrics_.OnUpdate();
+  return Status::OK();
+}
+
+Status LookupServer::Compact() {
+  if (updater_ == nullptr) {
+    return Status::FailedPrecondition("Compact: no updater attached");
+  }
+  EL_RETURN_NOT_OK(updater_->Compact());
+  metrics_.OnCompaction();
+  return Status::OK();
+}
+
 void LookupServer::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -121,6 +162,7 @@ std::string LookupServer::StatsText() const {
   out += "cache_entries            " + std::to_string(cache.entries) + "\n";
   out += "cache_bytes              " + std::to_string(cache.bytes) + "\n";
   out += "cache_evictions          " + std::to_string(cache.evictions) + "\n";
+  out += "cache_stale_drops        " + std::to_string(cache.stale_drops) + "\n";
   return out;
 }
 
@@ -168,6 +210,10 @@ void LookupServer::DispatcherLoop() {
 
 void LookupServer::ExecuteBatch(std::vector<Request>* batch) {
   const auto now = SteadyClock::now();
+  // Epoch for cache tagging, captured before execution: if a mutation
+  // lands mid-batch the results are tagged with the older epoch and read
+  // as stale afterwards — conservative, never serves outdated hits.
+  const uint64_t epoch = emblookup_ != nullptr ? emblookup_->serving_epoch() : 0;
   // Triage: expire, serve from cache, or collect for backend execution.
   std::vector<Request*> misses;
   std::vector<std::string> queries;
@@ -186,7 +232,7 @@ void LookupServer::ExecuteBatch(std::vector<Request>* batch) {
     }
     if (options_.enable_cache) {
       LookupResponse resp;
-      if (cache_.Get(req.query, req.k, &resp.ids)) {
+      if (cache_.Get(req.query, req.k, epoch, &resp.ids)) {
         metrics_.OnCacheHit();
         resp.from_cache = true;
         resp.queue_wait_seconds = wait_us * 1e-6;
@@ -216,7 +262,7 @@ void LookupServer::ExecuteBatch(std::vector<Request>* batch) {
     if (static_cast<int64_t>(resp.ids.size()) > req->k) {
       resp.ids.resize(req->k);
     }
-    if (options_.enable_cache) cache_.Put(req->query, req->k, resp.ids);
+    if (options_.enable_cache) cache_.Put(req->query, req->k, epoch, resp.ids);
     resp.queue_wait_seconds = ToMicros(now - req->enqueue_time) * 1e-6;
     metrics_.ObserveLatencyMicros(
         ToMicros(SteadyClock::now() - req->enqueue_time));

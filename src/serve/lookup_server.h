@@ -18,6 +18,10 @@
 #include "serve/metrics.h"
 #include "serve/query_cache.h"
 
+namespace emblookup::update {
+class IndexUpdater;
+}  // namespace emblookup::update
+
 namespace emblookup::serve {
 
 /// Tuning knobs for the serving pipeline.
@@ -101,6 +105,30 @@ class LookupServer {
   /// FailedPrecondition when the server wraps no EmbLookup.
   Status LoadSnapshot(const std::string& path);
 
+  /// Attaches an online-update write path (src/update). The updater is
+  /// borrowed, must wrap the same EmbLookup this server serves, and must
+  /// outlive the server. Enables the mutation endpoints below; lookups
+  /// observe mutations through the serving epoch (stale cache entries are
+  /// dropped on probe, no clear needed).
+  void AttachUpdater(update::IndexUpdater* updater) { updater_ = updater; }
+
+  /// Durably adds an entity and makes it immediately searchable.
+  /// FailedPrecondition when no updater is attached.
+  Result<kg::EntityId> AddEntity(const std::string& label,
+                                 const std::string& qid,
+                                 const std::vector<std::string>& aliases);
+
+  /// Durably removes an entity from the serving catalog.
+  Status RemoveEntity(kg::EntityId entity);
+
+  /// Durably adds alias mentions to an entity.
+  Status UpdateAliases(kg::EntityId entity,
+                       const std::vector<std::string>& aliases);
+
+  /// Folds the delta into a freshly rebuilt main index (RCU swap; lookups
+  /// continue uninterrupted).
+  Status Compact();
+
   /// Stops accepting work, drains or fails the queue per
   /// ServerOptions::drain_on_shutdown, and joins the dispatcher. Idempotent.
   void Shutdown();
@@ -129,6 +157,7 @@ class LookupServer {
   std::unique_ptr<apps::LookupService> owned_backend_;
   apps::LookupService* backend_;    // Not owned (may point at owned_backend_).
   core::EmbLookup* emblookup_;      // Not owned; nullptr disables SwapIndex.
+  update::IndexUpdater* updater_ = nullptr;  // Not owned; optional.
   ServerOptions options_;
   QueryCache cache_;
   serve::Metrics metrics_;

@@ -107,6 +107,8 @@ MetricsSnapshot Metrics::Snapshot() const {
   snap.cache_misses = cache_misses_.load();
   snap.batches_executed = batches_executed_.load();
   snap.index_swaps = index_swaps_.load();
+  snap.updates_applied = updates_applied_.load();
+  snap.compactions = compactions_.load();
   snap.queue_wait_us = queue_wait_us_.Snapshot();
   snap.batch_size = batch_size_.Snapshot();
   snap.e2e_latency_us = e2e_latency_us_.Snapshot();
@@ -127,6 +129,8 @@ std::string MetricsSnapshot::ToText() const {
   out += rate;
   AppendCounter(&out, "batches_executed", batches_executed);
   AppendCounter(&out, "index_swaps", index_swaps);
+  AppendCounter(&out, "updates_applied", updates_applied);
+  AppendCounter(&out, "compactions", compactions);
   AppendHistogram(&out, "queue_wait_us", queue_wait_us);
   AppendHistogram(&out, "batch_size", batch_size);
   AppendHistogram(&out, "e2e_latency_us", e2e_latency_us);

@@ -59,6 +59,8 @@ struct MetricsSnapshot {
   uint64_t cache_misses = 0;
   uint64_t batches_executed = 0;
   uint64_t index_swaps = 0;
+  uint64_t updates_applied = 0;  ///< Online mutations served (add/remove/...).
+  uint64_t compactions = 0;      ///< Delta-into-main index rebuilds.
   HistogramSnapshot queue_wait_us;
   HistogramSnapshot batch_size;
   HistogramSnapshot e2e_latency_us;
@@ -89,6 +91,8 @@ class Metrics {
   void OnCacheHit() { Inc(&cache_hits_); }
   void OnCacheMiss() { Inc(&cache_misses_); }
   void OnSwap() { Inc(&index_swaps_); }
+  void OnUpdate() { Inc(&updates_applied_); }
+  void OnCompaction() { Inc(&compactions_); }
 
   /// Records one executed backend batch of `size` queries.
   void OnBatch(int64_t size) {
@@ -114,6 +118,8 @@ class Metrics {
   std::atomic<uint64_t> cache_misses_{0};
   std::atomic<uint64_t> batches_executed_{0};
   std::atomic<uint64_t> index_swaps_{0};
+  std::atomic<uint64_t> updates_applied_{0};
+  std::atomic<uint64_t> compactions_{0};
   Histogram queue_wait_us_;
   Histogram batch_size_;
   Histogram e2e_latency_us_;

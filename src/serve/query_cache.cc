@@ -43,7 +43,7 @@ QueryCache::Shard& QueryCache::ShardFor(const std::string& key) {
   return *shards_[std::hash<std::string>{}(key) % shards_.size()];
 }
 
-bool QueryCache::Get(const std::string& query, int64_t k,
+bool QueryCache::Get(const std::string& query, int64_t k, uint64_t epoch,
                      std::vector<kg::EntityId>* out) {
   const std::string key = MakeKey(query, k);
   Shard& shard = ShardFor(key);
@@ -53,13 +53,22 @@ bool QueryCache::Get(const std::string& query, int64_t k,
     misses_.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
+  if (it->second->epoch != epoch) {
+    // Written under a retired index/delta state: drop, count as a miss.
+    shard.bytes -= it->second->bytes;
+    shard.lru.erase(it->second);
+    shard.map.erase(it);
+    stale_drops_.fetch_add(1, std::memory_order_relaxed);
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);  // Promote.
   *out = it->second->ids;
   hits_.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
 
-void QueryCache::Put(const std::string& query, int64_t k,
+void QueryCache::Put(const std::string& query, int64_t k, uint64_t epoch,
                      std::vector<kg::EntityId> ids) {
   std::string key = MakeKey(query, k);
   Shard& shard = ShardFor(key);
@@ -70,10 +79,11 @@ void QueryCache::Put(const std::string& query, int64_t k,
     shard.bytes -= it->second->bytes;
     it->second->ids = std::move(ids);
     it->second->bytes = bytes;
+    it->second->epoch = epoch;
     shard.bytes += bytes;
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
   } else {
-    shard.lru.push_front(Entry{key, std::move(ids), bytes});
+    shard.lru.push_front(Entry{key, std::move(ids), bytes, epoch});
     shard.map.emplace(std::move(key), shard.lru.begin());
     shard.bytes += bytes;
   }
@@ -106,6 +116,7 @@ QueryCacheStats QueryCache::Stats() const {
   stats.hits = hits_.load(std::memory_order_relaxed);
   stats.misses = misses_.load(std::memory_order_relaxed);
   stats.evictions = evictions_.load(std::memory_order_relaxed);
+  stats.stale_drops = stale_drops_.load(std::memory_order_relaxed);
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mu);
     stats.entries += shard->lru.size();

@@ -27,7 +27,8 @@ struct QueryCacheOptions {
 struct QueryCacheStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
-  uint64_t evictions = 0;  ///< Capacity evictions (not Clear()).
+  uint64_t evictions = 0;    ///< Capacity evictions (not Clear()).
+  uint64_t stale_drops = 0;  ///< Hits discarded for an out-of-date epoch.
   uint64_t entries = 0;
   uint64_t bytes = 0;
 };
@@ -44,13 +45,19 @@ class QueryCache {
   QueryCache& operator=(const QueryCache&) = delete;
 
   /// Copies the cached result for (query, k) into `out` and returns true
-  /// on a hit (promoting the entry to most-recently-used).
-  bool Get(const std::string& query, int64_t k,
+  /// on a hit (promoting the entry to most-recently-used). `epoch` is the
+  /// backend's current serving epoch (EmbLookup::serving_epoch()): an
+  /// entry written under an older epoch describes a retired index or
+  /// delta state, so it is dropped and the probe counts as a miss. Every
+  /// delta apply and index swap bumps the epoch, invalidating the whole
+  /// cache lazily without a stop-the-world clear.
+  bool Get(const std::string& query, int64_t k, uint64_t epoch,
            std::vector<kg::EntityId>* out);
 
-  /// Inserts or refreshes the result for (query, k), evicting LRU entries
-  /// while the shard exceeds its entry or byte budget.
-  void Put(const std::string& query, int64_t k,
+  /// Inserts or refreshes the result for (query, k) computed under
+  /// `epoch`, evicting LRU entries while the shard exceeds its entry or
+  /// byte budget.
+  void Put(const std::string& query, int64_t k, uint64_t epoch,
            std::vector<kg::EntityId> ids);
 
   /// Drops every entry (used on index swap: cached results are stale the
@@ -69,6 +76,7 @@ class QueryCache {
     std::string key;
     std::vector<kg::EntityId> ids;
     size_t bytes = 0;
+    uint64_t epoch = 0;  ///< Serving epoch the result was computed under.
   };
 
   struct Shard {
@@ -89,6 +97,7 @@ class QueryCache {
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> stale_drops_{0};
 };
 
 }  // namespace emblookup::serve

@@ -62,6 +62,10 @@ enum class SectionId : uint32_t {
   kIvfCodes = 10,      ///< uint8[count * m] row-major residual codes (IVF-PQ).
   kEncoderParams = 11, ///< tensor::SaveParameters stream (encoder weights).
   kEntityCatalog = 12, ///< String table: qid/label per entity (see below).
+  kWalTail = 13,       ///< Raw WAL-file image: mutations not yet persisted
+                       ///< to the catalog TSV (update::IndexUpdater). Makes
+                       ///< a snapshot a self-contained backup; additive, so
+                       ///< pre-update readers skip it.
 };
 
 struct SectionEntry {

@@ -39,7 +39,13 @@ struct IndexMeta {
   int64_t num_entities = 0;   ///< kEntityCatalog entries (0 = absent).
   int64_t encoder_dim = 0;    ///< Output dim of the saved encoder (0 = none).
   uint64_t seed = 0;          ///< IVF assignment seed (reproducibility note).
-  uint8_t reserved[40] = {};
+  /// Online-update bookkeeping (update::IndexUpdater): carved out of the
+  /// reserved tail, so pre-update snapshots read as zeros (no delta).
+  int64_t delta_rows = 0;       ///< Delta rows live when snapshotted (0:
+                                ///< the snapshot index is fully compacted).
+  int64_t tombstone_count = 0;  ///< Entities excluded as removed.
+  uint64_t last_seq = 0;        ///< Highest mutation seq baked in.
+  uint8_t reserved[16] = {};
 };
 static_assert(sizeof(IndexMeta) == 128, "IndexMeta must be 128 bytes");
 

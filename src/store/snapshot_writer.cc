@@ -141,6 +141,7 @@ const char* SectionName(SectionId id) {
     case SectionId::kIvfCodes: return "ivf-codes";
     case SectionId::kEncoderParams: return "encoder-params";
     case SectionId::kEntityCatalog: return "entity-catalog";
+    case SectionId::kWalTail: return "wal-tail";
   }
   return "unknown";
 }

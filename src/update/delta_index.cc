@@ -1,0 +1,76 @@
+#include "update/delta_index.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "ann/kernels.h"
+#include "ann/topk.h"
+
+namespace emblookup::update {
+
+namespace {
+/// Rows per SIMD scan block (matches ann::FlatIndex's scan granularity).
+constexpr int64_t kScanBlock = 256;
+}  // namespace
+
+void DeltaIndex::AddRow(kg::EntityId entity, const float* vec) {
+  vectors_.insert(vectors_.end(), vec, vec + dim_);
+  row_entity_.push_back(entity);
+  row_alive_.push_back(1);
+  ++alive_rows_;
+}
+
+void DeltaIndex::MaskEntity(kg::EntityId entity, int64_t main_rows) {
+  if (masked_.insert(entity).second) masked_row_bound_ += main_rows;
+}
+
+void DeltaIndex::KillRows(kg::EntityId entity) {
+  for (size_t r = 0; r < row_entity_.size(); ++r) {
+    if (row_entity_[r] == entity && row_alive_[r]) {
+      row_alive_[r] = 0;
+      --alive_rows_;
+    }
+  }
+}
+
+void DeltaIndex::Tombstone(kg::EntityId entity, int64_t main_rows) {
+  MaskEntity(entity, main_rows);
+  KillRows(entity);
+  removed_.insert(entity);
+}
+
+void DeltaIndex::ClearTombstone(kg::EntityId entity) {
+  removed_.erase(entity);
+}
+
+void DeltaIndex::Search(const float* query, int64_t k,
+                        std::vector<ann::Neighbor>* out) const {
+  out->clear();
+  if (k <= 0 || alive_rows_ == 0) return;
+  const ann::kernels::KernelTable& kt = ann::kernels::Dispatch();
+  const int64_t n = total_rows();
+
+  // Best distance per live entity: the same row -> entity dedup the main
+  // index applies, so an entity's alias rows never crowd the merged top-k.
+  std::unordered_map<int64_t, float> best;
+  best.reserve(static_cast<size_t>(alive_rows_));
+  float dists[kScanBlock];
+  for (int64_t begin = 0; begin < n; begin += kScanBlock) {
+    const int64_t count = std::min(kScanBlock, n - begin);
+    kt.l2_sqr_batch(query, vectors_.data() + begin * dim_, count, dim_,
+                    dists);
+    for (int64_t i = 0; i < count; ++i) {
+      const int64_t row = begin + i;
+      if (!row_alive_[row]) continue;
+      const int64_t entity = row_entity_[row];
+      auto [it, inserted] = best.emplace(entity, dists[i]);
+      if (!inserted && dists[i] < it->second) it->second = dists[i];
+    }
+  }
+
+  ann::TopK top(k);
+  for (const auto& [entity, dist] : best) top.Push(entity, dist);
+  *out = top.Finish();
+}
+
+}  // namespace emblookup::update

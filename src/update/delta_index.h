@@ -1,0 +1,103 @@
+#ifndef EMBLOOKUP_UPDATE_DELTA_INDEX_H_
+#define EMBLOOKUP_UPDATE_DELTA_INDEX_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "core/delta_overlay.h"
+#include "kg/knowledge_graph.h"
+
+namespace emblookup::update {
+
+/// The mutable half of the LSM pair (DESIGN.md §8): a small exact flat
+/// index over freshly encoded entity mentions, plus the tombstone/mask
+/// bookkeeping that hides stale main-index rows. SIMD-scanned with the
+/// same ann::kernels distance kernels as the main index, so merged
+/// rankings are bit-identical to a from-scratch rebuild.
+///
+/// Instances are published as immutable core::DeltaOverlay snapshots.
+/// The updater mutates a private copy (copy construction is the COW
+/// point) and swaps it into EmbLookup's serving state; concurrent
+/// lookups keep reading the previous snapshot.
+///
+/// Invariant kept by the updater: an entity never has live rows in both
+/// the main index and the delta — re-encoding an entity into the delta
+/// always masks its main rows first — so the merged search needs no
+/// cross-source deduplication.
+class DeltaIndex : public core::DeltaOverlay {
+ public:
+  explicit DeltaIndex(int64_t dim) : dim_(dim) {}
+
+  // -- Mutators (only ever called on unpublished copies) --
+
+  /// Appends one live mention row for `entity`. `vec` has dim() floats.
+  void AddRow(kg::EntityId entity, const float* vec);
+
+  /// Marks `entity`'s rows in the MAIN index stale. `main_rows` is the
+  /// number of rows the entity occupies there (0 when it was added after
+  /// the main index was built); it widens the merged search's over-fetch
+  /// bound. Idempotent per entity.
+  void MaskEntity(kg::EntityId entity, int64_t main_rows);
+
+  /// Drops `entity`'s live delta rows (before re-encoding or removal).
+  void KillRows(kg::EntityId entity);
+
+  /// Removes `entity` from the serving catalog: masks its main rows,
+  /// kills its delta rows and records the tombstone compaction consumes.
+  void Tombstone(kg::EntityId entity, int64_t main_rows);
+
+  /// Clears the tombstone for `entity` (an add re-using a removed id is
+  /// not possible — ids are append-only — but replay of a fresh WAL onto
+  /// an adopted delta needs this for idempotence).
+  void ClearTombstone(kg::EntityId entity);
+
+  // -- core::DeltaOverlay --
+
+  bool Masked(kg::EntityId entity) const override {
+    return masked_.count(entity) > 0;
+  }
+  int64_t masked_row_bound() const override { return masked_row_bound_; }
+  int64_t delta_rows() const override { return alive_rows_; }
+  int64_t tombstone_count() const override {
+    return static_cast<int64_t>(removed_.size());
+  }
+  void Search(const float* query, int64_t k,
+              std::vector<ann::Neighbor>* out) const override;
+
+  // -- Introspection --
+
+  int64_t dim() const { return dim_; }
+  /// Total rows held, live or dead (memory bookkeeping).
+  int64_t total_rows() const {
+    return static_cast<int64_t>(row_entity_.size());
+  }
+  bool Removed(kg::EntityId entity) const {
+    return removed_.count(entity) > 0;
+  }
+  /// The exclusion set a compaction rebuild passes to EntityIndex::Build.
+  const std::unordered_set<kg::EntityId>& tombstones() const {
+    return removed_;
+  }
+
+ private:
+  int64_t dim_;
+  /// Row-major (total_rows, dim) vectors; dead rows keep their storage
+  /// and are skipped by the scan (the delta is small and short-lived —
+  /// compaction resets it).
+  std::vector<float> vectors_;
+  std::vector<kg::EntityId> row_entity_;
+  std::vector<uint8_t> row_alive_;
+  int64_t alive_rows_ = 0;
+
+  /// Entities whose main-index rows must be ignored (re-encoded herein,
+  /// or removed).
+  std::unordered_set<kg::EntityId> masked_;
+  /// Removed entities (subset of masked_).
+  std::unordered_set<kg::EntityId> removed_;
+  int64_t masked_row_bound_ = 0;
+};
+
+}  // namespace emblookup::update
+
+#endif  // EMBLOOKUP_UPDATE_DELTA_INDEX_H_

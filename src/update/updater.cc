@@ -1,0 +1,396 @@
+#include "update/updater.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "common/logging.h"
+#include "store/index_io.h"
+#include "store/snapshot_reader.h"
+
+namespace emblookup::update {
+
+Result<std::unique_ptr<IndexUpdater>> IndexUpdater::Open(
+    core::EmbLookup* el, kg::KnowledgeGraph* graph,
+    const UpdaterOptions& options) {
+  if (el == nullptr || graph == nullptr) {
+    return Status::InvalidArgument("IndexUpdater::Open: null el/graph");
+  }
+  if (options.wal_path.empty()) {
+    return Status::InvalidArgument("IndexUpdater::Open: wal_path is empty");
+  }
+  std::unique_ptr<IndexUpdater> up(new IndexUpdater());
+  up->el_ = el;
+  up->graph_ = graph;
+  up->options_ = options;
+
+  // Recover whatever the log holds before accepting new appends.
+  EL_ASSIGN_OR_RETURN(WalContents wal, ReadWalFile(options.wal_path));
+  EL_RETURN_NOT_OK(up->wal_.Open(options.wal_path, options.fsync_wal));
+  if (wal.torn_tail_bytes > 0) {
+    // Drop the torn tail on disk too, so new records don't land after
+    // garbage bytes.
+    EL_LOG(Warning) << "WAL " << options.wal_path << ": discarding "
+                    << wal.torn_tail_bytes << " torn tail bytes";
+    EL_RETURN_NOT_OK(up->wal_.Rewrite(wal.records));
+  }
+
+  up->seq_ = options.baked_seq;
+  if (!wal.records.empty()) {
+    up->seq_ = std::max(up->seq_, wal.records.back().seq);
+  }
+  up->torn_tail_bytes_ = wal.torn_tail_bytes;
+
+  const int64_t dim = el->State()->index->dim();
+  auto delta = std::make_shared<DeltaIndex>(dim);
+  {
+    std::lock_guard<std::mutex> lock(up->mu_);
+    for (const Mutation& m : wal.records) {
+      EL_RETURN_NOT_OK(ApplyToGraph(m, graph));
+      EL_RETURN_NOT_OK(up->ApplyToDeltaLocked(m, m.seq <= options.baked_seq,
+                                              delta.get()));
+      ++up->replayed_;
+    }
+    EL_RETURN_NOT_OK(up->PublishLocked(std::move(delta)));
+  }
+
+  if (options.background_compaction) {
+    up->compactor_ = std::thread([raw = up.get()] { raw->CompactionLoop(); });
+  }
+  return up;
+}
+
+IndexUpdater::~IndexUpdater() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (compactor_.joinable()) compactor_.join();
+}
+
+int64_t IndexUpdater::MainRowsLocked(kg::EntityId entity,
+                                     const DeltaIndex& delta) const {
+  if (fresh_.count(entity) > 0 || delta.Removed(entity)) return 0;
+  int64_t rows = 1;  // The canonical-label row.
+  if (el_->index_config().index_aliases) {
+    // Aliases only ever grow, so the current count upper-bounds the rows
+    // the entity had when the main index was built — a valid over-fetch
+    // bound for the merged search.
+    rows += static_cast<int64_t>(graph_->entity(entity).aliases.size());
+  }
+  return rows;
+}
+
+void IndexUpdater::EncodeEntityLocked(kg::EntityId entity,
+                                      DeltaIndex* delta) const {
+  const kg::Entity& e = graph_->entity(entity);
+  delta->AddRow(entity, el_->Embed(e.label).data());
+  if (el_->index_config().index_aliases) {
+    for (const std::string& alias : e.aliases) {
+      delta->AddRow(entity, el_->Embed(alias).data());
+    }
+  }
+}
+
+Status IndexUpdater::ApplyToGraph(const Mutation& m,
+                                  kg::KnowledgeGraph* graph) {
+  switch (m.kind) {
+    case MutationKind::kAddEntity: {
+      if (m.entity < 0) {
+        return Status::IoError("WAL/catalog mismatch: add of negative entity " +
+                               std::to_string(m.entity));
+      }
+      if (m.entity < graph->num_entities()) {
+        // Already present (catalog saved after this record was logged).
+        if (graph->entity(m.entity).label != m.label) {
+          return Status::IoError(
+              "WAL/catalog mismatch: entity " + std::to_string(m.entity) +
+              " has label '" + graph->entity(m.entity).label +
+              "', WAL says '" + m.label + "'");
+        }
+      } else if (m.entity == graph->num_entities()) {
+        const kg::EntityId id = graph->AddEntity(m.label, m.qid);
+        EL_CHECK_EQ(id, m.entity);
+      } else {
+        return Status::IoError(
+            "WAL/catalog mismatch: add of entity " + std::to_string(m.entity) +
+            " but catalog has only " + std::to_string(graph->num_entities()));
+      }
+      for (const std::string& alias : m.aliases) {
+        graph->AddAlias(m.entity, alias);  // Duplicates ignored.
+      }
+      return Status::OK();
+    }
+    case MutationKind::kRemoveEntity:
+    case MutationKind::kUpdateAliases: {
+      if (m.entity < 0 || m.entity >= graph->num_entities()) {
+        return Status::IoError("WAL/catalog mismatch: mutation of unknown "
+                               "entity " + std::to_string(m.entity));
+      }
+      for (const std::string& alias : m.aliases) {
+        graph->AddAlias(m.entity, alias);
+      }
+      return Status::OK();
+    }
+    case MutationKind::kInvalid:
+      break;
+  }
+  return Status::IoError("WAL record with invalid mutation kind");
+}
+
+Status IndexUpdater::ApplyToDeltaLocked(const Mutation& m, bool baked,
+                                        DeltaIndex* delta) {
+  switch (m.kind) {
+    case MutationKind::kAddEntity:
+      if (!baked) {
+        fresh_.insert(m.entity);
+        EncodeEntityLocked(m.entity, delta);
+      }
+      return Status::OK();
+    case MutationKind::kRemoveEntity: {
+      // Baked removals are already excluded from the main index; keep the
+      // tombstone (row bound 0) so the next rebuild of the append-only
+      // catalog doesn't resurrect the entity.
+      const int64_t rows = baked || fresh_.count(m.entity) > 0
+                               ? 0
+                               : MainRowsLocked(m.entity, *delta);
+      delta->Tombstone(m.entity, rows);
+      fresh_.erase(m.entity);
+      return Status::OK();
+    }
+    case MutationKind::kUpdateAliases:
+      if (!baked && el_->index_config().index_aliases &&
+          !delta->Removed(m.entity)) {
+        // Keep main/delta disjoint per entity: hide the entity's main rows
+        // and re-encode every mention (label + all aliases) into the delta.
+        delta->MaskEntity(m.entity, MainRowsLocked(m.entity, *delta));
+        delta->KillRows(m.entity);
+        EncodeEntityLocked(m.entity, delta);
+      }
+      return Status::OK();
+    case MutationKind::kInvalid:
+      break;
+  }
+  return Status::Internal("invalid mutation kind");
+}
+
+Status IndexUpdater::PublishLocked(std::shared_ptr<const DeltaIndex> delta) {
+  EL_RETURN_NOT_OK(el_->ApplyDelta(delta));
+  delta_ = std::move(delta);
+  return Status::OK();
+}
+
+Result<kg::EntityId> IndexUpdater::AddEntity(
+    const std::string& label, const std::string& qid,
+    const std::vector<std::string>& aliases) {
+  if (label.empty()) {
+    return Status::InvalidArgument("AddEntity: empty label");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  Mutation m;
+  m.kind = MutationKind::kAddEntity;
+  m.seq = seq_ + 1;
+  m.entity = graph_->num_entities();
+  m.label = label;
+  m.qid = qid;
+  m.aliases = aliases;
+  EL_RETURN_NOT_OK(wal_.Append(m));  // Durable: the acknowledgment point.
+  seq_ = m.seq;
+  EL_RETURN_NOT_OK(ApplyToGraph(m, graph_));
+  auto delta = std::make_shared<DeltaIndex>(*delta_);
+  EL_RETURN_NOT_OK(ApplyToDeltaLocked(m, /*baked=*/false, delta.get()));
+  EL_RETURN_NOT_OK(PublishLocked(std::move(delta)));
+  ++applied_;
+  EL_RETURN_NOT_OK(MaybeCompactLocked());
+  cv_.notify_all();
+  return m.entity;
+}
+
+Status IndexUpdater::RemoveEntity(kg::EntityId entity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (entity < 0 || entity >= graph_->num_entities()) {
+    return Status::NotFound("RemoveEntity: no entity " +
+                            std::to_string(entity));
+  }
+  if (delta_->Removed(entity)) {
+    return Status::AlreadyExists("RemoveEntity: entity " +
+                                 std::to_string(entity) +
+                                 " is already removed");
+  }
+  Mutation m;
+  m.kind = MutationKind::kRemoveEntity;
+  m.seq = seq_ + 1;
+  m.entity = entity;
+  EL_RETURN_NOT_OK(wal_.Append(m));
+  seq_ = m.seq;
+  auto delta = std::make_shared<DeltaIndex>(*delta_);
+  EL_RETURN_NOT_OK(ApplyToDeltaLocked(m, /*baked=*/false, delta.get()));
+  EL_RETURN_NOT_OK(PublishLocked(std::move(delta)));
+  ++applied_;
+  EL_RETURN_NOT_OK(MaybeCompactLocked());
+  cv_.notify_all();
+  return Status::OK();
+}
+
+Status IndexUpdater::UpdateAliases(kg::EntityId entity,
+                                   const std::vector<std::string>& aliases) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (entity < 0 || entity >= graph_->num_entities()) {
+    return Status::NotFound("UpdateAliases: no entity " +
+                            std::to_string(entity));
+  }
+  if (delta_->Removed(entity)) {
+    return Status::FailedPrecondition("UpdateAliases: entity " +
+                                      std::to_string(entity) + " is removed");
+  }
+  if (aliases.empty()) {
+    return Status::InvalidArgument("UpdateAliases: no aliases given");
+  }
+  Mutation m;
+  m.kind = MutationKind::kUpdateAliases;
+  m.seq = seq_ + 1;
+  m.entity = entity;
+  m.aliases = aliases;
+  EL_RETURN_NOT_OK(wal_.Append(m));
+  seq_ = m.seq;
+  EL_RETURN_NOT_OK(ApplyToGraph(m, graph_));
+  auto delta = std::make_shared<DeltaIndex>(*delta_);
+  EL_RETURN_NOT_OK(ApplyToDeltaLocked(m, /*baked=*/false, delta.get()));
+  EL_RETURN_NOT_OK(PublishLocked(std::move(delta)));
+  ++applied_;
+  EL_RETURN_NOT_OK(MaybeCompactLocked());
+  cv_.notify_all();
+  return Status::OK();
+}
+
+Status IndexUpdater::CompactLocked() {
+  // Rebuild off the current catalog minus tombstones. Mutations stall
+  // (we hold mu_); lookups keep hitting the old state lock-free and swap
+  // to the new one atomically at the end.
+  const std::unordered_set<kg::EntityId> exclude = delta_->tombstones();
+  EL_ASSIGN_OR_RETURN(
+      std::shared_ptr<const core::EntityIndex> index,
+      el_->BuildIndexSnapshot(el_->index_config(),
+                              exclude.empty() ? nullptr : &exclude));
+  auto delta = std::make_shared<DeltaIndex>(index->dim());
+  for (const kg::EntityId e : exclude) {
+    delta->Tombstone(e, 0);  // Rows already excluded from the new index.
+  }
+  EL_RETURN_NOT_OK(el_->SwapState(std::move(index), delta));
+  delta_ = std::move(delta);
+  fresh_.clear();
+  ++compactions_;
+  return Status::OK();
+}
+
+Status IndexUpdater::MaybeCompactLocked() {
+  if (options_.background_compaction) return Status::OK();  // Thread's job.
+  const bool rows_due = options_.compact_delta_rows > 0 &&
+                        delta_->delta_rows() >= options_.compact_delta_rows;
+  const bool mask_due =
+      options_.compact_masked_rows > 0 &&
+      delta_->masked_row_bound() >= options_.compact_masked_rows;
+  if (!rows_due && !mask_due) return Status::OK();
+  return CompactLocked();
+}
+
+void IndexUpdater::CompactionLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    cv_.wait_for(lock, std::chrono::milliseconds(options_.compact_poll_ms));
+    if (stop_) break;
+    const bool rows_due = options_.compact_delta_rows > 0 &&
+                          delta_->delta_rows() >= options_.compact_delta_rows;
+    const bool mask_due =
+        options_.compact_masked_rows > 0 &&
+        delta_->masked_row_bound() >= options_.compact_masked_rows;
+    if (!rows_due && !mask_due) continue;
+    const Status s = CompactLocked();
+    if (!s.ok()) {
+      EL_LOG(Error) << "background compaction failed: " << s.ToString();
+    }
+  }
+}
+
+Status IndexUpdater::Compact() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return CompactLocked();
+}
+
+Status IndexUpdater::Persist(const std::string& snapshot_path,
+                             const std::string& kg_path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  EL_RETURN_NOT_OK(CompactLocked());
+  EL_RETURN_NOT_OK(graph_->SaveTsv(kg_path));
+  core::EmbLookup::SnapshotExtras extras;
+  extras.delta_rows = 0;  // Just compacted.
+  extras.tombstone_count = delta_->tombstone_count();
+  extras.last_seq = seq_;
+  EL_RETURN_NOT_OK(el_->SaveSnapshot(snapshot_path, &extras));
+  // The snapshot + TSV now cover the whole log. Shrink the WAL to its
+  // remove records: the catalog is append-only, so tombstones must stay
+  // durable or the next rebuild after a restart would resurrect them.
+  EL_ASSIGN_OR_RETURN(WalContents wal, ReadWalFile(options_.wal_path));
+  std::vector<Mutation> keep;
+  for (Mutation& m : wal.records) {
+    if (m.kind == MutationKind::kRemoveEntity) keep.push_back(std::move(m));
+  }
+  return wal_.Rewrite(keep);
+}
+
+Status IndexUpdater::WriteSnapshot(const std::string& snapshot_path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  EL_RETURN_NOT_OK(CompactLocked());
+  core::EmbLookup::SnapshotExtras extras;
+  EL_ASSIGN_OR_RETURN(extras.wal_tail, wal_.ReadImage());
+  extras.delta_rows = 0;
+  extras.tombstone_count = delta_->tombstone_count();
+  extras.last_seq = seq_;
+  return el_->SaveSnapshot(snapshot_path, &extras);
+}
+
+Status IndexUpdater::ReplayCatalogTail(const std::string& snapshot_path,
+                                       kg::KnowledgeGraph* graph) {
+  EL_ASSIGN_OR_RETURN(std::shared_ptr<const store::SnapshotReader> reader,
+                      store::SnapshotReader::Open(snapshot_path));
+  const store::Section* tail = reader->Find(store::SectionId::kWalTail);
+  if (tail == nullptr) return Status::OK();
+  EL_ASSIGN_OR_RETURN(const WalContents wal,
+                      DecodeWal(tail->data, tail->size));
+  for (const Mutation& m : wal.records) {
+    EL_RETURN_NOT_OK(ApplyToGraph(m, graph));
+  }
+  return Status::OK();
+}
+
+Result<SnapshotUpdateInfo> IndexUpdater::ReadUpdateInfo(
+    const std::string& snapshot_path) {
+  EL_ASSIGN_OR_RETURN(std::shared_ptr<const store::SnapshotReader> reader,
+                      store::SnapshotReader::Open(snapshot_path));
+  EL_ASSIGN_OR_RETURN(const store::IndexMeta meta,
+                      store::ReadIndexMeta(*reader));
+  SnapshotUpdateInfo info;
+  info.last_seq = meta.last_seq;
+  info.delta_rows = meta.delta_rows;
+  info.tombstone_count = meta.tombstone_count;
+  info.has_wal_tail = reader->Find(store::SectionId::kWalTail) != nullptr;
+  return info;
+}
+
+UpdaterStats IndexUpdater::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  UpdaterStats s;
+  s.last_seq = seq_;
+  s.applied_mutations = applied_;
+  s.replayed_mutations = replayed_;
+  s.torn_tail_bytes = torn_tail_bytes_;
+  s.compactions = compactions_;
+  s.delta_rows = delta_->delta_rows();
+  s.tombstones = delta_->tombstone_count();
+  s.masked_row_bound = delta_->masked_row_bound();
+  s.catalog_entities = graph_->num_entities();
+  return s;
+}
+
+}  // namespace emblookup::update

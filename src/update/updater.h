@@ -1,0 +1,196 @@
+#ifndef EMBLOOKUP_UPDATE_UPDATER_H_
+#define EMBLOOKUP_UPDATE_UPDATER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "core/emblookup.h"
+#include "kg/knowledge_graph.h"
+#include "update/delta_index.h"
+#include "update/wal.h"
+
+namespace emblookup::update {
+
+struct UpdaterOptions {
+  /// Write-ahead log path. Open() replays whatever the file holds, so the
+  /// same path across restarts is the crash-recovery contract.
+  std::string wal_path;
+  /// fsync every appended record before acknowledging the mutation. Turn
+  /// off only for benchmarks measuring non-durable throughput.
+  bool fsync_wal = true;
+  /// Highest mutation seq already baked into the serving index (read from
+  /// the snapshot's IndexMeta via ReadUpdateInfo when restoring; 0 for a
+  /// freshly trained instance). Replay skips index work for records at or
+  /// below it but still repairs the catalog.
+  uint64_t baked_seq = 0;
+  /// Compaction triggers: rebuild the main index once the delta holds this
+  /// many live rows, or once masking forces this much over-fetch. <= 0
+  /// disables that trigger.
+  int64_t compact_delta_rows = 4096;
+  int64_t compact_masked_rows = 1024;
+  /// Run compaction on a background thread that polls the triggers every
+  /// `compact_poll_ms`. When false, callers compact explicitly.
+  bool background_compaction = false;
+  int64_t compact_poll_ms = 50;
+};
+
+/// Updater bookkeeping, exposed for metrics / snapshot-info / tests.
+struct UpdaterStats {
+  uint64_t last_seq = 0;           ///< Highest acknowledged mutation.
+  uint64_t applied_mutations = 0;  ///< Mutations applied this process.
+  uint64_t replayed_mutations = 0; ///< WAL records replayed at Open().
+  uint64_t torn_tail_bytes = 0;    ///< Discarded torn WAL tail at Open().
+  uint64_t compactions = 0;
+  int64_t delta_rows = 0;
+  int64_t tombstones = 0;
+  int64_t masked_row_bound = 0;
+  int64_t catalog_entities = 0;    ///< Including tombstoned ones.
+};
+
+/// Online-update bookkeeping read from a snapshot's IndexMeta (all zero
+/// for snapshots written before src/update existed).
+struct SnapshotUpdateInfo {
+  uint64_t last_seq = 0;
+  int64_t delta_rows = 0;
+  int64_t tombstone_count = 0;
+  bool has_wal_tail = false;
+};
+
+/// The write path of the LSM design (DESIGN.md §8). Owns the WAL and the
+/// delta overlay; publishes every change through EmbLookup's RCU serving
+/// state so lookups stay lock-free and never block on mutations.
+///
+/// Durability contract: a mutation method returns OK only after its WAL
+/// record is fsync'd — a crash at any later point replays it on the next
+/// Open(). The WAL is truncated only by Persist(), which first makes the
+/// snapshot + catalog TSV cover everything the log held.
+///
+/// Threading: mutation methods, Compact and Persist serialize on one
+/// internal mutex (compaction stalls writers, not readers); Lookup /
+/// BulkLookup on the EmbLookup remain wait-free concurrent. The graph is
+/// append-only and only mutated under that mutex.
+class IndexUpdater {
+ public:
+  /// Attaches an updater to a live EmbLookup and its (mutable) graph,
+  /// opening `options.wal_path` and replaying any existing records into
+  /// the catalog and delta. `el` and `graph` are borrowed and must
+  /// outlive the updater; `graph` must be the instance `el` serves.
+  static Result<std::unique_ptr<IndexUpdater>> Open(
+      core::EmbLookup* el, kg::KnowledgeGraph* graph,
+      const UpdaterOptions& options);
+
+  ~IndexUpdater();
+
+  IndexUpdater(const IndexUpdater&) = delete;
+  IndexUpdater& operator=(const IndexUpdater&) = delete;
+
+  // -- Mutations (durable once returned OK) --
+
+  /// Adds an entity (label + optional qid/aliases) to the catalog and
+  /// makes it immediately searchable through the delta index.
+  Result<kg::EntityId> AddEntity(const std::string& label,
+                                 const std::string& qid,
+                                 const std::vector<std::string>& aliases);
+
+  /// Removes an entity from the serving catalog (tombstone: the
+  /// append-only graph keeps the record, lookups stop returning it).
+  Status RemoveEntity(kg::EntityId entity);
+
+  /// Adds alias mentions to an entity. With alias indexing enabled the
+  /// entity is re-encoded into the delta so the new aliases are
+  /// immediately searchable.
+  Status UpdateAliases(kg::EntityId entity,
+                       const std::vector<std::string>& aliases);
+
+  // -- Maintenance --
+
+  /// Rebuilds the main index over the current catalog minus tombstones,
+  /// publishes it RCU-style and resets the delta. Does NOT truncate the
+  /// WAL (the index lives in memory; only Persist makes it durable).
+  /// Mutations stall for the duration; lookups do not.
+  Status Compact();
+
+  /// Full durability point: compacts, writes the catalog TSV to `kg_path`
+  /// and the index snapshot to `snapshot_path`, then shrinks the WAL to
+  /// its tombstone registry (remove records must outlive compaction —
+  /// the append-only catalog would otherwise resurrect removed entities
+  /// at the next rebuild after a restart).
+  Status Persist(const std::string& snapshot_path, const std::string& kg_path);
+
+  /// Compacts and writes a snapshot that embeds the full WAL image as a
+  /// kWalTail section — a self-contained backup restorable with
+  /// ReplayCatalogTail even when the catalog TSV is stale. The live WAL
+  /// is left untouched.
+  Status WriteSnapshot(const std::string& snapshot_path);
+
+  /// Re-applies the catalog-level effect of a snapshot's kWalTail section
+  /// (entities/aliases added after the TSV was last written) to `graph`.
+  /// No-op when the section is absent. Call after kg::LoadTsv and before
+  /// EmbLookup::LoadSnapshot + Open().
+  static Status ReplayCatalogTail(const std::string& snapshot_path,
+                                  kg::KnowledgeGraph* graph);
+
+  /// Reads the update bookkeeping baked into a snapshot (for
+  /// options.baked_seq and snapshot-info).
+  static Result<SnapshotUpdateInfo> ReadUpdateInfo(
+      const std::string& snapshot_path);
+
+  UpdaterStats stats() const;
+
+ private:
+  IndexUpdater() = default;
+
+  /// Rows `entity` occupies in the current main index (0 when it was
+  /// added after the last rebuild or tombstoned per `delta`, the working
+  /// copy — which at Open() replay predates any publish). Caller holds mu_.
+  int64_t MainRowsLocked(kg::EntityId entity, const DeltaIndex& delta) const;
+
+  /// Encodes `entity`'s indexed mentions into `delta` (label, plus
+  /// aliases when alias indexing is on). Caller holds mu_.
+  void EncodeEntityLocked(kg::EntityId entity, DeltaIndex* delta) const;
+
+  /// Applies one mutation's catalog-level effect (idempotent).
+  static Status ApplyToGraph(const Mutation& m, kg::KnowledgeGraph* graph);
+
+  /// Applies one mutation's index-level effect to an unpublished delta
+  /// copy. Caller holds mu_.
+  Status ApplyToDeltaLocked(const Mutation& m, bool baked, DeltaIndex* delta);
+
+  /// Publishes `delta` through the serving state. Caller holds mu_.
+  Status PublishLocked(std::shared_ptr<const DeltaIndex> delta);
+
+  Status CompactLocked();
+  Status MaybeCompactLocked();
+  void CompactionLoop();
+
+  core::EmbLookup* el_ = nullptr;        // Borrowed.
+  kg::KnowledgeGraph* graph_ = nullptr;  // Borrowed.
+  UpdaterOptions options_;
+  WalWriter wal_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  /// The current (published) delta; copied, mutated, re-published.
+  std::shared_ptr<const DeltaIndex> delta_;
+  /// Entities added since the last main-index rebuild (no main rows yet).
+  std::unordered_set<kg::EntityId> fresh_;
+  uint64_t seq_ = 0;
+  uint64_t applied_ = 0;
+  uint64_t replayed_ = 0;
+  uint64_t torn_tail_bytes_ = 0;
+  uint64_t compactions_ = 0;
+
+  bool stop_ = false;
+  std::thread compactor_;
+};
+
+}  // namespace emblookup::update
+
+#endif  // EMBLOOKUP_UPDATE_UPDATER_H_

@@ -1,0 +1,375 @@
+#include "update/wal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/crc32.h"
+
+namespace emblookup::update {
+
+namespace {
+
+void PutU32(std::vector<uint8_t>* out, uint32_t v) {
+  const size_t at = out->size();
+  out->resize(at + sizeof(v));
+  std::memcpy(out->data() + at, &v, sizeof(v));
+}
+
+void PutU64(std::vector<uint8_t>* out, uint64_t v) {
+  const size_t at = out->size();
+  out->resize(at + sizeof(v));
+  std::memcpy(out->data() + at, &v, sizeof(v));
+}
+
+void PutString(std::vector<uint8_t>* out, const std::string& s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out->insert(out->end(), s.begin(), s.end());
+}
+
+/// Bounds-checked cursor over a record payload; any overrun flips `ok`.
+struct Cursor {
+  const uint8_t* data;
+  uint64_t size;
+  uint64_t at = 0;
+  bool ok = true;
+
+  bool Take(void* dst, uint64_t n) {
+    if (!ok || n > size - at) {
+      ok = false;
+      return false;
+    }
+    std::memcpy(dst, data + at, n);
+    at += n;
+    return true;
+  }
+  uint32_t U32() {
+    uint32_t v = 0;
+    Take(&v, sizeof(v));
+    return v;
+  }
+  uint64_t U64() {
+    uint64_t v = 0;
+    Take(&v, sizeof(v));
+    return v;
+  }
+  std::string String() {
+    const uint32_t n = U32();
+    if (!ok || n > size - at) {
+      ok = false;
+      return {};
+    }
+    std::string s(reinterpret_cast<const char*>(data + at), n);
+    at += n;
+    return s;
+  }
+};
+
+std::vector<uint8_t> EncodePayload(const Mutation& m) {
+  std::vector<uint8_t> payload;
+  payload.push_back(static_cast<uint8_t>(m.kind));
+  PutU64(&payload, static_cast<uint64_t>(m.entity));
+  switch (m.kind) {
+    case MutationKind::kAddEntity:
+      PutString(&payload, m.label);
+      PutString(&payload, m.qid);
+      PutU32(&payload, static_cast<uint32_t>(m.aliases.size()));
+      for (const std::string& a : m.aliases) PutString(&payload, a);
+      break;
+    case MutationKind::kUpdateAliases:
+      PutU32(&payload, static_cast<uint32_t>(m.aliases.size()));
+      for (const std::string& a : m.aliases) PutString(&payload, a);
+      break;
+    case MutationKind::kRemoveEntity:
+    case MutationKind::kInvalid:
+      break;
+  }
+  return payload;
+}
+
+Result<Mutation> DecodePayload(uint64_t seq, const uint8_t* data,
+                               uint64_t size) {
+  Cursor cur{data, size};
+  Mutation m;
+  m.seq = seq;
+  uint8_t kind = 0;
+  cur.Take(&kind, 1);
+  m.kind = static_cast<MutationKind>(kind);
+  m.entity = static_cast<kg::EntityId>(cur.U64());
+  switch (m.kind) {
+    case MutationKind::kAddEntity: {
+      m.label = cur.String();
+      m.qid = cur.String();
+      const uint32_t n = cur.U32();
+      for (uint32_t i = 0; cur.ok && i < n; ++i) {
+        m.aliases.push_back(cur.String());
+      }
+      break;
+    }
+    case MutationKind::kUpdateAliases: {
+      const uint32_t n = cur.U32();
+      for (uint32_t i = 0; cur.ok && i < n; ++i) {
+        m.aliases.push_back(cur.String());
+      }
+      break;
+    }
+    case MutationKind::kRemoveEntity:
+      break;
+    case MutationKind::kInvalid:
+    default:
+      return Status::IoError("corrupt WAL record: unknown mutation kind");
+  }
+  if (!cur.ok || cur.at != size) {
+    return Status::IoError("corrupt WAL record: payload size mismatch");
+  }
+  return m;
+}
+
+std::vector<uint8_t> WalHeader() {
+  std::vector<uint8_t> header;
+  PutU64(&header, kWalMagic);
+  PutU32(&header, kWalVersion);
+  PutU32(&header, 0);  // reserved
+  return header;
+}
+
+Status WriteAll(int fd, const uint8_t* data, uint64_t size,
+                const std::string& path) {
+  uint64_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::write(fd, data + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError("WAL write failed: " + path + ": " +
+                             std::strerror(errno));
+    }
+    done += static_cast<uint64_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+bool Mutation::operator==(const Mutation& other) const {
+  return kind == other.kind && seq == other.seq && entity == other.entity &&
+         label == other.label && qid == other.qid && aliases == other.aliases;
+}
+
+std::vector<uint8_t> EncodeRecord(const Mutation& mutation) {
+  const std::vector<uint8_t> payload = EncodePayload(mutation);
+  std::vector<uint8_t> crc_input;
+  PutU64(&crc_input, mutation.seq);
+  crc_input.insert(crc_input.end(), payload.begin(), payload.end());
+  const uint32_t crc = Crc32(crc_input.data(), crc_input.size());
+
+  std::vector<uint8_t> record;
+  record.reserve(kWalRecordHeaderBytes + payload.size());
+  PutU32(&record, static_cast<uint32_t>(payload.size()));
+  PutU32(&record, crc);
+  PutU64(&record, mutation.seq);
+  record.insert(record.end(), payload.begin(), payload.end());
+  return record;
+}
+
+Result<WalContents> DecodeWal(const uint8_t* data, uint64_t size,
+                              const WalReadOptions& options) {
+  if (size < kWalHeaderBytes) {
+    return Status::IoError("corrupt WAL: shorter than its header");
+  }
+  uint64_t magic = 0;
+  uint32_t version = 0;
+  std::memcpy(&magic, data, sizeof(magic));
+  std::memcpy(&version, data + sizeof(magic), sizeof(version));
+  if (magic != kWalMagic) {
+    return Status::IoError("corrupt WAL: bad magic");
+  }
+  if (version != kWalVersion) {
+    return Status::IoError("unsupported WAL version " +
+                           std::to_string(version));
+  }
+
+  WalContents contents;
+  uint64_t at = kWalHeaderBytes;
+  while (at < size) {
+    if (size - at < kWalRecordHeaderBytes) {
+      // Torn record header: the crash window between write and fsync.
+      if (!options.tolerate_torn_tail) {
+        return Status::IoError("corrupt WAL: truncated record header");
+      }
+      contents.torn_tail_bytes = size - at;
+      break;
+    }
+    uint32_t payload_size = 0;
+    uint32_t crc = 0;
+    uint64_t seq = 0;
+    std::memcpy(&payload_size, data + at, sizeof(payload_size));
+    std::memcpy(&crc, data + at + 4, sizeof(crc));
+    std::memcpy(&seq, data + at + 8, sizeof(seq));
+    if (payload_size > kWalMaxPayloadBytes) {
+      return Status::IoError("corrupt WAL: implausible record size " +
+                             std::to_string(payload_size));
+    }
+    if (payload_size > size - at - kWalRecordHeaderBytes) {
+      if (!options.tolerate_torn_tail) {
+        return Status::IoError("corrupt WAL: truncated record payload");
+      }
+      contents.torn_tail_bytes = size - at;
+      break;
+    }
+    const uint8_t* payload = data + at + kWalRecordHeaderBytes;
+    // CRC covers seq + payload so header and body flips are both caught.
+    std::vector<uint8_t> crc_input;
+    PutU64(&crc_input, seq);
+    crc_input.insert(crc_input.end(), payload, payload + payload_size);
+    const uint32_t actual = Crc32(crc_input.data(), crc_input.size());
+    if (actual != crc) {
+      return Status::IoError("corrupt WAL: record checksum mismatch at byte " +
+                             std::to_string(at));
+    }
+    EL_ASSIGN_OR_RETURN(Mutation m, DecodePayload(seq, payload, payload_size));
+    if (!contents.records.empty() && m.seq <= contents.records.back().seq) {
+      return Status::IoError("corrupt WAL: non-monotonic sequence numbers");
+    }
+    contents.records.push_back(std::move(m));
+    at += kWalRecordHeaderBytes + payload_size;
+  }
+  return contents;
+}
+
+Result<WalContents> ReadWalFile(const std::string& path,
+                                const WalReadOptions& options) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT) return WalContents{};  // Missing = empty log.
+    return Status::IoError("cannot open WAL: " + path + ": " +
+                           std::strerror(errno));
+  }
+  std::vector<uint8_t> bytes;
+  uint8_t buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      return Status::IoError("cannot read WAL: " + path + ": " +
+                             std::strerror(err));
+    }
+    if (n == 0) break;
+    bytes.insert(bytes.end(), buf, buf + n);
+  }
+  ::close(fd);
+  return DecodeWal(bytes.data(), bytes.size(), options);
+}
+
+WalWriter::~WalWriter() { Close(); }
+
+void WalWriter::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status WalWriter::Open(const std::string& path, bool sync) {
+  Close();
+  path_ = path;
+  sync_ = sync;
+  const bool existed = ::access(path.c_str(), F_OK) == 0;
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  if (fd_ < 0) {
+    return Status::IoError("cannot open WAL for append: " + path + ": " +
+                           std::strerror(errno));
+  }
+  if (!existed) {
+    const std::vector<uint8_t> header = WalHeader();
+    EL_RETURN_NOT_OK(WriteAll(fd_, header.data(), header.size(), path_));
+    if (sync_ && ::fsync(fd_) != 0) {
+      return Status::IoError("WAL fsync failed: " + path_);
+    }
+  } else {
+    // Validate the existing header without consuming records.
+    EL_ASSIGN_OR_RETURN(const std::vector<uint8_t> image, ReadImage());
+    EL_RETURN_NOT_OK(DecodeWal(image.data(), image.size()).status());
+  }
+  return Status::OK();
+}
+
+Status WalWriter::Append(const Mutation& mutation) {
+  if (fd_ < 0) return Status::InvalidArgument("WAL writer is not open");
+  const std::vector<uint8_t> record = EncodeRecord(mutation);
+  EL_RETURN_NOT_OK(WriteAll(fd_, record.data(), record.size(), path_));
+  if (sync_ && ::fsync(fd_) != 0) {
+    return Status::IoError("WAL fsync failed: " + path_);
+  }
+  return Status::OK();
+}
+
+Status WalWriter::Rewrite(const std::vector<Mutation>& records) {
+  if (path_.empty()) return Status::InvalidArgument("WAL writer is not open");
+  const std::string tmp = path_ + ".tmp";
+  const int tmp_fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (tmp_fd < 0) {
+    return Status::IoError("cannot create WAL temp file: " + tmp + ": " +
+                           std::strerror(errno));
+  }
+  std::vector<uint8_t> image = WalHeader();
+  for (const Mutation& m : records) {
+    const std::vector<uint8_t> record = EncodeRecord(m);
+    image.insert(image.end(), record.begin(), record.end());
+  }
+  Status write_status = WriteAll(tmp_fd, image.data(), image.size(), tmp);
+  if (write_status.ok() && ::fsync(tmp_fd) != 0) {
+    write_status = Status::IoError("WAL fsync failed: " + tmp);
+  }
+  ::close(tmp_fd);
+  if (!write_status.ok()) {
+    ::unlink(tmp.c_str());
+    return write_status;
+  }
+  if (::rename(tmp.c_str(), path_.c_str()) != 0) {
+    const int err = errno;
+    ::unlink(tmp.c_str());
+    return Status::IoError("cannot install rewritten WAL: " + path_ + ": " +
+                           std::strerror(err));
+  }
+  Close();
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_APPEND | O_CLOEXEC);
+  if (fd_ < 0) {
+    return Status::IoError("cannot reopen rewritten WAL: " + path_ + ": " +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<uint8_t>> WalWriter::ReadImage() const {
+  if (path_.empty()) return Status::InvalidArgument("WAL writer is not open");
+  const int fd = ::open(path_.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::IoError("cannot read WAL image: " + path_ + ": " +
+                           std::strerror(errno));
+  }
+  std::vector<uint8_t> bytes;
+  uint8_t buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      return Status::IoError("cannot read WAL image: " + path_ + ": " +
+                             std::strerror(err));
+    }
+    if (n == 0) break;
+    bytes.insert(bytes.end(), buf, buf + n);
+  }
+  ::close(fd);
+  return bytes;
+}
+
+}  // namespace emblookup::update

@@ -1,0 +1,124 @@
+#ifndef EMBLOOKUP_UPDATE_WAL_H_
+#define EMBLOOKUP_UPDATE_WAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "kg/knowledge_graph.h"
+
+namespace emblookup::update {
+
+/// Kinds of catalog mutation the write-ahead log records (DESIGN.md §8).
+/// Values are on-disk stable.
+enum class MutationKind : uint8_t {
+  kInvalid = 0,
+  kAddEntity = 1,
+  kRemoveEntity = 2,
+  kUpdateAliases = 3,
+};
+
+/// One durable catalog mutation. `seq` is the updater's monotonically
+/// increasing sequence number; replay applies records in seq order and the
+/// snapshot metadata records the highest seq already baked into an index.
+struct Mutation {
+  MutationKind kind = MutationKind::kInvalid;
+  uint64_t seq = 0;
+  /// RemoveEntity / UpdateAliases target. For AddEntity this is the id the
+  /// entity received when first applied (informational; replay re-derives
+  /// it from the append-only graph).
+  kg::EntityId entity = kg::kInvalidEntity;
+  std::string label;                 ///< AddEntity.
+  std::string qid;                   ///< AddEntity.
+  std::vector<std::string> aliases;  ///< AddEntity / UpdateAliases.
+
+  bool operator==(const Mutation& other) const;
+};
+
+/// On-disk WAL layout:
+///
+///   [u64 magic "EMBLWAL1"] [u32 version] [u32 reserved]
+///   record*:  [u32 payload_size] [u32 crc] [u64 seq] [payload bytes]
+///
+/// The CRC covers seq + payload, so a bit flip anywhere in a record is
+/// detected; a record whose declared extent runs past end-of-file is a
+/// torn tail (the crash window between write and fsync) and is discarded
+/// on tolerant replay. All integers are little-endian native.
+inline constexpr uint64_t kWalMagic = 0x314C41574C424D45ull;  // "EMBLWAL1"
+inline constexpr uint32_t kWalVersion = 1;
+inline constexpr uint64_t kWalHeaderBytes = 16;
+inline constexpr uint64_t kWalRecordHeaderBytes = 16;
+/// Sanity bound: a record claiming a larger payload is corrupt, not huge.
+inline constexpr uint32_t kWalMaxPayloadBytes = 64u << 20;
+
+/// Serializes one mutation into the on-disk record form (header included).
+std::vector<uint8_t> EncodeRecord(const Mutation& mutation);
+
+/// Result of reading a WAL byte stream.
+struct WalContents {
+  std::vector<Mutation> records;  ///< Valid records, in file order.
+  /// Bytes of a torn (incomplete) trailing record that were discarded.
+  /// Zero for a cleanly closed log.
+  uint64_t torn_tail_bytes = 0;
+};
+
+struct WalReadOptions {
+  /// Tolerate a truncated trailing record (report it via torn_tail_bytes).
+  /// This is the crash-recovery default; strict mode turns any truncation
+  /// into an IoError (diagnostics, tests).
+  bool tolerate_torn_tail = true;
+};
+
+/// Parses a WAL byte image. Corruption of any shape — bad magic, bit
+/// flips, impossible sizes — yields a Status error, never a crash or an
+/// out-of-bounds read.
+Result<WalContents> DecodeWal(const uint8_t* data, uint64_t size,
+                              const WalReadOptions& options = {});
+
+/// Reads and parses a WAL file. A missing file is an empty log.
+Result<WalContents> ReadWalFile(const std::string& path,
+                                const WalReadOptions& options = {});
+
+/// Append-only WAL writer. Open() validates an existing log (replaying
+/// nothing) or creates a fresh one; Append() writes one record and — when
+/// `sync` — fsyncs before returning, which is the durability point: a
+/// mutation is acknowledged only after its record is on stable storage.
+class WalWriter {
+ public:
+  WalWriter() = default;
+  ~WalWriter();
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Opens `path` for appending, creating it (with a header) when absent.
+  /// An existing file must start with a valid WAL header.
+  Status Open(const std::string& path, bool sync = true);
+
+  bool is_open() const { return fd_ >= 0; }
+  const std::string& path() const { return path_; }
+
+  /// Appends one record; with sync, the record is durable on return.
+  Status Append(const Mutation& mutation);
+
+  /// Atomically replaces the log's contents with `records` (temp file +
+  /// fsync + rename, the src/store discipline): the compaction/persist
+  /// truncation point. The writer stays open on the new file.
+  Status Rewrite(const std::vector<Mutation>& records);
+
+  /// Reads the current log bytes (header + records) — the image embedded
+  /// into snapshots as the kWalTail section.
+  Result<std::vector<uint8_t>> ReadImage() const;
+
+  void Close();
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+  bool sync_ = true;
+};
+
+}  // namespace emblookup::update
+
+#endif  // EMBLOOKUP_UPDATE_WAL_H_

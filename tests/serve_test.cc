@@ -177,16 +177,16 @@ TEST(QueryCacheTest, LruEvictionAndByteAccounting) {
   options.max_entries = 2;
   QueryCache cache(options);
 
-  cache.Put("a", 5, {1, 2});
-  cache.Put("b", 5, {3});
+  cache.Put("a", 5, 0, {1, 2});
+  cache.Put("b", 5, 0, {3});
   std::vector<kg::EntityId> out;
-  ASSERT_TRUE(cache.Get("a", 5, &out));  // Promotes "a"; "b" is now LRU.
-  cache.Put("c", 5, {4});
+  ASSERT_TRUE(cache.Get("a", 5, 0, &out));  // Promotes "a"; "b" is now LRU.
+  cache.Put("c", 5, 0, {4});
 
-  EXPECT_TRUE(cache.Get("a", 5, &out));
+  EXPECT_TRUE(cache.Get("a", 5, 0, &out));
   EXPECT_EQ(out, (std::vector<kg::EntityId>{1, 2}));
-  EXPECT_FALSE(cache.Get("b", 5, &out));
-  EXPECT_TRUE(cache.Get("c", 5, &out));
+  EXPECT_FALSE(cache.Get("b", 5, 0, &out));
+  EXPECT_TRUE(cache.Get("c", 5, 0, &out));
 
   const QueryCacheStats stats = cache.Stats();
   EXPECT_EQ(stats.evictions, 1u);
@@ -205,7 +205,7 @@ TEST(QueryCacheTest, ByteBudgetEvicts) {
   options.max_bytes = 300;  // A couple of small entries at most.
   QueryCache cache(options);
   for (int i = 0; i < 16; ++i) {
-    cache.Put("query-" + std::to_string(i), 10,
+    cache.Put("query-" + std::to_string(i), 10, 0,
               std::vector<kg::EntityId>(10, i));
   }
   const QueryCacheStats stats = cache.Stats();

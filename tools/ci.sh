@@ -7,9 +7,13 @@
 #      dispatcher to the portable fallback kernels so that path stays
 #      green on hardware where it is never auto-selected;
 #   3. ASan pass over the concurrency-heavy suites (common_test +
-#      serve_test), the kernel property tests, and store_test (snapshot
-#      corruption handling must fail with Status, never with UB);
-#   4. snapshot round trip through the CLI — build-snapshot ->
+#      serve_test), the kernel property tests, store_test, and
+#      update_test (snapshot/WAL corruption handling must fail with
+#      Status, never with UB);
+#   4. TSan pass over the lock-sensitive suites — serve_test plus the
+#      update subsystem's mutate-while-lookup stress test — pinning the
+#      RCU publish / epoch-invalidation paths data-race-free;
+#   5. snapshot round trip through the CLI — build-snapshot ->
 #      snapshot-info -> serve --snapshot on a tiny synthetic KG, proving
 #      the on-disk container end to end (DESIGN.md §7).
 #
@@ -26,15 +30,23 @@ cmake --build build-ci -j "$JOBS"
 echo "== tier-1b: scalar-kernel fallback ctest =="
 (cd build-ci && EMBLOOKUP_KERNELS=scalar ctest --output-on-failure -j "$JOBS")
 
-echo "== asan: common_test + serve_test + kernels_test + store_test =="
+echo "== asan: common_test + serve_test + kernels_test + store_test + update_test =="
 cmake -B build-asan -S . -DEMBLOOKUP_NATIVE_ARCH=OFF \
   -DEMBLOOKUP_SANITIZE=address
 cmake --build build-asan -j "$JOBS" --target common_test serve_test \
-  kernels_test store_test
+  kernels_test store_test update_test
 ./build-asan/tests/common_test
 ./build-asan/tests/serve_test
 ./build-asan/tests/kernels_test
 ./build-asan/tests/store_test
+./build-asan/tests/update_test
+
+echo "== tsan: serve_test + update concurrency stress =="
+cmake -B build-tsan -S . -DEMBLOOKUP_NATIVE_ARCH=OFF \
+  -DEMBLOOKUP_SANITIZE=thread
+cmake --build build-tsan -j "$JOBS" --target serve_test update_test
+./build-tsan/tests/serve_test
+./build-tsan/tests/update_test --gtest_filter='ConcurrencyTest.*'
 
 echo "== snapshot round trip: build-snapshot -> snapshot-info -> serve =="
 SNAPDIR="$(mktemp -d)"

@@ -15,6 +15,12 @@
 //                             --out snap.bin [--kind flat|pq|ivfflat|ivfpq]
 //                             [--aliases 0|1]
 //   emblookup_cli snapshot-info snap.bin
+//   emblookup_cli add-entity  --kg kg.tsv --model model.bin --wal wal.log
+//                             --label L [--qid Q] [--aliases "a,b"] [--k K]
+//   emblookup_cli remove-entity --kg kg.tsv --model model.bin --wal wal.log
+//                             --id N
+//   emblookup_cli compact     --kg kg.tsv --model model.bin --wal wal.log
+//                             [--snapshot-out snap.bin --kg-out kg2.tsv]
 //
 // The KG format is the TSV produced by KnowledgeGraph::SaveTsv. Training
 // writes only the encoder weights; `lookup`/`repl`/`serve` rebuild the
@@ -29,6 +35,14 @@
 // `serve --snapshot` then mmaps it at startup instead of re-embedding the
 // KG — the instant-cold-start path. `snapshot-info` prints the container
 // header, section table and per-section checksum status.
+//
+// `add-entity` / `remove-entity` / `compact` exercise the online-update
+// path (DESIGN.md §8): mutations are logged to the write-ahead log given
+// by --wal before they apply, so they survive process exit — the next
+// command on the same --wal replays them. `compact --snapshot-out/--kg-out`
+// makes the state durable (Persist) and shrinks the WAL to its tombstone
+// registry. `serve --wal` attaches the updater to the running server with
+// background compaction enabled.
 
 #include <atomic>
 #include <cstdio>
@@ -46,6 +60,7 @@
 #include "serve/lookup_server.h"
 #include "store/index_io.h"
 #include "store/snapshot_reader.h"
+#include "update/updater.h"
 
 using namespace emblookup;
 
@@ -87,12 +102,18 @@ int Usage() {
       " [--k K]\n"
       "  emblookup_cli repl   --kg kg.tsv --model model.bin\n"
       "  emblookup_cli serve  --kg kg.tsv --model model.bin"
-      " [--snapshot F] [--clients C]"
+      " [--snapshot F] [--wal W] [--clients C]"
       " [--requests N] [--k K] [--batch B] [--delay-us D] [--cache 0|1]"
       " [--depth Q] [--swaps S]\n"
       "  emblookup_cli build-snapshot --kg kg.tsv --model model.bin"
       " --out snap.bin [--kind flat|pq|ivfflat|ivfpq] [--aliases 0|1]\n"
-      "  emblookup_cli snapshot-info snap.bin\n");
+      "  emblookup_cli snapshot-info snap.bin\n"
+      "  emblookup_cli add-entity --kg kg.tsv --model model.bin"
+      " --wal wal.log --label L [--qid Q] [--aliases \"a,b\"] [--k K]\n"
+      "  emblookup_cli remove-entity --kg kg.tsv --model model.bin"
+      " --wal wal.log --id N\n"
+      "  emblookup_cli compact --kg kg.tsv --model model.bin --wal wal.log"
+      " [--snapshot-out snap.bin --kg-out kg2.tsv]\n");
   return 2;
 }
 
@@ -147,6 +168,16 @@ int SnapshotInfo(const std::string& path) {
                 static_cast<long long>(m.num_entities),
                 static_cast<long long>(m.encoder_dim),
                 static_cast<long long>(m.row_to_entity_count));
+    if (m.last_seq > 0 || m.delta_rows > 0 || m.tombstone_count > 0) {
+      std::printf("updates: last_seq=%llu, delta_rows=%lld, tombstones=%lld, "
+                  "wal-tail %s\n",
+                  static_cast<unsigned long long>(m.last_seq),
+                  static_cast<long long>(m.delta_rows),
+                  static_cast<long long>(m.tombstone_count),
+                  reader->Find(store::SectionId::kWalTail) != nullptr
+                      ? "embedded"
+                      : "absent");
+    }
   } else {
     std::printf("index: <%s>\n", meta.status().ToString().c_str());
   }
@@ -192,6 +223,19 @@ uint64_t RunLoad(serve::LookupServer* server, const kg::KnowledgeGraph& graph,
   }
   for (auto& t : threads) t.join();
   return failures.load();
+}
+
+/// "a,b,c" -> {"a", "b", "c"} (empty pieces dropped).
+std::vector<std::string> SplitAliases(const std::string& csv) {
+  std::vector<std::string> out;
+  size_t begin = 0;
+  while (begin <= csv.size()) {
+    size_t end = csv.find(',', begin);
+    if (end == std::string::npos) end = csv.size();
+    if (end > begin) out.push_back(csv.substr(begin, end - begin));
+    begin = end + 1;
+  }
+  return out;
 }
 
 core::EmbLookupOptions MakeOptions(
@@ -259,7 +303,7 @@ int main(int argc, char** argv) {
                  loaded.status().ToString().c_str());
     return 1;
   }
-  const kg::KnowledgeGraph graph = std::move(loaded).value();
+  kg::KnowledgeGraph graph = std::move(loaded).value();
   const core::EmbLookupOptions options = MakeOptions(flags);
 
   if (command == "train") {
@@ -341,7 +385,29 @@ int main(int argc, char** argv) {
     const int64_t k = FlagInt(flags, "k", 10);
     const int64_t swaps = FlagInt(flags, "swaps", 0);
 
+    // Declared before the server so the borrowed updater outlives it.
+    std::unique_ptr<update::IndexUpdater> updater;
+    const std::string wal_path = FlagStr(flags, "wal");
+    if (!wal_path.empty()) {
+      update::UpdaterOptions up_options;
+      up_options.wal_path = wal_path;
+      up_options.background_compaction = true;
+      auto opened = update::IndexUpdater::Open(restored.value().get(), &graph,
+                                               up_options);
+      if (!opened.ok()) {
+        std::fprintf(stderr, "cannot open updater: %s\n",
+                     opened.status().ToString().c_str());
+        return 1;
+      }
+      updater = std::move(opened).value();
+    }
+
     serve::LookupServer server(restored.value().get(), server_options);
+    if (updater != nullptr) {
+      server.AttachUpdater(updater.get());
+      std::printf("online updates enabled (wal %s, background compaction)\n",
+                  wal_path.c_str());
+    }
     std::printf("serving %lld requests from %d closed-loop clients "
                 "(batch<=%lld, delay %lldus, cache %s)\n",
                 static_cast<long long>(requests), clients,
@@ -372,6 +438,88 @@ int main(int argc, char** argv) {
                 seconds, static_cast<unsigned long long>(failures));
     std::printf("%s", server.StatsText().c_str());
     return failures == 0 ? 0 : 1;
+  }
+
+  if (command == "add-entity" || command == "remove-entity" ||
+      command == "compact") {
+    const std::string wal_path = FlagStr(flags, "wal");
+    if (wal_path.empty()) return Usage();
+    auto restored = core::EmbLookup::LoadFromKg(graph, options, model_path);
+    if (!restored.ok()) {
+      std::fprintf(stderr, "cannot load model: %s\n",
+                   restored.status().ToString().c_str());
+      return 1;
+    }
+    core::EmbLookup* el = restored.value().get();
+    update::UpdaterOptions up_options;
+    up_options.wal_path = wal_path;
+    auto opened = update::IndexUpdater::Open(el, &graph, up_options);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "cannot open updater: %s\n",
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    update::IndexUpdater* updater = opened.value().get();
+
+    if (command == "add-entity") {
+      const std::string label = FlagStr(flags, "label");
+      if (label.empty()) return Usage();
+      auto added = updater->AddEntity(label, FlagStr(flags, "qid"),
+                                      SplitAliases(FlagStr(flags, "aliases")));
+      if (!added.ok()) {
+        std::fprintf(stderr, "add failed: %s\n",
+                     added.status().ToString().c_str());
+        return 1;
+      }
+      std::printf("added entity %lld ('%s'); WAL %s now holds seq %llu\n",
+                  static_cast<long long>(added.value()), label.c_str(),
+                  wal_path.c_str(),
+                  static_cast<unsigned long long>(updater->stats().last_seq));
+      PrintResults(graph, el->Lookup(label, FlagInt(flags, "k", 5)));
+      return 0;
+    }
+
+    if (command == "remove-entity") {
+      const kg::EntityId id = FlagInt(flags, "id", -1);
+      const Status status = updater->RemoveEntity(id);
+      if (!status.ok()) {
+        std::fprintf(stderr, "remove failed: %s\n",
+                     status.ToString().c_str());
+        return 1;
+      }
+      std::printf("removed entity %lld; WAL %s now holds seq %llu\n",
+                  static_cast<long long>(id), wal_path.c_str(),
+                  static_cast<unsigned long long>(updater->stats().last_seq));
+      return 0;
+    }
+
+    // compact
+    const std::string snap_out = FlagStr(flags, "snapshot-out");
+    const std::string kg_out = FlagStr(flags, "kg-out");
+    const update::UpdaterStats before = updater->stats();
+    Stopwatch compact_watch;
+    Status status;
+    if (!snap_out.empty() && !kg_out.empty()) {
+      status = updater->Persist(snap_out, kg_out);
+    } else if (snap_out.empty() != kg_out.empty()) {
+      return Usage();  // Persist needs both outputs.
+    } else {
+      status = updater->Compact();
+    }
+    if (!status.ok()) {
+      std::fprintf(stderr, "compact failed: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("compacted %lld delta rows / %lld tombstones into the main "
+                "index in %.1fms%s\n",
+                static_cast<long long>(before.delta_rows),
+                static_cast<long long>(before.tombstones),
+                compact_watch.ElapsedSeconds() * 1e3,
+                snap_out.empty()
+                    ? " (in-memory only; pass --snapshot-out/--kg-out to"
+                      " persist)"
+                    : "; state persisted, WAL shrunk to tombstone registry");
+    return 0;
   }
 
   if (command == "lookup" || command == "repl") {
