@@ -168,6 +168,28 @@ int main() {
   std::printf("\nmicro-batch+cache vs naive: %.2fx throughput\n",
               best.qps / naive.qps);
 
+  // Tracing overhead sweep (OBSERVABILITY.md): micro-batch+cache with head
+  // sampling at 0% / 1% / 100%. The 0%-row is the acceptance gate — spans
+  // are compiled in on every hot path, so its p50 must sit within noise of
+  // the untraced run above.
+  std::printf("\ntracing overhead (micro-batch + cache):\n");
+  for (const double rate : {0.0, 0.01, 1.0}) {
+    serve::ServerOptions options = MakeOptions(true, true);
+    options.obs.trace_sample_rate = rate;
+    serve::LookupServer server(model.get(), options);
+    const RunResult run =
+        RunClosedLoop(queries, clients, [&](const std::string& q) {
+          auto result = server.LookupSync(q, k);
+          return result.ok() && !result.value().ids.empty();
+        });
+    char label[64];
+    std::snprintf(label, sizeof(label), "trace-sample %.2f", rate);
+    PrintRow(label, run);
+    std::printf("  %-28s p50 %+5.1f%%  qps %+5.1f%% vs untraced\n", "",
+                100.0 * (run.p50_us - best.p50_us) / best.p50_us,
+                100.0 * (run.qps - best.qps) / best.qps);
+  }
+
   // Online index swap under sustained load: zero failures required.
   {
     serve::LookupServer server(model.get(), MakeOptions(true, true));

@@ -5,6 +5,7 @@
 #include "ann/kernels.h"
 #include "ann/topk.h"
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace emblookup::ann {
 
@@ -35,6 +36,7 @@ void FlatIndex::Add(const float* vectors, int64_t n) {
 }
 
 std::vector<Neighbor> FlatIndex::Search(const float* query, int64_t k) const {
+  obs::Span span(obs::Stage::kFlatScan);
   k = std::min(k, count_);
   if (k <= 0) return {};
   const kernels::KernelTable& kt = kernels::Dispatch();

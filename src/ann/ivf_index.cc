@@ -6,6 +6,7 @@
 #include "ann/kernels.h"
 #include "ann/topk.h"
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace emblookup::ann {
 
@@ -175,6 +176,7 @@ std::vector<int64_t> IvfIndex::NearestLists(const float* query) const {
 }
 
 std::vector<Neighbor> IvfIndex::Search(const float* query, int64_t k) const {
+  obs::Span span(obs::Stage::kIvfScan);
   EL_CHECK(trained_);
   k = std::min(k, count_);
   if (k <= 0) return {};

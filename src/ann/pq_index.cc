@@ -4,6 +4,7 @@
 
 #include "ann/topk.h"
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace emblookup::ann {
 
@@ -65,6 +66,7 @@ Status PqIndex::Add(const float* vectors, int64_t n) {
 }
 
 std::vector<Neighbor> PqIndex::Search(const float* query, int64_t k) const {
+  obs::Span span(obs::Stage::kPqScan);
   EL_CHECK(pq_.trained());
   k = std::min(k, count_);
   if (k <= 0) return {};

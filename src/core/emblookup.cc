@@ -7,6 +7,7 @@
 #include "ann/topk.h"
 #include "common/logging.h"
 #include "embed/corpus.h"
+#include "obs/trace.h"
 #include "store/index_io.h"
 #include "store/snapshot_reader.h"
 #include "store/snapshot_writer.h"
@@ -42,13 +43,21 @@ std::shared_ptr<const ServingState> MakeState(
 std::vector<ann::Neighbor> MergedSearch(const ServingState& state,
                                         const float* query, int64_t k) {
   if (state.delta == nullptr || state.delta->empty()) {
+    obs::Span scan(obs::Stage::kMainScan);
     return state.index->Search(query, k);
   }
   const DeltaOverlay& delta = *state.delta;
-  const std::vector<ann::Neighbor> main =
-      state.index->Search(query, k + delta.masked_row_bound());
+  std::vector<ann::Neighbor> main;
+  {
+    obs::Span scan(obs::Stage::kMainScan);
+    main = state.index->Search(query, k + delta.masked_row_bound());
+  }
   std::vector<ann::Neighbor> fresh;
-  delta.Search(query, k, &fresh);
+  {
+    obs::Span span(obs::Stage::kDeltaSearch);
+    delta.Search(query, k, &fresh);
+  }
+  obs::Span merge(obs::Stage::kTopKMerge);
   ann::TopK top(k);
   // Main and delta entity sets are disjoint (an entity re-encoded into the
   // delta is masked in main), so no cross-source dedup is needed.
@@ -267,7 +276,11 @@ std::vector<LookupResult> EmbLookup::Lookup(const std::string& query,
                                             int64_t k) const {
   const std::shared_ptr<const ServingState> state = State();
   tensor::NoGradGuard guard;
-  tensor::Tensor emb = encoder_->EncodeBatch({query});
+  tensor::Tensor emb;
+  {
+    obs::Span span(obs::Stage::kEncode);
+    emb = encoder_->EncodeBatch({query});
+  }
   return ToResults(MergedSearch(*state, emb.data(), k));
 }
 
@@ -281,11 +294,19 @@ std::vector<std::vector<LookupResult>> EmbLookup::BulkLookup(
   const std::shared_ptr<const ServingState> state = State();
   const int64_t dim = encoder_->dim();
 
+  // The caller's trace binding (if any), re-bound inside pool workers so
+  // spans recorded there still land in the caller's trace with the right
+  // parent. The pool join below is the happens-before edge the trace's
+  // wait-free span slots rely on.
+  const obs::TraceBinding binding = obs::CurrentBinding();
+
   // Encode all queries (batched; parallel batches when requested).
   std::vector<float> embs(n * dim);
   constexpr int64_t kBatch = 128;
   const int64_t num_batches = (n + kBatch - 1) / kBatch;
   auto encode_batch = [&](int64_t bi) {
+    obs::ScopedTrace bind(binding);
+    obs::Span span(obs::Stage::kEncode);
     const int64_t begin = bi * kBatch;
     const int64_t end = std::min(n, begin + kBatch);
     std::vector<std::string> chunk(queries.begin() + begin,
@@ -303,14 +324,20 @@ std::vector<std::vector<LookupResult>> EmbLookup::BulkLookup(
   }
 
   if (state->delta == nullptr || state->delta->empty()) {
+    // One batch-level main_scan span; BatchSearch's internal pool fan-out
+    // is not re-bound, so per-query ann spans only nest in the serial path
+    // (the global stage histograms record either way).
+    obs::Span scan(obs::Stage::kMainScan);
     ann::NeighborLists lists = state->index->BatchSearch(
         embs.data(), n, k, parallel ? pool_.get() : nullptr);
+    scan.End();
     for (int64_t i = 0; i < n; ++i) out[i] = ToResults(lists[i]);
     return out;
   }
   // Delta overlay active: per-query merged search (the delta is small, so
   // the per-query scatter-gather dominates neither path).
   auto merged = [&](int64_t i) {
+    obs::ScopedTrace bind(binding);
     out[i] = ToResults(MergedSearch(*state, embs.data() + i * dim, k));
   };
   if (parallel) {

@@ -1,0 +1,66 @@
+#include "obs/histogram.h"
+
+#include <algorithm>
+
+namespace emblookup::obs {
+
+double HistogramSnapshot::Percentile(double p) const {
+  if (total == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  const double rank = p * static_cast<double>(total);
+  uint64_t seen = 0;
+  for (size_t b = 0; b < counts.size(); ++b) {
+    seen += counts[b];
+    if (static_cast<double>(seen) < rank) continue;
+    if (b >= upper_bounds.size()) break;  // Overflow bucket: clamp below.
+    // Interpolate inside finite bucket b between its bounds.
+    const double hi = upper_bounds[b];
+    if (counts[b] == 0) return hi;
+    const double lo = b == 0 ? 0.0 : upper_bounds[b - 1];
+    const double into =
+        (rank - static_cast<double>(seen - counts[b])) / counts[b];
+    return lo + (hi - lo) * std::clamp(into, 0.0, 1.0);
+  }
+  // Rank fell in the +inf bucket (or bounds are empty): no finite edge to
+  // interpolate toward, so clamp to the last finite bound — the
+  // histogram's resolution limit, never +inf. See the header's convention.
+  return upper_bounds.empty() ? 0.0 : upper_bounds.back();
+}
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), counts_(bounds_.size() + 1) {}
+
+void Histogram::Record(double value) {
+  const size_t b =
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin();
+  counts_[b].fetch_add(1, std::memory_order_relaxed);
+  total_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.upper_bounds = bounds_;
+  snap.counts.reserve(counts_.size());
+  for (const auto& c : counts_) {
+    snap.counts.push_back(c.load(std::memory_order_relaxed));
+  }
+  snap.total = total_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+std::vector<double> Histogram::ExponentialBuckets(double start, double factor,
+                                                  int count) {
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  double b = start;
+  for (int i = 0; i < count; ++i, b *= factor) bounds.push_back(b);
+  return bounds;
+}
+
+}  // namespace emblookup::obs

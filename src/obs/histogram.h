@@ -1,0 +1,68 @@
+#ifndef EMBLOOKUP_OBS_HISTOGRAM_H_
+#define EMBLOOKUP_OBS_HISTOGRAM_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace emblookup::obs {
+
+/// Point-in-time copy of one fixed-bucket histogram.
+///
+/// Bucket semantics (the Prometheus client-library convention):
+/// `upper_bounds[i]` is the INCLUSIVE upper edge of bucket i, so bucket i
+/// counts observations in (upper_bounds[i-1], upper_bounds[i]]; an implicit
+/// overflow (+inf) bucket follows the last finite bound and absorbs every
+/// larger observation. `counts` therefore has upper_bounds.size() + 1
+/// entries and is NON-cumulative here — the Prometheus exporter re-derives
+/// the cumulative `_bucket{le=...}` form at render time.
+struct HistogramSnapshot {
+  /// Inclusive upper bounds per bucket, sorted ascending; an implicit +inf
+  /// bucket follows.
+  std::vector<double> upper_bounds;
+  /// Per-bucket observation counts (upper_bounds.size() + 1 entries).
+  std::vector<uint64_t> counts;
+  uint64_t total = 0;
+  double sum = 0.0;
+
+  double Mean() const { return total == 0 ? 0.0 : sum / total; }
+
+  /// Bucket-interpolated percentile estimate, p in [0, 1].
+  ///
+  /// Convention for the overflow bucket: when the requested rank lands in
+  /// the +inf bucket there is no finite upper edge to interpolate toward,
+  /// so the estimate is CLAMPED to the last finite bound — the histogram's
+  /// resolution limit — rather than reporting +inf. Exporters surface this
+  /// convention (see OBSERVABILITY.md "percentiles from buckets"); widen
+  /// the bucket range if tail percentiles keep hitting the clamp.
+  double Percentile(double p) const;
+};
+
+/// Fixed-bucket histogram with wait-free Record (relaxed atomics) and a
+/// monitoring-grade Snapshot — the total/sum/bucket counters may be
+/// mutually slightly stale, which is the Prometheus scrape contract.
+class Histogram {
+ public:
+  /// `upper_bounds` must be sorted ascending; a +inf bucket is appended.
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Record(double value);
+  HistogramSnapshot Snapshot() const;
+
+  /// `count` bucket bounds: start, start*factor, start*factor^2, ...
+  static std::vector<double> ExponentialBuckets(double start, double factor,
+                                                int count);
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<uint64_t>> counts_;  // bounds_.size() + 1 buckets.
+  std::atomic<uint64_t> total_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+}  // namespace emblookup::obs
+
+#endif  // EMBLOOKUP_OBS_HISTOGRAM_H_

@@ -1,0 +1,55 @@
+#ifndef EMBLOOKUP_OBS_HTTP_ENDPOINT_H_
+#define EMBLOOKUP_OBS_HTTP_ENDPOINT_H_
+
+#include <atomic>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+
+namespace emblookup::obs {
+
+/// Minimal plain-HTTP metrics endpoint: one listener thread answers every
+/// GET with the renderer's current output as
+/// `text/plain; version=0.0.4` (the Prometheus exposition content type)
+/// and closes the connection. No TLS, no routing, no keep-alive — this is
+/// a scrape target, not a web server; run it on a loopback or otherwise
+/// firewalled port.
+class MetricsHttpServer {
+ public:
+  /// Renders the response body for one scrape; called on the listener
+  /// thread, must be thread-safe.
+  using Renderer = std::function<std::string()>;
+
+  MetricsHttpServer() = default;
+  ~MetricsHttpServer() { Stop(); }
+
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  /// Binds 0.0.0.0:`port` (port 0 picks an ephemeral port — see port())
+  /// and starts serving. One Start per instance.
+  Status Start(int port, Renderer renderer);
+
+  /// Stops the listener and joins its thread. Idempotent.
+  void Stop();
+
+  /// The bound port (resolves port-0 requests); -1 before Start.
+  int port() const { return port_; }
+  bool running() const { return listen_fd_.load(std::memory_order_acquire) >= 0; }
+
+ private:
+  void ServeLoop(int fd);
+
+  Renderer renderer_;
+  /// Owned by Start/Stop; the listener thread works on its own copy of
+  /// the fd, so Stop's store never races with the accept loop.
+  std::atomic<int> listen_fd_{-1};
+  int port_ = -1;
+  std::thread thread_;
+};
+
+}  // namespace emblookup::obs
+
+#endif  // EMBLOOKUP_OBS_HTTP_ENDPOINT_H_

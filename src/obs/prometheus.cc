@@ -1,0 +1,97 @@
+#include "obs/prometheus.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace emblookup::obs {
+
+namespace {
+
+/// Formats a double the Prometheus way: integral values without a
+/// fractional part, otherwise shortest-ish %g.
+std::string Num(double v) {
+  char buf[64];
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      v < 1e15 && v > -1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+  }
+  return buf;
+}
+
+/// Escapes a label value (backslash, quote, newline per the format spec).
+std::string EscapeLabel(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (const char c : v) {
+    if (c == '\\') out += "\\\\";
+    else if (c == '"') out += "\\\"";
+    else if (c == '\n') out += "\\n";
+    else out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+void PrometheusWriter::Header(const std::string& name,
+                              const std::string& help, const char* type) {
+  if (last_family_ == name) return;  // Same family, new series: no re-header.
+  last_family_ = name;
+  out_ += "# HELP " + name + " " + help + "\n";
+  out_ += "# TYPE " + name + " ";
+  out_ += type;
+  out_ += "\n";
+}
+
+std::string PrometheusWriter::Series(const std::string& name,
+                                     const Labels& labels) {
+  if (labels.empty()) return name;
+  std::string out = name + "{";
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out += ",";
+    out += labels[i].first + "=\"" + EscapeLabel(labels[i].second) + "\"";
+  }
+  return out + "}";
+}
+
+void PrometheusWriter::Counter(const std::string& name,
+                               const std::string& help, uint64_t value,
+                               const Labels& labels) {
+  Header(name, help, "counter");
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+  out_ += Series(name, labels) + " " + buf + "\n";
+}
+
+void PrometheusWriter::Gauge(const std::string& name, const std::string& help,
+                             double value, const Labels& labels) {
+  Header(name, help, "gauge");
+  out_ += Series(name, labels) + " " + Num(value) + "\n";
+}
+
+void PrometheusWriter::Histogram(const std::string& name,
+                                 const std::string& help,
+                                 const HistogramSnapshot& snapshot,
+                                 const Labels& labels) {
+  Header(name, help, "histogram");
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b < snapshot.counts.size(); ++b) {
+    cumulative += snapshot.counts[b];
+    Labels with_le = labels;
+    with_le.emplace_back(
+        "le", b < snapshot.upper_bounds.size()
+                  ? Num(snapshot.upper_bounds[b])
+                  : std::string("+Inf"));
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, cumulative);
+    out_ += Series(name + "_bucket", with_le) + " " + buf + "\n";
+  }
+  out_ += Series(name + "_sum", labels) + " " + Num(snapshot.sum) + "\n";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, snapshot.total);
+  out_ += Series(name + "_count", labels) + " " + buf + "\n";
+}
+
+}  // namespace emblookup::obs

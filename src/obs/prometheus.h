@@ -1,0 +1,49 @@
+#ifndef EMBLOOKUP_OBS_PROMETHEUS_H_
+#define EMBLOOKUP_OBS_PROMETHEUS_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/histogram.h"
+
+namespace emblookup::obs {
+
+/// Renders metric families in the Prometheus text exposition format
+/// (version 0.0.4): `# HELP` / `# TYPE` headers once per family, then one
+/// sample line per series. Histograms are emitted in the cumulative
+/// `_bucket{le="..."}` form ending at `le="+Inf"`, plus `_sum` and
+/// `_count` — HistogramSnapshot's per-bucket counts are converted here.
+///
+/// Call the family methods in any order; series of one family (e.g. a
+/// labelled histogram per stage) must be appended consecutively so the
+/// HELP/TYPE header is emitted exactly once — the writer enforces this by
+/// only tracking the previously emitted family name.
+class PrometheusWriter {
+ public:
+  using Labels = std::vector<std::pair<std::string, std::string>>;
+
+  void Counter(const std::string& name, const std::string& help,
+               uint64_t value, const Labels& labels = {});
+  void Gauge(const std::string& name, const std::string& help, double value,
+             const Labels& labels = {});
+  void Histogram(const std::string& name, const std::string& help,
+                 const HistogramSnapshot& snapshot,
+                 const Labels& labels = {});
+
+  /// The accumulated exposition text.
+  std::string Finish() { return std::move(out_); }
+
+ private:
+  void Header(const std::string& name, const std::string& help,
+              const char* type);
+  static std::string Series(const std::string& name, const Labels& labels);
+
+  std::string out_;
+  std::string last_family_;
+};
+
+}  // namespace emblookup::obs
+
+#endif  // EMBLOOKUP_OBS_PROMETHEUS_H_

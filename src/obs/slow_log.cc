@@ -1,0 +1,271 @@
+#include "obs/slow_log.h"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdlib>
+#include <cstring>
+
+namespace emblookup::obs {
+
+namespace {
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      case '\r': *out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+void AppendF(std::string* out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  *out += buf;
+}
+
+/// Minimal cursor over one JSON line — just enough for the slow-query
+/// schema (objects, arrays, strings, numbers, booleans).
+class Cursor {
+ public:
+  Cursor(const char* p, const char* end) : p_(p), end_(end) {}
+
+  void SkipWs() {
+    while (p_ < end_ && std::isspace(static_cast<unsigned char>(*p_))) ++p_;
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (p_ < end_ && *p_ == c) {
+      ++p_;
+      return true;
+    }
+    return false;
+  }
+
+  bool Peek(char c) {
+    SkipWs();
+    return p_ < end_ && *p_ == c;
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) return false;
+    out->clear();
+    while (p_ < end_ && *p_ != '"') {
+      char c = *p_++;
+      if (c == '\\') {
+        if (p_ >= end_) return false;
+        const char e = *p_++;
+        switch (e) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case 'u': {
+            if (end_ - p_ < 4) return false;
+            char hex[5] = {p_[0], p_[1], p_[2], p_[3], 0};
+            c = static_cast<char>(std::strtol(hex, nullptr, 16));
+            p_ += 4;
+            break;
+          }
+          default:
+            return false;
+        }
+      }
+      out->push_back(c);
+    }
+    return Consume('"');
+  }
+
+  bool ParseNumber(double* out) {
+    SkipWs();
+    char* after = nullptr;
+    *out = std::strtod(p_, &after);
+    if (after == p_) return false;
+    p_ = after;
+    return true;
+  }
+
+  bool ParseBool(bool* out) {
+    SkipWs();
+    if (end_ - p_ >= 4 && std::strncmp(p_, "true", 4) == 0) {
+      *out = true;
+      p_ += 4;
+      return true;
+    }
+    if (end_ - p_ >= 5 && std::strncmp(p_, "false", 5) == 0) {
+      *out = false;
+      p_ += 5;
+      return true;
+    }
+    return false;
+  }
+
+  bool AtEnd() {
+    SkipWs();
+    return p_ == end_;
+  }
+
+ private:
+  const char* p_;
+  const char* end_;
+};
+
+bool StageFromName(const std::string& name, Stage* out) {
+  for (int s = 0; s < kNumStages; ++s) {
+    if (name == StageName(static_cast<Stage>(s))) {
+      *out = static_cast<Stage>(s);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ParseSpan(Cursor* c, SpanRecord* span) {
+  if (!c->Consume('{')) return false;
+  bool first = true;
+  while (!c->Peek('}')) {
+    if (!first && !c->Consume(',')) return false;
+    first = false;
+    std::string key;
+    if (!c->ParseString(&key) || !c->Consume(':')) return false;
+    if (key == "stage") {
+      std::string name;
+      if (!c->ParseString(&name) || !StageFromName(name, &span->stage)) {
+        return false;
+      }
+    } else {
+      double v = 0.0;
+      if (!c->ParseNumber(&v)) return false;
+      if (key == "parent") span->parent = static_cast<int32_t>(v);
+      else if (key == "start_us") span->start_us = v;
+      else if (key == "dur_us") span->duration_us = v;
+      else return false;
+    }
+  }
+  return c->Consume('}');
+}
+
+}  // namespace
+
+std::string RenderSlowQueryJson(const FinishedTrace& t) {
+  std::string out;
+  out.reserve(256 + 96 * t.spans.size());
+  AppendF(&out, "{\"trace_id\":%" PRIu64 ",\"query\":\"", t.trace_id);
+  AppendEscaped(&out, t.query);
+  AppendF(&out, "\",\"k\":%lld,\"total_us\":%.3f,\"from_cache\":%s,"
+          "\"dropped_spans\":%" PRIu64 ",\"spans\":[",
+          static_cast<long long>(t.k), t.total_us,
+          t.from_cache ? "true" : "false", t.dropped_spans);
+  for (size_t i = 0; i < t.spans.size(); ++i) {
+    const SpanRecord& s = t.spans[i];
+    AppendF(&out, "%s{\"stage\":\"%s\",\"parent\":%d,\"start_us\":%.3f,"
+            "\"dur_us\":%.3f}",
+            i == 0 ? "" : ",", StageName(s.stage), s.parent, s.start_us,
+            s.duration_us);
+  }
+  out += "]}";
+  return out;
+}
+
+Result<FinishedTrace> ParseSlowQueryJson(const std::string& line) {
+  Cursor c(line.data(), line.data() + line.size());
+  FinishedTrace t;
+  if (!c.Consume('{')) {
+    return Status::InvalidArgument("slow-query JSON: expected '{'");
+  }
+  bool first = true;
+  while (!c.Peek('}')) {
+    if (!first && !c.Consume(',')) {
+      return Status::InvalidArgument("slow-query JSON: expected ','");
+    }
+    first = false;
+    std::string key;
+    if (!c.ParseString(&key) || !c.Consume(':')) {
+      return Status::InvalidArgument("slow-query JSON: bad key");
+    }
+    bool ok = true;
+    if (key == "query") {
+      ok = c.ParseString(&t.query);
+    } else if (key == "from_cache") {
+      ok = c.ParseBool(&t.from_cache);
+    } else if (key == "spans") {
+      ok = c.Consume('[');
+      while (ok && !c.Peek(']')) {
+        if (!t.spans.empty()) ok = c.Consume(',');
+        SpanRecord span;
+        ok = ok && ParseSpan(&c, &span);
+        if (ok) t.spans.push_back(span);
+      }
+      ok = ok && c.Consume(']');
+    } else {
+      double v = 0.0;
+      ok = c.ParseNumber(&v);
+      if (key == "trace_id") t.trace_id = static_cast<uint64_t>(v);
+      else if (key == "k") t.k = static_cast<int64_t>(v);
+      else if (key == "total_us") t.total_us = v;
+      else if (key == "dropped_spans") t.dropped_spans =
+          static_cast<uint64_t>(v);
+      else ok = false;
+    }
+    if (!ok) {
+      return Status::InvalidArgument("slow-query JSON: bad value for '" +
+                                     key + "'");
+    }
+  }
+  if (!c.Consume('}') || !c.AtEnd()) {
+    return Status::InvalidArgument("slow-query JSON: trailing garbage");
+  }
+  return t;
+}
+
+SlowQueryLog::~SlowQueryLog() {
+  if (owns_file_ && file_ != nullptr) std::fclose(file_);
+}
+
+Status SlowQueryLog::Open(double threshold_us, const std::string& path) {
+  if (threshold_us <= 0.0) return Status::OK();  // Stays disabled.
+  if (path.empty()) {
+    file_ = stderr;
+    owns_file_ = false;
+  } else {
+    file_ = std::fopen(path.c_str(), "a");
+    if (file_ == nullptr) {
+      return Status::IoError("slow-query log: cannot open " + path);
+    }
+    owns_file_ = true;
+  }
+  threshold_us_ = threshold_us;
+  return Status::OK();
+}
+
+bool SlowQueryLog::Observe(const FinishedTrace& trace) {
+  if (!enabled() || trace.total_us < threshold_us_) return false;
+  const std::string line = RenderSlowQueryJson(trace);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::fprintf(file_, "%s\n", line.c_str());
+    std::fflush(file_);
+  }
+  logged_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+}  // namespace emblookup::obs

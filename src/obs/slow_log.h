@@ -1,0 +1,65 @@
+#ifndef EMBLOOKUP_OBS_SLOW_LOG_H_
+#define EMBLOOKUP_OBS_SLOW_LOG_H_
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+#include "obs/trace.h"
+
+namespace emblookup::obs {
+
+/// Serializes a finished trace as one slow-query-log JSON line (no
+/// trailing newline). Schema (stable, documented in OBSERVABILITY.md):
+///
+///   {"trace_id":N,"query":"...","k":N,"total_us":F,"from_cache":B,
+///    "dropped_spans":N,
+///    "spans":[{"stage":"main_scan","parent":-1,"start_us":F,"dur_us":F},…]}
+///
+/// The query string is JSON-escaped; span order is recording order, and
+/// `parent` indexes into the same `spans` array (-1 = root).
+std::string RenderSlowQueryJson(const FinishedTrace& trace);
+
+/// Parses one slow-query-log line back into a FinishedTrace — the
+/// round-trip contract pinned by tests/obs_test and usable by offline
+/// tooling. Only the schema above is accepted; anything else is an
+/// InvalidArgument.
+Result<FinishedTrace> ParseSlowQueryJson(const std::string& line);
+
+/// Appends one JSON line per request whose end-to-end latency meets the
+/// threshold. Thread-safe; the write is a single fprintf under a mutex so
+/// concurrent slow queries never interleave bytes.
+class SlowQueryLog {
+ public:
+  SlowQueryLog() = default;
+  ~SlowQueryLog();
+
+  SlowQueryLog(const SlowQueryLog&) = delete;
+  SlowQueryLog& operator=(const SlowQueryLog&) = delete;
+
+  /// Enables logging for traces slower than `threshold_us`. `path` is
+  /// opened for append; empty path logs to stderr. threshold_us <= 0
+  /// leaves the log disabled.
+  Status Open(double threshold_us, const std::string& path);
+
+  bool enabled() const { return threshold_us_ > 0.0; }
+  double threshold_us() const { return threshold_us_; }
+
+  /// Logs `trace` when it is slow enough. Returns true when logged.
+  bool Observe(const FinishedTrace& trace);
+
+  uint64_t logged() const { return logged_.load(std::memory_order_relaxed); }
+
+ private:
+  double threshold_us_ = 0.0;
+  std::FILE* file_ = nullptr;  ///< Owned when not stderr.
+  bool owns_file_ = false;
+  std::mutex mu_;
+  std::atomic<uint64_t> logged_{0};
+};
+
+}  // namespace emblookup::obs
+
+#endif  // EMBLOOKUP_OBS_SLOW_LOG_H_

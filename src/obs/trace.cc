@@ -1,0 +1,194 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+namespace emblookup::obs {
+
+namespace {
+
+/// Buckets for stage latencies: 1 us .. ~1 s.
+std::vector<double> StageBuckets() {
+  return Histogram::ExponentialBuckets(1.0, 2.0, 21);
+}
+
+thread_local TraceBinding t_binding;
+
+std::atomic<bool> g_stage_timing_enabled{true};
+
+/// SplitMix64 finalizer — decorrelates the sampler's counter stream.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+const char* StageName(Stage stage) {
+  switch (stage) {
+    case Stage::kQueueWait: return "queue_wait";
+    case Stage::kServeDispatch: return "serve_dispatch";
+    case Stage::kCacheProbe: return "cache_probe";
+    case Stage::kBatchExecute: return "batch_execute";
+    case Stage::kEncode: return "encode";
+    case Stage::kMainScan: return "main_scan";
+    case Stage::kDeltaSearch: return "delta_search";
+    case Stage::kTopKMerge: return "topk_merge";
+    case Stage::kFlatScan: return "flat_scan";
+    case Stage::kPqScan: return "pq_scan";
+    case Stage::kIvfScan: return "ivf_scan";
+    case Stage::kWalAppend: return "wal_append";
+    case Stage::kDeltaApply: return "delta_apply";
+    case Stage::kCompaction: return "compaction";
+  }
+  return "unknown";
+}
+
+int32_t TraceContext::BeginSpan(Stage stage, int32_t parent,
+                                double start_us) {
+  const int32_t slot = next_.fetch_add(1, std::memory_order_relaxed);
+  if (slot >= kMaxSpans) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return -1;
+  }
+  SpanRecord& r = spans_[slot];
+  r.stage = stage;
+  r.parent = parent;
+  r.start_us = start_us;
+  r.duration_us = 0.0;
+  return slot;
+}
+
+void TraceContext::EndSpan(int32_t slot, double duration_us) {
+  if (slot < 0 || slot >= kMaxSpans) return;
+  spans_[slot].duration_us = duration_us;
+}
+
+int32_t TraceContext::AddSpan(Stage stage, int32_t parent, double start_us,
+                              double duration_us) {
+  const int32_t slot = BeginSpan(stage, parent, start_us);
+  EndSpan(slot, duration_us);
+  return slot;
+}
+
+FinishedTrace TraceContext::Finish(std::string query, int64_t k,
+                                   bool from_cache) const {
+  FinishedTrace t;
+  t.trace_id = trace_id_;
+  t.query = std::move(query);
+  t.k = k;
+  t.from_cache = from_cache;
+  t.total_us = NowMicros();
+  t.dropped_spans = dropped_.load(std::memory_order_relaxed);
+  const int32_t n = std::min(next_.load(std::memory_order_relaxed),
+                             kMaxSpans);
+  t.spans.assign(spans_.begin(), spans_.begin() + n);
+  return t;
+}
+
+TraceBinding CurrentBinding() { return t_binding; }
+
+ScopedTrace::ScopedTrace(TraceBinding binding) : saved_(t_binding) {
+  t_binding = binding;
+}
+
+ScopedTrace::~ScopedTrace() { t_binding = saved_; }
+
+StageMetrics::StageMetrics() {
+  for (int s = 0; s < kNumStages; ++s) {
+    histograms_[s] = new Histogram(StageBuckets());  // Immortal singleton.
+  }
+}
+
+StageMetrics& StageMetrics::Global() {
+  static StageMetrics* metrics = new StageMetrics();  // Never destroyed.
+  return *metrics;
+}
+
+void StageMetrics::Record(Stage stage, double micros) {
+  histograms_[static_cast<int>(stage)]->Record(micros);
+}
+
+StageMetrics::Snapshot StageMetrics::SnapshotAll() const {
+  Snapshot snap;
+  for (int s = 0; s < kNumStages; ++s) {
+    snap.stages[s] = histograms_[s]->Snapshot();
+  }
+  return snap;
+}
+
+void SetStageTimingEnabled(bool enabled) {
+  g_stage_timing_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool StageTimingEnabled() {
+  return g_stage_timing_enabled.load(std::memory_order_relaxed);
+}
+
+Span::Span(Stage stage) : stage_(stage) {
+  ctx_ = t_binding.ctx;
+  if (ctx_ == nullptr && !StageTimingEnabled()) return;  // Fully off.
+  active_ = true;
+  start_ = std::chrono::steady_clock::now();
+  if (ctx_ != nullptr) {
+    slot_ = ctx_->BeginSpan(stage, t_binding.parent, ctx_->RelMicros(start_));
+    if (slot_ >= 0) {
+      saved_parent_ = t_binding.parent;
+      t_binding.parent = slot_;
+    }
+  }
+}
+
+void Span::End() {
+  if (!active_) return;
+  active_ = false;
+  const auto end = std::chrono::steady_clock::now();
+  const double us =
+      std::chrono::duration<double, std::micro>(end - start_).count();
+  StageMetrics::Global().Record(stage_, us);
+  if (ctx_ != nullptr && slot_ >= 0) {
+    ctx_->EndSpan(slot_, us);
+    t_binding.parent = saved_parent_;
+  }
+}
+
+TraceSampler::TraceSampler(double rate, uint64_t seed)
+    : rate_(std::clamp(rate, 0.0, 1.0)), seed_(seed) {
+  threshold_ = static_cast<uint32_t>(
+      std::min(4294967295.0, rate_ * 4294967296.0));
+}
+
+bool TraceSampler::Sample() {
+  if (rate_ <= 0.0) return false;
+  if (rate_ >= 1.0) return true;
+  const uint64_t n = counter_.fetch_add(1, std::memory_order_relaxed);
+  return static_cast<uint32_t>(Mix(seed_ ^ n)) < threshold_;
+}
+
+TraceRing::TraceRing(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void TraceRing::Push(FinishedTrace trace) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(trace));
+  } else {
+    ring_[head_] = std::move(trace);
+    head_ = (head_ + 1) % capacity_;
+  }
+  total_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<FinishedTrace> TraceRing::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<FinishedTrace> out;
+  out.reserve(ring_.size());
+  // Oldest first: [head_, end) then [0, head_).
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+}  // namespace emblookup::obs

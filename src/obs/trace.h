@@ -1,0 +1,251 @@
+#ifndef EMBLOOKUP_OBS_TRACE_H_
+#define EMBLOOKUP_OBS_TRACE_H_
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/histogram.h"
+
+namespace emblookup::obs {
+
+/// The instrumented stages of the lookup/mutation path (DESIGN.md §9).
+/// Every stage gets (a) a global latency histogram exported to Prometheus
+/// and (b) a span in the active trace when one is bound to the thread.
+/// Order is stable — stage names appear in exporter output and the
+/// slow-query log, and OBSERVABILITY.md documents each.
+enum class Stage : uint8_t {
+  kQueueWait = 0,     ///< Submit -> dispatcher pickup (serve).
+  kServeDispatch,     ///< One request's share of batch execution (serve).
+  kCacheProbe,        ///< QueryCache Get (serve).
+  kBatchExecute,      ///< Backend BulkLookup call for the batch (serve).
+  kEncode,            ///< Mention-encoder forward pass (core).
+  kMainScan,          ///< Main-index ANN search, incl. alias dedup (core).
+  kDeltaSearch,       ///< Delta-overlay exact search (core).
+  kTopKMerge,         ///< Main+delta top-k merge with mask filter (core).
+  kFlatScan,          ///< FlatIndex::Search (ann).
+  kPqScan,            ///< PqIndex::Search — ADC table + code scan (ann).
+  kIvfScan,           ///< IvfIndex::Search — coarse probe + list scan (ann).
+  kWalAppend,         ///< WAL record append incl. fsync (update).
+  kDeltaApply,        ///< Delta copy + mutate + RCU publish (update).
+  kCompaction,        ///< Main-index rebuild minus tombstones (update).
+};
+inline constexpr int kNumStages = static_cast<int>(Stage::kCompaction) + 1;
+
+/// Stable snake_case stage name ("queue_wait", "main_scan", ...) — the
+/// `stage` label value in exporter output and the slow-query log.
+const char* StageName(Stage stage);
+
+/// One completed span inside a trace. Times are relative to the trace
+/// start so records serialize compactly and survive clock re-reads.
+struct SpanRecord {
+  Stage stage = Stage::kQueueWait;
+  int32_t parent = -1;  ///< Index of the parent span in the trace; -1 = root.
+  double start_us = 0.0;
+  double duration_us = 0.0;
+};
+
+/// A finished request trace, ready for the ring buffer / slow-query log.
+struct FinishedTrace {
+  uint64_t trace_id = 0;
+  std::string query;
+  int64_t k = 0;
+  bool from_cache = false;
+  double total_us = 0.0;
+  uint64_t dropped_spans = 0;  ///< Spans lost to the kMaxSpans cap.
+  std::vector<SpanRecord> spans;
+};
+
+/// Per-request span accumulator with wait-free recording: slots are
+/// claimed with one fetch_add, each slot is then written by exactly one
+/// thread, and readers (Finish) run only after the request's work has
+/// joined — the thread-pool join provides the happens-before edge, so
+/// concurrent span recording is data-race-free (pinned under TSan by
+/// tests/obs_test).
+class TraceContext {
+ public:
+  /// Spans beyond this cap are counted in dropped_spans, not recorded.
+  static constexpr int32_t kMaxSpans = 64;
+
+  explicit TraceContext(uint64_t trace_id)
+      : trace_id_(trace_id), base_(std::chrono::steady_clock::now()) {}
+
+  TraceContext(const TraceContext&) = delete;
+  TraceContext& operator=(const TraceContext&) = delete;
+
+  uint64_t trace_id() const { return trace_id_; }
+
+  /// Microseconds elapsed since the trace began (its Submit time).
+  double RelMicros(std::chrono::steady_clock::time_point t) const {
+    return std::chrono::duration<double, std::micro>(t - base_).count();
+  }
+  double NowMicros() const {
+    return RelMicros(std::chrono::steady_clock::now());
+  }
+
+  /// Claims a span slot; returns -1 when the trace is full (the drop is
+  /// counted). The slot's fields are written only by the claiming thread.
+  int32_t BeginSpan(Stage stage, int32_t parent, double start_us);
+  void EndSpan(int32_t slot, double duration_us);
+
+  /// BeginSpan + EndSpan for callers that already measured the interval.
+  int32_t AddSpan(Stage stage, int32_t parent, double start_us,
+                  double duration_us);
+
+  /// Seals the trace into a FinishedTrace. Caller must ensure all span
+  /// recording has completed (joined) before calling.
+  FinishedTrace Finish(std::string query, int64_t k, bool from_cache) const;
+
+ private:
+  uint64_t trace_id_;
+  std::chrono::steady_clock::time_point base_;
+  std::atomic<int32_t> next_{0};
+  std::atomic<uint64_t> dropped_{0};
+  std::array<SpanRecord, kMaxSpans> spans_;
+};
+
+/// The (trace, parent-span) pair bound to the current thread. Captured by
+/// fan-out points (e.g. EmbLookup::BulkLookup) and re-bound inside pool
+/// workers so spans recorded on worker threads still nest correctly.
+struct TraceBinding {
+  TraceContext* ctx = nullptr;
+  int32_t parent = -1;
+};
+
+/// This thread's current binding ({nullptr, -1} when no trace is active).
+TraceBinding CurrentBinding();
+
+/// RAII: binds a trace (and parent span) to the current thread, restoring
+/// the previous binding on destruction. Binding nullptr is a no-op used
+/// for untraced requests.
+class ScopedTrace {
+ public:
+  explicit ScopedTrace(TraceContext* ctx, int32_t parent = -1)
+      : ScopedTrace(TraceBinding{ctx, parent}) {}
+  explicit ScopedTrace(TraceBinding binding);
+  ~ScopedTrace();
+
+  ScopedTrace(const ScopedTrace&) = delete;
+  ScopedTrace& operator=(const ScopedTrace&) = delete;
+
+ private:
+  TraceBinding saved_;
+};
+
+/// Process-wide per-stage latency histograms — the exporter's per-stage
+/// data source. Recording is wait-free; always on (a Span records here
+/// whether or not a trace is bound) unless globally disabled with
+/// SetStageTimingEnabled(false).
+class StageMetrics {
+ public:
+  static StageMetrics& Global();
+
+  void Record(Stage stage, double micros);
+
+  struct Snapshot {
+    std::array<HistogramSnapshot, kNumStages> stages;
+  };
+  Snapshot SnapshotAll() const;
+
+ private:
+  StageMetrics();
+  std::array<Histogram*, kNumStages> histograms_;
+};
+
+/// Kill switch for all Span timing (clock reads + histogram records).
+/// Default on; turning it off makes Span construction a few loads.
+void SetStageTimingEnabled(bool enabled);
+bool StageTimingEnabled();
+
+/// RAII span: on construction reads this thread's binding and starts the
+/// clock; on destruction (or End()) records the duration into the stage's
+/// global histogram and — when a trace is bound — into the trace, nesting
+/// under the binding's parent. Near-zero cost when stage timing is
+/// disabled and no trace is bound.
+class Span {
+ public:
+  explicit Span(Stage stage);
+  ~Span() { End(); }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Ends the span early (idempotent; the destructor then no-ops).
+  void End();
+
+ private:
+  Stage stage_;
+  bool active_ = false;
+  int32_t slot_ = -1;
+  int32_t saved_parent_ = -1;
+  TraceContext* ctx_ = nullptr;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Deterministic head sampler: request n is sampled iff
+/// mix(seed, n) < rate * 2^32, so a fixed seed yields a reproducible
+/// decision sequence (pinned by tests) while decisions are spread
+/// pseudo-randomly across the stream. Thread-safe.
+class TraceSampler {
+ public:
+  explicit TraceSampler(double rate, uint64_t seed = 0x0b5e7);
+
+  /// Decides for the next request in the stream.
+  bool Sample();
+
+  double rate() const { return rate_; }
+
+ private:
+  double rate_;
+  uint32_t threshold_;  ///< rate scaled to [0, 2^32].
+  uint64_t seed_;
+  std::atomic<uint64_t> counter_{0};
+};
+
+/// Fixed-capacity ring of the most recent finished traces (sampled
+/// requests), overwriting oldest. One mutex — only sampled traces pass
+/// through, so contention is bounded by the sampling rate.
+class TraceRing {
+ public:
+  explicit TraceRing(size_t capacity = 256);
+
+  void Push(FinishedTrace trace);
+  /// Most-recent-last copy of the retained traces.
+  std::vector<FinishedTrace> Snapshot() const;
+  uint64_t total_pushed() const {
+    return total_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<FinishedTrace> ring_;  ///< Circular once full.
+  size_t head_ = 0;
+  std::atomic<uint64_t> total_{0};
+};
+
+/// Tracing / slow-query-log configuration carried in ServerOptions and by
+/// the CLI flags (see OBSERVABILITY.md).
+struct ObsOptions {
+  /// Head-sampling probability in [0, 1]; 0 disables tracing.
+  double trace_sample_rate = 0.0;
+  /// Seed for the deterministic sampler.
+  uint64_t trace_seed = 0x0b5e7;
+  /// Requests slower than this emit a slow-query JSON line; 0 disables.
+  /// Enabling it forces tracing of EVERY request (spans must exist to be
+  /// logged) regardless of trace_sample_rate — budget per EXPERIMENTS.md's
+  /// 100%-sampling overhead measurement.
+  double slow_query_us = 0.0;
+  /// Slow-query log destination file (appended); empty -> stderr.
+  std::string slow_log_path;
+  /// Retained finished traces (newest wins).
+  size_t trace_ring_capacity = 256;
+};
+
+}  // namespace emblookup::obs
+
+#endif  // EMBLOOKUP_OBS_TRACE_H_

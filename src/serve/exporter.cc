@@ -1,0 +1,132 @@
+#include "serve/exporter.h"
+
+#include "obs/prometheus.h"
+
+namespace emblookup::serve {
+
+namespace {
+
+using obs::PrometheusWriter;
+
+void WriteServeFamilies(PrometheusWriter* w, const MetricsSnapshot& m) {
+  w->Counter("emblookup_requests_submitted_total",
+             "Lookup requests admitted to the queue.", m.requests_submitted);
+  w->Counter("emblookup_requests_completed_total",
+             "Lookup requests completed with a result.", m.requests_completed);
+  w->Counter("emblookup_requests_shed_total",
+             "Requests rejected by admission control (queue full).",
+             m.requests_shed);
+  w->Counter("emblookup_requests_expired_total",
+             "Requests whose deadline passed while queued.",
+             m.requests_expired);
+  w->Counter("emblookup_cache_hits_total", "Query-cache hits.", m.cache_hits);
+  w->Counter("emblookup_cache_misses_total", "Query-cache misses.",
+             m.cache_misses);
+  w->Counter("emblookup_batches_executed_total",
+             "Backend micro-batches executed.", m.batches_executed);
+  w->Counter("emblookup_index_swaps_total",
+             "Hot index snapshot installs (SwapIndex/LoadSnapshot).",
+             m.index_swaps);
+  w->Counter("emblookup_updates_applied_total",
+             "Online mutations served through this server.",
+             m.updates_applied);
+  w->Counter("emblookup_compactions_total",
+             "Delta-into-main compactions triggered through this server.",
+             m.compactions);
+  w->Histogram("emblookup_queue_wait_microseconds",
+               "Submit-to-dispatch queue wait per request.", m.queue_wait_us);
+  w->Histogram("emblookup_batch_size", "Queries per executed backend batch.",
+               m.batch_size);
+  w->Histogram("emblookup_e2e_latency_microseconds",
+               "Submit-to-completion latency per request.", m.e2e_latency_us);
+}
+
+void WriteCacheFamilies(PrometheusWriter* w, const QueryCacheStats& c) {
+  w->Gauge("emblookup_cache_entries", "Live query-cache entries.",
+           static_cast<double>(c.entries));
+  w->Gauge("emblookup_cache_bytes", "Approximate query-cache payload bytes.",
+           static_cast<double>(c.bytes));
+  w->Counter("emblookup_cache_evictions_total",
+             "Query-cache capacity evictions.", c.evictions);
+  w->Counter("emblookup_cache_stale_drops_total",
+             "Cache hits discarded for an out-of-date serving epoch.",
+             c.stale_drops);
+}
+
+void WriteStageFamilies(PrometheusWriter* w,
+                        const obs::StageMetrics::Snapshot& s) {
+  // One labelled series per stage, all emitted (even empty) so the family
+  // set is stable for scrapers and the CI grep.
+  for (int i = 0; i < obs::kNumStages; ++i) {
+    w->Histogram("emblookup_stage_latency_microseconds",
+                 "Per-stage latency of the lookup/mutation path "
+                 "(see OBSERVABILITY.md span glossary).",
+                 s.stages[i],
+                 {{"stage", obs::StageName(static_cast<obs::Stage>(i))}});
+  }
+}
+
+void WriteUpdateFamilies(PrometheusWriter* w,
+                         const update::UpdaterStats& u) {
+  w->Gauge("emblookup_update_last_seq",
+           "Highest durably acknowledged mutation sequence number.",
+           static_cast<double>(u.last_seq));
+  w->Counter("emblookup_update_applied_mutations_total",
+             "Mutations applied by this process (excludes WAL replay).",
+             u.applied_mutations);
+  w->Counter("emblookup_update_replayed_mutations_total",
+             "WAL records replayed at open.", u.replayed_mutations);
+  w->Gauge("emblookup_update_torn_tail_bytes",
+           "Bytes of torn WAL tail discarded at open.",
+           static_cast<double>(u.torn_tail_bytes));
+  w->Counter("emblookup_update_compactions_total",
+             "Delta-into-main index rebuilds.", u.compactions);
+  w->Gauge("emblookup_update_delta_rows",
+           "Rows in the delta overlay awaiting compaction.",
+           static_cast<double>(u.delta_rows));
+  w->Gauge("emblookup_update_tombstones",
+           "Tombstoned entities masked out of the main index.",
+           static_cast<double>(u.tombstones));
+  w->Gauge("emblookup_update_masked_row_bound",
+           "Upper bound on masked main-index rows (drives over-fetch).",
+           static_cast<double>(u.masked_row_bound));
+  w->Gauge("emblookup_update_catalog_entities",
+           "Catalog entities including tombstoned ones.",
+           static_cast<double>(u.catalog_entities));
+}
+
+void WriteObsFamilies(PrometheusWriter* w,
+                      const LookupServer::ObsStats& o) {
+  w->Counter("emblookup_traces_sampled_total",
+             "Requests that carried a trace (head sampling).",
+             o.traces_sampled);
+  w->Counter("emblookup_slow_queries_total",
+             "Requests logged to the slow-query log.", o.slow_queries_logged);
+  w->Counter("emblookup_trace_spans_dropped_total",
+             "Spans lost to the per-trace span cap.", o.spans_dropped);
+}
+
+}  // namespace
+
+std::string RenderPrometheusText(const ExportInputs& inputs) {
+  PrometheusWriter w;
+  WriteServeFamilies(&w, inputs.metrics);
+  WriteCacheFamilies(&w, inputs.cache);
+  WriteStageFamilies(&w, inputs.stages);
+  if (inputs.update.has_value()) WriteUpdateFamilies(&w, *inputs.update);
+  if (inputs.obs_stats.has_value()) WriteObsFamilies(&w, *inputs.obs_stats);
+  return w.Finish();
+}
+
+std::string PrometheusText(const LookupServer& server,
+                           const update::IndexUpdater* updater) {
+  ExportInputs inputs;
+  inputs.metrics = server.Metrics();
+  inputs.cache = server.CacheStats();
+  inputs.stages = obs::StageMetrics::Global().SnapshotAll();
+  if (updater != nullptr) inputs.update = updater->stats();
+  inputs.obs_stats = server.GetObsStats();
+  return RenderPrometheusText(inputs);
+}
+
+}  // namespace emblookup::serve

@@ -1,0 +1,42 @@
+#ifndef EMBLOOKUP_SERVE_EXPORTER_H_
+#define EMBLOOKUP_SERVE_EXPORTER_H_
+
+#include <optional>
+#include <string>
+
+#include "obs/trace.h"
+#include "serve/lookup_server.h"
+#include "serve/metrics.h"
+#include "serve/query_cache.h"
+#include "update/updater.h"
+
+namespace emblookup::serve {
+
+/// Everything the Prometheus exporter renders in one scrape. The serve
+/// snapshot is mandatory; the update and obs sections are optional so the
+/// exporter works for servers without an attached updater or tracing.
+struct ExportInputs {
+  MetricsSnapshot metrics;
+  QueryCacheStats cache;
+  obs::StageMetrics::Snapshot stages;
+  std::optional<update::UpdaterStats> update;
+  std::optional<LookupServer::ObsStats> obs_stats;
+};
+
+/// Renders `inputs` in the Prometheus text exposition format (0.0.4).
+/// Every family is prefixed `emblookup_` and documented one-for-one in
+/// OBSERVABILITY.md (CI greps the # TYPE lines against that file). All
+/// per-stage series are emitted even at zero so scrapes and CI checks see
+/// a stable family set.
+std::string RenderPrometheusText(const ExportInputs& inputs);
+
+/// One-call exporter for a running server: snapshots its metrics, cache,
+/// the global stage histograms, and (when attached) the updater, then
+/// renders. This is what `emblookup_cli metrics-dump` and the
+/// `--metrics-port` endpoint serve.
+std::string PrometheusText(const LookupServer& server,
+                           const update::IndexUpdater* updater = nullptr);
+
+}  // namespace emblookup::serve
+
+#endif  // EMBLOOKUP_SERVE_EXPORTER_H_

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "apps/lookup_services.h"
+#include "common/logging.h"
 #include "update/updater.h"
 
 namespace emblookup::serve {
@@ -14,6 +15,12 @@ using SteadyClock = std::chrono::steady_clock;
 
 double ToMicros(SteadyClock::duration d) {
   return std::chrono::duration<double, std::micro>(d).count();
+}
+
+/// Head-sampling probability: an enabled slow-query log forces tracing of
+/// every request (spans must exist at completion to be logged).
+double EffectiveSampleRate(const obs::ObsOptions& obs) {
+  return obs.slow_query_us > 0.0 ? 1.0 : obs.trace_sample_rate;
 }
 
 /// An already-completed future carrying `status`.
@@ -31,6 +38,9 @@ LookupServer::LookupServer(apps::LookupService* backend,
       emblookup_(emblookup),
       options_(options),
       cache_(options.cache),
+      sampler_(EffectiveSampleRate(options.obs), options.obs.trace_seed),
+      trace_ring_(options.obs.trace_ring_capacity),
+      obs_ready_(InitObs()),
       dispatcher_([this] { DispatcherLoop(); }) {}
 
 LookupServer::LookupServer(core::EmbLookup* emblookup, ServerOptions options)
@@ -40,9 +50,21 @@ LookupServer::LookupServer(core::EmbLookup* emblookup, ServerOptions options)
       emblookup_(emblookup),
       options_(options),
       cache_(options.cache),
+      sampler_(EffectiveSampleRate(options.obs), options.obs.trace_seed),
+      trace_ring_(options.obs.trace_ring_capacity),
+      obs_ready_(InitObs()),
       dispatcher_([this] { DispatcherLoop(); }) {}
 
 LookupServer::~LookupServer() { Shutdown(); }
+
+bool LookupServer::InitObs() {
+  const Status s =
+      slow_log_.Open(options_.obs.slow_query_us, options_.obs.slow_log_path);
+  if (!s.ok()) {
+    EL_LOG(Warning) << "slow-query log disabled: " << s.ToString();
+  }
+  return true;
+}
 
 std::future<Result<LookupResponse>> LookupServer::Submit(
     std::string query, int64_t k, std::chrono::microseconds timeout) {
@@ -67,6 +89,13 @@ std::future<Result<LookupResponse>> LookupServer::Submit(
                               std::to_string(options_.max_queue_depth)));
     }
     metrics_.OnSubmitted();
+    // Head sampling: the tracing decision is made once, here, so every
+    // span recorded downstream already knows whether anyone is listening.
+    if (sampler_.Sample()) {
+      req.trace = std::make_unique<obs::TraceContext>(
+          next_trace_id_.fetch_add(1, std::memory_order_relaxed));
+      traces_sampled_.fetch_add(1, std::memory_order_relaxed);
+    }
     queue_.push_back(std::move(req));
   }
   work_available_.notify_one();
@@ -215,7 +244,13 @@ void LookupServer::ExecuteBatch(std::vector<Request>* batch) {
   // as stale afterwards — conservative, never serves outdated hits.
   const uint64_t epoch = emblookup_ != nullptr ? emblookup_->serving_epoch() : 0;
   // Triage: expire, serve from cache, or collect for backend execution.
-  std::vector<Request*> misses;
+  // `root` is each traced request's serve_dispatch span, open until the
+  // request completes.
+  struct Pending {
+    Request* req;
+    int32_t root;
+  };
+  std::vector<Pending> misses;
   std::vector<std::string> queries;
   int64_t max_k = 0;
   misses.reserve(batch->size());
@@ -223,8 +258,21 @@ void LookupServer::ExecuteBatch(std::vector<Request>* batch) {
   for (Request& req : *batch) {
     const double wait_us = ToMicros(now - req.enqueue_time);
     metrics_.ObserveQueueWaitMicros(wait_us);
+    if (obs::StageTimingEnabled()) {
+      obs::StageMetrics::Global().Record(obs::Stage::kQueueWait, wait_us);
+    }
+    obs::TraceContext* trace = req.trace.get();
+    int32_t root = -1;
+    if (trace != nullptr) {
+      trace->AddSpan(obs::Stage::kQueueWait, -1, 0.0, wait_us);
+      root = trace->BeginSpan(obs::Stage::kServeDispatch, -1,
+                              trace->RelMicros(now));
+    }
     if (now >= req.deadline) {
       metrics_.OnExpired();
+      // Expired requests are slow by definition — their traces still
+      // reach the ring and the slow-query log.
+      FinishRequestTrace(&req, root, /*from_cache=*/false);
       req.promise.set_value(Status::DeadlineExceeded(
           "request expired after " + std::to_string(wait_us) +
           "us in queue"));
@@ -232,10 +280,17 @@ void LookupServer::ExecuteBatch(std::vector<Request>* batch) {
     }
     if (options_.enable_cache) {
       LookupResponse resp;
-      if (cache_.Get(req.query, req.k, epoch, &resp.ids)) {
+      bool hit;
+      {
+        obs::ScopedTrace bind(trace, root);
+        obs::Span probe(obs::Stage::kCacheProbe);
+        hit = cache_.Get(req.query, req.k, epoch, &resp.ids);
+      }
+      if (hit) {
         metrics_.OnCacheHit();
         resp.from_cache = true;
         resp.queue_wait_seconds = wait_us * 1e-6;
+        FinishRequestTrace(&req, root, /*from_cache=*/true);
         metrics_.ObserveLatencyMicros(
             ToMicros(SteadyClock::now() - req.enqueue_time));
         metrics_.OnCompleted();
@@ -244,7 +299,7 @@ void LookupServer::ExecuteBatch(std::vector<Request>* batch) {
       }
       metrics_.OnCacheMiss();
     }
-    misses.push_back(&req);
+    misses.push_back({&req, root});
     queries.push_back(req.query);
     max_k = std::max(max_k, req.k);
   }
@@ -253,10 +308,36 @@ void LookupServer::ExecuteBatch(std::vector<Request>* batch) {
   // One bulk call at the batch's largest k; per-request results are the
   // best-first prefix, so truncation preserves each request's answer.
   metrics_.OnBatch(static_cast<int64_t>(queries.size()));
-  std::vector<std::vector<kg::EntityId>> results =
-      backend_->BulkLookup(queries, max_k);
+
+  // The batch is one backend call shared by every miss, so only one trace
+  // can own the nested core/ann spans: the batch leader (first traced
+  // miss). The other traced misses record a flat batch_execute span with
+  // the same wall interval.
+  const Pending* leader = nullptr;
+  for (const Pending& p : misses) {
+    if (p.req->trace != nullptr) {
+      leader = &p;
+      break;
+    }
+  }
+  const auto batch_start = SteadyClock::now();
+  std::vector<std::vector<kg::EntityId>> results;
+  {
+    obs::ScopedTrace bind(leader != nullptr ? leader->req->trace.get()
+                                            : nullptr,
+                          leader != nullptr ? leader->root : -1);
+    obs::Span span(obs::Stage::kBatchExecute);
+    results = backend_->BulkLookup(queries, max_k);
+  }
+  const double batch_us = ToMicros(SteadyClock::now() - batch_start);
+
   for (size_t i = 0; i < misses.size(); ++i) {
-    Request* req = misses[i];
+    Request* req = misses[i].req;
+    obs::TraceContext* trace = req->trace.get();
+    if (trace != nullptr && &misses[i] != leader) {
+      trace->AddSpan(obs::Stage::kBatchExecute, misses[i].root,
+                     trace->RelMicros(batch_start), batch_us);
+    }
     LookupResponse resp;
     resp.ids = std::move(results[i]);
     if (static_cast<int64_t>(resp.ids.size()) > req->k) {
@@ -264,11 +345,43 @@ void LookupServer::ExecuteBatch(std::vector<Request>* batch) {
     }
     if (options_.enable_cache) cache_.Put(req->query, req->k, epoch, resp.ids);
     resp.queue_wait_seconds = ToMicros(now - req->enqueue_time) * 1e-6;
+    FinishRequestTrace(req, misses[i].root, /*from_cache=*/false);
     metrics_.ObserveLatencyMicros(
         ToMicros(SteadyClock::now() - req->enqueue_time));
     metrics_.OnCompleted();
     req->promise.set_value(std::move(resp));
   }
+}
+
+void LookupServer::FinishRequestTrace(Request* req, int32_t root_slot,
+                                      bool from_cache) {
+  obs::TraceContext* trace = req->trace.get();
+  if (trace == nullptr) return;
+  obs::FinishedTrace done = trace->Finish(req->query, req->k, from_cache);
+  if (root_slot >= 0 && root_slot < static_cast<int32_t>(done.spans.size())) {
+    // Close the root serve_dispatch span at the trace end: its duration is
+    // dispatch pickup -> completion. Traced requests are the only source
+    // of the serve_dispatch stage histogram (documented in
+    // OBSERVABILITY.md).
+    done.spans[root_slot].duration_us =
+        done.total_us - done.spans[root_slot].start_us;
+    if (obs::StageTimingEnabled()) {
+      obs::StageMetrics::Global().Record(obs::Stage::kServeDispatch,
+                                         done.spans[root_slot].duration_us);
+    }
+  }
+  spans_dropped_.fetch_add(done.dropped_spans, std::memory_order_relaxed);
+  slow_log_.Observe(done);
+  trace_ring_.Push(std::move(done));
+  req->trace.reset();
+}
+
+LookupServer::ObsStats LookupServer::GetObsStats() const {
+  ObsStats stats;
+  stats.traces_sampled = traces_sampled_.load(std::memory_order_relaxed);
+  stats.slow_queries_logged = slow_log_.logged();
+  stats.spans_dropped = spans_dropped_.load(std::memory_order_relaxed);
+  return stats;
 }
 
 void LookupServer::FailBatch(std::vector<Request>* batch) {

@@ -15,6 +15,8 @@
 #include "common/status.h"
 #include "core/emblookup.h"
 #include "kg/knowledge_graph.h"
+#include "obs/slow_log.h"
+#include "obs/trace.h"
 #include "serve/metrics.h"
 #include "serve/query_cache.h"
 
@@ -42,6 +44,9 @@ struct ServerOptions {
   /// Shutdown drains queued requests (completing their futures) before the
   /// dispatcher exits; set false to fail them with Unavailable instead.
   bool drain_on_shutdown = true;
+  /// Tracing + slow-query-log configuration (sampling rate, slow
+  /// threshold, ring capacity). Default: tracing off, slow log off.
+  obs::ObsOptions obs;
 };
 
 /// One served lookup result.
@@ -139,6 +144,19 @@ class LookupServer {
   std::string StatsText() const;
   size_t queue_depth() const;
 
+  /// Tracing-side counters (complementing MetricsSnapshot).
+  struct ObsStats {
+    uint64_t traces_sampled = 0;       ///< Requests that carried a trace.
+    uint64_t slow_queries_logged = 0;  ///< Slow-query-log lines emitted.
+    uint64_t spans_dropped = 0;        ///< Spans lost to the per-trace cap.
+  };
+  ObsStats GetObsStats() const;
+  /// The retained finished traces, oldest first (sampled requests only).
+  std::vector<obs::FinishedTrace> RecentTraces() const {
+    return trace_ring_.Snapshot();
+  }
+  const obs::ObsOptions& obs_options() const { return options_.obs; }
+
  private:
   struct Request {
     std::string query;
@@ -146,6 +164,9 @@ class LookupServer {
     std::chrono::steady_clock::time_point enqueue_time;
     std::chrono::steady_clock::time_point deadline;
     std::promise<Result<LookupResponse>> promise;
+    /// Present iff this request was head-sampled at Submit (or the slow-
+    /// query log forces tracing). Spans recorded during execution land here.
+    std::unique_ptr<obs::TraceContext> trace;
   };
 
   void DispatcherLoop();
@@ -153,6 +174,11 @@ class LookupServer {
   void ExecuteBatch(std::vector<Request>* batch);
   /// Completes every request in `batch` with Unavailable (non-drain stop).
   static void FailBatch(std::vector<Request>* batch);
+  /// Opens the slow-query log (before the dispatcher starts). Returns true.
+  bool InitObs();
+  /// Ends the root span, seals the trace, and routes it to the ring and
+  /// slow-query log. No-op for untraced requests.
+  void FinishRequestTrace(Request* req, int32_t root_slot, bool from_cache);
 
   std::unique_ptr<apps::LookupService> owned_backend_;
   apps::LookupService* backend_;    // Not owned (may point at owned_backend_).
@@ -162,6 +188,13 @@ class LookupServer {
   QueryCache cache_;
   serve::Metrics metrics_;
 
+  obs::TraceSampler sampler_;
+  obs::TraceRing trace_ring_;
+  obs::SlowQueryLog slow_log_;
+  std::atomic<uint64_t> next_trace_id_{1};
+  std::atomic<uint64_t> traces_sampled_{0};
+  std::atomic<uint64_t> spans_dropped_{0};
+
   std::mutex swap_mu_;  ///< Serializes concurrent SwapIndex builds.
   std::mutex join_mu_;  ///< Makes Shutdown idempotent and thread-safe.
 
@@ -169,6 +202,7 @@ class LookupServer {
   std::condition_variable work_available_;
   std::deque<Request> queue_;
   bool stop_ = false;
+  bool obs_ready_;          ///< Sequences InitObs() before the dispatcher.
   std::thread dispatcher_;  ///< Last member: started after state is ready.
 };
 

@@ -6,48 +6,21 @@
 #include <string>
 #include <vector>
 
+#include "obs/histogram.h"
+
 namespace emblookup::serve {
 
-/// Point-in-time copy of one fixed-bucket histogram.
-struct HistogramSnapshot {
-  /// Inclusive upper bounds per bucket; an implicit +inf bucket follows.
-  std::vector<double> upper_bounds;
-  /// Per-bucket observation counts (upper_bounds.size() + 1 entries).
-  std::vector<uint64_t> counts;
-  uint64_t total = 0;
-  double sum = 0.0;
-
-  double Mean() const { return total == 0 ? 0.0 : sum / total; }
-
-  /// Bucket-interpolated percentile estimate, p in [0, 1]. The +inf bucket
-  /// reports the last finite bound (the histogram's resolution limit).
-  double Percentile(double p) const;
-};
-
-/// Fixed-bucket histogram with wait-free Record (relaxed atomics) and a
-/// monitoring-grade Snapshot — counters may be mutually slightly stale, the
-/// Prometheus client-library contract.
-class Histogram {
- public:
-  /// `upper_bounds` must be sorted ascending; a +inf bucket is appended.
-  explicit Histogram(std::vector<double> upper_bounds);
-
-  Histogram(const Histogram&) = delete;
-  Histogram& operator=(const Histogram&) = delete;
-
-  void Record(double value);
-  HistogramSnapshot Snapshot() const;
-
-  /// `count` bucket bounds: start, start*factor, start*factor^2, ...
-  static std::vector<double> ExponentialBuckets(double start, double factor,
-                                                int count);
-
- private:
-  std::vector<double> bounds_;
-  std::vector<std::atomic<uint64_t>> counts_;  // bounds_.size() + 1 buckets.
-  std::atomic<uint64_t> total_{0};
-  std::atomic<double> sum_{0.0};
-};
+/// The serving histograms are the shared obs implementation; these aliases
+/// keep the original serve:: spellings working.
+///
+/// Bucket semantics (see obs/histogram.h for the full contract):
+/// `upper_bounds[i]` is the INCLUSIVE upper edge of bucket i, snapshot
+/// counts are NON-cumulative, and an implicit +inf overflow bucket follows
+/// the last finite bound. Percentile() interpolates within a bucket and
+/// CLAMPS to the last finite bound when the rank lands in the overflow
+/// bucket — it never reports +inf.
+using Histogram = obs::Histogram;
+using HistogramSnapshot = obs::HistogramSnapshot;
 
 /// Point-in-time copy of every serving counter and histogram.
 struct MetricsSnapshot {
@@ -71,12 +44,22 @@ struct MetricsSnapshot {
   }
 
   /// Multi-line human-readable dump (counter per line, histogram summary
-  /// lines with mean/p50/p99).
+  /// lines with mean/p50/p99). For machine consumption use the Prometheus
+  /// exporter (serve/exporter.h) instead.
   std::string ToText() const;
 };
 
 /// Registry of serving counters + latency histograms. All mutators are
-/// wait-free and safe to call from any thread.
+/// wait-free (relaxed atomic increments) and safe to call from any thread;
+/// Snapshot may observe counters mid-update (e.g. submitted ahead of
+/// completed) — that skew is inherent to scrape-style monitoring and is
+/// bounded by in-flight work.
+///
+/// Histogram buckets: queue_wait_us and e2e_latency_us use exponential
+/// bounds 10us..~10.5s (factor 2, 21 buckets); batch_size uses 1..1024
+/// (factor 2, 11 buckets). Observations above the top bound land in the
+/// +inf overflow bucket, so percentile estimates saturate at the top
+/// bound — widen the buckets before trusting a p99 that sits exactly there.
 class Metrics {
  public:
   Metrics();

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 #include "store/index_io.h"
 #include "store/snapshot_reader.h"
 
@@ -198,9 +199,11 @@ Result<kg::EntityId> IndexUpdater::AddEntity(
   EL_RETURN_NOT_OK(wal_.Append(m));  // Durable: the acknowledgment point.
   seq_ = m.seq;
   EL_RETURN_NOT_OK(ApplyToGraph(m, graph_));
+  obs::Span apply(obs::Stage::kDeltaApply);
   auto delta = std::make_shared<DeltaIndex>(*delta_);
   EL_RETURN_NOT_OK(ApplyToDeltaLocked(m, /*baked=*/false, delta.get()));
   EL_RETURN_NOT_OK(PublishLocked(std::move(delta)));
+  apply.End();
   ++applied_;
   EL_RETURN_NOT_OK(MaybeCompactLocked());
   cv_.notify_all();
@@ -224,9 +227,11 @@ Status IndexUpdater::RemoveEntity(kg::EntityId entity) {
   m.entity = entity;
   EL_RETURN_NOT_OK(wal_.Append(m));
   seq_ = m.seq;
+  obs::Span apply(obs::Stage::kDeltaApply);
   auto delta = std::make_shared<DeltaIndex>(*delta_);
   EL_RETURN_NOT_OK(ApplyToDeltaLocked(m, /*baked=*/false, delta.get()));
   EL_RETURN_NOT_OK(PublishLocked(std::move(delta)));
+  apply.End();
   ++applied_;
   EL_RETURN_NOT_OK(MaybeCompactLocked());
   cv_.notify_all();
@@ -255,9 +260,11 @@ Status IndexUpdater::UpdateAliases(kg::EntityId entity,
   EL_RETURN_NOT_OK(wal_.Append(m));
   seq_ = m.seq;
   EL_RETURN_NOT_OK(ApplyToGraph(m, graph_));
+  obs::Span apply(obs::Stage::kDeltaApply);
   auto delta = std::make_shared<DeltaIndex>(*delta_);
   EL_RETURN_NOT_OK(ApplyToDeltaLocked(m, /*baked=*/false, delta.get()));
   EL_RETURN_NOT_OK(PublishLocked(std::move(delta)));
+  apply.End();
   ++applied_;
   EL_RETURN_NOT_OK(MaybeCompactLocked());
   cv_.notify_all();
@@ -268,6 +275,7 @@ Status IndexUpdater::CompactLocked() {
   // Rebuild off the current catalog minus tombstones. Mutations stall
   // (we hold mu_); lookups keep hitting the old state lock-free and swap
   // to the new one atomically at the end.
+  obs::Span span(obs::Stage::kCompaction);
   const std::unordered_set<kg::EntityId> exclude = delta_->tombstones();
   EL_ASSIGN_OR_RETURN(
       std::shared_ptr<const core::EntityIndex> index,

@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "common/crc32.h"
+#include "obs/trace.h"
 
 namespace emblookup::update {
 
@@ -301,6 +302,7 @@ Status WalWriter::Open(const std::string& path, bool sync) {
 
 Status WalWriter::Append(const Mutation& mutation) {
   if (fd_ < 0) return Status::InvalidArgument("WAL writer is not open");
+  obs::Span span(obs::Stage::kWalAppend);
   const std::vector<uint8_t> record = EncodeRecord(mutation);
   EL_RETURN_NOT_OK(WriteAll(fd_, record.data(), record.size(), path_));
   if (sync_ && ::fsync(fd_) != 0) {

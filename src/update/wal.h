@@ -99,7 +99,11 @@ class WalWriter {
   bool is_open() const { return fd_ >= 0; }
   const std::string& path() const { return path_; }
 
-  /// Appends one record; with sync, the record is durable on return.
+  /// Appends one record; with sync, the record is durable on return (the
+  /// write + fsync interval is the exported `wal_append` stage). Without
+  /// sync, durability is deferred to the kernel — a crash can lose the
+  /// tail, but replay still recovers every record that did reach disk
+  /// (torn tails are detected by CRC/extent and discarded).
   Status Append(const Mutation& mutation);
 
   /// Atomically replaces the log's contents with `records` (temp file +

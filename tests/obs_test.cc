@@ -1,0 +1,580 @@
+// Tests for the src/obs observability subsystem: span nesting and
+// cross-thread recording, sampling determinism, Prometheus text exposition
+// validity, slow-query JSON round-trips, the percentile overflow-bucket
+// clamp, the metrics HTTP endpoint, and the serve-side integration
+// (tracing through LookupServer, exporter family coverage).
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#ifndef _WIN32
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+#include <gtest/gtest.h>
+
+#include "apps/lookup_service.h"
+#include "obs/histogram.h"
+#include "obs/http_endpoint.h"
+#include "obs/prometheus.h"
+#include "obs/slow_log.h"
+#include "obs/trace.h"
+#include "serve/exporter.h"
+#include "serve/lookup_server.h"
+
+namespace emblookup::obs {
+namespace {
+
+// --- Histogram percentiles ---------------------------------------------------
+
+TEST(HistogramTest, PercentileInterpolatesWithinBuckets) {
+  Histogram h(Histogram::ExponentialBuckets(10.0, 2.0, 4));  // 10,20,40,80
+  for (int i = 0; i < 100; ++i) h.Record(15.0);  // All in (10, 20].
+  const HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.total, 100u);
+  const double p50 = snap.Percentile(0.5);
+  EXPECT_GE(p50, 10.0);
+  EXPECT_LE(p50, 20.0);
+}
+
+TEST(HistogramTest, PercentileClampsOverflowBucketToLastFiniteBound) {
+  // The regression this pins: a rank landing in the +inf overflow bucket
+  // must clamp to the last finite bound, never report +inf or garbage.
+  Histogram h({10.0, 100.0});
+  for (int i = 0; i < 10; ++i) h.Record(5.0);
+  for (int i = 0; i < 90; ++i) h.Record(1e9);  // Overflow bucket.
+  const HistogramSnapshot snap = h.Snapshot();
+  EXPECT_DOUBLE_EQ(snap.Percentile(0.99), 100.0);
+  EXPECT_DOUBLE_EQ(snap.Percentile(1.0), 100.0);
+  EXPECT_TRUE(std::isfinite(snap.Percentile(0.999)));
+}
+
+TEST(HistogramTest, SnapshotCountsAreNonCumulative) {
+  Histogram h({1.0, 2.0});
+  h.Record(0.5);
+  h.Record(1.5);
+  h.Record(99.0);
+  const HistogramSnapshot snap = h.Snapshot();
+  ASSERT_EQ(snap.counts.size(), 3u);  // Two finite + overflow.
+  EXPECT_EQ(snap.counts[0], 1u);
+  EXPECT_EQ(snap.counts[1], 1u);
+  EXPECT_EQ(snap.counts[2], 1u);
+  EXPECT_EQ(snap.total, 3u);
+  EXPECT_DOUBLE_EQ(snap.sum, 0.5 + 1.5 + 99.0);
+}
+
+// --- Span recording ----------------------------------------------------------
+
+TEST(TraceTest, SpansNestUnderTheBoundParent) {
+  TraceContext trace(7);
+  {
+    ScopedTrace bind(&trace, -1);
+    Span outer(Stage::kBatchExecute);
+    {
+      Span inner(Stage::kEncode);
+    }
+    {
+      Span inner2(Stage::kMainScan);
+    }
+  }
+  const FinishedTrace done = trace.Finish("q", 5, false);
+  EXPECT_EQ(done.trace_id, 7u);
+  ASSERT_EQ(done.spans.size(), 3u);
+  // Recording order: outer claimed its slot first.
+  EXPECT_EQ(done.spans[0].stage, Stage::kBatchExecute);
+  EXPECT_EQ(done.spans[0].parent, -1);
+  EXPECT_EQ(done.spans[1].stage, Stage::kEncode);
+  EXPECT_EQ(done.spans[1].parent, 0);
+  EXPECT_EQ(done.spans[2].stage, Stage::kMainScan);
+  EXPECT_EQ(done.spans[2].parent, 0);
+  // Children start after their parent and end within the trace.
+  EXPECT_GE(done.spans[1].start_us, done.spans[0].start_us);
+  EXPECT_LE(done.spans[1].start_us, done.spans[2].start_us);
+  EXPECT_EQ(done.dropped_spans, 0u);
+}
+
+TEST(TraceTest, SpansBeyondTheCapAreCountedNotRecorded) {
+  TraceContext trace(1);
+  ScopedTrace bind(&trace, -1);
+  for (int i = 0; i < TraceContext::kMaxSpans + 10; ++i) {
+    Span span(Stage::kEncode);
+  }
+  const FinishedTrace done = trace.Finish("q", 1, false);
+  EXPECT_EQ(done.spans.size(), static_cast<size_t>(TraceContext::kMaxSpans));
+  EXPECT_EQ(done.dropped_spans, 10u);
+}
+
+TEST(TraceTest, UnboundSpansOnlyFeedStageHistograms) {
+  // No trace bound: Span must be safe and still record globally.
+  const uint64_t before =
+      StageMetrics::Global().SnapshotAll()
+          .stages[static_cast<int>(Stage::kTopKMerge)].total;
+  {
+    Span span(Stage::kTopKMerge);
+  }
+  const uint64_t after =
+      StageMetrics::Global().SnapshotAll()
+          .stages[static_cast<int>(Stage::kTopKMerge)].total;
+  EXPECT_EQ(after, before + 1);
+}
+
+TEST(TraceTest, ConcurrentSpanRecordingIsRaceFree) {
+  // Spans recorded from many threads into one trace: slot claims are
+  // atomic, each slot written once. Run under TSan to pin the guarantee.
+  TraceContext trace(42);
+  const TraceBinding binding{&trace, -1};
+  constexpr int kThreads = 8;
+  constexpr int kSpansPerThread = 4;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      ScopedTrace bind(binding);
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        Span span(Stage::kFlatScan);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();  // Happens-before edge for Finish.
+  const FinishedTrace done = trace.Finish("q", 3, false);
+  EXPECT_EQ(done.spans.size() + done.dropped_spans,
+            static_cast<size_t>(kThreads * kSpansPerThread));
+  for (const SpanRecord& s : done.spans) {
+    EXPECT_EQ(s.stage, Stage::kFlatScan);
+    EXPECT_EQ(s.parent, -1);
+    EXPECT_GE(s.duration_us, 0.0);
+  }
+}
+
+TEST(TraceTest, ScopedTraceRestoresThePreviousBinding) {
+  TraceContext a(1), b(2);
+  ScopedTrace bind_a(&a, -1);
+  EXPECT_EQ(CurrentBinding().ctx, &a);
+  {
+    ScopedTrace bind_b(&b, 3);
+    EXPECT_EQ(CurrentBinding().ctx, &b);
+    EXPECT_EQ(CurrentBinding().parent, 3);
+  }
+  EXPECT_EQ(CurrentBinding().ctx, &a);
+}
+
+// --- Sampling ----------------------------------------------------------------
+
+TEST(SamplerTest, FixedSeedYieldsDeterministicDecisions) {
+  std::vector<bool> first, second;
+  TraceSampler s1(0.3, 99), s2(0.3, 99);
+  for (int i = 0; i < 1000; ++i) first.push_back(s1.Sample());
+  for (int i = 0; i < 1000; ++i) second.push_back(s2.Sample());
+  EXPECT_EQ(first, second);
+  // A different seed decides differently somewhere.
+  TraceSampler s3(0.3, 100);
+  std::vector<bool> third;
+  for (int i = 0; i < 1000; ++i) third.push_back(s3.Sample());
+  EXPECT_NE(first, third);
+}
+
+TEST(SamplerTest, RateEndpointsAreExact) {
+  TraceSampler none(0.0), all(1.0);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(none.Sample());
+    EXPECT_TRUE(all.Sample());
+  }
+}
+
+TEST(SamplerTest, RateIsApproximatelyHonored) {
+  TraceSampler s(0.25, 7);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += s.Sample() ? 1 : 0;
+  EXPECT_GT(hits, 2000);
+  EXPECT_LT(hits, 3000);
+}
+
+// --- Trace ring --------------------------------------------------------------
+
+TEST(TraceRingTest, OverwritesOldestBeyondCapacity) {
+  TraceRing ring(3);
+  for (uint64_t i = 1; i <= 5; ++i) {
+    FinishedTrace t;
+    t.trace_id = i;
+    ring.Push(std::move(t));
+  }
+  const std::vector<FinishedTrace> kept = ring.Snapshot();
+  ASSERT_EQ(kept.size(), 3u);
+  EXPECT_EQ(kept[0].trace_id, 3u);  // Oldest retained first.
+  EXPECT_EQ(kept[2].trace_id, 5u);
+  EXPECT_EQ(ring.total_pushed(), 5u);
+}
+
+// --- Prometheus text ---------------------------------------------------------
+
+/// Validates `text` as Prometheus 0.0.4 exposition: families declared
+/// before samples, cumulative non-decreasing histogram buckets ending in
+/// le="+Inf" whose count equals _count. Fills `families` (name -> TYPE).
+/// Void-returning so gtest ASSERT_* can bail out of it.
+void ValidateExposition(const std::string& text,
+                        std::map<std::string, std::string>* out) {
+  std::map<std::string, std::string>& families = *out;
+  families.clear();
+  std::istringstream in(text);
+  std::string line;
+  std::string last_hist_family;
+  uint64_t last_bucket = 0;
+  bool saw_inf = false;
+  while (std::getline(in, line)) {
+    ASSERT_FALSE(line.empty()) << "blank line in exposition";
+    if (line.rfind("# HELP ", 0) == 0) continue;
+    if (line.rfind("# TYPE ", 0) == 0) {
+      std::istringstream hdr(line.substr(7));
+      std::string name, type;
+      hdr >> name >> type;
+      ASSERT_TRUE(type == "counter" || type == "gauge" || type == "histogram")
+          << line;
+      ASSERT_EQ(families.count(name), 0u) << "duplicate TYPE for " << name;
+      families[name] = type;
+      continue;
+    }
+    // Sample line: name[{labels}] value
+    const size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    std::string series = line.substr(0, space);
+    const std::string value = line.substr(space + 1);
+    ASSERT_FALSE(value.empty()) << line;
+    std::string labels;
+    const size_t brace = series.find('{');
+    if (brace != std::string::npos) {
+      ASSERT_EQ(series.back(), '}') << line;
+      labels = series.substr(brace + 1, series.size() - brace - 2);
+      series = series.substr(0, brace);
+    }
+    // The sample's family must have been declared: histogram samples use
+    // the _bucket/_sum/_count suffixes.
+    std::string family = series;
+    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+      const size_t n = std::strlen(suffix);
+      if (family.size() > n &&
+          family.compare(family.size() - n, n, suffix) == 0 &&
+          families.count(family.substr(0, family.size() - n)) > 0) {
+        family = family.substr(0, family.size() - n);
+        break;
+      }
+    }
+    ASSERT_TRUE(families.count(family) > 0) << "undeclared family: " << line;
+    if (series == family + "_bucket") {
+      ASSERT_EQ(families[family], "histogram");
+      if (family != last_hist_family) {
+        last_hist_family = family;
+        last_bucket = 0;
+        saw_inf = false;
+      }
+      const uint64_t count = std::stoull(value);
+      ASSERT_GE(count, last_bucket) << "non-cumulative buckets: " << line;
+      last_bucket = count;
+      if (labels.find("le=\"+Inf\"") != std::string::npos) saw_inf = true;
+    } else if (series == family + "_count" &&
+               families[family] == "histogram") {
+      ASSERT_TRUE(saw_inf) << family << " buckets did not end at +Inf";
+      ASSERT_EQ(std::stoull(value), last_bucket)
+          << family << "_count != +Inf bucket";
+      last_hist_family.clear();
+    }
+  }
+}
+
+TEST(PrometheusTest, WriterEmitsValidExposition) {
+  Histogram h(Histogram::ExponentialBuckets(1.0, 10.0, 3));
+  h.Record(0.5);
+  h.Record(50.0);
+  h.Record(5000.0);  // Overflow.
+  PrometheusWriter w;
+  w.Counter("test_requests_total", "Requests.", 12);
+  w.Gauge("test_depth", "Depth.", 3.5);
+  w.Histogram("test_latency", "Latency.", h.Snapshot());
+  w.Histogram("test_latency", "Latency.", h.Snapshot(),
+              {{"stage", "enco\"de\n"}});  // Escaping exercised.
+  const std::string text = w.Finish();
+  std::map<std::string, std::string> families;
+  ASSERT_NO_FATAL_FAILURE(ValidateExposition(text, &families));
+  EXPECT_EQ(families["test_requests_total"], "counter");
+  EXPECT_EQ(families["test_depth"], "gauge");
+  EXPECT_EQ(families["test_latency"], "histogram");
+  // The labelled series re-used the family header (exactly one TYPE line).
+  EXPECT_EQ(text.find("# TYPE test_latency "),
+            text.rfind("# TYPE test_latency "));
+  // Label escaping: quote and newline are escaped in the output.
+  EXPECT_NE(text.find("stage=\"enco\\\"de\\n\""), std::string::npos);
+}
+
+// --- Slow-query JSON ---------------------------------------------------------
+
+FinishedTrace MakeTrace() {
+  FinishedTrace t;
+  t.trace_id = 99;
+  t.query = "weird \"query\"\twith\nescapes\\";
+  t.k = 10;
+  t.from_cache = false;
+  t.total_us = 1234.5;
+  t.dropped_spans = 2;
+  t.spans.push_back({Stage::kQueueWait, -1, 0.0, 1000.25});
+  t.spans.push_back({Stage::kServeDispatch, -1, 1000.25, 234.25});
+  t.spans.push_back({Stage::kMainScan, 1, 1100.0, 100.5});
+  return t;
+}
+
+TEST(SlowLogTest, JsonRoundTripsLosslessly) {
+  const FinishedTrace t = MakeTrace();
+  const std::string line = RenderSlowQueryJson(t);
+  auto parsed = ParseSlowQueryJson(line);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const FinishedTrace& p = parsed.value();
+  EXPECT_EQ(p.trace_id, t.trace_id);
+  EXPECT_EQ(p.query, t.query);
+  EXPECT_EQ(p.k, t.k);
+  EXPECT_EQ(p.from_cache, t.from_cache);
+  EXPECT_NEAR(p.total_us, t.total_us, 1e-3);
+  EXPECT_EQ(p.dropped_spans, t.dropped_spans);
+  ASSERT_EQ(p.spans.size(), t.spans.size());
+  for (size_t i = 0; i < t.spans.size(); ++i) {
+    EXPECT_EQ(p.spans[i].stage, t.spans[i].stage) << i;
+    EXPECT_EQ(p.spans[i].parent, t.spans[i].parent) << i;
+    EXPECT_NEAR(p.spans[i].start_us, t.spans[i].start_us, 1e-3) << i;
+    EXPECT_NEAR(p.spans[i].duration_us, t.spans[i].duration_us, 1e-3) << i;
+  }
+}
+
+TEST(SlowLogTest, ParserRejectsMalformedLines) {
+  EXPECT_FALSE(ParseSlowQueryJson("").ok());
+  EXPECT_FALSE(ParseSlowQueryJson("{").ok());
+  EXPECT_FALSE(ParseSlowQueryJson("{\"bogus_key\":1}").ok());
+  EXPECT_FALSE(ParseSlowQueryJson(
+      "{\"trace_id\":1,\"spans\":[{\"stage\":\"no_such_stage\"}]}").ok());
+  EXPECT_FALSE(ParseSlowQueryJson("{\"trace_id\":1} trailing").ok());
+}
+
+TEST(SlowLogTest, ObserveHonorsThresholdAndAppendsToFile) {
+  const std::string path = ::testing::TempDir() + "/slow_test.jsonl";
+  std::remove(path.c_str());
+  SlowQueryLog log;
+  ASSERT_TRUE(log.Open(1000.0, path).ok());
+  FinishedTrace fast = MakeTrace();
+  fast.total_us = 10.0;
+  EXPECT_FALSE(log.Observe(fast));
+  FinishedTrace slow = MakeTrace();
+  slow.total_us = 5000.0;
+  EXPECT_TRUE(log.Observe(slow));
+  EXPECT_EQ(log.logged(), 1u);
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char buf[4096];
+  ASSERT_NE(std::fgets(buf, sizeof(buf), f), nullptr);
+  std::fclose(f);
+  std::string line(buf);
+  ASSERT_FALSE(line.empty());
+  ASSERT_EQ(line.back(), '\n');
+  line.pop_back();
+  auto parsed = ParseSlowQueryJson(line);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().query, slow.query);
+  std::remove(path.c_str());
+}
+
+TEST(SlowLogTest, ZeroThresholdStaysDisabled) {
+  SlowQueryLog log;
+  ASSERT_TRUE(log.Open(0.0, "").ok());
+  EXPECT_FALSE(log.enabled());
+  EXPECT_FALSE(log.Observe(MakeTrace()));
+}
+
+// --- HTTP endpoint -----------------------------------------------------------
+
+#ifndef _WIN32
+
+/// One blocking GET against 127.0.0.1:port; returns the raw response.
+std::string HttpGet(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const char req[] = "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n";
+  EXPECT_GT(::send(fd, req, sizeof(req) - 1, 0), 0);
+  std::string resp;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) resp.append(buf, n);
+  ::close(fd);
+  return resp;
+}
+
+TEST(HttpEndpointTest, ServesRendererOutputOnEphemeralPort) {
+  MetricsHttpServer server;
+  ASSERT_TRUE(server.Start(0, [] { return std::string("hello_metric 1\n"); })
+                  .ok());
+  ASSERT_GT(server.port(), 0);
+  for (int i = 0; i < 3; ++i) {  // Sequential scrapes on one listener.
+    const std::string resp = HttpGet(server.port());
+    EXPECT_NE(resp.find("HTTP/1.1 200 OK"), std::string::npos);
+    EXPECT_NE(resp.find("text/plain; version=0.0.4"), std::string::npos);
+    EXPECT_NE(resp.find("hello_metric 1\n"), std::string::npos);
+  }
+  server.Stop();
+  EXPECT_FALSE(server.running());
+}
+
+TEST(HttpEndpointTest, DoubleStartFailsAndStopIsIdempotent) {
+  MetricsHttpServer server;
+  ASSERT_TRUE(server.Start(0, [] { return std::string(); }).ok());
+  EXPECT_FALSE(server.Start(0, [] { return std::string(); }).ok());
+  server.Stop();
+  server.Stop();
+}
+
+#endif  // _WIN32
+
+// --- Serve integration -------------------------------------------------------
+
+/// Deterministic backend (mirrors serve_test's FakeService).
+class FakeService : public apps::LookupService {
+ public:
+  std::string name() const override { return "fake"; }
+
+  std::vector<kg::EntityId> Lookup(const std::string& query,
+                                   int64_t k) override {
+    std::vector<kg::EntityId> ids;
+    kg::EntityId base = 0;
+    for (char c : query) base = base * 31 + static_cast<unsigned char>(c);
+    for (int64_t i = 0; i < k; ++i) ids.push_back((base + i) % 100000);
+    return ids;
+  }
+
+  std::vector<std::vector<kg::EntityId>> BulkLookup(
+      const std::vector<std::string>& queries, int64_t k) override {
+    std::vector<std::vector<kg::EntityId>> out;
+    out.reserve(queries.size());
+    for (const auto& q : queries) out.push_back(Lookup(q, k));
+    return out;
+  }
+};
+
+TEST(ServeTracingTest, FullSamplingTracesEveryRequest) {
+  FakeService backend;
+  serve::ServerOptions options;
+  options.obs.trace_sample_rate = 1.0;
+  serve::LookupServer server(&backend, options);
+  for (int i = 0; i < 20; ++i) {
+    auto result = server.LookupSync("query " + std::to_string(i), 5);
+    ASSERT_TRUE(result.ok());
+  }
+  server.Shutdown();
+  const serve::LookupServer::ObsStats stats = server.GetObsStats();
+  EXPECT_EQ(stats.traces_sampled, 20u);
+  const std::vector<FinishedTrace> traces = server.RecentTraces();
+  ASSERT_EQ(traces.size(), 20u);
+  for (const FinishedTrace& t : traces) {
+    EXPECT_GT(t.total_us, 0.0);
+    // Every trace carries at least queue_wait + serve_dispatch, and cache
+    // misses add cache_probe + batch_execute.
+    ASSERT_GE(t.spans.size(), 2u);
+    EXPECT_EQ(t.spans[0].stage, Stage::kQueueWait);
+    EXPECT_EQ(t.spans[1].stage, Stage::kServeDispatch);
+    EXPECT_EQ(t.spans[1].parent, -1);
+  }
+}
+
+TEST(ServeTracingTest, ZeroSamplingTracesNothing) {
+  FakeService backend;
+  serve::ServerOptions options;  // trace_sample_rate = 0 by default.
+  serve::LookupServer server(&backend, options);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(server.LookupSync("q" + std::to_string(i), 3).ok());
+  }
+  server.Shutdown();
+  EXPECT_EQ(server.GetObsStats().traces_sampled, 0u);
+  EXPECT_TRUE(server.RecentTraces().empty());
+}
+
+TEST(ServeTracingTest, SlowQueryThresholdForcesTracingAndLogs) {
+  const std::string path = ::testing::TempDir() + "/serve_slow.jsonl";
+  std::remove(path.c_str());
+  FakeService backend;
+  serve::ServerOptions options;
+  options.obs.slow_query_us = 0.001;  // Everything is "slow".
+  options.obs.slow_log_path = path;
+  serve::LookupServer server(&backend, options);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(server.LookupSync("slow " + std::to_string(i), 3).ok());
+  }
+  server.Shutdown();
+  const serve::LookupServer::ObsStats stats = server.GetObsStats();
+  EXPECT_EQ(stats.traces_sampled, 5u);  // Forced despite rate 0.
+  EXPECT_EQ(stats.slow_queries_logged, 5u);
+  // Every logged line round-trips through the parser.
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char buf[8192];
+  int lines = 0;
+  while (std::fgets(buf, sizeof(buf), f) != nullptr) {
+    std::string line(buf);
+    while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+      line.pop_back();
+    }
+    auto parsed = ParseSlowQueryJson(line);
+    EXPECT_TRUE(parsed.ok()) << parsed.status().ToString() << ": " << line;
+    ++lines;
+  }
+  std::fclose(f);
+  EXPECT_EQ(lines, 5);
+  std::remove(path.c_str());
+}
+
+TEST(ServeTracingTest, ExporterCoversEveryExpectedFamily) {
+  FakeService backend;
+  serve::ServerOptions options;
+  options.obs.trace_sample_rate = 1.0;
+  serve::LookupServer server(&backend, options);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(server.LookupSync("fam " + std::to_string(i), 4).ok());
+  }
+  const std::string text = serve::PrometheusText(server);
+  std::map<std::string, std::string> families;
+  ASSERT_NO_FATAL_FAILURE(ValidateExposition(text, &families));
+  const char* required[] = {
+      "emblookup_requests_submitted_total", "emblookup_requests_completed_total",
+      "emblookup_requests_shed_total", "emblookup_requests_expired_total",
+      "emblookup_cache_hits_total", "emblookup_cache_misses_total",
+      "emblookup_batches_executed_total", "emblookup_index_swaps_total",
+      "emblookup_updates_applied_total", "emblookup_compactions_total",
+      "emblookup_queue_wait_microseconds", "emblookup_batch_size",
+      "emblookup_e2e_latency_microseconds", "emblookup_cache_entries",
+      "emblookup_cache_bytes", "emblookup_cache_evictions_total",
+      "emblookup_cache_stale_drops_total",
+      "emblookup_stage_latency_microseconds",
+      "emblookup_traces_sampled_total", "emblookup_slow_queries_total",
+      "emblookup_trace_spans_dropped_total",
+  };
+  for (const char* family : required) {
+    EXPECT_TRUE(families.count(family) > 0) << "missing family: " << family;
+  }
+  // Every stage appears as a labelled series, even idle ones.
+  for (int s = 0; s < kNumStages; ++s) {
+    const std::string needle =
+        std::string("stage=\"") + StageName(static_cast<Stage>(s)) + "\"";
+    EXPECT_NE(text.find(needle), std::string::npos)
+        << "missing stage series: " << needle;
+  }
+}
+
+}  // namespace
+}  // namespace emblookup::obs

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Docs gate: every CLI subcommand implemented in tools/emblookup_cli.cc
+# must be mentioned in README.md, so a new subcommand cannot land without
+# user-facing documentation. Subcommands are recognised from the dispatch
+# pattern `command == "<name>"`; a README "mention" is the literal
+# subcommand name anywhere in the file (prose, code block, or table).
+#
+# Usage: tools/check_docs.sh    (run from anywhere inside the repo)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CLI_SRC=tools/emblookup_cli.cc
+README=README.md
+
+mapfile -t subcommands < <(
+  grep -o 'command == "[a-z-]*"' "$CLI_SRC" \
+    | sed 's/command == "\([a-z-]*\)"/\1/' \
+    | sort -u
+)
+
+if [ "${#subcommands[@]}" -eq 0 ]; then
+  echo "FAIL: no subcommands found in $CLI_SRC (dispatch pattern changed?)"
+  exit 1
+fi
+
+missing=0
+for cmd in "${subcommands[@]}"; do
+  if ! grep -q -- "$cmd" "$README"; then
+    echo "FAIL: CLI subcommand '$cmd' is not mentioned in $README"
+    missing=1
+  fi
+done
+
+if [ "$missing" -ne 0 ]; then
+  exit 1
+fi
+echo "docs OK: ${#subcommands[@]} CLI subcommands all mentioned in $README"

@@ -15,7 +15,11 @@
 #      RCU publish / epoch-invalidation paths data-race-free;
 #   5. snapshot round trip through the CLI — build-snapshot ->
 #      snapshot-info -> serve --snapshot on a tiny synthetic KG, proving
-#      the on-disk container end to end (DESIGN.md §7).
+#      the on-disk container end to end (DESIGN.md §7);
+#   6. observability gate — metrics-dump on a tiny KG must emit every
+#      metric family OBSERVABILITY.md documents, and every family it
+#      emits must be documented (the two greps keep docs and exporter in
+#      lockstep), plus tools/check_docs.sh (CLI subcommands vs README).
 #
 # Usage: tools/ci.sh [jobs]    (defaults to nproc)
 set -euo pipefail
@@ -34,19 +38,21 @@ echo "== asan: common_test + serve_test + kernels_test + store_test + update_tes
 cmake -B build-asan -S . -DEMBLOOKUP_NATIVE_ARCH=OFF \
   -DEMBLOOKUP_SANITIZE=address
 cmake --build build-asan -j "$JOBS" --target common_test serve_test \
-  kernels_test store_test update_test
+  kernels_test store_test update_test obs_test
 ./build-asan/tests/common_test
 ./build-asan/tests/serve_test
 ./build-asan/tests/kernels_test
 ./build-asan/tests/store_test
 ./build-asan/tests/update_test
+./build-asan/tests/obs_test
 
-echo "== tsan: serve_test + update concurrency stress =="
+echo "== tsan: serve_test + update concurrency stress + obs span recording =="
 cmake -B build-tsan -S . -DEMBLOOKUP_NATIVE_ARCH=OFF \
   -DEMBLOOKUP_SANITIZE=thread
-cmake --build build-tsan -j "$JOBS" --target serve_test update_test
+cmake --build build-tsan -j "$JOBS" --target serve_test update_test obs_test
 ./build-tsan/tests/serve_test
 ./build-tsan/tests/update_test --gtest_filter='ConcurrencyTest.*'
+./build-tsan/tests/obs_test
 
 echo "== snapshot round trip: build-snapshot -> snapshot-info -> serve =="
 SNAPDIR="$(mktemp -d)"
@@ -60,5 +66,32 @@ CLI=build-ci/tools/emblookup_cli
 "$CLI" snapshot-info "$SNAPDIR/snap.bin"
 "$CLI" serve --kg "$SNAPDIR/kg.tsv" --snapshot "$SNAPDIR/snap.bin" \
   --clients 2 --requests 100 --epochs 2 --triplets 4
+
+echo "== observability: metrics-dump families vs OBSERVABILITY.md =="
+# --wal attaches an updater so the update_* gauge families are emitted too
+# (without it the exposition legitimately omits them).
+"$CLI" metrics-dump --kg "$SNAPDIR/kg.tsv" --model "$SNAPDIR/model.bin" \
+  --wal "$SNAPDIR/ci-metrics.wal" --epochs 2 --triplets 4 --requests 100 \
+  > "$SNAPDIR/metrics.txt"
+# Families the exporter actually emitted on this run.
+sed -n 's/^# TYPE \([a-z0-9_]*\) .*/\1/p' "$SNAPDIR/metrics.txt" \
+  | sort -u > "$SNAPDIR/emitted.txt"
+# Families the ops guide documents (### emblookup_... headings).
+sed -n 's/^### `\(emblookup_[a-z0-9_]*\)`.*/\1/p' OBSERVABILITY.md \
+  | sort -u > "$SNAPDIR/documented.txt"
+if ! comm -23 "$SNAPDIR/emitted.txt" "$SNAPDIR/documented.txt" \
+    | grep . ; then :; else
+  echo "FAIL: metric families emitted but not documented in OBSERVABILITY.md (above)"
+  exit 1
+fi
+if ! comm -13 "$SNAPDIR/emitted.txt" "$SNAPDIR/documented.txt" \
+    | grep . ; then :; else
+  echo "FAIL: metric families documented in OBSERVABILITY.md but never emitted (above)"
+  exit 1
+fi
+echo "metric families in lockstep: $(wc -l < "$SNAPDIR/emitted.txt")"
+
+echo "== docs: CLI subcommands vs README =="
+tools/check_docs.sh
 
 echo "CI OK"

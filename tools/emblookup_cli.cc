@@ -11,6 +11,10 @@
 //                             [--clients 4] [--requests 2000] [--k 10]
 //                             [--batch 32] [--delay-us 1000] [--cache 1]
 //                             [--depth 4096] [--swaps 0]
+//                             [--metrics-port P] [--trace-sample R]
+//                             [--slow-us T] [--slow-log F]
+//   emblookup_cli metrics-dump --kg kg.tsv --model model.bin
+//                             [--wal wal.log] [--requests 200] [--k 10]
 //   emblookup_cli build-snapshot --kg kg.tsv --model model.bin
 //                             --out snap.bin [--kind flat|pq|ivfflat|ivfpq]
 //                             [--aliases 0|1]
@@ -43,6 +47,14 @@
 // makes the state durable (Persist) and shrinks the WAL to its tombstone
 // registry. `serve --wal` attaches the updater to the running server with
 // background compaction enabled.
+//
+// Observability (DESIGN.md §9, OBSERVABILITY.md): `metrics-dump` runs a
+// short self-driven load and prints the full Prometheus text exposition —
+// the quickest way to see every exported family. `serve --metrics-port P`
+// exposes the same text live over plain HTTP while the load runs (port 0
+// picks a free port); `--trace-sample R` head-samples request traces at
+// rate R, and `--slow-us T [--slow-log F]` emits a JSON span tree for
+// every request slower than T microseconds.
 
 #include <atomic>
 #include <cstdio>
@@ -57,6 +69,8 @@
 #include "common/timing.h"
 #include "core/emblookup.h"
 #include "kg/synthetic_kg.h"
+#include "obs/http_endpoint.h"
+#include "serve/exporter.h"
 #include "serve/lookup_server.h"
 #include "store/index_io.h"
 #include "store/snapshot_reader.h"
@@ -91,6 +105,12 @@ std::string FlagStr(const std::map<std::string, std::string>& flags,
   return it == flags.end() ? fallback : it->second;
 }
 
+double FlagDouble(const std::map<std::string, std::string>& flags,
+                  const std::string& key, double fallback) {
+  auto it = flags.find(key);
+  return it == flags.end() ? fallback : std::stod(it->second);
+}
+
 int Usage() {
   std::fprintf(
       stderr,
@@ -104,7 +124,10 @@ int Usage() {
       "  emblookup_cli serve  --kg kg.tsv --model model.bin"
       " [--snapshot F] [--wal W] [--clients C]"
       " [--requests N] [--k K] [--batch B] [--delay-us D] [--cache 0|1]"
-      " [--depth Q] [--swaps S]\n"
+      " [--depth Q] [--swaps S] [--metrics-port P] [--trace-sample R]"
+      " [--slow-us T] [--slow-log F]\n"
+      "  emblookup_cli metrics-dump --kg kg.tsv --model model.bin"
+      " [--wal W] [--requests N] [--k K]\n"
       "  emblookup_cli build-snapshot --kg kg.tsv --model model.bin"
       " --out snap.bin [--kind flat|pq|ivfflat|ivfpq] [--aliases 0|1]\n"
       "  emblookup_cli snapshot-info snap.bin\n"
@@ -380,6 +403,10 @@ int main(int argc, char** argv) {
     server_options.enable_cache = FlagInt(flags, "cache", 1) != 0;
     server_options.max_queue_depth =
         static_cast<size_t>(FlagInt(flags, "depth", 4096));
+    server_options.obs.trace_sample_rate =
+        FlagDouble(flags, "trace-sample", 0.0);
+    server_options.obs.slow_query_us = FlagDouble(flags, "slow-us", 0.0);
+    server_options.obs.slow_log_path = FlagStr(flags, "slow-log");
     const int clients = static_cast<int>(FlagInt(flags, "clients", 4));
     const int64_t requests = FlagInt(flags, "requests", 2000);
     const int64_t k = FlagInt(flags, "k", 10);
@@ -407,6 +434,34 @@ int main(int argc, char** argv) {
       server.AttachUpdater(updater.get());
       std::printf("online updates enabled (wal %s, background compaction)\n",
                   wal_path.c_str());
+    }
+    // Declared after the server: the endpoint (and its renderer referencing
+    // the server) stops before the server destructs.
+    obs::MetricsHttpServer metrics_http;
+    const int64_t metrics_port = FlagInt(flags, "metrics-port", -1);
+    if (metrics_port >= 0) {
+      const Status status = metrics_http.Start(
+          static_cast<int>(metrics_port),
+          [&server, &updater] {
+            return serve::PrometheusText(server, updater.get());
+          });
+      if (!status.ok()) {
+        std::fprintf(stderr, "metrics endpoint failed: %s\n",
+                     status.ToString().c_str());
+        return 1;
+      }
+      std::printf("metrics endpoint on http://127.0.0.1:%d/metrics\n",
+                  metrics_http.port());
+      // Scrapers read this line to find the port while the load is still
+      // running; don't leave it in the stdio block buffer until exit.
+      std::fflush(stdout);
+    }
+    if (server_options.obs.slow_query_us > 0) {
+      std::printf("slow-query log: requests > %.0fus -> %s\n",
+                  server_options.obs.slow_query_us,
+                  server_options.obs.slow_log_path.empty()
+                      ? "stderr"
+                      : server_options.obs.slow_log_path.c_str());
     }
     std::printf("serving %lld requests from %d closed-loop clients "
                 "(batch<=%lld, delay %lldus, cache %s)\n",
@@ -437,6 +492,62 @@ int main(int argc, char** argv) {
                 requests / seconds, static_cast<long long>(requests),
                 seconds, static_cast<unsigned long long>(failures));
     std::printf("%s", server.StatsText().c_str());
+    const serve::LookupServer::ObsStats obs_stats = server.GetObsStats();
+    if (obs_stats.traces_sampled > 0) {
+      std::printf("traces_sampled           %llu\n"
+                  "slow_queries_logged      %llu\n"
+                  "trace_spans_dropped      %llu\n",
+                  static_cast<unsigned long long>(obs_stats.traces_sampled),
+                  static_cast<unsigned long long>(
+                      obs_stats.slow_queries_logged),
+                  static_cast<unsigned long long>(obs_stats.spans_dropped));
+    }
+    return failures == 0 ? 0 : 1;
+  }
+
+  // metrics-dump: spin up a server, drive a short self-generated load so
+  // every histogram has observations, and print the full Prometheus text
+  // exposition. CI greps this output for the documented metric families.
+  if (command == "metrics-dump") {
+    auto restored = core::EmbLookup::LoadFromKg(graph, options, model_path);
+    if (!restored.ok()) {
+      std::fprintf(stderr, "cannot load model: %s\n",
+                   restored.status().ToString().c_str());
+      return 1;
+    }
+    serve::ServerOptions server_options;
+    // Trace every request: the dump should show live span histograms and
+    // nonzero trace counters.
+    server_options.obs.trace_sample_rate = 1.0;
+    std::unique_ptr<update::IndexUpdater> updater;
+    const std::string wal_path = FlagStr(flags, "wal");
+    if (!wal_path.empty()) {
+      update::UpdaterOptions up_options;
+      up_options.wal_path = wal_path;
+      auto opened = update::IndexUpdater::Open(restored.value().get(), &graph,
+                                               up_options);
+      if (!opened.ok()) {
+        std::fprintf(stderr, "cannot open updater: %s\n",
+                     opened.status().ToString().c_str());
+        return 1;
+      }
+      updater = std::move(opened).value();
+    }
+    serve::LookupServer server(restored.value().get(), server_options);
+    if (updater != nullptr) server.AttachUpdater(updater.get());
+    const int64_t requests = FlagInt(flags, "requests", 200);
+    const uint64_t failures = RunLoad(&server, graph, /*clients=*/2, requests,
+                                      FlagInt(flags, "k", 10));
+    if (updater != nullptr) {
+      // Touch the update path so its gauges reflect a real mutation.
+      auto added = server.AddEntity("metrics dump probe", "", {});
+      if (!added.ok()) {
+        std::fprintf(stderr, "probe mutation failed: %s\n",
+                     added.status().ToString().c_str());
+        return 1;
+      }
+    }
+    std::fputs(serve::PrometheusText(server, updater.get()).c_str(), stdout);
     return failures == 0 ? 0 : 1;
   }
 
