@@ -1,0 +1,112 @@
+#include "net/client.h"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "net/socket.h"
+
+#if !defined(_WIN32)
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+namespace emblookup::net {
+
+RemoteClient::~RemoteClient() { Close(); }
+
+Status RemoteClient::Connect(const std::string& host, int port) {
+  if (fd_ >= 0) return Status::FailedPrecondition("already connected");
+  EL_ASSIGN_OR_RETURN(fd_, ConnectTcp(host, port));
+  (void)SetNoDelay(fd_);  // Best-effort; an RPC is one small frame each way.
+  buffer_.clear();
+  return Status::OK();
+}
+
+void RemoteClient::Close() {
+#if !defined(_WIN32)
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+#endif
+  buffer_.clear();
+}
+
+Status RemoteClient::SendLookup(uint64_t request_id, const std::string& query,
+                                int64_t k, uint64_t deadline_us) {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  std::string out;
+  AppendLookupRequest(&out, request_id, query, k, deadline_us);
+  return SendAll(fd_, out.data(), out.size());
+}
+
+Result<Frame> RemoteClient::ReadReply() {
+#if defined(_WIN32)
+  return Status::Unimplemented("RemoteClient requires POSIX sockets");
+#else
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  for (;;) {
+    if (!buffer_.empty()) {
+      Frame frame;
+      EL_ASSIGN_OR_RETURN(
+          const size_t consumed,
+          DecodeFrame(reinterpret_cast<const uint8_t*>(buffer_.data()),
+                      buffer_.size(), kDefaultMaxPayloadBytes, &frame));
+      if (consumed > 0) {
+        buffer_.erase(0, consumed);
+        return frame;
+      }
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      buffer_.append(chunk, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) return Status::IoError("server closed the connection");
+    if (errno == EINTR) continue;
+    return Status::IoError(std::string("recv: ") + std::strerror(errno));
+  }
+#endif
+}
+
+Result<RemoteLookupResult> RemoteClient::Lookup(const std::string& query,
+                                                int64_t k,
+                                                uint64_t deadline_us) {
+  const uint64_t request_id = next_request_id_++;
+  EL_RETURN_NOT_OK(SendLookup(request_id, query, k, deadline_us));
+  for (;;) {
+    EL_ASSIGN_OR_RETURN(Frame frame, ReadReply());
+    if (frame.request_id != request_id) continue;  // Stale pipelined reply.
+    if (frame.type == FrameType::kLookupResponse) {
+      RemoteLookupResult result;
+      result.ids = std::move(frame.ids);
+      result.from_cache = frame.from_cache;
+      return result;
+    }
+    if (frame.type == FrameType::kError) {
+      return Status(frame.error_code, std::move(frame.error_message));
+    }
+    return Status::IoError("unexpected reply frame type");
+  }
+}
+
+Status RemoteClient::Ping() {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  const uint64_t request_id = next_request_id_++;
+  std::string out;
+  AppendPing(&out, request_id);
+  EL_RETURN_NOT_OK(SendAll(fd_, out.data(), out.size()));
+  for (;;) {
+    EL_ASSIGN_OR_RETURN(Frame frame, ReadReply());
+    if (frame.request_id != request_id) continue;
+    if (frame.type == FrameType::kPong) return Status::OK();
+    if (frame.type == FrameType::kError) {
+      return Status(frame.error_code, std::move(frame.error_message));
+    }
+    return Status::IoError("unexpected reply to ping");
+  }
+}
+
+}  // namespace emblookup::net

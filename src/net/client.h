@@ -1,0 +1,73 @@
+#ifndef EMBLOOKUP_NET_CLIENT_H_
+#define EMBLOOKUP_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "net/wire.h"
+
+namespace emblookup::net {
+
+/// One remote lookup's decoded result.
+struct RemoteLookupResult {
+  std::vector<int64_t> ids;  ///< Best-first entity ids, at most k.
+  bool from_cache = false;
+};
+
+/// Blocking-socket client for the binary wire protocol — the counterpart
+/// of NetServer used by tests and the `remote-bench` load generator. Two
+/// call styles:
+///
+///   - Lookup(): closed-loop request/response, one in flight.
+///   - SendLookup() + ReadReply(): pipelined. The caller picks request
+///     ids, fires any number of requests, and matches replies by the
+///     echoed id — the open-loop bench's injection path, where sends must
+///     not wait for replies.
+///
+/// Not thread-safe; the bench gives each connection to one thread (or
+/// splits send/read across exactly two, which the socket supports).
+class RemoteClient {
+ public:
+  RemoteClient() = default;
+  /// Calls Close().
+  ~RemoteClient();
+
+  RemoteClient(const RemoteClient&) = delete;
+  RemoteClient& operator=(const RemoteClient&) = delete;
+
+  /// Connects to host:port (IPv4 dotted quad or "localhost") and disables
+  /// Nagle. One Connect per instance (Close() first to reconnect).
+  Status Connect(const std::string& host, int port);
+
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// Closed-loop lookup. `deadline_us` 0 means no deadline; a server-side
+  /// expiry comes back as a DeadlineExceeded status. Error frames decode
+  /// to their original status code.
+  Result<RemoteLookupResult> Lookup(const std::string& query, int64_t k,
+                                    uint64_t deadline_us = 0);
+
+  /// Fires a lookup without waiting for the reply (pipelining). The
+  /// caller-chosen `request_id` is echoed in the matching reply.
+  Status SendLookup(uint64_t request_id, const std::string& query, int64_t k,
+                    uint64_t deadline_us = 0);
+
+  /// Blocks for the next server frame (response, error, or pong — any
+  /// request id; the caller correlates). IoError on disconnect.
+  Result<Frame> ReadReply();
+
+  /// Round-trips a ping frame — liveness check used by tests.
+  Status Ping();
+
+ private:
+  int fd_ = -1;
+  uint64_t next_request_id_ = 1;
+  std::string buffer_;  ///< Received bytes not yet decoded.
+};
+
+}  // namespace emblookup::net
+
+#endif  // EMBLOOKUP_NET_CLIENT_H_

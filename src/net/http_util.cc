@@ -1,0 +1,149 @@
+#include "net/http_util.h"
+
+#include <array>
+#include <cstdio>
+#include <cstring>
+#include <string_view>
+
+namespace emblookup::net {
+
+namespace {
+
+int HexValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+/// Splits "a=1&b=2" into decoded key/value pairs.
+void ParseQueryString(const std::string& qs,
+                      std::map<std::string, std::string>* params) {
+  size_t begin = 0;
+  while (begin <= qs.size()) {
+    size_t end = qs.find('&', begin);
+    if (end == std::string::npos) end = qs.size();
+    const std::string piece = qs.substr(begin, end - begin);
+    if (!piece.empty()) {
+      const size_t eq = piece.find('=');
+      if (eq == std::string::npos) {
+        (*params)[UrlDecode(piece)] = "";
+      } else {
+        (*params)[UrlDecode(piece.substr(0, eq))] =
+            UrlDecode(piece.substr(eq + 1));
+      }
+    }
+    begin = end + 1;
+  }
+}
+
+}  // namespace
+
+bool LooksLikeHttp(const uint8_t* data, size_t size) {
+  static constexpr std::array<const char*, 7> kMethods = {
+      "GET ", "POST", "HEAD", "PUT ", "DELE", "OPTI", "PATC"};
+  if (size < kHttpSniffBytes) return false;
+  for (const char* method : kMethods) {
+    if (std::memcmp(data, method, kHttpSniffBytes) == 0) return true;
+  }
+  return false;
+}
+
+Result<size_t> ParseHttpRequest(const uint8_t* data, size_t size,
+                                size_t max_header_bytes,
+                                HttpRequest* request) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+  const size_t header_end = text.find("\r\n\r\n");
+  if (header_end == std::string_view::npos) {
+    if (size > max_header_bytes) {
+      return Status::InvalidArgument("HTTP header block exceeds " +
+                                     std::to_string(max_header_bytes) +
+                                     " bytes");
+    }
+    return size_t{0};  // Need more bytes.
+  }
+  const size_t line_end = text.find("\r\n");
+  const std::string_view line = text.substr(0, line_end);
+  // METHOD SP target SP HTTP/1.x
+  const size_t sp1 = line.find(' ');
+  const size_t sp2 = sp1 == std::string_view::npos
+                         ? std::string_view::npos
+                         : line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+      line.substr(sp2 + 1).rfind("HTTP/1.", 0) != 0) {
+    return Status::InvalidArgument("malformed HTTP request line");
+  }
+  request->method = std::string(line.substr(0, sp1));
+  std::string target(line.substr(sp1 + 1, sp2 - sp1 - 1));
+  if (target.empty() || target[0] != '/') {
+    return Status::InvalidArgument("malformed HTTP request target");
+  }
+  request->params.clear();
+  const size_t question = target.find('?');
+  if (question == std::string::npos) {
+    request->path = UrlDecode(target);
+  } else {
+    request->path = UrlDecode(target.substr(0, question));
+    ParseQueryString(target.substr(question + 1), &request->params);
+  }
+  return header_end + 4;
+}
+
+std::string UrlDecode(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '+') {
+      out.push_back(' ');
+    } else if (text[i] == '%' && i + 2 < text.size() &&
+               HexValue(text[i + 1]) >= 0 && HexValue(text[i + 2]) >= 0) {
+      out.push_back(static_cast<char>(HexValue(text[i + 1]) * 16 +
+                                      HexValue(text[i + 2])));
+      i += 2;
+    } else {
+      out.push_back(text[i]);
+    }
+  }
+  return out;
+}
+
+std::string HttpResponseText(int status_code, const std::string& reason,
+                             const std::string& content_type,
+                             const std::string& body) {
+  std::string out = "HTTP/1.1 " + std::to_string(status_code) + " " + reason +
+                    "\r\n"
+                    "Content-Type: " +
+                    content_type +
+                    "\r\n"
+                    "Content-Length: " +
+                    std::to_string(body.size()) +
+                    "\r\n"
+                    "Connection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 8);
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace emblookup::net

@@ -1,0 +1,53 @@
+#ifndef EMBLOOKUP_NET_HTTP_UTIL_H_
+#define EMBLOOKUP_NET_HTTP_UTIL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/status.h"
+
+namespace emblookup::net {
+
+/// Minimal HTTP/1.1 helpers backing the front end's JSON fallback and the
+/// obs metrics scrape endpoint. This is deliberately not a web server: no
+/// keep-alive, no chunked bodies, no TLS — every response carries
+/// `Connection: close`.
+
+/// True when `data` could be the start of an HTTP request (a known method
+/// token). With fewer than `kHttpSniffBytes` bytes the answer may change;
+/// callers wait for that many before deciding the connection's protocol.
+inline constexpr size_t kHttpSniffBytes = 4;
+bool LooksLikeHttp(const uint8_t* data, size_t size);
+
+/// One parsed request line + query parameters (headers are skipped; the
+/// fallback routes on method + path + params only).
+struct HttpRequest {
+  std::string method;
+  std::string path;  ///< Decoded, without the query string.
+  std::map<std::string, std::string> params;  ///< Decoded query parameters.
+};
+
+/// Parses one request from the buffer. Returns the bytes consumed through
+/// the blank line ending the header block, 0 when the block is still
+/// incomplete (read more), or InvalidArgument for garbage — a malformed
+/// request line or a header block exceeding `max_header_bytes` (slow-loris
+/// and header-bomb bound).
+Result<size_t> ParseHttpRequest(const uint8_t* data, size_t size,
+                                size_t max_header_bytes, HttpRequest* request);
+
+/// Percent-decodes `text` ('+' becomes space; bad escapes pass through).
+std::string UrlDecode(const std::string& text);
+
+/// Serializes a full response with Content-Length and Connection: close.
+std::string HttpResponseText(int status_code, const std::string& reason,
+                             const std::string& content_type,
+                             const std::string& body);
+
+/// Escapes `text` for embedding inside a JSON string literal.
+std::string JsonEscape(const std::string& text);
+
+}  // namespace emblookup::net
+
+#endif  // EMBLOOKUP_NET_HTTP_UTIL_H_

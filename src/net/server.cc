@@ -1,0 +1,838 @@
+#include "net/server.h"
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "net/http_util.h"
+#include "obs/prometheus.h"
+#include "obs/trace.h"
+
+#if defined(__linux__)
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+namespace emblookup::net {
+
+/// The front end's counters. Held in a shared_ptr because completion
+/// callbacks can outlive the NetServer: a drain timeout abandons requests
+/// still queued in the LookupServer, and their callbacks fire later (the
+/// LookupServer's own shutdown drains them) touching only this block and
+/// the loop inboxes.
+struct NetServer::SharedStats {
+  std::atomic<uint64_t> connections_accepted{0};
+  std::atomic<uint64_t> connections_closed{0};
+  std::atomic<int64_t> active_connections{0};
+  std::atomic<uint64_t> bytes_read{0};
+  std::atomic<uint64_t> bytes_written{0};
+  std::atomic<uint64_t> frames_received{0};
+  std::atomic<uint64_t> frames_sent{0};
+  std::atomic<uint64_t> http_requests{0};
+  std::atomic<uint64_t> protocol_errors{0};
+  std::atomic<uint64_t> overload_rejections{0};
+  std::atomic<uint64_t> read_pauses{0};
+  std::atomic<uint64_t> deadlines_propagated{0};
+  std::atomic<int64_t> inflight_requests{0};
+};
+
+namespace {
+
+void RecordStage(obs::Stage stage,
+                 std::chrono::steady_clock::time_point start) {
+  if (!obs::StageTimingEnabled()) return;
+  const double us = std::chrono::duration<double, std::micro>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+  obs::StageMetrics::Global().Record(stage, us);
+}
+
+/// Strict base-10 integer parse for HTTP query parameters.
+bool ParseInt(const std::string& text, int64_t* out) {
+  if (text.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(text.c_str(), &end, 10);
+  if (errno != 0 || end != text.c_str() + text.size()) return false;
+  *out = static_cast<int64_t>(v);
+  return true;
+}
+
+struct HttpStatusLine {
+  int code;
+  const char* reason;
+};
+
+HttpStatusLine HttpStatusFor(StatusCode code) {
+  switch (code) {
+    case StatusCode::kInvalidArgument: return {400, "Bad Request"};
+    case StatusCode::kNotFound: return {404, "Not Found"};
+    case StatusCode::kDeadlineExceeded: return {504, "Gateway Timeout"};
+    case StatusCode::kUnavailable: return {503, "Service Unavailable"};
+    case StatusCode::kUnimplemented: return {501, "Not Implemented"};
+    default: return {500, "Internal Server Error"};
+  }
+}
+
+std::string LookupJson(const serve::LookupResponse& response) {
+  std::string body = "{\"from_cache\":";
+  body += response.from_cache ? "true" : "false";
+  body += ",\"ids\":[";
+  for (size_t i = 0; i < response.ids.size(); ++i) {
+    if (i != 0) body += ',';
+    body += std::to_string(response.ids[i]);
+  }
+  body += "]}\n";
+  return body;
+}
+
+#if defined(__linux__)
+
+/// One reply headed back to a connection, posted from whatever thread
+/// completed the request (usually the LookupServer dispatcher).
+struct Completion {
+  uint64_t conn_id = 0;
+  std::string bytes;
+  bool close_after = false;  ///< HTTP responses close the connection.
+};
+
+/// Cross-thread mailbox of an event loop. shared_ptr-held so completion
+/// callbacks that outlive the loop post into a sealed inbox harmlessly
+/// instead of touching freed loop state.
+struct Inbox {
+  std::mutex mu;
+  bool open = true;  ///< Sealed by the loop on exit; posts then drop.
+  int event_fd = -1;
+  bool stop = false;
+  std::vector<std::pair<int, uint64_t>> adopted;  ///< (fd, conn id).
+  std::vector<Completion> completions;
+  /// Completions posted but not yet folded into a connection's outbound
+  /// queue — one leg of Stop()'s drain condition. Incremented before the
+  /// in-flight gauge drops so a draining stopper never sees the request
+  /// vanish between counters.
+  std::atomic<size_t> pending{0};
+};
+
+void SignalInboxLocked(Inbox* inbox) {
+  uint64_t one = 1;
+  const ssize_t ignored = ::write(inbox->event_fd, &one, sizeof(one));
+  (void)ignored;
+}
+
+/// Thread-safe; drops (returns false) once the inbox is sealed.
+bool PostToInbox(const std::shared_ptr<Inbox>& inbox, Completion completion) {
+  std::lock_guard<std::mutex> lock(inbox->mu);
+  if (!inbox->open) return false;
+  inbox->completions.push_back(std::move(completion));
+  inbox->pending.fetch_add(1, std::memory_order_release);
+  SignalInboxLocked(inbox.get());
+  return true;
+}
+
+#endif  // defined(__linux__)
+
+}  // namespace
+
+#if defined(__linux__)
+
+/// One epoll event-loop thread owning a shard of the connections. All
+/// connection state is touched only by this loop's thread; other threads
+/// communicate through the Inbox (new fds, completions, stop).
+class NetServer::EventLoop {
+ public:
+  EventLoop(serve::LookupServer* server, const NetServerOptions& options,
+            std::shared_ptr<SharedStats> stats)
+      : server_(server),
+        options_(options),
+        stats_(std::move(stats)),
+        inbox_(std::make_shared<Inbox>()) {}
+
+  ~EventLoop() { Join(); }
+
+  Status Init() {
+    epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+    if (epoll_fd_ < 0) {
+      return Status::IoError(std::string("epoll_create1: ") +
+                             std::strerror(errno));
+    }
+    event_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+    if (event_fd_ < 0) {
+      return Status::IoError(std::string("eventfd: ") + std::strerror(errno));
+    }
+    inbox_->event_fd = event_fd_;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = 0;  // Sentinel: conn ids start at 1.
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, event_fd_, &ev) != 0) {
+      return Status::IoError(std::string("epoll_ctl(eventfd): ") +
+                             std::strerror(errno));
+    }
+    return Status::OK();
+  }
+
+  void StartThread() {
+    thread_ = std::thread([this] { Run(); });
+  }
+
+  /// Hands a freshly accepted, already non-blocking fd to this loop.
+  /// Thread-safe. Refuses (closing the fd) once the loop has stopped.
+  void Adopt(int fd, uint64_t conn_id) {
+    bool posted = false;
+    {
+      std::lock_guard<std::mutex> lock(inbox_->mu);
+      if (inbox_->open) {
+        inbox_->adopted.emplace_back(fd, conn_id);
+        SignalInboxLocked(inbox_.get());
+        posted = true;
+      }
+    }
+    if (!posted) {
+      Listener::CloseFd(fd);
+      stats_->connections_closed.fetch_add(1, std::memory_order_relaxed);
+      stats_->active_connections.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+
+  /// Thread-safe; the loop closes all connections and exits.
+  void RequestStop() {
+    std::lock_guard<std::mutex> lock(inbox_->mu);
+    if (!inbox_->open) return;
+    inbox_->stop = true;
+    SignalInboxLocked(inbox_.get());
+  }
+
+  void Join() {
+    if (thread_.joinable()) thread_.join();
+    if (event_fd_ >= 0) {
+      ::close(event_fd_);
+      event_fd_ = -1;
+    }
+    if (epoll_fd_ >= 0) {
+      ::close(epoll_fd_);
+      epoll_fd_ = -1;
+    }
+  }
+
+  const std::shared_ptr<Inbox>& inbox() const { return inbox_; }
+
+  /// Bytes queued toward sockets but not yet written — the flush leg of
+  /// Stop()'s drain condition.
+  size_t queued_outbound_bytes() const {
+    return outbound_bytes_.load(std::memory_order_acquire);
+  }
+
+ private:
+  struct Conn {
+    uint64_t id = 0;
+    int fd = -1;
+    enum class Proto { kUnknown, kBinary, kHttp };
+    Proto proto = Proto::kUnknown;
+    std::string in;                ///< Unparsed inbound bytes.
+    std::deque<std::string> out;   ///< Pending reply byte chunks.
+    size_t out_head = 0;           ///< Bytes of out.front() already sent.
+    size_t outbound_bytes = 0;
+    size_t inflight = 0;           ///< Lookups submitted, reply not queued.
+    bool paused = false;           ///< Backpressure: reading suspended.
+    bool close_after_flush = false;
+    bool http_dispatched = false;  ///< One request per HTTP connection.
+  };
+
+  void Run() {
+    epoll_event events[64];
+    while (!stop_) {
+      const int n = ::epoll_wait(epoll_fd_, events, 64, -1);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        break;  // Unrecoverable; tear down below.
+      }
+      for (int i = 0; i < n; ++i) {
+        const epoll_event& ev = events[i];
+        if (ev.data.u64 == 0) {
+          uint64_t drained;
+          while (::read(event_fd_, &drained, sizeof(drained)) > 0) {
+          }
+          HandleInbox();
+          continue;
+        }
+        // Conn-id keying: a connection closed earlier in this wakeup (or
+        // by a completion) just misses, even if the kernel reused its fd.
+        auto it = conns_.find(ev.data.u64);
+        if (it == conns_.end()) continue;
+        Conn* conn = it->second.get();
+        if ((ev.events & (EPOLLHUP | EPOLLERR)) != 0) {
+          CloseConn(conn);
+          continue;
+        }
+        bool alive = true;
+        if ((ev.events & (EPOLLIN | EPOLLRDHUP)) != 0) {
+          alive = OnReadable(conn);
+        }
+        if (alive && (ev.events & EPOLLOUT) != 0) FlushWrites(conn);
+      }
+      DrainResumed();
+    }
+    while (!conns_.empty()) CloseConn(conns_.begin()->second.get());
+    // Seal the inbox: late completions drop; racing accepts are refused.
+    std::lock_guard<std::mutex> lock(inbox_->mu);
+    inbox_->open = false;
+    for (const auto& [fd, id] : inbox_->adopted) {
+      Listener::CloseFd(fd);
+      stats_->connections_closed.fetch_add(1, std::memory_order_relaxed);
+      stats_->active_connections.fetch_sub(1, std::memory_order_relaxed);
+    }
+    inbox_->adopted.clear();
+    inbox_->completions.clear();
+    inbox_->pending.store(0, std::memory_order_release);
+  }
+
+  void HandleInbox() {
+    std::vector<std::pair<int, uint64_t>> adopted;
+    std::vector<Completion> completions;
+    bool stop = false;
+    {
+      std::lock_guard<std::mutex> lock(inbox_->mu);
+      adopted.swap(inbox_->adopted);
+      completions.swap(inbox_->completions);
+      stop = inbox_->stop;
+    }
+    for (const auto& [fd, id] : adopted) AddConn(fd, id);
+    for (Completion& c : completions) {
+      auto it = conns_.find(c.conn_id);
+      if (it != conns_.end()) {
+        Conn* conn = it->second.get();
+        if (conn->inflight > 0) --conn->inflight;
+        if (c.close_after) conn->close_after_flush = true;
+        Enqueue(conn, std::move(c.bytes));  // May close conn; that's fine.
+      }
+      // Decrement only after any bytes are on the outbound counter, so a
+      // draining stopper always sees the reply in one counter or another.
+      inbox_->pending.fetch_sub(1, std::memory_order_release);
+    }
+    if (stop) stop_ = true;
+  }
+
+  void AddConn(int fd, uint64_t conn_id) {
+    auto conn = std::make_unique<Conn>();
+    conn->id = conn_id;
+    conn->fd = fd;
+    epoll_event ev{};
+    ev.events = EPOLLIN | EPOLLOUT | EPOLLRDHUP | EPOLLET;
+    ev.data.u64 = conn_id;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      Listener::CloseFd(fd);
+      stats_->connections_closed.fetch_add(1, std::memory_order_relaxed);
+      stats_->active_connections.fetch_sub(1, std::memory_order_relaxed);
+      return;
+    }
+    Conn* raw = conn.get();
+    conns_.emplace(conn_id, std::move(conn));
+    // Edge-triggered: bytes may have arrived before the fd was registered.
+    OnReadable(raw);
+  }
+
+  void CloseConn(Conn* conn) {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+    Listener::CloseFd(conn->fd);
+    outbound_bytes_.fetch_sub(conn->outbound_bytes,
+                              std::memory_order_release);
+    stats_->connections_closed.fetch_add(1, std::memory_order_relaxed);
+    stats_->active_connections.fetch_sub(1, std::memory_order_relaxed);
+    conns_.erase(conn->id);  // Frees conn.
+  }
+
+  /// Drains the socket until EAGAIN, parsing as bytes arrive. Returns
+  /// false when the connection was closed.
+  bool OnReadable(Conn* conn) {
+    const auto start = std::chrono::steady_clock::now();
+    char buf[16384];
+    while (!conn->paused && !conn->close_after_flush) {
+      const ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+      if (n > 0) {
+        stats_->bytes_read.fetch_add(static_cast<uint64_t>(n),
+                                     std::memory_order_relaxed);
+        conn->in.append(buf, static_cast<size_t>(n));
+        if (!ParseInput(conn)) return false;
+        continue;
+      }
+      if (n == 0 || (errno != EAGAIN && errno != EWOULDBLOCK &&
+                     errno != EINTR)) {
+        RecordStage(obs::Stage::kNetRead, start);
+        CloseConn(conn);
+        return false;
+      }
+      if (errno == EINTR) continue;
+      break;  // EAGAIN: socket drained.
+    }
+    RecordStage(obs::Stage::kNetRead, start);
+    return true;
+  }
+
+  /// Consumes as many complete messages from conn->in as possible.
+  /// Returns false when the connection was closed.
+  bool ParseInput(Conn* conn) {
+    const auto start = std::chrono::steady_clock::now();
+    const bool alive = ParseInputImpl(conn);
+    RecordStage(obs::Stage::kNetParse, start);
+    return alive;
+  }
+
+  bool ParseInputImpl(Conn* conn) {
+    for (;;) {
+      if (conn->proto == Conn::Proto::kUnknown) {
+        // Sniff: binary frames open with the 4-byte magic; anything else
+        // that looks like an HTTP method token takes the JSON fallback.
+        if (conn->in.size() < kHttpSniffBytes) return true;
+        uint32_t magic;
+        std::memcpy(&magic, conn->in.data(), sizeof(magic));
+        if (magic == kFrameMagic) {
+          conn->proto = Conn::Proto::kBinary;
+        } else if (LooksLikeHttp(
+                       reinterpret_cast<const uint8_t*>(conn->in.data()),
+                       conn->in.size())) {
+          conn->proto = Conn::Proto::kHttp;
+        } else {
+          return ProtocolError(
+              conn, Status::InvalidArgument("unrecognized protocol preamble"));
+        }
+      }
+      if (conn->proto == Conn::Proto::kBinary) {
+        Frame frame;
+        Result<size_t> consumed = DecodeFrame(
+            reinterpret_cast<const uint8_t*>(conn->in.data()),
+            conn->in.size(), options_.max_frame_payload, &frame);
+        if (!consumed.ok()) return ProtocolError(conn, consumed.status());
+        if (consumed.value() == 0) return true;  // Partial frame.
+        conn->in.erase(0, consumed.value());
+        stats_->frames_received.fetch_add(1, std::memory_order_relaxed);
+        if (!HandleFrame(conn, &frame)) return false;
+        continue;  // More frames may be buffered (pipelining).
+      }
+      // HTTP: one request per connection (every response closes).
+      if (conn->http_dispatched) {
+        conn->in.clear();
+        return true;
+      }
+      HttpRequest request;
+      Result<size_t> consumed = ParseHttpRequest(
+          reinterpret_cast<const uint8_t*>(conn->in.data()), conn->in.size(),
+          options_.max_http_header, &request);
+      if (!consumed.ok()) {
+        stats_->protocol_errors.fetch_add(1, std::memory_order_relaxed);
+        return SendHttp(conn, 400, "Bad Request",
+                        "{\"error\":\"" +
+                            JsonEscape(consumed.status().message()) +
+                            "\"}\n");
+      }
+      if (consumed.value() == 0) return true;  // Headers incomplete.
+      conn->in.erase(0, consumed.value());
+      return HandleHttp(conn, request);
+    }
+  }
+
+  /// Malformed input: count it, send an explicit error frame, close once
+  /// it flushes. Returns false when the connection was closed inline.
+  bool ProtocolError(Conn* conn, const Status& status) {
+    stats_->protocol_errors.fetch_add(1, std::memory_order_relaxed);
+    conn->close_after_flush = true;
+    std::string out;
+    AppendError(&out, 0, status);  // request_id 0: unattributable.
+    stats_->frames_sent.fetch_add(1, std::memory_order_relaxed);
+    return Enqueue(conn, std::move(out));
+  }
+
+  bool HandleFrame(Conn* conn, Frame* frame) {
+    switch (frame->type) {
+      case FrameType::kPing: {
+        std::string out;
+        AppendPong(&out, frame->request_id);
+        stats_->frames_sent.fetch_add(1, std::memory_order_relaxed);
+        return Enqueue(conn, std::move(out));
+      }
+      case FrameType::kLookupRequest:
+        return HandleLookup(conn, frame);
+      default:
+        // Response/error/pong frames are server-to-client only.
+        return ProtocolError(conn, Status::InvalidArgument(
+                                       "unexpected frame type from client"));
+    }
+  }
+
+  bool HandleLookup(Conn* conn, Frame* frame) {
+    if (conn->inflight >= options_.max_inflight_per_conn) {
+      // Shed rather than queue: the client sees the overload explicitly.
+      stats_->overload_rejections.fetch_add(1, std::memory_order_relaxed);
+      std::string out;
+      AppendError(&out, frame->request_id,
+                  Status::Unavailable("connection in-flight limit reached"));
+      stats_->frames_sent.fetch_add(1, std::memory_order_relaxed);
+      return Enqueue(conn, std::move(out));
+    }
+    if (frame->deadline_us > 0) {
+      stats_->deadlines_propagated.fetch_add(1, std::memory_order_relaxed);
+    }
+    ++conn->inflight;
+    stats_->inflight_requests.fetch_add(1, std::memory_order_relaxed);
+    const auto dispatch_start = std::chrono::steady_clock::now();
+    server_->SubmitAsync(
+        std::move(frame->query), frame->k,
+        std::chrono::microseconds(static_cast<int64_t>(frame->deadline_us)),
+        [inbox = inbox_, stats = stats_, conn_id = conn->id,
+         request_id = frame->request_id,
+         dispatch_start](Result<serve::LookupResponse> result) {
+          std::string out;
+          if (result.ok()) {
+            const serve::LookupResponse& response = result.value();
+            AppendLookupResponse(&out, request_id, response.from_cache,
+                                 response.ids);
+          } else {
+            AppendError(&out, request_id, result.status());
+          }
+          RecordStage(obs::Stage::kNetDispatch, dispatch_start);
+          stats->frames_sent.fetch_add(1, std::memory_order_relaxed);
+          PostToInbox(inbox, Completion{conn_id, std::move(out), false});
+          stats->inflight_requests.fetch_sub(1, std::memory_order_relaxed);
+        });
+    return true;
+  }
+
+  bool HandleHttp(Conn* conn, const HttpRequest& request) {
+    stats_->http_requests.fetch_add(1, std::memory_order_relaxed);
+    conn->http_dispatched = true;
+    conn->in.clear();  // Ignore any body or pipelined bytes.
+    if (request.method != "GET") {
+      return SendHttp(conn, 405, "Method Not Allowed",
+                      "{\"error\":\"use GET\"}\n");
+    }
+    if (request.path == "/healthz") {
+      conn->close_after_flush = true;
+      return Enqueue(conn,
+                     HttpResponseText(200, "OK", "text/plain", "ok\n"));
+    }
+    if (request.path != "/lookup") {
+      return SendHttp(conn, 404, "Not Found",
+                      "{\"error\":\"unknown path; try /lookup?q=...\"}\n");
+    }
+    const auto q = request.params.find("q");
+    if (q == request.params.end() || q->second.empty()) {
+      return SendHttp(conn, 400, "Bad Request",
+                      "{\"error\":\"missing q parameter\"}\n");
+    }
+    int64_t k = 10;
+    int64_t deadline_us = 0;
+    if (const auto it = request.params.find("k"); it != request.params.end()) {
+      if (!ParseInt(it->second, &k)) {
+        return SendHttp(conn, 400, "Bad Request",
+                        "{\"error\":\"k must be an integer\"}\n");
+      }
+    }
+    if (const auto it = request.params.find("deadline_us");
+        it != request.params.end()) {
+      if (!ParseInt(it->second, &deadline_us) || deadline_us < 0) {
+        return SendHttp(conn, 400, "Bad Request",
+                        "{\"error\":\"deadline_us must be >= 0\"}\n");
+      }
+    }
+    if (deadline_us > 0) {
+      stats_->deadlines_propagated.fetch_add(1, std::memory_order_relaxed);
+    }
+    ++conn->inflight;
+    stats_->inflight_requests.fetch_add(1, std::memory_order_relaxed);
+    const auto dispatch_start = std::chrono::steady_clock::now();
+    server_->SubmitAsync(
+        q->second, k, std::chrono::microseconds(deadline_us),
+        [inbox = inbox_, stats = stats_, conn_id = conn->id,
+         dispatch_start](Result<serve::LookupResponse> result) {
+          std::string http;
+          if (result.ok()) {
+            http = HttpResponseText(200, "OK", "application/json",
+                                    LookupJson(result.value()));
+          } else {
+            const HttpStatusLine line = HttpStatusFor(result.status().code());
+            http = HttpResponseText(
+                line.code, line.reason, "application/json",
+                "{\"error\":\"" + JsonEscape(result.status().ToString()) +
+                    "\"}\n");
+          }
+          RecordStage(obs::Stage::kNetDispatch, dispatch_start);
+          PostToInbox(inbox,
+                      Completion{conn_id, std::move(http), /*close_after=*/true});
+          stats->inflight_requests.fetch_sub(1, std::memory_order_relaxed);
+        });
+    return true;
+  }
+
+  bool SendHttp(Conn* conn, int code, const char* reason, std::string body) {
+    conn->close_after_flush = true;
+    return Enqueue(conn, HttpResponseText(code, reason, "application/json",
+                                          std::move(body)));
+  }
+
+  /// Queues reply bytes and flushes opportunistically; engages read
+  /// backpressure past the pause watermark. Returns false when the
+  /// connection was closed.
+  bool Enqueue(Conn* conn, std::string bytes) {
+    if (!bytes.empty()) {
+      outbound_bytes_.fetch_add(bytes.size(), std::memory_order_release);
+      conn->outbound_bytes += bytes.size();
+      conn->out.push_back(std::move(bytes));
+    }
+    if (!FlushWrites(conn)) return false;
+    if (!conn->paused &&
+        conn->outbound_bytes > options_.outbound_pause_bytes) {
+      conn->paused = true;
+      stats_->read_pauses.fetch_add(1, std::memory_order_relaxed);
+    }
+    return true;
+  }
+
+  /// Writes queued bytes until EAGAIN or empty. Returns false when the
+  /// connection was closed (write error, or close_after_flush drained).
+  bool FlushWrites(Conn* conn) {
+    const bool had_work = !conn->out.empty();
+    const auto start = std::chrono::steady_clock::now();
+    while (!conn->out.empty()) {
+      const std::string& front = conn->out.front();
+      const ssize_t n =
+          ::send(conn->fd, front.data() + conn->out_head,
+                 front.size() - conn->out_head, MSG_NOSIGNAL);
+      if (n > 0) {
+        stats_->bytes_written.fetch_add(static_cast<uint64_t>(n),
+                                       std::memory_order_relaxed);
+        conn->out_head += static_cast<size_t>(n);
+        conn->outbound_bytes -= static_cast<size_t>(n);
+        outbound_bytes_.fetch_sub(static_cast<size_t>(n),
+                                  std::memory_order_release);
+        if (conn->out_head == front.size()) {
+          conn->out.pop_front();
+          conn->out_head = 0;
+        }
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      if (n < 0 && errno == EINTR) continue;
+      if (had_work) RecordStage(obs::Stage::kNetWrite, start);
+      CloseConn(conn);
+      return false;
+    }
+    if (had_work) RecordStage(obs::Stage::kNetWrite, start);
+    if (conn->out.empty() && conn->close_after_flush) {
+      CloseConn(conn);
+      return false;
+    }
+    if (conn->paused &&
+        conn->outbound_bytes <= options_.outbound_resume_bytes) {
+      // Resume reading — deferred to DrainResumed so a deep
+      // enqueue->flush->read recursion can't build up.
+      conn->paused = false;
+      resumed_.push_back(conn->id);
+    }
+    return true;
+  }
+
+  /// Re-reads connections whose backpressure lifted during this wakeup
+  /// (edge-triggered epoll won't re-signal bytes we left in the buffer).
+  void DrainResumed() {
+    while (!resumed_.empty()) {
+      const uint64_t id = resumed_.back();
+      resumed_.pop_back();
+      auto it = conns_.find(id);
+      if (it == conns_.end() || it->second->paused) continue;
+      OnReadable(it->second.get());
+    }
+  }
+
+  serve::LookupServer* const server_;  // Not owned.
+  const NetServerOptions options_;
+  std::shared_ptr<SharedStats> stats_;
+  std::shared_ptr<Inbox> inbox_;
+  int epoll_fd_ = -1;
+  int event_fd_ = -1;
+  bool stop_ = false;  ///< Loop-thread only.
+  std::unordered_map<uint64_t, std::unique_ptr<Conn>> conns_;
+  std::vector<uint64_t> resumed_;
+  std::atomic<size_t> outbound_bytes_{0};
+  std::thread thread_;  ///< Last: started after state is ready.
+};
+
+#else  // !defined(__linux__)
+
+class NetServer::EventLoop {};
+
+#endif
+
+NetServer::NetServer() : stats_(std::make_shared<SharedStats>()) {}
+
+NetServer::~NetServer() { Stop(); }
+
+Status NetServer::Start(serve::LookupServer* server, int port,
+                        NetServerOptions options) {
+#if !defined(__linux__)
+  (void)server;
+  (void)port;
+  (void)options;
+  return Status::Unimplemented("NetServer requires Linux epoll");
+#else
+  if (server == nullptr) {
+    return Status::InvalidArgument("server must not be null");
+  }
+  if (running_.load(std::memory_order_acquire) || listener_.listening()) {
+    return Status::FailedPrecondition("NetServer already started");
+  }
+  if (options.event_loops <= 0) options.event_loops = 1;
+  if (options.outbound_resume_bytes > options.outbound_pause_bytes) {
+    options.outbound_resume_bytes = options.outbound_pause_bytes;
+  }
+  server_ = server;
+  options_ = options;
+  EL_RETURN_NOT_OK(listener_.Listen(port, options_.backlog));
+  port_ = listener_.port();
+  for (int i = 0; i < options_.event_loops; ++i) {
+    auto loop = std::make_unique<EventLoop>(server_, options_, stats_);
+    const Status init = loop->Init();
+    if (!init.ok()) {
+      for (auto& started : loops_) {
+        started->RequestStop();
+        started->Join();
+      }
+      loops_.clear();
+      listener_.StopAndClose();
+      return init;
+    }
+    loops_.push_back(std::move(loop));
+  }
+  for (auto& loop : loops_) loop->StartThread();
+  running_.store(true, std::memory_order_release);
+  acceptor_ = std::thread([this] { AcceptorLoop(); });
+  return Status::OK();
+#endif
+}
+
+void NetServer::AcceptorLoop() {
+#if defined(__linux__)
+  for (;;) {
+    Result<int> accepted = listener_.AcceptBlocking();
+    if (!accepted.ok()) return;  // Detached: shutting down.
+    const int fd = accepted.value();
+    if (!SetNonBlocking(fd).ok()) {
+      Listener::CloseFd(fd);
+      continue;
+    }
+    (void)SetNoDelay(fd);  // Best-effort.
+    stats_->connections_accepted.fetch_add(1, std::memory_order_relaxed);
+    stats_->active_connections.fetch_add(1, std::memory_order_relaxed);
+    const uint64_t conn_id =
+        next_conn_id_.fetch_add(1, std::memory_order_relaxed);
+    loops_[conn_id % loops_.size()]->Adopt(fd, conn_id);
+  }
+#endif
+}
+
+void NetServer::Stop() {
+#if defined(__linux__)
+  std::lock_guard<std::mutex> lock(stop_mu_);
+  // 1. Stop accepting new connections.
+  const int listen_fd = listener_.Detach();
+  if (acceptor_.joinable()) acceptor_.join();
+  Listener::CloseFd(listen_fd);
+  // 2. Drain: wait (bounded) until no request is in flight, no completion
+  // is in transit, and every reply byte has reached a socket.
+  const auto deadline =
+      std::chrono::steady_clock::now() + options_.drain_timeout;
+  for (;;) {
+    bool drained =
+        stats_->inflight_requests.load(std::memory_order_acquire) == 0;
+    for (const auto& loop : loops_) {
+      drained = drained &&
+                loop->inbox()->pending.load(std::memory_order_acquire) == 0 &&
+                loop->queued_outbound_bytes() == 0;
+    }
+    if (drained || std::chrono::steady_clock::now() >= deadline) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // 3. Tear down the loops (closing every connection) and join.
+  for (auto& loop : loops_) loop->RequestStop();
+  for (auto& loop : loops_) loop->Join();
+  loops_.clear();
+  running_.store(false, std::memory_order_release);
+#endif
+}
+
+NetStatsSnapshot NetServer::Stats() const {
+  NetStatsSnapshot s;
+  s.connections_accepted =
+      stats_->connections_accepted.load(std::memory_order_relaxed);
+  s.connections_closed =
+      stats_->connections_closed.load(std::memory_order_relaxed);
+  s.active_connections =
+      stats_->active_connections.load(std::memory_order_relaxed);
+  s.bytes_read = stats_->bytes_read.load(std::memory_order_relaxed);
+  s.bytes_written = stats_->bytes_written.load(std::memory_order_relaxed);
+  s.frames_received = stats_->frames_received.load(std::memory_order_relaxed);
+  s.frames_sent = stats_->frames_sent.load(std::memory_order_relaxed);
+  s.http_requests = stats_->http_requests.load(std::memory_order_relaxed);
+  s.protocol_errors = stats_->protocol_errors.load(std::memory_order_relaxed);
+  s.overload_rejections =
+      stats_->overload_rejections.load(std::memory_order_relaxed);
+  s.read_pauses = stats_->read_pauses.load(std::memory_order_relaxed);
+  s.deadlines_propagated =
+      stats_->deadlines_propagated.load(std::memory_order_relaxed);
+  s.inflight_requests =
+      stats_->inflight_requests.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::string PrometheusNetText(const NetStatsSnapshot& stats) {
+  obs::PrometheusWriter w;
+  w.Counter("emblookup_net_connections_accepted_total",
+            "Connections accepted by the socket front end.",
+            stats.connections_accepted);
+  w.Counter("emblookup_net_connections_closed_total",
+            "Connections closed (any reason).", stats.connections_closed);
+  w.Gauge("emblookup_net_active_connections",
+          "Connections currently open.",
+          static_cast<double>(stats.active_connections));
+  w.Counter("emblookup_net_bytes_read_total",
+            "Bytes read from client sockets.", stats.bytes_read);
+  w.Counter("emblookup_net_bytes_written_total",
+            "Bytes written to client sockets.", stats.bytes_written);
+  w.Counter("emblookup_net_frames_received_total",
+            "Valid binary frames decoded from clients.",
+            stats.frames_received);
+  w.Counter("emblookup_net_frames_sent_total",
+            "Binary frames sent to clients.", stats.frames_sent);
+  w.Counter("emblookup_net_http_requests_total",
+            "Requests served via the HTTP/1.1 JSON fallback.",
+            stats.http_requests);
+  w.Counter("emblookup_net_protocol_errors_total",
+            "Malformed frames or HTTP requests (connection closed).",
+            stats.protocol_errors);
+  w.Counter("emblookup_net_overload_rejections_total",
+            "Lookups shed with Unavailable by the per-connection "
+            "in-flight cap.",
+            stats.overload_rejections);
+  w.Counter("emblookup_net_read_pauses_total",
+            "Times write backpressure suspended reading a connection.",
+            stats.read_pauses);
+  w.Counter("emblookup_net_deadlines_propagated_total",
+            "Requests that carried a wire deadline into the server.",
+            stats.deadlines_propagated);
+  w.Gauge("emblookup_net_inflight_requests",
+          "Remote requests submitted whose reply is not yet queued.",
+          static_cast<double>(stats.inflight_requests));
+  return w.Finish();
+}
+
+}  // namespace emblookup::net

@@ -1,0 +1,131 @@
+#ifndef EMBLOOKUP_NET_SERVER_H_
+#define EMBLOOKUP_NET_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "net/socket.h"
+#include "net/wire.h"
+#include "serve/lookup_server.h"
+
+namespace emblookup::net {
+
+/// Tuning knobs for the socket front end.
+struct NetServerOptions {
+  /// Epoll event-loop threads; connections are sharded across them
+  /// round-robin at accept time.
+  int event_loops = 2;
+  int backlog = 128;
+  /// Largest declared frame payload accepted from a client; a frame
+  /// claiming more is a protocol error (corrupt or hostile, not huge).
+  size_t max_frame_payload = kDefaultMaxPayloadBytes;
+  /// Slow-loris/header-bomb bound for the HTTP fallback.
+  size_t max_http_header = 16u << 10;
+  /// Per-connection write backpressure: past this many queued outbound
+  /// bytes the loop stops reading the connection (new requests stall in
+  /// the kernel buffer / at the sender)...
+  size_t outbound_pause_bytes = 1u << 20;
+  /// ...and reading resumes once the queue drains below this.
+  size_t outbound_resume_bytes = 256u << 10;
+  /// Requests in flight per connection beyond which new lookups are shed
+  /// with an explicit Unavailable reply instead of being submitted.
+  size_t max_inflight_per_conn = 256;
+  /// Stop() waits this long for in-flight requests to complete and their
+  /// replies to flush before tearing connections down.
+  std::chrono::milliseconds drain_timeout{5000};
+};
+
+/// Point-in-time copy of the front end's counters (all monotonic except
+/// the two gauges). Exported by PrometheusNetText and documented in
+/// OBSERVABILITY.md.
+struct NetStatsSnapshot {
+  uint64_t connections_accepted = 0;
+  uint64_t connections_closed = 0;
+  int64_t active_connections = 0;  ///< Gauge.
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
+  uint64_t frames_received = 0;
+  uint64_t frames_sent = 0;
+  uint64_t http_requests = 0;
+  uint64_t protocol_errors = 0;     ///< Malformed frames/HTTP; conn closed.
+  uint64_t overload_rejections = 0; ///< Explicit Unavailable shed replies.
+  uint64_t read_pauses = 0;         ///< Backpressure read stalls.
+  uint64_t deadlines_propagated = 0;  ///< Requests carrying a wire deadline.
+  int64_t inflight_requests = 0;   ///< Gauge: submitted, reply not yet queued.
+};
+
+/// Epoll-based non-blocking socket front end for a LookupServer
+/// (DESIGN.md §10): one acceptor thread plus N edge-triggered event-loop
+/// threads (no thread-per-connection) speak the length-prefixed binary
+/// protocol of net/wire.h with an HTTP/1.1 JSON fallback on the same port
+/// (protocol sniffed from the first bytes of each connection). Decoded
+/// lookups feed LookupServer::SubmitAsync, so micro-batching, the query
+/// cache, RCU index swaps, and online updates all apply unchanged to
+/// remote traffic; wire deadlines become Submit timeouts and come back as
+/// explicit DeadlineExceeded error frames. Overload is shed, not queued:
+/// per-connection outbound bytes pause reading (backpressure to the
+/// kernel), and past the in-flight cap — or when the LookupServer's own
+/// admission control trips — the client gets an Unavailable reply.
+///
+/// Linux-only (epoll); Start returns Unimplemented elsewhere.
+class NetServer {
+ public:
+  NetServer();
+  /// Calls Stop().
+  ~NetServer();
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  /// Binds 0.0.0.0:`port` (0 picks an ephemeral port — see port()) and
+  /// starts serving `server`, which must outlive every in-flight request
+  /// (keep it alive until Stop() returns). One Start per instance.
+  Status Start(serve::LookupServer* server, int port,
+               NetServerOptions options = NetServerOptions());
+
+  /// Drains: stops accepting, waits (bounded by drain_timeout) for
+  /// in-flight requests to complete and replies to flush, then closes
+  /// every connection and joins all threads. Idempotent.
+  void Stop();
+
+  /// The bound port (resolves port-0 requests); -1 before Start.
+  int port() const { return port_; }
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  NetStatsSnapshot Stats() const;
+
+ private:
+  class EventLoop;
+  struct SharedStats;
+
+  void AcceptorLoop();
+
+  serve::LookupServer* server_ = nullptr;  // Not owned.
+  NetServerOptions options_;
+  Listener listener_;
+  int port_ = -1;
+  /// Shared with completion callbacks, which may outlive this object
+  /// (a drain timeout abandons requests still queued in the
+  /// LookupServer; their late callbacks only touch shared state).
+  std::shared_ptr<SharedStats> stats_;
+  std::vector<std::unique_ptr<EventLoop>> loops_;
+  std::thread acceptor_;
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> next_conn_id_{1};  ///< 0 is the eventfd sentinel.
+  std::mutex stop_mu_;  ///< Makes Stop idempotent and thread-safe.
+};
+
+/// Renders `stats` as Prometheus text families (all `emblookup_net_*`),
+/// appended after serve::PrometheusText output by the CLI and the metrics
+/// endpoint.
+std::string PrometheusNetText(const NetStatsSnapshot& stats);
+
+}  // namespace emblookup::net
+
+#endif  // EMBLOOKUP_NET_SERVER_H_

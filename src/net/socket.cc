@@ -1,0 +1,176 @@
+#include "net/socket.h"
+
+#include <cerrno>
+#include <cstring>
+
+#ifndef _WIN32
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+namespace emblookup::net {
+
+#ifdef _WIN32
+
+Status SetNonBlocking(int) { return Status::Unimplemented("POSIX only"); }
+Status SetNoDelay(int) { return Status::Unimplemented("POSIX only"); }
+Status SendAll(int, const void*, size_t) {
+  return Status::Unimplemented("POSIX only");
+}
+Status RecvExact(int, void*, size_t) {
+  return Status::Unimplemented("POSIX only");
+}
+Result<int> ConnectTcp(const std::string&, int) {
+  return Status::Unimplemented("POSIX only");
+}
+Listener::~Listener() {}
+Status Listener::Listen(int, int) { return Status::Unimplemented("POSIX only"); }
+Result<int> Listener::AcceptBlocking() const {
+  return Status::Unimplemented("POSIX only");
+}
+int Listener::Detach() { return -1; }
+void Listener::StopAndClose() {}
+void Listener::CloseFd(int) {}
+
+#else
+
+Status SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    return Status::IoError("fcntl(O_NONBLOCK) failed: " +
+                           std::string(std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+Status SetNoDelay(int fd) {
+  const int one = 1;
+  if (::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) != 0) {
+    return Status::IoError("setsockopt(TCP_NODELAY) failed: " +
+                           std::string(std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+Status SendAll(int fd, const void* data, size_t size) {
+  const char* p = static_cast<const char*>(data);
+  size_t off = 0;
+  while (off < size) {
+    const ssize_t n = ::send(fd, p + off, size - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Status::IoError("send failed: " +
+                           std::string(n < 0 ? std::strerror(errno)
+                                             : "zero-byte send"));
+  }
+  return Status::OK();
+}
+
+Status RecvExact(int fd, void* data, size_t size) {
+  char* p = static_cast<char*>(data);
+  size_t off = 0;
+  while (off < size) {
+    const ssize_t n = ::recv(fd, p + off, size - off, 0);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n == 0) {
+      return Status::IoError("connection closed mid-message (" +
+                             std::to_string(off) + "/" +
+                             std::to_string(size) + " bytes)");
+    }
+    return Status::IoError("recv failed: " + std::string(std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+Result<int> ConnectTcp(const std::string& host, int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IoError("socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  const std::string resolved = host == "localhost" ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, resolved.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("cannot parse IPv4 address '" + host + "'");
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Status::IoError("cannot connect to " + host + ":" +
+                           std::to_string(port) + ": " + err);
+  }
+  return fd;
+}
+
+Listener::~Listener() { StopAndClose(); }
+
+Status Listener::Listen(int port, int backlog) {
+  if (listening()) {
+    return Status::FailedPrecondition("Listener: already listening");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IoError("listener: socket() failed");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Status::IoError("listener: cannot bind port " +
+                           std::to_string(port));
+  }
+  if (::listen(fd, backlog) != 0) {
+    ::close(fd);
+    return Status::IoError("listener: listen() failed");
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  fd_.store(fd, std::memory_order_release);
+  return Status::OK();
+}
+
+Result<int> Listener::AcceptBlocking() const {
+  const int fd = fd_.load(std::memory_order_acquire);
+  if (fd < 0) return Status::IoError("listener stopped");
+  const int conn = ::accept(fd, nullptr, nullptr);
+  if (conn < 0) {
+    return Status::IoError("accept failed (listener stopping): " +
+                           std::string(std::strerror(errno)));
+  }
+  return conn;
+}
+
+int Listener::Detach() {
+  const int fd = fd_.exchange(-1, std::memory_order_acq_rel);
+  // Shutdown unblocks accept() in serving threads; the fd stays open until
+  // the caller has joined them, so the loop never touches a recycled fd.
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+  return fd;
+}
+
+void Listener::StopAndClose() {
+  const int fd = Detach();
+  if (fd >= 0) ::close(fd);
+}
+
+void Listener::CloseFd(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+#endif  // _WIN32
+
+}  // namespace emblookup::net

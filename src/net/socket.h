@@ -1,0 +1,92 @@
+#ifndef EMBLOOKUP_NET_SOCKET_H_
+#define EMBLOOKUP_NET_SOCKET_H_
+
+#include <atomic>
+#include <cstddef>
+#include <string>
+
+#include "common/status.h"
+
+namespace emblookup::net {
+
+/// POSIX socket helpers shared by the network front end (src/net/server),
+/// the remote client, and the obs metrics scrape endpoint. Everything here
+/// is plain blocking-socket plumbing; the epoll event machinery lives in
+/// server.cc.
+
+/// Puts `fd` into non-blocking mode (O_NONBLOCK).
+Status SetNonBlocking(int fd);
+
+/// Disables Nagle batching (TCP_NODELAY) — a lookup RPC is one small
+/// frame each way, so coalescing only adds latency.
+Status SetNoDelay(int fd);
+
+/// Writes all `size` bytes, retrying short writes and EINTR. Sends with
+/// MSG_NOSIGNAL so a dead peer yields an error, not SIGPIPE. Blocking
+/// sockets only.
+Status SendAll(int fd, const void* data, size_t size);
+
+/// Reads exactly `size` bytes, retrying short reads and EINTR. An EOF
+/// before `size` bytes is an IoError. Blocking sockets only.
+Status RecvExact(int fd, void* data, size_t size);
+
+/// Blocking TCP connect to host:port (IPv4 dotted quad or "localhost").
+/// Returns the connected fd.
+Result<int> ConnectTcp(const std::string& host, int port);
+
+/// A bound, listening TCP socket with the atomic-fd stop discipline the
+/// obs metrics endpoint established: the fd lives in an atomic so a
+/// stopper can Detach() + shutdown() it to unblock concurrent accepts,
+/// then close it only AFTER joining the accepting thread — the accept
+/// loop never operates on an fd number the kernel may have reused.
+///
+/// Usage (serving thread + stopper):
+///   Listener listener;
+///   EL_RETURN_NOT_OK(listener.Listen(port));
+///   std::thread t([&] { while (auto fd = listener.AcceptBlocking(); ...) });
+///   ...
+///   const int fd = listener.Detach();   // unblocks the accept
+///   t.join();
+///   Listener::CloseFd(fd);              // safe: no accepter left
+class Listener {
+ public:
+  Listener() = default;
+  /// Closes any still-attached fd (single-owner teardown path).
+  ~Listener();
+
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// Binds 0.0.0.0:`port` (0 picks an ephemeral port — see port()) and
+  /// starts listening. One Listen per instance.
+  Status Listen(int port, int backlog = 128);
+
+  /// The bound port (resolves port-0 requests); -1 before Listen.
+  int port() const { return port_; }
+  bool listening() const {
+    return fd_.load(std::memory_order_acquire) >= 0;
+  }
+
+  /// Blocking accept on the current fd. Returns IoError once the listener
+  /// has been detached/shut down (the accept-loop exit signal).
+  Result<int> AcceptBlocking() const;
+
+  /// Atomically detaches the fd (listening() turns false) and shuts it
+  /// down so blocked AcceptBlocking calls return. The caller owns the
+  /// returned fd and must CloseFd() it after joining accept threads.
+  /// Returns -1 when already detached (idempotent).
+  int Detach();
+
+  /// Detach + immediate close, for owners with no concurrent accepter.
+  void StopAndClose();
+
+  static void CloseFd(int fd);
+
+ private:
+  std::atomic<int> fd_{-1};
+  int port_ = -1;
+};
+
+}  // namespace emblookup::net
+
+#endif  // EMBLOOKUP_NET_SOCKET_H_

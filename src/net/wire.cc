@@ -1,0 +1,227 @@
+#include "net/wire.h"
+
+#include <cstring>
+
+#include "common/crc32.h"
+
+namespace emblookup::net {
+
+namespace {
+
+// The wire freezes StatusCode's numeric values; a reorder in status.h
+// would silently change the protocol, so pin every code here.
+static_assert(static_cast<int>(StatusCode::kOk) == 0);
+static_assert(static_cast<int>(StatusCode::kInvalidArgument) == 1);
+static_assert(static_cast<int>(StatusCode::kNotFound) == 2);
+static_assert(static_cast<int>(StatusCode::kAlreadyExists) == 3);
+static_assert(static_cast<int>(StatusCode::kOutOfRange) == 4);
+static_assert(static_cast<int>(StatusCode::kFailedPrecondition) == 5);
+static_assert(static_cast<int>(StatusCode::kIoError) == 6);
+static_assert(static_cast<int>(StatusCode::kInternal) == 7);
+static_assert(static_cast<int>(StatusCode::kUnimplemented) == 8);
+static_assert(static_cast<int>(StatusCode::kUnavailable) == 9);
+static_assert(static_cast<int>(StatusCode::kDeadlineExceeded) == 10);
+inline constexpr uint8_t kMaxWireErrorCode = 10;
+
+template <typename T>
+void AppendPod(std::string* out, T value) {
+  out->append(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+template <typename T>
+T ReadPod(const uint8_t* data) {
+  T value;
+  std::memcpy(&value, data, sizeof(value));
+  return value;
+}
+
+/// Appends the 24-byte header for a finished payload, then the payload.
+void AppendFrame(std::string* out, FrameType type, uint64_t request_id,
+                 const std::string& payload) {
+  AppendPod<uint32_t>(out, kFrameMagic);
+  out->push_back(static_cast<char>(kWireVersion));
+  out->push_back(static_cast<char>(type));
+  AppendPod<uint16_t>(out, 0);  // reserved
+  AppendPod<uint64_t>(out, request_id);
+  AppendPod<uint32_t>(out, static_cast<uint32_t>(payload.size()));
+  AppendPod<uint32_t>(out, Crc32(payload.data(), payload.size()));
+  out->append(payload);
+}
+
+/// Bounds-checked payload cursor: every Read advances `off` or reports
+/// that the payload is malformed.
+class PayloadReader {
+ public:
+  PayloadReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  template <typename T>
+  bool Read(T* out) {
+    if (size_ - off_ < sizeof(T)) return false;
+    *out = ReadPod<T>(data_ + off_);
+    off_ += sizeof(T);
+    return true;
+  }
+
+  bool ReadBytes(size_t n, std::string* out) {
+    if (size_ - off_ < n) return false;
+    out->assign(reinterpret_cast<const char*>(data_ + off_), n);
+    off_ += n;
+    return true;
+  }
+
+  bool exhausted() const { return off_ == size_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t off_ = 0;
+};
+
+Status Malformed(const char* what) {
+  return Status::InvalidArgument(std::string("malformed frame: ") + what);
+}
+
+}  // namespace
+
+uint8_t WireErrorCode(StatusCode code) { return static_cast<uint8_t>(code); }
+
+StatusCode StatusCodeFromWire(uint8_t code) {
+  if (code > kMaxWireErrorCode) return StatusCode::kInternal;
+  return static_cast<StatusCode>(code);
+}
+
+void AppendLookupRequest(std::string* out, uint64_t request_id,
+                         const std::string& query, int64_t k,
+                         uint64_t deadline_us) {
+  std::string payload;
+  payload.reserve(16 + query.size());
+  AppendPod<uint64_t>(&payload, deadline_us);
+  AppendPod<uint32_t>(&payload, static_cast<uint32_t>(k));
+  AppendPod<uint32_t>(&payload, static_cast<uint32_t>(query.size()));
+  payload.append(query);
+  AppendFrame(out, FrameType::kLookupRequest, request_id, payload);
+}
+
+void AppendLookupResponse(std::string* out, uint64_t request_id,
+                          bool from_cache, const std::vector<int64_t>& ids) {
+  std::string payload;
+  payload.reserve(8 + ids.size() * sizeof(int64_t));
+  payload.push_back(from_cache ? 1 : 0);
+  payload.append(3, '\0');
+  AppendPod<uint32_t>(&payload, static_cast<uint32_t>(ids.size()));
+  for (const int64_t id : ids) AppendPod<int64_t>(&payload, id);
+  AppendFrame(out, FrameType::kLookupResponse, request_id, payload);
+}
+
+void AppendError(std::string* out, uint64_t request_id, const Status& status) {
+  std::string payload;
+  payload.reserve(8 + status.message().size());
+  payload.push_back(static_cast<char>(WireErrorCode(status.code())));
+  payload.append(3, '\0');
+  AppendPod<uint32_t>(&payload,
+                      static_cast<uint32_t>(status.message().size()));
+  payload.append(status.message());
+  AppendFrame(out, FrameType::kError, request_id, payload);
+}
+
+void AppendPing(std::string* out, uint64_t request_id) {
+  AppendFrame(out, FrameType::kPing, request_id, std::string());
+}
+
+void AppendPong(std::string* out, uint64_t request_id) {
+  AppendFrame(out, FrameType::kPong, request_id, std::string());
+}
+
+Result<size_t> DecodeFrame(const uint8_t* data, size_t size,
+                           size_t max_payload, Frame* frame) {
+  if (size < kFrameHeaderBytes) return size_t{0};
+  if (ReadPod<uint32_t>(data) != kFrameMagic) return Malformed("bad magic");
+  const uint8_t version = data[4];
+  if (version != kWireVersion) {
+    return Malformed("unsupported protocol version");
+  }
+  const uint8_t type_raw = data[5];
+  if (type_raw < static_cast<uint8_t>(FrameType::kLookupRequest) ||
+      type_raw > static_cast<uint8_t>(FrameType::kPong)) {
+    return Malformed("unknown frame type");
+  }
+  if (ReadPod<uint16_t>(data + 6) != 0) {
+    return Malformed("nonzero reserved bits");
+  }
+  const uint64_t request_id = ReadPod<uint64_t>(data + 8);
+  const uint32_t payload_bytes = ReadPod<uint32_t>(data + 16);
+  const uint32_t declared_crc = ReadPod<uint32_t>(data + 20);
+  if (payload_bytes > max_payload) {
+    return Malformed("declared payload exceeds limit");
+  }
+  if (size - kFrameHeaderBytes < payload_bytes) return size_t{0};
+  const uint8_t* payload = data + kFrameHeaderBytes;
+  if (Crc32(payload, payload_bytes) != declared_crc) {
+    return Status::IoError("frame payload CRC mismatch");
+  }
+
+  *frame = Frame();
+  frame->type = static_cast<FrameType>(type_raw);
+  frame->request_id = request_id;
+  PayloadReader reader(payload, payload_bytes);
+  switch (frame->type) {
+    case FrameType::kLookupRequest: {
+      uint32_t k = 0, query_bytes = 0;
+      if (!reader.Read(&frame->deadline_us) || !reader.Read(&k) ||
+          !reader.Read(&query_bytes) ||
+          !reader.ReadBytes(query_bytes, &frame->query)) {
+        return Malformed("short lookup-request payload");
+      }
+      frame->k = static_cast<int64_t>(k);
+      break;
+    }
+    case FrameType::kLookupResponse: {
+      uint8_t from_cache = 0, pad = 0;
+      uint32_t count = 0;
+      if (!reader.Read(&from_cache)) {
+        return Malformed("short lookup-response payload");
+      }
+      for (int i = 0; i < 3; ++i) {
+        if (!reader.Read(&pad)) {
+          return Malformed("short lookup-response payload");
+        }
+      }
+      if (!reader.Read(&count) ||
+          static_cast<uint64_t>(count) * sizeof(int64_t) >
+              static_cast<uint64_t>(payload_bytes)) {
+        return Malformed("lookup-response id count overruns payload");
+      }
+      frame->from_cache = from_cache != 0;
+      frame->ids.resize(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        if (!reader.Read(&frame->ids[i])) {
+          return Malformed("short lookup-response payload");
+        }
+      }
+      break;
+    }
+    case FrameType::kError: {
+      uint8_t code = 0, pad = 0;
+      uint32_t msg_bytes = 0;
+      if (!reader.Read(&code)) return Malformed("short error payload");
+      for (int i = 0; i < 3; ++i) {
+        if (!reader.Read(&pad)) return Malformed("short error payload");
+      }
+      if (!reader.Read(&msg_bytes) ||
+          !reader.ReadBytes(msg_bytes, &frame->error_message)) {
+        return Malformed("short error payload");
+      }
+      frame->error_code = StatusCodeFromWire(code);
+      break;
+    }
+    case FrameType::kPing:
+    case FrameType::kPong:
+      break;
+    case FrameType::kInvalid:
+      return Malformed("unknown frame type");
+  }
+  if (!reader.exhausted()) return Malformed("trailing bytes in payload");
+  return kFrameHeaderBytes + static_cast<size_t>(payload_bytes);
+}
+
+}  // namespace emblookup::net

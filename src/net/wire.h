@@ -1,0 +1,104 @@
+#ifndef EMBLOOKUP_NET_WIRE_H_
+#define EMBLOOKUP_NET_WIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace emblookup::net {
+
+/// Compact length-prefixed binary lookup protocol (DESIGN.md §10).
+///
+/// Every message is one frame:
+///
+///   [u32 magic "EMLN"] [u8 version] [u8 type] [u16 reserved=0]
+///   [u64 request_id] [u32 payload_bytes] [u32 payload_crc]
+///   [payload bytes]
+///
+/// followed by a type-specific payload. The CRC is the same CRC-32 the
+/// WAL and snapshot container use (common/crc32.h) over the payload
+/// bytes, so a bit flip anywhere in the payload is detected; header
+/// damage is caught by the magic/version/reserved checks and the
+/// payload-size sanity bound. All integers are little-endian native, the
+/// WAL convention. request_id is an opaque client token echoed in the
+/// matching response/error frame — clients may pipeline requests and
+/// match replies out of order.
+///
+///   kLookupRequest:  [u64 deadline_us] [u32 k] [u32 query_bytes] [query]
+///   kLookupResponse: [u8 from_cache] [u8 reserved x3] [u32 count]
+///                    [count x i64 entity_id]   (best-first)
+///   kError:          [u8 code] [u8 reserved x3] [u32 msg_bytes] [msg]
+///   kPing / kPong:   empty payload
+///
+/// deadline_us is a request budget relative to server receipt (0 = no
+/// deadline); the server feeds it into LookupServer::Submit's timeout, so
+/// a request that overstays its wire deadline in the micro-batch queue
+/// comes back as an explicit kError frame with code kDeadlineExceeded.
+/// Error `code` values are the StatusCode enumerators, frozen on the wire
+/// (static_asserts in wire.cc).
+inline constexpr uint32_t kFrameMagic = 0x4E4C4D45u;  // "EMLN" little-endian.
+inline constexpr uint8_t kWireVersion = 1;
+inline constexpr size_t kFrameHeaderBytes = 24;
+/// Default sanity bound for declared payload sizes: a frame claiming more
+/// is corrupt or hostile, not huge.
+inline constexpr uint32_t kDefaultMaxPayloadBytes = 1u << 20;
+
+enum class FrameType : uint8_t {
+  kInvalid = 0,
+  kLookupRequest = 1,
+  kLookupResponse = 2,
+  kError = 3,
+  kPing = 4,
+  kPong = 5,
+};
+
+/// StatusCode <-> on-wire error code (uint8). The mapping is the enum
+/// value itself, frozen by static_asserts; unknown wire values decode to
+/// kInternal rather than failing.
+uint8_t WireErrorCode(StatusCode code);
+StatusCode StatusCodeFromWire(uint8_t code);
+
+/// One decoded frame. `type` selects which of the sections is meaningful.
+struct Frame {
+  FrameType type = FrameType::kInvalid;
+  uint64_t request_id = 0;
+  // kLookupRequest
+  uint64_t deadline_us = 0;
+  int64_t k = 0;
+  std::string query;
+  // kLookupResponse
+  bool from_cache = false;
+  std::vector<int64_t> ids;
+  // kError
+  StatusCode error_code = StatusCode::kInternal;
+  std::string error_message;
+};
+
+/// Frame writers: append one complete frame (header + payload) to `out`.
+void AppendLookupRequest(std::string* out, uint64_t request_id,
+                         const std::string& query, int64_t k,
+                         uint64_t deadline_us);
+void AppendLookupResponse(std::string* out, uint64_t request_id,
+                          bool from_cache, const std::vector<int64_t>& ids);
+void AppendError(std::string* out, uint64_t request_id, const Status& status);
+void AppendPing(std::string* out, uint64_t request_id);
+void AppendPong(std::string* out, uint64_t request_id);
+
+/// Decodes the first frame in [data, data+size). Returns:
+///   - a positive byte count (header + payload) with `*frame` filled when a
+///     complete, valid frame was consumed;
+///   - 0 when the buffer holds only a prefix of a frame (read more bytes);
+///   - a Status error for malformed input: bad magic/version/type, nonzero
+///     reserved bits, a declared payload over `max_payload`, a CRC
+///     mismatch, or a payload that does not parse exactly. Decoding never
+///     reads out of bounds regardless of input (pinned under ASan by
+///     tests/net_test).
+Result<size_t> DecodeFrame(const uint8_t* data, size_t size,
+                           size_t max_payload, Frame* frame);
+
+}  // namespace emblookup::net
+
+#endif  // EMBLOOKUP_NET_WIRE_H_

@@ -1,12 +1,11 @@
 #include "obs/http_endpoint.h"
 
-#include <cstring>
+#include <utility>
+
+#include "net/http_util.h"
 
 #ifndef _WIN32
-#include <arpa/inet.h>
-#include <netinet/in.h>
 #include <sys/socket.h>
-#include <unistd.h>
 #endif
 
 namespace emblookup::obs {
@@ -17,76 +16,46 @@ Status MetricsHttpServer::Start(int, Renderer) {
   return Status::Unimplemented("MetricsHttpServer: POSIX sockets only");
 }
 void MetricsHttpServer::Stop() {}
-void MetricsHttpServer::ServeLoop(int) {}
+void MetricsHttpServer::ServeLoop() {}
 
 #else
 
 Status MetricsHttpServer::Start(int port, Renderer renderer) {
-  if (listen_fd_.load(std::memory_order_acquire) >= 0) {
+  if (listener_.listening()) {
     return Status::FailedPrecondition("MetricsHttpServer: already started");
   }
   if (renderer == nullptr) {
     return Status::InvalidArgument("MetricsHttpServer: null renderer");
   }
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) return Status::IoError("metrics endpoint: socket() failed");
-  const int one = 1;
-  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_ANY);
-  addr.sin_port = htons(static_cast<uint16_t>(port));
-  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    ::close(fd);
-    return Status::IoError("metrics endpoint: cannot bind port " +
-                           std::to_string(port));
-  }
-  if (::listen(fd, 16) != 0) {
-    ::close(fd);
-    return Status::IoError("metrics endpoint: listen() failed");
-  }
-  socklen_t len = sizeof(addr);
-  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
-  port_ = ntohs(addr.sin_port);
+  EL_RETURN_NOT_OK(listener_.Listen(port, /*backlog=*/16));
   renderer_ = std::move(renderer);
-  listen_fd_.store(fd, std::memory_order_release);
-  thread_ = std::thread([this, fd] { ServeLoop(fd); });
+  thread_ = std::thread([this] { ServeLoop(); });
   return Status::OK();
 }
 
 void MetricsHttpServer::Stop() {
-  const int fd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
+  // Detach + shutdown unblocks the accept() in the listener thread; the fd
+  // itself is closed only after the join so the loop never works on a
+  // number the kernel may have reused.
+  const int fd = listener_.Detach();
   if (fd < 0) return;
-  // Shutdown unblocks the accept() in the listener thread; the fd itself
-  // is closed only after the join so the loop never works on a number the
-  // kernel may have reused.
-  ::shutdown(fd, SHUT_RDWR);
   if (thread_.joinable()) thread_.join();
-  ::close(fd);
+  net::Listener::CloseFd(fd);
 }
 
-void MetricsHttpServer::ServeLoop(int fd) {
+void MetricsHttpServer::ServeLoop() {
   while (true) {
-    const int conn = ::accept(fd, nullptr, nullptr);
-    if (conn < 0) return;  // Listener closed by Stop().
+    Result<int> accepted = listener_.AcceptBlocking();
+    if (!accepted.ok()) return;  // Listener detached by Stop().
+    const int conn = accepted.value();
     // Drain whatever request line arrived; the response is the same for
     // every path, so parsing is unnecessary.
     char buf[1024];
     (void)::recv(conn, buf, sizeof(buf), 0);
-    const std::string body = renderer_();
-    std::string resp =
-        "HTTP/1.1 200 OK\r\n"
-        "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
-        "Content-Length: " + std::to_string(body.size()) + "\r\n"
-        "Connection: close\r\n\r\n" + body;
-    size_t off = 0;
-    while (off < resp.size()) {
-      const ssize_t n = ::send(conn, resp.data() + off, resp.size() - off,
-                               MSG_NOSIGNAL);
-      if (n <= 0) break;
-      off += static_cast<size_t>(n);
-    }
-    ::close(conn);
+    const std::string resp = net::HttpResponseText(
+        200, "OK", "text/plain; version=0.0.4; charset=utf-8", renderer_());
+    (void)net::SendAll(conn, resp.data(), resp.size());
+    net::Listener::CloseFd(conn);
   }
 }
 

@@ -1,12 +1,12 @@
 #ifndef EMBLOOKUP_OBS_HTTP_ENDPOINT_H_
 #define EMBLOOKUP_OBS_HTTP_ENDPOINT_H_
 
-#include <atomic>
 #include <functional>
 #include <string>
 #include <thread>
 
 #include "common/status.h"
+#include "net/socket.h"
 
 namespace emblookup::obs {
 
@@ -16,6 +16,11 @@ namespace emblookup::obs {
 /// and closes the connection. No TLS, no routing, no keep-alive — this is
 /// a scrape target, not a web server; run it on a loopback or otherwise
 /// firewalled port.
+///
+/// Built on net::Listener, which carries the atomic-fd stop discipline
+/// this endpoint originated: Stop() detaches and shuts the fd down to
+/// unblock the accept, joins the thread, and only then closes — the loop
+/// never works on an fd number the kernel may have reused.
 class MetricsHttpServer {
  public:
   /// Renders the response body for one scrape; called on the listener
@@ -36,17 +41,14 @@ class MetricsHttpServer {
   void Stop();
 
   /// The bound port (resolves port-0 requests); -1 before Start.
-  int port() const { return port_; }
-  bool running() const { return listen_fd_.load(std::memory_order_acquire) >= 0; }
+  int port() const { return listener_.port(); }
+  bool running() const { return listener_.listening(); }
 
  private:
-  void ServeLoop(int fd);
+  void ServeLoop();
 
   Renderer renderer_;
-  /// Owned by Start/Stop; the listener thread works on its own copy of
-  /// the fd, so Stop's store never races with the accept loop.
-  std::atomic<int> listen_fd_{-1};
-  int port_ = -1;
+  net::Listener listener_;
   std::thread thread_;
 };
 

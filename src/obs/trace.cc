@@ -41,6 +41,10 @@ const char* StageName(Stage stage) {
     case Stage::kWalAppend: return "wal_append";
     case Stage::kDeltaApply: return "delta_apply";
     case Stage::kCompaction: return "compaction";
+    case Stage::kNetRead: return "net_read";
+    case Stage::kNetParse: return "net_parse";
+    case Stage::kNetDispatch: return "net_dispatch";
+    case Stage::kNetWrite: return "net_write";
   }
   return "unknown";
 }

@@ -33,8 +33,12 @@ enum class Stage : uint8_t {
   kWalAppend,         ///< WAL record append incl. fsync (update).
   kDeltaApply,        ///< Delta copy + mutate + RCU publish (update).
   kCompaction,        ///< Main-index rebuild minus tombstones (update).
+  kNetRead,           ///< Socket drain per readable event (net).
+  kNetParse,          ///< Frame/HTTP decode + dispatch per event (net).
+  kNetDispatch,       ///< Submit -> completion callback per request (net).
+  kNetWrite,          ///< Response flush toward the socket (net).
 };
-inline constexpr int kNumStages = static_cast<int>(Stage::kCompaction) + 1;
+inline constexpr int kNumStages = static_cast<int>(Stage::kNetWrite) + 1;
 
 /// Stable snake_case stage name ("queue_wait", "main_scan", ...) — the
 /// `stage` label value in exporter output and the slow-query log.

@@ -66,6 +66,35 @@ bool LookupServer::InitObs() {
   return true;
 }
 
+Status LookupServer::TryEnqueue(Request* req) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stop_) return Status::Unavailable("server is shut down");
+  if (queue_.size() >= options_.max_queue_depth) {
+    metrics_.OnShed();
+    return Status::Unavailable("admission control: queue depth " +
+                               std::to_string(queue_.size()) + " >= " +
+                               std::to_string(options_.max_queue_depth));
+  }
+  metrics_.OnSubmitted();
+  // Head sampling: the tracing decision is made once, here, so every
+  // span recorded downstream already knows whether anyone is listening.
+  if (sampler_.Sample()) {
+    req->trace = std::make_unique<obs::TraceContext>(
+        next_trace_id_.fetch_add(1, std::memory_order_relaxed));
+    traces_sampled_.fetch_add(1, std::memory_order_relaxed);
+  }
+  queue_.push_back(std::move(*req));
+  return Status::OK();
+}
+
+void LookupServer::Complete(Request* req, Result<LookupResponse> result) {
+  if (req->on_done) {
+    req->on_done(std::move(result));
+  } else {
+    req->promise.set_value(std::move(result));
+  }
+}
+
 std::future<Result<LookupResponse>> LookupServer::Submit(
     std::string query, int64_t k, std::chrono::microseconds timeout) {
   if (k <= 0) return ReadyError(Status::InvalidArgument("k must be > 0"));
@@ -76,30 +105,35 @@ std::future<Result<LookupResponse>> LookupServer::Submit(
   req.deadline = timeout.count() > 0 ? req.enqueue_time + timeout
                                      : SteadyClock::time_point::max();
   std::future<Result<LookupResponse>> future = req.promise.get_future();
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (stop_) {
-      return ReadyError(Status::Unavailable("server is shut down"));
-    }
-    if (queue_.size() >= options_.max_queue_depth) {
-      metrics_.OnShed();
-      return ReadyError(
-          Status::Unavailable("admission control: queue depth " +
-                              std::to_string(queue_.size()) + " >= " +
-                              std::to_string(options_.max_queue_depth)));
-    }
-    metrics_.OnSubmitted();
-    // Head sampling: the tracing decision is made once, here, so every
-    // span recorded downstream already knows whether anyone is listening.
-    if (sampler_.Sample()) {
-      req.trace = std::make_unique<obs::TraceContext>(
-          next_trace_id_.fetch_add(1, std::memory_order_relaxed));
-      traces_sampled_.fetch_add(1, std::memory_order_relaxed);
-    }
-    queue_.push_back(std::move(req));
-  }
+  const Status admitted = TryEnqueue(&req);
+  if (!admitted.ok()) return ReadyError(admitted);
   work_available_.notify_one();
   return future;
+}
+
+void LookupServer::SubmitAsync(std::string query, int64_t k,
+                               std::chrono::microseconds timeout,
+                               LookupCallback done) {
+  if (done == nullptr) return;
+  if (k <= 0) {
+    done(Status::InvalidArgument("k must be > 0"));
+    return;
+  }
+  Request req;
+  req.query = std::move(query);
+  req.k = k;
+  req.enqueue_time = SteadyClock::now();
+  req.deadline = timeout.count() > 0 ? req.enqueue_time + timeout
+                                     : SteadyClock::time_point::max();
+  req.on_done = std::move(done);
+  const Status admitted = TryEnqueue(&req);
+  if (!admitted.ok()) {
+    // TryEnqueue moves from req only on success, so the callback is still
+    // here for the immediate-failure delivery.
+    req.on_done(admitted);
+    return;
+  }
+  work_available_.notify_one();
 }
 
 Result<LookupResponse> LookupServer::LookupSync(
@@ -273,9 +307,9 @@ void LookupServer::ExecuteBatch(std::vector<Request>* batch) {
       // Expired requests are slow by definition — their traces still
       // reach the ring and the slow-query log.
       FinishRequestTrace(&req, root, /*from_cache=*/false);
-      req.promise.set_value(Status::DeadlineExceeded(
-          "request expired after " + std::to_string(wait_us) +
-          "us in queue"));
+      Complete(&req, Status::DeadlineExceeded(
+                         "request expired after " + std::to_string(wait_us) +
+                         "us in queue"));
       continue;
     }
     if (options_.enable_cache) {
@@ -294,7 +328,7 @@ void LookupServer::ExecuteBatch(std::vector<Request>* batch) {
         metrics_.ObserveLatencyMicros(
             ToMicros(SteadyClock::now() - req.enqueue_time));
         metrics_.OnCompleted();
-        req.promise.set_value(std::move(resp));
+        Complete(&req, std::move(resp));
         continue;
       }
       metrics_.OnCacheMiss();
@@ -349,7 +383,7 @@ void LookupServer::ExecuteBatch(std::vector<Request>* batch) {
     metrics_.ObserveLatencyMicros(
         ToMicros(SteadyClock::now() - req->enqueue_time));
     metrics_.OnCompleted();
-    req->promise.set_value(std::move(resp));
+    Complete(req, std::move(resp));
   }
 }
 
@@ -386,8 +420,7 @@ LookupServer::ObsStats LookupServer::GetObsStats() const {
 
 void LookupServer::FailBatch(std::vector<Request>* batch) {
   for (Request& req : *batch) {
-    req.promise.set_value(
-        Status::Unavailable("server shut down with request queued"));
+    Complete(&req, Status::Unavailable("server shut down with request queued"));
   }
 }
 

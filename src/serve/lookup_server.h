@@ -4,6 +4,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -97,6 +98,18 @@ class LookupServer {
       std::string query, int64_t k,
       std::chrono::microseconds timeout = std::chrono::microseconds::zero());
 
+  /// Completion callback for SubmitAsync. Invoked exactly once — on the
+  /// dispatcher thread for queued requests, or inline on the submitting
+  /// thread for immediate failures (invalid k, admission shed, shutdown).
+  /// Must not block: it runs on the batch-execution path.
+  using LookupCallback = std::function<void(Result<LookupResponse>)>;
+
+  /// Callback flavor of Submit for async callers (the src/net front end):
+  /// identical admission control, micro-batching, caching, and deadline
+  /// semantics, with the result delivered to `done` instead of a future.
+  void SubmitAsync(std::string query, int64_t k,
+                   std::chrono::microseconds timeout, LookupCallback done);
+
   /// Builds a fresh index snapshot for `config` (off the serving path) and
   /// installs it atomically; in-flight batches finish on the old snapshot.
   /// The query cache is cleared — its entries describe the old index.
@@ -164,10 +177,19 @@ class LookupServer {
     std::chrono::steady_clock::time_point enqueue_time;
     std::chrono::steady_clock::time_point deadline;
     std::promise<Result<LookupResponse>> promise;
+    /// Set for SubmitAsync requests; the promise is then never touched.
+    LookupCallback on_done;
     /// Present iff this request was head-sampled at Submit (or the slow-
     /// query log forces tracing). Spans recorded during execution land here.
     std::unique_ptr<obs::TraceContext> trace;
   };
+
+  /// Admission control + sampling + enqueue, shared by Submit/SubmitAsync.
+  /// Moves from *req only on success; the caller then notifies the
+  /// dispatcher.
+  Status TryEnqueue(Request* req);
+  /// Delivers `result` through the request's callback or promise.
+  static void Complete(Request* req, Result<LookupResponse> result);
 
   void DispatcherLoop();
   /// Expires/serves-from-cache/executes one drained batch (queue unlocked).

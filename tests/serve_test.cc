@@ -463,5 +463,80 @@ TEST(LookupServerEndToEndTest, SwapWithoutEmbLookupIsRejected) {
   EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
 }
 
+// --- SubmitAsync (callback flavor used by the src/net front end) -------------
+
+TEST(LookupServerTest, SubmitAsyncDeliversSameResultAsSync) {
+  FakeService backend;
+  LookupServer server(&backend);
+  std::promise<Result<LookupResponse>> delivered;
+  server.SubmitAsync("async-query", 5, microseconds::zero(),
+                     [&delivered](Result<LookupResponse> result) {
+                       delivered.set_value(std::move(result));
+                     });
+  auto async_result = delivered.get_future().get();
+  ASSERT_TRUE(async_result.ok()) << async_result.status().ToString();
+  auto sync_result = server.LookupSync("async-query", 5);
+  ASSERT_TRUE(sync_result.ok());
+  EXPECT_EQ(async_result.value().ids, sync_result.value().ids);
+  EXPECT_EQ(async_result.value().ids, backend.Lookup("async-query", 5));
+}
+
+TEST(LookupServerTest, SubmitAsyncInvalidKFailsInline) {
+  FakeService backend;
+  LookupServer server(&backend);
+  bool called = false;
+  server.SubmitAsync("q", 0, microseconds::zero(),
+                     [&called](Result<LookupResponse> result) {
+                       called = true;
+                       EXPECT_EQ(result.status().code(),
+                                 StatusCode::kInvalidArgument);
+                     });
+  // Immediate failures run the callback inline on the submitting thread.
+  EXPECT_TRUE(called);
+}
+
+TEST(LookupServerTest, SubmitAsyncShedsWhenQueueFull) {
+  Gate gate;
+  FakeService backend;
+  backend.set_gate(&gate);
+  ServerOptions options;
+  options.max_batch = 1;
+  options.max_delay = microseconds(100);
+  options.max_queue_depth = 1;
+  options.enable_cache = false;
+  LookupServer server(&backend, options);
+
+  auto blocked = server.Submit("block", 3);
+  while (backend.batches_started() == 0) {
+    std::this_thread::sleep_for(milliseconds(1));
+  }
+  auto queued = server.Submit("queued", 3);
+  bool shed_inline = false;
+  server.SubmitAsync("shed", 3, microseconds::zero(),
+                     [&shed_inline](Result<LookupResponse> result) {
+                       shed_inline = true;
+                       EXPECT_EQ(result.status().code(),
+                                 StatusCode::kUnavailable);
+                     });
+  EXPECT_TRUE(shed_inline);
+  gate.Open();
+  EXPECT_TRUE(blocked.get().ok());
+  EXPECT_TRUE(queued.get().ok());
+}
+
+TEST(LookupServerTest, SubmitAsyncAfterShutdownFailsUnavailable) {
+  FakeService backend;
+  LookupServer server(&backend);
+  server.Shutdown();
+  bool called = false;
+  server.SubmitAsync("late", 3, microseconds::zero(),
+                     [&called](Result<LookupResponse> result) {
+                       called = true;
+                       EXPECT_EQ(result.status().code(),
+                                 StatusCode::kUnavailable);
+                     });
+  EXPECT_TRUE(called);
+}
+
 }  // namespace
 }  // namespace emblookup::serve

@@ -16,7 +16,12 @@
 #   5. snapshot round trip through the CLI — build-snapshot ->
 #      snapshot-info -> serve --snapshot on a tiny synthetic KG, proving
 #      the on-disk container end to end (DESIGN.md §7);
-#   6. observability gate — metrics-dump on a tiny KG must emit every
+#   6. loopback remote serving end to end — serve --port on an ephemeral
+#      port, remote-bench against it over the binary wire protocol
+#      (DESIGN.md §10): --verify-local 1 asserts remote results are
+#      bit-identical to in-process Submit, an open-loop run exercises the
+#      fixed-rate injector, and SIGINT must drain and exit 0;
+#   7. observability gate — metrics-dump on a tiny KG must emit every
 #      metric family OBSERVABILITY.md documents, and every family it
 #      emits must be documented (the two greps keep docs and exporter in
 #      lockstep), plus tools/check_docs.sh (CLI subcommands vs README).
@@ -34,25 +39,31 @@ cmake --build build-ci -j "$JOBS"
 echo "== tier-1b: scalar-kernel fallback ctest =="
 (cd build-ci && EMBLOOKUP_KERNELS=scalar ctest --output-on-failure -j "$JOBS")
 
-echo "== asan: common_test + serve_test + kernels_test + store_test + update_test =="
+echo "== asan: common_test + serve_test + kernels_test + store_test + update_test + net_test =="
 cmake -B build-asan -S . -DEMBLOOKUP_NATIVE_ARCH=OFF \
   -DEMBLOOKUP_SANITIZE=address
 cmake --build build-asan -j "$JOBS" --target common_test serve_test \
-  kernels_test store_test update_test obs_test
+  kernels_test store_test update_test obs_test net_test
 ./build-asan/tests/common_test
 ./build-asan/tests/serve_test
 ./build-asan/tests/kernels_test
 ./build-asan/tests/store_test
 ./build-asan/tests/update_test
 ./build-asan/tests/obs_test
+# Wire-decoder fuzz sweeps + malformed-input socket tests under ASan: the
+# protocol must reject corrupt frames with Status, never with UB.
+./build-asan/tests/net_test
 
-echo "== tsan: serve_test + update concurrency stress + obs span recording =="
+echo "== tsan: serve_test + update concurrency stress + obs spans + net front end =="
 cmake -B build-tsan -S . -DEMBLOOKUP_NATIVE_ARCH=OFF \
   -DEMBLOOKUP_SANITIZE=thread
-cmake --build build-tsan -j "$JOBS" --target serve_test update_test obs_test
+cmake --build build-tsan -j "$JOBS" --target serve_test update_test obs_test \
+  net_test
 ./build-tsan/tests/serve_test
 ./build-tsan/tests/update_test --gtest_filter='ConcurrencyTest.*'
 ./build-tsan/tests/obs_test
+# Event loops, completion inbox handoff, and Stop drain under TSan.
+./build-tsan/tests/net_test
 
 echo "== snapshot round trip: build-snapshot -> snapshot-info -> serve =="
 SNAPDIR="$(mktemp -d)"
@@ -66,6 +77,36 @@ CLI=build-ci/tools/emblookup_cli
 "$CLI" snapshot-info "$SNAPDIR/snap.bin"
 "$CLI" serve --kg "$SNAPDIR/kg.tsv" --snapshot "$SNAPDIR/snap.bin" \
   --clients 2 --requests 100 --epochs 2 --triplets 4
+
+echo "== e2e loopback: serve --port -> remote-bench over the wire protocol =="
+"$CLI" serve --kg "$SNAPDIR/kg.tsv" --model "$SNAPDIR/model.bin" \
+  --epochs 2 --triplets 4 --port 0 > "$SNAPDIR/serve.log" 2>&1 &
+SERVE_PID=$!
+PORT=""
+for _ in $(seq 1 100); do
+  PORT="$(sed -n 's/^listening on port \([0-9]*\).*/\1/p' "$SNAPDIR/serve.log")"
+  [[ -n "$PORT" ]] && break
+  sleep 0.1
+done
+if [[ -z "$PORT" ]]; then
+  echo "FAIL: serve --port 0 never reported its port"
+  cat "$SNAPDIR/serve.log"
+  kill "$SERVE_PID" 2>/dev/null || true
+  exit 1
+fi
+# Closed loop with --verify-local 1: every sampled remote result must be
+# bit-identical to an in-process Submit against the same --kg/--model.
+"$CLI" remote-bench --kg "$SNAPDIR/kg.tsv" --model "$SNAPDIR/model.bin" \
+  --host 127.0.0.1 --port "$PORT" --mode closed --requests 200 \
+  --verify-local 1 --epochs 2 --triplets 4
+# Open loop: fixed-rate injection with latency measured from the
+# scheduled send time (coordinated-omission accounting).
+"$CLI" remote-bench --kg "$SNAPDIR/kg.tsv" --host 127.0.0.1 --port "$PORT" \
+  --mode open --rate 500 --requests 500 --conns 2 --verify-local 0
+# SIGINT must drain in-flight requests and exit 0.
+kill -INT "$SERVE_PID"
+wait "$SERVE_PID"
+echo "loopback serve drained cleanly"
 
 echo "== observability: metrics-dump families vs OBSERVABILITY.md =="
 # --wal attaches an updater so the update_* gauge families are emitted too

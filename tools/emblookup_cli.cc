@@ -7,12 +7,17 @@
 //                             --query "Germeny" [-k 10]
 //   emblookup_cli repl        --kg kg.tsv --model model.bin
 //   emblookup_cli serve       --kg kg.tsv --model model.bin
-//                             [--snapshot snap.bin]
+//                             [--snapshot snap.bin] [--port P] [--loops N]
 //                             [--clients 4] [--requests 2000] [--k 10]
 //                             [--batch 32] [--delay-us 1000] [--cache 1]
 //                             [--depth 4096] [--swaps 0]
 //                             [--metrics-port P] [--trace-sample R]
 //                             [--slow-us T] [--slow-log F]
+//   emblookup_cli remote-bench --kg kg.tsv --host H --port P
+//                             [--mode closed|open] [--requests N] [--k K]
+//                             [--clients C] [--rate QPS] [--conns C]
+//                             [--dist poisson|uniform] [--deadline-us D]
+//                             [--verify-local 0|1 --model model.bin]
 //   emblookup_cli metrics-dump --kg kg.tsv --model model.bin
 //                             [--wal wal.log] [--requests 200] [--k 10]
 //   emblookup_cli build-snapshot --kg kg.tsv --model model.bin
@@ -55,20 +60,46 @@
 // picks a free port); `--trace-sample R` head-samples request traces at
 // rate R, and `--slow-us T [--slow-log F]` emits a JSON span tree for
 // every request slower than T microseconds.
+//
+// Remote serving (DESIGN.md §10): `serve --port P` starts the epoll socket
+// front end (binary wire protocol + HTTP JSON fallback on one port; port 0
+// picks a free port, printed as "listening on port N") instead of the
+// self-driven load, then blocks until SIGINT/SIGTERM — the signal drains
+// in-flight requests before exit. `remote-bench` drives a running server
+// over the wire: closed-loop (each client waits for its reply) or
+// open-loop (fixed-rate Poisson/uniform injection; latency is measured
+// from the scheduled injection time so coordinated omission is accounted,
+// and late injections are reported). `--verify-local 1` first checks that
+// remote results are bit-identical to an in-process LookupServer built
+// from the same --kg/--model.
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
+
+#ifndef _WIN32
+#include <sys/socket.h>
+#endif
 
 #include "common/rng.h"
 #include "common/timing.h"
 #include "core/emblookup.h"
 #include "kg/synthetic_kg.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "net/socket.h"
 #include "obs/http_endpoint.h"
 #include "serve/exporter.h"
 #include "serve/lookup_server.h"
@@ -122,10 +153,14 @@ int Usage() {
       " [--k K]\n"
       "  emblookup_cli repl   --kg kg.tsv --model model.bin\n"
       "  emblookup_cli serve  --kg kg.tsv --model model.bin"
-      " [--snapshot F] [--wal W] [--clients C]"
+      " [--snapshot F] [--wal W] [--port P] [--loops N] [--clients C]"
       " [--requests N] [--k K] [--batch B] [--delay-us D] [--cache 0|1]"
       " [--depth Q] [--swaps S] [--metrics-port P] [--trace-sample R]"
       " [--slow-us T] [--slow-log F]\n"
+      "  emblookup_cli remote-bench --kg kg.tsv --host H --port P"
+      " [--mode closed|open] [--requests N] [--k K] [--clients C]"
+      " [--rate QPS] [--conns C] [--dist poisson|uniform]"
+      " [--deadline-us D] [--verify-local 0|1 --model model.bin]\n"
       "  emblookup_cli metrics-dump --kg kg.tsv --model model.bin"
       " [--wal W] [--requests N] [--k K]\n"
       "  emblookup_cli build-snapshot --kg kg.tsv --model model.bin"
@@ -248,6 +283,323 @@ uint64_t RunLoad(serve::LookupServer* server, const kg::KnowledgeGraph& graph,
   return failures.load();
 }
 
+/// Deterministic Zipfian query stream — the same popularity model RunLoad
+/// uses, pre-materialized so remote-bench clients and the verify-local
+/// pass see identical queries.
+std::vector<std::string> BuildQueries(const kg::KnowledgeGraph& graph,
+                                      int64_t n, uint64_t seed) {
+  Rng rng(seed);
+  const uint64_t num_entities = static_cast<uint64_t>(graph.num_entities());
+  std::vector<std::string> queries;
+  queries.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    const kg::Entity& entity =
+        graph.entity(static_cast<kg::EntityId>(rng.Zipf(num_entities, 1.1)));
+    queries.push_back(!entity.aliases.empty() && rng.Bernoulli(0.3)
+                          ? rng.Choice(entity.aliases)
+                          : entity.label);
+  }
+  return queries;
+}
+
+double Percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double pos = p * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+void PrintLatencySummary(const char* label, std::vector<double>* lat_us) {
+  std::sort(lat_us->begin(), lat_us->end());
+  std::printf("%s: p50 %.0fus  p90 %.0fus  p99 %.0fus  max %.0fus "
+              "(%zu samples)\n",
+              label, Percentile(*lat_us, 0.5), Percentile(*lat_us, 0.9),
+              Percentile(*lat_us, 0.99),
+              lat_us->empty() ? 0.0 : lat_us->back(), lat_us->size());
+}
+
+volatile std::sig_atomic_t g_shutdown_signal = 0;
+void OnShutdownSignal(int) { g_shutdown_signal = 1; }
+
+/// remote-bench: drives a `serve --port` instance over the wire.
+/// Closed-loop mode: `clients` connections, each waiting for its reply
+/// before the next send. Open-loop mode: `conns` connections inject at a
+/// fixed aggregate `rate` (Poisson or uniform gaps) regardless of reply
+/// progress — a sender and a reader thread per connection, pipelined ids —
+/// and latency is measured from the *scheduled* injection time, so server
+/// slowdowns surface as latency instead of silently slowing the generator
+/// (coordinated omission). Injections that fall >1ms behind schedule are
+/// reported as late.
+int RunRemoteBench(const std::map<std::string, std::string>& flags,
+                   const kg::KnowledgeGraph& graph,
+                   const core::EmbLookupOptions& options,
+                   const std::string& model_path) {
+  const std::string host = FlagStr(flags, "host", "127.0.0.1");
+  const int port = static_cast<int>(FlagInt(flags, "port", -1));
+  if (port < 0) {
+    std::fprintf(stderr, "remote-bench: --port is required\n");
+    return 2;
+  }
+  const std::string mode = FlagStr(flags, "mode", "closed");
+  const int64_t requests = FlagInt(flags, "requests", 2000);
+  const int64_t k = FlagInt(flags, "k", 10);
+  const uint64_t deadline_us =
+      static_cast<uint64_t>(FlagInt(flags, "deadline-us", 0));
+  const std::vector<std::string> queries = BuildQueries(
+      graph, requests, static_cast<uint64_t>(FlagInt(flags, "seed", 0x5e57e)));
+
+  if (FlagInt(flags, "verify-local", 0) != 0) {
+    // Answer a sample both remotely and through an in-process LookupServer
+    // built from the same KG + model; the index build is deterministic, so
+    // the id lists must match bit for bit.
+    if (model_path.empty()) {
+      std::fprintf(stderr, "remote-bench: --verify-local needs --model\n");
+      return 2;
+    }
+    auto restored = core::EmbLookup::LoadFromKg(graph, options, model_path);
+    if (!restored.ok()) {
+      std::fprintf(stderr, "cannot load model: %s\n",
+                   restored.status().ToString().c_str());
+      return 1;
+    }
+    serve::LookupServer local(restored.value().get());
+    net::RemoteClient client;
+    const Status connected = client.Connect(host, port);
+    if (!connected.ok()) {
+      std::fprintf(stderr, "cannot connect: %s\n",
+                   connected.ToString().c_str());
+      return 1;
+    }
+    const int64_t sample = std::min<int64_t>(requests, 256);
+    int64_t mismatches = 0;
+    for (int64_t i = 0; i < sample; ++i) {
+      auto remote = client.Lookup(queries[i], k);
+      auto local_result = local.LookupSync(queries[i], k);
+      const bool identical = remote.ok() && local_result.ok() &&
+                             remote.value().ids == local_result.value().ids;
+      if (!identical && ++mismatches == 1) {
+        std::fprintf(
+            stderr, "verify-local mismatch on '%s': remote %s, local %s\n",
+            queries[i].c_str(),
+            remote.ok() ? "ok" : remote.status().ToString().c_str(),
+            local_result.ok() ? "ok"
+                              : local_result.status().ToString().c_str());
+      }
+    }
+    std::printf("verify-local: %lld/%lld remote results bit-identical to "
+                "in-process Submit\n",
+                static_cast<long long>(sample - mismatches),
+                static_cast<long long>(sample));
+    if (mismatches > 0) return 1;
+  }
+
+  if (mode == "closed") {
+    const int clients = static_cast<int>(FlagInt(flags, "clients", 4));
+    std::vector<std::vector<double>> lat(clients);
+    std::atomic<uint64_t> errors{0};
+    std::atomic<bool> connect_failed{false};
+    Stopwatch wall;
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        net::RemoteClient client;
+        if (!client.Connect(host, port).ok()) {
+          connect_failed.store(true);
+          return;
+        }
+        for (int64_t i = c; i < requests; i += clients) {
+          const auto start = std::chrono::steady_clock::now();
+          auto result = client.Lookup(queries[i], k, deadline_us);
+          const double us = std::chrono::duration<double, std::micro>(
+                                std::chrono::steady_clock::now() - start)
+                                .count();
+          if (result.ok()) {
+            lat[c].push_back(us);
+          } else {
+            errors.fetch_add(1);
+          }
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    if (connect_failed.load()) {
+      std::fprintf(stderr, "cannot connect to %s:%d\n", host.c_str(), port);
+      return 1;
+    }
+    const double seconds = wall.ElapsedSeconds();
+    std::vector<double> all;
+    for (auto& v : lat) all.insert(all.end(), v.begin(), v.end());
+    std::printf("closed-loop: %d clients, %lld requests in %.2fs -> %.0f qps, "
+                "%llu errors\n",
+                clients, static_cast<long long>(requests), seconds,
+                static_cast<double>(requests) / seconds,
+                static_cast<unsigned long long>(errors.load()));
+    PrintLatencySummary("latency", &all);
+    return all.empty() ? 1 : 0;
+  }
+
+  if (mode != "open") return Usage();
+
+  const double rate = FlagDouble(flags, "rate", 2000.0);
+  const int conns = static_cast<int>(FlagInt(flags, "conns", 4));
+  const bool poisson = FlagStr(flags, "dist", "poisson") != "uniform";
+  if (rate <= 0.0 || conns <= 0) return Usage();
+  const double conn_rate = rate / conns;
+
+  struct ConnState {
+    net::RemoteClient client;
+    std::mutex mu;
+    /// request id -> scheduled injection time, removed by the reader.
+    std::unordered_map<uint64_t, std::chrono::steady_clock::time_point>
+        pending;
+    std::atomic<int64_t> sent{0};
+    std::atomic<bool> sender_done{false};
+    // Sender-only:
+    int64_t late = 0;
+    int64_t send_failures = 0;
+    double max_lag_us = 0.0;
+    // Reader-only:
+    int64_t received = 0;
+    int64_t ok = 0;
+    int64_t shed = 0;              ///< Unavailable error replies.
+    int64_t deadline_exceeded = 0;
+    int64_t other_errors = 0;
+    std::vector<double> lat;
+  };
+  std::vector<std::unique_ptr<ConnState>> states;
+  for (int c = 0; c < conns; ++c) {
+    auto state = std::make_unique<ConnState>();
+    const Status connected = state->client.Connect(host, port);
+    if (!connected.ok()) {
+      std::fprintf(stderr, "cannot connect: %s\n",
+                   connected.ToString().c_str());
+      return 1;
+    }
+    states.push_back(std::move(state));
+  }
+
+  Stopwatch wall;
+  std::vector<std::thread> threads;
+  threads.reserve(2 * conns);
+  for (int c = 0; c < conns; ++c) {
+    ConnState* state = states[c].get();
+    const int64_t my_count =
+        requests / conns + (c < requests % conns ? 1 : 0);
+    // Sender: fixed-rate injection, never waiting for replies.
+    threads.emplace_back([&, state, c, my_count] {
+      Rng rng(0xbe9c4u + static_cast<uint64_t>(c));
+      auto next = std::chrono::steady_clock::now();
+      for (int64_t j = 0; j < my_count; ++j) {
+        const double gap_seconds =
+            poisson ? -std::log(1.0 - rng.UniformDouble()) / conn_rate
+                    : 1.0 / conn_rate;
+        next += std::chrono::duration_cast<
+            std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(gap_seconds));
+        std::this_thread::sleep_until(next);
+        const double lag_us =
+            std::chrono::duration<double, std::micro>(
+                std::chrono::steady_clock::now() - next)
+                .count();
+        if (lag_us > 1000.0) ++state->late;
+        if (lag_us > state->max_lag_us) state->max_lag_us = lag_us;
+        const uint64_t request_id = static_cast<uint64_t>(j) + 1;
+        {
+          std::lock_guard<std::mutex> lock(state->mu);
+          state->pending.emplace(request_id, next);
+        }
+        const Status sent = state->client.SendLookup(
+            request_id, queries[c + j * conns], k, deadline_us);
+        if (!sent.ok()) {
+          ++state->send_failures;
+          std::lock_guard<std::mutex> lock(state->mu);
+          state->pending.erase(request_id);
+          break;
+        }
+        state->sent.fetch_add(1, std::memory_order_release);
+      }
+      state->sender_done.store(true, std::memory_order_release);
+    });
+    // Reader: matches pipelined replies by id, latency from schedule.
+    threads.emplace_back([state] {
+      for (;;) {
+        if (state->sender_done.load(std::memory_order_acquire) &&
+            state->received >= state->sent.load(std::memory_order_acquire)) {
+          break;
+        }
+        auto reply = state->client.ReadReply();
+        if (!reply.ok()) break;  // Disconnect; the rest count as lost.
+        const auto now = std::chrono::steady_clock::now();
+        net::Frame frame = std::move(reply).value();
+        std::chrono::steady_clock::time_point scheduled;
+        {
+          std::lock_guard<std::mutex> lock(state->mu);
+          auto it = state->pending.find(frame.request_id);
+          if (it == state->pending.end()) continue;
+          scheduled = it->second;
+          state->pending.erase(it);
+        }
+        ++state->received;
+        const double us =
+            std::chrono::duration<double, std::micro>(now - scheduled)
+                .count();
+        if (frame.type == net::FrameType::kLookupResponse) {
+          ++state->ok;
+          state->lat.push_back(us);
+        } else if (frame.type == net::FrameType::kError &&
+                   frame.error_code == StatusCode::kUnavailable) {
+          ++state->shed;
+        } else if (frame.type == net::FrameType::kError &&
+                   frame.error_code == StatusCode::kDeadlineExceeded) {
+          ++state->deadline_exceeded;
+        } else {
+          ++state->other_errors;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double seconds = wall.ElapsedSeconds();
+
+  int64_t sent = 0, ok = 0, shed = 0, deadline_hits = 0, other = 0;
+  int64_t late = 0, send_failures = 0, received = 0;
+  double max_lag_us = 0.0;
+  std::vector<double> all;
+  for (const auto& state : states) {
+    sent += state->sent.load();
+    ok += state->ok;
+    shed += state->shed;
+    deadline_hits += state->deadline_exceeded;
+    other += state->other_errors;
+    late += state->late;
+    send_failures += state->send_failures;
+    received += state->received;
+    max_lag_us = std::max(max_lag_us, state->max_lag_us);
+    all.insert(all.end(), state->lat.begin(), state->lat.end());
+  }
+  std::printf("open-loop (%s): target %.0f qps over %d conns, achieved "
+              "%.0f qps (%lld replies in %.2fs)\n",
+              poisson ? "poisson" : "uniform", rate, conns,
+              static_cast<double>(received) / seconds,
+              static_cast<long long>(received), seconds);
+  std::printf("sent %lld  ok %lld  shed(unavailable) %lld  "
+              "deadline-exceeded %lld  other-errors %lld  "
+              "send-failures %lld\n",
+              static_cast<long long>(sent), static_cast<long long>(ok),
+              static_cast<long long>(shed),
+              static_cast<long long>(deadline_hits),
+              static_cast<long long>(other),
+              static_cast<long long>(send_failures));
+  std::printf("late injections (>1ms behind schedule): %lld, "
+              "max lag %.1fms\n",
+              static_cast<long long>(late), max_lag_us / 1000.0);
+  PrintLatencySummary("latency from scheduled injection", &all);
+  return received > 0 ? 0 : 1;
+}
+
 /// "a,b,c" -> {"a", "b", "c"} (empty pieces dropped).
 std::vector<std::string> SplitAliases(const std::string& csv) {
   std::vector<std::string> out;
@@ -317,7 +669,11 @@ int main(int argc, char** argv) {
   const std::string snapshot_path = FlagStr(flags, "snapshot");
   const bool serve_from_snapshot =
       command == "serve" && !snapshot_path.empty();
-  if (kg_path.empty() || (model_path.empty() && !serve_from_snapshot)) {
+  // remote-bench only needs the model for the --verify-local pass.
+  const bool bench_without_model =
+      command == "remote-bench" && FlagInt(flags, "verify-local", 0) == 0;
+  if (kg_path.empty() ||
+      (model_path.empty() && !serve_from_snapshot && !bench_without_model)) {
     return Usage();
   }
   auto loaded = kg::KnowledgeGraph::LoadTsv(kg_path);
@@ -328,6 +684,10 @@ int main(int argc, char** argv) {
   }
   kg::KnowledgeGraph graph = std::move(loaded).value();
   const core::EmbLookupOptions options = MakeOptions(flags);
+
+  if (command == "remote-bench") {
+    return RunRemoteBench(flags, graph, options, model_path);
+  }
 
   if (command == "train") {
     auto built = core::EmbLookup::TrainFromKg(graph, options);
@@ -463,6 +823,52 @@ int main(int argc, char** argv) {
                       ? "stderr"
                       : server_options.obs.slow_log_path.c_str());
     }
+
+    // Remote-serving mode: expose the server over the socket front end and
+    // block until SIGINT/SIGTERM, then drain in-flight requests.
+    const int64_t net_port = FlagInt(flags, "port", -1);
+    if (net_port >= 0) {
+      net::NetServer front;
+      net::NetServerOptions net_options;
+      net_options.event_loops = static_cast<int>(FlagInt(flags, "loops", 2));
+      const Status started =
+          front.Start(&server, static_cast<int>(net_port), net_options);
+      if (!started.ok()) {
+        std::fprintf(stderr, "socket front end failed: %s\n",
+                     started.ToString().c_str());
+        return 1;
+      }
+      std::printf("listening on port %d "
+                  "(binary wire protocol + HTTP JSON fallback; "
+                  "%d event loops)\n",
+                  front.port(), net_options.event_loops);
+      // Launchers (ci.sh) read this line to find the port; don't leave it
+      // in the stdio block buffer while we sleep.
+      std::fflush(stdout);
+      std::signal(SIGINT, OnShutdownSignal);
+      std::signal(SIGTERM, OnShutdownSignal);
+      while (g_shutdown_signal == 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      }
+      std::printf("signal received; draining in-flight requests\n");
+      front.Stop();  // Stops accepting, drains, flushes, joins.
+      const net::NetStatsSnapshot net_stats = front.Stats();
+      std::printf(
+          "connections %llu accepted / %llu closed; frames %llu in / "
+          "%llu out; http %llu; protocol errors %llu; shed %llu; "
+          "read pauses %llu\n",
+          static_cast<unsigned long long>(net_stats.connections_accepted),
+          static_cast<unsigned long long>(net_stats.connections_closed),
+          static_cast<unsigned long long>(net_stats.frames_received),
+          static_cast<unsigned long long>(net_stats.frames_sent),
+          static_cast<unsigned long long>(net_stats.http_requests),
+          static_cast<unsigned long long>(net_stats.protocol_errors),
+          static_cast<unsigned long long>(net_stats.overload_rejections),
+          static_cast<unsigned long long>(net_stats.read_pauses));
+      std::printf("%s", server.StatsText().c_str());
+      return 0;
+    }
+
     std::printf("serving %lld requests from %d closed-loop clients "
                 "(batch<=%lld, delay %lldus, cache %s)\n",
                 static_cast<long long>(requests), clients,
@@ -547,7 +953,52 @@ int main(int argc, char** argv) {
         return 1;
       }
     }
+    // Bring up the socket front end on an ephemeral port and drive real
+    // remote traffic so the emblookup_net_* families reflect live
+    // counters: binary lookups (one carrying a deadline), a ping, an HTTP
+    // fallback request, and one garbage preamble for the protocol-error
+    // path. Skipped (families still printed, zeroed) where epoll is
+    // unavailable.
+    net::NetServer front;
+    if (front.Start(&server, 0).ok()) {
+      net::RemoteClient client;
+      if (client.Connect("127.0.0.1", front.port()).ok()) {
+        const int64_t probes =
+            std::min<int64_t>(8, graph.num_entities());
+        for (int64_t i = 0; i < probes; ++i) {
+          auto result =
+              client.Lookup(graph.entity(static_cast<kg::EntityId>(i)).label,
+                            5, i == 0 ? 1000000 : 0);
+          (void)result;
+        }
+        (void)client.Ping();
+      }
+#ifndef _WIN32
+      auto http_fd = net::ConnectTcp("127.0.0.1", front.port());
+      if (http_fd.ok()) {
+        const std::string http_request =
+            "GET /lookup?q=probe&k=3 HTTP/1.1\r\nHost: localhost\r\n\r\n";
+        (void)net::SendAll(http_fd.value(), http_request.data(),
+                           http_request.size());
+        char buf[4096];
+        while (::recv(http_fd.value(), buf, sizeof(buf), 0) > 0) {
+        }
+        net::Listener::CloseFd(http_fd.value());
+      }
+      auto bad_fd = net::ConnectTcp("127.0.0.1", front.port());
+      if (bad_fd.ok()) {
+        const char garbage[] = "XXXXXXXX";
+        (void)net::SendAll(bad_fd.value(), garbage, sizeof(garbage) - 1);
+        char buf[256];
+        while (::recv(bad_fd.value(), buf, sizeof(buf), 0) > 0) {
+        }
+        net::Listener::CloseFd(bad_fd.value());
+      }
+#endif
+      front.Stop();
+    }
     std::fputs(serve::PrometheusText(server, updater.get()).c_str(), stdout);
+    std::fputs(net::PrometheusNetText(front.Stats()).c_str(), stdout);
     return failures == 0 ? 0 : 1;
   }
 
