@@ -1,13 +1,15 @@
 // Micro-benchmarks (google-benchmark) for the performance-critical kernels:
-// mention encoding, PQ ADC search, flat search, Levenshtein variants, BM25
-// retrieval and one-hot encoding. Not tied to a paper table; used to track
-// regressions in the substrate.
+// mention encoding, the Vectorized<T> kernel layer swept per ISA tier
+// (scalar/avx2/neon/avx512), PQ ADC search, flat/SQ8 search, Levenshtein
+// variants, BM25 retrieval and one-hot encoding. Not tied to a paper table;
+// used to track regressions in the substrate.
 
 #include <benchmark/benchmark.h>
 
 #include "ann/flat_index.h"
 #include "ann/kernels.h"
 #include "ann/pq_index.h"
+#include "ann/sq8_index.h"
 #include "bench/bench_common.h"
 #include "common/rng.h"
 #include "core/encoder.h"
@@ -53,10 +55,29 @@ void BM_EncoderForward(benchmark::State& state) {
 }
 BENCHMARK(BM_EncoderForward)->Arg(1)->Arg(32)->Arg(128);
 
-// --- kernel layer: scalar baseline vs runtime-dispatched SIMD ---------------
+// --- kernel layer: per-ISA sweep + runtime-dispatched tier ------------------
 
-void RunL2Batch(benchmark::State& state, const ann::kernels::KernelTable& kt) {
-  const int64_t dim = state.range(0);
+// Benchmark arg 0..3 -> kernel tier; unavailable tiers (wrong CPU or not
+// compiled in) run an empty loop labelled "unavailable" instead of failing,
+// so one bench binary sweeps every host.
+const ann::kernels::KernelTable* TierTable(int64_t id) {
+  using ann::kernels::Arch;
+  static constexpr Arch kArches[] = {Arch::kScalar, Arch::kAvx2, Arch::kNeon,
+                                     Arch::kAvx512};
+  return ann::kernels::Table(kArches[id]);
+}
+
+bool SkipUnavailableTier(benchmark::State& state,
+                         const ann::kernels::KernelTable* kt) {
+  if (kt != nullptr) return false;
+  state.SetLabel("unavailable");
+  for (auto _ : state) {
+  }
+  return true;
+}
+
+void RunL2Batch(benchmark::State& state, const ann::kernels::KernelTable& kt,
+                int64_t dim) {
   const int64_t n = 4096;
   Rng rng(17);
   std::vector<float> rows(n * dim), query(dim), out(n);
@@ -72,21 +93,26 @@ void RunL2Batch(benchmark::State& state, const ann::kernels::KernelTable& kt) {
                           static_cast<int64_t>(sizeof(float)));
 }
 
-void BM_KernelL2BatchScalar(benchmark::State& state) {
-  RunL2Batch(state, *ann::kernels::Table(ann::kernels::Arch::kScalar));
+void BM_KernelL2BatchTier(benchmark::State& state) {
+  const auto* kt = TierTable(state.range(0));
+  if (SkipUnavailableTier(state, kt)) return;
+  state.SetLabel(kt->name);
+  RunL2Batch(state, *kt, state.range(1));
 }
-BENCHMARK(BM_KernelL2BatchScalar)->Arg(16)->Arg(64)->Arg(300);
+BENCHMARK(BM_KernelL2BatchTier)
+    ->ArgsProduct({{0, 1, 2, 3}, {16, 64, 300}});
 
 void BM_KernelL2BatchDispatch(benchmark::State& state) {
   state.SetLabel(ann::kernels::Dispatch().name);
-  RunL2Batch(state, ann::kernels::Dispatch());
+  RunL2Batch(state, ann::kernels::Dispatch(), state.range(0));
 }
 BENCHMARK(BM_KernelL2BatchDispatch)->Arg(16)->Arg(64)->Arg(300);
 
-void RunAdcScan(benchmark::State& state, const ann::kernels::KernelTable& kt) {
+void RunAdcScan(benchmark::State& state, const ann::kernels::KernelTable& kt,
+                int64_t total) {
   // m=8, ksub=256 matches the paper's dim-64 PQ configuration.
   const int64_t m = 8, ksub = 256;
-  const int64_t blocks = state.range(0) / ann::kernels::kAdcBlock;
+  const int64_t blocks = total / ann::kernels::kAdcBlock;
   Rng rng(18);
   std::vector<float> table(m * ksub), out(ann::kernels::kAdcBlock);
   for (auto& v : table) v = rng.UniformFloat(0, 4);
@@ -104,16 +130,66 @@ void RunAdcScan(benchmark::State& state, const ann::kernels::KernelTable& kt) {
                           ann::kernels::kAdcBlock);
 }
 
-void BM_KernelAdcScanScalar(benchmark::State& state) {
-  RunAdcScan(state, *ann::kernels::Table(ann::kernels::Arch::kScalar));
+void BM_KernelAdcScanTier(benchmark::State& state) {
+  const auto* kt = TierTable(state.range(0));
+  if (SkipUnavailableTier(state, kt)) return;
+  state.SetLabel(kt->name);
+  RunAdcScan(state, *kt, state.range(1));
 }
-BENCHMARK(BM_KernelAdcScanScalar)->Arg(20000);
+BENCHMARK(BM_KernelAdcScanTier)->ArgsProduct({{0, 1, 2, 3}, {20000}});
 
 void BM_KernelAdcScanDispatch(benchmark::State& state) {
   state.SetLabel(ann::kernels::Dispatch().name);
-  RunAdcScan(state, ann::kernels::Dispatch());
+  RunAdcScan(state, ann::kernels::Dispatch(), state.range(0));
 }
 BENCHMARK(BM_KernelAdcScanDispatch)->Arg(20000);
+
+// SQ8 asymmetric scan kernel: the float-weighted u8 dot that dominates
+// Sq8Index::Search, swept across every compiled ISA tier.
+void BM_KernelSq8AdotBatchTier(benchmark::State& state) {
+  const auto* kt = TierTable(state.range(0));
+  if (SkipUnavailableTier(state, kt)) return;
+  state.SetLabel(kt->name);
+  const int64_t dim = state.range(1);
+  const int64_t n = 4096;
+  Rng rng(21);
+  std::vector<float> w(dim), out(n);
+  for (auto& v : w) v = rng.UniformFloat(-1, 1);
+  std::vector<uint8_t> codes(n * dim);
+  for (auto& c : codes) c = static_cast<uint8_t>(rng.Uniform(256));
+  for (auto _ : state) {
+    kt->sq8_adot_batch(w.data(), codes.data(), n, dim, out.data());
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.SetBytesProcessed(state.iterations() * n * dim);
+}
+BENCHMARK(BM_KernelSq8AdotBatchTier)
+    ->ArgsProduct({{0, 1, 2, 3}, {16, 64, 300}});
+
+// Integer-exact s8xu8 dot (VNNI-accelerated where the CPU has it).
+void BM_KernelSq8QdotBatchTier(benchmark::State& state) {
+  const auto* kt = TierTable(state.range(0));
+  if (SkipUnavailableTier(state, kt)) return;
+  state.SetLabel(kt->name);
+  const int64_t dim = state.range(1);
+  const int64_t n = 4096;
+  Rng rng(22);
+  std::vector<int8_t> w(dim);
+  for (auto& v : w) v = static_cast<int8_t>(rng.Uniform(256) - 128);
+  std::vector<uint8_t> codes(n * dim);
+  for (auto& c : codes) c = static_cast<uint8_t>(rng.Uniform(256));
+  std::vector<int32_t> out(n);
+  for (auto _ : state) {
+    kt->sq8_qdot_batch(w.data(), codes.data(), n, dim, out.data());
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+  state.SetBytesProcessed(state.iterations() * n * dim);
+}
+BENCHMARK(BM_KernelSq8QdotBatchTier)->ArgsProduct({{0, 1, 2, 3}, {64}});
 
 void BM_KernelAdcTable(benchmark::State& state) {
   const int64_t m = 8, ksub = 256, dsub = 8;
@@ -163,6 +239,22 @@ void BM_PqSearch(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PqSearch)->Arg(2000)->Arg(20000);
+
+void BM_Sq8Search(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(3);
+  ann::Sq8Index index(64);
+  std::vector<float> vecs(n * 64);
+  for (auto& v : vecs) v = rng.UniformFloat(-1, 1);
+  (void)index.Train(vecs.data(), n);
+  (void)index.Add(vecs.data(), n);
+  std::vector<float> query(64);
+  for (auto& v : query) v = rng.UniformFloat(-1, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.Search(query.data(), 10));
+  }
+}
+BENCHMARK(BM_Sq8Search)->Arg(2000)->Arg(20000);
 
 void BM_Levenshtein(benchmark::State& state) {
   for (auto _ : state) {

@@ -4,308 +4,97 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "ann/kernels_isa.h"
+#include "ann/vec/kernel_bodies.h"
+#include "ann/vec/vec_scalar.h"
 #include "common/cpu_features.h"
 #include "common/logging.h"
 
-// AVX2 kernels are compiled with per-function target attributes so that a
-// portable (-DEMBLOOKUP_NATIVE_ARCH=OFF, baseline x86-64) build still
-// contains them; runtime dispatch decides whether they may execute.
-#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
-#define EMBLOOKUP_KERNELS_HAVE_AVX2 1
-#include <immintrin.h>
-#define EL_TARGET_AVX2 __attribute__((target("avx2,fma")))
-#endif
-
-#if defined(__aarch64__)
-#define EMBLOOKUP_KERNELS_HAVE_NEON 1
-#include <arm_neon.h>
-#endif
+// Dispatch plus the scalar table. The SIMD families live in their own
+// translation units (kernels_avx2.cc, kernels_avx512.cc, kernels_neon.cc),
+// compiled with per-file -m flags so a portable (-DEMBLOOKUP_NATIVE_ARCH=OFF,
+// baseline x86-64) build still contains every tier; runtime dispatch
+// decides which may execute. All tables instantiate the same kernel
+// bodies (vec/kernel_bodies.h) — this file's instantiation at width 1 is
+// the reference the property tests pin the SIMD tiers against.
 
 namespace emblookup::ann::kernels {
 namespace {
 
-// --- scalar reference ------------------------------------------------------
-// Plain loops with a single float accumulator. -O3 alone does not
-// reassociate the float reduction, so this stays scalar even under
-// -march=native — it is both the portable fallback and the baseline the
-// property tests and bench_micro compare the SIMD variants against.
-
 float L2SqrScalar(const float* a, const float* b, int64_t dim) {
-  float acc = 0.0f;
-  for (int64_t d = 0; d < dim; ++d) {
-    const float diff = a[d] - b[d];
-    acc += diff * diff;
-  }
-  return acc;
+  return vec::L2SqrBody<vec::FloatScalar>(a, b, dim);
 }
-
 float InnerProductScalar(const float* a, const float* b, int64_t dim) {
-  float acc = 0.0f;
-  for (int64_t d = 0; d < dim; ++d) acc += a[d] * b[d];
-  return acc;
+  return vec::InnerProductBody<vec::FloatScalar>(a, b, dim);
 }
-
 void L2SqrBatchScalar(const float* query, const float* rows, int64_t n,
                       int64_t dim, float* out) {
-  for (int64_t i = 0; i < n; ++i) {
-    out[i] = L2SqrScalar(query, rows + i * dim, dim);
-  }
+  vec::L2SqrBatchBody<vec::FloatScalar>(query, rows, n, dim, out);
 }
-
 void AdcTableScalar(const float* query, const float* codebooks, int64_t m,
                     int64_t ksub, int64_t dsub, float* table) {
-  for (int64_t j = 0; j < m; ++j) {
-    const float* qs = query + j * dsub;
-    const float* cb = codebooks + j * ksub * dsub;
-    float* trow = table + j * ksub;
-    for (int64_t c = 0; c < ksub; ++c) {
-      trow[c] = L2SqrScalar(qs, cb + c * dsub, dsub);
-    }
-  }
+  vec::AdcTableBody<vec::FloatScalar>(query, codebooks, m, ksub, dsub, table);
 }
-
 void AdcScanRowMajorScalar(const float* table, int64_t m, int64_t ksub,
                            const uint8_t* codes, int64_t n, float* out) {
-  for (int64_t i = 0; i < n; ++i) {
-    const uint8_t* code = codes + i * m;
-    float acc = 0.0f;
-    for (int64_t j = 0; j < m; ++j) acc += table[j * ksub + code[j]];
-    out[i] = acc;
-  }
+  vec::AdcScanRowMajorBody<vec::FloatScalar>(table, m, ksub, codes, n, out);
 }
-
 void AdcScanBlockScalar(const float* table, int64_t m, int64_t ksub,
                         const uint8_t* blk, float* out) {
-  for (int64_t t = 0; t < kAdcBlock; ++t) out[t] = 0.0f;
-  for (int64_t j = 0; j < m; ++j) {
-    const float* trow = table + j * ksub;
-    const uint8_t* codes = blk + j * kAdcBlock;
-    for (int64_t t = 0; t < kAdcBlock; ++t) out[t] += trow[codes[t]];
-  }
+  vec::AdcScanBlockBody<vec::FloatScalar>(table, m, ksub, blk, out);
+}
+float Sq8AdotScalar(const float* w, const uint8_t* codes, int64_t dim) {
+  return vec::Sq8AdotBody<vec::FloatScalar>(w, codes, dim);
+}
+void Sq8AdotBatchScalar(const float* w, const uint8_t* codes, int64_t n,
+                        int64_t dim, float* out) {
+  vec::Sq8AdotBatchBody<vec::FloatScalar>(w, codes, n, dim, out);
+}
+int32_t Sq8QdotScalar(const int8_t* w, const uint8_t* codes, int64_t dim) {
+  return vec::Sq8QdotBody<vec::I8DotScalar>(w, codes, dim);
+}
+void Sq8QdotBatchScalar(const int8_t* w, const uint8_t* codes, int64_t n,
+                        int64_t dim, int32_t* out) {
+  vec::Sq8QdotBatchBody<vec::I8DotScalar>(w, codes, n, dim, out);
 }
 
 constexpr KernelTable kScalarTable = {
-    Arch::kScalar,        "scalar",
-    L2SqrScalar,          InnerProductScalar, L2SqrBatchScalar,
-    AdcTableScalar,       AdcScanRowMajorScalar,
+    Arch::kScalar,
+    "scalar",
+    L2SqrScalar,
+    InnerProductScalar,
+    L2SqrBatchScalar,
+    AdcTableScalar,
+    AdcScanRowMajorScalar,
     AdcScanBlockScalar,
+    Sq8AdotScalar,
+    Sq8AdotBatchScalar,
+    Sq8QdotScalar,
+    Sq8QdotBatchScalar,
 };
-
-// --- AVX2 + FMA ------------------------------------------------------------
-
-#if defined(EMBLOOKUP_KERNELS_HAVE_AVX2)
-
-EL_TARGET_AVX2 inline float HSum256(__m256 v) {
-  __m128 lo = _mm256_castps256_ps128(v);
-  const __m128 hi = _mm256_extractf128_ps(v, 1);
-  lo = _mm_add_ps(lo, hi);
-  __m128 shuf = _mm_movehdup_ps(lo);
-  __m128 sums = _mm_add_ps(lo, shuf);
-  shuf = _mm_movehl_ps(shuf, sums);
-  sums = _mm_add_ss(sums, shuf);
-  return _mm_cvtss_f32(sums);
-}
-
-EL_TARGET_AVX2 float L2SqrAvx2(const float* a, const float* b, int64_t dim) {
-  __m256 acc0 = _mm256_setzero_ps();
-  __m256 acc1 = _mm256_setzero_ps();
-  int64_t d = 0;
-  for (; d + 16 <= dim; d += 16) {
-    const __m256 d0 =
-        _mm256_sub_ps(_mm256_loadu_ps(a + d), _mm256_loadu_ps(b + d));
-    const __m256 d1 =
-        _mm256_sub_ps(_mm256_loadu_ps(a + d + 8), _mm256_loadu_ps(b + d + 8));
-    acc0 = _mm256_fmadd_ps(d0, d0, acc0);
-    acc1 = _mm256_fmadd_ps(d1, d1, acc1);
-  }
-  if (d + 8 <= dim) {
-    const __m256 d0 =
-        _mm256_sub_ps(_mm256_loadu_ps(a + d), _mm256_loadu_ps(b + d));
-    acc0 = _mm256_fmadd_ps(d0, d0, acc0);
-    d += 8;
-  }
-  float total = HSum256(_mm256_add_ps(acc0, acc1));
-  for (; d < dim; ++d) {
-    const float diff = a[d] - b[d];
-    total += diff * diff;
-  }
-  return total;
-}
-
-EL_TARGET_AVX2 float InnerProductAvx2(const float* a, const float* b,
-                                      int64_t dim) {
-  __m256 acc0 = _mm256_setzero_ps();
-  __m256 acc1 = _mm256_setzero_ps();
-  int64_t d = 0;
-  for (; d + 16 <= dim; d += 16) {
-    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + d), _mm256_loadu_ps(b + d),
-                           acc0);
-    acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(a + d + 8),
-                           _mm256_loadu_ps(b + d + 8), acc1);
-  }
-  if (d + 8 <= dim) {
-    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + d), _mm256_loadu_ps(b + d),
-                           acc0);
-    d += 8;
-  }
-  float total = HSum256(_mm256_add_ps(acc0, acc1));
-  for (; d < dim; ++d) total += a[d] * b[d];
-  return total;
-}
-
-EL_TARGET_AVX2 void L2SqrBatchAvx2(const float* query, const float* rows,
-                                   int64_t n, int64_t dim, float* out) {
-  for (int64_t i = 0; i < n; ++i) {
-    out[i] = L2SqrAvx2(query, rows + i * dim, dim);
-  }
-}
-
-EL_TARGET_AVX2 void AdcTableAvx2(const float* query, const float* codebooks,
-                                 int64_t m, int64_t ksub, int64_t dsub,
-                                 float* table) {
-  for (int64_t j = 0; j < m; ++j) {
-    const float* qs = query + j * dsub;
-    const float* cb = codebooks + j * ksub * dsub;
-    float* trow = table + j * ksub;
-    for (int64_t c = 0; c < ksub; ++c) {
-      trow[c] = L2SqrAvx2(qs, cb + c * dsub, dsub);
-    }
-  }
-}
-
-EL_TARGET_AVX2 void AdcScanRowMajorAvx2(const float* table, int64_t m,
-                                        int64_t ksub, const uint8_t* codes,
-                                        int64_t n, float* out) {
-  // Vectorize along the m code bytes of each vector: lane l of a j-chunk
-  // reads LUT row j+l, so the gather index is code + (j+l)*ksub.
-  const __m256i lane_off =
-      _mm256_mullo_epi32(_mm256_set_epi32(7, 6, 5, 4, 3, 2, 1, 0),
-                         _mm256_set1_epi32(static_cast<int>(ksub)));
-  for (int64_t i = 0; i < n; ++i) {
-    const uint8_t* code = codes + i * m;
-    __m256 acc = _mm256_setzero_ps();
-    int64_t j = 0;
-    for (; j + 8 <= m; j += 8) {
-      const __m128i bytes =
-          _mm_loadl_epi64(reinterpret_cast<const __m128i*>(code + j));
-      __m256i idx = _mm256_cvtepu8_epi32(bytes);
-      idx = _mm256_add_epi32(idx, lane_off);
-      idx = _mm256_add_epi32(idx,
-                             _mm256_set1_epi32(static_cast<int>(j * ksub)));
-      acc = _mm256_add_ps(acc, _mm256_i32gather_ps(table, idx, 4));
-    }
-    float total = HSum256(acc);
-    for (; j < m; ++j) total += table[j * ksub + code[j]];
-    out[i] = total;
-  }
-}
-
-EL_TARGET_AVX2 void AdcScanBlockAvx2(const float* table, int64_t m,
-                                     int64_t ksub, const uint8_t* blk,
-                                     float* out) {
-  // Vectorize across the 8 interleaved codes: one gather per LUT row
-  // serves all 8 accumulators, with no horizontal reduction at the end.
-  static_assert(kAdcBlock == 8, "AVX2 block kernel assumes 8-wide blocks");
-  __m256 acc = _mm256_setzero_ps();
-  for (int64_t j = 0; j < m; ++j) {
-    const __m128i bytes =
-        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(blk + j * kAdcBlock));
-    const __m256i idx = _mm256_cvtepu8_epi32(bytes);
-    acc = _mm256_add_ps(acc, _mm256_i32gather_ps(table + j * ksub, idx, 4));
-  }
-  _mm256_storeu_ps(out, acc);
-}
-
-constexpr KernelTable kAvx2Table = {
-    Arch::kAvx2,        "avx2",
-    L2SqrAvx2,          InnerProductAvx2, L2SqrBatchAvx2,
-    AdcTableAvx2,       AdcScanRowMajorAvx2,
-    AdcScanBlockAvx2,
-};
-
-#endif  // EMBLOOKUP_KERNELS_HAVE_AVX2
-
-// --- NEON ------------------------------------------------------------------
-
-#if defined(EMBLOOKUP_KERNELS_HAVE_NEON)
-
-float L2SqrNeon(const float* a, const float* b, int64_t dim) {
-  float32x4_t acc0 = vdupq_n_f32(0.0f);
-  float32x4_t acc1 = vdupq_n_f32(0.0f);
-  int64_t d = 0;
-  for (; d + 8 <= dim; d += 8) {
-    const float32x4_t d0 = vsubq_f32(vld1q_f32(a + d), vld1q_f32(b + d));
-    const float32x4_t d1 =
-        vsubq_f32(vld1q_f32(a + d + 4), vld1q_f32(b + d + 4));
-    acc0 = vfmaq_f32(acc0, d0, d0);
-    acc1 = vfmaq_f32(acc1, d1, d1);
-  }
-  if (d + 4 <= dim) {
-    const float32x4_t d0 = vsubq_f32(vld1q_f32(a + d), vld1q_f32(b + d));
-    acc0 = vfmaq_f32(acc0, d0, d0);
-    d += 4;
-  }
-  float total = vaddvq_f32(vaddq_f32(acc0, acc1));
-  for (; d < dim; ++d) {
-    const float diff = a[d] - b[d];
-    total += diff * diff;
-  }
-  return total;
-}
-
-float InnerProductNeon(const float* a, const float* b, int64_t dim) {
-  float32x4_t acc0 = vdupq_n_f32(0.0f);
-  float32x4_t acc1 = vdupq_n_f32(0.0f);
-  int64_t d = 0;
-  for (; d + 8 <= dim; d += 8) {
-    acc0 = vfmaq_f32(acc0, vld1q_f32(a + d), vld1q_f32(b + d));
-    acc1 = vfmaq_f32(acc1, vld1q_f32(a + d + 4), vld1q_f32(b + d + 4));
-  }
-  if (d + 4 <= dim) {
-    acc0 = vfmaq_f32(acc0, vld1q_f32(a + d), vld1q_f32(b + d));
-    d += 4;
-  }
-  float total = vaddvq_f32(vaddq_f32(acc0, acc1));
-  for (; d < dim; ++d) total += a[d] * b[d];
-  return total;
-}
-
-void L2SqrBatchNeon(const float* query, const float* rows, int64_t n,
-                    int64_t dim, float* out) {
-  for (int64_t i = 0; i < n; ++i) {
-    out[i] = L2SqrNeon(query, rows + i * dim, dim);
-  }
-}
-
-void AdcTableNeon(const float* query, const float* codebooks, int64_t m,
-                  int64_t ksub, int64_t dsub, float* table) {
-  for (int64_t j = 0; j < m; ++j) {
-    const float* qs = query + j * dsub;
-    const float* cb = codebooks + j * ksub * dsub;
-    float* trow = table + j * ksub;
-    for (int64_t c = 0; c < ksub; ++c) {
-      trow[c] = L2SqrNeon(qs, cb + c * dsub, dsub);
-    }
-  }
-}
-
-// NEON has no gather instruction, so the LUT scans reuse the scalar code:
-// the table lookups are latency-bound loads either way.
-constexpr KernelTable kNeonTable = {
-    Arch::kNeon,        "neon",
-    L2SqrNeon,          InnerProductNeon, L2SqrBatchNeon,
-    AdcTableNeon,       AdcScanRowMajorScalar,
-    AdcScanBlockScalar,
-};
-
-#endif  // EMBLOOKUP_KERNELS_HAVE_NEON
 
 // --- dispatch --------------------------------------------------------------
 
+/// Startup completeness assert: a table with a null kernel pointer would
+/// surface as a crash deep inside a scan; fail loudly at selection time
+/// instead (new KernelTable members must be filled in every family).
+const KernelTable* Validated(const KernelTable* t) {
+  if (t == nullptr) return nullptr;
+  EL_CHECK(t->name != nullptr && t->l2_sqr != nullptr &&
+           t->inner_product != nullptr && t->l2_sqr_batch != nullptr &&
+           t->adc_table != nullptr && t->adc_scan_rowmajor != nullptr &&
+           t->adc_scan_block != nullptr && t->sq8_adot != nullptr &&
+           t->sq8_adot_batch != nullptr && t->sq8_qdot != nullptr &&
+           t->sq8_qdot_batch != nullptr)
+      << "incomplete kernel table for arch " << static_cast<int>(t->arch);
+  return t;
+}
+
 const KernelTable* AutoSelect() {
+  if (const KernelTable* t = Table(Arch::kAvx512)) return t;
   if (const KernelTable* t = Table(Arch::kAvx2)) return t;
   if (const KernelTable* t = Table(Arch::kNeon)) return t;
-  return &kScalarTable;
+  return Table(Arch::kScalar);
 }
 
 const KernelTable* SelectAtStartup() {
@@ -316,12 +105,14 @@ const KernelTable* SelectAtStartup() {
       chosen = Table(Arch::kScalar);
     } else if (std::strcmp(env, "avx2") == 0) {
       chosen = Table(Arch::kAvx2);
+    } else if (std::strcmp(env, "avx512") == 0) {
+      chosen = Table(Arch::kAvx512);
     } else if (std::strcmp(env, "neon") == 0) {
       chosen = Table(Arch::kNeon);
     } else {
       known = false;
       EL_LOG(Warning) << "EMBLOOKUP_KERNELS='" << env
-                      << "' is not scalar|avx2|neon; auto-detecting";
+                      << "' is not scalar|avx2|avx512|neon; auto-detecting";
     }
     if (chosen != nullptr) return chosen;
     if (known) {
@@ -344,6 +135,8 @@ const char* ArchName(Arch arch) {
       return "avx2";
     case Arch::kNeon:
       return "neon";
+    case Arch::kAvx512:
+      return "avx512";
   }
   return "unknown";
 }
@@ -351,15 +144,20 @@ const char* ArchName(Arch arch) {
 const KernelTable* Table(Arch arch) {
   switch (arch) {
     case Arch::kScalar:
-      return &kScalarTable;
+      return Validated(&kScalarTable);
     case Arch::kAvx2:
 #if defined(EMBLOOKUP_KERNELS_HAVE_AVX2)
-      if (GetCpuFeatures().avx2) return &kAvx2Table;
+      if (GetCpuFeatures().avx2) return Validated(&Avx2TableImpl());
+#endif
+      return nullptr;
+    case Arch::kAvx512:
+#if defined(EMBLOOKUP_KERNELS_HAVE_AVX512)
+      if (GetCpuFeatures().avx512) return Validated(&Avx512TableImpl());
 #endif
       return nullptr;
     case Arch::kNeon:
 #if defined(EMBLOOKUP_KERNELS_HAVE_NEON)
-      if (GetCpuFeatures().neon) return &kNeonTable;
+      if (GetCpuFeatures().neon) return Validated(&NeonTableImpl());
 #endif
       return nullptr;
   }

@@ -5,10 +5,11 @@
 
 namespace emblookup::ann::kernels {
 
-/// Instruction-set families a kernel table can be built for.
-enum class Arch { kScalar, kAvx2, kNeon };
+/// Instruction-set families a kernel table can be built for. Values are
+/// append-only (tests and the bench sweep index by them).
+enum class Arch { kScalar, kAvx2, kNeon, kAvx512 };
 
-/// Human-readable name ("scalar", "avx2", "neon").
+/// Human-readable name ("scalar", "avx2", "neon", "avx512").
 const char* ArchName(Arch arch);
 
 /// Vectors per interleaved ADC code block (see PqIndex): the code byte of
@@ -17,8 +18,14 @@ const char* ArchName(Arch arch);
 inline constexpr int64_t kAdcBlock = 8;
 
 /// A complete set of distance kernels for one instruction-set family.
-/// Every pointer is non-null in every table; SIMD variants handle
-/// arbitrary (including odd) dims with scalar tails.
+/// Every pointer is non-null in every table (asserted when a table is
+/// first handed out); SIMD variants handle arbitrary (including odd) dims
+/// with the shared scalar-tail epilogue of vec/kernel_bodies.h.
+///
+/// All kernels are instantiations of one templated body per operation
+/// over the typed SIMD wrappers in src/ann/vec/ (ATen vec256/vec512
+/// style): adding an ISA means writing a small vec_*.h header and listing
+/// a translation unit in src/ann/CMakeLists.txt, not rewriting kernels.
 struct KernelTable {
   Arch arch;
   const char* name;
@@ -48,13 +55,32 @@ struct KernelTable {
   /// out[t] = sum_j table[j*ksub + blk[j*kAdcBlock + t]].
   void (*adc_scan_block)(const float* table, int64_t m, int64_t ksub,
                          const uint8_t* blk, float* out);
+
+  /// SQ8 asymmetric weighted dot: sum_d w[d] * codes[d] over dim uint8
+  /// codes, widened to float in-register. With w = query ⊙ scale this is
+  /// the per-row term of the decomposed asymmetric L2 (see Sq8Index).
+  float (*sq8_adot)(const float* w, const uint8_t* codes, int64_t dim);
+
+  /// sq8_adot over n row-major dim-byte code rows.
+  void (*sq8_adot_batch)(const float* w, const uint8_t* codes, int64_t n,
+                         int64_t dim, float* out);
+
+  /// SQ8 integer dot: sum_d w[d] * codes[d] with s8 weights and u8 codes.
+  /// Integer-exact — every family returns bit-identical results (the
+  /// VPMADDUBSW-style path, via vpmaddwd widening or AVX-512 VNNI
+  /// vpdpbusd, both exact; saturating vpmaddubsw itself is not used).
+  int32_t (*sq8_qdot)(const int8_t* w, const uint8_t* codes, int64_t dim);
+
+  /// sq8_qdot over n row-major dim-byte code rows.
+  void (*sq8_qdot_batch)(const int8_t* w, const uint8_t* codes, int64_t n,
+                         int64_t dim, int32_t* out);
 };
 
-/// The table selected at startup: the widest family this CPU supports,
-/// unless the EMBLOOKUP_KERNELS env var (scalar|avx2|neon) overrides the
-/// choice. An unknown or unsupported override logs a warning and falls
-/// back to auto-detection. Selection happens once; later calls are a
-/// single atomic load.
+/// The table selected at startup: the widest family this CPU supports
+/// (avx512 > avx2 > neon > scalar), unless the EMBLOOKUP_KERNELS env var
+/// (scalar|avx2|avx512|neon) overrides the choice. An unknown or
+/// unsupported override logs a warning and falls back to auto-detection.
+/// Selection happens once; later calls are a single atomic load.
 const KernelTable& Dispatch();
 
 /// Table for a specific family, or nullptr when this build/CPU cannot run

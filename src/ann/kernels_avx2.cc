@@ -1,0 +1,70 @@
+// AVX2+FMA kernel table: the kernel bodies of vec/kernel_bodies.h
+// instantiated at width 8. This TU is compiled with -mavx2 -mfma (see
+// src/ann/CMakeLists.txt) so the whole file may assume the ISA; it is
+// only reachable through Table(Arch::kAvx2), which gates on runtime CPU
+// detection.
+
+#include "ann/kernels_isa.h"
+#include "ann/vec/kernel_bodies.h"
+#include "ann/vec/vec_avx2.h"
+
+namespace emblookup::ann::kernels {
+namespace {
+
+float L2SqrAvx2(const float* a, const float* b, int64_t dim) {
+  return vec::L2SqrBody<vec::FloatAvx2>(a, b, dim);
+}
+float InnerProductAvx2(const float* a, const float* b, int64_t dim) {
+  return vec::InnerProductBody<vec::FloatAvx2>(a, b, dim);
+}
+void L2SqrBatchAvx2(const float* query, const float* rows, int64_t n,
+                    int64_t dim, float* out) {
+  vec::L2SqrBatchBody<vec::FloatAvx2>(query, rows, n, dim, out);
+}
+void AdcTableAvx2(const float* query, const float* codebooks, int64_t m,
+                  int64_t ksub, int64_t dsub, float* table) {
+  vec::AdcTableBody<vec::FloatAvx2>(query, codebooks, m, ksub, dsub, table);
+}
+void AdcScanRowMajorAvx2(const float* table, int64_t m, int64_t ksub,
+                         const uint8_t* codes, int64_t n, float* out) {
+  vec::AdcScanRowMajorBody<vec::FloatAvx2>(table, m, ksub, codes, n, out);
+}
+void AdcScanBlockAvx2(const float* table, int64_t m, int64_t ksub,
+                      const uint8_t* blk, float* out) {
+  vec::AdcScanBlockBody<vec::FloatAvx2>(table, m, ksub, blk, out);
+}
+float Sq8AdotAvx2(const float* w, const uint8_t* codes, int64_t dim) {
+  return vec::Sq8AdotBody<vec::FloatAvx2>(w, codes, dim);
+}
+void Sq8AdotBatchAvx2(const float* w, const uint8_t* codes, int64_t n,
+                      int64_t dim, float* out) {
+  vec::Sq8AdotBatchBody<vec::FloatAvx2>(w, codes, n, dim, out);
+}
+int32_t Sq8QdotAvx2(const int8_t* w, const uint8_t* codes, int64_t dim) {
+  return vec::Sq8QdotBody<vec::I8DotAvx2>(w, codes, dim);
+}
+void Sq8QdotBatchAvx2(const int8_t* w, const uint8_t* codes, int64_t n,
+                      int64_t dim, int32_t* out) {
+  vec::Sq8QdotBatchBody<vec::I8DotAvx2>(w, codes, n, dim, out);
+}
+
+constexpr KernelTable kAvx2Table = {
+    Arch::kAvx2,
+    "avx2",
+    L2SqrAvx2,
+    InnerProductAvx2,
+    L2SqrBatchAvx2,
+    AdcTableAvx2,
+    AdcScanRowMajorAvx2,
+    AdcScanBlockAvx2,
+    Sq8AdotAvx2,
+    Sq8AdotBatchAvx2,
+    Sq8QdotAvx2,
+    Sq8QdotBatchAvx2,
+};
+
+}  // namespace
+
+const KernelTable& Avx2TableImpl() { return kAvx2Table; }
+
+}  // namespace emblookup::ann::kernels

@@ -1,0 +1,109 @@
+// AVX-512 kernel table: the float kernel bodies at width 16, the SQ8
+// integer dot at 64 bytes/step, and — because one ADC LUT row is exactly
+// kAdcBlock = 8 codes and gathers are latency-bound — the ADC scan bodies
+// re-instantiated on the 8-wide AVX2 gather type (every AVX-512 CPU has
+// AVX2; the vec headers are TU-local, so this instantiation is compiled
+// under *this* TU's flags and never leaks into the avx2 table).
+//
+// This TU is compiled with -mavx512f -mavx512bw -mavx512vl (+AVX2/FMA);
+// it is only reachable through Table(Arch::kAvx512), which gates on
+// runtime detection of exactly that trio. The VNNI vpdpbusd variant is
+// the one exception: it carries a per-function target attribute and its
+// own CpuFeatures::avx512vnni runtime gate.
+
+#include "ann/kernels_isa.h"
+#include "ann/vec/kernel_bodies.h"
+#include "ann/vec/vec_avx2.h"
+#include "ann/vec/vec_avx512.h"
+#include "common/cpu_features.h"
+
+namespace emblookup::ann::kernels {
+namespace {
+
+float L2SqrAvx512(const float* a, const float* b, int64_t dim) {
+  return vec::L2SqrBody<vec::FloatAvx512>(a, b, dim);
+}
+float InnerProductAvx512(const float* a, const float* b, int64_t dim) {
+  return vec::InnerProductBody<vec::FloatAvx512>(a, b, dim);
+}
+void L2SqrBatchAvx512(const float* query, const float* rows, int64_t n,
+                      int64_t dim, float* out) {
+  vec::L2SqrBatchBody<vec::FloatAvx512>(query, rows, n, dim, out);
+}
+void AdcTableAvx512(const float* query, const float* codebooks, int64_t m,
+                    int64_t ksub, int64_t dsub, float* table) {
+  vec::AdcTableBody<vec::FloatAvx512>(query, codebooks, m, ksub, dsub,
+                                      table);
+}
+void AdcScanRowMajorAvx512(const float* table, int64_t m, int64_t ksub,
+                           const uint8_t* codes, int64_t n, float* out) {
+  vec::AdcScanRowMajorBody<vec::FloatAvx2>(table, m, ksub, codes, n, out);
+}
+void AdcScanBlockAvx512(const float* table, int64_t m, int64_t ksub,
+                        const uint8_t* blk, float* out) {
+  vec::AdcScanBlockBody<vec::FloatAvx2>(table, m, ksub, blk, out);
+}
+float Sq8AdotAvx512(const float* w, const uint8_t* codes, int64_t dim) {
+  return vec::Sq8AdotBody<vec::FloatAvx512>(w, codes, dim);
+}
+void Sq8AdotBatchAvx512(const float* w, const uint8_t* codes, int64_t n,
+                        int64_t dim, float* out) {
+  vec::Sq8AdotBatchBody<vec::FloatAvx512>(w, codes, n, dim, out);
+}
+
+/// vpdpbusd: four u8*s8 products per lane accumulated into s32 — exact
+/// (no intermediate saturation), so it matches the scalar reference
+/// bit-for-bit just like the vpmaddwd path.
+__attribute__((target("avx512vnni"))) int32_t Sq8QdotVnni(
+    const int8_t* w, const uint8_t* codes, int64_t dim) {
+  int64_t d = 0;
+  __m512i acc = _mm512_setzero_si512();
+  for (; d + 64 <= dim; d += 64) {
+    const __m512i c =
+        _mm512_loadu_si512(reinterpret_cast<const void*>(codes + d));
+    const __m512i q =
+        _mm512_loadu_si512(reinterpret_cast<const void*>(w + d));
+    acc = _mm512_dpbusd_epi32(acc, c, q);
+  }
+  int32_t total = _mm512_reduce_add_epi32(acc);
+  for (; d < dim; ++d) {
+    total += static_cast<int32_t>(codes[d]) * static_cast<int32_t>(w[d]);
+  }
+  return total;
+}
+
+int32_t Sq8QdotAvx512(const int8_t* w, const uint8_t* codes, int64_t dim) {
+  if (GetCpuFeatures().avx512vnni) return Sq8QdotVnni(w, codes, dim);
+  return vec::Sq8QdotBody<vec::I8DotAvx512>(w, codes, dim);
+}
+void Sq8QdotBatchAvx512(const int8_t* w, const uint8_t* codes, int64_t n,
+                        int64_t dim, int32_t* out) {
+  if (GetCpuFeatures().avx512vnni) {
+    for (int64_t i = 0; i < n; ++i) {
+      out[i] = Sq8QdotVnni(w, codes + i * dim, dim);
+    }
+    return;
+  }
+  vec::Sq8QdotBatchBody<vec::I8DotAvx512>(w, codes, n, dim, out);
+}
+
+constexpr KernelTable kAvx512Table = {
+    Arch::kAvx512,
+    "avx512",
+    L2SqrAvx512,
+    InnerProductAvx512,
+    L2SqrBatchAvx512,
+    AdcTableAvx512,
+    AdcScanRowMajorAvx512,
+    AdcScanBlockAvx512,
+    Sq8AdotAvx512,
+    Sq8AdotBatchAvx512,
+    Sq8QdotAvx512,
+    Sq8QdotBatchAvx512,
+};
+
+}  // namespace
+
+const KernelTable& Avx512TableImpl() { return kAvx512Table; }
+
+}  // namespace emblookup::ann::kernels

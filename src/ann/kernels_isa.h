@@ -1,0 +1,30 @@
+#ifndef EMBLOOKUP_ANN_KERNELS_ISA_H_
+#define EMBLOOKUP_ANN_KERNELS_ISA_H_
+
+#include "ann/kernels.h"
+
+// Internal: entry points of the per-ISA kernel translation units. Each
+// TU is compiled with its family's -m flags and added to the build only
+// when the target/compiler supports them (src/ann/CMakeLists.txt, which
+// also defines the matching EMBLOOKUP_KERNELS_HAVE_* macro for the whole
+// emblookup_ann target). Runtime dispatch in kernels.cc decides whether a
+// compiled table may actually execute on this CPU.
+
+namespace emblookup::ann::kernels {
+
+#if defined(EMBLOOKUP_KERNELS_HAVE_AVX2)
+const KernelTable& Avx2TableImpl();  // kernels_avx2.cc (-mavx2 -mfma)
+#endif
+
+#if defined(EMBLOOKUP_KERNELS_HAVE_AVX512)
+// kernels_avx512.cc (-mavx512f -mavx512bw -mavx512vl, plus AVX2+FMA).
+const KernelTable& Avx512TableImpl();
+#endif
+
+#if defined(EMBLOOKUP_KERNELS_HAVE_NEON)
+const KernelTable& NeonTableImpl();  // kernels_neon.cc (base AArch64)
+#endif
+
+}  // namespace emblookup::ann::kernels
+
+#endif  // EMBLOOKUP_ANN_KERNELS_ISA_H_

@@ -1,0 +1,69 @@
+// NEON kernel table: the kernel bodies at width 4 (AArch64 Advanced SIMD
+// is part of the base profile, so this TU needs no extra flags). The ADC
+// LUT kernels take the bodies' scalar branch — NEON has no gather, and
+// the table lookups are latency-bound loads either way.
+
+#include "ann/kernels_isa.h"
+#include "ann/vec/kernel_bodies.h"
+#include "ann/vec/vec_neon.h"
+
+namespace emblookup::ann::kernels {
+namespace {
+
+float L2SqrNeon(const float* a, const float* b, int64_t dim) {
+  return vec::L2SqrBody<vec::FloatNeon>(a, b, dim);
+}
+float InnerProductNeon(const float* a, const float* b, int64_t dim) {
+  return vec::InnerProductBody<vec::FloatNeon>(a, b, dim);
+}
+void L2SqrBatchNeon(const float* query, const float* rows, int64_t n,
+                    int64_t dim, float* out) {
+  vec::L2SqrBatchBody<vec::FloatNeon>(query, rows, n, dim, out);
+}
+void AdcTableNeon(const float* query, const float* codebooks, int64_t m,
+                  int64_t ksub, int64_t dsub, float* table) {
+  vec::AdcTableBody<vec::FloatNeon>(query, codebooks, m, ksub, dsub, table);
+}
+void AdcScanRowMajorNeon(const float* table, int64_t m, int64_t ksub,
+                         const uint8_t* codes, int64_t n, float* out) {
+  vec::AdcScanRowMajorBody<vec::FloatNeon>(table, m, ksub, codes, n, out);
+}
+void AdcScanBlockNeon(const float* table, int64_t m, int64_t ksub,
+                      const uint8_t* blk, float* out) {
+  vec::AdcScanBlockBody<vec::FloatNeon>(table, m, ksub, blk, out);
+}
+float Sq8AdotNeon(const float* w, const uint8_t* codes, int64_t dim) {
+  return vec::Sq8AdotBody<vec::FloatNeon>(w, codes, dim);
+}
+void Sq8AdotBatchNeon(const float* w, const uint8_t* codes, int64_t n,
+                      int64_t dim, float* out) {
+  vec::Sq8AdotBatchBody<vec::FloatNeon>(w, codes, n, dim, out);
+}
+int32_t Sq8QdotNeon(const int8_t* w, const uint8_t* codes, int64_t dim) {
+  return vec::Sq8QdotBody<vec::I8DotNeon>(w, codes, dim);
+}
+void Sq8QdotBatchNeon(const int8_t* w, const uint8_t* codes, int64_t n,
+                      int64_t dim, int32_t* out) {
+  vec::Sq8QdotBatchBody<vec::I8DotNeon>(w, codes, n, dim, out);
+}
+
+constexpr KernelTable kNeonTable = {
+    Arch::kNeon,
+    "neon",
+    L2SqrNeon,
+    InnerProductNeon,
+    L2SqrBatchNeon,
+    AdcTableNeon,
+    AdcScanRowMajorNeon,
+    AdcScanBlockNeon,
+    Sq8AdotNeon,
+    Sq8AdotBatchNeon,
+    Sq8QdotNeon,
+    Sq8QdotBatchNeon,
+};
+
+}  // namespace
+
+const KernelTable& NeonTableImpl() { return kNeonTable; }
+
+}  // namespace emblookup::ann::kernels

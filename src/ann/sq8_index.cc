@@ -1,0 +1,168 @@
+#include "ann/sq8_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ann/kernels.h"
+#include "ann/topk.h"
+#include "common/logging.h"
+#include "obs/trace.h"
+
+namespace emblookup::ann {
+
+namespace {
+
+/// Rows per vectorized scan block — same sizing rationale as FlatIndex:
+/// amortize the dispatch indirection while the distance buffer stays in L1.
+constexpr int64_t kScanBlock = 256;
+
+}  // namespace
+
+Sq8Index::Sq8Index(int64_t dim) : dim_(dim) { EL_CHECK_GT(dim, 0); }
+
+Result<Sq8Index> Sq8Index::FromParts(int64_t dim, const float* params,
+                                     const uint8_t* codes,
+                                     const float* row_norms, int64_t count) {
+  if (dim <= 0) {
+    return Status::InvalidArgument("Sq8Index::FromParts: dim must be > 0");
+  }
+  if (params == nullptr) {
+    return Status::InvalidArgument("Sq8Index::FromParts: null params");
+  }
+  if (count < 0 || (count > 0 && (codes == nullptr || row_norms == nullptr))) {
+    return Status::InvalidArgument("Sq8Index::FromParts: bad code storage");
+  }
+  Sq8Index index(dim);
+  index.trained_ = true;
+  index.borrowed_params_ = params;
+  index.borrowed_codes_ = codes;
+  index.borrowed_norms_ = row_norms;
+  index.count_ = count;
+  return index;
+}
+
+Status Sq8Index::Train(const float* data, int64_t n) {
+  if (borrowed()) {
+    return Status::FailedPrecondition("Train on a borrowed-storage Sq8Index");
+  }
+  if (n <= 0 || data == nullptr) {
+    return Status::InvalidArgument("Sq8Index::Train: need at least 1 vector");
+  }
+  std::vector<float> lo(data, data + dim_);
+  std::vector<float> hi(data, data + dim_);
+  for (int64_t i = 1; i < n; ++i) {
+    const float* row = data + i * dim_;
+    for (int64_t d = 0; d < dim_; ++d) {
+      lo[d] = std::min(lo[d], row[d]);
+      hi[d] = std::max(hi[d], row[d]);
+    }
+  }
+  params_.assign(2 * dim_, 0.0f);
+  for (int64_t d = 0; d < dim_; ++d) {
+    // Constant dimensions keep scale 0: every value encodes to code 0 and
+    // decodes to exactly offset_d, so they contribute no error.
+    params_[d] = (hi[d] - lo[d]) / 255.0f;
+    params_[dim_ + d] = lo[d];
+  }
+  trained_ = true;
+  return Status::OK();
+}
+
+Status Sq8Index::Add(const float* vectors, int64_t n) {
+  if (borrowed()) {
+    return Status::FailedPrecondition("Add on a borrowed-storage Sq8Index");
+  }
+  if (!trained_) {
+    return Status::FailedPrecondition("Sq8Index::Add before Train");
+  }
+  if (n <= 0) return Status::OK();
+  const float* s = scales();
+  const float* o = offsets();
+  codes_.resize((count_ + n) * dim_);
+  row_norms_.resize(count_ + n);
+  for (int64_t i = 0; i < n; ++i) {
+    const float* row = vectors + i * dim_;
+    uint8_t* code = codes_.data() + (count_ + i) * dim_;
+    float norm = 0.0f;
+    for (int64_t d = 0; d < dim_; ++d) {
+      int64_t c = 0;
+      if (s[d] > 0.0f) {
+        c = std::lround((row[d] - o[d]) / s[d]);
+        c = std::clamp<int64_t>(c, 0, 255);
+      }
+      code[d] = static_cast<uint8_t>(c);
+      const float xhat = o[d] + s[d] * static_cast<float>(c);
+      norm += xhat * xhat;
+    }
+    row_norms_[count_ + i] = norm;
+  }
+  count_ += n;
+  return Status::OK();
+}
+
+std::vector<Neighbor> Sq8Index::Search(const float* query, int64_t k) const {
+  obs::Span span(obs::Stage::kSq8Scan);
+  EL_CHECK(trained_);
+  k = std::min(k, count_);
+  if (k <= 0) return {};
+  const kernels::KernelTable& kt = kernels::Dispatch();
+  const float* s = scales();
+  const float* o = offsets();
+  const float* norms = row_norms_data();
+
+  // Query-side precomputation: w_d = q_d * scale_d feeds the code-byte dot
+  // product; Cq collects every code-independent term. Reusable per-thread
+  // scratch — no per-query heap allocation.
+  thread_local std::vector<float> w;
+  if (static_cast<int64_t>(w.size()) < dim_) w.resize(dim_);
+  float cq = 0.0f;
+  for (int64_t d = 0; d < dim_; ++d) {
+    w[d] = query[d] * s[d];
+    cq += query[d] * query[d] - 2.0f * query[d] * o[d];
+  }
+
+  TopK top(k);
+  float adots[kScanBlock];
+  const uint8_t* base = codes_data();
+  for (int64_t start = 0; start < count_; start += kScanBlock) {
+    const int64_t bn = std::min(kScanBlock, count_ - start);
+    kt.sq8_adot_batch(w.data(), base + start * dim_, bn, dim_, adots);
+    // Block-wise early abandon, as in FlatIndex: refresh the heap bound
+    // once per block; rows that cannot beat it never touch the heap.
+    const float worst = top.WorstDist();
+    for (int64_t i = 0; i < bn; ++i) {
+      const float dist = cq + norms[start + i] - 2.0f * adots[i];
+      if (dist <= worst) top.Push(start + i, dist);
+    }
+  }
+  return top.Finish();
+}
+
+NeighborLists Sq8Index::BatchSearch(const float* queries, int64_t num_queries,
+                                    int64_t k, ThreadPool* pool) const {
+  NeighborLists out(num_queries);
+  if (count_ <= 0 || k <= 0) return out;
+  if (pool != nullptr) {
+    pool->ParallelFor(static_cast<size_t>(num_queries), [&](size_t i) {
+      out[i] = Search(queries + i * dim_, k);
+    });
+  } else {
+    for (int64_t i = 0; i < num_queries; ++i) {
+      out[i] = Search(queries + i * dim_, k);
+    }
+  }
+  return out;
+}
+
+void Sq8Index::Reconstruct(int64_t id, float* out) const {
+  EL_CHECK_GE(id, 0);
+  EL_CHECK_LT(id, count_);
+  const float* s = scales();
+  const float* o = offsets();
+  const uint8_t* code = codes_data() + id * dim_;
+  for (int64_t d = 0; d < dim_; ++d) {
+    out[d] = o[d] + s[d] * static_cast<float>(code[d]);
+  }
+}
+
+}  // namespace emblookup::ann

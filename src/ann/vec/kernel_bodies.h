@@ -1,0 +1,214 @@
+#ifndef EMBLOOKUP_ANN_VEC_KERNEL_BODIES_H_
+#define EMBLOOKUP_ANN_VEC_KERNEL_BODIES_H_
+
+#include <cstdint>
+
+#include "ann/kernels.h"
+
+// One templated body per kernel, instantiated once per instruction-set
+// family by the per-ISA translation units (kernels.cc, kernels_avx2.cc,
+// kernels_avx512.cc, kernels_neon.cc) with the matching vec_*.h type.
+// This is the layer that replaces the hand-written per-ISA kernel copies:
+// the loop structure, unrolling, and — crucially — the scalar tail
+// epilogue exist exactly once.
+//
+// Templated over a float-vector concept VF (see vec_avx2.h) or an
+// integer-dot policy DI (see I8DotAvx2). At kWidth == 1 the vector main
+// loops vanish and the shared epilogue is the entire kernel, which makes
+// the scalar instantiation bit-identical to the pre-refactor scalar
+// reference (single accumulator, left-to-right, unfused multiply-add).
+//
+// Anonymous namespace: instantiations must stay TU-local so code compiled
+// under one TU's ISA flags can never be COMDAT-merged into a table served
+// to a CPU without that ISA (see vec_scalar.h).
+
+namespace emblookup::ann::vec {
+namespace {
+
+template <typename VF>
+float L2SqrBody(const float* a, const float* b, int64_t dim) {
+  int64_t d = 0;
+  float total = 0.0f;
+  if constexpr (VF::kWidth > 1) {
+    VF acc0 = VF::Zero();
+    VF acc1 = VF::Zero();
+    for (; d + 2 * VF::kWidth <= dim; d += 2 * VF::kWidth) {
+      const VF d0 = VF::Load(a + d) - VF::Load(b + d);
+      const VF d1 = VF::Load(a + d + VF::kWidth) - VF::Load(b + d + VF::kWidth);
+      acc0 = VF::Fma(d0, d0, acc0);
+      acc1 = VF::Fma(d1, d1, acc1);
+    }
+    if (d + VF::kWidth <= dim) {
+      const VF d0 = VF::Load(a + d) - VF::Load(b + d);
+      acc0 = VF::Fma(d0, d0, acc0);
+      d += VF::kWidth;
+    }
+    total = (acc0 + acc1).ReduceAdd();
+  }
+  for (; d < dim; ++d) {
+    const float diff = a[d] - b[d];
+    total += diff * diff;
+  }
+  return total;
+}
+
+template <typename VF>
+float InnerProductBody(const float* a, const float* b, int64_t dim) {
+  int64_t d = 0;
+  float total = 0.0f;
+  if constexpr (VF::kWidth > 1) {
+    VF acc0 = VF::Zero();
+    VF acc1 = VF::Zero();
+    for (; d + 2 * VF::kWidth <= dim; d += 2 * VF::kWidth) {
+      acc0 = VF::Fma(VF::Load(a + d), VF::Load(b + d), acc0);
+      acc1 = VF::Fma(VF::Load(a + d + VF::kWidth),
+                     VF::Load(b + d + VF::kWidth), acc1);
+    }
+    if (d + VF::kWidth <= dim) {
+      acc0 = VF::Fma(VF::Load(a + d), VF::Load(b + d), acc0);
+      d += VF::kWidth;
+    }
+    total = (acc0 + acc1).ReduceAdd();
+  }
+  for (; d < dim; ++d) total += a[d] * b[d];
+  return total;
+}
+
+template <typename VF>
+void L2SqrBatchBody(const float* query, const float* rows, int64_t n,
+                    int64_t dim, float* out) {
+  for (int64_t i = 0; i < n; ++i) {
+    out[i] = L2SqrBody<VF>(query, rows + i * dim, dim);
+  }
+}
+
+template <typename VF>
+void AdcTableBody(const float* query, const float* codebooks, int64_t m,
+                  int64_t ksub, int64_t dsub, float* table) {
+  for (int64_t j = 0; j < m; ++j) {
+    const float* qs = query + j * dsub;
+    const float* cb = codebooks + j * ksub * dsub;
+    float* trow = table + j * ksub;
+    for (int64_t c = 0; c < ksub; ++c) {
+      trow[c] = L2SqrBody<VF>(qs, cb + c * dsub, dsub);
+    }
+  }
+}
+
+template <typename VF>
+void AdcScanRowMajorBody(const float* table, int64_t m, int64_t ksub,
+                         const uint8_t* codes, int64_t n, float* out) {
+  if constexpr (VF::kHasGather) {
+    // Vectorize along the m code bytes of each vector: lane l of a
+    // j-chunk reads LUT row j+l, so the gather index is code + (j+l)*ksub.
+    static_assert(VF::kWidth == 8,
+                  "rowmajor gather kernel assumes 8 code bytes per chunk");
+    const typename VF::LaneOffsets lane_off = VF::MakeLaneOffsets(ksub);
+    for (int64_t i = 0; i < n; ++i) {
+      const uint8_t* code = codes + i * m;
+      VF acc = VF::Zero();
+      int64_t j = 0;
+      for (; j + VF::kWidth <= m; j += VF::kWidth) {
+        acc = acc + VF::GatherU8(table + j * ksub, code + j, lane_off);
+      }
+      float total = acc.ReduceAdd();
+      for (; j < m; ++j) total += table[j * ksub + code[j]];
+      out[i] = total;
+    }
+  } else {
+    for (int64_t i = 0; i < n; ++i) {
+      const uint8_t* code = codes + i * m;
+      float acc = 0.0f;
+      for (int64_t j = 0; j < m; ++j) acc += table[j * ksub + code[j]];
+      out[i] = acc;
+    }
+  }
+}
+
+template <typename VF>
+void AdcScanBlockBody(const float* table, int64_t m, int64_t ksub,
+                      const uint8_t* blk, float* out) {
+  if constexpr (VF::kHasGather) {
+    // Vectorize across the kAdcBlock interleaved codes: one gather per
+    // LUT row serves all 8 accumulators, no horizontal reduction.
+    static_assert(VF::kWidth == kernels::kAdcBlock,
+                  "block gather kernel lanes must match the ADC block");
+    VF acc = VF::Zero();
+    for (int64_t j = 0; j < m; ++j) {
+      acc = acc + VF::GatherU8(table + j * ksub, blk + j * kernels::kAdcBlock);
+    }
+    acc.Store(out);
+  } else {
+    for (int64_t t = 0; t < kernels::kAdcBlock; ++t) out[t] = 0.0f;
+    for (int64_t j = 0; j < m; ++j) {
+      const float* trow = table + j * ksub;
+      const uint8_t* codes = blk + j * kernels::kAdcBlock;
+      for (int64_t t = 0; t < kernels::kAdcBlock; ++t) out[t] += trow[codes[t]];
+    }
+  }
+}
+
+/// SQ8 asymmetric weighted dot: sum_d w[d] * codes[d], the per-row term of
+/// the decomposed asymmetric L2 (see Sq8Index) — u8 codes are widened to
+/// float lanes in-register, so the scan streams 1 byte/dim instead of 4.
+template <typename VF>
+float Sq8AdotBody(const float* w, const uint8_t* codes, int64_t dim) {
+  int64_t d = 0;
+  float total = 0.0f;
+  if constexpr (VF::kWidth > 1) {
+    VF acc0 = VF::Zero();
+    VF acc1 = VF::Zero();
+    for (; d + 2 * VF::kWidth <= dim; d += 2 * VF::kWidth) {
+      acc0 = VF::Fma(VF::Load(w + d), VF::LoadU8(codes + d), acc0);
+      acc1 = VF::Fma(VF::Load(w + d + VF::kWidth),
+                     VF::LoadU8(codes + d + VF::kWidth), acc1);
+    }
+    if (d + VF::kWidth <= dim) {
+      acc0 = VF::Fma(VF::Load(w + d), VF::LoadU8(codes + d), acc0);
+      d += VF::kWidth;
+    }
+    total = (acc0 + acc1).ReduceAdd();
+  }
+  for (; d < dim; ++d) total += w[d] * static_cast<float>(codes[d]);
+  return total;
+}
+
+template <typename VF>
+void Sq8AdotBatchBody(const float* w, const uint8_t* codes, int64_t n,
+                      int64_t dim, float* out) {
+  for (int64_t i = 0; i < n; ++i) {
+    out[i] = Sq8AdotBody<VF>(w, codes + i * dim, dim);
+  }
+}
+
+/// SQ8 integer dot: sum_d w[d] * codes[d] with s8 weights and u8 codes —
+/// integer-exact, so every tier matches the scalar reference bit-for-bit.
+template <typename DI>
+int32_t Sq8QdotBody(const int8_t* w, const uint8_t* codes, int64_t dim) {
+  int64_t d = 0;
+  int32_t total = 0;
+  if constexpr (DI::kBytes > 1) {
+    typename DI::Acc acc = DI::Zero();
+    for (; d + DI::kBytes <= dim; d += DI::kBytes) {
+      acc = DI::Step(acc, codes + d, w + d);
+    }
+    total = DI::Reduce(acc);
+  }
+  for (; d < dim; ++d) {
+    total += static_cast<int32_t>(codes[d]) * static_cast<int32_t>(w[d]);
+  }
+  return total;
+}
+
+template <typename DI>
+void Sq8QdotBatchBody(const int8_t* w, const uint8_t* codes, int64_t n,
+                      int64_t dim, int32_t* out) {
+  for (int64_t i = 0; i < n; ++i) {
+    out[i] = Sq8QdotBody<DI>(w, codes + i * dim, dim);
+  }
+}
+
+}  // namespace
+}  // namespace emblookup::ann::vec
+
+#endif  // EMBLOOKUP_ANN_VEC_KERNEL_BODIES_H_

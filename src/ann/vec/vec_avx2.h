@@ -1,0 +1,124 @@
+#ifndef EMBLOOKUP_ANN_VEC_VEC_AVX2_H_
+#define EMBLOOKUP_ANN_VEC_VEC_AVX2_H_
+
+// 256-bit AVX2+FMA vector types. Include only from a translation unit
+// compiled with -mavx2 -mfma (kernels_avx2.cc, and kernels_avx512.cc for
+// the gather-bound ADC kernels); runtime dispatch gates execution, the
+// compiler flags only gate code generation. Anonymous namespace: see
+// vec_scalar.h for why every vec header is TU-local.
+
+#if !defined(__AVX2__) || !defined(__FMA__)
+#error "vec_avx2.h requires a TU compiled with -mavx2 -mfma"
+#endif
+
+#include <immintrin.h>
+
+#include <cstdint>
+
+namespace emblookup::ann::vec {
+namespace {
+
+/// Eight float lanes. The member set is the float-vector concept the
+/// kernel bodies are templated over:
+///   kWidth, kHasGather, Zero, Load, LoadU8, Store, +,-,*, Fma,
+///   ReduceAdd, and (when kHasGather) MakeLaneOffsets/GatherU8.
+struct FloatAvx2 {
+  static constexpr int kWidth = 8;
+  static constexpr bool kHasGather = true;
+
+  __m256 v;
+
+  static FloatAvx2 Zero() { return {_mm256_setzero_ps()}; }
+  static FloatAvx2 Load(const float* p) { return {_mm256_loadu_ps(p)}; }
+  static FloatAvx2 LoadU8(const uint8_t* p) {
+    const __m128i bytes =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(p));
+    return {_mm256_cvtepi32_ps(_mm256_cvtepu8_epi32(bytes))};
+  }
+  void Store(float* p) const { _mm256_storeu_ps(p, v); }
+
+  friend FloatAvx2 operator+(FloatAvx2 a, FloatAvx2 b) {
+    return {_mm256_add_ps(a.v, b.v)};
+  }
+  friend FloatAvx2 operator-(FloatAvx2 a, FloatAvx2 b) {
+    return {_mm256_sub_ps(a.v, b.v)};
+  }
+  friend FloatAvx2 operator*(FloatAvx2 a, FloatAvx2 b) {
+    return {_mm256_mul_ps(a.v, b.v)};
+  }
+  static FloatAvx2 Fma(FloatAvx2 a, FloatAvx2 b, FloatAvx2 acc) {
+    return {_mm256_fmadd_ps(a.v, b.v, acc.v)};
+  }
+  float ReduceAdd() const {
+    __m128 lo = _mm256_castps256_ps128(v);
+    const __m128 hi = _mm256_extractf128_ps(v, 1);
+    lo = _mm_add_ps(lo, hi);
+    __m128 shuf = _mm_movehdup_ps(lo);
+    __m128 sums = _mm_add_ps(lo, shuf);
+    shuf = _mm_movehl_ps(shuf, sums);
+    sums = _mm_add_ss(sums, shuf);
+    return _mm_cvtss_f32(sums);
+  }
+
+  /// Per-lane index offsets for strided gathers: lane l -> l * stride.
+  struct LaneOffsets {
+    __m256i off;
+  };
+  static LaneOffsets MakeLaneOffsets(int64_t stride) {
+    return {_mm256_mullo_epi32(_mm256_set_epi32(7, 6, 5, 4, 3, 2, 1, 0),
+                               _mm256_set1_epi32(static_cast<int>(stride)))};
+  }
+  /// Lane l = base[off.lane(l) + idx8[l]] — the ADC LUT gather.
+  static FloatAvx2 GatherU8(const float* base, const uint8_t* idx8,
+                            LaneOffsets off) {
+    const __m128i bytes =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(idx8));
+    const __m256i idx =
+        _mm256_add_epi32(_mm256_cvtepu8_epi32(bytes), off.off);
+    return {_mm256_i32gather_ps(base, idx, 4)};
+  }
+  /// Lane l = base[idx8[l]] (single LUT row).
+  static FloatAvx2 GatherU8(const float* base, const uint8_t* idx8) {
+    const __m128i bytes =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(idx8));
+    return {_mm256_i32gather_ps(base, _mm256_cvtepu8_epi32(bytes), 4)};
+  }
+};
+
+/// 32-bytes-per-step u8 x s8 dot product. vpmaddubsw would saturate at
+/// |pair sum| > 32767 (reachable: 2 * 255 * 128), so the codes are widened
+/// to u16 and multiplied with vpmaddwd instead — s16 x s16 pair sums top
+/// out at 2 * 255 * 128 = 65280, exact in the s32 accumulator.
+struct I8DotAvx2 {
+  static constexpr int kBytes = 32;
+  using Acc = __m256i;
+  static Acc Zero() { return _mm256_setzero_si256(); }
+  static Acc Step(Acc acc, const uint8_t* codes, const int8_t* w) {
+    const __m256i zero = _mm256_setzero_si256();
+    const __m256i c =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(codes));
+    const __m256i q =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(w));
+    // unpack{lo,hi} interleave within each 128-bit half; the same halves
+    // of c and q stay paired, which is all a dot product needs.
+    const __m256i clo = _mm256_unpacklo_epi8(c, zero);
+    const __m256i chi = _mm256_unpackhi_epi8(c, zero);
+    const __m256i qlo = _mm256_srai_epi16(_mm256_unpacklo_epi8(zero, q), 8);
+    const __m256i qhi = _mm256_srai_epi16(_mm256_unpackhi_epi8(zero, q), 8);
+    acc = _mm256_add_epi32(acc, _mm256_madd_epi16(clo, qlo));
+    return _mm256_add_epi32(acc, _mm256_madd_epi16(chi, qhi));
+  }
+  static int32_t Reduce(Acc acc) {
+    const __m128i lo = _mm256_castsi256_si128(acc);
+    const __m128i hi = _mm256_extracti128_si256(acc, 1);
+    __m128i sum = _mm_add_epi32(lo, hi);
+    sum = _mm_add_epi32(sum, _mm_shuffle_epi32(sum, _MM_SHUFFLE(1, 0, 3, 2)));
+    sum = _mm_add_epi32(sum, _mm_shuffle_epi32(sum, _MM_SHUFFLE(2, 3, 0, 1)));
+    return _mm_cvtsi128_si32(sum);
+  }
+};
+
+}  // namespace
+}  // namespace emblookup::ann::vec
+
+#endif  // EMBLOOKUP_ANN_VEC_VEC_AVX2_H_

@@ -1,0 +1,82 @@
+#ifndef EMBLOOKUP_ANN_VEC_VEC_AVX512_H_
+#define EMBLOOKUP_ANN_VEC_VEC_AVX512_H_
+
+// 512-bit AVX-512 vector types. Include only from a translation unit
+// compiled with -mavx512f -mavx512bw -mavx512vl (kernels_avx512.cc);
+// runtime dispatch (CpuFeatures::avx512) gates execution. The VNNI
+// (`vpdpbusd`) SQ8 variant is *not* emitted here — it carries its own
+// per-function target attribute in kernels_avx512.cc so an F+BW+VL-only
+// CPU never fetches a VNNI instruction. Anonymous namespace: see
+// vec_scalar.h.
+
+#if !defined(__AVX512F__) || !defined(__AVX512BW__)
+#error "vec_avx512.h requires a TU compiled with -mavx512f -mavx512bw"
+#endif
+
+#include <immintrin.h>
+
+#include <cstdint>
+
+namespace emblookup::ann::vec {
+namespace {
+
+/// Sixteen float lanes. No gather members: the ADC LUT kernels stay on
+/// the 8-wide AVX2 gathers even in the avx512 table (they are gather
+/// latency-bound, and one LUT row is exactly kAdcBlock = 8 codes), so the
+/// 512-bit tier's wins are the float L2/IP/batch kernels and the SQ8
+/// scans, where twice the lanes means half the loop trips.
+struct FloatAvx512 {
+  static constexpr int kWidth = 16;
+  static constexpr bool kHasGather = false;
+
+  __m512 v;
+
+  static FloatAvx512 Zero() { return {_mm512_setzero_ps()}; }
+  static FloatAvx512 Load(const float* p) { return {_mm512_loadu_ps(p)}; }
+  static FloatAvx512 LoadU8(const uint8_t* p) {
+    const __m128i bytes =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+    return {_mm512_cvtepi32_ps(_mm512_cvtepu8_epi32(bytes))};
+  }
+  void Store(float* p) const { _mm512_storeu_ps(p, v); }
+
+  friend FloatAvx512 operator+(FloatAvx512 a, FloatAvx512 b) {
+    return {_mm512_add_ps(a.v, b.v)};
+  }
+  friend FloatAvx512 operator-(FloatAvx512 a, FloatAvx512 b) {
+    return {_mm512_sub_ps(a.v, b.v)};
+  }
+  friend FloatAvx512 operator*(FloatAvx512 a, FloatAvx512 b) {
+    return {_mm512_mul_ps(a.v, b.v)};
+  }
+  static FloatAvx512 Fma(FloatAvx512 a, FloatAvx512 b, FloatAvx512 acc) {
+    return {_mm512_fmadd_ps(a.v, b.v, acc.v)};
+  }
+  float ReduceAdd() const { return _mm512_reduce_add_ps(v); }
+};
+
+/// 64-bytes-per-step u8 x s8 dot product via widen + vpmaddwd — the exact
+/// non-VNNI path (see I8DotAvx2 for the saturation rationale).
+struct I8DotAvx512 {
+  static constexpr int kBytes = 64;
+  using Acc = __m512i;
+  static Acc Zero() { return _mm512_setzero_si512(); }
+  static Acc Step(Acc acc, const uint8_t* codes, const int8_t* w) {
+    const __m512i zero = _mm512_setzero_si512();
+    const __m512i c =
+        _mm512_loadu_si512(reinterpret_cast<const void*>(codes));
+    const __m512i q = _mm512_loadu_si512(reinterpret_cast<const void*>(w));
+    const __m512i clo = _mm512_unpacklo_epi8(c, zero);
+    const __m512i chi = _mm512_unpackhi_epi8(c, zero);
+    const __m512i qlo = _mm512_srai_epi16(_mm512_unpacklo_epi8(zero, q), 8);
+    const __m512i qhi = _mm512_srai_epi16(_mm512_unpackhi_epi8(zero, q), 8);
+    acc = _mm512_add_epi32(acc, _mm512_madd_epi16(clo, qlo));
+    return _mm512_add_epi32(acc, _mm512_madd_epi16(chi, qhi));
+  }
+  static int32_t Reduce(Acc acc) { return _mm512_reduce_add_epi32(acc); }
+};
+
+}  // namespace
+}  // namespace emblookup::ann::vec
+
+#endif  // EMBLOOKUP_ANN_VEC_VEC_AVX512_H_

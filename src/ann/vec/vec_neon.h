@@ -1,0 +1,82 @@
+#ifndef EMBLOOKUP_ANN_VEC_VEC_NEON_H_
+#define EMBLOOKUP_ANN_VEC_VEC_NEON_H_
+
+// 128-bit AArch64 Advanced SIMD vector types (kernels_neon.cc). NEON is
+// part of the base AArch64 profile, so no extra compile flags are needed.
+// No gather members: NEON has no gather instruction, so the ADC LUT
+// kernels take the kernel bodies' scalar branch — the table lookups are
+// latency-bound loads either way. Anonymous namespace: see vec_scalar.h.
+
+#if !defined(__aarch64__)
+#error "vec_neon.h requires an AArch64 TU"
+#endif
+
+#include <arm_neon.h>
+
+#include <cstdint>
+#include <cstring>
+
+namespace emblookup::ann::vec {
+namespace {
+
+/// Four float lanes.
+struct FloatNeon {
+  static constexpr int kWidth = 4;
+  static constexpr bool kHasGather = false;
+
+  float32x4_t v;
+
+  static FloatNeon Zero() { return {vdupq_n_f32(0.0f)}; }
+  static FloatNeon Load(const float* p) { return {vld1q_f32(p)}; }
+  static FloatNeon LoadU8(const uint8_t* p) {
+    // Exactly 4 bytes: a vld1_u8 would over-read past the caller's bound.
+    uint32_t bits;
+    std::memcpy(&bits, p, sizeof(bits));
+    const uint8x8_t b = vcreate_u8(static_cast<uint64_t>(bits));
+    const uint16x4_t w16 = vget_low_u16(vmovl_u8(b));
+    return {vcvtq_f32_u32(vmovl_u16(w16))};
+  }
+  void Store(float* p) const { vst1q_f32(p, v); }
+
+  friend FloatNeon operator+(FloatNeon a, FloatNeon b) {
+    return {vaddq_f32(a.v, b.v)};
+  }
+  friend FloatNeon operator-(FloatNeon a, FloatNeon b) {
+    return {vsubq_f32(a.v, b.v)};
+  }
+  friend FloatNeon operator*(FloatNeon a, FloatNeon b) {
+    return {vmulq_f32(a.v, b.v)};
+  }
+  static FloatNeon Fma(FloatNeon a, FloatNeon b, FloatNeon acc) {
+    return {vfmaq_f32(acc.v, a.v, b.v)};
+  }
+  float ReduceAdd() const { return vaddvq_f32(v); }
+};
+
+/// 16-bytes-per-step u8 x s8 dot product: widen both sides to s16 (u8
+/// values fit) and accumulate with vmlal_s16 — exact in s32 lanes.
+struct I8DotNeon {
+  static constexpr int kBytes = 16;
+  using Acc = int32x4_t;
+  static Acc Zero() { return vdupq_n_s32(0); }
+  static Acc Step(Acc acc, const uint8_t* codes, const int8_t* w) {
+    const uint8x16_t c = vld1q_u8(codes);
+    const int8x16_t q = vld1q_s8(w);
+    const int16x8_t clo =
+        vreinterpretq_s16_u16(vmovl_u8(vget_low_u8(c)));
+    const int16x8_t chi =
+        vreinterpretq_s16_u16(vmovl_u8(vget_high_u8(c)));
+    const int16x8_t qlo = vmovl_s8(vget_low_s8(q));
+    const int16x8_t qhi = vmovl_s8(vget_high_s8(q));
+    acc = vmlal_s16(acc, vget_low_s16(clo), vget_low_s16(qlo));
+    acc = vmlal_s16(acc, vget_high_s16(clo), vget_high_s16(qlo));
+    acc = vmlal_s16(acc, vget_low_s16(chi), vget_low_s16(qhi));
+    return vmlal_s16(acc, vget_high_s16(chi), vget_high_s16(qhi));
+  }
+  static int32_t Reduce(Acc acc) { return vaddvq_s32(acc); }
+};
+
+}  // namespace
+}  // namespace emblookup::ann::vec
+
+#endif  // EMBLOOKUP_ANN_VEC_VEC_NEON_H_

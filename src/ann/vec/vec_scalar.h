@@ -1,0 +1,72 @@
+#ifndef EMBLOOKUP_ANN_VEC_VEC_SCALAR_H_
+#define EMBLOOKUP_ANN_VEC_VEC_SCALAR_H_
+
+#include <cstdint>
+
+// Width-1 "vector" types: the portable instantiation of the kernel bodies
+// in kernel_bodies.h, and the behavioural reference every SIMD tier is
+// property-tested against. At width 1 the bodies' shared scalar epilogue
+// *is* the whole loop, so the scalar tables reproduce the pre-refactor
+// hand-written scalar kernels exactly: a single accumulator, strict
+// left-to-right float summation, and unfused multiply-add rounding.
+//
+// Like every header under src/ann/vec/, the contents live in an anonymous
+// namespace: each kernel translation unit is compiled with its own ISA
+// flags (see src/ann/CMakeLists.txt), and internal linkage guarantees the
+// linker can never merge a template instantiation compiled with one TU's
+// flags into another TU (ATen's CPU_CAPABILITY problem).
+
+namespace emblookup::ann::vec {
+namespace {
+
+/// One float lane. See vec_avx2.h for the full concept the kernel bodies
+/// expect of a float vector type.
+struct FloatScalar {
+  static constexpr int kWidth = 1;
+  static constexpr bool kHasGather = false;
+
+  float v;
+
+  static FloatScalar Zero() { return {0.0f}; }
+  static FloatScalar Load(const float* p) { return {*p}; }
+  /// Widens kWidth uint8 codes to float lanes (SQ8 decode-on-the-fly).
+  static FloatScalar LoadU8(const uint8_t* p) {
+    return {static_cast<float>(*p)};
+  }
+  void Store(float* p) const { *p = v; }
+
+  friend FloatScalar operator+(FloatScalar a, FloatScalar b) {
+    return {a.v + b.v};
+  }
+  friend FloatScalar operator-(FloatScalar a, FloatScalar b) {
+    return {a.v - b.v};
+  }
+  friend FloatScalar operator*(FloatScalar a, FloatScalar b) {
+    return {a.v * b.v};
+  }
+  /// a*b + acc with two-op (unfused) rounding, matching the scalar
+  /// reference semantics the tolerance tests are anchored to.
+  static FloatScalar Fma(FloatScalar a, FloatScalar b, FloatScalar acc) {
+    return {a.v * b.v + acc.v};
+  }
+  float ReduceAdd() const { return v; }
+};
+
+/// One-byte-per-step integer dot-product policy: the portable reference
+/// for the SQ8 u8 x s8 kernels. Integer accumulation is exact, so every
+/// SIMD tier must match this bit-for-bit (kernels_test asserts ==).
+struct I8DotScalar {
+  static constexpr int kBytes = 1;
+  using Acc = int32_t;
+  static Acc Zero() { return 0; }
+  static Acc Step(Acc acc, const uint8_t* codes, const int8_t* w) {
+    return acc +
+           static_cast<int32_t>(codes[0]) * static_cast<int32_t>(w[0]);
+  }
+  static int32_t Reduce(Acc acc) { return acc; }
+};
+
+}  // namespace
+}  // namespace emblookup::ann::vec
+
+#endif  // EMBLOOKUP_ANN_VEC_VEC_SCALAR_H_

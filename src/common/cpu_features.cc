@@ -8,6 +8,10 @@ const CpuFeatures& GetCpuFeatures() {
 #if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
     __builtin_cpu_init();
     f.avx2 = __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+    f.avx512 = __builtin_cpu_supports("avx512f") &&
+               __builtin_cpu_supports("avx512bw") &&
+               __builtin_cpu_supports("avx512vl");
+    f.avx512vnni = f.avx512 && __builtin_cpu_supports("avx512vnni");
 #elif defined(__aarch64__)
     // Advanced SIMD is part of the base AArch64 profile.
     f.neon = true;

@@ -7,8 +7,16 @@ namespace emblookup {
 /// kernel dispatcher (ann/kernels.h) consults this to pick the widest
 /// implementation the hardware can run.
 struct CpuFeatures {
-  bool avx2 = false;  ///< x86-64 AVX2 *and* FMA (both required together).
-  bool neon = false;  ///< AArch64 Advanced SIMD (mandatory on aarch64).
+  bool avx2 = false;    ///< x86-64 AVX2 *and* FMA (both required together).
+  /// x86-64 AVX-512 Foundation + BW + VL — the trio every AVX-512 server
+  /// core since Skylake-SP ships together (BW/VL also exclude the Xeon Phi
+  /// F-only parts the 512-bit kernels were never tuned for).
+  bool avx512 = false;
+  /// AVX-512 VNNI (`vpdpbusd`): fused u8*s8 dot-product accumulation; the
+  /// SQ8 integer-scan kernel uses it when present, with an exact
+  /// unpack+`vpmaddwd` fallback otherwise. Only meaningful with `avx512`.
+  bool avx512vnni = false;
+  bool neon = false;    ///< AArch64 Advanced SIMD (mandatory on aarch64).
 };
 
 /// Detected features, cached after the first call. Thread-safe.

@@ -107,6 +107,13 @@ Result<EntityIndex> EntityIndex::Build(
       EL_RETURN_NOT_OK(index.pq_->Add(embeddings.data(), n));
       break;
     }
+    case IndexKind::kSq8:
+      // The quantizer ranges come from the full catalog (cheap: one
+      // min/max pass), so no sampling knob applies.
+      index.sq8_ = std::make_unique<ann::Sq8Index>(dim);
+      EL_RETURN_NOT_OK(index.sq8_->Train(embeddings.data(), n));
+      EL_RETURN_NOT_OK(index.sq8_->Add(embeddings.data(), n));
+      break;
     case IndexKind::kIvfFlat:
     case IndexKind::kIvfPq: {
       ann::IvfIndex::Options options;
@@ -133,6 +140,8 @@ void EntityIndex::AppendTo(store::IndexMeta* meta,
     store::AppendPq(*pq_, meta, writer);
   } else if (ivf_ != nullptr) {
     store::AppendIvf(*ivf_, meta, writer);
+  } else if (sq8_ != nullptr) {
+    store::AppendSq8(*sq8_, meta, writer);
   } else {
     EL_CHECK(flat_ != nullptr);
     store::AppendFlat(*flat_, meta, writer);
@@ -174,6 +183,12 @@ Result<EntityIndex> EntityIndex::FromSnapshot(
                         : IndexKind::kIvfFlat;
       break;
     }
+    case store::BackendKind::kSq8: {
+      EL_ASSIGN_OR_RETURN(ann::Sq8Index sq8, store::LoadSq8(meta, *reader));
+      index.sq8_ = std::make_unique<ann::Sq8Index>(std::move(sq8));
+      index.kind_ = IndexKind::kSq8;
+      break;
+    }
     default:
       return Status::IoError("corrupt snapshot: unknown index backend");
   }
@@ -195,6 +210,7 @@ std::vector<ann::Neighbor> EntityIndex::RawSearch(const float* query,
                                                   int64_t k) const {
   if (pq_ != nullptr) return pq_->Search(query, k);
   if (ivf_ != nullptr) return ivf_->Search(query, k);
+  if (sq8_ != nullptr) return sq8_->Search(query, k);
   EL_CHECK(flat_ != nullptr);
   return flat_->Search(query, k);
 }
@@ -251,6 +267,8 @@ ann::NeighborLists EntityIndex::BatchSearch(const float* queries,
     lists = pq_->BatchSearch(queries, num_queries, fetch, pool);
   } else if (ivf_ != nullptr) {
     lists = ivf_->BatchSearch(queries, num_queries, fetch, pool);
+  } else if (sq8_ != nullptr) {
+    lists = sq8_->BatchSearch(queries, num_queries, fetch, pool);
   } else {
     EL_CHECK(flat_ != nullptr);
     lists = flat_->BatchSearch(queries, num_queries, fetch, pool);
@@ -264,12 +282,14 @@ ann::NeighborLists EntityIndex::BatchSearch(const float* queries,
 int64_t EntityIndex::size() const {
   if (pq_ != nullptr) return pq_->size();
   if (ivf_ != nullptr) return ivf_->size();
+  if (sq8_ != nullptr) return sq8_->size();
   return flat_ != nullptr ? flat_->size() : 0;
 }
 
 int64_t EntityIndex::StorageBytes() const {
   if (pq_ != nullptr) return pq_->StorageBytes();
   if (ivf_ != nullptr) return ivf_->StorageBytes();
+  if (sq8_ != nullptr) return sq8_->StorageBytes();
   return flat_ != nullptr ? flat_->StorageBytes() : 0;
 }
 

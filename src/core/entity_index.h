@@ -9,6 +9,7 @@
 #include "ann/flat_index.h"
 #include "ann/ivf_index.h"
 #include "ann/pq_index.h"
+#include "ann/sq8_index.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "core/config.h"
@@ -26,8 +27,8 @@ namespace emblookup::core {
 /// Embedding index over every KG entity (§III-C/D). By default row i stores
 /// the embedding of entity i's canonical label; with `index_aliases` each
 /// alias contributes an extra row (deduplicated back to entities at query
-/// time). Four storage backends are supported (flat / PQ / IVF-flat /
-/// IVF-PQ), mirroring the FAISS options the paper selects among.
+/// time). Five storage backends are supported (flat / PQ / IVF-flat /
+/// IVF-PQ / SQ8), mirroring the FAISS options the paper selects among.
 class EntityIndex {
  public:
   /// Embeds the indexed mentions with `encoder` (no-grad, batched,
@@ -62,7 +63,9 @@ class EntityIndex {
   ann::NeighborLists BatchSearch(const float* queries, int64_t num_queries,
                                  int64_t k, ThreadPool* pool = nullptr) const;
 
-  bool compressed() const { return pq_ != nullptr || ivf_ != nullptr; }
+  bool compressed() const {
+    return pq_ != nullptr || ivf_ != nullptr || sq8_ != nullptr;
+  }
   IndexKind kind() const { return kind_; }
   /// Number of indexed rows (== entities unless aliases are indexed).
   int64_t size() const;
@@ -92,6 +95,7 @@ class EntityIndex {
   std::unique_ptr<ann::FlatIndex> flat_;
   std::unique_ptr<ann::PqIndex> pq_;
   std::unique_ptr<ann::IvfIndex> ivf_;
+  std::unique_ptr<ann::Sq8Index> sq8_;
   /// row -> entity id; empty when rows are exactly entities.
   std::vector<kg::EntityId> row_to_entity_;
   /// Keeps the mmap'd snapshot alive while a borrowed-storage backend

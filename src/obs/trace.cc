@@ -38,6 +38,7 @@ const char* StageName(Stage stage) {
     case Stage::kFlatScan: return "flat_scan";
     case Stage::kPqScan: return "pq_scan";
     case Stage::kIvfScan: return "ivf_scan";
+    case Stage::kSq8Scan: return "sq8_scan";
     case Stage::kWalAppend: return "wal_append";
     case Stage::kDeltaApply: return "delta_apply";
     case Stage::kCompaction: return "compaction";

@@ -30,6 +30,7 @@ enum class Stage : uint8_t {
   kFlatScan,          ///< FlatIndex::Search (ann).
   kPqScan,            ///< PqIndex::Search — ADC table + code scan (ann).
   kIvfScan,           ///< IvfIndex::Search — coarse probe + list scan (ann).
+  kSq8Scan,           ///< Sq8Index::Search — asymmetric int8 scan (ann).
   kWalAppend,         ///< WAL record append incl. fsync (update).
   kDeltaApply,        ///< Delta copy + mutate + RCU publish (update).
   kCompaction,        ///< Main-index rebuild minus tombstones (update).

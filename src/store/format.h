@@ -66,6 +66,9 @@ enum class SectionId : uint32_t {
                        ///< to the catalog TSV (update::IndexUpdater). Makes
                        ///< a snapshot a self-contained backup; additive, so
                        ///< pre-update readers skip it.
+  kSq8Params = 14,     ///< float[2 * dim]: SQ8 scales then offsets.
+  kSq8Codes = 15,      ///< uint8[count * dim] row-major SQ8 codes.
+  kSq8RowNorms = 16,   ///< float[count]: ||x̂_i||² per SQ8 row.
 };
 
 struct SectionEntry {

@@ -102,6 +102,19 @@ void AppendIvf(const ann::IvfIndex& index, IndexMeta* meta,
   }
 }
 
+void AppendSq8(const ann::Sq8Index& index, IndexMeta* meta,
+               SnapshotWriter* writer) {
+  meta->backend = static_cast<uint32_t>(BackendKind::kSq8);
+  meta->dim = index.dim();
+  meta->count = index.size();
+  writer->AddSection(SectionId::kSq8Params, index.params_data(),
+                     static_cast<uint64_t>(2 * index.dim()) * sizeof(float));
+  writer->AddSection(SectionId::kSq8Codes, index.codes_data(),
+                     static_cast<uint64_t>(index.size()) * index.dim());
+  writer->AddSection(SectionId::kSq8RowNorms, index.row_norms_data(),
+                     static_cast<uint64_t>(index.size()) * sizeof(float));
+}
+
 Result<ann::FlatIndex> LoadFlat(const IndexMeta& meta,
                                 const SnapshotReader& reader) {
   EL_ASSIGN_OR_RETURN(
@@ -205,6 +218,26 @@ Result<ann::IvfIndex> LoadIvf(const IndexMeta& meta,
       vectors, codes, meta.count);
 }
 
+Result<ann::Sq8Index> LoadSq8(const IndexMeta& meta,
+                              const SnapshotReader& reader) {
+  EL_ASSIGN_OR_RETURN(
+      const Section params,
+      reader.Require(SectionId::kSq8Params,
+                     static_cast<uint64_t>(2 * meta.dim) * sizeof(float)));
+  EL_ASSIGN_OR_RETURN(
+      const Section codes,
+      reader.Require(SectionId::kSq8Codes,
+                     static_cast<uint64_t>(meta.count) * meta.dim));
+  EL_ASSIGN_OR_RETURN(
+      const Section norms,
+      reader.Require(SectionId::kSq8RowNorms,
+                     static_cast<uint64_t>(meta.count) * sizeof(float)));
+  return ann::Sq8Index::FromParts(
+      meta.dim, SectionArray<float>(params),
+      meta.count == 0 ? nullptr : codes.data,
+      meta.count == 0 ? nullptr : SectionArray<float>(norms), meta.count);
+}
+
 Result<IndexMeta> ReadIndexMeta(const SnapshotReader& reader) {
   EL_ASSIGN_OR_RETURN(const Section section,
                       reader.Require(SectionId::kIndexMeta,
@@ -216,6 +249,7 @@ Result<IndexMeta> ReadIndexMeta(const SnapshotReader& reader) {
     case BackendKind::kPq:
     case BackendKind::kIvfFlat:
     case BackendKind::kIvfPq:
+    case BackendKind::kSq8:
       break;
     default:
       return BadMeta("names unknown backend " + std::to_string(meta.backend));

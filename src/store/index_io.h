@@ -7,6 +7,7 @@
 #include "ann/flat_index.h"
 #include "ann/ivf_index.h"
 #include "ann/pq_index.h"
+#include "ann/sq8_index.h"
 #include "common/status.h"
 #include "store/snapshot_reader.h"
 #include "store/snapshot_writer.h"
@@ -20,6 +21,7 @@ enum class BackendKind : uint32_t {
   kPq = 2,
   kIvfFlat = 3,
   kIvfPq = 4,
+  kSq8 = 5,
 };
 
 /// The kIndexMeta section: fixed-size POD describing every other section.
@@ -58,6 +60,8 @@ void AppendPq(const ann::PqIndex& index, IndexMeta* meta,
               SnapshotWriter* writer);
 void AppendIvf(const ann::IvfIndex& index, IndexMeta* meta,
                SnapshotWriter* writer);
+void AppendSq8(const ann::Sq8Index& index, IndexMeta* meta,
+               SnapshotWriter* writer);
 
 /// Reconstructs a backend in borrowed-storage mode: payload arrays are
 /// served directly out of the reader's mapping (zero-copy; only small
@@ -68,6 +72,8 @@ Result<ann::FlatIndex> LoadFlat(const IndexMeta& meta,
 Result<ann::PqIndex> LoadPq(const IndexMeta& meta,
                             const SnapshotReader& reader);
 Result<ann::IvfIndex> LoadIvf(const IndexMeta& meta,
+                              const SnapshotReader& reader);
+Result<ann::Sq8Index> LoadSq8(const IndexMeta& meta,
                               const SnapshotReader& reader);
 
 /// Reads and structurally validates the kIndexMeta section.

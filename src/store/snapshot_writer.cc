@@ -142,6 +142,9 @@ const char* SectionName(SectionId id) {
     case SectionId::kEncoderParams: return "encoder-params";
     case SectionId::kEntityCatalog: return "entity-catalog";
     case SectionId::kWalTail: return "wal-tail";
+    case SectionId::kSq8Params: return "sq8-params";
+    case SectionId::kSq8Codes: return "sq8-codes";
+    case SectionId::kSq8RowNorms: return "sq8-row-norms";
   }
   return "unknown";
 }

@@ -9,6 +9,7 @@
 
 #include "ann/flat_index.h"
 #include "ann/pq_index.h"
+#include "ann/sq8_index.h"
 #include "ann/topk.h"
 #include "common/cpu_features.h"
 #include "common/rng.h"
@@ -21,7 +22,7 @@ namespace k = kernels;
 /// Every non-scalar family this build + CPU can actually run.
 std::vector<const k::KernelTable*> SimdTables() {
   std::vector<const k::KernelTable*> tables;
-  for (k::Arch arch : {k::Arch::kAvx2, k::Arch::kNeon}) {
+  for (k::Arch arch : {k::Arch::kAvx2, k::Arch::kAvx512, k::Arch::kNeon}) {
     if (const k::KernelTable* t = k::Table(arch)) tables.push_back(t);
   }
   return tables;
@@ -182,6 +183,101 @@ TEST(KernelsTest, AdcScanBlockMatchesScalar) {
   }
 }
 
+// --- SQ8 kernels ------------------------------------------------------------
+
+TEST(KernelsTest, Sq8AdotMatchesScalarAcrossDims) {
+  const k::KernelTable* scalar = k::Table(k::Arch::kScalar);
+  Rng rng(109);
+  for (const k::KernelTable* simd : SimdTables()) {
+    for (int64_t dim : kDims) {
+      for (int rep = 0; rep < 8; ++rep) {
+        const auto w = RandomVec(&rng, dim, -2.0f, 2.0f);
+        std::vector<uint8_t> codes(dim);
+        for (auto& c : codes) c = static_cast<uint8_t>(rng.Uniform(256));
+        const float want = scalar->sq8_adot(w.data(), codes.data(), dim);
+        const float got = simd->sq8_adot(w.data(), codes.data(), dim);
+        ExpectRelNear(got, want, 1e-4f);
+      }
+    }
+  }
+}
+
+TEST(KernelsTest, Sq8AdotBatchMatchesScalar) {
+  const k::KernelTable* scalar = k::Table(k::Arch::kScalar);
+  Rng rng(110);
+  for (const k::KernelTable* simd : SimdTables()) {
+    for (int64_t dim : {3, 17, 64}) {
+      for (int64_t n : {1, 2, 7, 63, 100}) {
+        const auto w = RandomVec(&rng, dim, -2.0f, 2.0f);
+        std::vector<uint8_t> codes(n * dim);
+        for (auto& c : codes) c = static_cast<uint8_t>(rng.Uniform(256));
+        std::vector<float> want(n), got(n);
+        scalar->sq8_adot_batch(w.data(), codes.data(), n, dim, want.data());
+        simd->sq8_adot_batch(w.data(), codes.data(), n, dim, got.data());
+        for (int64_t i = 0; i < n; ++i) ExpectRelNear(got[i], want[i], 1e-4f);
+      }
+    }
+  }
+}
+
+TEST(KernelsTest, Sq8QdotExactlyMatchesScalarAcrossDims) {
+  // Integer kernel: every tier must agree bit-for-bit, not within
+  // tolerance — the widening paths (vpmaddwd / vpdpbusd / vmlal) are exact.
+  const k::KernelTable* scalar = k::Table(k::Arch::kScalar);
+  Rng rng(111);
+  for (const k::KernelTable* simd : SimdTables()) {
+    for (int64_t dim : kDims) {
+      for (int rep = 0; rep < 8; ++rep) {
+        std::vector<int8_t> w(dim);
+        std::vector<uint8_t> codes(dim);
+        for (auto& x : w) x = static_cast<int8_t>(rng.Uniform(256) - 128);
+        for (auto& c : codes) c = static_cast<uint8_t>(rng.Uniform(256));
+        EXPECT_EQ(simd->sq8_qdot(w.data(), codes.data(), dim),
+                  scalar->sq8_qdot(w.data(), codes.data(), dim))
+            << simd->name << " dim " << dim;
+      }
+    }
+  }
+}
+
+TEST(KernelsTest, Sq8QdotSaturationEdgeCasesAreExact) {
+  // The worst case for a 16-bit intermediate: pairs of 255 * (+/-127) and
+  // 255 * -128 sum past +/-32767. A vpmaddubsw-style implementation would
+  // saturate here; the kernels contract is exact arithmetic.
+  const k::KernelTable* scalar = k::Table(k::Arch::kScalar);
+  const int8_t kWeights[] = {-128, -127, 127, -128, 127, -128, -127, 127};
+  for (const k::KernelTable* simd : SimdTables()) {
+    for (int64_t dim : {8, 16, 32, 64, 65, 100, 128, 129}) {
+      std::vector<int8_t> w(dim);
+      std::vector<uint8_t> codes(dim, 255);
+      for (int64_t d = 0; d < dim; ++d) w[d] = kWeights[d % 8];
+      const int32_t want = scalar->sq8_qdot(w.data(), codes.data(), dim);
+      EXPECT_EQ(simd->sq8_qdot(w.data(), codes.data(), dim), want)
+          << simd->name << " dim " << dim;
+      // Independent ground truth, not just scalar-vs-simd agreement.
+      int32_t expect = 0;
+      for (int64_t d = 0; d < dim; ++d) expect += 255 * w[d];
+      EXPECT_EQ(want, expect);
+    }
+  }
+}
+
+TEST(KernelsTest, Sq8QdotBatchMatchesScalar) {
+  const k::KernelTable* scalar = k::Table(k::Arch::kScalar);
+  Rng rng(112);
+  for (const k::KernelTable* simd : SimdTables()) {
+    const int64_t dim = 33, n = 17;
+    std::vector<int8_t> w(dim);
+    std::vector<uint8_t> codes(n * dim);
+    for (auto& x : w) x = static_cast<int8_t>(rng.Uniform(256) - 128);
+    for (auto& c : codes) c = static_cast<uint8_t>(rng.Uniform(256));
+    std::vector<int32_t> want(n), got(n);
+    scalar->sq8_qdot_batch(w.data(), codes.data(), n, dim, want.data());
+    simd->sq8_qdot_batch(w.data(), codes.data(), n, dim, got.data());
+    for (int64_t i = 0; i < n; ++i) EXPECT_EQ(got[i], want[i]);
+  }
+}
+
 // --- end-to-end equivalence: scalar vs dispatched ---------------------------
 
 TEST(KernelDispatchTest, FlatIndexResultsIdenticalScalarVsSimd) {
@@ -240,6 +336,66 @@ TEST(KernelDispatchTest, PqIndexResultsIdenticalScalarVsSimd) {
   }
 }
 
+TEST(KernelDispatchTest, Sq8IndexResultsIdenticalScalarVsSimd) {
+  if (SimdTables().empty()) GTEST_SKIP() << "no SIMD family on this CPU";
+  DispatchGuard guard;
+  Rng rng(113);
+  const int64_t n = 700, dim = 33;  // odd dim: tails in the hot loop
+  const auto data = RandomVec(&rng, n * dim);
+  Sq8Index index(dim);
+  ASSERT_TRUE(index.Train(data.data(), n).ok());
+  ASSERT_TRUE(index.Add(data.data(), n).ok());
+  const auto queries = RandomVec(&rng, 20 * dim);
+
+  ASSERT_TRUE(k::ForceArch(k::Arch::kScalar));
+  const auto scalar_res = index.BatchSearch(queries.data(), 20, 10);
+  for (const k::KernelTable* simd : SimdTables()) {
+    ASSERT_TRUE(k::ForceArch(simd->arch));
+    const auto simd_res = index.BatchSearch(queries.data(), 20, 10);
+    ASSERT_EQ(scalar_res.size(), simd_res.size());
+    for (size_t q = 0; q < scalar_res.size(); ++q) {
+      ASSERT_EQ(scalar_res[q].size(), simd_res[q].size());
+      for (size_t i = 0; i < scalar_res[q].size(); ++i) {
+        EXPECT_EQ(scalar_res[q][i].id, simd_res[q][i].id)
+            << simd->name << " query " << q << " rank " << i;
+        ExpectRelNear(simd_res[q][i].dist, scalar_res[q][i].dist, 1e-4f);
+      }
+    }
+  }
+}
+
+TEST(KernelDispatchTest, Sq8RecallAtLeast99PercentVsExactFlat) {
+  // The Fig. 4-style acceptance bound: on a synthetic catalog of
+  // unit-scale embeddings, quantizing to 8 bits per dimension must keep
+  // the exact nearest neighbor at rank 1 for >= 99% of queries.
+  Rng rng(114);
+  const int64_t n = 2000, dim = 64, num_queries = 500;
+  const auto data = RandomVec(&rng, n * dim);
+  FlatIndex flat(dim);
+  flat.Add(data.data(), n);
+  Sq8Index sq8(dim);
+  ASSERT_TRUE(sq8.Train(data.data(), n).ok());
+  ASSERT_TRUE(sq8.Add(data.data(), n).ok());
+
+  int hits = 0;
+  std::vector<float> query(dim);
+  for (int64_t q = 0; q < num_queries; ++q) {
+    // Queries near the data manifold (a stored row plus noise), as in the
+    // paper's typo-lookup workload.
+    const float* base = data.data() + (rng.Uniform(n)) * dim;
+    for (int64_t d = 0; d < dim; ++d) {
+      query[d] = base[d] + rng.UniformFloat(-0.05f, 0.05f);
+    }
+    const auto want = flat.Search(query.data(), 1);
+    const auto got = sq8.Search(query.data(), 1);
+    ASSERT_EQ(want.size(), 1u);
+    ASSERT_EQ(got.size(), 1u);
+    if (want[0].id == got[0].id) ++hits;
+  }
+  EXPECT_GE(hits, static_cast<int>(0.99 * num_queries))
+      << "recall@1 = " << static_cast<double>(hits) / num_queries;
+}
+
 TEST(KernelDispatchTest, ForceArchRejectsUnsupported) {
   DispatchGuard guard;
 #if !defined(__aarch64__)
@@ -247,9 +403,33 @@ TEST(KernelDispatchTest, ForceArchRejectsUnsupported) {
 #endif
 #if !defined(__x86_64__)
   EXPECT_FALSE(k::ForceArch(k::Arch::kAvx2));
+  EXPECT_FALSE(k::ForceArch(k::Arch::kAvx512));
 #endif
   EXPECT_TRUE(k::ForceArch(k::Arch::kScalar));
   EXPECT_EQ(k::Dispatch().arch, k::Arch::kScalar);
+}
+
+TEST(KernelDispatchTest, Avx512AvailabilityIsConsistentWithCpuAndBuild) {
+  // Table(kAvx512) must be non-null iff the build compiled the tier AND
+  // the CPU has the F+BW+VL trio; forcing it when unavailable reports
+  // false instead of crashing (the EMBLOOKUP_KERNELS=avx512 contract).
+  DispatchGuard guard;
+  const bool available = k::Table(k::Arch::kAvx512) != nullptr;
+#if defined(__x86_64__)
+  if (GetCpuFeatures().avx512) {
+    // On an AVX-512 CPU the tier may still be absent from an old-compiler
+    // build; when present it must be forceable.
+    EXPECT_EQ(k::ForceArch(k::Arch::kAvx512), available);
+    if (available) {
+      EXPECT_EQ(k::Dispatch().arch, k::Arch::kAvx512);
+    }
+  } else {
+    EXPECT_FALSE(available);
+    EXPECT_FALSE(k::ForceArch(k::Arch::kAvx512));
+  }
+#else
+  EXPECT_FALSE(available);
+#endif
 }
 
 // --- TopK (the shared bounded heap) ----------------------------------------

@@ -20,6 +20,7 @@
 #include "ann/ivf_index.h"
 #include "ann/kernels.h"
 #include "ann/pq_index.h"
+#include "ann/sq8_index.h"
 #include "common/rng.h"
 #include "core/emblookup.h"
 #include "core/entity_index.h"
@@ -409,6 +410,93 @@ void TestIvfRoundTrip(ann::IvfIndex::Storage storage, const char* name) {
   }
   EXPECT_EQ(loaded.value().Add(data.data(), 1).code(),
             StatusCode::kFailedPrecondition);
+}
+
+TEST(IndexIoTest, Sq8RoundTripIsBitIdenticalAndZeroCopy) {
+  constexpr int64_t kDim = 16, kN = 500;
+  const auto data = RandomVectors(kN, kDim, 11);
+  ann::Sq8Index index(kDim);
+  ASSERT_TRUE(index.Train(data.data(), kN).ok());
+  ASSERT_TRUE(index.Add(data.data(), kN).ok());
+
+  auto reader = RoundTrip("sq8.snap", [&](store::IndexMeta* meta,
+                                          store::SnapshotWriter* writer) {
+    store::AppendSq8(index, meta, writer);
+  });
+  auto meta = store::ReadIndexMeta(*reader);
+  ASSERT_TRUE(meta.ok());
+  EXPECT_EQ(meta.value().backend,
+            static_cast<uint32_t>(store::BackendKind::kSq8));
+  auto loaded = store::LoadSq8(meta.value(), *reader);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ann::Sq8Index& sq8 = loaded.value();
+
+  // Zero-copy: params, codes and row norms must point INTO the mapping.
+  EXPECT_TRUE(sq8.borrowed());
+  EXPECT_EQ(sq8.size(), kN);
+  const store::Section* codes = reader->Find(store::SectionId::kSq8Codes);
+  ASSERT_NE(codes, nullptr);
+  EXPECT_EQ(sq8.codes_data(), codes->data);
+  const store::Section* params = reader->Find(store::SectionId::kSq8Params);
+  ASSERT_NE(params, nullptr);
+  EXPECT_EQ(reinterpret_cast<const uint8_t*>(sq8.params_data()),
+            params->data);
+  const store::Section* norms =
+      reader->Find(store::SectionId::kSq8RowNorms);
+  ASSERT_NE(norms, nullptr);
+  EXPECT_EQ(reinterpret_cast<const uint8_t*>(sq8.row_norms_data()),
+            norms->data);
+
+  const auto queries = RandomVectors(8, kDim, 12);
+  for (int64_t q = 0; q < 8; ++q) {
+    ExpectSameNeighbors(sq8.Search(queries.data() + q * kDim, 10),
+                        index.Search(queries.data() + q * kDim, 10));
+  }
+  auto batch_got = sq8.BatchSearch(queries.data(), 8, 10);
+  auto batch_want = index.BatchSearch(queries.data(), 8, 10);
+  for (size_t q = 0; q < 8; ++q) {
+    ExpectSameNeighbors(batch_got[q], batch_want[q]);
+  }
+
+  // A borrowed index is immutable: Add/Train fail as Status, not a crash.
+  EXPECT_EQ(sq8.Add(data.data(), 1).code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(sq8.Train(data.data(), 1).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(IndexIoTest, Sq8ScanOverMappedCodesMatchesScalar) {
+  if (k::Table(k::Arch::kScalar) == nullptr) {
+    GTEST_SKIP() << "no scalar table";
+  }
+  constexpr int64_t kDim = 33, kN = 600;  // odd dim: scalar-tail coverage
+  const auto data = RandomVectors(kN, kDim, 13);
+  ann::Sq8Index index(kDim);
+  ASSERT_TRUE(index.Train(data.data(), kN).ok());
+  ASSERT_TRUE(index.Add(data.data(), kN).ok());
+
+  auto reader = RoundTrip("sq8_simd.snap", [&](store::IndexMeta* meta,
+                                               store::SnapshotWriter* writer) {
+    store::AppendSq8(index, meta, writer);
+  });
+  auto meta = store::ReadIndexMeta(*reader);
+  ASSERT_TRUE(meta.ok());
+  auto loaded = store::LoadSq8(meta.value(), *reader);
+  ASSERT_TRUE(loaded.ok());
+
+  // The dispatched (possibly SIMD) kernels scan the mmap'd codes in
+  // place; results must equal a forced-scalar scan of the same mapping.
+  const k::Arch original = k::Dispatch().arch;
+  const auto queries = RandomVectors(4, kDim, 14);
+  std::vector<std::vector<ann::Neighbor>> dispatched;
+  for (int64_t q = 0; q < 4; ++q) {
+    dispatched.push_back(loaded.value().Search(queries.data() + q * kDim, 10));
+  }
+  ASSERT_TRUE(k::ForceArch(k::Arch::kScalar));
+  for (int64_t q = 0; q < 4; ++q) {
+    ExpectNearNeighbors(loaded.value().Search(queries.data() + q * kDim, 10),
+                        dispatched[q]);
+  }
+  k::ForceArch(original);
 }
 
 TEST(IndexIoTest, IvfFlatRoundTripIsBitIdentical) {

@@ -484,6 +484,43 @@ TEST(UpdaterTest, MutationErrorCases) {
   EXPECT_EQ(up->stats().last_seq, 1u);
 }
 
+TEST(UpdaterTest, Sq8BackendSupportsDeltaOverlayAndCompaction) {
+  // The SQ8 main index serves through the same delta-overlay/compaction
+  // machinery as the other approximate backends: fresh entities hit from
+  // the delta, tombstones mask removed ones, and Compact() retrains the
+  // quantizer on the surviving catalog.
+  kg::KnowledgeGraph graph = BaseKg();
+  core::EmbLookupOptions options = FastOptions(/*index_aliases=*/false);
+  options.index.kind = core::IndexKind::kSq8;
+  auto loaded = core::EmbLookup::LoadFromKg(graph, options, ModelPath());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  auto el = std::move(loaded).value();
+  EXPECT_EQ(el->index().kind(), core::IndexKind::kSq8);
+  EXPECT_TRUE(el->index().compressed());
+  auto up = OpenUpdater(el.get(), &graph,
+                        ForegroundOptions(FreshWal("upd_sq8.wal")));
+
+  auto id = up->AddEntity("zyqqian polymerase", "Q99901", {});
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  auto by_label = el->Lookup("zyqqian polymerase", 3);
+  ASSERT_FALSE(by_label.empty());
+  EXPECT_EQ(by_label[0].entity, id.value());
+
+  ASSERT_TRUE(up->RemoveEntity(5).ok());
+  for (const auto& hit : el->Lookup(graph.entity(5).label, 10)) {
+    EXPECT_NE(hit.entity, 5);
+  }
+
+  ASSERT_TRUE(up->Compact().ok());
+  EXPECT_EQ(up->stats().delta_rows, 0);
+  auto after = el->Lookup("zyqqian polymerase", 3);
+  ASSERT_FALSE(after.empty());
+  EXPECT_EQ(after[0].entity, id.value());
+  for (const auto& hit : el->Lookup(graph.entity(5).label, 10)) {
+    EXPECT_NE(hit.entity, 5);
+  }
+}
+
 void RunEquivalenceTest(bool index_aliases, uint64_t seed) {
   kg::KnowledgeGraph graph = BaseKg();
   auto el = MakeInstance(graph, index_aliases);

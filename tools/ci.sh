@@ -3,19 +3,24 @@
 #   1. tier-1 verify — portable (no -march=native) Release build + full
 #      ctest suite (ROADMAP.md's gate); the build includes every bench
 #      target, so bench-only bit-rot fails here too;
-#   2. the same suite under EMBLOOKUP_KERNELS=scalar, pinning the SIMD
-#      dispatcher to the portable fallback kernels so that path stays
-#      green on hardware where it is never auto-selected;
+#   2. the same suite once per kernel tier the host can actually run
+#      (EMBLOOKUP_KERNELS=scalar|avx2|avx512|neon, probed through
+#      `emblookup_cli kernel-info`): tiers the CPU or build lacks are
+#      skipped — not failed — so one CI script serves every machine,
+#      and the scalar fallback stays green on hardware where it is
+#      never auto-selected;
 #   3. ASan pass over the concurrency-heavy suites (common_test +
-#      serve_test), the kernel property tests, store_test, and
+#      serve_test), the kernel property tests, the index suites
+#      (ann_test incl. SQ8 quantization, store_test), and
 #      update_test (snapshot/WAL corruption handling must fail with
 #      Status, never with UB);
 #   4. TSan pass over the lock-sensitive suites — serve_test plus the
 #      update subsystem's mutate-while-lookup stress test — pinning the
 #      RCU publish / epoch-invalidation paths data-race-free;
 #   5. snapshot round trip through the CLI — build-snapshot ->
-#      snapshot-info -> serve --snapshot on a tiny synthetic KG, proving
-#      the on-disk container end to end (DESIGN.md §7);
+#      snapshot-info -> serve --snapshot on a tiny synthetic KG for both
+#      the pq and sq8 backends, proving the on-disk container end to end
+#      (DESIGN.md §7);
 #   6. loopback remote serving end to end — serve --port on an ephemeral
 #      port, remote-bench against it over the binary wire protocol
 #      (DESIGN.md §10): --verify-local 1 asserts remote results are
@@ -36,17 +41,31 @@ cmake -B build-ci -S . -DEMBLOOKUP_NATIVE_ARCH=OFF
 cmake --build build-ci -j "$JOBS"
 (cd build-ci && ctest --output-on-failure -j "$JOBS")
 
-echo "== tier-1b: scalar-kernel fallback ctest =="
-(cd build-ci && EMBLOOKUP_KERNELS=scalar ctest --output-on-failure -j "$JOBS")
+echo "== tier-1b: ctest per forced kernel tier (skip-not-fail) =="
+# kernel-info reports which ISA tiers this build + CPU can execute; run
+# the full suite pinned to each available tier and skip the rest, so the
+# same script passes on AVX-512, AVX2-only, and aarch64 hosts alike.
+KINFO="$(build-ci/tools/emblookup_cli kernel-info)"
+echo "$KINFO"
+for tier in scalar avx2 avx512 neon; do
+  if echo "$KINFO" | grep -q "^tier $tier: available"; then
+    echo "-- ctest under EMBLOOKUP_KERNELS=$tier --"
+    (cd build-ci && EMBLOOKUP_KERNELS=$tier ctest --output-on-failure -j "$JOBS")
+  else
+    echo "-- tier $tier unavailable on this host: skipped --"
+  fi
+done
 
-echo "== asan: common_test + serve_test + kernels_test + store_test + update_test + net_test =="
+echo "== asan: common_test + serve_test + kernels_test + ann_test + store_test + update_test + net_test =="
 cmake -B build-asan -S . -DEMBLOOKUP_NATIVE_ARCH=OFF \
   -DEMBLOOKUP_SANITIZE=address
 cmake --build build-asan -j "$JOBS" --target common_test serve_test \
-  kernels_test store_test update_test obs_test net_test
+  kernels_test ann_test store_test update_test obs_test net_test
 ./build-asan/tests/common_test
 ./build-asan/tests/serve_test
 ./build-asan/tests/kernels_test
+# SQ8 train/encode/asymmetric-scan plus the PQ/IVF suites under ASan.
+./build-asan/tests/ann_test
 ./build-asan/tests/store_test
 ./build-asan/tests/update_test
 ./build-asan/tests/obs_test
@@ -76,6 +95,14 @@ CLI=build-ci/tools/emblookup_cli
   --out "$SNAPDIR/snap.bin" --kind pq --epochs 2 --triplets 4
 "$CLI" snapshot-info "$SNAPDIR/snap.bin"
 "$CLI" serve --kg "$SNAPDIR/kg.tsv" --snapshot "$SNAPDIR/snap.bin" \
+  --clients 2 --requests 100 --epochs 2 --triplets 4
+# Same round trip for the SQ8 int8 backend: its three sections
+# (sq8-params / sq8-codes / sq8-row-norms) must survive the container
+# and serve zero-copy off the mapping.
+"$CLI" build-snapshot --kg "$SNAPDIR/kg.tsv" --model "$SNAPDIR/model.bin" \
+  --out "$SNAPDIR/snap-sq8.bin" --kind sq8 --epochs 2 --triplets 4
+"$CLI" snapshot-info "$SNAPDIR/snap-sq8.bin"
+"$CLI" serve --kg "$SNAPDIR/kg.tsv" --snapshot "$SNAPDIR/snap-sq8.bin" \
   --clients 2 --requests 100 --epochs 2 --triplets 4
 
 echo "== e2e loopback: serve --port -> remote-bench over the wire protocol =="

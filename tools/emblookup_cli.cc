@@ -21,9 +21,11 @@
 //   emblookup_cli metrics-dump --kg kg.tsv --model model.bin
 //                             [--wal wal.log] [--requests 200] [--k 10]
 //   emblookup_cli build-snapshot --kg kg.tsv --model model.bin
-//                             --out snap.bin [--kind flat|pq|ivfflat|ivfpq]
+//                             --out snap.bin
+//                             [--kind flat|pq|ivfflat|ivfpq|sq8]
 //                             [--aliases 0|1]
 //   emblookup_cli snapshot-info snap.bin
+//   emblookup_cli kernel-info
 //   emblookup_cli add-entity  --kg kg.tsv --model model.bin --wal wal.log
 //                             --label L [--qid Q] [--aliases "a,b"] [--k K]
 //   emblookup_cli remove-entity --kg kg.tsv --model model.bin --wal wal.log
@@ -72,6 +74,12 @@
 // and late injections are reported). `--verify-local 1` first checks that
 // remote results are bit-identical to an in-process LookupServer built
 // from the same --kg/--model.
+//
+// Every command that builds an index accepts --kind (synonym: --index) to
+// pick the ANN backend; `kernel-info` reports which SIMD kernel tiers this
+// build/CPU supports and which one dispatch selected (honors the
+// EMBLOOKUP_KERNELS override) — CI uses it to skip unavailable forced
+// tiers instead of failing.
 
 #include <algorithm>
 #include <atomic>
@@ -93,6 +101,7 @@
 #include <sys/socket.h>
 #endif
 
+#include "ann/kernels.h"
 #include "common/rng.h"
 #include "common/timing.h"
 #include "core/emblookup.h"
@@ -164,8 +173,9 @@ int Usage() {
       "  emblookup_cli metrics-dump --kg kg.tsv --model model.bin"
       " [--wal W] [--requests N] [--k K]\n"
       "  emblookup_cli build-snapshot --kg kg.tsv --model model.bin"
-      " --out snap.bin [--kind flat|pq|ivfflat|ivfpq] [--aliases 0|1]\n"
+      " --out snap.bin [--kind flat|pq|ivfflat|ivfpq|sq8] [--aliases 0|1]\n"
       "  emblookup_cli snapshot-info snap.bin\n"
+      "  emblookup_cli kernel-info\n"
       "  emblookup_cli add-entity --kg kg.tsv --model model.bin"
       " --wal wal.log --label L [--qid Q] [--aliases \"a,b\"] [--k K]\n"
       "  emblookup_cli remove-entity --kg kg.tsv --model model.bin"
@@ -175,13 +185,14 @@ int Usage() {
   return 2;
 }
 
-/// --kind flag -> IndexKind ("" keeps the config default).
+/// --kind / --index flag -> IndexKind ("" keeps the config default).
 bool ParseKind(const std::string& name, core::IndexKind* kind) {
   if (name.empty() || name == "auto") *kind = core::IndexKind::kAuto;
   else if (name == "flat") *kind = core::IndexKind::kFlat;
   else if (name == "pq") *kind = core::IndexKind::kPq;
   else if (name == "ivfflat") *kind = core::IndexKind::kIvfFlat;
   else if (name == "ivfpq") *kind = core::IndexKind::kIvfPq;
+  else if (name == "sq8") *kind = core::IndexKind::kSq8;
   else return false;
   return true;
 }
@@ -207,12 +218,17 @@ int SnapshotInfo(const std::string& path) {
   auto meta = store::ReadIndexMeta(*reader);
   if (meta.ok()) {
     const store::IndexMeta& m = meta.value();
-    static const char* kBackendNames[] = {"none", "flat", "pq", "ivf-flat",
-                                          "ivf-pq"};
+    static const char* kBackendNames[] = {"none",   "flat", "pq",
+                                          "ivf-flat", "ivf-pq", "sq8"};
     const char* backend =
-        m.backend < 5 ? kBackendNames[m.backend] : "unknown";
+        m.backend < 6 ? kBackendNames[m.backend] : "unknown";
     std::printf("index: %s, dim=%lld, rows=%lld", backend,
                 static_cast<long long>(m.dim), static_cast<long long>(m.count));
+    if (m.backend == static_cast<uint32_t>(store::BackendKind::kSq8)) {
+      std::printf(", sq8: scale/offset params=%lld floats, code bytes=%lld",
+                  static_cast<long long>(2 * m.dim),
+                  static_cast<long long>(m.count * m.dim));
+    }
     if (m.pq_m > 0) {
       std::printf(", pq_m=%lld, ksub=%lld", static_cast<long long>(m.pq_m),
                   static_cast<long long>(m.pq_ksub));
@@ -662,6 +678,21 @@ int main(int argc, char** argv) {
     return SnapshotInfo(argv[2]);
   }
 
+  if (command == "kernel-info") {
+    // Which SIMD tiers this build + CPU can execute, and which one
+    // dispatch picked (EMBLOOKUP_KERNELS is honored, so forcing an
+    // unavailable tier visibly falls back here rather than crashing).
+    using ann::kernels::Arch;
+    for (Arch arch :
+         {Arch::kScalar, Arch::kAvx2, Arch::kAvx512, Arch::kNeon}) {
+      std::printf("tier %s: %s\n", ann::kernels::ArchName(arch),
+                  ann::kernels::Table(arch) != nullptr ? "available"
+                                                       : "unavailable");
+    }
+    std::printf("dispatched: %s\n", ann::kernels::Dispatch().name);
+    return 0;
+  }
+
   // Remaining commands need a KG; all but `serve --snapshot` (which reads
   // the encoder weights out of the snapshot) also need a model file.
   const std::string kg_path = FlagStr(flags, "kg");
@@ -683,7 +714,15 @@ int main(int argc, char** argv) {
     return 1;
   }
   kg::KnowledgeGraph graph = std::move(loaded).value();
-  const core::EmbLookupOptions options = MakeOptions(flags);
+  core::EmbLookupOptions options = MakeOptions(flags);
+  // Backend selection applies to every command that builds an index
+  // (--index is a synonym for --kind; build-snapshot, serve, lookup, ...).
+  const std::string kind_flag =
+      FlagStr(flags, "kind", FlagStr(flags, "index"));
+  if (!ParseKind(kind_flag, &options.index.kind)) {
+    std::fprintf(stderr, "unknown index kind '%s'\n", kind_flag.c_str());
+    return Usage();
+  }
 
   if (command == "remote-bench") {
     return RunRemoteBench(flags, graph, options, model_path);
@@ -710,10 +749,7 @@ int main(int argc, char** argv) {
   if (command == "build-snapshot") {
     const std::string out = FlagStr(flags, "out");
     if (out.empty()) return Usage();
-    core::EmbLookupOptions snap_options = options;
-    if (!ParseKind(FlagStr(flags, "kind"), &snap_options.index.kind)) {
-      return Usage();
-    }
+    core::EmbLookupOptions snap_options = options;  // --kind parsed above
     snap_options.index.index_aliases = FlagInt(flags, "aliases", 0) != 0;
     auto restored =
         core::EmbLookup::LoadFromKg(graph, snap_options, model_path);
