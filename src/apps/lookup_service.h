@@ -9,6 +9,14 @@
 
 namespace emblookup::apps {
 
+/// One scored candidate: entity id plus the backend's comparable score
+/// (for EmbLookup, the exact L2 distance — smaller is better). Sharded
+/// serving (DESIGN.md §12) merges per-shard candidates by this score.
+struct ScoredEntity {
+  kg::EntityId id = 0;
+  float dist = 0.0f;
+};
+
 /// The pluggable lookup(q, k) operation of §II: returns a candidate set of
 /// KG entity ids for a query string, most relevant first. Implementations
 /// cover EmbLookup itself and the eight baselines of Table V. Annotation
@@ -33,6 +41,25 @@ class LookupService {
     std::vector<std::vector<kg::EntityId>> out;
     out.reserve(queries.size());
     for (const auto& q : queries) out.push_back(Lookup(q, k));
+    return out;
+  }
+
+  /// Scored bulk lookup for backends with a comparable distance (needed by
+  /// the cluster router's cross-shard merge). Default wraps BulkLookup with
+  /// the rank as a synthetic distance — fine for single-node serving, NOT
+  /// mergeable across shards. EmbLookupService overrides with exact L2.
+  virtual std::vector<std::vector<ScoredEntity>> BulkLookupScored(
+      const std::vector<std::string>& queries, int64_t k) {
+    std::vector<std::vector<ScoredEntity>> out;
+    out.reserve(queries.size());
+    for (auto& ids : BulkLookup(queries, k)) {
+      std::vector<ScoredEntity> scored;
+      scored.reserve(ids.size());
+      for (size_t rank = 0; rank < ids.size(); ++rank) {
+        scored.push_back({ids[rank], static_cast<float>(rank)});
+      }
+      out.push_back(std::move(scored));
+    }
     return out;
   }
 

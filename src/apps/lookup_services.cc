@@ -55,6 +55,19 @@ std::vector<std::vector<kg::EntityId>> EmbLookupService::BulkLookup(
   return out;
 }
 
+std::vector<std::vector<ScoredEntity>> EmbLookupService::BulkLookupScored(
+    const std::vector<std::string>& queries, int64_t k) {
+  std::vector<std::vector<ScoredEntity>> out(queries.size());
+  auto results = el_->BulkLookup(queries, k, parallel_);
+  for (size_t i = 0; i < results.size(); ++i) {
+    out[i].reserve(results[i].size());
+    for (const core::LookupResult& r : results[i]) {
+      out[i].push_back({r.entity, r.dist});
+    }
+  }
+  return out;
+}
+
 // ---------------------------------------------------------------------------
 // FuzzyWuzzyService
 // ---------------------------------------------------------------------------

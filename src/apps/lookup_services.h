@@ -30,6 +30,8 @@ class EmbLookupService : public LookupService {
                                    int64_t k) override;
   std::vector<std::vector<kg::EntityId>> BulkLookup(
       const std::vector<std::string>& queries, int64_t k) override;
+  std::vector<std::vector<ScoredEntity>> BulkLookupScored(
+      const std::vector<std::string>& queries, int64_t k) override;
 
  private:
   core::EmbLookup* el_;  // Not owned.

@@ -1,0 +1,70 @@
+#include "cluster/metrics.h"
+
+#include "obs/prometheus.h"
+
+namespace emblookup::cluster {
+
+std::string PrometheusClusterText(const RouterStatsSnapshot* router,
+                                  const WalShipStatsSnapshot* ship,
+                                  const WalReplicaStatsSnapshot* replica) {
+  const RouterStatsSnapshot r = router ? *router : RouterStatsSnapshot();
+  const WalShipStatsSnapshot s = ship ? *ship : WalShipStatsSnapshot();
+  const WalReplicaStatsSnapshot f =
+      replica ? *replica : WalReplicaStatsSnapshot();
+  obs::PrometheusWriter w;
+  w.Counter("emblookup_cluster_router_requests_total",
+            "Lookups routed (scatter-gathered) across the shard fleet.",
+            r.requests);
+  w.Counter("emblookup_cluster_router_partial_total",
+            "Routed answers that were explicitly partial (missing >= 1 "
+            "shard).",
+            r.partial_responses);
+  w.Counter("emblookup_cluster_shard_rpcs_total",
+            "Per-shard lookup RPC attempts issued by the router.",
+            r.shard_rpcs);
+  w.Counter("emblookup_cluster_shard_rpc_failures_total",
+            "Shard RPC attempts that failed (timeout, transport, or error "
+            "reply).",
+            r.shard_rpc_failures);
+  w.Counter("emblookup_cluster_shard_retries_total",
+            "Transient shard RPC failures retried on a fresh connection.",
+            r.shard_retries);
+  w.Counter("emblookup_cluster_hedged_rpcs_total",
+            "Duplicate (hedged) shard RPCs fired after the hedge delay.",
+            r.hedged_rpcs);
+  w.Counter("emblookup_cluster_ejections_total",
+            "Shards ejected from the fan-out after consecutive failures.",
+            r.ejections);
+  w.Counter("emblookup_cluster_reinstatements_total",
+            "Ejected shards brought back by a successful ping reprobe.",
+            r.reinstatements);
+  w.Gauge("emblookup_cluster_shards_ejected",
+          "Shards currently ejected from the fan-out.",
+          static_cast<double>(r.shards_ejected));
+  w.Counter("emblookup_cluster_wal_segments_shipped_total",
+            "WAL segments shipped to followers, heartbeats included.",
+            s.segments_shipped);
+  w.Counter("emblookup_cluster_wal_records_shipped_total",
+            "WAL records shipped to followers.", s.records_shipped);
+  w.Gauge("emblookup_cluster_followers_connected",
+          "Followers currently subscribed to this leader's WAL stream.",
+          static_cast<double>(s.followers_connected));
+  w.Gauge("emblookup_cluster_replication_lag_seq",
+          "Mutations the local replica is behind its leader (0 = "
+          "converged).",
+          static_cast<double>(f.replication_lag_seq));
+  w.Histogram("emblookup_cluster_freshness_microseconds",
+              "Per-segment replication freshness: local apply wall time "
+              "minus the leader's ship wall time.",
+              f.freshness_us);
+  w.Counter("emblookup_cluster_wal_records_replayed_total",
+            "Shipped WAL records replayed into the local replica.",
+            f.records_replayed);
+  w.Counter("emblookup_cluster_replica_reconnects_total",
+            "Times the replica re-subscribed after losing its leader "
+            "connection.",
+            f.reconnects);
+  return w.Finish();
+}
+
+}  // namespace emblookup::cluster

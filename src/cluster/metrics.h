@@ -1,0 +1,23 @@
+#ifndef EMBLOOKUP_CLUSTER_METRICS_H_
+#define EMBLOOKUP_CLUSTER_METRICS_H_
+
+#include <string>
+
+#include "cluster/replication.h"
+#include "cluster/router.h"
+
+namespace emblookup::cluster {
+
+/// Renders the cluster metric families (`emblookup_cluster_*`) in the
+/// Prometheus text format — router scatter-gather counters, leader WAL
+/// shipping, and replica lag/freshness. Any component this process does
+/// not run may be passed as nullptr: its families are still emitted,
+/// zeroed, so the metrics⟷docs set-equality gate sees one stable family
+/// list regardless of role (OBSERVABILITY.md).
+std::string PrometheusClusterText(const RouterStatsSnapshot* router,
+                                  const WalShipStatsSnapshot* ship,
+                                  const WalReplicaStatsSnapshot* replica);
+
+}  // namespace emblookup::cluster
+
+#endif  // EMBLOOKUP_CLUSTER_METRICS_H_

@@ -1,0 +1,374 @@
+#include "cluster/replication.h"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "net/wire.h"
+#include "obs/trace.h"
+
+#if !defined(_WIN32)
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+namespace emblookup::cluster {
+
+namespace {
+
+/// Wall-clock microseconds since the epoch — shipped in segments so the
+/// replica can measure end-to-end freshness across processes.
+uint64_t WallMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Segments must fit the wire payload cap with comfortable headroom.
+constexpr size_t kMaxSegmentBytes = 768u << 10;
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// WalShipServer (leader)
+// ---------------------------------------------------------------------------
+
+WalShipServer::WalShipServer() = default;
+
+WalShipServer::~WalShipServer() { Stop(); }
+
+Status WalShipServer::Start(update::IndexUpdater* updater, int port,
+                            WalShipOptions options) {
+  if (updater == nullptr) {
+    return Status::InvalidArgument("updater must not be null");
+  }
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("WalShipServer already started");
+  }
+  updater_ = updater;
+  options_ = options;
+  if (options_.max_segment_records == 0) options_.max_segment_records = 1;
+  EL_RETURN_NOT_OK(listener_.Listen(port, options_.backlog));
+  port_ = listener_.port();
+  // The listener callback runs under the updater mutex: push + notify,
+  // nothing that can block or re-enter.
+  updater_->SetMutationListener([this](const update::Mutation& m) {
+    {
+      std::lock_guard<std::mutex> lock(tail_mu_);
+      tail_.push_back(m);
+      while (tail_.size() > options_.tail_capacity) tail_.pop_front();
+    }
+    tail_cv_.notify_all();
+  });
+  running_.store(true, std::memory_order_release);
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void WalShipServer::Stop() {
+  std::lock_guard<std::mutex> stop_lock(stop_mu_);
+  if (!running_.exchange(false)) return;
+  updater_->SetMutationListener(nullptr);
+  tail_cv_.notify_all();
+  const int listen_fd = listener_.Detach();
+  if (acceptor_.joinable()) acceptor_.join();
+  net::Listener::CloseFd(listen_fd);
+  {
+    std::lock_guard<std::mutex> lock(followers_mu_);
+#if !defined(_WIN32)
+    for (const int fd : follower_fds_) ::shutdown(fd, SHUT_RDWR);
+#endif
+  }
+  for (auto& thread : followers_) {
+    if (thread.joinable()) thread.join();
+  }
+  followers_.clear();
+  follower_fds_.clear();
+}
+
+WalShipStatsSnapshot WalShipServer::Stats() const {
+  WalShipStatsSnapshot s;
+  s.segments_shipped = segments_shipped_.load(std::memory_order_relaxed);
+  s.records_shipped = records_shipped_.load(std::memory_order_relaxed);
+  s.followers_connected =
+      followers_connected_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void WalShipServer::AcceptLoop() {
+  for (;;) {
+    Result<int> accepted = listener_.AcceptBlocking();
+    if (!accepted.ok()) return;  // Detached: shutting down.
+    const int fd = accepted.value();
+    (void)net::SetNoDelay(fd);
+    std::lock_guard<std::mutex> lock(followers_mu_);
+    follower_fds_.push_back(fd);
+    followers_.emplace_back([this, fd] { ServeFollower(fd); });
+  }
+}
+
+void WalShipServer::ServeFollower(int fd) {
+#if !defined(_WIN32)
+  // One subscribe frame opens the stream; everything after is one-way.
+  std::string buffer;
+  char chunk[1024];
+  net::Frame subscribe;
+  for (;;) {
+    Result<size_t> consumed = net::DecodeFrame(
+        reinterpret_cast<const uint8_t*>(buffer.data()), buffer.size(),
+        net::kDefaultMaxPayloadBytes, &subscribe);
+    if (!consumed.ok()) {
+      std::string out;
+      net::AppendError(&out, 0, consumed.status());
+      (void)net::SendAll(fd, out.data(), out.size());
+      ::close(fd);
+      return;
+    }
+    if (consumed.value() > 0) break;
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n == 0 || (n < 0 && errno != EINTR)) {
+      ::close(fd);
+      return;
+    }
+    if (n > 0) buffer.append(chunk, static_cast<size_t>(n));
+  }
+  if (subscribe.type != net::FrameType::kWalSubscribe) {
+    std::string out;
+    net::AppendError(&out, subscribe.request_id,
+                     Status::InvalidArgument(
+                         "replication port speaks kWalSubscribe only"));
+    (void)net::SendAll(fd, out.data(), out.size());
+    ::close(fd);
+    return;
+  }
+
+  followers_connected_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t next = subscribe.wal_from_seq;  // Highest seq the follower has.
+  const auto ship = [&](uint64_t leader_seq, uint32_t count,
+                        const std::string& records) {
+    obs::Span span(obs::Stage::kWalShip);
+    std::string out;
+    net::AppendWalSegment(&out, /*request_id=*/0, leader_seq, WallMicros(),
+                          count, records);
+    const bool sent = net::SendAll(fd, out.data(), out.size()).ok();
+    span.End();
+    if (sent) {
+      segments_shipped_.fetch_add(1, std::memory_order_relaxed);
+      records_shipped_.fetch_add(count, std::memory_order_relaxed);
+    }
+    return sent;
+  };
+
+  while (running_.load(std::memory_order_acquire)) {
+    const uint64_t leader_seq = updater_->stats().last_seq;
+    // A follower whose next record predates the live tail (or the tail is
+    // empty while it is behind) catches up from the WAL file.
+    bool catch_up = false;
+    std::vector<update::Mutation> live;
+    {
+      std::unique_lock<std::mutex> lock(tail_mu_);
+      const bool tail_covers =
+          !tail_.empty() && tail_.front().seq <= next + 1;
+      if (next < leader_seq && !tail_covers) {
+        catch_up = true;
+      } else {
+        for (const update::Mutation& m : tail_) {
+          if (m.seq > next) live.push_back(m);
+        }
+        if (live.empty()) {
+          tail_cv_.wait_for(
+              lock, std::chrono::milliseconds(options_.heartbeat_ms), [&] {
+                return !running_.load(std::memory_order_acquire) ||
+                       (!tail_.empty() && tail_.back().seq > next);
+              });
+          for (const update::Mutation& m : tail_) {
+            if (m.seq > next) live.push_back(m);
+          }
+        }
+      }
+    }
+    if (catch_up) {
+      auto records = updater_->ReadWalSince(next);
+      if (!records.ok()) break;  // WAL unreadable: drop the follower.
+      size_t cursor = 0;
+      bool sent = true;
+      while (sent && cursor < records.value().size()) {
+        uint32_t count = 0;
+        uint64_t last_seq = next;
+        const std::string body =
+            NextCatchUpBody(records.value(), &cursor, &count, &last_seq);
+        if (count == 0) break;
+        sent = ship(updater_->stats().last_seq, count, body);
+        if (sent) next = last_seq;
+      }
+      if (!sent) break;
+      continue;
+    }
+    if (!live.empty()) {
+      size_t cursor = 0;
+      bool sent = true;
+      while (sent && cursor < live.size()) {
+        uint32_t count = 0;
+        uint64_t last_seq = next;
+        const std::string body =
+            NextCatchUpBody(live, &cursor, &count, &last_seq);
+        if (count == 0) break;
+        sent = ship(updater_->stats().last_seq, count, body);
+        if (sent) next = last_seq;
+      }
+      if (!sent) break;
+      continue;
+    }
+    // Idle: heartbeat so the follower's lag/freshness stay measurable.
+    if (!ship(leader_seq, 0, std::string())) break;
+  }
+  followers_connected_.fetch_sub(1, std::memory_order_relaxed);
+  ::close(fd);
+#else
+  (void)fd;
+#endif
+}
+
+std::string WalShipServer::NextCatchUpBody(
+    const std::vector<update::Mutation>& records, size_t* cursor,
+    uint32_t* count, uint64_t* last_seq) {
+  std::string body;
+  *count = 0;
+  while (*cursor < records.size() && *count < options_.max_segment_records) {
+    const update::Mutation& m = records[*cursor];
+    const std::vector<uint8_t> encoded = update::EncodeRecord(m);
+    if (!body.empty() && body.size() + encoded.size() > kMaxSegmentBytes) {
+      break;
+    }
+    body.append(reinterpret_cast<const char*>(encoded.data()),
+                encoded.size());
+    *last_seq = m.seq;
+    ++*count;
+    ++*cursor;
+  }
+  return body;
+}
+
+// ---------------------------------------------------------------------------
+// WalReplica (follower)
+// ---------------------------------------------------------------------------
+
+WalReplica::WalReplica()
+    : freshness_us_(obs::Histogram::ExponentialBuckets(100.0, 2.0, 18)) {}
+
+WalReplica::~WalReplica() { Stop(); }
+
+Status WalReplica::Start(update::IndexUpdater* updater,
+                         WalReplicaOptions options) {
+  if (updater == nullptr) {
+    return Status::InvalidArgument("updater must not be null");
+  }
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("WalReplica already started");
+  }
+  updater_ = updater;
+  options_ = std::move(options);
+  client_ = std::make_unique<net::RemoteClient>();
+  running_.store(true, std::memory_order_release);
+  runner_ = std::thread([this] { RunLoop(); });
+  return Status::OK();
+}
+
+void WalReplica::Stop() {
+  std::lock_guard<std::mutex> stop_lock(stop_mu_);
+  if (!running_.exchange(false)) return;
+  client_->Shutdown();  // Wakes a blocked ReadReply.
+  if (runner_.joinable()) runner_.join();
+  client_->Close();
+}
+
+bool WalReplica::WaitForSeq(uint64_t seq, std::chrono::milliseconds timeout) {
+  return updater_->WaitForSeq(seq, timeout);
+}
+
+WalReplicaStatsSnapshot WalReplica::Stats() const {
+  WalReplicaStatsSnapshot s;
+  s.leader_seq = leader_seq_.load(std::memory_order_relaxed);
+  s.applied_seq = updater_ == nullptr ? 0 : updater_->stats().last_seq;
+  s.replication_lag_seq =
+      s.leader_seq > s.applied_seq
+          ? static_cast<int64_t>(s.leader_seq - s.applied_seq)
+          : 0;
+  s.segments_received = segments_received_.load(std::memory_order_relaxed);
+  s.records_replayed = records_replayed_.load(std::memory_order_relaxed);
+  s.replay_errors = replay_errors_.load(std::memory_order_relaxed);
+  s.reconnects = reconnects_.load(std::memory_order_relaxed);
+  s.freshness_us = freshness_us_.Snapshot();
+  return s;
+}
+
+void WalReplica::RunLoop() {
+  bool ever_connected = false;
+  while (running_.load(std::memory_order_acquire)) {
+    Status conn = ever_connected
+                      ? client_->Reconnect(1, options_.reconnect_backoff)
+                      : client_->Connect(options_.leader_host,
+                                         options_.leader_port);
+    if (!conn.ok()) {
+      std::this_thread::sleep_for(options_.reconnect_backoff);
+      continue;
+    }
+    if (ever_connected) {
+      reconnects_.fetch_add(1, std::memory_order_relaxed);
+    }
+    ever_connected = true;
+    // Subscribe from whatever the local updater already applied — after a
+    // drop or a replay error this naturally re-requests the right suffix.
+    const uint64_t from = updater_->stats().last_seq;
+    if (!client_->SendWalSubscribe(/*request_id=*/1, from).ok()) {
+      std::this_thread::sleep_for(options_.reconnect_backoff);
+      continue;
+    }
+    bool stream_ok = true;
+    while (stream_ok && running_.load(std::memory_order_acquire)) {
+      Result<net::Frame> frame = client_->ReadReply();
+      if (!frame.ok()) break;  // Disconnect: reconnect + resubscribe.
+      if (frame.value().type != net::FrameType::kWalSegment) {
+        replay_errors_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
+      segments_received_.fetch_add(1, std::memory_order_relaxed);
+      leader_seq_.store(frame.value().leader_seq, std::memory_order_relaxed);
+      if (frame.value().wal_record_count == 0) continue;  // Heartbeat.
+      obs::Span replay(obs::Stage::kWalReplay);
+      // Strict decode: a torn shipped segment is a counted error and a
+      // resubscribe, never a silently shortened batch.
+      update::WalReadOptions strict;
+      strict.tolerate_torn_tail = false;
+      auto contents = update::DecodeRecords(
+          reinterpret_cast<const uint8_t*>(frame.value().wal_records.data()),
+          frame.value().wal_records.size(), strict);
+      if (!contents.ok() ||
+          contents.value().records.size() != frame.value().wal_record_count) {
+        replay_errors_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
+      for (const update::Mutation& m : contents.value().records) {
+        const Status applied = updater_->ApplyReplicated(m);
+        if (!applied.ok()) {  // Seq gap or apply failure: resubscribe.
+          replay_errors_.fetch_add(1, std::memory_order_relaxed);
+          stream_ok = false;
+          break;
+        }
+        records_replayed_.fetch_add(1, std::memory_order_relaxed);
+      }
+      replay.End();
+      const uint64_t now_us = WallMicros();
+      if (now_us >= frame.value().wall_us) {
+        freshness_us_.Record(static_cast<double>(now_us -
+                                                 frame.value().wall_us));
+      }
+    }
+    if (running_.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(options_.reconnect_backoff);
+    }
+  }
+}
+
+}  // namespace emblookup::cluster

@@ -1,0 +1,167 @@
+#ifndef EMBLOOKUP_CLUSTER_REPLICATION_H_
+#define EMBLOOKUP_CLUSTER_REPLICATION_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "net/client.h"
+#include "net/socket.h"
+#include "obs/histogram.h"
+#include "update/updater.h"
+#include "update/wal.h"
+
+namespace emblookup::cluster {
+
+/// WAL shipping (DESIGN.md §12): the leader streams its mutation log to
+/// followers as checksummed, seq-numbered kWalSegment frames; followers
+/// replay each record through IndexUpdater::ApplyReplicated, so a replica
+/// converges to the leader's serving state with bounded, MEASURED lag —
+/// replication_lag_seq (how many mutations behind) and freshness
+/// (wall-clock age of the newest applied record's shipping time).
+
+struct WalShipOptions {
+  /// Idle followers get a 0-record heartbeat segment this often, carrying
+  /// the leader's current seq — lag stays measurable with no traffic.
+  int64_t heartbeat_ms = 200;
+  /// Catch-up batching: at most this many records per shipped segment
+  /// (segments must also stay under the 1 MB wire payload cap).
+  size_t max_segment_records = 256;
+  /// Live-tail ring: mutations kept in memory for followers that are
+  /// nearly caught up; anyone older re-reads the leader's WAL file.
+  size_t tail_capacity = 4096;
+  int backlog = 16;
+};
+
+struct WalShipStatsSnapshot {
+  uint64_t segments_shipped = 0;  ///< Including heartbeats.
+  uint64_t records_shipped = 0;
+  int64_t followers_connected = 0;  ///< Gauge.
+};
+
+/// Leader side: listens for kWalSubscribe(from_seq) and streams segments —
+/// catch-up from the WAL file first, then live mutations tailed via the
+/// updater's mutation listener, with heartbeats while idle. One blocking
+/// thread per follower (replication fan-out is small and long-lived).
+class WalShipServer {
+ public:
+  WalShipServer();
+  ~WalShipServer();  ///< Calls Stop().
+
+  WalShipServer(const WalShipServer&) = delete;
+  WalShipServer& operator=(const WalShipServer&) = delete;
+
+  /// Binds 0.0.0.0:`port` (0 = ephemeral) and installs this server as
+  /// `updater`'s mutation listener (displacing any previous listener).
+  /// `updater` must outlive Stop().
+  Status Start(update::IndexUpdater* updater, int port,
+               WalShipOptions options = WalShipOptions());
+
+  void Stop();  ///< Idempotent; detaches the mutation listener.
+
+  int port() const { return port_; }
+  WalShipStatsSnapshot Stats() const;
+
+ private:
+  void AcceptLoop();
+  void ServeFollower(int fd);
+  /// Encodes records (seq > after_seq, up to the batch caps) into one
+  /// segment body; returns how many went in and advances *last_seq.
+  std::string NextCatchUpBody(const std::vector<update::Mutation>& records,
+                              size_t* cursor, uint32_t* count,
+                              uint64_t* last_seq);
+
+  update::IndexUpdater* updater_ = nullptr;  // Borrowed.
+  WalShipOptions options_;
+  net::Listener listener_;
+  int port_ = -1;
+  std::atomic<bool> running_{false};
+  std::thread acceptor_;
+  std::mutex followers_mu_;
+  std::vector<std::thread> followers_;
+  std::vector<int> follower_fds_;
+  std::mutex stop_mu_;
+
+  /// Live tail of recent mutations, appended by the updater's listener.
+  std::mutex tail_mu_;
+  std::condition_variable tail_cv_;
+  std::deque<update::Mutation> tail_;
+
+  std::atomic<uint64_t> segments_shipped_{0};
+  std::atomic<uint64_t> records_shipped_{0};
+  std::atomic<int64_t> followers_connected_{0};
+};
+
+struct WalReplicaOptions {
+  std::string leader_host = "127.0.0.1";
+  int leader_port = 0;
+  /// Reconnect-with-backoff between subscription attempts (the replica
+  /// retries for as long as it is running).
+  std::chrono::milliseconds reconnect_backoff{50};
+};
+
+struct WalReplicaStatsSnapshot {
+  uint64_t leader_seq = 0;   ///< Newest seq the leader reported.
+  uint64_t applied_seq = 0;  ///< Local updater's last applied seq.
+  /// Gauge: leader_seq - applied_seq (0 = fully converged).
+  int64_t replication_lag_seq = 0;
+  uint64_t segments_received = 0;
+  uint64_t records_replayed = 0;
+  uint64_t replay_errors = 0;  ///< Torn segments, seq gaps, apply failures.
+  uint64_t reconnects = 0;     ///< Successful re-subscriptions after a drop.
+  obs::HistogramSnapshot freshness_us;  ///< Apply-time minus ship-time.
+};
+
+/// Follower side: subscribes to a WalShipServer from the local updater's
+/// last seq and replays every shipped record via ApplyReplicated. Torn
+/// segments and seq gaps surface as counted replay errors followed by a
+/// clean resubscribe from the last locally applied seq — never UB, never
+/// a silently skipped record. Runs its own background thread.
+class WalReplica {
+ public:
+  WalReplica();
+  ~WalReplica();  ///< Calls Stop().
+
+  WalReplica(const WalReplica&) = delete;
+  WalReplica& operator=(const WalReplica&) = delete;
+
+  /// Starts replicating into `updater` (borrowed; must outlive Stop()).
+  Status Start(update::IndexUpdater* updater, WalReplicaOptions options);
+
+  void Stop();  ///< Idempotent.
+
+  /// Blocks until the local updater has applied `seq` (convergence
+  /// helper); false on timeout.
+  bool WaitForSeq(uint64_t seq, std::chrono::milliseconds timeout);
+
+  WalReplicaStatsSnapshot Stats() const;
+
+ private:
+  void RunLoop();
+
+  update::IndexUpdater* updater_ = nullptr;  // Borrowed.
+  WalReplicaOptions options_;
+  std::unique_ptr<net::RemoteClient> client_;
+  std::atomic<bool> running_{false};
+  std::thread runner_;
+  std::mutex stop_mu_;
+
+  std::atomic<uint64_t> leader_seq_{0};
+  std::atomic<uint64_t> segments_received_{0};
+  std::atomic<uint64_t> records_replayed_{0};
+  std::atomic<uint64_t> replay_errors_{0};
+  std::atomic<uint64_t> reconnects_{0};
+  obs::Histogram freshness_us_;
+};
+
+}  // namespace emblookup::cluster
+
+#endif  // EMBLOOKUP_CLUSTER_REPLICATION_H_

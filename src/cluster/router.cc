@@ -1,0 +1,613 @@
+#include "cluster/router.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <unordered_map>
+
+#include "ann/topk.h"
+#include "obs/trace.h"
+
+#if !defined(_WIN32)
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+namespace emblookup::cluster {
+
+using std::chrono::steady_clock;
+
+Result<std::pair<std::string, int>> ParseHostPort(const std::string& addr) {
+  const size_t colon = addr.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == addr.size()) {
+    return Status::InvalidArgument("expected host:port, got \"" + addr + "\"");
+  }
+  int port = 0;
+  for (size_t i = colon + 1; i < addr.size(); ++i) {
+    if (addr[i] < '0' || addr[i] > '9') {
+      return Status::InvalidArgument("bad port in \"" + addr + "\"");
+    }
+    port = port * 10 + (addr[i] - '0');
+    if (port > 65535) {
+      return Status::InvalidArgument("port out of range in \"" + addr + "\"");
+    }
+  }
+  return std::make_pair(addr.substr(0, colon), port);
+}
+
+struct Router::Counters {
+  std::atomic<uint64_t> requests{0};
+  std::atomic<uint64_t> partial_responses{0};
+  std::atomic<uint64_t> shard_rpcs{0};
+  std::atomic<uint64_t> shard_rpc_failures{0};
+  std::atomic<uint64_t> shard_retries{0};
+  std::atomic<uint64_t> hedged_rpcs{0};
+  std::atomic<uint64_t> ejections{0};
+  std::atomic<uint64_t> reinstatements{0};
+  std::atomic<int64_t> shards_ejected{0};
+};
+
+// ---------------------------------------------------------------------------
+// ShardChannel: one multiplexed connection to one shard server. Senders
+// register a waiter keyed by request id and write the frame under the
+// channel mutex; a dedicated reader thread decodes replies and wakes the
+// matching waiter. Only the reader path closes the socket — senders that
+// want it dead call shutdown(), which pops the reader out of recv().
+// ---------------------------------------------------------------------------
+
+class Router::ShardChannel {
+ public:
+  struct Waiter {
+    bool done = false;
+    net::Frame reply;
+    Status status = Status::OK();
+  };
+  struct Call {
+    uint64_t primary_id = 0;
+    uint64_t hedge_id = 0;  ///< 0 until Hedge().
+    std::shared_ptr<Waiter> primary;
+    std::shared_ptr<Waiter> hedge;
+  };
+
+  static Result<std::unique_ptr<ShardChannel>> Connect(
+      const std::string& host, int port) {
+    EL_ASSIGN_OR_RETURN(const int fd, net::ConnectTcp(host, port));
+    (void)net::SetNoDelay(fd);
+    auto channel = std::unique_ptr<ShardChannel>(new ShardChannel(fd));
+    channel->reader_ = std::thread([raw = channel.get()] { raw->ReaderLoop(); });
+    return channel;
+  }
+
+  ~ShardChannel() { Stop(); }
+
+  bool broken() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return broken_;
+  }
+
+  /// Fires a kShardLookupRequest; the reply arrives via Await().
+  Result<Call> Send(const std::string& query, int64_t k,
+                    uint64_t deadline_us) {
+    std::unique_lock<std::mutex> lock(mu_);
+    Call call;
+    call.primary = std::make_shared<Waiter>();
+    EL_ASSIGN_OR_RETURN(
+        call.primary_id,
+        SendLookupLocked(query, k, deadline_us, call.primary, &lock));
+    return call;
+  }
+
+  /// Duplicates `call`'s request with a fresh id (hedged read); whichever
+  /// of the pair answers first wins in Await().
+  Status Hedge(Call* call, const std::string& query, int64_t k,
+               uint64_t deadline_us) {
+    std::unique_lock<std::mutex> lock(mu_);
+    call->hedge = std::make_shared<Waiter>();
+    EL_ASSIGN_OR_RETURN(
+        call->hedge_id,
+        SendLookupLocked(query, k, deadline_us, call->hedge, &lock));
+    return Status::OK();
+  }
+
+  /// Blocks until either of `call`'s requests answers or `deadline`. On
+  /// DeadlineExceeded the waiters STAY registered (so the caller can hedge
+  /// and re-Await); every other outcome unregisters both.
+  Result<net::Frame> Await(const Call& call,
+                           steady_clock::time_point deadline) {
+    std::unique_lock<std::mutex> lock(mu_);
+    const auto answered = [&] {
+      return call.primary->done || (call.hedge && call.hedge->done);
+    };
+    if (!cv_.wait_until(lock, deadline, answered)) {
+      return Status::DeadlineExceeded("shard RPC missed its budget");
+    }
+    const std::shared_ptr<Waiter>& won =
+        call.primary->done ? call.primary : call.hedge;
+    pending_.erase(call.primary_id);
+    if (call.hedge_id != 0) pending_.erase(call.hedge_id);
+    if (!won->status.ok()) return won->status;
+    return std::move(won->reply);
+  }
+
+  /// Unregisters `call` so a late reply is dropped on arrival.
+  void Cancel(const Call& call) {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_.erase(call.primary_id);
+    if (call.hedge_id != 0) pending_.erase(call.hedge_id);
+  }
+
+  /// Liveness round trip, used by the health reprobe.
+  Status Ping(steady_clock::time_point deadline) {
+    auto waiter = std::make_shared<Waiter>();
+    uint64_t id = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (broken_) return Status::IoError("channel broken");
+      id = next_id_++;
+      pending_[id] = waiter;
+      std::string out;
+      net::AppendPing(&out, id);
+      const Status sent = net::SendAll(fd_, out.data(), out.size());
+      if (!sent.ok()) {
+        FailAllLocked(sent);
+        return sent;
+      }
+      if (!cv_.wait_until(lock, deadline, [&] { return waiter->done; })) {
+        pending_.erase(id);
+        return Status::DeadlineExceeded("ping timed out");
+      }
+    }
+    if (!waiter->status.ok()) return waiter->status;
+    if (waiter->reply.type != net::FrameType::kPong) {
+      return Status::IoError("unexpected reply to ping");
+    }
+    return Status::OK();
+  }
+
+  void Stop() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) return;
+      stopping_ = true;
+    }
+#if !defined(_WIN32)
+    ::shutdown(fd_, SHUT_RDWR);  // Pops the reader out of recv().
+#endif
+    if (reader_.joinable()) reader_.join();
+#if !defined(_WIN32)
+    ::close(fd_);
+#endif
+  }
+
+ private:
+  explicit ShardChannel(int fd) : fd_(fd) {}
+
+  /// Caller holds `lock`. Registers a waiter and writes the request.
+  Result<uint64_t> SendLookupLocked(const std::string& query, int64_t k,
+                                    uint64_t deadline_us,
+                                    const std::shared_ptr<Waiter>& waiter,
+                                    std::unique_lock<std::mutex>* lock) {
+    (void)lock;
+    if (broken_) return Status::IoError("channel broken");
+    const uint64_t id = next_id_++;
+    pending_[id] = waiter;
+    std::string out;
+    net::AppendShardLookupRequest(&out, id, query, k, deadline_us);
+    const Status sent = net::SendAll(fd_, out.data(), out.size());
+    if (!sent.ok()) {
+      FailAllLocked(sent);
+      return sent;
+    }
+    return id;
+  }
+
+  void FailAllLocked(const Status& status) {
+    broken_ = true;
+    for (auto& [id, waiter] : pending_) {
+      waiter->done = true;
+      waiter->status = status;
+    }
+    pending_.clear();
+    cv_.notify_all();
+  }
+
+  void ReaderLoop() {
+#if !defined(_WIN32)
+    std::string buffer;
+    char chunk[4096];
+    for (;;) {
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n == 0 || (n < 0 && errno != EINTR)) {
+        std::lock_guard<std::mutex> lock(mu_);
+        FailAllLocked(Status::IoError(
+            n == 0 ? "shard closed the connection"
+                   : std::string("recv: ") + std::strerror(errno)));
+        return;
+      }
+      if (n < 0) continue;  // EINTR.
+      buffer.append(chunk, static_cast<size_t>(n));
+      for (;;) {
+        net::Frame frame;
+        Result<size_t> consumed = net::DecodeFrame(
+            reinterpret_cast<const uint8_t*>(buffer.data()), buffer.size(),
+            net::kDefaultMaxPayloadBytes, &frame);
+        if (!consumed.ok()) {
+          std::lock_guard<std::mutex> lock(mu_);
+          FailAllLocked(consumed.status());
+          return;
+        }
+        if (consumed.value() == 0) break;  // Partial frame.
+        buffer.erase(0, consumed.value());
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = pending_.find(frame.request_id);
+        if (it == pending_.end()) continue;  // Cancelled/hedge loser.
+        it->second->done = true;
+        it->second->reply = std::move(frame);
+        pending_.erase(it);
+        cv_.notify_all();
+      }
+    }
+#endif
+  }
+
+  const int fd_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::unordered_map<uint64_t, std::shared_ptr<Waiter>> pending_;
+  uint64_t next_id_ = 1;
+  bool broken_ = false;
+  bool stopping_ = false;
+  std::thread reader_;  ///< Last: started after state is ready.
+};
+
+struct Router::ShardSlot {
+  std::string host;
+  int port = 0;
+  std::mutex mu;
+  std::shared_ptr<ShardChannel> channel;  ///< Null while ejected/dead.
+  int consecutive_failures = 0;
+  bool ejected = false;
+};
+
+// ---------------------------------------------------------------------------
+// Router
+// ---------------------------------------------------------------------------
+
+Router::Router() : counters_(std::make_shared<Counters>()) {}
+
+Router::~Router() { Stop(); }
+
+Status Router::Start(const RouterOptions& options, int port) {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("Router already started");
+  }
+  if (options.shard_addrs.empty()) {
+    return Status::InvalidArgument("router needs at least one shard address");
+  }
+  options_ = options;
+  if (options_.retries < 0) options_.retries = 0;
+  if (options_.shard_budget_frac <= 0 || options_.shard_budget_frac > 1) {
+    options_.shard_budget_frac = 0.8;
+  }
+  for (const std::string& addr : options_.shard_addrs) {
+    EL_ASSIGN_OR_RETURN(const auto host_port, ParseHostPort(addr));
+    auto slot = std::make_unique<ShardSlot>();
+    slot->host = host_port.first;
+    slot->port = host_port.second;
+    auto channel = ShardChannel::Connect(slot->host, slot->port);
+    if (!channel.ok()) {
+      shards_.clear();
+      return Status::IoError("shard " + addr +
+                             " unreachable: " + channel.status().message());
+    }
+    slot->channel = std::move(channel).value();
+    shards_.push_back(std::move(slot));
+  }
+  EL_RETURN_NOT_OK(listener_.Listen(port, options_.backlog));
+  port_ = listener_.port();
+  running_.store(true, std::memory_order_release);
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  prober_ = std::thread([this] { ProbeLoop(); });
+  return Status::OK();
+}
+
+void Router::Stop() {
+  std::lock_guard<std::mutex> stop_lock(stop_mu_);
+  if (!running_.exchange(false)) return;
+  const int listen_fd = listener_.Detach();
+  if (acceptor_.joinable()) acceptor_.join();
+  net::Listener::CloseFd(listen_fd);
+  {
+    std::lock_guard<std::mutex> lock(clients_mu_);
+#if !defined(_WIN32)
+    for (const int fd : client_fds_) ::shutdown(fd, SHUT_RDWR);
+#endif
+  }
+  for (auto& thread : clients_) {
+    if (thread.joinable()) thread.join();
+  }
+  clients_.clear();
+  client_fds_.clear();
+  if (prober_.joinable()) prober_.join();
+  for (auto& slot : shards_) {
+    std::shared_ptr<ShardChannel> channel;
+    {
+      std::lock_guard<std::mutex> lock(slot->mu);
+      channel = std::move(slot->channel);
+    }
+    if (channel) channel->Stop();
+  }
+  shards_.clear();
+}
+
+RouterStatsSnapshot Router::Stats() const {
+  RouterStatsSnapshot s;
+  s.requests = counters_->requests.load(std::memory_order_relaxed);
+  s.partial_responses =
+      counters_->partial_responses.load(std::memory_order_relaxed);
+  s.shard_rpcs = counters_->shard_rpcs.load(std::memory_order_relaxed);
+  s.shard_rpc_failures =
+      counters_->shard_rpc_failures.load(std::memory_order_relaxed);
+  s.shard_retries = counters_->shard_retries.load(std::memory_order_relaxed);
+  s.hedged_rpcs = counters_->hedged_rpcs.load(std::memory_order_relaxed);
+  s.ejections = counters_->ejections.load(std::memory_order_relaxed);
+  s.reinstatements =
+      counters_->reinstatements.load(std::memory_order_relaxed);
+  s.shards_ejected =
+      counters_->shards_ejected.load(std::memory_order_relaxed);
+  return s;
+}
+
+Status Router::CallShard(size_t shard, const std::string& query, int64_t k,
+                         uint64_t deadline_us,
+                         steady_clock::time_point deadline,
+                         net::Frame* reply) {
+  ShardSlot& slot = *shards_[shard];
+  obs::Span rpc(obs::Stage::kShardRpc);
+  Status last = Status::Unavailable("shard ejected");
+  const int attempts = 1 + options_.retries;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      counters_->shard_retries.fetch_add(1, std::memory_order_relaxed);
+    }
+    std::shared_ptr<ShardChannel> channel;
+    {
+      std::lock_guard<std::mutex> lock(slot.mu);
+      if (slot.ejected) return last;
+      channel = slot.channel;
+    }
+    if (!channel || channel->broken()) {
+      auto fresh = ShardChannel::Connect(slot.host, slot.port);
+      if (!fresh.ok()) {
+        counters_->shard_rpcs.fetch_add(1, std::memory_order_relaxed);
+        counters_->shard_rpc_failures.fetch_add(1, std::memory_order_relaxed);
+        last = fresh.status();
+        continue;
+      }
+      channel = std::move(fresh).value();
+      std::shared_ptr<ShardChannel> stale;
+      std::lock_guard<std::mutex> lock(slot.mu);
+      stale = std::move(slot.channel);
+      slot.channel = channel;
+      // Old channel (if any) is torn down by its own destructor once the
+      // last in-flight Await releases it.
+    }
+    counters_->shard_rpcs.fetch_add(1, std::memory_order_relaxed);
+    auto call = channel->Send(query, k, deadline_us);
+    if (!call.ok()) {
+      counters_->shard_rpc_failures.fetch_add(1, std::memory_order_relaxed);
+      last = call.status();
+      continue;
+    }
+    // First wait runs to the hedge point (when hedging is on and there is
+    // budget past it), then a duplicate request races the original.
+    Result<net::Frame> got = Status::OK();
+    if (options_.hedge_delay_us > 0 && attempt == 0) {
+      const auto hedge_at = steady_clock::now() +
+                            std::chrono::microseconds(options_.hedge_delay_us);
+      if (hedge_at < deadline) {
+        got = channel->Await(call.value(), hedge_at);
+        if (!got.ok() &&
+            got.status().code() == StatusCode::kDeadlineExceeded) {
+          if (channel->Hedge(&call.value(), query, k, deadline_us).ok()) {
+            counters_->hedged_rpcs.fetch_add(1, std::memory_order_relaxed);
+          }
+          got = channel->Await(call.value(), deadline);
+        }
+      } else {
+        got = channel->Await(call.value(), deadline);
+      }
+    } else {
+      got = channel->Await(call.value(), deadline);
+    }
+    if (got.ok() && got.value().type == net::FrameType::kError) {
+      last = Status(got.value().error_code,
+                    std::move(got.value().error_message));
+      counters_->shard_rpc_failures.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    if (got.ok()) {
+      *reply = std::move(got).value();
+      std::lock_guard<std::mutex> lock(slot.mu);
+      slot.consecutive_failures = 0;
+      return Status::OK();
+    }
+    channel->Cancel(call.value());
+    counters_->shard_rpc_failures.fetch_add(1, std::memory_order_relaxed);
+    last = got.status();
+    // Budget exhausted: retrying cannot finish in time either.
+    if (last.code() == StatusCode::kDeadlineExceeded) break;
+  }
+  std::lock_guard<std::mutex> lock(slot.mu);
+  if (!slot.ejected &&
+      ++slot.consecutive_failures >= options_.eject_after_failures) {
+    slot.ejected = true;
+    slot.channel.reset();
+    counters_->ejections.fetch_add(1, std::memory_order_relaxed);
+    counters_->shards_ejected.fetch_add(1, std::memory_order_relaxed);
+  }
+  return last;
+}
+
+Result<Router::RoutedResult> Router::Route(const std::string& query,
+                                           int64_t k, uint64_t deadline_us) {
+  if (!running_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("router not running");
+  }
+  if (k <= 0 || k > options_.max_k) {
+    return Status::InvalidArgument("k must be in [1, " +
+                                   std::to_string(options_.max_k) + "]");
+  }
+  counters_->requests.fetch_add(1, std::memory_order_relaxed);
+  obs::Span fanout(obs::Stage::kRouteFanout);
+  const uint64_t budget_us =
+      deadline_us > 0 ? static_cast<uint64_t>(static_cast<double>(deadline_us) *
+                                              options_.shard_budget_frac)
+                      : options_.shard_timeout_us;
+  const auto deadline =
+      steady_clock::now() + std::chrono::microseconds(budget_us);
+  RoutedResult routed;
+  ann::TopK topk(k);
+  size_t answered = 0;
+  for (size_t shard = 0; shard < shards_.size(); ++shard) {
+    net::Frame reply;
+    const Status status =
+        CallShard(shard, query, k, budget_us, deadline, &reply);
+    if (!status.ok()) {
+      routed.missing_shards.push_back(static_cast<uint32_t>(shard));
+      continue;
+    }
+    ++answered;
+    for (size_t i = 0; i < reply.ids.size() && i < reply.dists.size(); ++i) {
+      topk.Push(reply.ids[i], reply.dists[i]);
+    }
+  }
+  fanout.End();
+  if (answered == 0) {
+    return Status::Unavailable("no shard reachable (" +
+                               std::to_string(shards_.size()) + " tried)");
+  }
+  obs::Span merge(obs::Stage::kTopKMergeRouter);
+  for (const ann::Neighbor& n : topk.Finish()) {
+    routed.ids.push_back(n.id);
+    routed.dists.push_back(n.dist);
+  }
+  merge.End();
+  routed.partial = !routed.missing_shards.empty();
+  if (routed.partial) {
+    counters_->partial_responses.fetch_add(1, std::memory_order_relaxed);
+  }
+  return routed;
+}
+
+void Router::AcceptLoop() {
+  for (;;) {
+    Result<int> accepted = listener_.AcceptBlocking();
+    if (!accepted.ok()) return;  // Detached: shutting down.
+    const int fd = accepted.value();
+    (void)net::SetNoDelay(fd);
+    std::lock_guard<std::mutex> lock(clients_mu_);
+    client_fds_.push_back(fd);
+    clients_.emplace_back([this, fd] { ServeClient(fd); });
+  }
+}
+
+void Router::ServeClient(int fd) {
+#if !defined(_WIN32)
+  std::string buffer;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n == 0 || (n < 0 && errno != EINTR)) break;
+    if (n < 0) continue;  // EINTR.
+    buffer.append(chunk, static_cast<size_t>(n));
+    bool close_conn = false;
+    for (;;) {
+      net::Frame frame;
+      Result<size_t> consumed = net::DecodeFrame(
+          reinterpret_cast<const uint8_t*>(buffer.data()), buffer.size(),
+          net::kDefaultMaxPayloadBytes, &frame);
+      std::string out;
+      if (!consumed.ok()) {
+        net::AppendError(&out, 0, consumed.status());
+        (void)net::SendAll(fd, out.data(), out.size());
+        close_conn = true;
+        break;
+      }
+      if (consumed.value() == 0) break;  // Partial frame.
+      buffer.erase(0, consumed.value());
+      switch (frame.type) {
+        case net::FrameType::kPing:
+          net::AppendPong(&out, frame.request_id);
+          break;
+        case net::FrameType::kLookupRequest: {
+          auto routed = Route(frame.query, frame.k, frame.deadline_us);
+          if (routed.ok()) {
+            net::AppendLookupResponse(&out, frame.request_id,
+                                      /*from_cache=*/false,
+                                      routed.value().ids);
+          } else {
+            net::AppendError(&out, frame.request_id, routed.status());
+          }
+          break;
+        }
+        case net::FrameType::kShardLookupRequest: {
+          auto routed = Route(frame.query, frame.k, frame.deadline_us);
+          if (routed.ok()) {
+            net::AppendShardLookupResponse(
+                &out, frame.request_id, /*from_cache=*/false,
+                routed.value().partial, routed.value().ids,
+                routed.value().dists, routed.value().missing_shards);
+          } else {
+            net::AppendError(&out, frame.request_id, routed.status());
+          }
+          break;
+        }
+        default:
+          net::AppendError(
+              &out, frame.request_id,
+              Status::InvalidArgument("unexpected frame type from client"));
+          close_conn = true;
+          break;
+      }
+      if (!net::SendAll(fd, out.data(), out.size()).ok()) close_conn = true;
+      if (close_conn) break;
+    }
+    if (close_conn) break;
+  }
+  ::close(fd);
+#else
+  (void)fd;
+#endif
+}
+
+void Router::ProbeLoop() {
+  while (running_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(options_.probe_interval_ms));
+    for (auto& slot : shards_) {
+      {
+        std::lock_guard<std::mutex> lock(slot->mu);
+        if (!slot->ejected) continue;
+      }
+      if (!running_.load(std::memory_order_acquire)) return;
+      auto fresh = ShardChannel::Connect(slot->host, slot->port);
+      if (!fresh.ok()) continue;
+      std::shared_ptr<ShardChannel> channel = std::move(fresh).value();
+      const auto deadline =
+          steady_clock::now() +
+          std::chrono::microseconds(options_.shard_timeout_us);
+      if (!channel->Ping(deadline).ok()) continue;
+      std::lock_guard<std::mutex> lock(slot->mu);
+      slot->channel = std::move(channel);
+      slot->ejected = false;
+      slot->consecutive_failures = 0;
+      counters_->reinstatements.fetch_add(1, std::memory_order_relaxed);
+      counters_->shards_ejected.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+}  // namespace emblookup::cluster

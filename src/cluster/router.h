@@ -1,0 +1,138 @@
+#ifndef EMBLOOKUP_CLUSTER_ROUTER_H_
+#define EMBLOOKUP_CLUSTER_ROUTER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "net/socket.h"
+#include "net/wire.h"
+
+namespace emblookup::cluster {
+
+/// One "host:port" shard address parsed; InvalidArgument on bad syntax.
+Result<std::pair<std::string, int>> ParseHostPort(const std::string& addr);
+
+struct RouterOptions {
+  /// Shard servers, one per shard, in shard-index order ("host:port").
+  std::vector<std::string> shard_addrs;
+  /// Per-shard RPC budget when the client request carries no deadline.
+  uint64_t shard_timeout_us = 250000;
+  /// When the client DOES send a wire deadline, each shard RPC gets this
+  /// fraction of it (the remainder covers retries + merge).
+  double shard_budget_frac = 0.8;
+  /// Transient-failure retries per shard per request (reconnect + resend).
+  int retries = 1;
+  /// > 0 enables hedged reads: a duplicate RPC is fired at the same shard
+  /// after this many microseconds without a reply, and the first of the
+  /// pair to answer wins (guards a lost/stuck response, not a slow shard).
+  uint64_t hedge_delay_us = 0;
+  /// Health: this many consecutive RPC failures eject a shard from the
+  /// fan-out until a background ping reprobe succeeds.
+  int eject_after_failures = 3;
+  int64_t probe_interval_ms = 100;
+  int64_t max_k = 1000;  ///< Per-request k bound (mirrors the shard cap).
+  int backlog = 64;
+};
+
+/// Point-in-time router counters (exported by PrometheusClusterText).
+struct RouterStatsSnapshot {
+  uint64_t requests = 0;
+  uint64_t partial_responses = 0;  ///< Answers missing >= 1 shard.
+  uint64_t shard_rpcs = 0;
+  uint64_t shard_rpc_failures = 0;
+  uint64_t shard_retries = 0;
+  uint64_t hedged_rpcs = 0;
+  uint64_t ejections = 0;
+  uint64_t reinstatements = 0;
+  int64_t shards_ejected = 0;  ///< Gauge.
+};
+
+/// Scatter-gather front end for a sharded cluster (DESIGN.md §12): accepts
+/// the same binary wire protocol as a single shard, fans every lookup out
+/// to all healthy shards over pipelined kShardLookupRequest RPCs, and
+/// merges the per-shard top-k with the shared tie-broken TopK heap — so
+/// its results are bit-identical to one index over the whole catalog.
+///
+/// Degradation is explicit, never silent: a shard that misses its budget
+/// (after one transient retry, and optionally a hedged duplicate) is
+/// dropped from THIS answer, which is then marked partial with the missing
+/// shard indexes (kShardLookupResponse; the plain kLookupRequest protocol
+/// has no partial field and just carries the merged ids). Shards failing
+/// `eject_after_failures` times in a row stop being fanned to at all until
+/// a background ping reprobe brings them back. No reachable shard at all
+/// yields an Unavailable error frame.
+///
+/// Serving model: one blocking accept loop + one thread per client
+/// connection (routers sit in front of few, long-lived clients); per-shard
+/// connections are shared across clients and multiplexed by request id.
+class Router {
+ public:
+  Router();
+  ~Router();  ///< Calls Stop().
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  /// Connects to every shard (all must accept the TCP connect; health
+  /// tracking takes over from there), binds 0.0.0.0:`port` (0 = ephemeral)
+  /// and starts serving. One Start per instance.
+  Status Start(const RouterOptions& options, int port);
+
+  /// Stops accepting, closes shard channels and client connections, joins
+  /// every thread. Idempotent.
+  void Stop();
+
+  int port() const { return port_; }
+  RouterStatsSnapshot Stats() const;
+
+  /// In-process lookup (same path a remote request takes, minus the client
+  /// socket): scatter, gather, merge. Exposed for tests and metrics-dump.
+  struct RoutedResult {
+    std::vector<int64_t> ids;
+    std::vector<float> dists;
+    bool partial = false;
+    std::vector<uint32_t> missing_shards;
+  };
+  Result<RoutedResult> Route(const std::string& query, int64_t k,
+                             uint64_t deadline_us = 0);
+
+ private:
+  class ShardChannel;
+  struct ShardSlot;
+
+  void AcceptLoop();
+  void ServeClient(int fd);
+  void ProbeLoop();
+  /// One shard's RPC (send, optional hedge, wait, one transient retry).
+  Status CallShard(size_t shard, const std::string& query, int64_t k,
+                   uint64_t deadline_us,
+                   std::chrono::steady_clock::time_point deadline,
+                   net::Frame* reply);
+
+  RouterOptions options_;
+  net::Listener listener_;
+  int port_ = -1;
+  std::vector<std::unique_ptr<ShardSlot>> shards_;
+  std::thread acceptor_;
+  std::thread prober_;
+  std::atomic<bool> running_{false};
+  std::mutex clients_mu_;
+  std::vector<std::thread> clients_;
+  std::vector<int> client_fds_;
+  std::mutex stop_mu_;
+
+  struct Counters;
+  std::shared_ptr<Counters> counters_;
+};
+
+}  // namespace emblookup::cluster
+
+#endif  // EMBLOOKUP_CLUSTER_ROUTER_H_

@@ -1,0 +1,122 @@
+#include "cluster/shard_map.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/crc32.h"
+
+namespace emblookup::cluster {
+
+std::unordered_set<kg::EntityId> ShardExclusions(
+    const kg::KnowledgeGraph& graph, int shard, int num_shards) {
+  std::unordered_set<kg::EntityId> exclude;
+  const int64_t n = graph.num_entities();
+  exclude.reserve(static_cast<size_t>(n));
+  for (kg::EntityId id = 0; id < n; ++id) {
+    if (AssignShard(id, num_shards) != shard) exclude.insert(id);
+  }
+  return exclude;
+}
+
+Result<ShardMap> BuildShardMap(const kg::KnowledgeGraph& graph,
+                               int num_shards) {
+  if (num_shards < 1) {
+    return Status::InvalidArgument("num_shards must be >= 1");
+  }
+  const int64_t n = graph.num_entities();
+  if (n == 0) return Status::InvalidArgument("catalog is empty");
+  ShardMap map;
+  map.num_shards = num_shards;
+  map.catalog_entities = static_cast<uint64_t>(n);
+  map.shards.resize(static_cast<size_t>(num_shards));
+  // Entity ids are dense, so ascending id order IS sorted member order —
+  // the per-shard membership CRC folds each member id in as it streams by.
+  for (int k = 0; k < num_shards; ++k) {
+    map.shards[k].index = k;
+    map.shards[k].snapshot_file = "shard-" + std::to_string(k) + ".snap";
+  }
+  for (kg::EntityId id = 0; id < n; ++id) {
+    ShardInfo& info = map.shards[AssignShard(id, num_shards)];
+    ++info.entities;
+    info.members_crc = Crc32(&id, sizeof(id), info.members_crc);
+  }
+  return map;
+}
+
+Status SaveShardMap(const ShardMap& map, const std::string& path) {
+  std::ostringstream body;
+  body << "EMBLSHARDMAP 1\n";
+  body << "num_shards " << map.num_shards << "\n";
+  body << "catalog_entities " << map.catalog_entities << "\n";
+  for (const ShardInfo& info : map.shards) {
+    body << "shard " << info.index << " entities " << info.entities
+         << " members_crc " << info.members_crc << " snapshot "
+         << info.snapshot_file << "\n";
+  }
+  const std::string text = body.str();
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out << text << "checksum " << Crc32(text.data(), text.size()) << "\n";
+  out.flush();
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<ShardMap> LoadShardMap(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open shard map: " + path);
+  std::string body;       // Everything before the checksum line.
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(in, line)) lines.push_back(line);
+  if (lines.size() < 4) {
+    return Status::IoError("shard map truncated: " + path);
+  }
+  // Verify the trailing checksum over every preceding byte first: any
+  // in-flight corruption fails here rather than as a confusing parse error.
+  for (size_t i = 0; i + 1 < lines.size(); ++i) body += lines[i] + "\n";
+  uint32_t declared = 0;
+  if (std::sscanf(lines.back().c_str(), "checksum %u", &declared) != 1) {
+    return Status::IoError("shard map missing checksum line: " + path);
+  }
+  if (Crc32(body.data(), body.size()) != declared) {
+    return Status::IoError("shard map checksum mismatch: " + path);
+  }
+  if (lines[0] != "EMBLSHARDMAP 1") {
+    return Status::IoError("not a shard map (bad magic): " + path);
+  }
+  ShardMap map;
+  if (std::sscanf(lines[1].c_str(), "num_shards %d", &map.num_shards) != 1 ||
+      map.num_shards < 1) {
+    return Status::IoError("shard map: bad num_shards line");
+  }
+  unsigned long long entities = 0;
+  if (std::sscanf(lines[2].c_str(), "catalog_entities %llu", &entities) != 1) {
+    return Status::IoError("shard map: bad catalog_entities line");
+  }
+  map.catalog_entities = entities;
+  if (lines.size() != static_cast<size_t>(map.num_shards) + 4) {
+    return Status::IoError("shard map: wrong shard line count");
+  }
+  for (int k = 0; k < map.num_shards; ++k) {
+    const std::string& shard_line = lines[static_cast<size_t>(k) + 3];
+    ShardInfo info;
+    unsigned long long shard_entities = 0;
+    unsigned int crc = 0;
+    char file[512] = {0};
+    if (std::sscanf(shard_line.c_str(),
+                    "shard %d entities %llu members_crc %u snapshot %511s",
+                    &info.index, &shard_entities, &crc, file) != 4 ||
+        info.index != k) {
+      return Status::IoError("shard map: bad shard line " + std::to_string(k));
+    }
+    info.entities = shard_entities;
+    info.members_crc = crc;
+    info.snapshot_file = file;
+    map.shards.push_back(std::move(info));
+  }
+  return map;
+}
+
+}  // namespace emblookup::cluster

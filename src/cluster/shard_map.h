@@ -1,0 +1,88 @@
+#ifndef EMBLOOKUP_CLUSTER_SHARD_MAP_H_
+#define EMBLOOKUP_CLUSTER_SHARD_MAP_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "kg/knowledge_graph.h"
+
+namespace emblookup::cluster {
+
+/// Deterministic hash partitioning of the entity catalog (DESIGN.md §12).
+///
+/// Every shard server loads the FULL catalog + encoder but builds its index
+/// over only the entities assigned to it (everything else goes into the
+/// build's exclude set). Index rows keep their GLOBAL entity ids, so for a
+/// quantizer-free index (flat) — where a row's distance depends only on the
+/// query and that row, never on which rows sit beside it — a router that
+/// merges per-shard top-k with the shared tie-broken TopK heap reproduces
+/// the single-node result bit for bit. Trained-quantizer kinds (pq, sq8,
+/// ivf*) fit their codebooks/scales/centroids to the rows they hold, so
+/// per-shard training state diverges from the single-node build and routed
+/// answers become approximate, exactly as a re-trained single node's would.
+///
+/// Assignment is a fixed function of (entity id, shard count) — splitmix64
+/// of the id, mod N — so the map can be recomputed from the catalog alone;
+/// the saved manifest exists to pin N and to checksum membership so a
+/// mismatched shard snapshot is caught at load time, not as wrong results.
+
+/// splitmix64 finalizer: a cheap, well-mixed 64-bit hash. Sequential entity
+/// ids land on uncorrelated shards.
+inline uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// The shard entity `id` belongs to, in [0, num_shards).
+inline int AssignShard(kg::EntityId id, int num_shards) {
+  return static_cast<int>(SplitMix64(static_cast<uint64_t>(id)) %
+                          static_cast<uint64_t>(num_shards));
+}
+
+/// One shard's manifest row.
+struct ShardInfo {
+  int index = 0;
+  uint64_t entities = 0;      ///< Catalog entities assigned to this shard.
+  uint32_t members_crc = 0;   ///< CRC32 over the sorted member id stream.
+  std::string snapshot_file;  ///< Relative to the manifest's directory.
+};
+
+/// The cluster manifest: how many shards, over which catalog.
+struct ShardMap {
+  int num_shards = 0;
+  uint64_t catalog_entities = 0;  ///< num_entities() at build time.
+  std::vector<ShardInfo> shards;
+};
+
+/// The exclude set for building shard `shard`'s index: every entity NOT
+/// assigned to it. (The build excludes rows; the catalog stays whole.)
+std::unordered_set<kg::EntityId> ShardExclusions(
+    const kg::KnowledgeGraph& graph, int shard, int num_shards);
+
+/// Computes the manifest for `graph` split `num_shards` ways, with
+/// snapshot_file names "shard-<k>.snap". InvalidArgument when
+/// num_shards < 1 or the catalog is empty.
+Result<ShardMap> BuildShardMap(const kg::KnowledgeGraph& graph,
+                               int num_shards);
+
+/// Text manifest, one value per line, ending in a CRC of the body:
+///
+///   EMBLSHARDMAP 1
+///   num_shards N
+///   catalog_entities E
+///   shard <k> entities <n> members_crc <crc> snapshot <file>   (xN)
+///   checksum <crc32 of all preceding bytes>
+Status SaveShardMap(const ShardMap& map, const std::string& path);
+
+/// Loads and validates a SaveShardMap manifest (bad magic, field count,
+/// shard index order, or checksum all yield Status errors).
+Result<ShardMap> LoadShardMap(const std::string& path);
+
+}  // namespace emblookup::cluster
+
+#endif  // EMBLOOKUP_CLUSTER_SHARD_MAP_H_

@@ -1,7 +1,9 @@
 #include "net/client.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <thread>
 #include <utility>
 
 #include "net/socket.h"
@@ -20,7 +22,40 @@ Status RemoteClient::Connect(const std::string& host, int port) {
   EL_ASSIGN_OR_RETURN(fd_, ConnectTcp(host, port));
   (void)SetNoDelay(fd_);  // Best-effort; an RPC is one small frame each way.
   buffer_.clear();
+  host_ = host;
+  port_ = port;
   return Status::OK();
+}
+
+Status RemoteClient::Reconnect(int max_attempts,
+                               std::chrono::milliseconds initial_backoff) {
+  if (port_ < 0) {
+    return Status::FailedPrecondition("Reconnect before any Connect");
+  }
+  Close();
+  std::chrono::milliseconds backoff = initial_backoff;
+  Status last = Status::IoError("Reconnect: no attempts made");
+  for (int attempt = 0; attempt < std::max(1, max_attempts); ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(backoff);
+      backoff = std::min(backoff * 2, std::chrono::milliseconds(1000));
+    }
+    Result<int> fd = ConnectTcp(host_, port_);
+    if (fd.ok()) {
+      fd_ = fd.value();
+      (void)SetNoDelay(fd_);
+      buffer_.clear();
+      return Status::OK();
+    }
+    last = fd.status();
+  }
+  return last;
+}
+
+void RemoteClient::Shutdown() {
+#if !defined(_WIN32)
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+#endif
 }
 
 void RemoteClient::Close() {
@@ -90,6 +125,40 @@ Result<RemoteLookupResult> RemoteClient::Lookup(const std::string& query,
     }
     return Status::IoError("unexpected reply frame type");
   }
+}
+
+Result<RemoteLookupResult> RemoteClient::LookupScored(const std::string& query,
+                                                      int64_t k,
+                                                      uint64_t deadline_us) {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  const uint64_t request_id = next_request_id_++;
+  std::string out;
+  AppendShardLookupRequest(&out, request_id, query, k, deadline_us);
+  EL_RETURN_NOT_OK(SendAll(fd_, out.data(), out.size()));
+  for (;;) {
+    EL_ASSIGN_OR_RETURN(Frame frame, ReadReply());
+    if (frame.request_id != request_id) continue;  // Stale pipelined reply.
+    if (frame.type == FrameType::kShardLookupResponse) {
+      RemoteLookupResult result;
+      result.ids = std::move(frame.ids);
+      result.dists = std::move(frame.dists);
+      result.from_cache = frame.from_cache;
+      result.partial = frame.partial;
+      result.missing_shards = std::move(frame.missing_shards);
+      return result;
+    }
+    if (frame.type == FrameType::kError) {
+      return Status(frame.error_code, std::move(frame.error_message));
+    }
+    return Status::IoError("unexpected reply frame type");
+  }
+}
+
+Status RemoteClient::SendWalSubscribe(uint64_t request_id, uint64_t from_seq) {
+  if (fd_ < 0) return Status::FailedPrecondition("not connected");
+  std::string out;
+  AppendWalSubscribe(&out, request_id, from_seq);
+  return SendAll(fd_, out.data(), out.size());
 }
 
 Status RemoteClient::Ping() {

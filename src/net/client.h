@@ -1,6 +1,7 @@
 #ifndef EMBLOOKUP_NET_CLIENT_H_
 #define EMBLOOKUP_NET_CLIENT_H_
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -13,7 +14,10 @@ namespace emblookup::net {
 /// One remote lookup's decoded result.
 struct RemoteLookupResult {
   std::vector<int64_t> ids;  ///< Best-first entity ids, at most k.
+  std::vector<float> dists;  ///< Parallel scores (scored lookups only).
   bool from_cache = false;
+  bool partial = false;  ///< Router answered with one or more shards down.
+  std::vector<uint32_t> missing_shards;  ///< Shard indexes absent from ids.
 };
 
 /// Blocking-socket client for the binary wire protocol — the counterpart
@@ -41,8 +45,24 @@ class RemoteClient {
   /// Nagle. One Connect per instance (Close() first to reconnect).
   Status Connect(const std::string& host, int port);
 
+  /// Closes the (possibly dead) socket and re-dials the last Connect
+  /// target, retrying up to `max_attempts` with exponential backoff
+  /// starting at `initial_backoff` (doubling, capped at 1 s). A failed
+  /// send/recv no longer poisons the client: Reconnect gives a fresh
+  /// socket with cleared decode state; in-flight request ids are gone
+  /// (the caller re-sends). FailedPrecondition before any Connect.
+  Status Reconnect(int max_attempts = 5,
+                   std::chrono::milliseconds initial_backoff =
+                       std::chrono::milliseconds(10));
+
   void Close();
   bool connected() const { return fd_ >= 0; }
+
+  /// Half-closes the socket WITHOUT releasing the descriptor: a thread
+  /// blocked in ReadReply wakes with an IoError, and the fd stays valid
+  /// (no reuse race) until Close(). The one cross-thread-safe call on this
+  /// class — a stopper's wake-up knock for a blocking-read loop.
+  void Shutdown();
 
   /// Closed-loop lookup. `deadline_us` 0 means no deadline; a server-side
   /// expiry comes back as a DeadlineExceeded status. Error frames decode
@@ -50,10 +70,20 @@ class RemoteClient {
   Result<RemoteLookupResult> Lookup(const std::string& query, int64_t k,
                                     uint64_t deadline_us = 0);
 
+  /// Scored (cluster-aware) closed-loop lookup over kShardLookupRequest:
+  /// the reply carries exact distances, and — when the server is a router —
+  /// the partial flag + missing-shard list (DESIGN.md §12).
+  Result<RemoteLookupResult> LookupScored(const std::string& query, int64_t k,
+                                          uint64_t deadline_us = 0);
+
   /// Fires a lookup without waiting for the reply (pipelining). The
   /// caller-chosen `request_id` is echoed in the matching reply.
   Status SendLookup(uint64_t request_id, const std::string& query, int64_t k,
                     uint64_t deadline_us = 0);
+
+  /// Asks a replication leader to stream WAL records with seq > from_seq
+  /// (kWalSegment frames then arrive via ReadReply; see cluster::WalReplica).
+  Status SendWalSubscribe(uint64_t request_id, uint64_t from_seq);
 
   /// Blocks for the next server frame (response, error, or pong — any
   /// request id; the caller correlates). IoError on disconnect.
@@ -66,6 +96,8 @@ class RemoteClient {
   int fd_ = -1;
   uint64_t next_request_id_ = 1;
   std::string buffer_;  ///< Received bytes not yet decoded.
+  std::string host_;    ///< Last Connect target, for Reconnect.
+  int port_ = -1;
 };
 
 }  // namespace emblookup::net

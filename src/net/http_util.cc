@@ -37,6 +37,27 @@ void ParseQueryString(const std::string& qs,
   }
 }
 
+/// ASCII case-insensitive equality (header names/values are tokens).
+bool IEquals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const char ca = a[i] >= 'A' && a[i] <= 'Z' ? a[i] + 32 : a[i];
+    const char cb = b[i] >= 'A' && b[i] <= 'Z' ? b[i] + 32 : b[i];
+    if (ca != cb) return false;
+  }
+  return true;
+}
+
+std::string_view Trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
 }  // namespace
 
 bool LooksLikeHttp(const uint8_t* data, size_t size) {
@@ -86,6 +107,23 @@ Result<size_t> ParseHttpRequest(const uint8_t* data, size_t size,
     request->path = UrlDecode(target.substr(0, question));
     ParseQueryString(target.substr(question + 1), &request->params);
   }
+  // Persistence: HTTP/1.1 defaults to keep-alive, HTTP/1.0 to close; an
+  // explicit Connection header overrides either way.
+  request->keep_alive = line.substr(sp2 + 1) == "HTTP/1.1";
+  size_t pos = line_end + 2;
+  while (pos < header_end) {
+    size_t eol = text.find("\r\n", pos);
+    if (eol == std::string_view::npos || eol > header_end) eol = header_end;
+    const std::string_view header = text.substr(pos, eol - pos);
+    const size_t colon = header.find(':');
+    if (colon != std::string_view::npos &&
+        IEquals(Trim(header.substr(0, colon)), "connection")) {
+      const std::string_view value = Trim(header.substr(colon + 1));
+      if (IEquals(value, "close")) request->keep_alive = false;
+      if (IEquals(value, "keep-alive")) request->keep_alive = true;
+    }
+    pos = eol + 2;
+  }
   return header_end + 4;
 }
 
@@ -109,16 +147,15 @@ std::string UrlDecode(const std::string& text) {
 
 std::string HttpResponseText(int status_code, const std::string& reason,
                              const std::string& content_type,
-                             const std::string& body) {
+                             const std::string& body, bool keep_alive) {
   std::string out = "HTTP/1.1 " + std::to_string(status_code) + " " + reason +
                     "\r\n"
                     "Content-Type: " +
                     content_type +
                     "\r\n"
                     "Content-Length: " +
-                    std::to_string(body.size()) +
-                    "\r\n"
-                    "Connection: close\r\n\r\n";
+                    std::to_string(body.size()) + "\r\nConnection: " +
+                    (keep_alive ? "keep-alive" : "close") + "\r\n\r\n";
   out += body;
   return out;
 }

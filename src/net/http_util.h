@@ -12,8 +12,9 @@ namespace emblookup::net {
 
 /// Minimal HTTP/1.1 helpers backing the front end's JSON fallback and the
 /// obs metrics scrape endpoint. This is deliberately not a web server: no
-/// keep-alive, no chunked bodies, no TLS — every response carries
-/// `Connection: close`.
+/// chunked bodies, no TLS. Persistent connections follow HTTP/1.1
+/// semantics: keep-alive by default, opt-out via `Connection: close`
+/// (HTTP/1.0 is close-by-default, opt-in via `Connection: keep-alive`).
 
 /// True when `data` could be the start of an HTTP request (a known method
 /// token). With fewer than `kHttpSniffBytes` bytes the answer may change;
@@ -21,12 +22,16 @@ namespace emblookup::net {
 inline constexpr size_t kHttpSniffBytes = 4;
 bool LooksLikeHttp(const uint8_t* data, size_t size);
 
-/// One parsed request line + query parameters (headers are skipped; the
-/// fallback routes on method + path + params only).
+/// One parsed request line + query parameters. Headers are skipped except
+/// Connection, which (with the HTTP version) decides `keep_alive`.
 struct HttpRequest {
   std::string method;
   std::string path;  ///< Decoded, without the query string.
   std::map<std::string, std::string> params;  ///< Decoded query parameters.
+  /// Whether the client may reuse the connection for another request:
+  /// HTTP/1.1 unless `Connection: close`; HTTP/1.0 only with
+  /// `Connection: keep-alive` (both matched case-insensitively).
+  bool keep_alive = false;
 };
 
 /// Parses one request from the buffer. Returns the bytes consumed through
@@ -40,10 +45,13 @@ Result<size_t> ParseHttpRequest(const uint8_t* data, size_t size,
 /// Percent-decodes `text` ('+' becomes space; bad escapes pass through).
 std::string UrlDecode(const std::string& text);
 
-/// Serializes a full response with Content-Length and Connection: close.
+/// Serializes a full response with Content-Length and a Connection header
+/// matching `keep_alive` (default close — callers that honor reuse pass
+/// the request's keep_alive through).
 std::string HttpResponseText(int status_code, const std::string& reason,
                              const std::string& content_type,
-                             const std::string& body);
+                             const std::string& body,
+                             bool keep_alive = false);
 
 /// Escapes `text` for embedding inside a JSON string literal.
 std::string JsonEscape(const std::string& text);

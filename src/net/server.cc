@@ -42,6 +42,7 @@ struct NetServer::SharedStats {
   std::atomic<uint64_t> frames_received{0};
   std::atomic<uint64_t> frames_sent{0};
   std::atomic<uint64_t> http_requests{0};
+  std::atomic<uint64_t> http_keepalive_reuses{0};
   std::atomic<uint64_t> protocol_errors{0};
   std::atomic<uint64_t> overload_rejections{0};
   std::atomic<uint64_t> read_pauses{0};
@@ -247,7 +248,8 @@ class NetServer::EventLoop {
     size_t inflight = 0;           ///< Lookups submitted, reply not queued.
     bool paused = false;           ///< Backpressure: reading suspended.
     bool close_after_flush = false;
-    bool http_dispatched = false;  ///< One request per HTTP connection.
+    bool http_dispatched = false;  ///< HTTP request awaiting its reply.
+    uint64_t http_requests_served = 0;  ///< Keep-alive reuse counting.
   };
 
   void Run() {
@@ -315,7 +317,15 @@ class NetServer::EventLoop {
         Conn* conn = it->second.get();
         if (conn->inflight > 0) --conn->inflight;
         if (c.close_after) conn->close_after_flush = true;
-        Enqueue(conn, std::move(c.bytes));  // May close conn; that's fine.
+        const bool http = conn->proto == Conn::Proto::kHttp;
+        const bool alive = Enqueue(conn, std::move(c.bytes));
+        if (alive && http && !conn->close_after_flush &&
+            conn->http_dispatched) {
+          // Keep-alive: the reply is queued, so the connection may carry
+          // its next request — which may already be buffered (pipelined).
+          conn->http_dispatched = false;
+          ParseInput(conn);  // May close conn; that's fine.
+        }
       }
       // Decrement only after any bytes are on the outbound counter, so a
       // draining stopper always sees the reply in one counter or another.
@@ -420,9 +430,16 @@ class NetServer::EventLoop {
         if (!HandleFrame(conn, &frame)) return false;
         continue;  // More frames may be buffered (pipelining).
       }
-      // HTTP: one request per connection (every response closes).
+      // HTTP: keep-alive connections serve one request at a time; while a
+      // reply is pending, pipelined bytes stay buffered (bounded) and the
+      // parser re-runs from HandleInbox once the reply is queued.
       if (conn->http_dispatched) {
-        conn->in.clear();
+        if (conn->in.size() > options_.max_http_header) {
+          stats_->protocol_errors.fetch_add(1, std::memory_order_relaxed);
+          return SendHttp(conn, 400, "Bad Request",
+                          "{\"error\":\"pipelined request backlog exceeds "
+                          "buffer bound\"}\n");
+        }
         return true;
       }
       HttpRequest request;
@@ -438,7 +455,14 @@ class NetServer::EventLoop {
       }
       if (consumed.value() == 0) return true;  // Headers incomplete.
       conn->in.erase(0, consumed.value());
-      return HandleHttp(conn, request);
+      switch (HandleHttp(conn, request)) {
+        case HttpOutcome::kClosed:
+          return false;
+        case HttpOutcome::kAwaitReply:
+          return true;
+        case HttpOutcome::kNextRequest:
+          break;  // Inline keep-alive reply: pipelined requests may follow.
+      }
     }
   }
 
@@ -462,7 +486,12 @@ class NetServer::EventLoop {
         return Enqueue(conn, std::move(out));
       }
       case FrameType::kLookupRequest:
-        return HandleLookup(conn, frame);
+        return HandleLookup(conn, frame, /*scored=*/false);
+      case FrameType::kShardLookupRequest:
+        // Cluster-aware lookup: the reply carries exact distances so a
+        // router can merge per-shard top-k bit-identically (DESIGN.md §12).
+        // A single shard is never partial; only routers set that flag.
+        return HandleLookup(conn, frame, /*scored=*/true);
       default:
         // Response/error/pong frames are server-to-client only.
         return ProtocolError(conn, Status::InvalidArgument(
@@ -470,7 +499,7 @@ class NetServer::EventLoop {
     }
   }
 
-  bool HandleLookup(Conn* conn, Frame* frame) {
+  bool HandleLookup(Conn* conn, Frame* frame, bool scored) {
     if (conn->inflight >= options_.max_inflight_per_conn) {
       // Shed rather than queue: the client sees the overload explicitly.
       stats_->overload_rejections.fetch_add(1, std::memory_order_relaxed);
@@ -490,13 +519,19 @@ class NetServer::EventLoop {
         std::move(frame->query), frame->k,
         std::chrono::microseconds(static_cast<int64_t>(frame->deadline_us)),
         [inbox = inbox_, stats = stats_, conn_id = conn->id,
-         request_id = frame->request_id,
+         request_id = frame->request_id, scored,
          dispatch_start](Result<serve::LookupResponse> result) {
           std::string out;
           if (result.ok()) {
             const serve::LookupResponse& response = result.value();
-            AppendLookupResponse(&out, request_id, response.from_cache,
-                                 response.ids);
+            if (scored) {
+              AppendShardLookupResponse(&out, request_id, response.from_cache,
+                                        /*partial=*/false, response.ids,
+                                        response.dists, {});
+            } else {
+              AppendLookupResponse(&out, request_id, response.from_cache,
+                                   response.ids);
+            }
           } else {
             AppendError(&out, request_id, result.status());
           }
@@ -508,41 +543,66 @@ class NetServer::EventLoop {
     return true;
   }
 
-  bool HandleHttp(Conn* conn, const HttpRequest& request) {
+  /// How an HTTP request left the connection: closed inline, waiting for
+  /// an async reply (or closing once the queued reply flushes), or done —
+  /// keep-alive reply queued, the parser may consume the next request.
+  enum class HttpOutcome { kClosed, kAwaitReply, kNextRequest };
+
+  HttpOutcome HandleHttp(Conn* conn, const HttpRequest& request) {
     stats_->http_requests.fetch_add(1, std::memory_order_relaxed);
+    if (conn->http_requests_served > 0) {
+      stats_->http_keepalive_reuses.fetch_add(1, std::memory_order_relaxed);
+    }
+    ++conn->http_requests_served;
+    // Blocks re-parsing (and serializes pipelined requests) until the
+    // reply for this one is queued; error replies close so never reset it.
     conn->http_dispatched = true;
-    conn->in.clear();  // Ignore any body or pipelined bytes.
     if (request.method != "GET") {
       return SendHttp(conn, 405, "Method Not Allowed",
-                      "{\"error\":\"use GET\"}\n");
+                      "{\"error\":\"use GET\"}\n")
+                 ? HttpOutcome::kAwaitReply
+                 : HttpOutcome::kClosed;
     }
     if (request.path == "/healthz") {
-      conn->close_after_flush = true;
-      return Enqueue(conn,
-                     HttpResponseText(200, "OK", "text/plain", "ok\n"));
+      if (!request.keep_alive) conn->close_after_flush = true;
+      if (!Enqueue(conn, HttpResponseText(200, "OK", "text/plain", "ok\n",
+                                          request.keep_alive))) {
+        return HttpOutcome::kClosed;
+      }
+      if (!request.keep_alive) return HttpOutcome::kAwaitReply;
+      conn->http_dispatched = false;
+      return HttpOutcome::kNextRequest;
     }
     if (request.path != "/lookup") {
       return SendHttp(conn, 404, "Not Found",
-                      "{\"error\":\"unknown path; try /lookup?q=...\"}\n");
+                      "{\"error\":\"unknown path; try /lookup?q=...\"}\n")
+                 ? HttpOutcome::kAwaitReply
+                 : HttpOutcome::kClosed;
     }
     const auto q = request.params.find("q");
     if (q == request.params.end() || q->second.empty()) {
       return SendHttp(conn, 400, "Bad Request",
-                      "{\"error\":\"missing q parameter\"}\n");
+                      "{\"error\":\"missing q parameter\"}\n")
+                 ? HttpOutcome::kAwaitReply
+                 : HttpOutcome::kClosed;
     }
     int64_t k = 10;
     int64_t deadline_us = 0;
     if (const auto it = request.params.find("k"); it != request.params.end()) {
       if (!ParseInt(it->second, &k)) {
         return SendHttp(conn, 400, "Bad Request",
-                        "{\"error\":\"k must be an integer\"}\n");
+                        "{\"error\":\"k must be an integer\"}\n")
+                   ? HttpOutcome::kAwaitReply
+                   : HttpOutcome::kClosed;
       }
     }
     if (const auto it = request.params.find("deadline_us");
         it != request.params.end()) {
       if (!ParseInt(it->second, &deadline_us) || deadline_us < 0) {
         return SendHttp(conn, 400, "Bad Request",
-                        "{\"error\":\"deadline_us must be >= 0\"}\n");
+                        "{\"error\":\"deadline_us must be >= 0\"}\n")
+                   ? HttpOutcome::kAwaitReply
+                   : HttpOutcome::kClosed;
       }
     }
     if (deadline_us > 0) {
@@ -551,27 +611,29 @@ class NetServer::EventLoop {
     ++conn->inflight;
     stats_->inflight_requests.fetch_add(1, std::memory_order_relaxed);
     const auto dispatch_start = std::chrono::steady_clock::now();
+    const bool keep_alive = request.keep_alive;
     server_->SubmitAsync(
         q->second, k, std::chrono::microseconds(deadline_us),
-        [inbox = inbox_, stats = stats_, conn_id = conn->id,
+        [inbox = inbox_, stats = stats_, conn_id = conn->id, keep_alive,
          dispatch_start](Result<serve::LookupResponse> result) {
           std::string http;
           if (result.ok()) {
             http = HttpResponseText(200, "OK", "application/json",
-                                    LookupJson(result.value()));
+                                    LookupJson(result.value()), keep_alive);
           } else {
             const HttpStatusLine line = HttpStatusFor(result.status().code());
             http = HttpResponseText(
                 line.code, line.reason, "application/json",
                 "{\"error\":\"" + JsonEscape(result.status().ToString()) +
-                    "\"}\n");
+                    "\"}\n",
+                keep_alive);
           }
           RecordStage(obs::Stage::kNetDispatch, dispatch_start);
-          PostToInbox(inbox,
-                      Completion{conn_id, std::move(http), /*close_after=*/true});
+          PostToInbox(inbox, Completion{conn_id, std::move(http),
+                                        /*close_after=*/!keep_alive});
           stats->inflight_requests.fetch_sub(1, std::memory_order_relaxed);
         });
-    return true;
+    return HttpOutcome::kAwaitReply;
   }
 
   bool SendHttp(Conn* conn, int code, const char* reason, std::string body) {
@@ -783,6 +845,8 @@ NetStatsSnapshot NetServer::Stats() const {
   s.frames_received = stats_->frames_received.load(std::memory_order_relaxed);
   s.frames_sent = stats_->frames_sent.load(std::memory_order_relaxed);
   s.http_requests = stats_->http_requests.load(std::memory_order_relaxed);
+  s.http_keepalive_reuses =
+      stats_->http_keepalive_reuses.load(std::memory_order_relaxed);
   s.protocol_errors = stats_->protocol_errors.load(std::memory_order_relaxed);
   s.overload_rejections =
       stats_->overload_rejections.load(std::memory_order_relaxed);
@@ -816,6 +880,10 @@ std::string PrometheusNetText(const NetStatsSnapshot& stats) {
   w.Counter("emblookup_net_http_requests_total",
             "Requests served via the HTTP/1.1 JSON fallback.",
             stats.http_requests);
+  w.Counter("emblookup_net_http_keepalive_reuses_total",
+            "HTTP requests served on an already-used keep-alive connection "
+            "(2nd and later per connection).",
+            stats.http_keepalive_reuses);
   w.Counter("emblookup_net_protocol_errors_total",
             "Malformed frames or HTTP requests (connection closed).",
             stats.protocol_errors);

@@ -53,6 +53,7 @@ struct NetStatsSnapshot {
   uint64_t frames_received = 0;
   uint64_t frames_sent = 0;
   uint64_t http_requests = 0;
+  uint64_t http_keepalive_reuses = 0;  ///< 2nd+ request on one HTTP conn.
   uint64_t protocol_errors = 0;     ///< Malformed frames/HTTP; conn closed.
   uint64_t overload_rejections = 0; ///< Explicit Unavailable shed replies.
   uint64_t read_pauses = 0;         ///< Backpressure read stalls.

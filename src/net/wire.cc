@@ -132,6 +132,61 @@ void AppendPong(std::string* out, uint64_t request_id) {
   AppendFrame(out, FrameType::kPong, request_id, std::string());
 }
 
+void AppendShardLookupRequest(std::string* out, uint64_t request_id,
+                              const std::string& query, int64_t k,
+                              uint64_t deadline_us) {
+  std::string payload;
+  payload.reserve(16 + query.size());
+  AppendPod<uint64_t>(&payload, deadline_us);
+  AppendPod<uint32_t>(&payload, static_cast<uint32_t>(k));
+  AppendPod<uint32_t>(&payload, static_cast<uint32_t>(query.size()));
+  payload.append(query);
+  AppendFrame(out, FrameType::kShardLookupRequest, request_id, payload);
+}
+
+void AppendShardLookupResponse(std::string* out, uint64_t request_id,
+                               bool from_cache, bool partial,
+                               const std::vector<int64_t>& ids,
+                               const std::vector<float>& dists,
+                               const std::vector<uint32_t>& missing_shards) {
+  std::string payload;
+  payload.reserve(8 + ids.size() * (sizeof(int64_t) + sizeof(float)) +
+                  missing_shards.size() * sizeof(uint32_t));
+  payload.push_back(from_cache ? 1 : 0);
+  payload.push_back(partial ? 1 : 0);
+  AppendPod<uint16_t>(&payload,
+                      static_cast<uint16_t>(missing_shards.size()));
+  AppendPod<uint32_t>(&payload, static_cast<uint32_t>(ids.size()));
+  for (size_t i = 0; i < ids.size(); ++i) {
+    AppendPod<int64_t>(&payload, ids[i]);
+    AppendPod<float>(&payload, i < dists.size() ? dists[i] : 0.0f);
+  }
+  for (const uint32_t shard : missing_shards) {
+    AppendPod<uint32_t>(&payload, shard);
+  }
+  AppendFrame(out, FrameType::kShardLookupResponse, request_id, payload);
+}
+
+void AppendWalSubscribe(std::string* out, uint64_t request_id,
+                        uint64_t from_seq) {
+  std::string payload;
+  AppendPod<uint64_t>(&payload, from_seq);
+  AppendFrame(out, FrameType::kWalSubscribe, request_id, payload);
+}
+
+void AppendWalSegment(std::string* out, uint64_t request_id,
+                      uint64_t leader_seq, uint64_t wall_us,
+                      uint32_t record_count, const std::string& records) {
+  std::string payload;
+  payload.reserve(24 + records.size());
+  AppendPod<uint64_t>(&payload, leader_seq);
+  AppendPod<uint64_t>(&payload, wall_us);
+  AppendPod<uint32_t>(&payload, record_count);
+  AppendPod<uint32_t>(&payload, static_cast<uint32_t>(records.size()));
+  payload.append(records);
+  AppendFrame(out, FrameType::kWalSegment, request_id, payload);
+}
+
 Result<size_t> DecodeFrame(const uint8_t* data, size_t size,
                            size_t max_payload, Frame* frame) {
   if (size < kFrameHeaderBytes) return size_t{0};
@@ -142,7 +197,7 @@ Result<size_t> DecodeFrame(const uint8_t* data, size_t size,
   }
   const uint8_t type_raw = data[5];
   if (type_raw < static_cast<uint8_t>(FrameType::kLookupRequest) ||
-      type_raw > static_cast<uint8_t>(FrameType::kPong)) {
+      type_raw > static_cast<uint8_t>(FrameType::kWalSegment)) {
     return Malformed("unknown frame type");
   }
   if (ReadPod<uint16_t>(data + 6) != 0) {
@@ -212,6 +267,62 @@ Result<size_t> DecodeFrame(const uint8_t* data, size_t size,
         return Malformed("short error payload");
       }
       frame->error_code = StatusCodeFromWire(code);
+      break;
+    }
+    case FrameType::kShardLookupRequest: {
+      uint32_t k = 0, query_bytes = 0;
+      if (!reader.Read(&frame->deadline_us) || !reader.Read(&k) ||
+          !reader.Read(&query_bytes) ||
+          !reader.ReadBytes(query_bytes, &frame->query)) {
+        return Malformed("short shard-lookup-request payload");
+      }
+      frame->k = static_cast<int64_t>(k);
+      break;
+    }
+    case FrameType::kShardLookupResponse: {
+      uint8_t from_cache = 0, partial = 0;
+      uint16_t missing_count = 0;
+      uint32_t count = 0;
+      if (!reader.Read(&from_cache) || !reader.Read(&partial) ||
+          !reader.Read(&missing_count) || !reader.Read(&count)) {
+        return Malformed("short shard-lookup-response payload");
+      }
+      if (static_cast<uint64_t>(count) * (sizeof(int64_t) + sizeof(float)) +
+              static_cast<uint64_t>(missing_count) * sizeof(uint32_t) >
+          static_cast<uint64_t>(payload_bytes)) {
+        return Malformed("shard-lookup-response counts overrun payload");
+      }
+      frame->from_cache = from_cache != 0;
+      frame->partial = partial != 0;
+      frame->ids.resize(count);
+      frame->dists.resize(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        if (!reader.Read(&frame->ids[i]) || !reader.Read(&frame->dists[i])) {
+          return Malformed("short shard-lookup-response payload");
+        }
+      }
+      frame->missing_shards.resize(missing_count);
+      for (uint16_t i = 0; i < missing_count; ++i) {
+        if (!reader.Read(&frame->missing_shards[i])) {
+          return Malformed("short shard-lookup-response payload");
+        }
+      }
+      break;
+    }
+    case FrameType::kWalSubscribe: {
+      if (!reader.Read(&frame->wal_from_seq)) {
+        return Malformed("short wal-subscribe payload");
+      }
+      break;
+    }
+    case FrameType::kWalSegment: {
+      uint32_t records_bytes = 0;
+      if (!reader.Read(&frame->leader_seq) || !reader.Read(&frame->wall_us) ||
+          !reader.Read(&frame->wal_record_count) ||
+          !reader.Read(&records_bytes) ||
+          !reader.ReadBytes(records_bytes, &frame->wal_records)) {
+        return Malformed("short wal-segment payload");
+      }
       break;
     }
     case FrameType::kPing:

@@ -33,6 +33,31 @@ namespace emblookup::net {
 ///   kError:          [u8 code] [u8 reserved x3] [u32 msg_bytes] [msg]
 ///   kPing / kPong:   empty payload
 ///
+/// Cluster frames (DESIGN.md §12):
+///
+///   kShardLookupRequest:  same payload as kLookupRequest. Asks for a
+///                         *scored* response so the router can merge
+///                         per-shard candidates by exact distance.
+///   kShardLookupResponse: [u8 from_cache] [u8 partial] [u16 missing_count]
+///                         [u32 count] [count x (i64 entity_id, f32 dist)]
+///                         [missing_count x u32 shard_index]
+///                         Results are best-first by (dist, id). `partial`
+///                         is set by the router when one or more shards
+///                         could not answer; the trailing shard indexes
+///                         name them. Shard servers always send partial=0.
+///   kWalSubscribe:        [u64 from_seq] — follower asks the leader to
+///                         stream every WAL record with seq > from_seq.
+///   kWalSegment:          [u64 leader_seq] [u64 wall_us] [u32 record_count]
+///                         [u32 records_bytes] [records_bytes of WAL
+///                         records in update::EncodeRecord format]
+///                         leader_seq is the leader's newest seq (so an
+///                         idle follower can still measure lag); wall_us
+///                         is the leader's wall clock at send time
+///                         (freshness measurement). record_count == 0 is a
+///                         heartbeat. The record bytes keep their own
+///                         per-record CRCs; the wire layer carries them
+///                         opaquely and update::DecodeRecords validates.
+///
 /// deadline_us is a request budget relative to server receipt (0 = no
 /// deadline); the server feeds it into LookupServer::Submit's timeout, so
 /// a request that overstays its wire deadline in the micro-batch queue
@@ -53,6 +78,10 @@ enum class FrameType : uint8_t {
   kError = 3,
   kPing = 4,
   kPong = 5,
+  kShardLookupRequest = 6,
+  kShardLookupResponse = 7,
+  kWalSubscribe = 8,
+  kWalSegment = 9,
 };
 
 /// StatusCode <-> on-wire error code (uint8). The mapping is the enum
@@ -69,9 +98,20 @@ struct Frame {
   uint64_t deadline_us = 0;
   int64_t k = 0;
   std::string query;
-  // kLookupResponse
+  // kLookupResponse / kShardLookupResponse
   bool from_cache = false;
   std::vector<int64_t> ids;
+  // kShardLookupResponse
+  std::vector<float> dists;             ///< Parallel to `ids`.
+  bool partial = false;                 ///< Some shards missing.
+  std::vector<uint32_t> missing_shards; ///< Indexes of the missing shards.
+  // kWalSubscribe
+  uint64_t wal_from_seq = 0;
+  // kWalSegment
+  uint64_t leader_seq = 0;
+  uint64_t wall_us = 0;
+  uint32_t wal_record_count = 0;
+  std::string wal_records;  ///< Raw update::EncodeRecord bytes, opaque here.
   // kError
   StatusCode error_code = StatusCode::kInternal;
   std::string error_message;
@@ -86,6 +126,22 @@ void AppendLookupResponse(std::string* out, uint64_t request_id,
 void AppendError(std::string* out, uint64_t request_id, const Status& status);
 void AppendPing(std::string* out, uint64_t request_id);
 void AppendPong(std::string* out, uint64_t request_id);
+void AppendShardLookupRequest(std::string* out, uint64_t request_id,
+                              const std::string& query, int64_t k,
+                              uint64_t deadline_us);
+void AppendShardLookupResponse(std::string* out, uint64_t request_id,
+                               bool from_cache, bool partial,
+                               const std::vector<int64_t>& ids,
+                               const std::vector<float>& dists,
+                               const std::vector<uint32_t>& missing_shards);
+void AppendWalSubscribe(std::string* out, uint64_t request_id,
+                        uint64_t from_seq);
+/// `records` must be a concatenation of update::EncodeRecord outputs
+/// (possibly empty for a heartbeat). Callers keep segments under the
+/// receiver's max-payload bound by chunking records across segments.
+void AppendWalSegment(std::string* out, uint64_t request_id,
+                      uint64_t leader_seq, uint64_t wall_us,
+                      uint32_t record_count, const std::string& records);
 
 /// Decodes the first frame in [data, data+size). Returns:
 ///   - a positive byte count (header + payload) with `*frame` filled when a

@@ -46,6 +46,11 @@ const char* StageName(Stage stage) {
     case Stage::kNetParse: return "net_parse";
     case Stage::kNetDispatch: return "net_dispatch";
     case Stage::kNetWrite: return "net_write";
+    case Stage::kRouteFanout: return "route_fanout";
+    case Stage::kShardRpc: return "shard_rpc";
+    case Stage::kTopKMergeRouter: return "topk_merge_router";
+    case Stage::kWalShip: return "wal_ship";
+    case Stage::kWalReplay: return "wal_replay";
   }
   return "unknown";
 }

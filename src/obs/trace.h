@@ -38,8 +38,13 @@ enum class Stage : uint8_t {
   kNetParse,          ///< Frame/HTTP decode + dispatch per event (net).
   kNetDispatch,       ///< Submit -> completion callback per request (net).
   kNetWrite,          ///< Response flush toward the socket (net).
+  kRouteFanout,       ///< Router scatter + gather across all shards (cluster).
+  kShardRpc,          ///< One shard's lookup RPC, send to reply (cluster).
+  kTopKMergeRouter,   ///< Cross-shard top-k merge at the router (cluster).
+  kWalShip,           ///< Leader: encode + send one WAL segment (cluster).
+  kWalReplay,         ///< Follower: apply one shipped mutation (cluster).
 };
-inline constexpr int kNumStages = static_cast<int>(Stage::kNetWrite) + 1;
+inline constexpr int kNumStages = static_cast<int>(Stage::kWalReplay) + 1;
 
 /// Stable snake_case stage name ("queue_wait", "main_scan", ...) — the
 /// `stage` label value in exporter output and the slow-query log.

@@ -318,7 +318,7 @@ void LookupServer::ExecuteBatch(std::vector<Request>* batch) {
       {
         obs::ScopedTrace bind(trace, root);
         obs::Span probe(obs::Stage::kCacheProbe);
-        hit = cache_.Get(req.query, req.k, epoch, &resp.ids);
+        hit = cache_.Get(req.query, req.k, epoch, &resp.ids, &resp.dists);
       }
       if (hit) {
         metrics_.OnCacheHit();
@@ -355,13 +355,13 @@ void LookupServer::ExecuteBatch(std::vector<Request>* batch) {
     }
   }
   const auto batch_start = SteadyClock::now();
-  std::vector<std::vector<kg::EntityId>> results;
+  std::vector<std::vector<apps::ScoredEntity>> results;
   {
     obs::ScopedTrace bind(leader != nullptr ? leader->req->trace.get()
                                             : nullptr,
                           leader != nullptr ? leader->root : -1);
     obs::Span span(obs::Stage::kBatchExecute);
-    results = backend_->BulkLookup(queries, max_k);
+    results = backend_->BulkLookupScored(queries, max_k);
   }
   const double batch_us = ToMicros(SteadyClock::now() - batch_start);
 
@@ -373,11 +373,17 @@ void LookupServer::ExecuteBatch(std::vector<Request>* batch) {
                      trace->RelMicros(batch_start), batch_us);
     }
     LookupResponse resp;
-    resp.ids = std::move(results[i]);
-    if (static_cast<int64_t>(resp.ids.size()) > req->k) {
-      resp.ids.resize(req->k);
+    const size_t keep = std::min(results[i].size(),
+                                 static_cast<size_t>(req->k));
+    resp.ids.reserve(keep);
+    resp.dists.reserve(keep);
+    for (size_t j = 0; j < keep; ++j) {
+      resp.ids.push_back(results[i][j].id);
+      resp.dists.push_back(results[i][j].dist);
     }
-    if (options_.enable_cache) cache_.Put(req->query, req->k, epoch, resp.ids);
+    if (options_.enable_cache) {
+      cache_.Put(req->query, req->k, epoch, resp.ids, resp.dists);
+    }
     resp.queue_wait_seconds = ToMicros(now - req->enqueue_time) * 1e-6;
     FinishRequestTrace(req, misses[i].root, /*from_cache=*/false);
     metrics_.ObserveLatencyMicros(

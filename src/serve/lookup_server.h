@@ -53,6 +53,10 @@ struct ServerOptions {
 /// One served lookup result.
 struct LookupResponse {
   std::vector<kg::EntityId> ids;  ///< Best-first candidates, at most k.
+  /// Backend scores parallel to `ids` (EmbLookup: exact L2 distance,
+  /// smaller = better). The cluster router merges per-shard results by
+  /// these, so shard servers must serve them bit-exact.
+  std::vector<float> dists;
   bool from_cache = false;
   double queue_wait_seconds = 0.0;
 };

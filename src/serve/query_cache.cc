@@ -22,9 +22,10 @@ std::string MakeKey(const std::string& query, int64_t k) {
 }
 
 size_t EntryBytes(const std::string& key,
-                  const std::vector<kg::EntityId>& ids) {
+                  const std::vector<kg::EntityId>& ids,
+                  const std::vector<float>& dists) {
   return kEntryOverheadBytes + 2 * key.size() +  // Key lives in list + map.
-         ids.size() * sizeof(kg::EntityId);
+         ids.size() * sizeof(kg::EntityId) + dists.size() * sizeof(float);
 }
 
 }  // namespace
@@ -44,7 +45,8 @@ QueryCache::Shard& QueryCache::ShardFor(const std::string& key) {
 }
 
 bool QueryCache::Get(const std::string& query, int64_t k, uint64_t epoch,
-                     std::vector<kg::EntityId>* out) {
+                     std::vector<kg::EntityId>* out,
+                     std::vector<float>* dists) {
   const std::string key = MakeKey(query, k);
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
@@ -62,28 +64,37 @@ bool QueryCache::Get(const std::string& query, int64_t k, uint64_t epoch,
     misses_.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
+  if (dists != nullptr && it->second->dists.empty() &&
+      !it->second->ids.empty()) {
+    // Scoreless entry, scored reader: recompute (Put then attaches scores).
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);  // Promote.
   *out = it->second->ids;
+  if (dists != nullptr) *dists = it->second->dists;
   hits_.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
 
 void QueryCache::Put(const std::string& query, int64_t k, uint64_t epoch,
-                     std::vector<kg::EntityId> ids) {
+                     std::vector<kg::EntityId> ids, std::vector<float> dists) {
   std::string key = MakeKey(query, k);
   Shard& shard = ShardFor(key);
-  const size_t bytes = EntryBytes(key, ids);
+  const size_t bytes = EntryBytes(key, ids, dists);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.map.find(key);
   if (it != shard.map.end()) {
     shard.bytes -= it->second->bytes;
     it->second->ids = std::move(ids);
+    it->second->dists = std::move(dists);
     it->second->bytes = bytes;
     it->second->epoch = epoch;
     shard.bytes += bytes;
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
   } else {
-    shard.lru.push_front(Entry{key, std::move(ids), bytes, epoch});
+    shard.lru.push_front(
+        Entry{key, std::move(ids), std::move(dists), bytes, epoch});
     shard.map.emplace(std::move(key), shard.lru.begin());
     shard.bytes += bytes;
   }

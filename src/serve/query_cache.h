@@ -51,14 +51,19 @@ class QueryCache {
   /// delta state, so it is dropped and the probe counts as a miss. Every
   /// delta apply and index swap bumps the epoch, invalidating the whole
   /// cache lazily without a stop-the-world clear.
+  /// Passing non-null `dists` asks for the scores cached alongside the
+  /// ids; an entry written without scores then counts as a miss (the
+  /// caller recomputes and Put refreshes it with scores attached), so a
+  /// scored reader never sees a scoreless hit.
   bool Get(const std::string& query, int64_t k, uint64_t epoch,
-           std::vector<kg::EntityId>* out);
+           std::vector<kg::EntityId>* out,
+           std::vector<float>* dists = nullptr);
 
   /// Inserts or refreshes the result for (query, k) computed under
   /// `epoch`, evicting LRU entries while the shard exceeds its entry or
-  /// byte budget.
+  /// byte budget. `dists`, when non-empty, must parallel `ids`.
   void Put(const std::string& query, int64_t k, uint64_t epoch,
-           std::vector<kg::EntityId> ids);
+           std::vector<kg::EntityId> ids, std::vector<float> dists = {});
 
   /// Drops every entry (used on index swap: cached results are stale the
   /// moment a new snapshot serves). Does not count as evictions.
@@ -75,6 +80,7 @@ class QueryCache {
   struct Entry {
     std::string key;
     std::vector<kg::EntityId> ids;
+    std::vector<float> dists;  ///< Parallel to ids; empty = no scores.
     size_t bytes = 0;
     uint64_t epoch = 0;  ///< Serving epoch the result was computed under.
   };

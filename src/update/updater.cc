@@ -205,6 +205,7 @@ Result<kg::EntityId> IndexUpdater::AddEntity(
   EL_RETURN_NOT_OK(PublishLocked(std::move(delta)));
   apply.End();
   ++applied_;
+  if (listener_) listener_(m);
   EL_RETURN_NOT_OK(MaybeCompactLocked());
   cv_.notify_all();
   return m.entity;
@@ -233,6 +234,7 @@ Status IndexUpdater::RemoveEntity(kg::EntityId entity) {
   EL_RETURN_NOT_OK(PublishLocked(std::move(delta)));
   apply.End();
   ++applied_;
+  if (listener_) listener_(m);
   EL_RETURN_NOT_OK(MaybeCompactLocked());
   cv_.notify_all();
   return Status::OK();
@@ -266,9 +268,56 @@ Status IndexUpdater::UpdateAliases(kg::EntityId entity,
   EL_RETURN_NOT_OK(PublishLocked(std::move(delta)));
   apply.End();
   ++applied_;
+  if (listener_) listener_(m);
   EL_RETURN_NOT_OK(MaybeCompactLocked());
   cv_.notify_all();
   return Status::OK();
+}
+
+Status IndexUpdater::ApplyReplicated(const Mutation& m) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (m.seq <= seq_) return Status::OK();  // Resubscribe-overlap duplicate.
+  if (m.seq != seq_ + 1) {
+    return Status::IoError(
+        "replication gap: follower at seq " + std::to_string(seq_) +
+        ", leader shipped seq " + std::to_string(m.seq) +
+        " (resubscribe from last applied seq)");
+  }
+  // Local durability first: a follower restart replays its own WAL and
+  // resubscribes from exactly the records it acknowledged.
+  EL_RETURN_NOT_OK(wal_.Append(m));
+  seq_ = m.seq;
+  EL_RETURN_NOT_OK(ApplyToGraph(m, graph_));
+  obs::Span apply(obs::Stage::kWalReplay);
+  auto delta = std::make_shared<DeltaIndex>(*delta_);
+  EL_RETURN_NOT_OK(ApplyToDeltaLocked(m, /*baked=*/false, delta.get()));
+  EL_RETURN_NOT_OK(PublishLocked(std::move(delta)));
+  apply.End();
+  ++applied_;
+  EL_RETURN_NOT_OK(MaybeCompactLocked());
+  cv_.notify_all();
+  return Status::OK();
+}
+
+Result<std::vector<Mutation>> IndexUpdater::ReadWalSince(
+    uint64_t after_seq) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  EL_ASSIGN_OR_RETURN(WalContents wal, ReadWalFile(options_.wal_path));
+  std::vector<Mutation> out;
+  for (Mutation& m : wal.records) {
+    if (m.seq > after_seq) out.push_back(std::move(m));
+  }
+  return out;
+}
+
+void IndexUpdater::SetMutationListener(MutationListener listener) {
+  std::lock_guard<std::mutex> lock(mu_);
+  listener_ = std::move(listener);
+}
+
+bool IndexUpdater::WaitForSeq(uint64_t seq, std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(mu_);
+  return cv_.wait_for(lock, timeout, [&] { return seq_ >= seq; });
 }
 
 Status IndexUpdater::CompactLocked() {

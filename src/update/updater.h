@@ -1,8 +1,10 @@
 #ifndef EMBLOOKUP_UPDATE_UPDATER_H_
 #define EMBLOOKUP_UPDATE_UPDATER_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -109,6 +111,35 @@ class IndexUpdater {
   Status UpdateAliases(kg::EntityId entity,
                        const std::vector<std::string>& aliases);
 
+  // -- Replication (DESIGN.md §12) --
+
+  /// Applies a leader-originated mutation on a follower, in strict seq
+  /// order: a duplicate (seq <= last applied, the resubscribe-overlap
+  /// case) is skipped with OK; a gap (seq > last applied + 1) is an
+  /// IoError and nothing is applied — the follower must resubscribe from
+  /// its last seq rather than replay past a hole. Applied records are
+  /// appended to the follower's own WAL first, so follower restarts
+  /// recover locally and resume shipping from the right seq.
+  Status ApplyReplicated(const Mutation& m);
+
+  /// Reads the WAL records with seq > after_seq (catch-up for a follower
+  /// that subscribes behind the leader's in-memory tail). Note Persist()
+  /// shrinks the WAL to its tombstone registry — a leader that ships its
+  /// WAL must not Persist while followers may still need catch-up, or
+  /// followers must bootstrap from the persisted snapshot instead.
+  Result<std::vector<Mutation>> ReadWalSince(uint64_t after_seq) const;
+
+  /// Called under the updater mutex after each locally originated mutation
+  /// publishes (NOT for ApplyReplicated — replication is one level). The
+  /// leader's WAL shipper hooks this to tail live mutations; the callback
+  /// must not re-enter the updater and must not block.
+  using MutationListener = std::function<void(const Mutation&)>;
+  void SetMutationListener(MutationListener listener);
+
+  /// Blocks until last_seq >= seq or the timeout elapses; returns whether
+  /// the seq was reached. Convergence helper for replication tests/CLI.
+  bool WaitForSeq(uint64_t seq, std::chrono::milliseconds timeout);
+
   // -- Maintenance --
 
   /// Rebuilds the main index over the current catalog minus tombstones,
@@ -181,6 +212,7 @@ class IndexUpdater {
   std::shared_ptr<const DeltaIndex> delta_;
   /// Entities added since the last main-index rebuild (no main rows yet).
   std::unordered_set<kg::EntityId> fresh_;
+  MutationListener listener_;  ///< Nullable; invoked under mu_.
   uint64_t seq_ = 0;
   uint64_t applied_ = 0;
   uint64_t replayed_ = 0;

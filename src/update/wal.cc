@@ -193,8 +193,14 @@ Result<WalContents> DecodeWal(const uint8_t* data, uint64_t size,
                            std::to_string(version));
   }
 
+  return DecodeRecords(data + kWalHeaderBytes, size - kWalHeaderBytes,
+                       options);
+}
+
+Result<WalContents> DecodeRecords(const uint8_t* data, uint64_t size,
+                                  const WalReadOptions& options) {
   WalContents contents;
-  uint64_t at = kWalHeaderBytes;
+  uint64_t at = 0;
   while (at < size) {
     if (size - at < kWalRecordHeaderBytes) {
       // Torn record header: the crash window between write and fsync.

@@ -76,6 +76,15 @@ struct WalReadOptions {
 Result<WalContents> DecodeWal(const uint8_t* data, uint64_t size,
                               const WalReadOptions& options = {});
 
+/// Parses a headerless stream of WAL records (concatenated EncodeRecord
+/// outputs) — the form records travel in over the replication wire
+/// (kWalSegment frames, DESIGN.md §12). Same validation as DecodeWal
+/// minus the file header; shipped segments should be read strictly
+/// (tolerate_torn_tail=false) so a torn segment surfaces as a Status
+/// instead of being silently dropped.
+Result<WalContents> DecodeRecords(const uint8_t* data, uint64_t size,
+                                  const WalReadOptions& options = {});
+
 /// Reads and parses a WAL file. A missing file is an empty log.
 Result<WalContents> ReadWalFile(const std::string& path,
                                 const WalReadOptions& options = {});

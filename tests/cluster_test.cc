@@ -1,0 +1,783 @@
+// Tests for the src/cluster sharded-serving subsystem: shard map
+// build/save/load and corruption rejection, cluster wire frames, the
+// scatter-gather router (merged results bit-identical to a single node,
+// explicit partial answers when a shard dies, health ejection + ping
+// reinstatement, hedged reads), and WAL-shipped replication (follower
+// convergence + lookup equivalence, seq-gap and torn-segment replay
+// errors surfacing as Status — never UB; this suite runs under ASan).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ann/topk.h"
+#include "apps/lookup_service.h"
+#include "cluster/metrics.h"
+#include "cluster/replication.h"
+#include "cluster/router.h"
+#include "cluster/shard_map.h"
+#include "core/emblookup.h"
+#include "kg/knowledge_graph.h"
+#include "kg/synthetic_kg.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "net/wire.h"
+#include "serve/lookup_server.h"
+#include "update/updater.h"
+#include "update/wal.h"
+
+namespace emblookup::cluster {
+namespace {
+
+using std::chrono::milliseconds;
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::string FreshPath(const std::string& name) {
+  const std::string path = TempPath(name);
+  ::remove(path.c_str());
+  return path;
+}
+
+const kg::KnowledgeGraph& BaseKg() {
+  static const kg::KnowledgeGraph graph = [] {
+    kg::SyntheticKgOptions options;
+    options.num_entities = 140;
+    options.seed = 33;
+    return kg::GenerateSyntheticKg(options);
+  }();
+  return graph;
+}
+
+// --- Shard map ---------------------------------------------------------------
+
+TEST(ShardMapTest, AssignShardIsDeterministicAndInRange) {
+  for (int num_shards : {1, 2, 3, 8}) {
+    for (kg::EntityId id = 0; id < 1000; ++id) {
+      const int shard = AssignShard(id, num_shards);
+      EXPECT_GE(shard, 0);
+      EXPECT_LT(shard, num_shards);
+      EXPECT_EQ(shard, AssignShard(id, num_shards)) << "unstable assignment";
+    }
+  }
+}
+
+TEST(ShardMapTest, PartitionIsDisjointAndExhaustive) {
+  const kg::KnowledgeGraph& graph = BaseKg();
+  const int num_shards = 4;
+  auto map = BuildShardMap(graph, num_shards);
+  ASSERT_TRUE(map.ok()) << map.status().ToString();
+  ASSERT_EQ(map.value().shards.size(), static_cast<size_t>(num_shards));
+  EXPECT_EQ(map.value().catalog_entities,
+            static_cast<uint64_t>(graph.num_entities()));
+
+  uint64_t total = 0;
+  for (const ShardInfo& shard : map.value().shards) total += shard.entities;
+  EXPECT_EQ(total, static_cast<uint64_t>(graph.num_entities()));
+
+  // The exclude set of shard k is exactly the complement of its members,
+  // and membership across shards covers every entity exactly once.
+  std::vector<int> owner(graph.num_entities(), -1);
+  for (int shard = 0; shard < num_shards; ++shard) {
+    const std::unordered_set<kg::EntityId> exclude =
+        ShardExclusions(graph, shard, num_shards);
+    EXPECT_EQ(graph.num_entities() - static_cast<int64_t>(exclude.size()),
+              static_cast<int64_t>(map.value().shards[shard].entities));
+    for (kg::EntityId id = 0; id < graph.num_entities(); ++id) {
+      if (exclude.count(id) == 0) {
+        EXPECT_EQ(owner[static_cast<size_t>(id)], -1)
+            << "entity " << id << " owned twice";
+        owner[static_cast<size_t>(id)] = shard;
+      }
+    }
+  }
+  for (kg::EntityId id = 0; id < graph.num_entities(); ++id) {
+    EXPECT_EQ(owner[static_cast<size_t>(id)], AssignShard(id, num_shards));
+  }
+}
+
+TEST(ShardMapTest, SaveLoadRoundTrip) {
+  auto map = BuildShardMap(BaseKg(), 3);
+  ASSERT_TRUE(map.ok());
+  const std::string path = FreshPath("shards_roundtrip.map");
+  ASSERT_TRUE(SaveShardMap(map.value(), path).ok());
+  auto loaded = LoadShardMap(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().num_shards, map.value().num_shards);
+  EXPECT_EQ(loaded.value().catalog_entities, map.value().catalog_entities);
+  ASSERT_EQ(loaded.value().shards.size(), map.value().shards.size());
+  for (size_t i = 0; i < map.value().shards.size(); ++i) {
+    EXPECT_EQ(loaded.value().shards[i].index, map.value().shards[i].index);
+    EXPECT_EQ(loaded.value().shards[i].entities,
+              map.value().shards[i].entities);
+    EXPECT_EQ(loaded.value().shards[i].members_crc,
+              map.value().shards[i].members_crc);
+    EXPECT_EQ(loaded.value().shards[i].snapshot_file,
+              map.value().shards[i].snapshot_file);
+  }
+}
+
+TEST(ShardMapTest, LoadRejectsCorruption) {
+  auto map = BuildShardMap(BaseKg(), 3);
+  ASSERT_TRUE(map.ok());
+  const std::string path = FreshPath("shards_corrupt.map");
+  ASSERT_TRUE(SaveShardMap(map.value(), path).ok());
+
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+
+  // A flipped digit inside the body breaks the trailing checksum.
+  const size_t digit = bytes.find("entities");
+  ASSERT_NE(digit, std::string::npos);
+  std::string tampered = bytes;
+  tampered[digit] = 'X';
+  const std::string tampered_path = FreshPath("shards_tampered.map");
+  {
+    std::ofstream out(tampered_path, std::ios::binary);
+    out << tampered;
+  }
+  EXPECT_FALSE(LoadShardMap(tampered_path).ok());
+
+  // Truncation (checksum line gone) must fail too.
+  const std::string truncated_path = FreshPath("shards_truncated.map");
+  {
+    std::ofstream out(truncated_path, std::ios::binary);
+    out << bytes.substr(0, bytes.rfind("checksum"));
+  }
+  EXPECT_FALSE(LoadShardMap(truncated_path).ok());
+
+  EXPECT_FALSE(LoadShardMap(TempPath("shards_missing.map")).ok());
+}
+
+// --- Cluster wire frames -----------------------------------------------------
+
+Result<net::Frame> DecodeWhole(const std::string& bytes) {
+  net::Frame frame;
+  EL_ASSIGN_OR_RETURN(
+      const size_t consumed,
+      net::DecodeFrame(reinterpret_cast<const uint8_t*>(bytes.data()),
+                       bytes.size(), net::kDefaultMaxPayloadBytes, &frame));
+  EXPECT_EQ(consumed, bytes.size());
+  return frame;
+}
+
+TEST(ClusterWireTest, ShardLookupResponseRoundTrips) {
+  std::string bytes;
+  net::AppendShardLookupResponse(&bytes, 9, /*from_cache=*/false,
+                                 /*partial=*/true, {42, 7, 3},
+                                 {0.25f, 0.5f, 1.75f}, {1, 3});
+  auto decoded = DecodeWhole(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  const net::Frame& frame = decoded.value();
+  EXPECT_EQ(frame.type, net::FrameType::kShardLookupResponse);
+  EXPECT_TRUE(frame.partial);
+  EXPECT_EQ(frame.ids, (std::vector<int64_t>{42, 7, 3}));
+  EXPECT_EQ(frame.dists, (std::vector<float>{0.25f, 0.5f, 1.75f}));
+  EXPECT_EQ(frame.missing_shards, (std::vector<uint32_t>{1, 3}));
+}
+
+TEST(ClusterWireTest, WalSubscribeAndSegmentRoundTrip) {
+  std::string subscribe;
+  net::AppendWalSubscribe(&subscribe, 4, /*from_seq=*/17);
+  auto sub = DecodeWhole(subscribe);
+  ASSERT_TRUE(sub.ok());
+  EXPECT_EQ(sub.value().type, net::FrameType::kWalSubscribe);
+  EXPECT_EQ(sub.value().wal_from_seq, 17u);
+
+  update::Mutation m;
+  m.kind = update::MutationKind::kAddEntity;
+  m.seq = 18;
+  m.entity = 140;
+  m.label = "wire segment probe";
+  const std::vector<uint8_t> record = update::EncodeRecord(m);
+  std::string segment;
+  net::AppendWalSegment(
+      &segment, 4, /*leader_seq=*/18, /*wall_us=*/123456, /*record_count=*/1,
+      std::string(reinterpret_cast<const char*>(record.data()),
+                  record.size()));
+  auto seg = DecodeWhole(segment);
+  ASSERT_TRUE(seg.ok()) << seg.status().ToString();
+  EXPECT_EQ(seg.value().type, net::FrameType::kWalSegment);
+  EXPECT_EQ(seg.value().leader_seq, 18u);
+  EXPECT_EQ(seg.value().wall_us, 123456u);
+  EXPECT_EQ(seg.value().wal_record_count, 1u);
+  auto replayed = update::DecodeRecords(
+      reinterpret_cast<const uint8_t*>(seg.value().wal_records.data()),
+      seg.value().wal_records.size());
+  ASSERT_TRUE(replayed.ok());
+  ASSERT_EQ(replayed.value().records.size(), 1u);
+  EXPECT_TRUE(replayed.value().records[0] == m);
+
+  // A 0-record segment is a heartbeat: just the leader's seq + clock.
+  std::string heartbeat;
+  net::AppendWalSegment(&heartbeat, 5, 18, 123789, 0, "");
+  auto beat = DecodeWhole(heartbeat);
+  ASSERT_TRUE(beat.ok());
+  EXPECT_EQ(beat.value().wal_record_count, 0u);
+  EXPECT_TRUE(beat.value().wal_records.empty());
+}
+
+TEST(ClusterWireTest, ParseHostPortAcceptsGoodRejectsBad) {
+  auto good = ParseHostPort("10.1.2.3:8080");
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.value().first, "10.1.2.3");
+  EXPECT_EQ(good.value().second, 8080);
+  EXPECT_FALSE(ParseHostPort("no-port").ok());
+  EXPECT_FALSE(ParseHostPort(":99").ok());
+  EXPECT_FALSE(ParseHostPort("host:").ok());
+  EXPECT_FALSE(ParseHostPort("host:notanumber").ok());
+  EXPECT_FALSE(ParseHostPort("host:70000").ok());
+}
+
+// --- Router scatter-gather ---------------------------------------------------
+
+/// A deterministic scored backend over a fixed entity universe, restricted
+/// to one shard's members. Distances depend only on (query, id) — the
+/// candidate-set-independence property the router's exactness rests on —
+/// and are deliberately coarse (many exact ties) so the shared (dist, id)
+/// tie-break is actually exercised by the merge.
+class ShardedFakeService : public apps::LookupService {
+ public:
+  ShardedFakeService(int shard, int num_shards, int64_t universe = 512)
+      : shard_(shard), num_shards_(num_shards), universe_(universe) {}
+
+  std::string name() const override { return "sharded-fake"; }
+
+  static float DistOf(const std::string& query, int64_t id) {
+    uint64_t h = 1469598103934665603ull;
+    for (char c : query) {
+      h = (h ^ static_cast<unsigned char>(c)) * 1099511628211ull;
+    }
+    h = SplitMix64(h ^ static_cast<uint64_t>(id));
+    return static_cast<float>(h % 97) / 97.0f;
+  }
+
+  std::vector<kg::EntityId> Lookup(const std::string& query,
+                                   int64_t k) override {
+    std::vector<kg::EntityId> ids;
+    for (const apps::ScoredEntity& s : Scored(query, k)) {
+      ids.push_back(s.id);
+    }
+    return ids;
+  }
+
+  std::vector<std::vector<apps::ScoredEntity>> BulkLookupScored(
+      const std::vector<std::string>& queries, int64_t k) override {
+    std::vector<std::vector<apps::ScoredEntity>> out;
+    out.reserve(queries.size());
+    for (const std::string& q : queries) out.push_back(Scored(q, k));
+    return out;
+  }
+
+ private:
+  std::vector<apps::ScoredEntity> Scored(const std::string& query,
+                                         int64_t k) const {
+    ann::TopK topk(k);
+    for (int64_t id = 0; id < universe_; ++id) {
+      if (num_shards_ > 1 &&
+          AssignShard(static_cast<kg::EntityId>(id), num_shards_) != shard_) {
+        continue;
+      }
+      topk.Push(id, DistOf(query, id));
+    }
+    std::vector<apps::ScoredEntity> scored;
+    for (const ann::Neighbor& n : topk.Finish()) {
+      scored.push_back({static_cast<kg::EntityId>(n.id), n.dist});
+    }
+    return scored;
+  }
+
+  const int shard_;
+  const int num_shards_;
+  const int64_t universe_;
+};
+
+/// One fake shard server: backend + dispatcher + socket front end.
+struct FakeShard {
+  FakeShard(int shard, int num_shards,
+            serve::ServerOptions options = NoCacheOptions(), int port = 0)
+      : backend(shard, num_shards), server(&backend, options) {
+    EXPECT_TRUE(front.Start(&server, port).ok());
+  }
+
+  static serve::ServerOptions NoCacheOptions() {
+    serve::ServerOptions options;
+    options.enable_cache = false;
+    return options;
+  }
+
+  int port() const { return front.port(); }
+
+  ShardedFakeService backend;
+  serve::LookupServer server;
+  net::NetServer front;
+};
+
+std::vector<std::string> ShardAddrs(
+    const std::vector<std::unique_ptr<FakeShard>>& shards) {
+  std::vector<std::string> addrs;
+  for (const auto& shard : shards) {
+    addrs.push_back("127.0.0.1:" + std::to_string(shard->port()));
+  }
+  return addrs;
+}
+
+TEST(RouterTest, MergedResultsBitIdenticalToSingleNode) {
+  const int kNumShards = 3;
+  std::vector<std::unique_ptr<FakeShard>> shards;
+  for (int s = 0; s < kNumShards; ++s) {
+    shards.push_back(std::make_unique<FakeShard>(s, kNumShards));
+  }
+  RouterOptions options;
+  options.shard_addrs = ShardAddrs(shards);
+  Router router;
+  ASSERT_TRUE(router.Start(options, 0).ok());
+
+  // Reference: ONE backend over the whole universe (shard 0 of 1).
+  ShardedFakeService single(0, 1);
+  net::RemoteClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", router.port()).ok());
+  for (int q = 0; q < 32; ++q) {
+    const std::string query = "merge-query-" + std::to_string(q);
+    const std::vector<apps::ScoredEntity> want =
+        single.BulkLookupScored({query}, 10)[0];
+    // Through the wire (scored protocol, dists included)...
+    auto remote = client.LookupScored(query, 10);
+    ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+    EXPECT_FALSE(remote.value().partial);
+    ASSERT_EQ(remote.value().ids.size(), want.size()) << query;
+    for (size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(remote.value().ids[i], want[i].id) << query << " rank " << i;
+      EXPECT_EQ(remote.value().dists[i], want[i].dist)
+          << query << " rank " << i;
+    }
+    // ...and the plain protocol returns the same merged ids.
+    auto plain = client.Lookup(query, 10);
+    ASSERT_TRUE(plain.ok());
+    EXPECT_EQ(plain.value().ids, remote.value().ids) << query;
+  }
+  const RouterStatsSnapshot stats = router.Stats();
+  EXPECT_EQ(stats.requests, 64u);
+  EXPECT_EQ(stats.partial_responses, 0u);
+  EXPECT_EQ(stats.shard_rpcs, 64u * kNumShards);
+  EXPECT_EQ(stats.shard_rpc_failures, 0u);
+}
+
+TEST(RouterTest, KilledShardYieldsExplicitPartialWithMissingList) {
+  const int kNumShards = 3;
+  std::vector<std::unique_ptr<FakeShard>> shards;
+  for (int s = 0; s < kNumShards; ++s) {
+    shards.push_back(std::make_unique<FakeShard>(s, kNumShards));
+  }
+  RouterOptions options;
+  options.shard_addrs = ShardAddrs(shards);
+  options.shard_timeout_us = 200000;
+  // Keep the dead shard in the fan-out for the whole test.
+  options.eject_after_failures = 1000;
+  Router router;
+  ASSERT_TRUE(router.Start(options, 0).ok());
+
+  shards[1].reset();  // Kill shard 1: connection drops, reconnects refused.
+
+  net::RemoteClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", router.port()).ok());
+  auto degraded = client.LookupScored("partial-query", 10);
+  ASSERT_TRUE(degraded.ok()) << degraded.status().ToString();
+  EXPECT_TRUE(degraded.value().partial);
+  EXPECT_EQ(degraded.value().missing_shards, (std::vector<uint32_t>{1}));
+
+  // The survivors' merge: everything the reference answer holds except
+  // shard 1's entities.
+  ShardedFakeService single(0, 1);
+  ann::TopK expect(10);
+  const std::vector<apps::ScoredEntity> reference =
+      single.BulkLookupScored({"partial-query"}, 512)[0];
+  for (const apps::ScoredEntity& s : reference) {
+    if (AssignShard(s.id, kNumShards) == 1) continue;
+    expect.Push(s.id, s.dist);
+  }
+  std::vector<int64_t> want_ids;
+  for (const ann::Neighbor& n : expect.Finish()) want_ids.push_back(n.id);
+  EXPECT_EQ(degraded.value().ids, want_ids);
+
+  const RouterStatsSnapshot stats = router.Stats();
+  EXPECT_EQ(stats.partial_responses, 1u);
+  EXPECT_GT(stats.shard_rpc_failures, 0u);
+
+  // All shards down -> an explicit Unavailable error, not an empty answer.
+  shards[0].reset();
+  shards[2].reset();
+  auto dark = client.LookupScored("partial-query-2", 10);
+  ASSERT_FALSE(dark.ok());
+  EXPECT_EQ(dark.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(RouterTest, EjectionAndPingReinstatement) {
+  const int kNumShards = 2;
+  std::vector<std::unique_ptr<FakeShard>> shards;
+  for (int s = 0; s < kNumShards; ++s) {
+    shards.push_back(std::make_unique<FakeShard>(s, kNumShards));
+  }
+  const int shard1_port = shards[1]->port();
+  RouterOptions options;
+  options.shard_addrs = ShardAddrs(shards);
+  options.shard_timeout_us = 100000;
+  options.retries = 0;
+  options.eject_after_failures = 2;
+  options.probe_interval_ms = 20;
+  Router router;
+  ASSERT_TRUE(router.Start(options, 0).ok());
+
+  shards[1].reset();
+  for (int i = 0; i < 3; ++i) {
+    auto result = router.Route("eject-query-" + std::to_string(i), 5);
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(result.value().partial);
+  }
+  RouterStatsSnapshot stats = router.Stats();
+  EXPECT_GE(stats.ejections, 1u);
+  EXPECT_EQ(stats.shards_ejected, 1);
+
+  // An ejected shard is skipped, not retried inline: answers stay partial
+  // but no new failures accumulate.
+  const uint64_t failures_at_ejection = stats.shard_rpc_failures;
+  auto skipped = router.Route("skipped-query", 5);
+  ASSERT_TRUE(skipped.ok());
+  EXPECT_TRUE(skipped.value().partial);
+  EXPECT_EQ(router.Stats().shard_rpc_failures, failures_at_ejection);
+
+  // Resurrect shard 1 on its old port; the ping reprobe brings it back.
+  shards[1] = std::make_unique<FakeShard>(1, kNumShards,
+                                          FakeShard::NoCacheOptions(),
+                                          shard1_port);
+  ASSERT_EQ(shards[1]->port(), shard1_port);
+  const auto deadline = std::chrono::steady_clock::now() + milliseconds(5000);
+  while (router.Stats().shards_ejected != 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(milliseconds(10));
+  }
+  stats = router.Stats();
+  EXPECT_EQ(stats.shards_ejected, 0);
+  EXPECT_GE(stats.reinstatements, 1u);
+  auto healed = router.Route("healed-query", 5);
+  ASSERT_TRUE(healed.ok());
+  EXPECT_FALSE(healed.value().partial);
+}
+
+TEST(RouterTest, HedgedReadDuplicatesSlowRpcAndStaysCorrect) {
+  const int kNumShards = 2;
+  std::vector<std::unique_ptr<FakeShard>> shards;
+  shards.push_back(std::make_unique<FakeShard>(0, kNumShards));
+  // Shard 1 dispatches slowly: a huge micro-batch window holds replies
+  // ~40ms, long past the hedge delay but well inside the RPC budget.
+  serve::ServerOptions slow;
+  slow.enable_cache = false;
+  slow.max_batch = 1000;
+  slow.max_delay = std::chrono::microseconds(40000);
+  shards.push_back(std::make_unique<FakeShard>(1, kNumShards, slow));
+
+  RouterOptions options;
+  options.shard_addrs = ShardAddrs(shards);
+  options.shard_timeout_us = 2000000;
+  options.hedge_delay_us = 2000;
+  Router router;
+  ASSERT_TRUE(router.Start(options, 0).ok());
+
+  ShardedFakeService single(0, 1);
+  for (int q = 0; q < 3; ++q) {
+    const std::string query = "hedged-query-" + std::to_string(q);
+    auto result = router.Route(query, 10);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_FALSE(result.value().partial);
+    const std::vector<apps::ScoredEntity> want =
+        single.BulkLookupScored({query}, 10)[0];
+    ASSERT_EQ(result.value().ids.size(), want.size());
+    for (size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(result.value().ids[i], want[i].id) << query << " rank " << i;
+    }
+  }
+  EXPECT_GE(router.Stats().hedged_rpcs, 1u);
+  EXPECT_EQ(router.Stats().shard_rpc_failures, 0u);
+}
+
+// --- Replication -------------------------------------------------------------
+
+core::EmbLookupOptions FastOptions() {
+  core::EmbLookupOptions options;
+  options.encoder.use_semantic_branch = false;
+  options.miner.triplets_per_entity = 6;
+  options.trainer.epochs = 4;
+  options.index.kind = core::IndexKind::kFlat;
+  options.index.compress = false;
+  return options;
+}
+
+/// Encoder weights trained once and shared by every replication test.
+const std::string& ModelPath() {
+  static const std::string path = [] {
+    const std::string p = TempPath("cluster_test_model.bin");
+    auto built = core::EmbLookup::TrainFromKg(BaseKg(), FastOptions());
+    EXPECT_TRUE(built.ok()) << built.status().ToString();
+    EXPECT_TRUE(built.value()->SaveModel(p).ok());
+    return p;
+  }();
+  return path;
+}
+
+/// One replication node: its own catalog copy, EmbLookup, WAL and updater.
+struct Node {
+  explicit Node(const std::string& wal_name) : graph(BaseKg()) {
+    auto loaded = core::EmbLookup::LoadFromKg(graph, FastOptions(),
+                                              ModelPath());
+    EXPECT_TRUE(loaded.ok()) << loaded.status().ToString();
+    el = std::move(loaded).value();
+    update::UpdaterOptions options;
+    options.wal_path = FreshPath(wal_name);
+    auto opened = update::IndexUpdater::Open(el.get(), &graph, options);
+    EXPECT_TRUE(opened.ok()) << opened.status().ToString();
+    updater = std::move(opened).value();
+  }
+
+  kg::KnowledgeGraph graph;
+  std::unique_ptr<core::EmbLookup> el;
+  std::unique_ptr<update::IndexUpdater> updater;
+};
+
+TEST(ReplicationTest, FollowerConvergesAndServesIdenticalLookups) {
+  Node leader("repl_leader.wal");
+  Node follower("repl_follower.wal");
+
+  // Mutations applied BEFORE the follower subscribes arrive via WAL-file
+  // catch-up; the ones after arrive via the live tail.
+  for (int i = 0; i < 6; ++i) {
+    auto added = leader.updater->AddEntity(
+        "pre-subscribe entity " + std::to_string(i), "",
+        {"pre alias " + std::to_string(i)});
+    ASSERT_TRUE(added.ok()) << added.status().ToString();
+  }
+  ASSERT_TRUE(leader.updater->RemoveEntity(3).ok());
+
+  WalShipServer ship;
+  ASSERT_TRUE(ship.Start(leader.updater.get(), 0).ok());
+  WalReplica replica;
+  WalReplicaOptions rep_options;
+  rep_options.leader_port = ship.port();
+  ASSERT_TRUE(replica.Start(follower.updater.get(), rep_options).ok());
+
+  ASSERT_TRUE(replica.WaitForSeq(7, milliseconds(10000)))
+      << "catch-up did not reach seq 7";
+
+  for (int i = 0; i < 5; ++i) {
+    auto added = leader.updater->AddEntity(
+        "live entity " + std::to_string(i), "Q" + std::to_string(900 + i),
+        {});
+    ASSERT_TRUE(added.ok());
+  }
+  const uint64_t final_seq = 12;
+  ASSERT_TRUE(replica.WaitForSeq(final_seq, milliseconds(10000)))
+      << "live tail did not reach seq " << final_seq;
+
+  // Lag drains to 0 once the heartbeat confirms the leader has nothing
+  // newer in flight. The replayed-records counter trails the applied seq
+  // by one instruction, so the poll covers both.
+  const auto deadline = std::chrono::steady_clock::now() + milliseconds(5000);
+  while (std::chrono::steady_clock::now() < deadline) {
+    const WalReplicaStatsSnapshot now = replica.Stats();
+    if (now.replication_lag_seq == 0 && now.records_replayed >= final_seq &&
+        now.freshness_us.total > 0) {
+      break;
+    }
+    std::this_thread::sleep_for(milliseconds(10));
+  }
+  const WalReplicaStatsSnapshot stats = replica.Stats();
+  EXPECT_EQ(stats.replication_lag_seq, 0);
+  EXPECT_EQ(stats.applied_seq, final_seq);
+  EXPECT_EQ(stats.records_replayed, final_seq);
+  EXPECT_EQ(stats.replay_errors, 0u);
+  EXPECT_GT(stats.freshness_us.total, 0u);
+
+  // The converged follower answers every probe exactly like the leader —
+  // fresh entities found, the removed one gone, tie order included.
+  std::vector<std::string> queries;
+  for (kg::EntityId e = 0; e < leader.graph.num_entities(); ++e) {
+    queries.push_back(leader.graph.entity(e).label);
+  }
+  const auto leader_results = leader.el->BulkLookup(queries, 10, false);
+  const auto follower_results = follower.el->BulkLookup(queries, 10, false);
+  ASSERT_EQ(leader_results.size(), follower_results.size());
+  for (size_t q = 0; q < queries.size(); ++q) {
+    ASSERT_EQ(leader_results[q].size(), follower_results[q].size())
+        << queries[q];
+    for (size_t i = 0; i < leader_results[q].size(); ++i) {
+      EXPECT_EQ(leader_results[q][i].entity, follower_results[q][i].entity)
+          << queries[q] << " rank " << i;
+    }
+  }
+
+  replica.Stop();
+  ship.Stop();
+
+  // The metrics renderer covers all three roles in one exposition.
+  const std::string text = PrometheusClusterText(nullptr, nullptr, &stats);
+  EXPECT_NE(text.find("emblookup_cluster_replication_lag_seq 0"),
+            std::string::npos);
+  EXPECT_NE(text.find("emblookup_cluster_wal_records_replayed_total 12"),
+            std::string::npos);
+  EXPECT_NE(text.find("emblookup_cluster_freshness_microseconds_bucket"),
+            std::string::npos);
+}
+
+TEST(ReplicationTest, SeqGapIsAStatusErrorNeverASilentSkip) {
+  Node node("repl_gap.wal");
+  update::Mutation first;
+  first.kind = update::MutationKind::kAddEntity;
+  first.seq = 1;
+  first.entity = node.graph.num_entities();
+  first.label = "gap test entity";
+  ASSERT_TRUE(node.updater->ApplyReplicated(first).ok());
+
+  // seq 3 with seq 2 never applied: a hole in the stream.
+  update::Mutation gapped = first;
+  gapped.seq = 3;
+  gapped.entity = node.graph.num_entities();
+  gapped.label = "gap test entity 2";
+  const Status gap = node.updater->ApplyReplicated(gapped);
+  ASSERT_FALSE(gap.ok());
+  EXPECT_EQ(gap.code(), StatusCode::kIoError);
+  EXPECT_EQ(node.updater->stats().last_seq, 1u);
+
+  // A duplicate of an applied seq is an idempotent OK skip (retried
+  // segments after a resubscribe must not double-apply).
+  update::Mutation dup = first;
+  const uint64_t entities_before =
+      static_cast<uint64_t>(node.graph.num_entities());
+  ASSERT_TRUE(node.updater->ApplyReplicated(dup).ok());
+  EXPECT_EQ(static_cast<uint64_t>(node.graph.num_entities()),
+            entities_before);
+  EXPECT_EQ(node.updater->stats().last_seq, 1u);
+}
+
+TEST(ReplicationTest, TornSegmentsDecodeToStatusNotUB) {
+  std::vector<update::Mutation> records;
+  for (int i = 0; i < 3; ++i) {
+    update::Mutation m;
+    m.kind = update::MutationKind::kAddEntity;
+    m.seq = static_cast<uint64_t>(i) + 1;
+    m.entity = 140 + i;
+    m.label = "torn segment entity " + std::to_string(i);
+    m.aliases = {"alias a", "alias b"};
+    records.push_back(m);
+  }
+  std::vector<uint8_t> stream;
+  std::vector<size_t> boundaries = {0};
+  for (const update::Mutation& m : records) {
+    const std::vector<uint8_t> bytes = update::EncodeRecord(m);
+    stream.insert(stream.end(), bytes.begin(), bytes.end());
+    boundaries.push_back(stream.size());
+  }
+  update::WalReadOptions strict;
+  strict.tolerate_torn_tail = false;
+
+  // Every truncation point: whole-record prefixes decode exactly their
+  // records; anything torn is a Status error (and ASan sees no UB).
+  for (size_t len = 0; len <= stream.size(); ++len) {
+    auto decoded = update::DecodeRecords(stream.data(), len, strict);
+    const auto boundary =
+        std::find(boundaries.begin(), boundaries.end(), len);
+    if (boundary != boundaries.end()) {
+      ASSERT_TRUE(decoded.ok()) << "clean prefix of " << len << " bytes";
+      EXPECT_EQ(decoded.value().records.size(),
+                static_cast<size_t>(boundary - boundaries.begin()));
+    } else {
+      EXPECT_FALSE(decoded.ok()) << "torn prefix of " << len << " bytes";
+    }
+  }
+
+  // Bit flips anywhere in the stream must never yield a wrong record
+  // silently: either a Status, or (flips past the prefix the CRC of an
+  // earlier record covers) the same prefix of intact records.
+  for (size_t byte = 0; byte < stream.size(); byte += 7) {
+    std::vector<uint8_t> flipped = stream;
+    flipped[byte] ^= 0x20;
+    auto decoded = update::DecodeRecords(flipped.data(), flipped.size(),
+                                         strict);
+    if (decoded.ok()) {
+      ASSERT_EQ(decoded.value().records.size(), records.size());
+      for (size_t i = 0; i < records.size(); ++i) {
+        EXPECT_TRUE(decoded.value().records[i] == records[i]);
+      }
+    }
+  }
+}
+
+TEST(ReplicationTest, ReplicaResubscribesAfterLeaderRestart) {
+  Node leader("repl_restart_leader.wal");
+  Node follower("repl_restart_follower.wal");
+
+  WalShipServer ship;
+  ASSERT_TRUE(ship.Start(leader.updater.get(), 0).ok());
+  const int port = ship.port();
+
+  WalReplica replica;
+  WalReplicaOptions rep_options;
+  rep_options.leader_port = port;
+  rep_options.reconnect_backoff = milliseconds(20);
+  ASSERT_TRUE(replica.Start(follower.updater.get(), rep_options).ok());
+
+  ASSERT_TRUE(leader.updater->AddEntity("before restart", "", {}).ok());
+  ASSERT_TRUE(replica.WaitForSeq(1, milliseconds(10000)));
+
+  ship.Stop();  // Leader goes away; the replica starts probing.
+  std::this_thread::sleep_for(milliseconds(100));
+
+  WalShipServer revived;
+  ASSERT_TRUE(revived.Start(leader.updater.get(), port).ok());
+  ASSERT_TRUE(leader.updater->AddEntity("after restart", "", {}).ok());
+  ASSERT_TRUE(replica.WaitForSeq(2, milliseconds(10000)))
+      << "replica did not resubscribe after leader restart";
+  EXPECT_GE(replica.Stats().reconnects, 1u);
+  EXPECT_EQ(replica.Stats().replay_errors, 0u);
+}
+
+// --- Metrics -----------------------------------------------------------------
+
+TEST(ClusterMetricsTest, AllFamiliesEmittedForEveryRole) {
+  // nullptr for every role must still print the full family list (the
+  // metrics<->docs set-equality gate scrapes one exposition).
+  const std::string text = PrometheusClusterText(nullptr, nullptr, nullptr);
+  for (const char* family : {
+           "emblookup_cluster_router_requests_total",
+           "emblookup_cluster_router_partial_total",
+           "emblookup_cluster_shard_rpcs_total",
+           "emblookup_cluster_shard_rpc_failures_total",
+           "emblookup_cluster_shard_retries_total",
+           "emblookup_cluster_hedged_rpcs_total",
+           "emblookup_cluster_ejections_total",
+           "emblookup_cluster_reinstatements_total",
+           "emblookup_cluster_shards_ejected",
+           "emblookup_cluster_wal_segments_shipped_total",
+           "emblookup_cluster_wal_records_shipped_total",
+           "emblookup_cluster_followers_connected",
+           "emblookup_cluster_replication_lag_seq",
+           "emblookup_cluster_freshness_microseconds",
+           "emblookup_cluster_wal_records_replayed_total",
+           "emblookup_cluster_replica_reconnects_total",
+       }) {
+    EXPECT_NE(text.find(family), std::string::npos) << family;
+  }
+}
+
+}  // namespace
+}  // namespace emblookup::cluster

@@ -11,6 +11,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <cstring>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -447,8 +448,12 @@ TEST(NetServerTest, HttpFallbackServesLookupsOnTheSamePort) {
   NetServer front;
   ASSERT_TRUE(front.Start(&server, 0).ok());
 
+  // Connection: close — RawRoundTrip reads to EOF; HTTP/1.1 without the
+  // header now keeps the connection alive (covered by the keep-alive test).
   const std::string response = RawRoundTrip(
-      front.port(), "GET /lookup?q=http-query&k=3 HTTP/1.1\r\nHost: x\r\n\r\n");
+      front.port(),
+      "GET /lookup?q=http-query&k=3 HTTP/1.1\r\nHost: x\r\n"
+      "Connection: close\r\n\r\n");
   EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
   // The JSON body carries the same ids the backend computes.
   const std::vector<kg::EntityId> expected = backend.Lookup("http-query", 3);
@@ -461,7 +466,7 @@ TEST(NetServerTest, HttpFallbackServesLookupsOnTheSamePort) {
   EXPECT_NE(response.find(ids), std::string::npos) << response;
 
   EXPECT_NE(RawRoundTrip(front.port(),
-                         "GET /healthz HTTP/1.1\r\n\r\n")
+                         "GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n")
                 .find("ok"),
             std::string::npos);
   EXPECT_NE(RawRoundTrip(front.port(), "GET /nope HTTP/1.1\r\n\r\n")
@@ -476,6 +481,73 @@ TEST(NetServerTest, HttpFallbackServesLookupsOnTheSamePort) {
                 .find("missing q"),
             std::string::npos);
   EXPECT_EQ(front.Stats().http_requests, 5u);
+}
+
+TEST(NetServerTest, HttpKeepAliveServesMultipleRequestsPerConnection) {
+  FakeService backend;
+  serve::LookupServer server(&backend);
+  NetServer front;
+  ASSERT_TRUE(front.Start(&server, 0).ok());
+  auto connected = ConnectTcp("127.0.0.1", front.port());
+  ASSERT_TRUE(connected.ok()) << connected.status().ToString();
+  const int fd = connected.value();
+  std::string acc;
+  const auto read_until = [&](const std::string& needle) {
+    char buf[4096];
+    while (acc.find(needle) == std::string::npos) {
+      const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+      ASSERT_GT(n, 0) << "connection closed before \"" << needle << "\"";
+      acc.append(buf, static_cast<size_t>(n));
+    }
+  };
+  // HTTP/1.1 without a Connection header defaults to keep-alive: the
+  // response announces it and the socket stays open.
+  const std::string r1 = "GET /healthz HTTP/1.1\r\n\r\n";
+  ASSERT_TRUE(SendAll(fd, r1.data(), r1.size()).ok());
+  read_until("ok\n");
+  EXPECT_NE(acc.find("Connection: keep-alive"), std::string::npos) << acc;
+  // Pipelined pair on the same socket: an async /lookup (reply built off
+  // the event loop) immediately followed by an explicit-close /healthz.
+  // The second request must wait, buffered, until the first reply is
+  // queued, then be served — and close the connection.
+  const std::string r2 =
+      "GET /lookup?q=keepalive-query&k=2 HTTP/1.1\r\n\r\n"
+      "GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n";
+  ASSERT_TRUE(SendAll(fd, r2.data(), r2.size()).ok());
+  read_until("\"ids\":");
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    acc.append(buf, static_cast<size_t>(n));
+  }
+  Listener::CloseFd(fd);
+  EXPECT_NE(acc.find("Connection: close"), std::string::npos) << acc;
+  EXPECT_LT(acc.find("\"ids\":"), acc.find("Connection: close")) << acc;
+  EXPECT_EQ(front.Stats().http_requests, 3u);
+  EXPECT_EQ(front.Stats().http_keepalive_reuses, 2u);
+}
+
+TEST(NetServerTest, ReconnectRecoversAfterServerRestart) {
+  FakeService backend;
+  serve::LookupServer server(&backend);
+  auto front = std::make_unique<NetServer>();
+  ASSERT_TRUE(front->Start(&server, 0).ok());
+  const int port = front->port();
+  RemoteClient client;
+  EXPECT_FALSE(client.Reconnect(1).ok());  // Before any Connect.
+  ASSERT_TRUE(client.Connect("127.0.0.1", port).ok());
+  EXPECT_TRUE(client.Ping().ok());
+  front.reset();  // Server goes away; the client's socket is now dead.
+  EXPECT_FALSE(client.Ping().ok());
+  // No listener: Reconnect exhausts its backoff attempts and reports it.
+  EXPECT_FALSE(client.Reconnect(2, std::chrono::milliseconds(1)).ok());
+  NetServer second;
+  ASSERT_TRUE(second.Start(&server, port).ok());
+  ASSERT_TRUE(client.Reconnect(5, std::chrono::milliseconds(1)).ok());
+  EXPECT_TRUE(client.Ping().ok());
+  auto result = client.Lookup("after-restart", 3);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().ids, backend.Lookup("after-restart", 3));
 }
 
 TEST(NetServerTest, GarbagePreambleGetsErrorFrameThenClose) {

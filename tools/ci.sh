@@ -26,7 +26,17 @@
 #      (DESIGN.md §10): --verify-local 1 asserts remote results are
 #      bit-identical to in-process Submit, an open-loop run exercises the
 #      fixed-rate injector, and SIGINT must drain and exit 0;
-#   7. observability gate — metrics-dump on a tiny KG must emit every
+#   7. cluster e2e (DESIGN.md §12) — build-shards partitions a synthetic
+#      catalog 4 ways (flat index: the quantizer-free kind whose routed
+#      merge is exact), four `serve --shard k/4` processes plus a `route`
+#      scatter-gather front come up on ephemeral ports, and
+#      remote-bench --verify-local 1 asserts the routed top-k is
+#      bit-identical to a single-node build; killing one shard must yield
+#      an explicitly partial reply (--expect-partial 1), never a silent
+#      subset; then a leader with --replication-port and a synthetic
+#      mutation storm must bring a `replicate` follower to replication
+#      lag 0 (exit 0 from --converge-seq);
+#   8. observability gate — metrics-dump on a tiny KG must emit every
 #      metric family OBSERVABILITY.md documents, and every family it
 #      emits must be documented (the two greps keep docs and exporter in
 #      lockstep), plus tools/check_docs.sh (CLI subcommands vs README).
@@ -56,11 +66,12 @@ for tier in scalar avx2 avx512 neon; do
   fi
 done
 
-echo "== asan: common_test + serve_test + kernels_test + ann_test + store_test + update_test + net_test =="
+echo "== asan: common_test + serve_test + kernels_test + ann_test + store_test + update_test + net_test + cluster_test =="
 cmake -B build-asan -S . -DEMBLOOKUP_NATIVE_ARCH=OFF \
   -DEMBLOOKUP_SANITIZE=address
 cmake --build build-asan -j "$JOBS" --target common_test serve_test \
-  kernels_test ann_test store_test update_test obs_test net_test
+  kernels_test ann_test store_test update_test obs_test net_test \
+  cluster_test
 ./build-asan/tests/common_test
 ./build-asan/tests/serve_test
 ./build-asan/tests/kernels_test
@@ -72,6 +83,9 @@ cmake --build build-asan -j "$JOBS" --target common_test serve_test \
 # Wire-decoder fuzz sweeps + malformed-input socket tests under ASan: the
 # protocol must reject corrupt frames with Status, never with UB.
 ./build-asan/tests/net_test
+# Scatter-gather router, WAL shipping, and the torn-segment / seq-gap
+# replay paths: replication corruption must surface as Status, never UB.
+./build-asan/tests/cluster_test
 
 echo "== tsan: serve_test + update concurrency stress + obs spans + net front end =="
 cmake -B build-tsan -S . -DEMBLOOKUP_NATIVE_ARCH=OFF \
@@ -134,6 +148,85 @@ fi
 kill -INT "$SERVE_PID"
 wait "$SERVE_PID"
 echo "loopback serve drained cleanly"
+
+echo "== cluster e2e: build-shards -> 4x serve --shard -> route =="
+# Helper: poll a background process's log for a "... port N" line.
+wait_port() { # logfile pattern -> prints port, empty on timeout
+  local port=""
+  for _ in $(seq 1 100); do
+    port="$(sed -n "s/.*$2 \([0-9]*\).*/\1/p" "$1")"
+    [[ -n "$port" ]] && break
+    sleep 0.1
+  done
+  echo "$port"
+}
+# The flat index is the quantizer-free kind: a row's distance depends only
+# on the query and that row, so the routed merge is bit-identical to a
+# single node (shard_map.h). Trained quantizers (pq/sq8/ivf*) would fit
+# per-shard codebooks and break the equality this stage asserts.
+"$CLI" build-shards --kg "$SNAPDIR/kg.tsv" --model "$SNAPDIR/model.bin" \
+  --shards 4 --out-dir "$SNAPDIR/shards" --kind flat --epochs 2 --triplets 4
+test -s "$SNAPDIR/shards/shards.map"
+SHARD_PIDS=()
+SHARD_ADDRS=""
+for k in 0 1 2 3; do
+  "$CLI" serve --kg "$SNAPDIR/kg.tsv" --model "$SNAPDIR/model.bin" \
+    --shard "$k/4" --kind flat --port 0 --epochs 2 --triplets 4 \
+    > "$SNAPDIR/shard$k.log" 2>&1 &
+  SHARD_PIDS+=("$!")
+done
+for k in 0 1 2 3; do
+  SPORT="$(wait_port "$SNAPDIR/shard$k.log" 'listening on port')"
+  if [[ -z "$SPORT" ]]; then
+    echo "FAIL: shard $k never reported its port"
+    cat "$SNAPDIR/shard$k.log"
+    exit 1
+  fi
+  SHARD_ADDRS="${SHARD_ADDRS:+$SHARD_ADDRS,}127.0.0.1:$SPORT"
+done
+"$CLI" route --shards "$SHARD_ADDRS" --port 0 \
+  > "$SNAPDIR/router.log" 2>&1 &
+ROUTER_PID=$!
+RPORT="$(wait_port "$SNAPDIR/router.log" 'listening on port')"
+if [[ -z "$RPORT" ]]; then
+  echo "FAIL: router never reported its port"
+  cat "$SNAPDIR/router.log"
+  exit 1
+fi
+# Bit-identical assertion: every sampled routed result must equal the
+# in-process single-node answer, ids and order both.
+"$CLI" remote-bench --kg "$SNAPDIR/kg.tsv" --model "$SNAPDIR/model.bin" \
+  --host 127.0.0.1 --port "$RPORT" --mode closed --requests 100 \
+  --verify-local 1 --kind flat --epochs 2 --triplets 4
+# Kill one shard: the routed reply must say so (partial + missing list),
+# not shrink silently.
+kill -9 "${SHARD_PIDS[1]}"
+"$CLI" remote-bench --kg "$SNAPDIR/kg.tsv" --host 127.0.0.1 \
+  --port "$RPORT" --requests 4 --expect-partial 1
+kill -TERM "$ROUTER_PID" "${SHARD_PIDS[0]}" "${SHARD_PIDS[2]}" \
+  "${SHARD_PIDS[3]}"
+wait "$ROUTER_PID"
+echo "router drained cleanly"
+
+echo "== cluster e2e: WAL-shipping leader -> replicate --converge-seq =="
+"$CLI" serve --kg "$SNAPDIR/kg.tsv" --model "$SNAPDIR/model.bin" \
+  --kind flat --port 0 --wal "$SNAPDIR/leader.wal" --replication-port 0 \
+  --mutations 20 --epochs 2 --triplets 4 > "$SNAPDIR/leader.log" 2>&1 &
+LEADER_PID=$!
+WPORT="$(wait_port "$SNAPDIR/leader.log" 'shipping WAL on port')"
+if [[ -z "$WPORT" ]]; then
+  echo "FAIL: leader never reported its replication port"
+  cat "$SNAPDIR/leader.log"
+  exit 1
+fi
+# Exits 0 only once the follower's replication lag reaches 0 at or past
+# the leader's 20-mutation storm.
+"$CLI" replicate --leader "127.0.0.1:$WPORT" --kg "$SNAPDIR/kg.tsv" \
+  --model "$SNAPDIR/model.bin" --wal "$SNAPDIR/follower.wal" --kind flat \
+  --converge-seq 20 --timeout-ms 60000 --epochs 2 --triplets 4
+kill -TERM "$LEADER_PID"
+wait "$LEADER_PID"
+echo "follower converged; leader drained cleanly"
 
 echo "== observability: metrics-dump families vs OBSERVABILITY.md =="
 # --wal attaches an updater so the update_* gauge families are emitted too

@@ -13,11 +13,23 @@
 //                             [--depth 4096] [--swaps 0]
 //                             [--metrics-port P] [--trace-sample R]
 //                             [--slow-us T] [--slow-log F]
+//                             [--shard k/N] [--replication-port P]
+//                             [--mutations N]
 //   emblookup_cli remote-bench --kg kg.tsv --host H --port P
 //                             [--mode closed|open] [--requests N] [--k K]
 //                             [--clients C] [--rate QPS] [--conns C]
 //                             [--dist poisson|uniform] [--deadline-us D]
 //                             [--verify-local 0|1 --model model.bin]
+//                             [--expect-partial 0|1]
+//   emblookup_cli build-shards --kg kg.tsv --model model.bin
+//                             --shards N --out-dir DIR [--kind K]
+//   emblookup_cli route       --shards host:port,host:port,...
+//                             [--port P] [--timeout-us T] [--retries R]
+//                             [--hedge-us H] [--eject-after F]
+//                             [--probe-ms M]
+//   emblookup_cli replicate   --leader host:port --kg kg.tsv
+//                             --model model.bin --wal wal.log
+//                             [--converge-seq S] [--timeout-ms T]
 //   emblookup_cli metrics-dump --kg kg.tsv --model model.bin
 //                             [--wal wal.log] [--requests 200] [--k 10]
 //   emblookup_cli build-snapshot --kg kg.tsv --model model.bin
@@ -75,6 +87,23 @@
 // remote results are bit-identical to an in-process LookupServer built
 // from the same --kg/--model.
 //
+// Cluster serving (DESIGN.md §12): `build-shards` hash-partitions the
+// entity catalog into N per-shard snapshots plus a checksummed shards.map
+// manifest; `serve --shard k/N` serves one partition (full catalog loaded,
+// index built over only its members, global entity ids kept); `route` is
+// the scatter-gather front end — it fans each lookup to every shard and
+// merges the per-shard top-k with the shared tie-broken heap, so routed
+// answers are bit-identical to a single index over the whole catalog
+// (remote-bench --verify-local asserts exactly that through a router).
+// Shards that miss their budget are dropped from that answer, which is
+// then explicitly partial (remote-bench --expect-partial probes for it);
+// repeated failures eject a shard until a ping reprobe. `serve --wal W
+// --replication-port P` additionally ships the WAL to followers;
+// `replicate` runs a follower that replays the stream into its own
+// updater (--converge-seq S exits 0 once lag reaches 0 at or past S), and
+// `serve --mutations N` applies N synthetic mutations so replication can
+// be exercised end to end.
+//
 // Every command that builds an index accepts --kind (synonym: --index) to
 // pick the ANN backend; `kernel-info` reports which SIMD kernel tiers this
 // build/CPU supports and which one dispatch selected (honors the
@@ -95,13 +124,19 @@
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #ifndef _WIN32
 #include <sys/socket.h>
+#include <sys/stat.h>
 #endif
 
 #include "ann/kernels.h"
+#include "cluster/metrics.h"
+#include "cluster/replication.h"
+#include "cluster/router.h"
+#include "cluster/shard_map.h"
 #include "common/rng.h"
 #include "common/timing.h"
 #include "core/emblookup.h"
@@ -165,11 +200,21 @@ int Usage() {
       " [--snapshot F] [--wal W] [--port P] [--loops N] [--clients C]"
       " [--requests N] [--k K] [--batch B] [--delay-us D] [--cache 0|1]"
       " [--depth Q] [--swaps S] [--metrics-port P] [--trace-sample R]"
-      " [--slow-us T] [--slow-log F]\n"
+      " [--slow-us T] [--slow-log F] [--shard k/N]"
+      " [--replication-port P] [--mutations N]\n"
       "  emblookup_cli remote-bench --kg kg.tsv --host H --port P"
       " [--mode closed|open] [--requests N] [--k K] [--clients C]"
       " [--rate QPS] [--conns C] [--dist poisson|uniform]"
-      " [--deadline-us D] [--verify-local 0|1 --model model.bin]\n"
+      " [--deadline-us D] [--verify-local 0|1 --model model.bin]"
+      " [--expect-partial 0|1]\n"
+      "  emblookup_cli build-shards --kg kg.tsv --model model.bin"
+      " --shards N --out-dir DIR [--kind K]\n"
+      "  emblookup_cli route --shards host:port,... [--port P]"
+      " [--timeout-us T] [--retries R] [--hedge-us H] [--eject-after F]"
+      " [--probe-ms M]\n"
+      "  emblookup_cli replicate --leader host:port --kg kg.tsv"
+      " --model model.bin --wal wal.log [--converge-seq S]"
+      " [--timeout-ms T]\n"
       "  emblookup_cli metrics-dump --kg kg.tsv --model model.bin"
       " [--wal W] [--requests N] [--k K]\n"
       "  emblookup_cli build-snapshot --kg kg.tsv --model model.bin"
@@ -409,6 +454,38 @@ int RunRemoteBench(const std::map<std::string, std::string>& flags,
                 static_cast<long long>(sample - mismatches),
                 static_cast<long long>(sample));
     if (mismatches > 0) return 1;
+  }
+
+  if (FlagInt(flags, "expect-partial", 0) != 0) {
+    // Degradation probe: a scored lookup against a router with a dead
+    // shard must come back explicitly partial with the missing shard
+    // listed — a complete-looking answer here means silent data loss.
+    net::RemoteClient client;
+    const Status connected = client.Connect(host, port);
+    if (!connected.ok()) {
+      std::fprintf(stderr, "cannot connect: %s\n",
+                   connected.ToString().c_str());
+      return 1;
+    }
+    auto result = client.LookupScored(queries[0], k);
+    if (!result.ok()) {
+      std::fprintf(stderr, "expect-partial: lookup failed: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    const net::RemoteLookupResult& reply = result.value();
+    if (!reply.partial || reply.missing_shards.empty()) {
+      std::fprintf(stderr,
+                   "expect-partial: reply was complete (%zu ids, %zu "
+                   "missing shards) — degradation was silent\n",
+                   reply.ids.size(), reply.missing_shards.size());
+      return 1;
+    }
+    std::printf("partial response confirmed: %zu ids with %zu shard(s) "
+                "missing (first: shard %u)\n",
+                reply.ids.size(), reply.missing_shards.size(),
+                reply.missing_shards[0]);
+    return 0;
   }
 
   if (mode == "closed") {
@@ -693,6 +770,54 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  // Scatter-gather router front end (DESIGN.md §12). Needs no KG or model:
+  // the shards hold the data; the router only fans out and merges.
+  if (command == "route") {
+    const std::string shards_csv = FlagStr(flags, "shards");
+    if (shards_csv.empty()) return Usage();
+    cluster::RouterOptions router_options;
+    router_options.shard_addrs = SplitAliases(shards_csv);
+    router_options.shard_timeout_us =
+        static_cast<uint64_t>(FlagInt(flags, "timeout-us", 250000));
+    router_options.retries = static_cast<int>(FlagInt(flags, "retries", 1));
+    router_options.hedge_delay_us =
+        static_cast<uint64_t>(FlagInt(flags, "hedge-us", 0));
+    router_options.eject_after_failures =
+        static_cast<int>(FlagInt(flags, "eject-after", 3));
+    router_options.probe_interval_ms = FlagInt(flags, "probe-ms", 100);
+    cluster::Router router;
+    const Status started =
+        router.Start(router_options, static_cast<int>(FlagInt(flags, "port", 0)));
+    if (!started.ok()) {
+      std::fprintf(stderr, "router failed: %s\n", started.ToString().c_str());
+      return 1;
+    }
+    std::printf("listening on port %d (scatter-gather router over %zu "
+                "shards)\n",
+                router.port(), router_options.shard_addrs.size());
+    // Launchers (ci.sh) read this line to find the port.
+    std::fflush(stdout);
+    std::signal(SIGINT, OnShutdownSignal);
+    std::signal(SIGTERM, OnShutdownSignal);
+    while (g_shutdown_signal == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    router.Stop();
+    const cluster::RouterStatsSnapshot stats = router.Stats();
+    std::printf("routed %llu requests (%llu partial); %llu shard rpcs, "
+                "%llu failures, %llu retries, %llu hedged; %llu ejections / "
+                "%llu reinstatements\n",
+                static_cast<unsigned long long>(stats.requests),
+                static_cast<unsigned long long>(stats.partial_responses),
+                static_cast<unsigned long long>(stats.shard_rpcs),
+                static_cast<unsigned long long>(stats.shard_rpc_failures),
+                static_cast<unsigned long long>(stats.shard_retries),
+                static_cast<unsigned long long>(stats.hedged_rpcs),
+                static_cast<unsigned long long>(stats.ejections),
+                static_cast<unsigned long long>(stats.reinstatements));
+    return 0;
+  }
+
   // Remaining commands need a KG; all but `serve --snapshot` (which reads
   // the encoder weights out of the snapshot) also need a model file.
   const std::string kg_path = FlagStr(flags, "kg");
@@ -772,6 +897,165 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  // build-shards: hash-partition the catalog N ways and persist one full
+  // serving snapshot per shard (index over that shard's members only,
+  // global entity ids kept) plus the checksummed shards.map manifest.
+  if (command == "build-shards") {
+    const int num_shards = static_cast<int>(FlagInt(flags, "shards", 0));
+    const std::string out_dir = FlagStr(flags, "out-dir");
+    if (num_shards < 1 || out_dir.empty()) return Usage();
+    auto map = cluster::BuildShardMap(graph, num_shards);
+    if (!map.ok()) {
+      std::fprintf(stderr, "cannot partition: %s\n",
+                   map.status().ToString().c_str());
+      return 1;
+    }
+    auto restored = core::EmbLookup::LoadFromKg(graph, options, model_path);
+    if (!restored.ok()) {
+      std::fprintf(stderr, "cannot load model: %s\n",
+                   restored.status().ToString().c_str());
+      return 1;
+    }
+#ifndef _WIN32
+    ::mkdir(out_dir.c_str(), 0755);  // Existing directory is fine.
+#endif
+    Stopwatch build_watch;
+    for (const cluster::ShardInfo& shard : map.value().shards) {
+      const std::unordered_set<kg::EntityId> exclude =
+          cluster::ShardExclusions(graph, shard.index, num_shards);
+      auto built =
+          restored.value()->BuildIndexSnapshot(options.index, &exclude);
+      if (!built.ok()) {
+        std::fprintf(stderr, "shard %d index build failed: %s\n",
+                     shard.index, built.status().ToString().c_str());
+        return 1;
+      }
+      const Status swapped =
+          restored.value()->SwapIndex(std::move(built).value());
+      if (!swapped.ok()) {
+        std::fprintf(stderr, "shard %d swap failed: %s\n", shard.index,
+                     swapped.ToString().c_str());
+        return 1;
+      }
+      const std::string snap_path = out_dir + "/" + shard.snapshot_file;
+      const Status saved = restored.value()->SaveSnapshot(snap_path);
+      if (!saved.ok()) {
+        std::fprintf(stderr, "shard %d snapshot failed: %s\n", shard.index,
+                     saved.ToString().c_str());
+        return 1;
+      }
+      std::printf("shard %d: %llu entities -> %s\n", shard.index,
+                  static_cast<unsigned long long>(shard.entities),
+                  snap_path.c_str());
+    }
+    const std::string map_path = out_dir + "/shards.map";
+    const Status saved = cluster::SaveShardMap(map.value(), map_path);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "manifest save failed: %s\n",
+                   saved.ToString().c_str());
+      return 1;
+    }
+    std::printf("sharded %lld entities %d ways in %.1fs; manifest -> %s\n",
+                static_cast<long long>(graph.num_entities()), num_shards,
+                build_watch.ElapsedSeconds(), map_path.c_str());
+    return 0;
+  }
+
+  // replicate: follower process — replay the leader's shipped WAL into a
+  // local updater until converged (or until a signal when no target seq).
+  if (command == "replicate") {
+    const std::string leader = FlagStr(flags, "leader");
+    const std::string wal_path = FlagStr(flags, "wal");
+    if (leader.empty() || wal_path.empty()) return Usage();
+    auto parsed = cluster::ParseHostPort(leader);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "bad --leader: %s\n",
+                   parsed.status().ToString().c_str());
+      return 2;
+    }
+    auto restored = core::EmbLookup::LoadFromKg(graph, options, model_path);
+    if (!restored.ok()) {
+      std::fprintf(stderr, "cannot load model: %s\n",
+                   restored.status().ToString().c_str());
+      return 1;
+    }
+    update::UpdaterOptions up_options;
+    up_options.wal_path = wal_path;
+    auto opened = update::IndexUpdater::Open(restored.value().get(), &graph,
+                                             up_options);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "cannot open updater: %s\n",
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    cluster::WalReplica replica;
+    cluster::WalReplicaOptions rep_options;
+    rep_options.leader_host = parsed.value().first;
+    rep_options.leader_port = parsed.value().second;
+    const Status started = replica.Start(opened.value().get(), rep_options);
+    if (!started.ok()) {
+      std::fprintf(stderr, "replica failed: %s\n", started.ToString().c_str());
+      return 1;
+    }
+    std::printf("replicating from %s into wal %s\n", leader.c_str(),
+                wal_path.c_str());
+    std::fflush(stdout);
+
+    const int64_t converge_seq = FlagInt(flags, "converge-seq", 0);
+    if (converge_seq > 0) {
+      const auto timeout =
+          std::chrono::milliseconds(FlagInt(flags, "timeout-ms", 30000));
+      const auto deadline = std::chrono::steady_clock::now() + timeout;
+      bool converged = false;
+      if (replica.WaitForSeq(static_cast<uint64_t>(converge_seq), timeout)) {
+        // Applied past the target; now wait for lag 0 so the leader has
+        // nothing further in flight either.
+        while (std::chrono::steady_clock::now() < deadline) {
+          const cluster::WalReplicaStatsSnapshot s = replica.Stats();
+          if (s.replication_lag_seq == 0 &&
+              s.applied_seq >= static_cast<uint64_t>(converge_seq)) {
+            converged = true;
+            break;
+          }
+          std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        }
+      }
+      const cluster::WalReplicaStatsSnapshot s = replica.Stats();
+      std::printf("replica: applied seq %llu / leader seq %llu (lag %lld); "
+                  "%llu segments, %llu records replayed, %llu replay "
+                  "errors, %llu reconnects\n",
+                  static_cast<unsigned long long>(s.applied_seq),
+                  static_cast<unsigned long long>(s.leader_seq),
+                  static_cast<long long>(s.replication_lag_seq),
+                  static_cast<unsigned long long>(s.segments_received),
+                  static_cast<unsigned long long>(s.records_replayed),
+                  static_cast<unsigned long long>(s.replay_errors),
+                  static_cast<unsigned long long>(s.reconnects));
+      replica.Stop();
+      if (!converged) {
+        std::fprintf(stderr, "replicate: did not converge to seq %lld\n",
+                     static_cast<long long>(converge_seq));
+        return 1;
+      }
+      return 0;
+    }
+
+    std::signal(SIGINT, OnShutdownSignal);
+    std::signal(SIGTERM, OnShutdownSignal);
+    while (g_shutdown_signal == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    const cluster::WalReplicaStatsSnapshot s = replica.Stats();
+    std::printf("replica stopping: applied seq %llu / leader seq %llu "
+                "(lag %lld), %llu records replayed\n",
+                static_cast<unsigned long long>(s.applied_seq),
+                static_cast<unsigned long long>(s.leader_seq),
+                static_cast<long long>(s.replication_lag_seq),
+                static_cast<unsigned long long>(s.records_replayed));
+    replica.Stop();
+    return 0;
+  }
+
   if (command == "serve") {
     Result<std::unique_ptr<core::EmbLookup>> restored =
         Status::FailedPrecondition("uninitialized");
@@ -792,6 +1076,43 @@ int main(int argc, char** argv) {
                    restored.status().ToString().c_str());
       return 1;
     }
+
+    // Shard mode: keep the whole catalog but rebuild the index over only
+    // this shard's members (global entity ids survive, so a router can
+    // merge our top-k with other shards' bit-identically).
+    const std::string shard_spec = FlagStr(flags, "shard");
+    if (!shard_spec.empty()) {
+      int shard_index = -1;
+      int shard_count = 0;
+      if (std::sscanf(shard_spec.c_str(), "%d/%d", &shard_index,
+                      &shard_count) != 2 ||
+          shard_index < 0 || shard_count < 1 || shard_index >= shard_count) {
+        std::fprintf(stderr, "serve: --shard wants k/N with 0 <= k < N\n");
+        return 2;
+      }
+      const std::unordered_set<kg::EntityId> exclude =
+          cluster::ShardExclusions(graph, shard_index, shard_count);
+      auto built =
+          restored.value()->BuildIndexSnapshot(options.index, &exclude);
+      if (!built.ok()) {
+        std::fprintf(stderr, "shard index build failed: %s\n",
+                     built.status().ToString().c_str());
+        return 1;
+      }
+      const Status swapped =
+          restored.value()->SwapIndex(std::move(built).value());
+      if (!swapped.ok()) {
+        std::fprintf(stderr, "shard swap failed: %s\n",
+                     swapped.ToString().c_str());
+        return 1;
+      }
+      std::printf("shard %d/%d: indexing %lld of %lld catalog entities\n",
+                  shard_index, shard_count,
+                  static_cast<long long>(graph.num_entities() -
+                                         static_cast<int64_t>(exclude.size())),
+                  static_cast<long long>(graph.num_entities()));
+    }
+
     serve::ServerOptions server_options;
     server_options.max_batch = FlagInt(flags, "batch", 32);
     server_options.max_delay =
@@ -830,6 +1151,27 @@ int main(int argc, char** argv) {
       server.AttachUpdater(updater.get());
       std::printf("online updates enabled (wal %s, background compaction)\n",
                   wal_path.c_str());
+    }
+
+    // Replication leader: stream the WAL to followers (DESIGN.md §12).
+    cluster::WalShipServer wal_ship;
+    const int64_t replication_port = FlagInt(flags, "replication-port", -1);
+    if (replication_port >= 0) {
+      if (updater == nullptr) {
+        std::fprintf(stderr, "serve: --replication-port requires --wal\n");
+        return 2;
+      }
+      const Status shipping =
+          wal_ship.Start(updater.get(), static_cast<int>(replication_port));
+      if (!shipping.ok()) {
+        std::fprintf(stderr, "replication leader failed: %s\n",
+                     shipping.ToString().c_str());
+        return 1;
+      }
+      std::printf("replication leader: shipping WAL on port %d\n",
+                  wal_ship.port());
+      // Follower launchers read this line to find the port.
+      std::fflush(stdout);
     }
     // Declared after the server: the endpoint (and its renderer referencing
     // the server) stops before the server destructs.
@@ -883,10 +1225,34 @@ int main(int argc, char** argv) {
       std::fflush(stdout);
       std::signal(SIGINT, OnShutdownSignal);
       std::signal(SIGTERM, OnShutdownSignal);
+      // Mutation storm: synthetic AddEntity stream for exercising WAL
+      // shipping end to end (replicate --converge-seq waits for these).
+      const int64_t mutations = FlagInt(flags, "mutations", 0);
+      std::thread mutator;
+      if (mutations > 0) {
+        if (updater == nullptr) {
+          std::fprintf(stderr, "serve: --mutations requires --wal\n");
+          return 2;
+        }
+        mutator = std::thread([&server, mutations] {
+          for (int64_t i = 0; i < mutations && g_shutdown_signal == 0; ++i) {
+            auto added = server.AddEntity(
+                "storm entity " + std::to_string(i), "", {});
+            if (!added.ok()) {
+              std::fprintf(stderr, "storm mutation %lld failed: %s\n",
+                           static_cast<long long>(i),
+                           added.status().ToString().c_str());
+              break;
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(10));
+          }
+        });
+      }
       while (g_shutdown_signal == 0) {
         std::this_thread::sleep_for(std::chrono::milliseconds(50));
       }
       std::printf("signal received; draining in-flight requests\n");
+      if (mutator.joinable()) mutator.join();
       front.Stop();  // Stops accepting, drains, flushes, joins.
       const net::NetStatsSnapshot net_stats = front.Stats();
       std::printf(
@@ -901,6 +1267,14 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(net_stats.protocol_errors),
           static_cast<unsigned long long>(net_stats.overload_rejections),
           static_cast<unsigned long long>(net_stats.read_pauses));
+      if (replication_port >= 0) {
+        const cluster::WalShipStatsSnapshot ship = wal_ship.Stats();
+        std::printf("replication: %llu segments / %llu records shipped, "
+                    "%lld follower(s) still connected\n",
+                    static_cast<unsigned long long>(ship.segments_shipped),
+                    static_cast<unsigned long long>(ship.records_shipped),
+                    static_cast<long long>(ship.followers_connected));
+      }
       std::printf("%s", server.StatsText().c_str());
       return 0;
     }
@@ -995,6 +1369,7 @@ int main(int argc, char** argv) {
     // fallback request, and one garbage preamble for the protocol-error
     // path. Skipped (families still printed, zeroed) where epoll is
     // unavailable.
+    cluster::RouterStatsSnapshot router_stats;
     net::NetServer front;
     if (front.Start(&server, 0).ok()) {
       net::RemoteClient client;
@@ -1012,8 +1387,11 @@ int main(int argc, char** argv) {
 #ifndef _WIN32
       auto http_fd = net::ConnectTcp("127.0.0.1", front.port());
       if (http_fd.ok()) {
+        // Connection: close — the server honors HTTP/1.1 keep-alive, and
+        // this probe drains to EOF.
         const std::string http_request =
-            "GET /lookup?q=probe&k=3 HTTP/1.1\r\nHost: localhost\r\n\r\n";
+            "GET /lookup?q=probe&k=3 HTTP/1.1\r\nHost: localhost\r\n"
+            "Connection: close\r\n\r\n";
         (void)net::SendAll(http_fd.value(), http_request.data(),
                            http_request.size());
         char buf[4096];
@@ -1031,10 +1409,33 @@ int main(int argc, char** argv) {
         net::Listener::CloseFd(bad_fd.value());
       }
 #endif
+      // One-shard router loopback over the live front end: routes real
+      // queries through the scatter-gather path so the router families
+      // carry live counters. The replication families print zeroed here
+      // (this process runs no leader or follower) — the family LIST is
+      // role-independent either way.
+      cluster::Router router;
+      cluster::RouterOptions router_options;
+      router_options.shard_addrs = {"127.0.0.1:" +
+                                    std::to_string(front.port())};
+      if (router.Start(router_options, 0).ok()) {
+        const int64_t routed_probes = std::min<int64_t>(4,
+                                                        graph.num_entities());
+        for (int64_t i = 0; i < routed_probes; ++i) {
+          auto routed = router.Route(
+              graph.entity(static_cast<kg::EntityId>(i)).label, 5);
+          (void)routed;
+        }
+        router_stats = router.Stats();
+        router.Stop();
+      }
       front.Stop();
     }
     std::fputs(serve::PrometheusText(server, updater.get()).c_str(), stdout);
     std::fputs(net::PrometheusNetText(front.Stats()).c_str(), stdout);
+    std::fputs(cluster::PrometheusClusterText(&router_stats, nullptr, nullptr)
+                   .c_str(),
+               stdout);
     return failures == 0 ? 0 : 1;
   }
 
