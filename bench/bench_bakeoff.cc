@@ -1,0 +1,309 @@
+// Multi-backend ANN bake-off: the recall/latency/footprint frontier of
+// every lookup backend — flat, IVF-flat, PQ, SQ8, HNSW (with an ef_search
+// sweep) and the string-LSH baseline — over a synthetic KG at 10x the
+// regular bench scale (EMBLOOKUP_BENCH_SCALE multiplies further: 10 =>
+// the 100x point, 0.05 => the CI smoke size).
+//
+// The vector workload models the geometry a trained encoder produces:
+// entities cluster by KG type (one Gaussian blob per type), and a query
+// is a perturbed entity embedding — the embedded typo'd mention of
+// §III-D. Recall@k is measured against the exact flat scan; hit@1 is
+// end-to-end entity retrieval (the perturbed entity comes back first),
+// which is also the one metric the string-space LSH baseline can share.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "ann/flat_index.h"
+#include "ann/hnsw_index.h"
+#include "ann/ivf_index.h"
+#include "ann/lsh_index.h"
+#include "ann/pq_index.h"
+#include "ann/sq8_index.h"
+#include "bench/bench_common.h"
+#include "common/rng.h"
+#include "common/timing.h"
+#include "kg/noise.h"
+#include "kg/synthetic_kg.h"
+
+using namespace emblookup;
+
+namespace {
+
+constexpr int64_t kDim = 64;
+constexpr int64_t kTopK = 10;
+
+double Percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  return v[static_cast<size_t>(p * static_cast<double>(v.size() - 1))];
+}
+
+/// Type-clustered entity embeddings: one Gaussian blob per KG type.
+std::vector<float> MakeEntityVectors(const kg::KnowledgeGraph& graph,
+                                     Rng* rng) {
+  const int64_t num_types = std::max<int64_t>(graph.num_types(), 1);
+  std::vector<float> centers(num_types * kDim);
+  for (auto& c : centers) c = static_cast<float>(rng->Normal()) * 4.0f;
+  std::vector<float> vectors(graph.num_entities() * kDim);
+  for (kg::EntityId e = 0; e < graph.num_entities(); ++e) {
+    const auto& types = graph.entity(e).types;
+    const int64_t blob = types.empty() ? e % num_types : types.front();
+    const float* center = centers.data() + blob * kDim;
+    float* row = vectors.data() + e * kDim;
+    for (int64_t d = 0; d < kDim; ++d) {
+      row[d] = center[d] + static_cast<float>(rng->Normal());
+    }
+  }
+  return vectors;
+}
+
+struct Row {
+  std::string name;
+  double build_s = 0.0;
+  int64_t bytes = 0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double recall1 = -1.0;  ///< vs flat ground truth; <0 => not comparable.
+  double recall10 = -1.0;
+  double hit1 = 0.0;  ///< query's source entity ranked first.
+};
+
+void PrintRow(const Row& r) {
+  std::printf("%-14s %8.2fs %9.1fMB %9.1f %9.1f ", r.name.c_str(),
+              r.build_s, static_cast<double>(r.bytes) / (1024.0 * 1024.0),
+              r.p50_us, r.p99_us);
+  if (r.recall1 >= 0.0) {
+    std::printf("%8.3f %9.3f ", r.recall1, r.recall10);
+  } else {
+    std::printf("%8s %9s ", "-", "-");
+  }
+  std::printf("%7.3f\n", r.hit1);
+}
+
+/// Times single-threaded searches and scores them against the flat truth.
+/// `search(query_ptr) -> std::vector<ann::Neighbor>`.
+template <typename SearchFn>
+Row MeasureVectorBackend(const std::string& name,
+                         const std::vector<float>& queries,
+                         const std::vector<int64_t>& source_entity,
+                         const ann::NeighborLists& truth,
+                         const SearchFn& search) {
+  Row row;
+  row.name = name;
+  const size_t q_count = source_entity.size();
+  std::vector<double> lat;
+  lat.reserve(q_count);
+  double recall1 = 0.0, recall10 = 0.0, hit1 = 0.0;
+  for (size_t q = 0; q < q_count; ++q) {
+    const float* query = queries.data() + q * kDim;
+    Stopwatch sw;
+    const auto got = search(query);
+    lat.push_back(sw.ElapsedMicros());
+    if (got.empty()) continue;
+    if (!truth[q].empty() && got[0].id == truth[q][0].id) recall1 += 1.0;
+    std::unordered_set<int64_t> truth_ids;
+    for (const auto& n : truth[q]) truth_ids.insert(n.id);
+    int64_t inter = 0;
+    for (const auto& n : got) inter += truth_ids.count(n.id);
+    recall10 += static_cast<double>(inter) /
+                static_cast<double>(std::max<size_t>(truth[q].size(), 1));
+    if (got[0].id == source_entity[q]) hit1 += 1.0;
+  }
+  const double denom = static_cast<double>(q_count);
+  row.p50_us = Percentile(lat, 0.5);
+  row.p99_us = Percentile(lat, 0.99);
+  row.recall1 = recall1 / denom;
+  row.recall10 = recall10 / denom;
+  row.hit1 = hit1 / denom;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintBanner(
+      "Bake-off: recall/latency frontier across all index backends");
+
+  // 10x the regular 4000-entity bench KG at scale 1.0.
+  kg::SyntheticKgOptions kg_options;
+  kg_options.num_entities =
+      std::max<int64_t>(static_cast<int64_t>(40000 * bench::Scale()), 500);
+  kg_options.seed = 1234;
+  const kg::KnowledgeGraph graph = kg::GenerateSyntheticKg(kg_options);
+  const int64_t n = graph.num_entities();
+
+  Rng rng(99);
+  const std::vector<float> vectors = MakeEntityVectors(graph, &rng);
+
+  // Query stream: perturbed entity embeddings + typo'd labels (for LSH).
+  const size_t q_count = std::min<size_t>(2000, static_cast<size_t>(n));
+  std::vector<float> queries(q_count * kDim);
+  std::vector<int64_t> source_entity(q_count);
+  std::vector<std::string> text_queries(q_count);
+  for (size_t q = 0; q < q_count; ++q) {
+    const auto e = static_cast<kg::EntityId>(rng.Uniform(
+        static_cast<uint64_t>(n)));
+    source_entity[q] = e;
+    const float* row = vectors.data() + e * kDim;
+    for (int64_t d = 0; d < kDim; ++d) {
+      queries[q * kDim + d] =
+          row[d] + 0.25f * static_cast<float>(rng.Normal());
+    }
+    text_queries[q] = kg::RandomTypo(graph.entity(e).label, &rng, 1);
+  }
+  std::printf("entities=%lld  dim=%lld  queries=%zu  (scale %.2f)\n\n",
+              static_cast<long long>(n), static_cast<long long>(kDim),
+              q_count, bench::Scale());
+
+  std::printf("%-14s %9s %11s %9s %9s %8s %9s %7s\n", "backend", "build",
+              "bytes", "p50_us", "p99_us", "r@1", "r@10", "hit@1");
+  std::printf("%.82s\n",
+              "----------------------------------------------------------"
+              "------------------------");
+
+  std::vector<Row> rows;
+
+  // Flat: the exact baseline and the recall ground truth.
+  Stopwatch build;
+  ann::FlatIndex flat(kDim);
+  flat.Add(vectors.data(), n);
+  const double flat_build = build.ElapsedSeconds();
+  ann::NeighborLists truth(q_count);
+  for (size_t q = 0; q < q_count; ++q) {
+    truth[q] = flat.Search(queries.data() + q * kDim, kTopK);
+  }
+  rows.push_back(MeasureVectorBackend(
+      "flat", queries, source_entity, truth,
+      [&](const float* q) { return flat.Search(q, kTopK); }));
+  rows.back().build_s = flat_build;
+  rows.back().bytes = flat.StorageBytes();
+  PrintRow(rows.back());
+
+  // IVF-flat: sqrt(n) coarse lists, default probe width.
+  {
+    ann::IvfIndex::Options options;
+    options.num_lists = std::max<int64_t>(
+        16, static_cast<int64_t>(std::sqrt(static_cast<double>(n))));
+    build.Reset();
+    ann::IvfIndex ivf(kDim, options);
+    if (!ivf.Train(vectors.data(), n).ok() ||
+        !ivf.Add(vectors.data(), n).ok()) {
+      std::fprintf(stderr, "ivf build failed\n");
+      return 1;
+    }
+    const double t = build.ElapsedSeconds();
+    rows.push_back(MeasureVectorBackend(
+        "ivfflat", queries, source_entity, truth,
+        [&](const float* q) { return ivf.Search(q, kTopK); }));
+    rows.back().build_s = t;
+    rows.back().bytes = ivf.StorageBytes();
+    PrintRow(rows.back());
+  }
+
+  // PQ: m=8 sub-quantizers (the paper's compressed default).
+  {
+    build.Reset();
+    ann::PqIndex pq(kDim, 8);
+    Rng pq_rng(7);
+    if (!pq.Train(vectors.data(), n, &pq_rng).ok() ||
+        !pq.Add(vectors.data(), n).ok()) {
+      std::fprintf(stderr, "pq build failed\n");
+      return 1;
+    }
+    const double t = build.ElapsedSeconds();
+    rows.push_back(MeasureVectorBackend(
+        "pq", queries, source_entity, truth,
+        [&](const float* q) { return pq.Search(q, kTopK); }));
+    rows.back().build_s = t;
+    rows.back().bytes = pq.StorageBytes();
+    PrintRow(rows.back());
+  }
+
+  // SQ8: byte-per-dimension scalar quantization.
+  {
+    build.Reset();
+    ann::Sq8Index sq8(kDim);
+    if (!sq8.Train(vectors.data(), n).ok() ||
+        !sq8.Add(vectors.data(), n).ok()) {
+      std::fprintf(stderr, "sq8 build failed\n");
+      return 1;
+    }
+    const double t = build.ElapsedSeconds();
+    rows.push_back(MeasureVectorBackend(
+        "sq8", queries, source_entity, truth,
+        [&](const float* q) { return sq8.Search(q, kTopK); }));
+    rows.back().build_s = t;
+    rows.back().bytes = sq8.StorageBytes();
+    PrintRow(rows.back());
+  }
+
+  // HNSW: one graph build, then the ef_search recall/latency dial.
+  double hnsw_best_speedup = 0.0;
+  {
+    ann::HnswIndex::Options options;
+    options.m = 16;
+    options.ef_construction = 100;
+    build.Reset();
+    ann::HnswIndex hnsw(kDim, options);
+    if (!hnsw.Add(vectors.data(), n).ok()) {
+      std::fprintf(stderr, "hnsw build failed\n");
+      return 1;
+    }
+    const double t = build.ElapsedSeconds();
+    for (const int64_t ef : {16, 32, 64, 128, 256}) {
+      rows.push_back(MeasureVectorBackend(
+          "hnsw ef=" + std::to_string(ef), queries, source_entity, truth,
+          [&](const float* q) { return hnsw.SearchEf(q, kTopK, ef); }));
+      rows.back().build_s = t;
+      rows.back().bytes = hnsw.StorageBytes();
+      PrintRow(rows.back());
+      if (rows.back().recall1 >= 0.95) {
+        hnsw_best_speedup = std::max(
+            hnsw_best_speedup, rows.front().p50_us / rows.back().p50_us);
+      }
+    }
+  }
+
+  // String LSH: the Table V syntactic baseline. Not recall-comparable
+  // (string space, not vector space) but shares the hit@1 column.
+  {
+    build.Reset();
+    ann::StringLshIndex lsh;
+    for (kg::EntityId e = 0; e < n; ++e) lsh.Add(e, graph.entity(e).label);
+    Row row;
+    row.name = "lsh (string)";
+    row.build_s = build.ElapsedSeconds();
+    std::vector<double> lat;
+    lat.reserve(q_count);
+    double hit1 = 0.0;
+    for (size_t q = 0; q < q_count; ++q) {
+      Stopwatch sw;
+      const auto got = lsh.TopK(text_queries[q], kTopK);
+      lat.push_back(sw.ElapsedMicros());
+      if (!got.empty() && got[0].first == source_entity[q]) hit1 += 1.0;
+    }
+    row.p50_us = Percentile(lat, 0.5);
+    row.p99_us = Percentile(lat, 0.99);
+    row.hit1 = hit1 / static_cast<double>(q_count);
+    rows.push_back(row);
+    PrintRow(row);
+  }
+
+  // The frontier claim this backend exists for: some ef_search point must
+  // hold recall@1 >= 0.95 while beating the dispatched flat scan >= 3x.
+  // The claim is scoped to the 10x KG (scale >= 1): on CI-smoke sizes the
+  // flat scan is already microseconds and graph search cannot beat it.
+  const bool gate = bench::Scale() >= 1.0;
+  const bool pass = hnsw_best_speedup >= 3.0;
+  std::printf(
+      "\nfrontier check: best HNSW speedup vs flat at recall@1>=0.95: "
+      "%.1fx (%s)\n",
+      hnsw_best_speedup,
+      gate ? (pass ? "PASS" : "FAIL") : "informational at this scale");
+  return (gate && !pass) ? 2 : 0;
+}

@@ -1,0 +1,533 @@
+#include "ann/hnsw_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "ann/kernels.h"
+#include "ann/topk.h"
+#include "common/logging.h"
+#include "obs/trace.h"
+
+namespace emblookup::ann {
+
+namespace {
+
+/// Heap comparator making std::push_heap/pop_heap a min-heap on (dist, id)
+/// — the candidate frontier pops closest-first.
+bool FurtherFirst(const Neighbor& a, const Neighbor& b) {
+  if (a.dist != b.dist) return a.dist > b.dist;
+  return a.id > b.id;
+}
+
+/// Process-wide search-effort histograms (one pair for all HNSW instances,
+/// like StageMetrics): hops = nodes expanded, dist_evals = distance kernel
+/// evaluations. Exported as emblookup_hnsw_* families.
+struct HnswStatsRegistry {
+  obs::Histogram hops{obs::Histogram::ExponentialBuckets(1, 2, 16)};
+  obs::Histogram dist_evals{obs::Histogram::ExponentialBuckets(4, 2, 20)};
+
+  static HnswStatsRegistry& Get() {
+    static auto* registry = new HnswStatsRegistry();  // Never destructed.
+    return *registry;
+  }
+};
+
+}  // namespace
+
+HnswSearchStats GlobalHnswSearchStats() {
+  HnswStatsRegistry& r = HnswStatsRegistry::Get();
+  return {r.hops.Snapshot(), r.dist_evals.Snapshot()};
+}
+
+// --- VisitedPool -------------------------------------------------------------
+
+std::unique_ptr<HnswIndex::VisitedPool::List> HnswIndex::VisitedPool::Acquire(
+    int64_t n) {
+  std::unique_ptr<List> list;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!free_.empty()) {
+      list = std::move(free_.back());
+      free_.pop_back();
+    }
+  }
+  if (list == nullptr) list = std::make_unique<List>();
+  if (static_cast<int64_t>(list->stamp.size()) < n) {
+    // New entries are zero, which no live epoch equals — still unvisited.
+    list->stamp.resize(n, 0);
+  }
+  return list;
+}
+
+void HnswIndex::VisitedPool::Release(std::unique_ptr<List> list) {
+  std::lock_guard<std::mutex> lock(mu_);
+  free_.push_back(std::move(list));
+}
+
+// --- Construction ------------------------------------------------------------
+
+HnswIndex::HnswIndex(int64_t dim, Options options)
+    : dim_(dim),
+      options_(options),
+      level_rng_state_(options.seed),
+      visited_pool_(std::make_shared<VisitedPool>()) {
+  EL_CHECK_GT(dim, 0);
+  EL_CHECK_GT(options_.m, 1);
+  EL_CHECK_GT(options_.ef_construction, 0);
+  EL_CHECK_GT(options_.ef_search, 0);
+}
+
+Result<HnswIndex> HnswIndex::FromBorrowed(
+    int64_t dim, Options options, const float* vectors, const int32_t* levels,
+    const uint64_t* list_starts, const uint64_t* offsets, const int32_t* links,
+    int64_t count, int64_t entry_point, int32_t max_level, int64_t num_lists,
+    int64_t total_links) {
+  if (dim <= 0 || options.m <= 1) {
+    return Status::InvalidArgument("HnswIndex::FromBorrowed: bad geometry");
+  }
+  if (count < 0 || num_lists < count || total_links < 0) {
+    return Status::InvalidArgument("HnswIndex::FromBorrowed: bad counts");
+  }
+  if (count > 0) {
+    if (vectors == nullptr || levels == nullptr || list_starts == nullptr ||
+        offsets == nullptr || (total_links > 0 && links == nullptr)) {
+      return Status::InvalidArgument("HnswIndex::FromBorrowed: null storage");
+    }
+    if (entry_point < 0 || entry_point >= count || max_level < 0) {
+      return Status::InvalidArgument(
+          "HnswIndex::FromBorrowed: bad entry point");
+    }
+    // Structural validation (reads only, no allocation): the CSR must be
+    // monotone and every node's lists must fit inside it, so a snapshot
+    // that passed its CRC but carries nonsense geometry cannot send the
+    // search loop out of bounds.
+    if (offsets[0] != 0 ||
+        offsets[num_lists] != static_cast<uint64_t>(total_links)) {
+      return Status::InvalidArgument(
+          "HnswIndex::FromBorrowed: CSR offsets do not span the link array");
+    }
+    for (int64_t l = 0; l < num_lists; ++l) {
+      if (offsets[l] > offsets[l + 1]) {
+        return Status::InvalidArgument(
+            "HnswIndex::FromBorrowed: CSR offsets not monotone");
+      }
+    }
+    for (int64_t i = 0; i < count; ++i) {
+      if (levels[i] < 0 || levels[i] > max_level ||
+          list_starts[i] + static_cast<uint64_t>(levels[i]) >=
+              static_cast<uint64_t>(num_lists)) {
+        return Status::InvalidArgument(
+            "HnswIndex::FromBorrowed: node level table out of range");
+      }
+    }
+  }
+  HnswIndex index(dim, options);
+  index.count_ = count;
+  index.entry_point_ = count > 0 ? entry_point : -1;
+  index.max_level_ = count > 0 ? max_level : -1;
+  index.borrowed_vectors_ = vectors;
+  index.borrowed_levels_ = levels;
+  index.borrowed_list_starts_ = list_starts;
+  index.borrowed_offsets_ = offsets;
+  index.borrowed_links_ = links;
+  index.borrowed_num_lists_ = num_lists;
+  index.borrowed_total_links_ = total_links;
+  return index;
+}
+
+int32_t HnswIndex::RandomLevel() {
+  // splitmix64 -> uniform (0, 1] -> geometric ladder with ratio 1/m:
+  // P(level >= l) = m^-l, the paper's mL = 1/ln(m) choice.
+  uint64_t z = (level_rng_state_ += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  const double u =
+      (static_cast<double>(z >> 11) + 1.0) * (1.0 / 9007199254740992.0);
+  const double inv_log_m = 1.0 / std::log(static_cast<double>(options_.m));
+  const int32_t level = static_cast<int32_t>(-std::log(u) * inv_log_m);
+  return std::min(level, 30);
+}
+
+// --- Adjacency access --------------------------------------------------------
+
+HnswIndex::LinkSpan HnswIndex::Links(int64_t node, int32_t layer) const {
+  const uint64_t list = list_starts_data()[node] + layer;
+  if (borrowed()) {
+    const uint64_t begin = borrowed_offsets_[list];
+    return {borrowed_links_ + begin,
+            static_cast<int64_t>(borrowed_offsets_[list + 1] - begin)};
+  }
+  return {links_.data() + list_slab_[list], list_count_[list]};
+}
+
+int32_t* HnswIndex::MutableLinks(int64_t node, int32_t layer,
+                                 uint32_t** count) {
+  const uint64_t list = list_start_[node] + layer;
+  *count = &list_count_[list];
+  return links_.data() + list_slab_[list];
+}
+
+int64_t HnswIndex::num_lists() const {
+  return borrowed() ? borrowed_num_lists_
+                    : static_cast<int64_t>(list_count_.size());
+}
+
+int64_t HnswIndex::total_links() const {
+  if (borrowed()) return borrowed_total_links_;
+  int64_t total = 0;
+  for (const uint32_t n : list_count_) total += n;
+  return total;
+}
+
+int64_t HnswIndex::StorageBytes() const {
+  // Mirrors the serialized snapshot payloads: vectors + levels +
+  // list starts + CSR offsets + links.
+  return count_ * dim_ * static_cast<int64_t>(sizeof(float)) +
+         count_ * static_cast<int64_t>(sizeof(int32_t)) +
+         count_ * static_cast<int64_t>(sizeof(uint64_t)) +
+         (num_lists() + 1) * static_cast<int64_t>(sizeof(uint64_t)) +
+         total_links() * static_cast<int64_t>(sizeof(int32_t));
+}
+
+void HnswIndex::ExportCsr(std::vector<uint64_t>* offsets,
+                          std::vector<int32_t>* links) const {
+  const int64_t lists = num_lists();
+  offsets->clear();
+  offsets->reserve(lists + 1);
+  links->clear();
+  links->reserve(total_links());
+  offsets->push_back(0);
+  for (int64_t l = 0; l < lists; ++l) {
+    if (borrowed()) {
+      links->insert(links->end(), borrowed_links_ + borrowed_offsets_[l],
+                    borrowed_links_ + borrowed_offsets_[l + 1]);
+    } else {
+      const int32_t* slab = links_.data() + list_slab_[l];
+      links->insert(links->end(), slab, slab + list_count_[l]);
+    }
+    offsets->push_back(links->size());
+  }
+}
+
+const float* HnswIndex::Reconstruct(int64_t id) const {
+  EL_CHECK_GE(id, 0);
+  EL_CHECK_LT(id, count_);
+  return Vector(id);
+}
+
+// --- Search ------------------------------------------------------------------
+
+namespace {
+
+/// Per-thread expansion scratch: unvisited neighbor ids, their vectors
+/// gathered contiguously, and the batch-kernel output. Sized once per
+/// (max degree, dim) high-water mark — the hot path never allocates after
+/// warmup.
+struct ExpandScratch {
+  std::vector<int32_t> pending;
+  std::vector<float> gathered;
+  std::vector<float> dists;
+
+  void Reserve(int64_t max_degree, int64_t dim) {
+    if (static_cast<int64_t>(pending.capacity()) < max_degree) {
+      pending.reserve(max_degree);
+    }
+    if (static_cast<int64_t>(gathered.size()) < max_degree * dim) {
+      gathered.resize(max_degree * dim);
+    }
+    if (static_cast<int64_t>(dists.size()) < max_degree) {
+      dists.resize(max_degree);
+    }
+  }
+};
+
+ExpandScratch& ThreadScratch() {
+  thread_local ExpandScratch scratch;
+  return scratch;
+}
+
+}  // namespace
+
+int64_t HnswIndex::GreedyStep(const float* query, int64_t start,
+                              float* start_dist, int32_t layer,
+                              int64_t* dist_evals) const {
+  const kernels::KernelTable& kt = kernels::Dispatch();
+  ExpandScratch& scratch = ThreadScratch();
+  scratch.Reserve(max_m0(), dim_);
+  int64_t cur = start;
+  float cur_dist = *start_dist;
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    const LinkSpan span = Links(cur, layer);
+    if (span.n == 0) break;
+    // Batched neighbor expansion: gather the neighborhood's vectors into
+    // contiguous scratch and evaluate all distances with one dispatched
+    // kernel call (the PR 7 Vectorized<T> tiers).
+    for (int64_t j = 0; j < span.n; ++j) {
+      std::memcpy(scratch.gathered.data() + j * dim_,
+                  Vector(span.ids[j]), dim_ * sizeof(float));
+    }
+    kt.l2_sqr_batch(query, scratch.gathered.data(), span.n, dim_,
+                    scratch.dists.data());
+    *dist_evals += span.n;
+    for (int64_t j = 0; j < span.n; ++j) {
+      if (scratch.dists[j] < cur_dist) {
+        cur_dist = scratch.dists[j];
+        cur = span.ids[j];
+        improved = true;
+      }
+    }
+  }
+  *start_dist = cur_dist;
+  return cur;
+}
+
+std::vector<Neighbor> HnswIndex::SearchLayer(
+    const float* query, int64_t entry, float entry_dist, int64_t ef,
+    int32_t layer, VisitedPool::List* visited, int64_t* hops,
+    int64_t* dist_evals) const {
+  const kernels::KernelTable& kt = kernels::Dispatch();
+  ExpandScratch& scratch = ThreadScratch();
+  scratch.Reserve(max_m0(), dim_);
+  // Frontier min-heap (closest first); per-thread so steady-state queries
+  // reuse its storage.
+  thread_local std::vector<Neighbor> frontier;
+  frontier.clear();
+
+  TopK results(ef);
+  visited->stamp[entry] = visited->epoch;
+  results.Push(entry, entry_dist);
+  frontier.push_back({entry, entry_dist});
+
+  while (!frontier.empty()) {
+    std::pop_heap(frontier.begin(), frontier.end(), FurtherFirst);
+    const Neighbor closest = frontier.back();
+    frontier.pop_back();
+    // The frontier's best cannot improve the beam: every later candidate
+    // is even further, so the search has converged.
+    if (closest.dist > results.WorstDist()) break;
+    ++*hops;
+
+    const LinkSpan span = Links(closest.id, layer);
+    scratch.pending.clear();
+    for (int64_t j = 0; j < span.n; ++j) {
+      const int32_t id = span.ids[j];
+      if (visited->stamp[id] == visited->epoch) continue;
+      visited->stamp[id] = visited->epoch;
+      scratch.pending.push_back(id);
+    }
+    if (scratch.pending.empty()) continue;
+    const int64_t bn = static_cast<int64_t>(scratch.pending.size());
+    for (int64_t j = 0; j < bn; ++j) {
+      std::memcpy(scratch.gathered.data() + j * dim_,
+                  Vector(scratch.pending[j]), dim_ * sizeof(float));
+    }
+    kt.l2_sqr_batch(query, scratch.gathered.data(), bn, dim_,
+                    scratch.dists.data());
+    *dist_evals += bn;
+    for (int64_t j = 0; j < bn; ++j) {
+      const float dist = scratch.dists[j];
+      if (dist <= results.WorstDist()) {
+        results.Push(scratch.pending[j], dist);
+        frontier.push_back({scratch.pending[j], dist});
+        std::push_heap(frontier.begin(), frontier.end(), FurtherFirst);
+      }
+    }
+  }
+  return results.Finish();
+}
+
+std::vector<Neighbor> HnswIndex::Search(const float* query, int64_t k) const {
+  return SearchEf(query, k, options_.ef_search);
+}
+
+std::vector<Neighbor> HnswIndex::SearchEf(const float* query, int64_t k,
+                                          int64_t ef) const {
+  obs::Span span(obs::Stage::kHnswScan);
+  k = std::min(k, count_);
+  if (k <= 0 || entry_point_ < 0) return {};
+  ef = std::max(ef, k);
+
+  const kernels::KernelTable& kt = kernels::Dispatch();
+  int64_t hops = 0;
+  int64_t dist_evals = 1;
+  int64_t ep = entry_point_;
+  float ep_dist = kt.l2_sqr(query, Vector(ep), dim_);
+  for (int32_t layer = max_level_; layer >= 1; --layer) {
+    ep = GreedyStep(query, ep, &ep_dist, layer, &dist_evals);
+  }
+
+  std::unique_ptr<VisitedPool::List> visited = visited_pool_->Acquire(count_);
+  visited->Bump();
+  std::vector<Neighbor> results =
+      SearchLayer(query, ep, ep_dist, ef, /*layer=*/0, visited.get(), &hops,
+                  &dist_evals);
+  visited_pool_->Release(std::move(visited));
+
+  HnswStatsRegistry& stats = HnswStatsRegistry::Get();
+  stats.hops.Record(static_cast<double>(hops));
+  stats.dist_evals.Record(static_cast<double>(dist_evals));
+
+  if (static_cast<int64_t>(results.size()) > k) results.resize(k);
+  return results;
+}
+
+NeighborLists HnswIndex::BatchSearch(const float* queries,
+                                     int64_t num_queries, int64_t k,
+                                     ThreadPool* pool) const {
+  NeighborLists out(num_queries);
+  if (count_ <= 0 || k <= 0) return out;
+  if (pool != nullptr) {
+    pool->ParallelFor(static_cast<size_t>(num_queries), [&](size_t i) {
+      out[i] = Search(queries + i * dim_, k);
+    });
+  } else {
+    for (int64_t i = 0; i < num_queries; ++i) {
+      out[i] = Search(queries + i * dim_, k);
+    }
+  }
+  return out;
+}
+
+// --- Insertion ---------------------------------------------------------------
+
+void HnswIndex::SelectNeighbors(const std::vector<Neighbor>& candidates,
+                                int64_t max_m,
+                                std::vector<int32_t>* out) const {
+  // Alg. 4 diversity heuristic with keepPruned: a candidate survives only
+  // if it is closer to the insertion target than to every already-kept
+  // neighbor (otherwise the kept neighbor already covers that direction);
+  // leftover slots are refilled with the nearest pruned candidates so
+  // nodes keep full degree on clustered data.
+  out->clear();
+  if (candidates.empty()) return;
+  const kernels::KernelTable& kt = kernels::Dispatch();
+  thread_local std::vector<int32_t> pruned;
+  pruned.clear();
+  for (const Neighbor& c : candidates) {
+    if (static_cast<int64_t>(out->size()) >= max_m) break;
+    bool keep = true;
+    for (const int32_t kept : *out) {
+      if (kt.l2_sqr(Vector(c.id), Vector(kept), dim_) < c.dist) {
+        keep = false;
+        break;
+      }
+    }
+    if (keep) {
+      out->push_back(static_cast<int32_t>(c.id));
+    } else {
+      pruned.push_back(static_cast<int32_t>(c.id));
+    }
+  }
+  for (const int32_t p : pruned) {
+    if (static_cast<int64_t>(out->size()) >= max_m) break;
+    out->push_back(p);
+  }
+}
+
+void HnswIndex::Connect(int64_t node, int32_t layer,
+                        const std::vector<int32_t>& neighbors) {
+  const kernels::KernelTable& kt = kernels::Dispatch();
+  uint32_t* count = nullptr;
+  int32_t* slab = MutableLinks(node, layer, &count);
+  *count = static_cast<uint32_t>(neighbors.size());
+  std::copy(neighbors.begin(), neighbors.end(), slab);
+
+  const int64_t cap = layer == 0 ? max_m0() : options_.m;
+  thread_local std::vector<Neighbor> shrink;
+  thread_local std::vector<int32_t> reselected;
+  for (const int32_t nb : neighbors) {
+    uint32_t* nb_count = nullptr;
+    int32_t* nb_slab = MutableLinks(nb, layer, &nb_count);
+    if (static_cast<int64_t>(*nb_count) < cap) {
+      nb_slab[(*nb_count)++] = static_cast<int32_t>(node);
+      continue;
+    }
+    // Reverse edge overflows the fixed capacity: re-select the neighbor's
+    // list with the same diversity heuristic over old links + the newcomer.
+    const float* nb_vec = Vector(nb);
+    shrink.clear();
+    shrink.push_back({node, kt.l2_sqr(nb_vec, Vector(node), dim_)});
+    for (uint32_t j = 0; j < *nb_count; ++j) {
+      shrink.push_back(
+          {nb_slab[j], kt.l2_sqr(nb_vec, Vector(nb_slab[j]), dim_)});
+    }
+    std::sort(shrink.begin(), shrink.end(),
+              [](const Neighbor& a, const Neighbor& b) {
+                if (a.dist != b.dist) return a.dist < b.dist;
+                return a.id < b.id;
+              });
+    SelectNeighbors(shrink, cap, &reselected);
+    *nb_count = static_cast<uint32_t>(reselected.size());
+    std::copy(reselected.begin(), reselected.end(), nb_slab);
+  }
+}
+
+Status HnswIndex::Add(const float* vectors, int64_t n) {
+  if (borrowed()) {
+    return Status::FailedPrecondition("Add on a borrowed-storage HnswIndex");
+  }
+  if (n < 0 || (n > 0 && vectors == nullptr)) {
+    return Status::InvalidArgument("HnswIndex::Add: bad input");
+  }
+  const kernels::KernelTable& kt = kernels::Dispatch();
+  vectors_.reserve((count_ + n) * dim_);
+  levels_.reserve(count_ + n);
+  list_start_.reserve(count_ + n);
+
+  std::vector<int32_t> selected;
+  std::unique_ptr<VisitedPool::List> visited;
+  for (int64_t i = 0; i < n; ++i) {
+    const float* vec = vectors + i * dim_;
+    const int64_t id = count_;
+    vectors_.insert(vectors_.end(), vec, vec + dim_);
+    const int32_t level = RandomLevel();
+    levels_.push_back(level);
+    list_start_.push_back(list_count_.size());
+    for (int32_t layer = 0; layer <= level; ++layer) {
+      const int64_t cap = layer == 0 ? max_m0() : options_.m;
+      list_slab_.push_back(links_.size());
+      links_.resize(links_.size() + cap, 0);
+      list_count_.push_back(0);
+    }
+    ++count_;
+
+    if (entry_point_ < 0) {
+      entry_point_ = id;
+      max_level_ = level;
+      continue;
+    }
+
+    int64_t scratch_evals = 0;
+    int64_t scratch_hops = 0;
+    int64_t ep = entry_point_;
+    float ep_dist = kt.l2_sqr(vec, Vector(ep), dim_);
+    for (int32_t layer = max_level_; layer > level; --layer) {
+      ep = GreedyStep(vec, ep, &ep_dist, layer, &scratch_evals);
+    }
+
+    if (visited == nullptr) visited = visited_pool_->Acquire(count_ + n);
+    for (int32_t layer = std::min(level, max_level_); layer >= 0; --layer) {
+      visited->Bump();
+      const std::vector<Neighbor> candidates =
+          SearchLayer(vec, ep, ep_dist, options_.ef_construction, layer,
+                      visited.get(), &scratch_hops, &scratch_evals);
+      SelectNeighbors(candidates, options_.m, &selected);
+      Connect(id, layer, selected);
+      // The best candidate anchors the next (finer) layer's search.
+      ep = candidates.front().id;
+      ep_dist = candidates.front().dist;
+    }
+    if (level > max_level_) {
+      max_level_ = level;
+      entry_point_ = id;
+    }
+  }
+  if (visited != nullptr) visited_pool_->Release(std::move(visited));
+  return Status::OK();
+}
+
+}  // namespace emblookup::ann

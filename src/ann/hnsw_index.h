@@ -1,0 +1,246 @@
+#ifndef EMBLOOKUP_ANN_HNSW_INDEX_H_
+#define EMBLOOKUP_ANN_HNSW_INDEX_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "ann/neighbor.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "obs/histogram.h"
+
+namespace emblookup::ann {
+
+/// Per-query search-effort statistics exported to Prometheus (the graph
+/// health signal OBSERVABILITY.md documents): how many nodes each query
+/// expanded (hops) and how many distances it evaluated. A flat scan
+/// evaluates every row; a healthy HNSW query evaluates a few hundred.
+struct HnswSearchStats {
+  obs::HistogramSnapshot hops;
+  obs::HistogramSnapshot dist_evals;
+};
+HnswSearchStats GlobalHnswSearchStats();
+
+/// Hierarchical navigable-small-world graph index (Malkov & Yashunin,
+/// TPAMI'18) over uncompressed float vectors — the graph-search point on
+/// the recall-vs-latency frontier that the scan backends (flat/SQ8) and
+/// the partition backends (IVF*) bracket from either side.
+///
+/// Every vector is a node in a multi-layer proximity graph: all nodes live
+/// on layer 0 (neighbor capacity 2M), an exponentially thinning subset on
+/// the layers above (capacity M). A query greedily descends from the top
+/// entry point — one nearest-neighbor move per layer — and runs a beam
+/// search of width `ef_search` on layer 0. Insertion links each new node
+/// to M neighbors chosen by the paper's diversity heuristic (a candidate
+/// is kept only if it is closer to the query than to every neighbor kept
+/// so far), which preserves long-range edges and keeps the graph navigable
+/// on clustered data.
+///
+/// Distance work rides the dispatched SIMD kernel layer: neighbor
+/// expansion gathers the unvisited neighbors' vectors into a contiguous
+/// per-thread scratch block and evaluates them with one
+/// `l2_sqr_batch` call per hop. The visited set comes from a pooled
+/// epoch-stamped array, so steady-state queries allocate nothing.
+///
+/// Builds are deterministic for a fixed (seed, insertion order): the level
+/// generator is a private seeded Rng and no build step depends on thread
+/// timing (inserts are sequential).
+class HnswIndex {
+ public:
+  struct Options {
+    /// Max neighbors per node on layers >= 1; layer 0 keeps up to 2*m.
+    /// Also the number of forward links created per insert.
+    int64_t m = 16;
+    /// Beam width while inserting (candidate pool for neighbor selection).
+    int64_t ef_construction = 100;
+    /// Default beam width for Search(); SearchEf overrides per query.
+    /// Recall@k rises with ef at linear cost in distance evaluations.
+    int64_t ef_search = 64;
+    /// Seed for the geometric level generator (build determinism).
+    uint64_t seed = 0x9d15;
+  };
+
+  HnswIndex(int64_t dim, Options options);
+
+  /// Borrowed-storage mode (src/store zero-copy loading): a ready-to-serve
+  /// index whose vectors and CSR adjacency live in caller-owned memory —
+  /// typically mmap'd snapshot sections. Layout:
+  ///   - `vectors`:     count * dim floats, row-major;
+  ///   - `levels`:      count int32, node i's top layer;
+  ///   - `list_starts`: count uint64, index of node i's layer-0 neighbor
+  ///                    list among all lists (lists are node-major, then
+  ///                    layer 0..levels[i]);
+  ///   - `offsets`:     num_lists + 1 uint64, CSR offsets into `links`;
+  ///   - `links`:       total_links int32 neighbor node ids.
+  /// All arrays must outlive the index. No per-node allocation happens
+  /// here — the arrays are adopted as-is; Add is a checked error.
+  static Result<HnswIndex> FromBorrowed(
+      int64_t dim, Options options, const float* vectors,
+      const int32_t* levels, const uint64_t* list_starts,
+      const uint64_t* offsets, const int32_t* links, int64_t count,
+      int64_t entry_point, int32_t max_level, int64_t num_lists,
+      int64_t total_links);
+
+  HnswIndex(HnswIndex&&) = default;
+  HnswIndex& operator=(HnswIndex&&) = default;
+
+  /// Inserts `n` row-major vectors; ids are sequential from the previous
+  /// size. O(n log n) expected graph work — sequential and deterministic.
+  /// Invalid on a borrowed index.
+  Status Add(const float* vectors, int64_t n);
+
+  /// Approximate top-k by squared L2, best first, using options().ef_search
+  /// as the layer-0 beam width. k is clamped to the index size.
+  std::vector<Neighbor> Search(const float* query, int64_t k) const;
+
+  /// Search with an explicit beam width (ef is raised to k internally) —
+  /// the recall/latency dial the bake-off bench sweeps.
+  std::vector<Neighbor> SearchEf(const float* query, int64_t k,
+                                 int64_t ef) const;
+
+  /// Batch search; parallel across queries when a pool is given.
+  NeighborLists BatchSearch(const float* queries, int64_t num_queries,
+                            int64_t k, ThreadPool* pool = nullptr) const;
+
+  /// The stored vector for an id (pointer into the store; exact, HNSW
+  /// keeps uncompressed floats).
+  const float* Reconstruct(int64_t id) const;
+
+  int64_t size() const { return count_; }
+  int64_t dim() const { return dim_; }
+  const Options& options() const { return options_; }
+  bool borrowed() const { return borrowed_vectors_ != nullptr; }
+  int64_t entry_point() const { return entry_point_; }
+  int32_t max_level() const { return max_level_; }
+  /// Total adjacency lists (sum over nodes of levels[i] + 1).
+  int64_t num_lists() const;
+  /// Total stored neighbor links across all lists.
+  int64_t total_links() const;
+  int64_t max_m0() const { return 2 * options_.m; }
+
+  /// Bytes used by vectors + adjacency (the paper's index-size metric,
+  /// matching the serialized snapshot payload sizes).
+  int64_t StorageBytes() const;
+
+  /// The contiguous (count, dim) row-major vector payload — owned or
+  /// borrowed (the snapshot writer serializes through this).
+  const float* vectors_data() const {
+    return borrowed_vectors_ != nullptr ? borrowed_vectors_ : vectors_.data();
+  }
+  /// Per-node top layer, count int32.
+  const int32_t* levels_data() const {
+    return borrowed_levels_ != nullptr ? borrowed_levels_ : levels_.data();
+  }
+  /// Per-node first-list index, count uint64.
+  const uint64_t* list_starts_data() const {
+    return borrowed_list_starts_ != nullptr ? borrowed_list_starts_
+                                            : list_start_.data();
+  }
+
+  /// Compacts the adjacency into CSR form for serialization (owned blobs;
+  /// borrowed indexes return copies of the mapped arrays).
+  void ExportCsr(std::vector<uint64_t>* offsets,
+                 std::vector<int32_t>* links) const;
+
+ private:
+  /// Pooled epoch-stamped visited set: Acquire pops a warm array (or grows
+  /// one), bumping the epoch instead of clearing; queries in steady state
+  /// therefore allocate nothing. Shared across concurrent searches under a
+  /// short freelist mutex (hnswlib's VisitedListPool idiom).
+  class VisitedPool {
+   public:
+    struct List {
+      std::vector<uint32_t> stamp;
+      uint32_t epoch = 0;
+
+      /// Starts a fresh visited generation: one increment instead of a
+      /// clear; on the (rare) epoch wrap the stamps are zeroed once.
+      void Bump() {
+        if (++epoch == 0) {
+          std::fill(stamp.begin(), stamp.end(), 0u);
+          epoch = 1;
+        }
+      }
+    };
+    std::unique_ptr<List> Acquire(int64_t n);
+    void Release(std::unique_ptr<List> list);
+
+   private:
+    std::mutex mu_;
+    std::vector<std::unique_ptr<List>> free_;
+  };
+
+  /// (ptr, n) view of one node's neighbor list on one layer.
+  struct LinkSpan {
+    const int32_t* ids;
+    int64_t n;
+  };
+  LinkSpan Links(int64_t node, int32_t layer) const;
+
+  /// Mutable owned-mode list access (build path).
+  int32_t* MutableLinks(int64_t node, int32_t layer, uint32_t** count);
+
+  /// Greedy descent on one upper layer: repeatedly moves to the closest
+  /// neighbor until no neighbor improves. Returns the new anchor.
+  int64_t GreedyStep(const float* query, int64_t start, float* start_dist,
+                     int32_t layer, int64_t* dist_evals) const;
+
+  /// Beam search on `layer`: expands the closest unexpanded candidate,
+  /// batching its unvisited neighbors' distances through the dispatched
+  /// kernel, until the beam cannot improve. Results best-first.
+  std::vector<Neighbor> SearchLayer(const float* query, int64_t entry,
+                                    float entry_dist, int64_t ef,
+                                    int32_t layer, VisitedPool::List* visited,
+                                    int64_t* hops, int64_t* dist_evals) const;
+
+  /// The paper's diversity heuristic (Alg. 4 with keepPruned): keeps a
+  /// candidate only if it is closer to the target than to every neighbor
+  /// already kept, then fills remaining slots with the nearest pruned ones.
+  void SelectNeighbors(const std::vector<Neighbor>& candidates, int64_t max_m,
+                       std::vector<int32_t>* out) const;
+
+  /// Links `node` -> `neighbors` on `layer` and adds the reverse edges,
+  /// shrinking any overflowing reverse list with the same heuristic.
+  void Connect(int64_t node, int32_t layer,
+               const std::vector<int32_t>& neighbors);
+
+  /// Random level with P(level >= l) = (1/m)^l — the geometric ladder.
+  int32_t RandomLevel();
+
+  const float* Vector(int64_t id) const { return vectors_data() + id * dim_; }
+
+  int64_t dim_;
+  Options options_;
+  int64_t count_ = 0;
+  int64_t entry_point_ = -1;
+  int32_t max_level_ = -1;
+  uint64_t level_rng_state_;  ///< splitmix64 state for RandomLevel.
+
+  // Owned storage (build mode). Lists are node-major then layer, each with
+  // fixed capacity (2m for layer 0, m above) so inserts never shift data.
+  std::vector<float> vectors_;
+  std::vector<int32_t> levels_;
+  std::vector<uint64_t> list_start_;  ///< node -> first list index.
+  std::vector<uint32_t> list_count_;  ///< list -> live neighbors.
+  std::vector<uint64_t> list_slab_;   ///< list -> slab offset into links_.
+  std::vector<int32_t> links_;        ///< Fixed-capacity slabs.
+
+  // Borrowed storage (snapshot mode): CSR adjacency over mapped memory.
+  const float* borrowed_vectors_ = nullptr;
+  const int32_t* borrowed_levels_ = nullptr;
+  const uint64_t* borrowed_list_starts_ = nullptr;
+  const uint64_t* borrowed_offsets_ = nullptr;
+  const int32_t* borrowed_links_ = nullptr;
+  int64_t borrowed_num_lists_ = 0;
+  int64_t borrowed_total_links_ = 0;
+
+  /// Behind a pointer so the index stays movable (the pool owns a mutex).
+  std::shared_ptr<VisitedPool> visited_pool_;
+};
+
+}  // namespace emblookup::ann
+
+#endif  // EMBLOOKUP_ANN_HNSW_INDEX_H_

@@ -73,6 +73,8 @@ enum class IndexKind {
   kIvfPq,   ///< Inverted file over residual PQ codes (smallest + fastest).
   kSq8,     ///< Scalar-quantized int8 codes + asymmetric scan (~4x smaller
             ///< than flat at near-exact recall; see ann/sq8_index.h).
+  kHnsw,    ///< Graph search over raw floats: sub-linear latency at high
+            ///< recall (see ann/hnsw_index.h).
 };
 
 /// Entity embedding index configuration (§III-C/D).
@@ -88,6 +90,10 @@ struct IndexConfig {
   /// IVF coarse lists / probes (IVF kinds only).
   int64_t ivf_lists = 64;
   int64_t ivf_nprobe = 8;
+  /// HNSW graph degree and beam widths (kHnsw only; see ann/hnsw_index.h).
+  int64_t hnsw_m = 16;
+  int64_t hnsw_ef_construction = 100;
+  int64_t hnsw_ef_search = 64;
   /// Additionally index each entity under its aliases (§III-C: "alternate
   /// embeddings for Q183 by evaluating the embedding model on its
   /// aliases... could possibly increase the lookup accuracy but with

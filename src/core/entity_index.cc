@@ -114,6 +114,18 @@ Result<EntityIndex> EntityIndex::Build(
       EL_RETURN_NOT_OK(index.sq8_->Train(embeddings.data(), n));
       EL_RETURN_NOT_OK(index.sq8_->Add(embeddings.data(), n));
       break;
+    case IndexKind::kHnsw: {
+      // Graph construction is sequential by design (determinism for a
+      // fixed seed + insertion order); the pool is not used here.
+      ann::HnswIndex::Options options;
+      options.m = config.hnsw_m;
+      options.ef_construction = config.hnsw_ef_construction;
+      options.ef_search = config.hnsw_ef_search;
+      options.seed = config.seed;
+      index.hnsw_ = std::make_unique<ann::HnswIndex>(dim, options);
+      EL_RETURN_NOT_OK(index.hnsw_->Add(embeddings.data(), n));
+      break;
+    }
     case IndexKind::kIvfFlat:
     case IndexKind::kIvfPq: {
       ann::IvfIndex::Options options;
@@ -142,6 +154,8 @@ void EntityIndex::AppendTo(store::IndexMeta* meta,
     store::AppendIvf(*ivf_, meta, writer);
   } else if (sq8_ != nullptr) {
     store::AppendSq8(*sq8_, meta, writer);
+  } else if (hnsw_ != nullptr) {
+    store::AppendHnsw(*hnsw_, meta, writer);
   } else {
     EL_CHECK(flat_ != nullptr);
     store::AppendFlat(*flat_, meta, writer);
@@ -189,6 +203,13 @@ Result<EntityIndex> EntityIndex::FromSnapshot(
       index.kind_ = IndexKind::kSq8;
       break;
     }
+    case store::BackendKind::kHnsw: {
+      EL_ASSIGN_OR_RETURN(ann::HnswIndex hnsw,
+                          store::LoadHnsw(meta, *reader));
+      index.hnsw_ = std::make_unique<ann::HnswIndex>(std::move(hnsw));
+      index.kind_ = IndexKind::kHnsw;
+      break;
+    }
     default:
       return Status::IoError("corrupt snapshot: unknown index backend");
   }
@@ -211,6 +232,7 @@ std::vector<ann::Neighbor> EntityIndex::RawSearch(const float* query,
   if (pq_ != nullptr) return pq_->Search(query, k);
   if (ivf_ != nullptr) return ivf_->Search(query, k);
   if (sq8_ != nullptr) return sq8_->Search(query, k);
+  if (hnsw_ != nullptr) return hnsw_->Search(query, k);
   EL_CHECK(flat_ != nullptr);
   return flat_->Search(query, k);
 }
@@ -269,6 +291,8 @@ ann::NeighborLists EntityIndex::BatchSearch(const float* queries,
     lists = ivf_->BatchSearch(queries, num_queries, fetch, pool);
   } else if (sq8_ != nullptr) {
     lists = sq8_->BatchSearch(queries, num_queries, fetch, pool);
+  } else if (hnsw_ != nullptr) {
+    lists = hnsw_->BatchSearch(queries, num_queries, fetch, pool);
   } else {
     EL_CHECK(flat_ != nullptr);
     lists = flat_->BatchSearch(queries, num_queries, fetch, pool);
@@ -283,6 +307,7 @@ int64_t EntityIndex::size() const {
   if (pq_ != nullptr) return pq_->size();
   if (ivf_ != nullptr) return ivf_->size();
   if (sq8_ != nullptr) return sq8_->size();
+  if (hnsw_ != nullptr) return hnsw_->size();
   return flat_ != nullptr ? flat_->size() : 0;
 }
 
@@ -290,6 +315,7 @@ int64_t EntityIndex::StorageBytes() const {
   if (pq_ != nullptr) return pq_->StorageBytes();
   if (ivf_ != nullptr) return ivf_->StorageBytes();
   if (sq8_ != nullptr) return sq8_->StorageBytes();
+  if (hnsw_ != nullptr) return hnsw_->StorageBytes();
   return flat_ != nullptr ? flat_->StorageBytes() : 0;
 }
 

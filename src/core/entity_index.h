@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "ann/flat_index.h"
+#include "ann/hnsw_index.h"
 #include "ann/ivf_index.h"
 #include "ann/pq_index.h"
 #include "ann/sq8_index.h"
@@ -27,8 +28,9 @@ namespace emblookup::core {
 /// Embedding index over every KG entity (§III-C/D). By default row i stores
 /// the embedding of entity i's canonical label; with `index_aliases` each
 /// alias contributes an extra row (deduplicated back to entities at query
-/// time). Five storage backends are supported (flat / PQ / IVF-flat /
-/// IVF-PQ / SQ8), mirroring the FAISS options the paper selects among.
+/// time). Six storage backends are supported (flat / PQ / IVF-flat /
+/// IVF-PQ / SQ8 / HNSW), mirroring the FAISS options the paper selects
+/// among plus the graph-search point on the recall/latency frontier.
 class EntityIndex {
  public:
   /// Embeds the indexed mentions with `encoder` (no-grad, batched,
@@ -96,6 +98,7 @@ class EntityIndex {
   std::unique_ptr<ann::PqIndex> pq_;
   std::unique_ptr<ann::IvfIndex> ivf_;
   std::unique_ptr<ann::Sq8Index> sq8_;
+  std::unique_ptr<ann::HnswIndex> hnsw_;
   /// row -> entity id; empty when rows are exactly entities.
   std::vector<kg::EntityId> row_to_entity_;
   /// Keeps the mmap'd snapshot alive while a borrowed-storage backend

@@ -51,6 +51,7 @@ const char* StageName(Stage stage) {
     case Stage::kTopKMergeRouter: return "topk_merge_router";
     case Stage::kWalShip: return "wal_ship";
     case Stage::kWalReplay: return "wal_replay";
+    case Stage::kHnswScan: return "hnsw_scan";
   }
   return "unknown";
 }

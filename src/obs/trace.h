@@ -43,8 +43,9 @@ enum class Stage : uint8_t {
   kTopKMergeRouter,   ///< Cross-shard top-k merge at the router (cluster).
   kWalShip,           ///< Leader: encode + send one WAL segment (cluster).
   kWalReplay,         ///< Follower: apply one shipped mutation (cluster).
+  kHnswScan,          ///< HnswIndex::Search — descent + layer-0 beam (ann).
 };
-inline constexpr int kNumStages = static_cast<int>(Stage::kWalReplay) + 1;
+inline constexpr int kNumStages = static_cast<int>(Stage::kHnswScan) + 1;
 
 /// Stable snake_case stage name ("queue_wait", "main_scan", ...) — the
 /// `stage` label value in exporter output and the slow-query log.

@@ -1,5 +1,6 @@
 #include "serve/exporter.h"
 
+#include "ann/hnsw_index.h"
 #include "obs/prometheus.h"
 
 namespace emblookup::serve {
@@ -95,6 +96,20 @@ void WriteUpdateFamilies(PrometheusWriter* w,
            static_cast<double>(u.catalog_entities));
 }
 
+void WriteHnswFamilies(PrometheusWriter* w) {
+  // Graph search-effort distributions (empty until an HNSW index serves a
+  // query, but always emitted so the family set is stable for scrapers
+  // and the metrics<->docs CI gate).
+  const ann::HnswSearchStats h = ann::GlobalHnswSearchStats();
+  w->Histogram("emblookup_hnsw_hops",
+               "Graph nodes expanded per HNSW query (descent + beam).",
+               h.hops);
+  w->Histogram("emblookup_hnsw_distance_evaluations",
+               "Distance computations per HNSW query (a flat scan would "
+               "evaluate every row).",
+               h.dist_evals);
+}
+
 void WriteObsFamilies(PrometheusWriter* w,
                       const LookupServer::ObsStats& o) {
   w->Counter("emblookup_traces_sampled_total",
@@ -113,6 +128,7 @@ std::string RenderPrometheusText(const ExportInputs& inputs) {
   WriteServeFamilies(&w, inputs.metrics);
   WriteCacheFamilies(&w, inputs.cache);
   WriteStageFamilies(&w, inputs.stages);
+  WriteHnswFamilies(&w);
   if (inputs.update.has_value()) WriteUpdateFamilies(&w, *inputs.update);
   if (inputs.obs_stats.has_value()) WriteObsFamilies(&w, *inputs.obs_stats);
   return w.Finish();

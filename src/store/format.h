@@ -69,6 +69,11 @@ enum class SectionId : uint32_t {
   kSq8Params = 14,     ///< float[2 * dim]: SQ8 scales then offsets.
   kSq8Codes = 15,      ///< uint8[count * dim] row-major SQ8 codes.
   kSq8RowNorms = 16,   ///< float[count]: ||x̂_i||² per SQ8 row.
+  kHnswMeta = 17,      ///< One HnswMeta struct (index_io.h): graph geometry.
+  kHnswLevels = 18,    ///< int32[count]: node i's top layer.
+  kHnswListStarts = 19,///< uint64[count]: node i's first adjacency list.
+  kHnswOffsets = 20,   ///< uint64[num_lists + 1]: CSR offsets into kHnswLinks.
+  kHnswLinks = 21,     ///< int32[total_links]: neighbor ids, lists in order.
 };
 
 struct SectionEntry {

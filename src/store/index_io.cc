@@ -115,6 +115,49 @@ void AppendSq8(const ann::Sq8Index& index, IndexMeta* meta,
                      static_cast<uint64_t>(index.size()) * sizeof(float));
 }
 
+void AppendHnsw(const ann::HnswIndex& index, IndexMeta* meta,
+                SnapshotWriter* writer) {
+  meta->backend = static_cast<uint32_t>(BackendKind::kHnsw);
+  meta->dim = index.dim();
+  meta->count = index.size();
+  meta->seed = index.options().seed;
+
+  HnswMeta hnsw;
+  hnsw.m = index.options().m;
+  hnsw.ef_construction = index.options().ef_construction;
+  hnsw.ef_search = index.options().ef_search;
+  hnsw.entry_point = index.entry_point();
+  hnsw.max_level = index.max_level();
+  hnsw.num_lists = index.num_lists();
+  hnsw.total_links = index.total_links();
+  hnsw.seed = index.options().seed;
+  std::vector<uint8_t> meta_blob(sizeof(HnswMeta));
+  std::memcpy(meta_blob.data(), &hnsw, sizeof(HnswMeta));
+  writer->AddOwnedSection(SectionId::kHnswMeta, std::move(meta_blob));
+
+  // Vectors, levels and list starts are contiguous in the index already
+  // (owned or borrowed) — borrowed-pointer sections. The adjacency is
+  // compacted from fixed-capacity build slabs into CSR form here: saving
+  // is not the hot path, loading then maps it back zero-copy.
+  writer->AddSection(SectionId::kFlatVectors, index.vectors_data(),
+                     static_cast<uint64_t>(index.size()) * index.dim() *
+                         sizeof(float));
+  writer->AddSection(SectionId::kHnswLevels, index.levels_data(),
+                     static_cast<uint64_t>(index.size()) * sizeof(int32_t));
+  writer->AddSection(SectionId::kHnswListStarts, index.list_starts_data(),
+                     static_cast<uint64_t>(index.size()) * sizeof(uint64_t));
+
+  std::vector<uint64_t> offsets;
+  std::vector<int32_t> links;
+  index.ExportCsr(&offsets, &links);
+  std::vector<uint8_t> offsets_blob(offsets.size() * sizeof(uint64_t));
+  std::memcpy(offsets_blob.data(), offsets.data(), offsets_blob.size());
+  std::vector<uint8_t> links_blob(links.size() * sizeof(int32_t));
+  std::memcpy(links_blob.data(), links.data(), links_blob.size());
+  writer->AddOwnedSection(SectionId::kHnswOffsets, std::move(offsets_blob));
+  writer->AddOwnedSection(SectionId::kHnswLinks, std::move(links_blob));
+}
+
 Result<ann::FlatIndex> LoadFlat(const IndexMeta& meta,
                                 const SnapshotReader& reader) {
   EL_ASSIGN_OR_RETURN(
@@ -238,6 +281,67 @@ Result<ann::Sq8Index> LoadSq8(const IndexMeta& meta,
       meta.count == 0 ? nullptr : SectionArray<float>(norms), meta.count);
 }
 
+Result<HnswMeta> ReadHnswMeta(const SnapshotReader& reader) {
+  EL_ASSIGN_OR_RETURN(const Section section,
+                      reader.Require(SectionId::kHnswMeta,
+                                     sizeof(HnswMeta)));
+  HnswMeta hnsw;
+  std::memcpy(&hnsw, section.data, sizeof(HnswMeta));
+  if (hnsw.m <= 1) return BadMeta("has invalid HNSW m");
+  if (hnsw.num_lists < 0 || hnsw.total_links < 0) {
+    return BadMeta("has negative HNSW graph counts");
+  }
+  if (hnsw.ef_construction <= 0 || hnsw.ef_search <= 0) {
+    return BadMeta("has non-positive HNSW beam widths");
+  }
+  return hnsw;
+}
+
+Result<ann::HnswIndex> LoadHnsw(const IndexMeta& meta,
+                                const SnapshotReader& reader) {
+  EL_ASSIGN_OR_RETURN(const HnswMeta hnsw, ReadHnswMeta(reader));
+  if (meta.count > 0 && hnsw.num_lists < meta.count) {
+    return BadMeta("has fewer HNSW lists than nodes");
+  }
+  EL_ASSIGN_OR_RETURN(
+      const Section vectors,
+      reader.Require(SectionId::kFlatVectors,
+                     static_cast<uint64_t>(meta.count) * meta.dim *
+                         sizeof(float)));
+  EL_ASSIGN_OR_RETURN(
+      const Section levels,
+      reader.Require(SectionId::kHnswLevels,
+                     static_cast<uint64_t>(meta.count) * sizeof(int32_t)));
+  EL_ASSIGN_OR_RETURN(
+      const Section list_starts,
+      reader.Require(SectionId::kHnswListStarts,
+                     static_cast<uint64_t>(meta.count) * sizeof(uint64_t)));
+  EL_ASSIGN_OR_RETURN(
+      const Section offsets,
+      reader.Require(SectionId::kHnswOffsets,
+                     static_cast<uint64_t>(hnsw.num_lists + 1) *
+                         sizeof(uint64_t)));
+  EL_ASSIGN_OR_RETURN(
+      const Section links,
+      reader.Require(SectionId::kHnswLinks,
+                     static_cast<uint64_t>(hnsw.total_links) *
+                         sizeof(int32_t)));
+  ann::HnswIndex::Options options;
+  options.m = hnsw.m;
+  options.ef_construction = hnsw.ef_construction;
+  options.ef_search = hnsw.ef_search;
+  options.seed = hnsw.seed;
+  return ann::HnswIndex::FromBorrowed(
+      meta.dim, options,
+      meta.count == 0 ? nullptr : SectionArray<float>(vectors),
+      meta.count == 0 ? nullptr : SectionArray<int32_t>(levels),
+      meta.count == 0 ? nullptr : SectionArray<uint64_t>(list_starts),
+      meta.count == 0 ? nullptr : SectionArray<uint64_t>(offsets),
+      hnsw.total_links == 0 ? nullptr : SectionArray<int32_t>(links),
+      meta.count, hnsw.entry_point, static_cast<int32_t>(hnsw.max_level),
+      hnsw.num_lists, hnsw.total_links);
+}
+
 Result<IndexMeta> ReadIndexMeta(const SnapshotReader& reader) {
   EL_ASSIGN_OR_RETURN(const Section section,
                       reader.Require(SectionId::kIndexMeta,
@@ -250,6 +354,7 @@ Result<IndexMeta> ReadIndexMeta(const SnapshotReader& reader) {
     case BackendKind::kIvfFlat:
     case BackendKind::kIvfPq:
     case BackendKind::kSq8:
+    case BackendKind::kHnsw:
       break;
     default:
       return BadMeta("names unknown backend " + std::to_string(meta.backend));

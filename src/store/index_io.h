@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "ann/flat_index.h"
+#include "ann/hnsw_index.h"
 #include "ann/ivf_index.h"
 #include "ann/pq_index.h"
 #include "ann/sq8_index.h"
@@ -22,6 +23,7 @@ enum class BackendKind : uint32_t {
   kIvfFlat = 3,
   kIvfPq = 4,
   kSq8 = 5,
+  kHnsw = 6,
 };
 
 /// The kIndexMeta section: fixed-size POD describing every other section.
@@ -51,6 +53,23 @@ struct IndexMeta {
 };
 static_assert(sizeof(IndexMeta) == 128, "IndexMeta must be 128 bytes");
 
+/// The kHnswMeta section: graph geometry and build parameters for the
+/// HNSW backend (IndexMeta's reserved tail is too small for these, and a
+/// dedicated section lets snapshot-info print graph stats without loading
+/// the index). Reserved-padded like IndexMeta for additive evolution.
+struct HnswMeta {
+  int64_t m = 0;                ///< Per-layer neighbor cap (layer 0: 2m).
+  int64_t ef_construction = 0;  ///< Build-time beam width.
+  int64_t ef_search = 0;        ///< Default query beam width.
+  int64_t entry_point = -1;     ///< Top-layer entry node id.
+  int64_t max_level = -1;       ///< Highest populated layer.
+  int64_t num_lists = 0;        ///< Adjacency lists (sum of levels[i] + 1).
+  int64_t total_links = 0;      ///< Stored neighbor links across all lists.
+  uint64_t seed = 0;            ///< Level-generator seed (reproducibility).
+  uint8_t reserved[32] = {};
+};
+static_assert(sizeof(HnswMeta) == 96, "HnswMeta must be 96 bytes");
+
 /// Registers the sections of one ANN backend with `writer` and fills the
 /// matching `meta` fields. Borrowed-pointer sections reference the index's
 /// own storage: the index must stay alive until WriteToFile.
@@ -62,6 +81,8 @@ void AppendIvf(const ann::IvfIndex& index, IndexMeta* meta,
                SnapshotWriter* writer);
 void AppendSq8(const ann::Sq8Index& index, IndexMeta* meta,
                SnapshotWriter* writer);
+void AppendHnsw(const ann::HnswIndex& index, IndexMeta* meta,
+                SnapshotWriter* writer);
 
 /// Reconstructs a backend in borrowed-storage mode: payload arrays are
 /// served directly out of the reader's mapping (zero-copy; only small
@@ -75,6 +96,12 @@ Result<ann::IvfIndex> LoadIvf(const IndexMeta& meta,
                               const SnapshotReader& reader);
 Result<ann::Sq8Index> LoadSq8(const IndexMeta& meta,
                               const SnapshotReader& reader);
+Result<ann::HnswIndex> LoadHnsw(const IndexMeta& meta,
+                                const SnapshotReader& reader);
+
+/// Reads and validates the kHnswMeta section (also used by snapshot-info
+/// to print graph stats without constructing the index).
+Result<HnswMeta> ReadHnswMeta(const SnapshotReader& reader);
 
 /// Reads and structurally validates the kIndexMeta section.
 Result<IndexMeta> ReadIndexMeta(const SnapshotReader& reader);

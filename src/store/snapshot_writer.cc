@@ -145,6 +145,11 @@ const char* SectionName(SectionId id) {
     case SectionId::kSq8Params: return "sq8-params";
     case SectionId::kSq8Codes: return "sq8-codes";
     case SectionId::kSq8RowNorms: return "sq8-row-norms";
+    case SectionId::kHnswMeta: return "hnsw-meta";
+    case SectionId::kHnswLevels: return "hnsw-levels";
+    case SectionId::kHnswListStarts: return "hnsw-list-starts";
+    case SectionId::kHnswOffsets: return "hnsw-offsets";
+    case SectionId::kHnswLinks: return "hnsw-links";
   }
   return "unknown";
 }

@@ -1,10 +1,12 @@
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "ann/flat_index.h"
+#include "ann/hnsw_index.h"
 #include "ann/kmeans.h"
 #include "ann/lsh_index.h"
 #include "ann/pca.h"
@@ -428,6 +430,175 @@ TEST(PcaTest, RejectsBadArgs) {
   Pca pca;
   EXPECT_FALSE(pca.Fit(data.data(), 1, 2, 1).ok());
   EXPECT_FALSE(pca.Fit(data.data(), 2, 1, 2).ok());
+}
+
+// --- HNSW --------------------------------------------------------------------
+
+TEST(HnswIndexTest, HighRecallAgainstFlatGroundTruth) {
+  // Queries come from the same blob distribution as the catalog (one
+  // MakeBlobs draw, then split) — the KG lookup setting, where a query
+  // embedding lands near some indexed entity.
+  Rng rng(41);
+  const int64_t n = 4000, dim = 32, queries = 300;
+  const auto all = MakeBlobs(n + queries, dim, 25, &rng, nullptr);
+  FlatIndex flat(dim);
+  flat.Add(all.data(), n);
+  HnswIndex hnsw(dim, {});
+  ASSERT_TRUE(hnsw.Add(all.data(), n).ok());
+  EXPECT_EQ(hnsw.size(), n);
+
+  const float* probes = all.data() + n * dim;
+  int hits = 0;
+  for (int64_t i = 0; i < queries; ++i) {
+    const auto truth = flat.Search(probes + i * dim, 1);
+    const auto got = hnsw.Search(probes + i * dim, 1);
+    ASSERT_EQ(got.size(), 1u);
+    if (got[0].id == truth[0].id) ++hits;
+  }
+  EXPECT_GE(static_cast<double>(hits) / queries, 0.95);
+}
+
+TEST(HnswIndexTest, DeterministicBuildWithFixedSeed) {
+  Rng rng(42);
+  const int64_t n = 1200, dim = 16;
+  const auto data = MakeBlobs(n, dim, 10, &rng, nullptr);
+  HnswIndex::Options options;
+  options.seed = 77;
+  HnswIndex a(dim, options), b(dim, options);
+  ASSERT_TRUE(a.Add(data.data(), n).ok());
+  ASSERT_TRUE(b.Add(data.data(), n).ok());
+
+  // Identical graphs: same entry point, levels, and adjacency bytes.
+  EXPECT_EQ(a.entry_point(), b.entry_point());
+  EXPECT_EQ(a.max_level(), b.max_level());
+  std::vector<uint64_t> offsets_a, offsets_b;
+  std::vector<int32_t> links_a, links_b;
+  a.ExportCsr(&offsets_a, &links_a);
+  b.ExportCsr(&offsets_b, &links_b);
+  EXPECT_EQ(offsets_a, offsets_b);
+  EXPECT_EQ(links_a, links_b);
+
+  // And identical search behavior.
+  std::vector<float> query(dim);
+  for (auto& v : query) v = rng.UniformFloat(-10, 10);
+  const auto ra = a.Search(query.data(), 10);
+  const auto rb = b.Search(query.data(), 10);
+  ASSERT_EQ(ra.size(), rb.size());
+  for (size_t i = 0; i < ra.size(); ++i) EXPECT_EQ(ra[i].id, rb[i].id);
+}
+
+TEST(HnswIndexTest, EmptyIndexReturnsNothing) {
+  HnswIndex index(8, {});
+  std::vector<float> query(8, 0.0f);
+  EXPECT_TRUE(index.Search(query.data(), 5).empty());
+  EXPECT_EQ(index.size(), 0);
+  const auto lists = index.BatchSearch(query.data(), 1, 5);
+  ASSERT_EQ(lists.size(), 1u);
+  EXPECT_TRUE(lists[0].empty());
+}
+
+TEST(HnswIndexTest, SingleElement) {
+  std::vector<float> v = {1.0f, 2.0f, 3.0f, 4.0f};
+  HnswIndex index(4, {});
+  ASSERT_TRUE(index.Add(v.data(), 1).ok());
+  const auto got = index.Search(v.data(), 5);  // k clamps to size.
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].id, 0);
+  EXPECT_FLOAT_EQ(got[0].dist, 0.0f);
+}
+
+TEST(HnswIndexTest, DuplicateVectorsAllReachable) {
+  // 50 copies of one point + distinct others: the diversity heuristic must
+  // not disconnect the duplicates, and ranks stay (dist, id)-ordered.
+  const int64_t dim = 8, dups = 50, n = 100;
+  std::vector<float> data(n * dim, 0.0f);
+  Rng rng(43);
+  for (int64_t i = dups; i < n; ++i) {
+    for (int64_t d = 0; d < dim; ++d) {
+      data[i * dim + d] = rng.UniformFloat(1.0f, 5.0f);
+    }
+  }
+  HnswIndex index(dim, {});
+  ASSERT_TRUE(index.Add(data.data(), n).ok());
+  std::vector<float> query(dim, 0.0f);
+  const auto got = index.SearchEf(query.data(), 10, 128);
+  ASSERT_EQ(got.size(), 10u);
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_FLOAT_EQ(got[i].dist, 0.0f);
+    EXPECT_EQ(got[i].id, static_cast<int64_t>(i));  // Tie-break by id.
+  }
+}
+
+TEST(HnswIndexTest, BatchMatchesSingleWithAndWithoutPool) {
+  Rng rng(44);
+  const int64_t n = 800, dim = 12, num_queries = 24;
+  const auto data = MakeBlobs(n, dim, 6, &rng, nullptr);
+  HnswIndex index(dim, {});
+  ASSERT_TRUE(index.Add(data.data(), n).ok());
+  const auto queries = MakeBlobs(num_queries, dim, 6, &rng, nullptr);
+
+  ThreadPool pool(4);
+  const auto serial = index.BatchSearch(queries.data(), num_queries, 5);
+  const auto parallel =
+      index.BatchSearch(queries.data(), num_queries, 5, &pool);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (int64_t i = 0; i < num_queries; ++i) {
+    const auto single = index.Search(queries.data() + i * dim, 5);
+    ASSERT_EQ(serial[i].size(), single.size());
+    for (size_t j = 0; j < single.size(); ++j) {
+      EXPECT_EQ(serial[i][j].id, single[j].id);
+      EXPECT_EQ(parallel[i][j].id, single[j].id);
+    }
+  }
+}
+
+TEST(HnswIndexTest, BorrowedMatchesOwnedAndRejectsAdd) {
+  Rng rng(45);
+  const int64_t n = 600, dim = 16;
+  const auto data = MakeBlobs(n, dim, 8, &rng, nullptr);
+  HnswIndex owned(dim, {});
+  ASSERT_TRUE(owned.Add(data.data(), n).ok());
+
+  std::vector<uint64_t> offsets;
+  std::vector<int32_t> links;
+  owned.ExportCsr(&offsets, &links);
+  auto borrowed = HnswIndex::FromBorrowed(
+      dim, owned.options(), owned.vectors_data(), owned.levels_data(),
+      owned.list_starts_data(), offsets.data(), links.data(), n,
+      owned.entry_point(), owned.max_level(), owned.num_lists(),
+      owned.total_links());
+  ASSERT_TRUE(borrowed.ok()) << borrowed.status().ToString();
+  EXPECT_TRUE(borrowed.value().borrowed());
+
+  const auto queries = MakeBlobs(20, dim, 8, &rng, nullptr);
+  for (int64_t i = 0; i < 20; ++i) {
+    const auto a = owned.Search(queries.data() + i * dim, 7);
+    const auto b = borrowed.value().Search(queries.data() + i * dim, 7);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t j = 0; j < a.size(); ++j) EXPECT_EQ(a[j].id, b[j].id);
+  }
+
+  const Status add = borrowed.value().Add(data.data(), 1);
+  EXPECT_EQ(add.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(HnswIndexTest, ConcurrentSearchIsSafe) {
+  // Read-only searches from many threads share the visited-list pool; run
+  // under TSan in CI (concurrency stage) to pin data-race freedom.
+  Rng rng(46);
+  const int64_t n = 1000, dim = 16;
+  const auto data = MakeBlobs(n, dim, 8, &rng, nullptr);
+  HnswIndex index(dim, {});
+  ASSERT_TRUE(index.Add(data.data(), n).ok());
+  const auto queries = MakeBlobs(64, dim, 8, &rng, nullptr);
+
+  ThreadPool pool(8);
+  std::atomic<int> bad{0};
+  pool.ParallelFor(256, [&](size_t i) {
+    const auto got = index.Search(queries.data() + (i % 64) * dim, 5);
+    if (got.size() != 5u) bad.fetch_add(1);
+  });
+  EXPECT_EQ(bad.load(), 0);
 }
 
 // --- LSH -----------------------------------------------------------------------

@@ -1,6 +1,6 @@
 // Tests for the src/store snapshot subsystem: container round trips,
 // corruption robustness (every damaged input must surface as a Status,
-// never a crash), zero-copy index loading equivalence across all four ANN
+// never a crash), zero-copy index loading equivalence across the ANN
 // backends, SIMD-vs-scalar parity over mmap'd payloads, and the
 // EmbLookup / LookupServer wiring.
 
@@ -17,6 +17,7 @@
 #include <gtest/gtest.h>
 
 #include "ann/flat_index.h"
+#include "ann/hnsw_index.h"
 #include "ann/ivf_index.h"
 #include "ann/kernels.h"
 #include "ann/pq_index.h"
@@ -505,6 +506,172 @@ TEST(IndexIoTest, IvfFlatRoundTripIsBitIdentical) {
 
 TEST(IndexIoTest, IvfPqRoundTripIsBitIdentical) {
   TestIvfRoundTrip(ann::IvfIndex::Storage::kPq, "ivf_pq.snap");
+}
+
+ann::HnswIndex BuildSmallHnsw(const std::vector<float>& data, int64_t dim,
+                              int64_t n) {
+  ann::HnswIndex::Options options;
+  options.m = 8;
+  options.ef_construction = 60;
+  options.ef_search = 40;
+  options.seed = 4242;
+  ann::HnswIndex index(dim, options);
+  EXPECT_TRUE(index.Add(data.data(), n).ok());
+  return index;
+}
+
+TEST(IndexIoTest, HnswRoundTripIsBitIdenticalAndZeroCopy) {
+  constexpr int64_t kDim = 16, kN = 500;
+  const auto data = RandomVectors(kN, kDim, 15);
+  ann::HnswIndex index = BuildSmallHnsw(data, kDim, kN);
+
+  auto reader = RoundTrip("hnsw.snap", [&](store::IndexMeta* meta,
+                                           store::SnapshotWriter* writer) {
+    store::AppendHnsw(index, meta, writer);
+  });
+  auto meta = store::ReadIndexMeta(*reader);
+  ASSERT_TRUE(meta.ok());
+  EXPECT_EQ(meta.value().backend,
+            static_cast<uint32_t>(store::BackendKind::kHnsw));
+  auto loaded = store::LoadHnsw(meta.value(), *reader);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ann::HnswIndex& hnsw = loaded.value();
+
+  // Zero-copy: the vector payload and per-node graph metadata must point
+  // INTO the mapping (no per-node allocations on the borrowed path).
+  EXPECT_TRUE(hnsw.borrowed());
+  EXPECT_EQ(hnsw.size(), kN);
+  EXPECT_EQ(hnsw.entry_point(), index.entry_point());
+  EXPECT_EQ(hnsw.max_level(), index.max_level());
+  const store::Section* vectors = reader->Find(store::SectionId::kFlatVectors);
+  ASSERT_NE(vectors, nullptr);
+  EXPECT_EQ(reinterpret_cast<const uint8_t*>(hnsw.vectors_data()),
+            vectors->data);
+  const store::Section* levels = reader->Find(store::SectionId::kHnswLevels);
+  ASSERT_NE(levels, nullptr);
+  EXPECT_EQ(reinterpret_cast<const uint8_t*>(hnsw.levels_data()),
+            levels->data);
+  const store::Section* starts =
+      reader->Find(store::SectionId::kHnswListStarts);
+  ASSERT_NE(starts, nullptr);
+  EXPECT_EQ(reinterpret_cast<const uint8_t*>(hnsw.list_starts_data()),
+            starts->data);
+
+  // The borrowed graph must reproduce the owned index's searches exactly
+  // (same adjacency, same kernels, same tie-breaks).
+  const auto queries = RandomVectors(8, kDim, 16);
+  for (int64_t q = 0; q < 8; ++q) {
+    ExpectSameNeighbors(hnsw.Search(queries.data() + q * kDim, 10),
+                        index.Search(queries.data() + q * kDim, 10));
+  }
+  auto batch_got = hnsw.BatchSearch(queries.data(), 8, 10);
+  auto batch_want = index.BatchSearch(queries.data(), 8, 10);
+  for (size_t q = 0; q < 8; ++q) {
+    ExpectSameNeighbors(batch_got[q], batch_want[q]);
+  }
+
+  // A borrowed graph is immutable: Add fails as Status, not a crash.
+  EXPECT_EQ(hnsw.Add(data.data(), 1).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(IndexIoTest, HnswCorruptedSnapshotSurfacesAsStatus) {
+  constexpr int64_t kDim = 8, kN = 120;
+  const auto data = RandomVectors(kN, kDim, 17);
+  ann::HnswIndex index = BuildSmallHnsw(data, kDim, kN);
+
+  store::SnapshotWriter writer;
+  store::IndexMeta meta;
+  store::AppendHnsw(index, &meta, &writer);
+  writer.AddSection(store::SectionId::kIndexMeta, &meta, sizeof(meta));
+  const std::string path = TempPath("hnsw_corrupt_src.snap");
+  ASSERT_TRUE(writer.WriteToFile(path).ok());
+  const std::vector<uint8_t> bytes = ReadFileBytes(path);
+
+  // Truncation anywhere in the file (graph payloads included) is a Status.
+  for (const size_t cut : {bytes.size() / 2, bytes.size() - 1}) {
+    const std::string trunc = TempPath("hnsw_truncated.snap");
+    WriteFileBytes(trunc, std::vector<uint8_t>(bytes.begin(),
+                                               bytes.begin() + cut));
+    EXPECT_FALSE(store::SnapshotReader::Open(trunc).ok()) << "cut " << cut;
+  }
+
+  // A bit flip in the adjacency payload (the last-written sections hold
+  // the CSR offsets/links) is caught by the per-section checksum.
+  std::vector<uint8_t> flipped = bytes;
+  flipped[flipped.size() - 40] ^= 0x04;
+  const std::string flip_path = TempPath("hnsw_bitflip.snap");
+  WriteFileBytes(flip_path, flipped);
+  EXPECT_FALSE(store::SnapshotReader::Open(flip_path).ok());
+}
+
+TEST(IndexIoTest, HnswNonsenseMetaIsRejectedNotTrusted) {
+  // CRC-valid but geometrically nonsensical metadata must come back as a
+  // Status from the structural validation, never an out-of-bounds read
+  // (this suite runs under ASan in CI). Each case writes a well-formed
+  // container whose kHnswMeta payload lies about the graph.
+  store::HnswMeta bad[4];
+  bad[0].m = 1;                    // Degenerate graph degree.
+  bad[1].m = 8;                    // Negative link count.
+  bad[1].ef_construction = 60;
+  bad[1].ef_search = 40;
+  bad[1].total_links = -5;
+  bad[2].m = 8;                    // ef_construction must be positive.
+  bad[2].ef_construction = 0;
+  bad[2].ef_search = 40;
+  bad[3].m = 8;                    // Fewer adjacency lists than nodes.
+  bad[3].ef_construction = 60;
+  bad[3].ef_search = 40;
+  bad[3].num_lists = 3;
+
+  for (size_t i = 0; i < 4; ++i) {
+    store::SnapshotWriter writer;
+    store::IndexMeta meta;
+    meta.backend = static_cast<uint32_t>(store::BackendKind::kHnsw);
+    meta.dim = 8;
+    meta.count = 10;
+    writer.AddSection(store::SectionId::kIndexMeta, &meta, sizeof(meta));
+    writer.AddSection(store::SectionId::kHnswMeta, &bad[i], sizeof(bad[i]));
+    const std::string path = TempPath("hnsw_badmeta.snap");
+    ASSERT_TRUE(writer.WriteToFile(path).ok());
+    auto opened = store::SnapshotReader::Open(path);
+    ASSERT_TRUE(opened.ok());
+    auto index_meta = store::ReadIndexMeta(*opened.value());
+    ASSERT_TRUE(index_meta.ok());
+    auto loaded = store::LoadHnsw(index_meta.value(), *opened.value());
+    EXPECT_FALSE(loaded.ok()) << "bad case " << i;
+  }
+}
+
+TEST(IndexIoTest, HnswBorrowedGeometryIsValidatedUpFront) {
+  // FromBorrowed must reject out-of-range entry points and corrupt CSR
+  // geometry before any search can chase a wild pointer.
+  constexpr int64_t kDim = 8, kN = 60;
+  const auto data = RandomVectors(kN, kDim, 18);
+  ann::HnswIndex index = BuildSmallHnsw(data, kDim, kN);
+  std::vector<uint64_t> offsets;
+  std::vector<int32_t> links;
+  index.ExportCsr(&offsets, &links);
+  ann::HnswIndex::Options options;
+  options.m = 8;
+
+  auto borrow = [&](int64_t entry_point, const std::vector<uint64_t>& offs) {
+    return ann::HnswIndex::FromBorrowed(
+        kDim, options, index.vectors_data(), index.levels_data(),
+        index.list_starts_data(), offs.data(), links.data(), kN, entry_point,
+        index.max_level(), index.num_lists(),
+        static_cast<int64_t>(links.size()));
+  };
+
+  ASSERT_TRUE(borrow(index.entry_point(), offsets).ok());
+  EXPECT_FALSE(borrow(kN + 7, offsets).ok());  // Entry point out of range.
+
+  std::vector<uint64_t> non_monotone = offsets;
+  non_monotone[1] = offsets.back();  // Guaranteed > offsets[2] here.
+  EXPECT_FALSE(borrow(index.entry_point(), non_monotone).ok());
+
+  std::vector<uint64_t> overrun = offsets;
+  overrun.back() += 1;  // Points one past the links payload.
+  EXPECT_FALSE(borrow(index.entry_point(), overrun).ok());
 }
 
 // --- EmbLookup / serve wiring ------------------------------------------------

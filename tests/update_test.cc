@@ -521,6 +521,44 @@ TEST(UpdaterTest, Sq8BackendSupportsDeltaOverlayAndCompaction) {
   }
 }
 
+TEST(UpdaterTest, HnswBackendSupportsDeltaOverlayAndCompaction) {
+  // The HNSW graph index cannot absorb inserts into a borrowed/serving
+  // structure, so it leans on the same delta-overlay path: new entities
+  // come from the flat delta, tombstones mask graph hits, and Compact()
+  // rebuilds the graph over the surviving catalog.
+  kg::KnowledgeGraph graph = BaseKg();
+  core::EmbLookupOptions options = FastOptions(/*index_aliases=*/false);
+  options.index.kind = core::IndexKind::kHnsw;
+  options.index.hnsw_ef_search = 120;  // Tiny KG: search near-exactly.
+  auto loaded = core::EmbLookup::LoadFromKg(graph, options, ModelPath());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  auto el = std::move(loaded).value();
+  EXPECT_EQ(el->index().kind(), core::IndexKind::kHnsw);
+  EXPECT_FALSE(el->index().compressed());  // HNSW stores raw floats.
+  auto up = OpenUpdater(el.get(), &graph,
+                        ForegroundOptions(FreshWal("upd_hnsw.wal")));
+
+  auto id = up->AddEntity("zyqqian polymerase", "Q99901", {});
+  ASSERT_TRUE(id.ok()) << id.status().ToString();
+  auto by_label = el->Lookup("zyqqian polymerase", 3);
+  ASSERT_FALSE(by_label.empty());
+  EXPECT_EQ(by_label[0].entity, id.value());
+
+  ASSERT_TRUE(up->RemoveEntity(5).ok());
+  for (const auto& hit : el->Lookup(graph.entity(5).label, 10)) {
+    EXPECT_NE(hit.entity, 5);
+  }
+
+  ASSERT_TRUE(up->Compact().ok());
+  EXPECT_EQ(up->stats().delta_rows, 0);
+  auto after = el->Lookup("zyqqian polymerase", 3);
+  ASSERT_FALSE(after.empty());
+  EXPECT_EQ(after[0].entity, id.value());
+  for (const auto& hit : el->Lookup(graph.entity(5).label, 10)) {
+    EXPECT_NE(hit.entity, 5);
+  }
+}
+
 void RunEquivalenceTest(bool index_aliases, uint64_t seed) {
   kg::KnowledgeGraph graph = BaseKg();
   auto el = MakeInstance(graph, index_aliases);

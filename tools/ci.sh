@@ -11,16 +11,18 @@
 #      never auto-selected;
 #   3. ASan pass over the concurrency-heavy suites (common_test +
 #      serve_test), the kernel property tests, the index suites
-#      (ann_test incl. SQ8 quantization, store_test), and
+#      (ann_test incl. SQ8 quantization and the HNSW graph
+#      recall/determinism/corruption suite, store_test), and
 #      update_test (snapshot/WAL corruption handling must fail with
 #      Status, never with UB);
-#   4. TSan pass over the lock-sensitive suites — serve_test plus the
-#      update subsystem's mutate-while-lookup stress test — pinning the
-#      RCU publish / epoch-invalidation paths data-race-free;
+#   4. TSan pass over the lock-sensitive suites — serve_test, the
+#      update subsystem's mutate-while-lookup stress test, and HNSW
+#      search under concurrent lookups (the shared visited-set pool) —
+#      pinning the RCU publish / epoch-invalidation paths data-race-free;
 #   5. snapshot round trip through the CLI — build-snapshot ->
-#      snapshot-info -> serve --snapshot on a tiny synthetic KG for both
-#      the pq and sq8 backends, proving the on-disk container end to end
-#      (DESIGN.md §7);
+#      snapshot-info -> serve --snapshot on a tiny synthetic KG for the
+#      pq, sq8 and hnsw backends (plus one verified hnsw lookup),
+#      proving the on-disk container end to end (DESIGN.md §7);
 #   6. loopback remote serving end to end — serve --port on an ephemeral
 #      port, remote-bench against it over the binary wire protocol
 #      (DESIGN.md §10): --verify-local 1 asserts remote results are
@@ -75,7 +77,8 @@ cmake --build build-asan -j "$JOBS" --target common_test serve_test \
 ./build-asan/tests/common_test
 ./build-asan/tests/serve_test
 ./build-asan/tests/kernels_test
-# SQ8 train/encode/asymmetric-scan plus the PQ/IVF suites under ASan.
+# SQ8 train/encode/asymmetric-scan, the PQ/IVF suites, and the HNSW
+# graph build/search/borrowed-geometry paths under ASan.
 ./build-asan/tests/ann_test
 ./build-asan/tests/store_test
 ./build-asan/tests/update_test
@@ -87,14 +90,17 @@ cmake --build build-asan -j "$JOBS" --target common_test serve_test \
 # replay paths: replication corruption must surface as Status, never UB.
 ./build-asan/tests/cluster_test
 
-echo "== tsan: serve_test + update concurrency stress + obs spans + net front end =="
+echo "== tsan: serve_test + update concurrency stress + obs spans + net front end + hnsw concurrent search =="
 cmake -B build-tsan -S . -DEMBLOOKUP_NATIVE_ARCH=OFF \
   -DEMBLOOKUP_SANITIZE=thread
 cmake --build build-tsan -j "$JOBS" --target serve_test update_test obs_test \
-  net_test
+  net_test ann_test
 ./build-tsan/tests/serve_test
 ./build-tsan/tests/update_test --gtest_filter='ConcurrencyTest.*'
 ./build-tsan/tests/obs_test
+# Parallel HNSW searches share the visited-set pool and the global
+# search-effort histograms; both must be race-free.
+./build-tsan/tests/ann_test --gtest_filter='HnswIndexTest.*'
 # Event loops, completion inbox handoff, and Stop drain under TSan.
 ./build-tsan/tests/net_test
 
@@ -118,6 +124,25 @@ CLI=build-ci/tools/emblookup_cli
 "$CLI" snapshot-info "$SNAPDIR/snap-sq8.bin"
 "$CLI" serve --kg "$SNAPDIR/kg.tsv" --snapshot "$SNAPDIR/snap-sq8.bin" \
   --clients 2 --requests 100 --epochs 2 --triplets 4
+# HNSW round trip: the five graph sections (hnsw-meta / hnsw-levels /
+# hnsw-list-starts / hnsw-offsets / hnsw-links) must survive the
+# container, snapshot-info must read the graph stats back, and the
+# mmap'd graph must serve zero-copy.
+"$CLI" build-snapshot --kg "$SNAPDIR/kg.tsv" --model "$SNAPDIR/model.bin" \
+  --out "$SNAPDIR/snap-hnsw.bin" --kind hnsw --hnsw-m 8 \
+  --hnsw-ef-search 80 --epochs 2 --triplets 4
+"$CLI" snapshot-info "$SNAPDIR/snap-hnsw.bin" | tee "$SNAPDIR/hnsw-info.txt"
+grep -q "index: hnsw, " "$SNAPDIR/hnsw-info.txt"
+grep -q "hnsw: m=8, " "$SNAPDIR/hnsw-info.txt"
+"$CLI" serve --kg "$SNAPDIR/kg.tsv" --snapshot "$SNAPDIR/snap-hnsw.bin" \
+  --clients 2 --requests 100 --epochs 2 --triplets 4
+# One verified lookup through the graph: querying an entity's own label
+# must surface that label in the top hits.
+LABEL="$(awk -F'\t' '/^#entities/{f=1;next}/^#/{f=0} f{print $2; exit}' \
+  "$SNAPDIR/kg.tsv")"
+"$CLI" lookup --kg "$SNAPDIR/kg.tsv" --model "$SNAPDIR/model.bin" \
+  --kind hnsw --query "$LABEL" --k 3 --epochs 2 --triplets 4 \
+  | grep -F "$LABEL"
 
 echo "== e2e loopback: serve --port -> remote-bench over the wire protocol =="
 "$CLI" serve --kg "$SNAPDIR/kg.tsv" --model "$SNAPDIR/model.bin" \

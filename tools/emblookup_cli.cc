@@ -34,8 +34,9 @@
 //                             [--wal wal.log] [--requests 200] [--k 10]
 //   emblookup_cli build-snapshot --kg kg.tsv --model model.bin
 //                             --out snap.bin
-//                             [--kind flat|pq|ivfflat|ivfpq|sq8]
-//                             [--aliases 0|1]
+//                             [--kind flat|pq|ivfflat|ivfpq|sq8|hnsw]
+//                             [--aliases 0|1] [--hnsw-m M]
+//                             [--hnsw-ef-construction C] [--hnsw-ef-search S]
 //   emblookup_cli snapshot-info snap.bin
 //   emblookup_cli kernel-info
 //   emblookup_cli add-entity  --kg kg.tsv --model model.bin --wal wal.log
@@ -105,10 +106,12 @@
 // be exercised end to end.
 //
 // Every command that builds an index accepts --kind (synonym: --index) to
-// pick the ANN backend; `kernel-info` reports which SIMD kernel tiers this
-// build/CPU supports and which one dispatch selected (honors the
-// EMBLOOKUP_KERNELS override) — CI uses it to skip unavailable forced
-// tiers instead of failing.
+// pick the ANN backend; the HNSW graph parameters ride along as --hnsw-m /
+// --hnsw-ef-construction / --hnsw-ef-search. `kernel-info` reports which
+// SIMD kernel tiers this build/CPU supports, which one dispatch selected
+// (honors the EMBLOOKUP_KERNELS override) and which index backends are
+// available — CI uses it to skip unavailable forced tiers instead of
+// failing.
 
 #include <algorithm>
 #include <atomic>
@@ -218,7 +221,9 @@ int Usage() {
       "  emblookup_cli metrics-dump --kg kg.tsv --model model.bin"
       " [--wal W] [--requests N] [--k K]\n"
       "  emblookup_cli build-snapshot --kg kg.tsv --model model.bin"
-      " --out snap.bin [--kind flat|pq|ivfflat|ivfpq|sq8] [--aliases 0|1]\n"
+      " --out snap.bin [--kind flat|pq|ivfflat|ivfpq|sq8|hnsw]"
+      " [--aliases 0|1]\n"
+      "      [--hnsw-m M] [--hnsw-ef-construction C] [--hnsw-ef-search S]\n"
       "  emblookup_cli snapshot-info snap.bin\n"
       "  emblookup_cli kernel-info\n"
       "  emblookup_cli add-entity --kg kg.tsv --model model.bin"
@@ -230,16 +235,50 @@ int Usage() {
   return 2;
 }
 
+/// The single name<->IndexKind table: ParseKind, the unknown-kind error
+/// message and kernel-info's backend report all read it, so a new backend
+/// shows up everywhere by adding one row (the static_assert below trips
+/// when core::IndexKind grows without one).
+struct KindEntry {
+  const char* name;
+  core::IndexKind kind;
+};
+constexpr KindEntry kKindTable[] = {
+    {"auto", core::IndexKind::kAuto},
+    {"flat", core::IndexKind::kFlat},
+    {"pq", core::IndexKind::kPq},
+    {"ivfflat", core::IndexKind::kIvfFlat},
+    {"ivfpq", core::IndexKind::kIvfPq},
+    {"sq8", core::IndexKind::kSq8},
+    {"hnsw", core::IndexKind::kHnsw},
+};
+static_assert(sizeof(kKindTable) / sizeof(kKindTable[0]) ==
+                  static_cast<int>(core::IndexKind::kHnsw) + 1,
+              "kKindTable must name every core::IndexKind");
+
+/// Comma-separated list of every valid --kind value.
+std::string KindList() {
+  std::string out;
+  for (const KindEntry& entry : kKindTable) {
+    if (!out.empty()) out += ", ";
+    out += entry.name;
+  }
+  return out;
+}
+
 /// --kind / --index flag -> IndexKind ("" keeps the config default).
 bool ParseKind(const std::string& name, core::IndexKind* kind) {
-  if (name.empty() || name == "auto") *kind = core::IndexKind::kAuto;
-  else if (name == "flat") *kind = core::IndexKind::kFlat;
-  else if (name == "pq") *kind = core::IndexKind::kPq;
-  else if (name == "ivfflat") *kind = core::IndexKind::kIvfFlat;
-  else if (name == "ivfpq") *kind = core::IndexKind::kIvfPq;
-  else if (name == "sq8") *kind = core::IndexKind::kSq8;
-  else return false;
-  return true;
+  if (name.empty()) {
+    *kind = core::IndexKind::kAuto;
+    return true;
+  }
+  for (const KindEntry& entry : kKindTable) {
+    if (name == entry.name) {
+      *kind = entry.kind;
+      return true;
+    }
+  }
+  return false;
 }
 
 /// snapshot-info: container header + section table + integrity report.
@@ -264,9 +303,10 @@ int SnapshotInfo(const std::string& path) {
   if (meta.ok()) {
     const store::IndexMeta& m = meta.value();
     static const char* kBackendNames[] = {"none",   "flat", "pq",
-                                          "ivf-flat", "ivf-pq", "sq8"};
+                                          "ivf-flat", "ivf-pq", "sq8",
+                                          "hnsw"};
     const char* backend =
-        m.backend < 6 ? kBackendNames[m.backend] : "unknown";
+        m.backend < 7 ? kBackendNames[m.backend] : "unknown";
     std::printf("index: %s, dim=%lld, rows=%lld", backend,
                 static_cast<long long>(m.dim), static_cast<long long>(m.count));
     if (m.backend == static_cast<uint32_t>(store::BackendKind::kSq8)) {
@@ -282,6 +322,29 @@ int SnapshotInfo(const std::string& path) {
       std::printf(", lists=%lld, nprobe=%lld",
                   static_cast<long long>(m.ivf_num_lists),
                   static_cast<long long>(m.ivf_nprobe));
+    }
+    if (m.backend == static_cast<uint32_t>(store::BackendKind::kHnsw)) {
+      auto hnsw = store::ReadHnswMeta(*reader);
+      if (hnsw.ok()) {
+        const store::HnswMeta& h = hnsw.value();
+        // Graph stats: mean layer-0 degree ~= links per node across all
+        // layers is the quickest connectivity health check.
+        const double avg_links =
+            m.count > 0 ? static_cast<double>(h.total_links) / m.count : 0.0;
+        std::printf(
+            ", hnsw: m=%lld, ef-construction=%lld, ef-search=%lld, "
+            "max-level=%lld, entry-point=%lld, lists=%lld, links=%lld "
+            "(%.1f/node)",
+            static_cast<long long>(h.m),
+            static_cast<long long>(h.ef_construction),
+            static_cast<long long>(h.ef_search),
+            static_cast<long long>(h.max_level),
+            static_cast<long long>(h.entry_point),
+            static_cast<long long>(h.num_lists),
+            static_cast<long long>(h.total_links), avg_links);
+      } else {
+        std::printf(", hnsw: <%s>", hnsw.status().ToString().c_str());
+      }
     }
     std::printf("\nentities: %lld, encoder dim: %lld, alias rows: %lld\n",
                 static_cast<long long>(m.num_entities),
@@ -713,6 +776,11 @@ core::EmbLookupOptions MakeOptions(
   options.miner.triplets_per_entity =
       static_cast<int>(FlagInt(flags, "triplets", 24));
   options.trainer.log_every = 2;
+  options.index.hnsw_m = FlagInt(flags, "hnsw-m", options.index.hnsw_m);
+  options.index.hnsw_ef_construction = FlagInt(
+      flags, "hnsw-ef-construction", options.index.hnsw_ef_construction);
+  options.index.hnsw_ef_search =
+      FlagInt(flags, "hnsw-ef-search", options.index.hnsw_ef_search);
   return options;
 }
 
@@ -767,6 +835,14 @@ int main(int argc, char** argv) {
                                                        : "unavailable");
     }
     std::printf("dispatched: %s\n", ann::kernels::Dispatch().name);
+    // Index backends this binary can build and serve — every kind is
+    // compiled in unconditionally, so the list equals the kind table;
+    // printing it per backend keeps the output greppable the same way the
+    // tier lines are ("backend hnsw: available").
+    for (const KindEntry& entry : kKindTable) {
+      if (entry.kind == core::IndexKind::kAuto) continue;
+      std::printf("backend %s: available\n", entry.name);
+    }
     return 0;
   }
 
@@ -845,7 +921,8 @@ int main(int argc, char** argv) {
   const std::string kind_flag =
       FlagStr(flags, "kind", FlagStr(flags, "index"));
   if (!ParseKind(kind_flag, &options.index.kind)) {
-    std::fprintf(stderr, "unknown index kind '%s'\n", kind_flag.c_str());
+    std::fprintf(stderr, "unknown index kind '%s' (valid kinds: %s)\n",
+                 kind_flag.c_str(), KindList().c_str());
     return Usage();
   }
 
