@@ -99,18 +99,31 @@ Result<HnswIndex> HnswIndex::FromBorrowed(
           "HnswIndex::FromBorrowed: bad entry point");
     }
     // Structural validation (reads only, no allocation): the CSR must be
-    // monotone and every node's lists must fit inside it, so a snapshot
-    // that passed its CRC but carries nonsense geometry cannot send the
-    // search loop out of bounds.
+    // monotone, every node's lists must fit inside it, every list must fit
+    // the fixed-degree scratch the search gathers into (2m), and every
+    // stored link must name a real node — so a snapshot that passed its
+    // CRC but carries nonsense geometry cannot send the search loop out of
+    // bounds.
     if (offsets[0] != 0 ||
         offsets[num_lists] != static_cast<uint64_t>(total_links)) {
       return Status::InvalidArgument(
           "HnswIndex::FromBorrowed: CSR offsets do not span the link array");
     }
+    const uint64_t max_degree = static_cast<uint64_t>(2 * options.m);
     for (int64_t l = 0; l < num_lists; ++l) {
       if (offsets[l] > offsets[l + 1]) {
         return Status::InvalidArgument(
             "HnswIndex::FromBorrowed: CSR offsets not monotone");
+      }
+      if (offsets[l + 1] - offsets[l] > max_degree) {
+        return Status::InvalidArgument(
+            "HnswIndex::FromBorrowed: neighbor list exceeds 2m degree cap");
+      }
+    }
+    for (int64_t j = 0; j < total_links; ++j) {
+      if (links[j] < 0 || links[j] >= count) {
+        return Status::InvalidArgument(
+            "HnswIndex::FromBorrowed: link id out of range");
       }
     }
     for (int64_t i = 0; i < count; ++i) {
@@ -120,6 +133,13 @@ Result<HnswIndex> HnswIndex::FromBorrowed(
         return Status::InvalidArgument(
             "HnswIndex::FromBorrowed: node level table out of range");
       }
+    }
+    // The writer always promotes the highest-level node to entry point, so
+    // a mismatch is corruption; honoring it would walk list indices past
+    // the entry node's own lists during descent.
+    if (levels[entry_point] != max_level) {
+      return Status::InvalidArgument(
+          "HnswIndex::FromBorrowed: entry point level below max level");
     }
   }
   HnswIndex index(dim, options);

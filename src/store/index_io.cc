@@ -294,6 +294,15 @@ Result<HnswMeta> ReadHnswMeta(const SnapshotReader& reader) {
   if (hnsw.ef_construction <= 0 || hnsw.ef_search <= 0) {
     return BadMeta("has non-positive HNSW beam widths");
   }
+  // RandomLevel caps levels at 30, so anything above is corrupt — and must
+  // be rejected here, before LoadHnsw narrows the field to int32 (a bare
+  // cast would silently fold 2^32 + k to k).
+  if (hnsw.max_level < -1 || hnsw.max_level > 30) {
+    return BadMeta("has out-of-range HNSW max level");
+  }
+  if (hnsw.entry_point < -1) {
+    return BadMeta("has out-of-range HNSW entry point");
+  }
   return hnsw;
 }
 
@@ -302,6 +311,9 @@ Result<ann::HnswIndex> LoadHnsw(const IndexMeta& meta,
   EL_ASSIGN_OR_RETURN(const HnswMeta hnsw, ReadHnswMeta(reader));
   if (meta.count > 0 && hnsw.num_lists < meta.count) {
     return BadMeta("has fewer HNSW lists than nodes");
+  }
+  if (hnsw.entry_point >= meta.count) {
+    return BadMeta("has HNSW entry point past node count");
   }
   EL_ASSIGN_OR_RETURN(
       const Section vectors,

@@ -609,7 +609,7 @@ TEST(IndexIoTest, HnswNonsenseMetaIsRejectedNotTrusted) {
   // Status from the structural validation, never an out-of-bounds read
   // (this suite runs under ASan in CI). Each case writes a well-formed
   // container whose kHnswMeta payload lies about the graph.
-  store::HnswMeta bad[4];
+  store::HnswMeta bad[6];
   bad[0].m = 1;                    // Degenerate graph degree.
   bad[1].m = 8;                    // Negative link count.
   bad[1].ef_construction = 60;
@@ -622,8 +622,18 @@ TEST(IndexIoTest, HnswNonsenseMetaIsRejectedNotTrusted) {
   bad[3].ef_construction = 60;
   bad[3].ef_search = 40;
   bad[3].num_lists = 3;
+  bad[4].m = 8;                    // max_level past the int32 cast would
+  bad[4].ef_construction = 60;     // silently fold to 3; must be rejected
+  bad[4].ef_search = 40;           // as corrupt instead.
+  bad[4].num_lists = 10;
+  bad[4].max_level = (int64_t{1} << 32) + 3;
+  bad[5].m = 8;                    // Entry point below the -1 sentinel.
+  bad[5].ef_construction = 60;
+  bad[5].ef_search = 40;
+  bad[5].num_lists = 10;
+  bad[5].entry_point = -7;
 
-  for (size_t i = 0; i < 4; ++i) {
+  for (size_t i = 0; i < 6; ++i) {
     store::SnapshotWriter writer;
     store::IndexMeta meta;
     meta.backend = static_cast<uint32_t>(store::BackendKind::kHnsw);
@@ -672,6 +682,44 @@ TEST(IndexIoTest, HnswBorrowedGeometryIsValidatedUpFront) {
   std::vector<uint64_t> overrun = offsets;
   overrun.back() += 1;  // Points one past the links payload.
   EXPECT_FALSE(borrow(index.entry_point(), overrun).ok());
+
+  // A link id outside [0, count) would be an OOB visited-stamp write and
+  // vector read in SearchLayer; validation must catch it up front.
+  std::vector<int32_t> wild_links = links;
+  wild_links[wild_links.size() / 2] = static_cast<int32_t>(kN + 3);
+  EXPECT_FALSE(ann::HnswIndex::FromBorrowed(
+                   kDim, options, index.vectors_data(), index.levels_data(),
+                   index.list_starts_data(), offsets.data(),
+                   wild_links.data(), kN, index.entry_point(),
+                   index.max_level(), index.num_lists(),
+                   static_cast<int64_t>(links.size()))
+                   .ok());
+
+  // Borrowing with a smaller m than the build leaves lists longer than the
+  // 2m scratch the search gathers into — must be rejected, not overflowed.
+  ann::HnswIndex::Options narrow = options;
+  narrow.m = 2;
+  EXPECT_FALSE(ann::HnswIndex::FromBorrowed(
+                   kDim, narrow, index.vectors_data(), index.levels_data(),
+                   index.list_starts_data(), offsets.data(), links.data(),
+                   kN, index.entry_point(), index.max_level(),
+                   index.num_lists(), static_cast<int64_t>(links.size()))
+                   .ok());
+
+  // An entry point whose own level is below max_level would walk list
+  // indices past its lists during descent. Any level-0 node demonstrates
+  // it whenever the graph has upper layers.
+  if (index.max_level() > 0) {
+    int64_t low_node = -1;
+    for (int64_t i = 0; i < kN; ++i) {
+      if (index.levels_data()[i] == 0) {
+        low_node = i;
+        break;
+      }
+    }
+    ASSERT_GE(low_node, 0);
+    EXPECT_FALSE(borrow(low_node, offsets).ok());
+  }
 }
 
 // --- EmbLookup / serve wiring ------------------------------------------------
