@@ -1,0 +1,187 @@
+// Encode-path microbench: the three ways a mention becomes an embedding.
+//
+//   reference   per-query scalar autograd forward (EncodeBatchReference,
+//               one mention at a time) — the pre-batching implementation
+//               and the numerics ground truth.
+//   batched     EncodeBatch under NoGradGuard at several micro-batch
+//               sizes — one dispatched GEMM per conv/linear layer across
+//               the batch (DESIGN.md §13). All queries are cache misses.
+//   cache hit   EmbLookup::Embed on a warm EncoderCache — a sharded-LRU
+//               probe plus a dim-float memcpy, no tensor work at all.
+//
+// The acceptance floors this bench exists for: batched encode >= 4x the
+// reference throughput on cache-miss micro-batches, and the cache hit
+// path >= 20x. Both are gated at scale >= 1 (CI smoke sizes are
+// informational — timing noise dominates sub-millisecond totals there).
+//
+// The fastText memoization inside the encoder is warmed before timing so
+// both tensor paths measure the same work (conv + GEMM + fusion), not
+// one cold hash-lookup pass.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/rng.h"
+#include "common/timing.h"
+#include "core/emblookup.h"
+#include "core/encoder.h"
+#include "kg/noise.h"
+#include "tensor/tensor.h"
+
+using namespace emblookup;
+
+namespace {
+
+/// Max |a - b| over two (B, dim) embedding matrices.
+double MaxAbsDiff(const tensor::Tensor& a, const tensor::Tensor& b) {
+  double worst = 0.0;
+  const int64_t n = a.size();
+  for (int64_t i = 0; i < n; ++i) {
+    worst = std::max(worst,
+                     static_cast<double>(std::fabs(a.data()[i] - b.data()[i])));
+  }
+  return worst;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintBanner(
+      "Encode path: scalar reference vs batched SIMD vs cache hit");
+
+  // Encode cost depends on the encoder architecture, not the KG size, so
+  // a lightly-trained SweepKg model is enough; the tag pins the reduced
+  // epoch count so it never collides with the sweep models' caches.
+  core::EmbLookupOptions options = bench::MainModelOptions();
+  options.trainer.epochs = 4;
+  options.encode_cache_entries = 1 << 16;
+  const kg::KnowledgeGraph& graph = bench::SweepKg();
+  const std::string tag =
+      "encode_n" + std::to_string(graph.num_entities()) + "_e4";
+  auto model = bench::GetModel(graph, tag, options);
+  core::EmbLookupEncoder* encoder = model->encoder();
+  const int64_t dim = encoder->dim();
+
+  // Query stream: typo'd entity labels, unique per entity.
+  Rng rng(4242);
+  const size_t q_count =
+      std::min<size_t>(512, static_cast<size_t>(graph.num_entities()));
+  std::vector<std::string> queries(q_count);
+  for (size_t q = 0; q < q_count; ++q) {
+    queries[q] = kg::RandomTypo(
+        graph.entity(static_cast<kg::EntityId>(q)).label, &rng, 1);
+  }
+  std::printf("encoder dim=%lld  queries=%zu  (scale %.2f)\n\n",
+              static_cast<long long>(dim), q_count, bench::Scale());
+
+  tensor::NoGradGuard no_grad;
+
+  // Warm the encoder's fastText memoization and record the numerics drift
+  // between the two tensor paths while we're at it.
+  const tensor::Tensor warm_ref = encoder->EncodeBatchReference(queries);
+  const tensor::Tensor warm_fast = encoder->EncodeBatch(queries);
+  const double drift = MaxAbsDiff(warm_ref, warm_fast);
+
+  // Measurement discipline: this box is a single shared core, so any one
+  // timing window can eat a background-load preemption worth more than
+  // the effect being measured. Each configuration is therefore sampled
+  // over several interleaved trials and scored by its *minimum* time —
+  // the standard loaded-machine estimator (a clean window shows the real
+  // cost; preempted windows can only be slower). Interleaving the
+  // reference and batched trials keeps slow drift (thermal/frequency)
+  // from landing entirely on one side of the ratio.
+  const int reps = bench::Scale() >= 1.0 ? 3 : 1;
+  const int trials = bench::Scale() >= 1.0 ? 5 : 1;
+  const std::vector<size_t> batch_sizes = {1, 8, 64};
+
+  // Pre-slice the query stream per batch size so the timed region runs
+  // the encoder, not vector<string> construction.
+  std::vector<std::vector<std::vector<std::string>>> chunked;
+  for (const size_t batch : batch_sizes) {
+    std::vector<std::vector<std::string>> chunks;
+    for (size_t begin = 0; begin < q_count; begin += batch) {
+      const size_t end = std::min(q_count, begin + batch);
+      chunks.emplace_back(queries.begin() + begin, queries.begin() + end);
+    }
+    chunked.push_back(std::move(chunks));
+  }
+
+  double ref_s = 0.0;
+  std::vector<double> batch_s(batch_sizes.size(), 0.0);
+  std::vector<std::string> one(1);
+  Stopwatch sw;
+  for (int t = 0; t < trials; ++t) {
+    // Reference: one scalar forward per query.
+    sw.Reset();
+    for (int r = 0; r < reps; ++r) {
+      for (const std::string& q : queries) {
+        one[0] = q;
+        encoder->EncodeBatchReference(one);
+      }
+    }
+    const double s = sw.ElapsedSeconds();
+    if (t == 0 || s < ref_s) ref_s = s;
+
+    // Batched SIMD path across micro-batch sizes. batch=1 isolates the
+    // kernel-dispatch win alone; larger batches add the GEMM batching win.
+    for (size_t bi = 0; bi < batch_sizes.size(); ++bi) {
+      sw.Reset();
+      for (int r = 0; r < reps; ++r) {
+        for (const std::vector<std::string>& chunk : chunked[bi]) {
+          encoder->EncodeBatch(chunk);
+        }
+      }
+      const double bs = sw.ElapsedSeconds();
+      if (t == 0 || bs < batch_s[bi]) batch_s[bi] = bs;
+    }
+  }
+
+  const double ref_qps = static_cast<double>(q_count) * reps / ref_s;
+  std::printf("%-22s %12.0f q/s %10s\n", "reference (batch=1)", ref_qps, "1.0x");
+  double best_batched_speedup = 0.0;
+  for (size_t bi = 0; bi < batch_sizes.size(); ++bi) {
+    const double qps = static_cast<double>(q_count) * reps / batch_s[bi];
+    const double speedup = bench::Speedup(ref_s, batch_s[bi]);
+    if (batch_sizes[bi] > 1)
+      best_batched_speedup = std::max(best_batched_speedup, speedup);
+    std::printf("%-22s %12.0f q/s %9.1fx\n",
+                ("batched (batch=" + std::to_string(batch_sizes[bi]) + ")").c_str(),
+                qps, speedup);
+  }
+
+  // Cache hit: warm the EncoderCache through the public path, then time
+  // repeated Embed calls. Every timed probe is a hit.
+  for (const std::string& q : queries) model->Embed(q);
+  const int hit_reps = 20 * reps;  // hits are ~ns; widen the window.
+  sw.Reset();
+  for (int r = 0; r < hit_reps; ++r) {
+    for (const std::string& q : queries) model->Embed(q);
+  }
+  const double hit_s = sw.ElapsedSeconds();
+  const double hit_qps = static_cast<double>(q_count) * hit_reps / hit_s;
+  const double hit_speedup = bench::Speedup(ref_s / reps, hit_s / hit_reps);
+  std::printf("%-22s %12.0f q/s %9.1fx\n", "cache hit", hit_qps, hit_speedup);
+
+  const core::EncoderCacheStats stats = model->encode_cache()->Stats();
+  std::printf(
+      "\ncache: %lld entries, %.1f KB, %lld hits / %lld misses\n"
+      "fast-vs-reference max |delta|: %.2e (float tolerance; DESIGN.md §13)\n",
+      static_cast<long long>(stats.entries),
+      static_cast<double>(stats.bytes) / 1024.0,
+      static_cast<long long>(stats.hits),
+      static_cast<long long>(stats.misses), drift);
+
+  // Acceptance floors (PR 10): batched >= 4x, cache hit >= 20x.
+  const bool gate = bench::Scale() >= 1.0;
+  const bool pass = best_batched_speedup >= 4.0 && hit_speedup >= 20.0;
+  std::printf("\nencode floors: batched %.1fx (need 4x), cache hit %.1fx "
+              "(need 20x) — %s\n",
+              best_batched_speedup, hit_speedup,
+              gate ? (pass ? "PASS" : "FAIL")
+                   : "informational at this scale");
+  return (gate && !pass) ? 2 : 0;
+}

@@ -57,6 +57,14 @@ void Sq8QdotBatchScalar(const int8_t* w, const uint8_t* codes, int64_t n,
                         int64_t dim, int32_t* out) {
   vec::Sq8QdotBatchBody<vec::I8DotScalar>(w, codes, n, dim, out);
 }
+void AxpyScalar(float a, const float* x, int64_t n, float* y) {
+  vec::AxpyBody<vec::FloatScalar>(a, x, n, y);
+}
+void GemmBiasActScalar(const float* a, int64_t lda, const float* b,
+                       const float* bias, int64_t m, int64_t k, int64_t n,
+                       float* c, int act) {
+  vec::GemmBiasActBody<vec::FloatScalar>(a, lda, b, bias, m, k, n, c, act);
+}
 
 constexpr KernelTable kScalarTable = {
     Arch::kScalar,
@@ -71,6 +79,8 @@ constexpr KernelTable kScalarTable = {
     Sq8AdotBatchScalar,
     Sq8QdotScalar,
     Sq8QdotBatchScalar,
+    AxpyScalar,
+    GemmBiasActScalar,
 };
 
 // --- dispatch --------------------------------------------------------------
@@ -85,7 +95,8 @@ const KernelTable* Validated(const KernelTable* t) {
            t->adc_table != nullptr && t->adc_scan_rowmajor != nullptr &&
            t->adc_scan_block != nullptr && t->sq8_adot != nullptr &&
            t->sq8_adot_batch != nullptr && t->sq8_qdot != nullptr &&
-           t->sq8_qdot_batch != nullptr)
+           t->sq8_qdot_batch != nullptr && t->axpy != nullptr &&
+           t->gemm_bias_act != nullptr)
       << "incomplete kernel table for arch " << static_cast<int>(t->arch);
   return t;
 }

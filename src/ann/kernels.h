@@ -17,6 +17,12 @@ const char* ArchName(Arch arch);
 /// blk[j * kAdcBlock + t], so one LUT row feeds kAdcBlock accumulators.
 inline constexpr int64_t kAdcBlock = 8;
 
+/// Activation selector for the fused gemm_bias_act kernel. Plain ints
+/// (not an enum class) so the kernel-table function pointers stay C-like
+/// aggregates.
+inline constexpr int kActIdentity = 0;
+inline constexpr int kActRelu = 1;
+
 /// A complete set of distance kernels for one instruction-set family.
 /// Every pointer is non-null in every table (asserted when a table is
 /// first handed out); SIMD variants handle arbitrary (including odd) dims
@@ -74,6 +80,32 @@ struct KernelTable {
   /// sq8_qdot over n row-major dim-byte code rows.
   void (*sq8_qdot_batch)(const int8_t* w, const uint8_t* codes, int64_t n,
                          int64_t dim, int32_t* out);
+
+  /// y[j] += a * x[j] for j in [0, n) — the batched-encoder row update.
+  /// Per-element independence over j means every tier produces the same
+  /// accumulation *order* for each y[j]; SIMD tiers differ from scalar
+  /// only by fused-multiply-add rounding.
+  void (*axpy)(float a, const float* x, int64_t n, float* y);
+
+  /// Row-major GEMM with fused bias add + activation, the batched
+  /// encoder-inference primitive (see src/tensor/ops.h MatMulBiasAct and
+  /// Conv1dChannelsLastPadded for the shapes routed through it):
+  ///   C[i*n + j] = act(bias[j] + sum_r A[i*lda + r] * B[r*n + j])
+  /// for i < m, r < k, j < n. A rows have stride lda >= k (callers slide
+  /// a window over a padded buffer); B is (k, n) row-major; bias may be
+  /// null (zeros); act is kActIdentity or kActRelu. Aligned 16-term
+  /// spans of A that are entirely zero skip their B rows (the padding
+  /// tail of a short mention zeroes whole spans); other zero terms
+  /// multiply through as exact zeros — branch-free lanes beat
+  /// data-dependent branches on dense activations. Every tier
+  /// accumulates over r into four lanes interleaved by r mod 4 and folds
+  /// them as (l0+l2)+(l1+l3) — for finite inputs the result depends only
+  /// on k, never on m or the tier's vector width, so results are
+  /// bit-identical across batch splits and differ across tiers only by
+  /// FMA rounding (see DESIGN.md §13 for the numerics contract).
+  void (*gemm_bias_act)(const float* a, int64_t lda, const float* b,
+                        const float* bias, int64_t m, int64_t k, int64_t n,
+                        float* c, int act);
 };
 
 /// The table selected at startup: the widest family this CPU supports
@@ -102,6 +134,14 @@ inline float InnerProduct(const float* a, const float* b, int64_t dim) {
 inline void L2SqrBatch(const float* query, const float* rows, int64_t n,
                        int64_t dim, float* out) {
   Dispatch().l2_sqr_batch(query, rows, n, dim, out);
+}
+inline void Axpy(float a, const float* x, int64_t n, float* y) {
+  Dispatch().axpy(a, x, n, y);
+}
+inline void GemmBiasAct(const float* a, int64_t lda, const float* b,
+                        const float* bias, int64_t m, int64_t k, int64_t n,
+                        float* c, int act) {
+  Dispatch().gemm_bias_act(a, lda, b, bias, m, k, n, c, act);
 }
 
 }  // namespace emblookup::ann::kernels

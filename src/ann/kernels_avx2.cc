@@ -47,6 +47,14 @@ void Sq8QdotBatchAvx2(const int8_t* w, const uint8_t* codes, int64_t n,
                       int64_t dim, int32_t* out) {
   vec::Sq8QdotBatchBody<vec::I8DotAvx2>(w, codes, n, dim, out);
 }
+void AxpyAvx2(float a, const float* x, int64_t n, float* y) {
+  vec::AxpyBody<vec::FloatAvx2>(a, x, n, y);
+}
+void GemmBiasActAvx2(const float* a, int64_t lda, const float* b,
+                     const float* bias, int64_t m, int64_t k, int64_t n,
+                     float* c, int act) {
+  vec::GemmBiasActBody<vec::FloatAvx2>(a, lda, b, bias, m, k, n, c, act);
+}
 
 constexpr KernelTable kAvx2Table = {
     Arch::kAvx2,
@@ -61,6 +69,8 @@ constexpr KernelTable kAvx2Table = {
     Sq8AdotBatchAvx2,
     Sq8QdotAvx2,
     Sq8QdotBatchAvx2,
+    AxpyAvx2,
+    GemmBiasActAvx2,
 };
 
 }  // namespace

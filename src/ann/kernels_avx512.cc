@@ -87,6 +87,18 @@ void Sq8QdotBatchAvx512(const int8_t* w, const uint8_t* codes, int64_t n,
   vec::Sq8QdotBatchBody<vec::I8DotAvx512>(w, codes, n, dim, out);
 }
 
+void AxpyAvx512(float a, const float* x, int64_t n, float* y) {
+  vec::AxpyBody<vec::FloatAvx512>(a, x, n, y);
+}
+void GemmBiasActAvx512(const float* a, int64_t lda, const float* b,
+                       const float* bias, int64_t m, int64_t k, int64_t n,
+                       float* c, int act) {
+  // AVX2 half-width tiles cover n = 8 conv layers (one full AVX-512
+  // vector would overshoot the row); same pattern as the ADC gathers.
+  vec::GemmBiasActBody<vec::FloatAvx512, vec::FloatAvx2>(a, lda, b, bias, m,
+                                                         k, n, c, act);
+}
+
 constexpr KernelTable kAvx512Table = {
     Arch::kAvx512,
     "avx512",
@@ -100,6 +112,8 @@ constexpr KernelTable kAvx512Table = {
     Sq8AdotBatchAvx512,
     Sq8QdotAvx512,
     Sq8QdotBatchAvx512,
+    AxpyAvx512,
+    GemmBiasActAvx512,
 };
 
 }  // namespace

@@ -46,6 +46,14 @@ void Sq8QdotBatchNeon(const int8_t* w, const uint8_t* codes, int64_t n,
                       int64_t dim, int32_t* out) {
   vec::Sq8QdotBatchBody<vec::I8DotNeon>(w, codes, n, dim, out);
 }
+void AxpyNeon(float a, const float* x, int64_t n, float* y) {
+  vec::AxpyBody<vec::FloatNeon>(a, x, n, y);
+}
+void GemmBiasActNeon(const float* a, int64_t lda, const float* b,
+                     const float* bias, int64_t m, int64_t k, int64_t n,
+                     float* c, int act) {
+  vec::GemmBiasActBody<vec::FloatNeon>(a, lda, b, bias, m, k, n, c, act);
+}
 
 constexpr KernelTable kNeonTable = {
     Arch::kNeon,
@@ -60,6 +68,8 @@ constexpr KernelTable kNeonTable = {
     Sq8AdotBatchNeon,
     Sq8QdotNeon,
     Sq8QdotBatchNeon,
+    AxpyNeon,
+    GemmBiasActNeon,
 };
 
 }  // namespace

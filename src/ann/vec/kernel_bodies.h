@@ -2,6 +2,7 @@
 #define EMBLOOKUP_ANN_VEC_KERNEL_BODIES_H_
 
 #include <cstdint>
+#include <cstring>
 
 #include "ann/kernels.h"
 
@@ -17,6 +18,9 @@
 // loops vanish and the shared epilogue is the entire kernel, which makes
 // the scalar instantiation bit-identical to the pre-refactor scalar
 // reference (single accumulator, left-to-right, unfused multiply-add).
+// The fused GEMM is the one exception: every tier, scalar included, uses
+// the same four-lane interleaved accumulation — see its rounding
+// contract below.
 //
 // Anonymous namespace: instantiations must stay TU-local so code compiled
 // under one TU's ISA flags can never be COMDAT-merged into a table served
@@ -206,6 +210,411 @@ void Sq8QdotBatchBody(const int8_t* w, const uint8_t* codes, int64_t n,
   for (int64_t i = 0; i < n; ++i) {
     out[i] = Sq8QdotBody<DI>(w, codes + i * dim, dim);
   }
+}
+
+/// y[j] += a * x[j] for j in [0, n). At width 1 this is the strict
+/// left-to-right unfused scalar reference; wider tiers use one FMA stream
+/// (per-j independence means lane count does not change any y[j]'s
+/// accumulation order, so every tier differs from scalar only by FMA
+/// rounding, not order).
+template <typename VF>
+void AxpyBody(float a, const float* x, int64_t n, float* y) {
+  int64_t j = 0;
+  if constexpr (VF::kWidth > 1) {
+    const VF va = VF::Broadcast(a);
+    for (; j + 2 * VF::kWidth <= n; j += 2 * VF::kWidth) {
+      VF::Fma(va, VF::Load(x + j), VF::Load(y + j)).Store(y + j);
+      VF::Fma(va, VF::Load(x + j + VF::kWidth), VF::Load(y + j + VF::kWidth))
+          .Store(y + j + VF::kWidth);
+    }
+    if (j + VF::kWidth <= n) {
+      VF::Fma(va, VF::Load(x + j), VF::Load(y + j)).Store(y + j);
+      j += VF::kWidth;
+    }
+  }
+  for (; j < n; ++j) y[j] += a * x[j];
+}
+
+/// One VF-wide column tile of the fused GEMM: C[:, j0 : j0+VF::kWidth)
+/// with the running tile held in four VF register accumulators across the
+/// whole k loop. This is the path that makes the encoder's thin GEMMs
+/// fast — its conv layers have n = 8 output channels, so the generic axpy
+/// formulation degrades to a scalar tail with a C-row load/store per k
+/// term.
+///
+/// Two deliberate departures from the axpy formulation, both
+/// deterministic and batch-split invariant:
+///  - terms are accumulated into four lanes interleaved by r&3 and folded
+///    in a fixed order at the end, breaking the serial FMA dependency
+///    chain (4-5 cycle latency per term otherwise);
+///  - 16-term spans of A that are entirely zero are skipped with one
+///    vectorized integer OR test (the sign bit is shifted out so -0.0f
+///    still counts as zero) — the padding tail of a short mention zeroes
+///    whole spans of the conv input. Inside a live span every term
+///    multiplies through unconditionally: a zero coefficient contributes
+///    exactly nothing to its lane, and a branch-free lane beats a
+///    data-dependent `a != 0` branch on dense post-ReLU activations,
+///    where zeros are frequent but unpredictable.
+/// Results differ from a single left-to-right chain only by float
+/// summation order, within the op layer's documented tolerance.
+template <typename VF>
+void GemmBiasActTileBody(const float* a, int64_t lda, const float* b,
+                         int64_t n, const float* bias, int64_t m, int64_t k,
+                         float* c, int act, int64_t j0) {
+  constexpr int64_t kBlock = 16;  // zero-scan granularity
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * lda;
+    VF acc0 = bias != nullptr ? VF::Load(bias + j0) : VF::Zero();
+    VF acc1 = VF::Zero(), acc2 = VF::Zero(), acc3 = VF::Zero();
+    int64_t r = 0;
+    for (; r + kBlock <= k; r += kBlock) {
+      uint32_t w[kBlock];
+      std::memcpy(w, arow + r, sizeof(w));
+      uint32_t bits = 0;
+      for (int64_t j = 0; j < kBlock; ++j) bits |= w[j] << 1;
+      if (bits == 0) continue;
+      for (int64_t rr = r; rr < r + kBlock; rr += 4) {
+        const float* b0 = b + rr * n + j0;
+        acc0 = VF::Fma(VF::Broadcast(arow[rr]), VF::Load(b0), acc0);
+        acc1 = VF::Fma(VF::Broadcast(arow[rr + 1]), VF::Load(b0 + n), acc1);
+        acc2 =
+            VF::Fma(VF::Broadcast(arow[rr + 2]), VF::Load(b0 + 2 * n), acc2);
+        acc3 =
+            VF::Fma(VF::Broadcast(arow[rr + 3]), VF::Load(b0 + 3 * n), acc3);
+      }
+    }
+    for (; r < k; ++r) {
+      const VF va = VF::Broadcast(arow[r]);
+      const VF vb = VF::Load(b + r * n + j0);
+      switch (r & 3) {
+        case 0: acc0 = VF::Fma(va, vb, acc0); break;
+        case 1: acc1 = VF::Fma(va, vb, acc1); break;
+        case 2: acc2 = VF::Fma(va, vb, acc2); break;
+        default: acc3 = VF::Fma(va, vb, acc3); break;
+      }
+    }
+    float* crow = c + i * n + j0;
+    ((acc0 + acc2) + (acc1 + acc3)).Store(crow);
+    if (act == kernels::kActRelu) {
+      for (int64_t j = 0; j < VF::kWidth; ++j) {
+        if (crow[j] < 0.0f) crow[j] = 0.0f;
+      }
+    }
+  }
+}
+
+/// Four adjacent VF-wide column tiles of the fused GEMM in one k sweep:
+/// C[:, j0 : j0+4*VF::kWidth). Bit-identical per column to
+/// GemmBiasActTileBody — each tile keeps its own four r&3-interleaved
+/// lane accumulators with the same fixed fold — but every A broadcast
+/// (and the A load + zero test behind it) is reused across all four
+/// tiles, quartering the per-term scalar overhead for wide layers like
+/// the encoder's n = 64 fusion GEMMs. Needs 16 register accumulators,
+/// so only tiers with a 32-register vector file instantiate it (see
+/// GemmBiasActBody).
+template <typename VF>
+void GemmBiasActQuadTileBody(const float* a, int64_t lda, const float* b,
+                             int64_t n, const float* bias, int64_t m,
+                             int64_t k, float* c, int act, int64_t j0) {
+  constexpr int64_t kW = VF::kWidth;
+  constexpr int64_t kBlock = 16;  // zero-scan granularity
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * lda;
+    VF t0a0 = bias != nullptr ? VF::Load(bias + j0) : VF::Zero();
+    VF t1a0 = bias != nullptr ? VF::Load(bias + j0 + kW) : VF::Zero();
+    VF t2a0 = bias != nullptr ? VF::Load(bias + j0 + 2 * kW) : VF::Zero();
+    VF t3a0 = bias != nullptr ? VF::Load(bias + j0 + 3 * kW) : VF::Zero();
+    VF t0a1 = VF::Zero(), t1a1 = VF::Zero(), t2a1 = VF::Zero();
+    VF t3a1 = VF::Zero(), t0a2 = VF::Zero(), t1a2 = VF::Zero();
+    VF t2a2 = VF::Zero(), t3a2 = VF::Zero(), t0a3 = VF::Zero();
+    VF t1a3 = VF::Zero(), t2a3 = VF::Zero(), t3a3 = VF::Zero();
+    int64_t r = 0;
+    for (; r + kBlock <= k; r += kBlock) {
+      uint32_t w[kBlock];
+      std::memcpy(w, arow + r, sizeof(w));
+      uint32_t bits = 0;
+      for (int64_t j = 0; j < kBlock; ++j) bits |= w[j] << 1;
+      if (bits == 0) continue;
+      for (int64_t rr = r; rr < r + kBlock; rr += 4) {
+        const float* b0 = b + rr * n + j0;
+        {
+          const VF va = VF::Broadcast(arow[rr]);
+          t0a0 = VF::Fma(va, VF::Load(b0), t0a0);
+          t1a0 = VF::Fma(va, VF::Load(b0 + kW), t1a0);
+          t2a0 = VF::Fma(va, VF::Load(b0 + 2 * kW), t2a0);
+          t3a0 = VF::Fma(va, VF::Load(b0 + 3 * kW), t3a0);
+        }
+        {
+          const VF va = VF::Broadcast(arow[rr + 1]);
+          const float* b1 = b0 + n;
+          t0a1 = VF::Fma(va, VF::Load(b1), t0a1);
+          t1a1 = VF::Fma(va, VF::Load(b1 + kW), t1a1);
+          t2a1 = VF::Fma(va, VF::Load(b1 + 2 * kW), t2a1);
+          t3a1 = VF::Fma(va, VF::Load(b1 + 3 * kW), t3a1);
+        }
+        {
+          const VF va = VF::Broadcast(arow[rr + 2]);
+          const float* b2 = b0 + 2 * n;
+          t0a2 = VF::Fma(va, VF::Load(b2), t0a2);
+          t1a2 = VF::Fma(va, VF::Load(b2 + kW), t1a2);
+          t2a2 = VF::Fma(va, VF::Load(b2 + 2 * kW), t2a2);
+          t3a2 = VF::Fma(va, VF::Load(b2 + 3 * kW), t3a2);
+        }
+        {
+          const VF va = VF::Broadcast(arow[rr + 3]);
+          const float* b3 = b0 + 3 * n;
+          t0a3 = VF::Fma(va, VF::Load(b3), t0a3);
+          t1a3 = VF::Fma(va, VF::Load(b3 + kW), t1a3);
+          t2a3 = VF::Fma(va, VF::Load(b3 + 2 * kW), t2a3);
+          t3a3 = VF::Fma(va, VF::Load(b3 + 3 * kW), t3a3);
+        }
+      }
+    }
+    for (; r < k; ++r) {
+      const VF va = VF::Broadcast(arow[r]);
+      const float* br = b + r * n + j0;
+      switch (r & 3) {
+        case 0:
+          t0a0 = VF::Fma(va, VF::Load(br), t0a0);
+          t1a0 = VF::Fma(va, VF::Load(br + kW), t1a0);
+          t2a0 = VF::Fma(va, VF::Load(br + 2 * kW), t2a0);
+          t3a0 = VF::Fma(va, VF::Load(br + 3 * kW), t3a0);
+          break;
+        case 1:
+          t0a1 = VF::Fma(va, VF::Load(br), t0a1);
+          t1a1 = VF::Fma(va, VF::Load(br + kW), t1a1);
+          t2a1 = VF::Fma(va, VF::Load(br + 2 * kW), t2a1);
+          t3a1 = VF::Fma(va, VF::Load(br + 3 * kW), t3a1);
+          break;
+        case 2:
+          t0a2 = VF::Fma(va, VF::Load(br), t0a2);
+          t1a2 = VF::Fma(va, VF::Load(br + kW), t1a2);
+          t2a2 = VF::Fma(va, VF::Load(br + 2 * kW), t2a2);
+          t3a2 = VF::Fma(va, VF::Load(br + 3 * kW), t3a2);
+          break;
+        default:
+          t0a3 = VF::Fma(va, VF::Load(br), t0a3);
+          t1a3 = VF::Fma(va, VF::Load(br + kW), t1a3);
+          t2a3 = VF::Fma(va, VF::Load(br + 2 * kW), t2a3);
+          t3a3 = VF::Fma(va, VF::Load(br + 3 * kW), t3a3);
+          break;
+      }
+    }
+    float* crow = c + i * n + j0;
+    ((t0a0 + t0a2) + (t0a1 + t0a3)).Store(crow);
+    ((t1a0 + t1a2) + (t1a1 + t1a3)).Store(crow + kW);
+    ((t2a0 + t2a2) + (t2a1 + t2a3)).Store(crow + 2 * kW);
+    ((t3a0 + t3a2) + (t3a1 + t3a3)).Store(crow + 3 * kW);
+    if (act == kernels::kActRelu) {
+      for (int64_t j = 0; j < 4 * kW; ++j) {
+        if (crow[j] < 0.0f) crow[j] = 0.0f;
+      }
+    }
+  }
+}
+
+/// One V-wide column tile across FOUR consecutive C rows in a single k
+/// sweep: C[i0..i0+4, j0 : j0+V::kWidth). Bit-identical per element to
+/// GemmBiasActTileBody — each row keeps its own four r&3-interleaved lane
+/// accumulators with the same fixed fold and the same skip-exactly-when-
+/// zero gating — but every B row load is shared by the four C rows,
+/// quartering B traffic on thin layers (the encoder's n = 8 convs, where
+/// one row's four accumulators can't fill the FMA pipes). The zero scan
+/// tests the four A spans together, so a block is skipped only when all
+/// four rows are zero there (the common case: batch-wide padding tails);
+/// zero terms inside a live block multiply through as exact zeros. Needs
+/// 16 register accumulators, so only tiers with a 32-register vector
+/// file instantiate it (see GemmBiasActBody).
+template <typename V>
+void GemmBiasActRowQuadTileBody(const float* a, int64_t lda, const float* b,
+                                int64_t n, const float* bias, int64_t k,
+                                float* c, int act, int64_t j0) {
+  constexpr int64_t kBlock = 16;  // zero-scan granularity
+  const float* a0 = a;
+  const float* a1 = a + lda;
+  const float* a2 = a + 2 * lda;
+  const float* a3 = a + 3 * lda;
+  const V vbias = bias != nullptr ? V::Load(bias + j0) : V::Zero();
+  V r0a0 = vbias, r1a0 = vbias, r2a0 = vbias, r3a0 = vbias;
+  V r0a1 = V::Zero(), r1a1 = V::Zero(), r2a1 = V::Zero(), r3a1 = V::Zero();
+  V r0a2 = V::Zero(), r1a2 = V::Zero(), r2a2 = V::Zero(), r3a2 = V::Zero();
+  V r0a3 = V::Zero(), r1a3 = V::Zero(), r2a3 = V::Zero(), r3a3 = V::Zero();
+  int64_t r = 0;
+  for (; r + kBlock <= k; r += kBlock) {
+    uint32_t w[kBlock];
+    uint32_t bits = 0;
+    std::memcpy(w, a0 + r, sizeof(w));
+    for (int64_t j = 0; j < kBlock; ++j) bits |= w[j] << 1;
+    std::memcpy(w, a1 + r, sizeof(w));
+    for (int64_t j = 0; j < kBlock; ++j) bits |= w[j] << 1;
+    std::memcpy(w, a2 + r, sizeof(w));
+    for (int64_t j = 0; j < kBlock; ++j) bits |= w[j] << 1;
+    std::memcpy(w, a3 + r, sizeof(w));
+    for (int64_t j = 0; j < kBlock; ++j) bits |= w[j] << 1;
+    if (bits == 0) continue;
+    for (int64_t rr = r; rr < r + kBlock; rr += 4) {
+      const float* b0 = b + rr * n + j0;
+      {
+        const V vb = V::Load(b0);
+        r0a0 = V::Fma(V::Broadcast(a0[rr]), vb, r0a0);
+        r1a0 = V::Fma(V::Broadcast(a1[rr]), vb, r1a0);
+        r2a0 = V::Fma(V::Broadcast(a2[rr]), vb, r2a0);
+        r3a0 = V::Fma(V::Broadcast(a3[rr]), vb, r3a0);
+      }
+      {
+        const int64_t q = rr + 1;
+        const V vb = V::Load(b0 + n);
+        r0a1 = V::Fma(V::Broadcast(a0[q]), vb, r0a1);
+        r1a1 = V::Fma(V::Broadcast(a1[q]), vb, r1a1);
+        r2a1 = V::Fma(V::Broadcast(a2[q]), vb, r2a1);
+        r3a1 = V::Fma(V::Broadcast(a3[q]), vb, r3a1);
+      }
+      {
+        const int64_t q = rr + 2;
+        const V vb = V::Load(b0 + 2 * n);
+        r0a2 = V::Fma(V::Broadcast(a0[q]), vb, r0a2);
+        r1a2 = V::Fma(V::Broadcast(a1[q]), vb, r1a2);
+        r2a2 = V::Fma(V::Broadcast(a2[q]), vb, r2a2);
+        r3a2 = V::Fma(V::Broadcast(a3[q]), vb, r3a2);
+      }
+      {
+        const int64_t q = rr + 3;
+        const V vb = V::Load(b0 + 3 * n);
+        r0a3 = V::Fma(V::Broadcast(a0[q]), vb, r0a3);
+        r1a3 = V::Fma(V::Broadcast(a1[q]), vb, r1a3);
+        r2a3 = V::Fma(V::Broadcast(a2[q]), vb, r2a3);
+        r3a3 = V::Fma(V::Broadcast(a3[q]), vb, r3a3);
+      }
+    }
+  }
+  for (; r < k; ++r) {
+    const V vb = V::Load(b + r * n + j0);
+    switch (r & 3) {
+      case 0:
+        r0a0 = V::Fma(V::Broadcast(a0[r]), vb, r0a0);
+        r1a0 = V::Fma(V::Broadcast(a1[r]), vb, r1a0);
+        r2a0 = V::Fma(V::Broadcast(a2[r]), vb, r2a0);
+        r3a0 = V::Fma(V::Broadcast(a3[r]), vb, r3a0);
+        break;
+      case 1:
+        r0a1 = V::Fma(V::Broadcast(a0[r]), vb, r0a1);
+        r1a1 = V::Fma(V::Broadcast(a1[r]), vb, r1a1);
+        r2a1 = V::Fma(V::Broadcast(a2[r]), vb, r2a1);
+        r3a1 = V::Fma(V::Broadcast(a3[r]), vb, r3a1);
+        break;
+      case 2:
+        r0a2 = V::Fma(V::Broadcast(a0[r]), vb, r0a2);
+        r1a2 = V::Fma(V::Broadcast(a1[r]), vb, r1a2);
+        r2a2 = V::Fma(V::Broadcast(a2[r]), vb, r2a2);
+        r3a2 = V::Fma(V::Broadcast(a3[r]), vb, r3a2);
+        break;
+      default:
+        r0a3 = V::Fma(V::Broadcast(a0[r]), vb, r0a3);
+        r1a3 = V::Fma(V::Broadcast(a1[r]), vb, r1a3);
+        r2a3 = V::Fma(V::Broadcast(a2[r]), vb, r2a3);
+        r3a3 = V::Fma(V::Broadcast(a3[r]), vb, r3a3);
+        break;
+    }
+  }
+  float* c0 = c + j0;
+  ((r0a0 + r0a2) + (r0a1 + r0a3)).Store(c0);
+  ((r1a0 + r1a2) + (r1a1 + r1a3)).Store(c0 + n);
+  ((r2a0 + r2a2) + (r2a1 + r2a3)).Store(c0 + 2 * n);
+  ((r3a0 + r3a2) + (r3a1 + r3a3)).Store(c0 + 3 * n);
+  if (act == kernels::kActRelu) {
+    for (int64_t i = 0; i < 4; ++i) {
+      float* crow = c0 + i * n;
+      for (int64_t j = 0; j < V::kWidth; ++j) {
+        if (crow[j] < 0.0f) crow[j] = 0.0f;
+      }
+    }
+  }
+}
+
+/// Scalar column epilogue shared by the row-blocked and row-at-a-time
+/// region sweeps: same four-lane r&3 interleave and fold as the tiles.
+inline void GemmBiasActScalarCols(const float* a, int64_t lda,
+                                  const float* b, int64_t n,
+                                  const float* bias, int64_t m, int64_t k,
+                                  float* c, int act, int64_t j0) {
+  for (; j0 < n; ++j0) {
+    for (int64_t i = 0; i < m; ++i) {
+      const float* arow = a + i * lda;
+      float lane[4] = {bias != nullptr ? bias[j0] : 0.0f, 0.0f, 0.0f, 0.0f};
+      for (int64_t r = 0; r < k; ++r) {
+        lane[r & 3] += arow[r] * b[r * n + j0];
+      }
+      float v = (lane[0] + lane[2]) + (lane[1] + lane[3]);
+      if (act == kernels::kActRelu && v < 0.0f) v = 0.0f;
+      c[i * n + j0] = v;
+    }
+  }
+}
+
+/// Row-major GEMM with fused bias + activation (the encoder inference
+/// primitive): C[i,:] = act(bias + sum_r A[i*lda + r] * B[r,:]) for
+/// m rows, k inner terms, n output columns. B is (k, n) row-major, C is
+/// (m, n) row-major, bias may be null (treated as zeros). All-zero
+/// 16-term spans of A skip their B rows (padding tails of short
+/// mentions); other zero terms multiply through as exact zeros.
+/// Columns are covered by VF-wide register tiles, then VH-wide
+/// ones (a narrower type for ISAs whose full vector exceeds small layer
+/// widths — the AVX-512 table passes the AVX2 type so n = 8 conv layers
+/// still run vectorized), then a scalar epilogue for any remainder. The
+/// per-tier rounding contract is the tile body's: deterministic,
+/// batch-split invariant, within float-summation-order tolerance of the
+/// scalar reference. act: kActIdentity or kActRelu (fused).
+template <typename VF, typename VH = VF>
+void GemmBiasActBody(const float* a, int64_t lda, const float* b,
+                     const float* bias, int64_t m, int64_t k, int64_t n,
+                     float* c, int act) {
+  int64_t i0 = 0;
+  if constexpr (VF::kWidth >= 16) {
+    // The 16-accumulator bodies (quad column tiles for wide layers,
+    // quad-row tiles for thin ones) need a 32-register vector file —
+    // 16 ymm would be consumed by the accumulators alone, spilling every
+    // FMA — so only the AVX-512 instantiation takes this row-blocked
+    // sweep; kWidth >= 16 is the proxy for that file here. The per-element
+    // arithmetic is identical to the row-at-a-time sweep below, so where a
+    // row lands (block or remainder) never changes its result.
+    for (; i0 + 4 <= m; i0 += 4) {
+      const float* a4 = a + i0 * lda;
+      float* c4 = c + i0 * n;
+      int64_t j0 = 0;
+      for (; j0 + 4 * VF::kWidth <= n; j0 += 4 * VF::kWidth) {
+        GemmBiasActQuadTileBody<VF>(a4, lda, b, n, bias, 4, k, c4, act, j0);
+      }
+      for (; j0 + VF::kWidth <= n; j0 += VF::kWidth) {
+        GemmBiasActRowQuadTileBody<VF>(a4, lda, b, n, bias, k, c4, act, j0);
+      }
+      if constexpr (VH::kWidth < VF::kWidth) {
+        for (; j0 + VH::kWidth <= n; j0 += VH::kWidth) {
+          GemmBiasActRowQuadTileBody<VH>(a4, lda, b, n, bias, k, c4, act,
+                                         j0);
+        }
+      }
+      GemmBiasActScalarCols(a4, lda, b, n, bias, 4, k, c4, act, j0);
+    }
+  }
+  // Remaining rows (every row on 16-register tiers).
+  const float* ar = a + i0 * lda;
+  float* cr = c + i0 * n;
+  const int64_t mr = m - i0;
+  int64_t j0 = 0;
+  if constexpr (VF::kWidth >= 16) {
+    for (; j0 + 4 * VF::kWidth <= n; j0 += 4 * VF::kWidth) {
+      GemmBiasActQuadTileBody<VF>(ar, lda, b, n, bias, mr, k, cr, act, j0);
+    }
+  }
+  for (; j0 + VF::kWidth <= n; j0 += VF::kWidth) {
+    GemmBiasActTileBody<VF>(ar, lda, b, n, bias, mr, k, cr, act, j0);
+  }
+  if constexpr (VH::kWidth < VF::kWidth) {
+    for (; j0 + VH::kWidth <= n; j0 += VH::kWidth) {
+      GemmBiasActTileBody<VH>(ar, lda, b, n, bias, mr, k, cr, act, j0);
+    }
+  }
+  GemmBiasActScalarCols(ar, lda, b, n, bias, mr, k, cr, act, j0);
 }
 
 }  // namespace

@@ -20,8 +20,8 @@ namespace {
 
 /// Eight float lanes. The member set is the float-vector concept the
 /// kernel bodies are templated over:
-///   kWidth, kHasGather, Zero, Load, LoadU8, Store, +,-,*, Fma,
-///   ReduceAdd, and (when kHasGather) MakeLaneOffsets/GatherU8.
+///   kWidth, kHasGather, Zero, Broadcast, Load, LoadU8, Store, +,-,*,
+///   Fma, ReduceAdd, and (when kHasGather) MakeLaneOffsets/GatherU8.
 struct FloatAvx2 {
   static constexpr int kWidth = 8;
   static constexpr bool kHasGather = true;
@@ -29,6 +29,7 @@ struct FloatAvx2 {
   __m256 v;
 
   static FloatAvx2 Zero() { return {_mm256_setzero_ps()}; }
+  static FloatAvx2 Broadcast(float x) { return {_mm256_set1_ps(x)}; }
   static FloatAvx2 Load(const float* p) { return {_mm256_loadu_ps(p)}; }
   static FloatAvx2 LoadU8(const uint8_t* p) {
     const __m128i bytes =

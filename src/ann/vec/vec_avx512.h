@@ -32,6 +32,7 @@ struct FloatAvx512 {
   __m512 v;
 
   static FloatAvx512 Zero() { return {_mm512_setzero_ps()}; }
+  static FloatAvx512 Broadcast(float x) { return {_mm512_set1_ps(x)}; }
   static FloatAvx512 Load(const float* p) { return {_mm512_loadu_ps(p)}; }
   static FloatAvx512 LoadU8(const uint8_t* p) {
     const __m128i bytes =

@@ -27,6 +27,7 @@ struct FloatNeon {
   float32x4_t v;
 
   static FloatNeon Zero() { return {vdupq_n_f32(0.0f)}; }
+  static FloatNeon Broadcast(float x) { return {vdupq_n_f32(x)}; }
   static FloatNeon Load(const float* p) { return {vld1q_f32(p)}; }
   static FloatNeon LoadU8(const uint8_t* p) {
     // Exactly 4 bytes: a vld1_u8 would over-read past the caller's bound.

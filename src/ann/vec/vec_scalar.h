@@ -28,6 +28,8 @@ struct FloatScalar {
   float v;
 
   static FloatScalar Zero() { return {0.0f}; }
+  /// All lanes = x (here: the one lane).
+  static FloatScalar Broadcast(float x) { return {x}; }
   static FloatScalar Load(const float* p) { return {*p}; }
   /// Widens kWidth uint8 codes to float lanes (SQ8 decode-on-the-fly).
   static FloatScalar LoadU8(const uint8_t* p) {

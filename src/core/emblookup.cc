@@ -25,6 +25,14 @@ std::vector<LookupResult> ToResults(const std::vector<ann::Neighbor>& nbrs) {
   return out;
 }
 
+std::unique_ptr<EncoderCache> MakeEncodeCache(const EmbLookupOptions& options) {
+  if (options.encode_cache_entries == 0) return nullptr;
+  EncoderCacheOptions cache_options;
+  cache_options.max_entries = options.encode_cache_entries;
+  return std::make_unique<EncoderCache>(options.encoder.embedding_dim,
+                                        cache_options);
+}
+
 std::shared_ptr<const ServingState> MakeState(
     std::shared_ptr<const EntityIndex> index,
     std::shared_ptr<const DeltaOverlay> delta, uint64_t epoch) {
@@ -98,6 +106,7 @@ Result<std::unique_ptr<EmbLookup>> EmbLookup::TrainFromKg(
   auto stats = trainer.Train(el->encoder_.get(), triplets);
   if (!stats.ok()) return stats.status();
   el->train_stats_ = stats.value();
+  el->encode_cache_ = MakeEncodeCache(options);
 
   // 3) Embed every entity and build the (compressed) index.
   auto index = EntityIndex::Build(graph, el->encoder_.get(), options.index,
@@ -129,6 +138,7 @@ Result<std::unique_ptr<EmbLookup>> EmbLookup::LoadFromKg(
   el->encoder_ = std::make_unique<EmbLookupEncoder>(options.encoder,
                                                     el->fasttext_.get());
   EL_RETURN_NOT_OK(el->encoder_->Load(model_path));
+  el->encode_cache_ = MakeEncodeCache(options);
 
   auto index = EntityIndex::Build(graph, el->encoder_.get(), options.index,
                                   el->pool_.get());
@@ -261,6 +271,7 @@ Result<std::unique_ptr<EmbLookup>> EmbLookup::LoadSnapshot(
       params_section.size));
   std::vector<tensor::Tensor> params = el->encoder_->Parameters();
   EL_RETURN_NOT_OK(tensor::LoadParameters(&params, &params_stream));
+  el->encode_cache_ = MakeEncodeCache(options);
 
   EL_ASSIGN_OR_RETURN(EntityIndex index,
                       EntityIndex::FromSnapshot(std::move(reader)));
@@ -272,14 +283,52 @@ Result<std::unique_ptr<EmbLookup>> EmbLookup::LoadSnapshot(
   return el;
 }
 
+void EmbLookup::EncodeQueries(const std::vector<std::string>& queries,
+                              float* out) const {
+  const int64_t n = static_cast<int64_t>(queries.size());
+  const int64_t dim = encoder_->dim();
+  // Stamp with the generation read BEFORE encoding: if a weight reload
+  // races with the forward below, the mixed result is stamped old and the
+  // reload's bump invalidates it on the next probe.
+  const uint64_t generation = encoder_->generation();
+  std::vector<int64_t> miss;
+  if (encode_cache_ != nullptr) {
+    obs::Span probe(obs::Stage::kEncodeCacheProbe);
+    for (int64_t i = 0; i < n; ++i) {
+      if (!encode_cache_->Get(queries[i], generation, out + i * dim)) {
+        miss.push_back(i);
+      }
+    }
+  } else {
+    miss.resize(n);
+    for (int64_t i = 0; i < n; ++i) miss[i] = i;
+  }
+  if (miss.empty()) return;
+  std::vector<std::string> to_encode;
+  to_encode.reserve(miss.size());
+  for (int64_t i : miss) to_encode.push_back(queries[i]);
+  tensor::Tensor e;
+  {
+    obs::Span span(obs::Stage::kEncodeBatch);
+    e = encoder_->EncodeBatch(to_encode);
+  }
+  for (size_t j = 0; j < miss.size(); ++j) {
+    const float* row = e.data() + static_cast<int64_t>(j) * dim;
+    std::copy_n(row, dim, out + miss[j] * dim);
+    if (encode_cache_ != nullptr) {
+      encode_cache_->Put(queries[miss[j]], generation, row);
+    }
+  }
+}
+
 std::vector<LookupResult> EmbLookup::Lookup(const std::string& query,
                                             int64_t k) const {
   const std::shared_ptr<const ServingState> state = State();
   tensor::NoGradGuard guard;
-  tensor::Tensor emb;
+  std::vector<float> emb(encoder_->dim());
   {
     obs::Span span(obs::Stage::kEncode);
-    emb = encoder_->EncodeBatch({query});
+    EncodeQueries({query}, emb.data());
   }
   return ToResults(MergedSearch(*state, emb.data(), k));
 }
@@ -312,8 +361,7 @@ std::vector<std::vector<LookupResult>> EmbLookup::BulkLookup(
     std::vector<std::string> chunk(queries.begin() + begin,
                                    queries.begin() + end);
     tensor::NoGradGuard guard;
-    tensor::Tensor e = encoder_->EncodeBatch(chunk);
-    std::copy_n(e.data(), (end - begin) * dim, embs.data() + begin * dim);
+    EncodeQueries(chunk, embs.data() + begin * dim);
   };
   if (parallel) {
     pool_->ParallelFor(static_cast<size_t>(num_batches), [&](size_t bi) {
@@ -406,8 +454,9 @@ Status EmbLookup::ApplyDelta(std::shared_ptr<const DeltaOverlay> delta) {
 
 std::vector<float> EmbLookup::Embed(const std::string& query) const {
   tensor::NoGradGuard guard;
-  tensor::Tensor emb = encoder_->EncodeBatch({query});
-  return std::vector<float>(emb.data(), emb.data() + emb.size());
+  std::vector<float> emb(encoder_->dim());
+  EncodeQueries({query}, emb.data());
+  return emb;
 }
 
 }  // namespace emblookup::core

@@ -14,6 +14,7 @@
 #include "core/config.h"
 #include "core/delta_overlay.h"
 #include "core/encoder.h"
+#include "core/encoder_cache.h"
 #include "core/entity_index.h"
 #include "core/trainer.h"
 #include "embed/fasttext.h"
@@ -37,6 +38,14 @@ struct EmbLookupOptions {
   embed::CorpusOptions corpus;
   /// Worker threads for bulk lookup & index build (0 = hardware threads).
   size_t num_threads = 0;
+  /// Entries in the encoder-output cache probed on the query paths
+  /// (Lookup/BulkLookup/Embed) before the batched forward; 0 disables it.
+  /// Keyed on the normalized mention form and invalidated by encoder
+  /// weight generation — index swaps and delta applies leave entries
+  /// valid (DESIGN.md §13). Entity indexing never consults it. Default
+  /// off so offline experiments reproduce bit-identically regardless of
+  /// query order.
+  size_t encode_cache_entries = 0;
   /// Optional already-trained semantic model; when set, corpus synthesis
   /// and fastText pre-training are skipped (used by the bench harness's
   /// model cache and by multi-instance experiments sharing one branch).
@@ -136,6 +145,8 @@ class EmbLookup {
   const kg::KnowledgeGraph& graph() const { return *graph_; }
   const IndexConfig& index_config() const { return index_config_; }
   EmbLookupEncoder* encoder() { return encoder_.get(); }
+  /// The encoder-output cache, or nullptr when encode_cache_entries == 0.
+  EncoderCache* encode_cache() const { return encode_cache_.get(); }
   /// Convenience accessor for single-threaded callers (tests, benches).
   /// Concurrent-swap-safe readers should hold an IndexSnapshot() instead.
   const EntityIndex& index() const { return *IndexSnapshot(); }
@@ -195,9 +206,19 @@ class EmbLookup {
   void InstallState(std::shared_ptr<const EntityIndex> index,
                     std::shared_ptr<const DeltaOverlay> delta);
 
+  /// Encodes `queries` into `out` (row-major, queries.size() x dim):
+  /// probes the encoder cache when enabled, batch-encodes the misses in
+  /// one EncodeBatch call, and back-fills the cache. Callers hold
+  /// NoGradGuard. Emits kEncodeCacheProbe / kEncodeBatch spans; callers
+  /// wrap the whole call in the existing kEncode span.
+  void EncodeQueries(const std::vector<std::string>& queries,
+                     float* out) const;
+
   const kg::KnowledgeGraph* graph_ = nullptr;  // Borrowed.
   std::shared_ptr<embed::FastTextModel> fasttext_;
   std::unique_ptr<EmbLookupEncoder> encoder_;
+  /// Query-path encoder-output cache; null when disabled (the default).
+  std::unique_ptr<EncoderCache> encode_cache_;
   /// Serving state (index + delta overlay), swappable at runtime.
   std::atomic<std::shared_ptr<const ServingState>> state_;
   std::mutex state_mu_;  ///< Serializes state writers (swap vs delta apply).

@@ -37,6 +37,15 @@ EmbLookupEncoder::EmbLookupEncoder(const EncoderConfig& config,
 }
 
 Tensor EmbLookupEncoder::EncodeBatch(const std::vector<std::string>& mentions) {
+  if (mentions.empty()) {
+    return Tensor::FromData({0, config_.embedding_dim}, {});
+  }
+  if (!tensor::GradEnabled()) return EncodeBatchFast(mentions);
+  return EncodeBatchReference(mentions);
+}
+
+Tensor EmbLookupEncoder::EncodeBatchReference(
+    const std::vector<std::string>& mentions) {
   EL_CHECK(!mentions.empty());
   Tensor x = one_hot_.EncodeBatch(mentions);
   Tensor pooled;  // (B, channels * layers): per-layer global max pools.
@@ -51,32 +60,84 @@ Tensor EmbLookupEncoder::EncodeBatch(const std::vector<std::string>& mentions) {
   }
   Tensor features = pooled;
   if (semantic_ != nullptr) {
-    // Frozen semantic branch: plain data tensor, no gradient path. Mention
-    // features are memoized — triplet strings recur across epochs.
-    const int64_t b = static_cast<int64_t>(mentions.size());
-    const int64_t sd = 2 * semantic_->dim();
-    std::vector<float> sem(b * sd);
-    {
-      std::lock_guard<std::mutex> lock(cache_mu_);
-      for (int64_t i = 0; i < b; ++i) {
-        auto [it, inserted] = semantic_cache_.try_emplace(mentions[i]);
-        if (inserted) {
-          it->second.resize(sd);
-          semantic_->EncodeMentionSplit(mentions[i], it->second.data(),
-                                        it->second.data() +
-                                            semantic_->dim());
-        }
-        std::copy(it->second.begin(), it->second.end(),
-                  sem.begin() + i * sd);
-      }
-    }
-    features = tensor::ConcatCols(
-        features, Tensor::FromData({b, sd}, std::move(sem)));
+    features = tensor::ConcatCols(features, SemanticFeatures(mentions));
   }
   Tensor hidden = tensor::Relu(fuse1_->Forward(features));
   // Unit-normalized output: triplet margins become scale-free and squared
   // distances live in [0, 4].
   return tensor::RowL2Normalize(fuse2_->Forward(hidden));
+}
+
+Tensor EmbLookupEncoder::EncodeBatchFast(
+    const std::vector<std::string>& mentions) {
+  // The same network as EncodeBatchReference, restructured for throughput
+  // (DESIGN.md §13): channels-last activations, each conv layer as ONE
+  // dispatched implicit-im2col GEMM with fused bias+ReLU across the whole
+  // micro-batch, order-free pooling without argmax bookkeeping, and fused
+  // GEMMs for the two fusion layers. Weight repacking is a few KB per call
+  // — recomputing it keeps the fast path automatically coherent with
+  // training updates and Load() without an invalidation protocol.
+  const int64_t pad = config_.kernel_size / 2;
+  const int64_t b = static_cast<int64_t>(mentions.size());
+  const int64_t lp = config_.max_len + 2 * pad;
+  Tensor x;  // (B, L+2p, C) channels-last input to layers 1..N-1.
+  Tensor pooled;  // (B, channels * layers): per-layer global max pools.
+  for (size_t l = 0; l < convs_.size(); ++l) {
+    const Tensor packed = tensor::PackConv1dWeight(convs_[l]->weight());
+    Tensor y;
+    if (l == 0) {
+      // The first layer reads the text as sparse indices — a conv over
+      // one-hot rows is a weight-table lookup, so the dense (B,L+2p,|A|)
+      // tensor is never materialized.
+      y = tensor::Conv1dOneHotPadded(
+          one_hot_.EncodeBatchIndices(mentions, pad), b, lp,
+          alphabet_.size(), config_.kernel_size, packed, convs_[l]->bias(),
+          tensor::FusedAct::kRelu);  // (B, Lout, C), ReLU applied.
+    } else {
+      y = tensor::Conv1dChannelsLastPadded(
+          x, config_.kernel_size, pad, packed, convs_[l]->bias(),
+          tensor::FusedAct::kRelu);  // (B, Lout, C), ReLU applied.
+    }
+    Tensor p = tensor::GlobalMaxPool1dChannelsLast(y);
+    pooled = pooled.defined() ? tensor::ConcatCols(pooled, p) : p;
+    if (l + 1 < convs_.size()) {
+      // Mirrors the reference's halving condition (y.dim(1) is the
+      // temporal axis in channels-last layout).
+      if (config_.pool_between_layers && y.dim(1) >= 4) {
+        y = tensor::MaxPool1dChannelsLast(y, 2);
+      }
+      x = tensor::PadChannelsLast(y, pad);
+    }
+  }
+  Tensor features = pooled;
+  if (semantic_ != nullptr) {
+    features = tensor::ConcatCols(features, SemanticFeatures(mentions));
+  }
+  Tensor hidden = fuse1_->ForwardFused(features, tensor::FusedAct::kRelu);
+  return tensor::RowL2Normalize(
+      fuse2_->ForwardFused(hidden, tensor::FusedAct::kNone));
+}
+
+Tensor EmbLookupEncoder::SemanticFeatures(
+    const std::vector<std::string>& mentions) {
+  // Frozen semantic branch: plain data tensor, no gradient path. Mention
+  // features are memoized — triplet strings recur across epochs.
+  const int64_t b = static_cast<int64_t>(mentions.size());
+  const int64_t sd = 2 * semantic_->dim();
+  std::vector<float> sem(b * sd);
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    for (int64_t i = 0; i < b; ++i) {
+      auto [it, inserted] = semantic_cache_.try_emplace(mentions[i]);
+      if (inserted) {
+        it->second.resize(sd);
+        semantic_->EncodeMentionSplit(mentions[i], it->second.data(),
+                                      it->second.data() + semantic_->dim());
+      }
+      std::copy(it->second.begin(), it->second.end(), sem.begin() + i * sd);
+    }
+  }
+  return Tensor::FromData({b, sd}, std::move(sem));
 }
 
 std::vector<Tensor> EmbLookupEncoder::Parameters() {
@@ -99,7 +160,12 @@ Status EmbLookupEncoder::Load(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IoError("cannot open " + path);
   std::vector<Tensor> params = Parameters();
-  return tensor::LoadParameters(&params, &in);
+  Status status = tensor::LoadParameters(&params, &in);
+  if (status.ok()) {
+    // New weights: embeddings cached under the old generation are stale.
+    generation_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  return status;
 }
 
 }  // namespace emblookup::core

@@ -1,6 +1,8 @@
 #ifndef EMBLOOKUP_CORE_ENCODER_H_
 #define EMBLOOKUP_CORE_ENCODER_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -36,18 +38,50 @@ class EmbLookupEncoder : public embed::TrainableMentionEncoder {
   EmbLookupEncoder(const EncoderConfig& config,
                    const embed::FastTextModel* semantic);
 
+  /// Encodes a batch of mentions into unit-normalized (B, dim) embeddings.
+  /// An empty batch returns a (0, dim) tensor. Dispatches on the autograd
+  /// state: with gradient recording enabled (training) it runs the tape-
+  /// building reference path; under NoGradGuard (all serving/indexing
+  /// paths) it runs the batched SIMD inference path — one dispatched GEMM
+  /// per conv/linear layer across the whole micro-batch (DESIGN.md §13).
+  /// The two paths agree to float tolerance (the fast path fuses
+  /// multiply-adds and accumulates GEMM terms in a different order), and
+  /// the fast path's output is bit-independent of how a workload is
+  /// split into batches.
   tensor::Tensor EncodeBatch(const std::vector<std::string>& mentions)
       override;
+
+  /// The scalar autograd forward pass (the pre-batching implementation),
+  /// kept public as the numerics reference for tests and bench_encode.
+  /// Requires a non-empty batch.
+  tensor::Tensor EncodeBatchReference(
+      const std::vector<std::string>& mentions);
+
   std::vector<tensor::Tensor> Parameters() override;
   int64_t dim() const override { return config_.embedding_dim; }
 
   const EncoderConfig& config() const { return config_; }
 
-  /// Serializes/restores trainable parameters.
+  /// Weight generation: bumped whenever Load() replaces the parameters.
+  /// EncoderCache entries are stamped with this so embeddings computed
+  /// under retired weights are dropped lazily (DESIGN.md §13).
+  uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
+
+  /// Serializes/restores trainable parameters. A successful Load bumps
+  /// generation().
   Status Save(const std::string& path);
   Status Load(const std::string& path);
 
  private:
+  /// Batched SIMD inference forward (no autograd tape; see EncodeBatch).
+  tensor::Tensor EncodeBatchFast(const std::vector<std::string>& mentions);
+
+  /// Frozen fastText features for the batch as a plain (B, 2*dim) data
+  /// tensor, memoized per mention (shared by both forward paths).
+  tensor::Tensor SemanticFeatures(const std::vector<std::string>& mentions);
+
   EncoderConfig config_;
   text::Alphabet alphabet_;
   text::OneHotEncoder one_hot_;
@@ -59,6 +93,8 @@ class EmbLookupEncoder : public embed::TrainableMentionEncoder {
   // Memoized fastText mention features (triplets recur across epochs).
   mutable std::mutex cache_mu_;
   mutable std::unordered_map<std::string, std::vector<float>> semantic_cache_;
+
+  std::atomic<uint64_t> generation_{0};  ///< Bumped by Load().
 };
 
 }  // namespace emblookup::core

@@ -1,0 +1,121 @@
+#include "core/encoder_cache.h"
+
+#include <algorithm>
+#include <cstring>
+#include <functional>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace emblookup::core {
+
+namespace {
+
+/// Fixed per-entry bookkeeping estimate (list/map nodes, small-string
+/// headers) charged on top of payload bytes — same constant as the
+/// serving-layer QueryCache.
+constexpr size_t kEntryOverheadBytes = 96;
+
+size_t EntryBytes(const std::string& key, int64_t dim) {
+  return kEntryOverheadBytes + 2 * key.size() +  // Key lives in list + map.
+         static_cast<size_t>(dim) * sizeof(float);
+}
+
+}  // namespace
+
+EncoderCache::EncoderCache(int64_t dim, EncoderCacheOptions options)
+    : dim_(dim), options_(options) {
+  EL_CHECK_GT(dim, 0);
+  const size_t shards = std::max<size_t>(1, options_.num_shards);
+  per_shard_entries_ = std::max<size_t>(1, options_.max_entries / shards);
+  shards_.reserve(shards);
+  for (size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+EncoderCache::Shard& EncoderCache::ShardFor(const std::string& key) {
+  return *shards_[std::hash<std::string>{}(key) % shards_.size()];
+}
+
+bool EncoderCache::Get(const std::string& mention, uint64_t generation,
+                       float* out) {
+  const std::string key = NormalizeMention(mention);
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  if (it->second->generation != generation) {
+    // Stamped under retired encoder weights: drop, count as a miss.
+    shard.lru.erase(it->second);
+    shard.map.erase(it);
+    stale_drops_.fetch_add(1, std::memory_order_relaxed);
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);  // Promote.
+  std::memcpy(out, it->second->emb.data(),
+              static_cast<size_t>(dim_) * sizeof(float));
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void EncoderCache::Put(const std::string& mention, uint64_t generation,
+                       const float* emb) {
+  std::string key = NormalizeMention(mention);
+  Shard& shard = ShardFor(key);
+  const size_t bytes = EntryBytes(key, dim_);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it != shard.map.end()) {
+    it->second->emb.assign(emb, emb + dim_);
+    it->second->bytes = bytes;
+    it->second->generation = generation;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  } else {
+    shard.lru.push_front(
+        Entry{key, std::vector<float>(emb, emb + dim_), bytes, generation});
+    shard.map.emplace(std::move(key), shard.lru.begin());
+  }
+  EvictLocked(&shard);
+}
+
+void EncoderCache::EvictLocked(Shard* shard) {
+  while (shard->lru.size() > per_shard_entries_) {
+    shard->map.erase(shard->lru.back().key);
+    shard->lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void EncoderCache::Clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->lru.clear();
+    shard->map.clear();
+  }
+}
+
+EncoderCacheStats EncoderCache::Stats() const {
+  EncoderCacheStats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.evictions = evictions_.load(std::memory_order_relaxed);
+  stats.stale_drops = stale_drops_.load(std::memory_order_relaxed);
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    stats.entries += shard->lru.size();
+    for (const auto& entry : shard->lru) stats.bytes += entry.bytes;
+  }
+  return stats;
+}
+
+std::string EncoderCache::NormalizeMention(std::string_view mention) {
+  return ToLower(NormalizeWhitespace(mention));
+}
+
+}  // namespace emblookup::core

@@ -1,0 +1,120 @@
+#ifndef EMBLOOKUP_CORE_ENCODER_CACHE_H_
+#define EMBLOOKUP_CORE_ENCODER_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace emblookup::core {
+
+/// Sizing of the sharded encoder-output cache. Capacities are totals
+/// across shards; each shard enforces its 1/num_shards slice
+/// independently. Bytes are derived from max_entries at construction
+/// (every entry is the same size: one dim-float embedding plus key), so
+/// unlike QueryCache there is no separate byte budget to tune.
+struct EncoderCacheOptions {
+  size_t num_shards = 8;
+  size_t max_entries = 1 << 16;
+};
+
+/// Point-in-time cache statistics.
+struct EncoderCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;    ///< Capacity evictions (not Clear()).
+  uint64_t stale_drops = 0;  ///< Hits discarded for an old encoder generation.
+  uint64_t entries = 0;
+  uint64_t bytes = 0;
+};
+
+/// Sharded, mutex-striped LRU cache of encoder outputs keyed on the
+/// normalized mention form (DESIGN.md §13). Sits in front of
+/// EmbLookupEncoder::EncodeBatch on the query paths: a hit skips the
+/// whole tensor forward (~µs of GEMM work per mention), and because the
+/// encoder is deterministic the cached embedding is exactly what the
+/// forward would recompute.
+///
+/// Invalidation is by encoder *generation*, not serving epoch: cached
+/// embeddings depend only on the encoder weights, so index swaps and
+/// delta applies (which bump the serving epoch) leave them valid — that
+/// independence is the point of caching at this layer rather than the
+/// result layer. Only EmbLookupEncoder::Load() (weight reload) bumps the
+/// generation; entries stamped with an older generation are dropped
+/// lazily on probe, no stop-the-world clear.
+///
+/// Shards are independent LRUs, so global eviction order is approximate —
+/// the standard trade for stripe-level concurrency (same design as
+/// serve::QueryCache).
+class EncoderCache {
+ public:
+  /// `dim` is the embedding width; every Put must supply exactly `dim`
+  /// floats.
+  EncoderCache(int64_t dim, EncoderCacheOptions options);
+
+  EncoderCache(const EncoderCache&) = delete;
+  EncoderCache& operator=(const EncoderCache&) = delete;
+
+  /// Copies the cached embedding for `mention` into `out` (exactly dim()
+  /// floats) and returns true on a hit, promoting the entry to
+  /// most-recently-used. `generation` is the encoder's current weight
+  /// generation (EmbLookupEncoder::generation()); an entry stamped with
+  /// an older generation describes retired weights, so it is dropped and
+  /// the probe counts as a miss.
+  bool Get(const std::string& mention, uint64_t generation, float* out);
+
+  /// Inserts or refreshes the embedding for `mention` computed under
+  /// `generation`. `emb` must point at dim() floats. Evicts LRU entries
+  /// while the shard exceeds its entry budget.
+  void Put(const std::string& mention, uint64_t generation, const float* emb);
+
+  /// Drops every entry. Does not count as evictions.
+  void Clear();
+
+  EncoderCacheStats Stats() const;
+
+  int64_t dim() const { return dim_; }
+
+  /// Canonical key form: whitespace-collapsed, ASCII-lowercased — the
+  /// same normalization serve::QueryCache applies, chosen because the
+  /// encoder's alphabet lowercases characters and maps runs of
+  /// whitespace-adjacent unknowns identically, so keys collapse exactly
+  /// the mention strings that encode identically.
+  static std::string NormalizeMention(std::string_view mention);
+
+ private:
+  struct Entry {
+    std::string key;
+    std::vector<float> emb;  ///< Exactly dim_ floats.
+    size_t bytes = 0;
+    uint64_t generation = 0;  ///< Encoder generation stamped at Put.
+  };
+
+  struct Shard {
+    std::mutex mu;
+    std::list<Entry> lru;  ///< Front = most recently used.
+    std::unordered_map<std::string, std::list<Entry>::iterator> map;
+  };
+
+  Shard& ShardFor(const std::string& key);
+  /// Evicts from `shard` (locked by caller) until it fits its budget.
+  void EvictLocked(Shard* shard);
+
+  int64_t dim_;
+  EncoderCacheOptions options_;
+  size_t per_shard_entries_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> stale_drops_{0};
+};
+
+}  // namespace emblookup::core
+
+#endif  // EMBLOOKUP_CORE_ENCODER_CACHE_H_

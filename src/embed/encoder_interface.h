@@ -16,7 +16,15 @@ class TrainableMentionEncoder {
  public:
   virtual ~TrainableMentionEncoder() = default;
 
-  /// Embeds a batch of mentions; records autograd tape when enabled.
+  /// Embeds a batch of mentions as a (B, dim()) row-major tensor, row i
+  /// for mentions[i]; an empty batch yields a (0, dim()) tensor. Records
+  /// the autograd tape when gradient recording is enabled; with it
+  /// disabled (NoGradGuard) implementations may take a batched
+  /// inference-only path whose results are deterministic and independent
+  /// of how callers split the batch, but may differ from the training
+  /// path by float summation order (DESIGN.md §13). Mentions longer than
+  /// the implementation's max length are truncated, shorter ones padded —
+  /// two mentions equal after truncation embed identically.
   virtual tensor::Tensor EncodeBatch(
       const std::vector<std::string>& mentions) = 0;
 

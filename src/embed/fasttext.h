@@ -15,12 +15,24 @@ namespace emblookup::embed {
 /// n-gram vectors. Unknown words still get a (subword) embedding, giving
 /// moderate typo robustness. This is both a Table VII baseline and the
 /// semantic branch that EmbLookup bootstraps from (§III-B).
+///
+/// N-gram hashing: each word is wrapped in boundary markers ("<word>"),
+/// every character n-gram with minn <= n <= maxn is hashed with FNV-1a
+/// and reduced modulo `buckets` to index one shared (buckets, dim) vector
+/// table — there is no n-gram vocabulary, so memory is fixed up front and
+/// unseen n-grams always resolve. Distinct n-grams that collide into a
+/// bucket share (and co-train) one vector; with the default 2^16 buckets
+/// that is rare enough on KG-label vocabularies to cost nothing
+/// measurable, and it degrades smoothly rather than failing as the
+/// vocabulary grows. The boundary markers make prefixes/suffixes ("<ge",
+/// "ny>") distinct from word-internal trigrams — that positional signal
+/// is most of the typo robustness.
 class FastTextModel : public Word2Vec {
  public:
   struct SubwordOptions {
-    int minn = 3;
-    int maxn = 5;
-    int64_t buckets = 1 << 16;
+    int minn = 3;           ///< Shortest n-gram length (markers included).
+    int maxn = 5;           ///< Longest n-gram length.
+    int64_t buckets = 1 << 16;  ///< Hash-table rows; memory = buckets*dim.
   };
 
   FastTextModel() : FastTextModel(Options{}, SubwordOptions{}) {}

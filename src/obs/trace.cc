@@ -52,6 +52,8 @@ const char* StageName(Stage stage) {
     case Stage::kWalShip: return "wal_ship";
     case Stage::kWalReplay: return "wal_replay";
     case Stage::kHnswScan: return "hnsw_scan";
+    case Stage::kEncodeCacheProbe: return "encode_cache_probe";
+    case Stage::kEncodeBatch: return "encode_batch";
   }
   return "unknown";
 }

@@ -44,8 +44,10 @@ enum class Stage : uint8_t {
   kWalShip,           ///< Leader: encode + send one WAL segment (cluster).
   kWalReplay,         ///< Follower: apply one shipped mutation (cluster).
   kHnswScan,          ///< HnswIndex::Search — descent + layer-0 beam (ann).
+  kEncodeCacheProbe,  ///< EncoderCache Get over a query batch (core).
+  kEncodeBatch,       ///< Batched encoder tensor forward, misses only (core).
 };
-inline constexpr int kNumStages = static_cast<int>(Stage::kHnswScan) + 1;
+inline constexpr int kNumStages = static_cast<int>(Stage::kEncodeBatch) + 1;
 
 /// Stable snake_case stage name ("queue_wait", "main_scan", ...) — the
 /// `stage` label value in exporter output and the slow-query log.

@@ -54,6 +54,29 @@ void WriteCacheFamilies(PrometheusWriter* w, const QueryCacheStats& c) {
              c.stale_drops);
 }
 
+void WriteEncodeCacheFamilies(PrometheusWriter* w,
+                              const core::EncoderCacheStats& c) {
+  // Always emitted (zeros when the cache is disabled) so the family set
+  // is stable for scrapers and the metrics<->docs CI gate.
+  w->Counter("emblookup_encode_cache_hits_total",
+             "Encoder-cache hits (mentions served without a forward pass).",
+             c.hits);
+  w->Counter("emblookup_encode_cache_misses_total",
+             "Encoder-cache misses (mentions that ran the batched forward).",
+             c.misses);
+  w->Counter("emblookup_encode_cache_evictions_total",
+             "Encoder-cache capacity evictions.", c.evictions);
+  w->Counter("emblookup_encode_cache_stale_drops_total",
+             "Encoder-cache hits discarded for an old encoder weight "
+             "generation.",
+             c.stale_drops);
+  w->Gauge("emblookup_encode_cache_entries", "Live encoder-cache entries.",
+           static_cast<double>(c.entries));
+  w->Gauge("emblookup_encode_cache_bytes",
+           "Approximate encoder-cache payload bytes.",
+           static_cast<double>(c.bytes));
+}
+
 void WriteStageFamilies(PrometheusWriter* w,
                         const obs::StageMetrics::Snapshot& s) {
   // One labelled series per stage, all emitted (even empty) so the family
@@ -127,6 +150,7 @@ std::string RenderPrometheusText(const ExportInputs& inputs) {
   PrometheusWriter w;
   WriteServeFamilies(&w, inputs.metrics);
   WriteCacheFamilies(&w, inputs.cache);
+  WriteEncodeCacheFamilies(&w, inputs.encode_cache);
   WriteStageFamilies(&w, inputs.stages);
   WriteHnswFamilies(&w);
   if (inputs.update.has_value()) WriteUpdateFamilies(&w, *inputs.update);
@@ -139,6 +163,7 @@ std::string PrometheusText(const LookupServer& server,
   ExportInputs inputs;
   inputs.metrics = server.Metrics();
   inputs.cache = server.CacheStats();
+  inputs.encode_cache = server.EncodeCacheStats();
   inputs.stages = obs::StageMetrics::Global().SnapshotAll();
   if (updater != nullptr) inputs.update = updater->stats();
   inputs.obs_stats = server.GetObsStats();

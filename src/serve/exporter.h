@@ -18,6 +18,9 @@ namespace emblookup::serve {
 struct ExportInputs {
   MetricsSnapshot metrics;
   QueryCacheStats cache;
+  /// Encoder-output cache (core::EncoderCache); zeros when disabled — its
+  /// families are still emitted so the family set stays stable.
+  core::EncoderCacheStats encode_cache;
   obs::StageMetrics::Snapshot stages;
   std::optional<update::UpdaterStats> update;
   std::optional<LookupServer::ObsStats> obs_stats;

@@ -226,7 +226,18 @@ std::string LookupServer::StatsText() const {
   out += "cache_bytes              " + std::to_string(cache.bytes) + "\n";
   out += "cache_evictions          " + std::to_string(cache.evictions) + "\n";
   out += "cache_stale_drops        " + std::to_string(cache.stale_drops) + "\n";
+  const core::EncoderCacheStats ec = EncodeCacheStats();
+  out += "encode_cache_hits        " + std::to_string(ec.hits) + "\n";
+  out += "encode_cache_misses      " + std::to_string(ec.misses) + "\n";
+  out += "encode_cache_entries     " + std::to_string(ec.entries) + "\n";
   return out;
+}
+
+core::EncoderCacheStats LookupServer::EncodeCacheStats() const {
+  if (emblookup_ != nullptr && emblookup_->encode_cache() != nullptr) {
+    return emblookup_->encode_cache()->Stats();
+  }
+  return {};
 }
 
 size_t LookupServer::queue_depth() const {

@@ -157,6 +157,9 @@ class LookupServer {
 
   MetricsSnapshot Metrics() const { return metrics_.Snapshot(); }
   QueryCacheStats CacheStats() const { return cache_.Stats(); }
+  /// Encoder-output-cache statistics from the wrapped EmbLookup; all zeros
+  /// when the server wraps no EmbLookup or its encode cache is disabled.
+  core::EncoderCacheStats EncodeCacheStats() const;
   /// Metrics + cache statistics as a human-readable text block.
   std::string StatsText() const;
   size_t queue_depth() const;

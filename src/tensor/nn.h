@@ -41,6 +41,13 @@ class Linear : public Module {
 
   Tensor Forward(const Tensor& x) { return Add(MatMul(x, weight_), bias_); }
 
+  /// Inference-only fused forward: act(x W + b) as one dispatched GEMM
+  /// (see MatMulBiasAct). Requires grad recording to be off; numerics
+  /// match Forward to float tolerance (different accumulation order).
+  Tensor ForwardFused(const Tensor& x, FusedAct act) {
+    return MatMulBiasAct(x, weight_, bias_, act);
+  }
+
   std::vector<Tensor> Parameters() override { return {weight_, bias_}; }
 
   Tensor& weight() { return weight_; }
@@ -63,6 +70,13 @@ class Conv1dLayer : public Module {
   }
 
   std::vector<Tensor> Parameters() override { return {weight_, bias_}; }
+
+  /// Raw parameters and geometry, exposed for the inference-only
+  /// channels-last conv path (PackConv1dWeight + Conv1dChannelsLastPadded).
+  const Tensor& weight() const { return weight_; }
+  const Tensor& bias() const { return bias_; }
+  int64_t kernel() const { return weight_.dim(2); }
+  int64_t padding() const { return padding_; }
 
  private:
   Tensor weight_;

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <memory>
 
+#include "ann/kernels.h"
 #include "common/logging.h"
 
 namespace emblookup::tensor {
@@ -737,6 +739,193 @@ Tensor ContrastiveLossFromTriplets(const Tensor& anchor,
   Tensor d_an = RowSquaredDistance(anchor, negative);
   Tensor push = Relu(MulScalar(AddScalar(d_an, -margin), -1.0f));
   return Mean(Add(d_ap, push));
+}
+
+// ---------------------------------------------------------------------------
+// Inference-only fused & batched ops (DESIGN.md §13). No MakeOp: these
+// never build tape, and assert grad recording is off so a training path
+// can't silently lose gradients by calling them.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+int KernelAct(FusedAct act) {
+  return act == FusedAct::kRelu ? ann::kernels::kActRelu
+                                : ann::kernels::kActIdentity;
+}
+
+void CheckInferenceOnly(const char* op) {
+  EL_CHECK(!GradEnabled())
+      << op << " is inference-only (no autograd tape); wrap the call in "
+      << "NoGradGuard or use the autograd op instead";
+}
+
+}  // namespace
+
+Tensor MatMulBiasAct(const Tensor& x, const Tensor& w, const Tensor& bias,
+                     FusedAct act) {
+  CheckInferenceOnly("MatMulBiasAct");
+  EL_CHECK_EQ(x.ndim(), 2);
+  EL_CHECK_EQ(w.ndim(), 2);
+  EL_CHECK_EQ(bias.ndim(), 1);
+  const int64_t m = x.dim(0), k = x.dim(1);
+  const int64_t n = w.dim(1);
+  EL_CHECK_EQ(w.dim(0), k);
+  EL_CHECK_EQ(bias.dim(0), n);
+  std::vector<float> out(m * n);
+  ann::kernels::GemmBiasAct(x.data(), k, w.data(), bias.data(), m, k, n,
+                            out.data(), KernelAct(act));
+  return Tensor::FromData({m, n}, std::move(out));
+}
+
+Tensor PackConv1dWeight(const Tensor& weight) {
+  EL_CHECK_EQ(weight.ndim(), 3);
+  const int64_t cout = weight.dim(0), cin = weight.dim(1), k = weight.dim(2);
+  std::vector<float> packed(k * cin * cout);
+  const float* w = weight.data();
+  for (int64_t co = 0; co < cout; ++co) {
+    for (int64_t ci = 0; ci < cin; ++ci) {
+      for (int64_t kk = 0; kk < k; ++kk) {
+        packed[(kk * cin + ci) * cout + co] = w[(co * cin + ci) * k + kk];
+      }
+    }
+  }
+  return Tensor::FromData({k * cin, cout}, std::move(packed));
+}
+
+Tensor PadChannelsLast(const Tensor& x, int64_t padding) {
+  CheckInferenceOnly("PadChannelsLast");
+  EL_CHECK_EQ(x.ndim(), 3);
+  EL_CHECK_GE(padding, 0);
+  const int64_t b = x.dim(0), l = x.dim(1), c = x.dim(2);
+  const int64_t lp = l + 2 * padding;
+  std::vector<float> out(b * lp * c, 0.0f);
+  for (int64_t bi = 0; bi < b; ++bi) {
+    std::memcpy(out.data() + (bi * lp + padding) * c,
+                x.data() + bi * l * c,
+                static_cast<size_t>(l * c) * sizeof(float));
+  }
+  return Tensor::FromData({b, lp, c}, std::move(out));
+}
+
+Tensor Conv1dChannelsLastPadded(const Tensor& xpad, int64_t kernel,
+                                int64_t padding, const Tensor& packed_weight,
+                                const Tensor& bias, FusedAct act) {
+  CheckInferenceOnly("Conv1dChannelsLastPadded");
+  EL_CHECK_EQ(xpad.ndim(), 3);
+  EL_CHECK_EQ(packed_weight.ndim(), 2);
+  EL_CHECK_EQ(bias.ndim(), 1);
+  const int64_t b = xpad.dim(0), lp = xpad.dim(1), cin = xpad.dim(2);
+  EL_CHECK_GT(lp - 2 * padding, 0) << "Conv1dChannelsLastPadded: bad geometry";
+  // Every window fully inside an item's padded block is a valid output:
+  // lout = lp - kernel + 1 == L + 2*padding - kernel + 1, matching Conv1d.
+  const int64_t lout = lp - kernel + 1;
+  EL_CHECK_GT(lout, 0) << "Conv1dChannelsLastPadded: input too short";
+  EL_CHECK_EQ(packed_weight.dim(0), kernel * cin);
+  const int64_t cout = packed_weight.dim(1);
+  EL_CHECK_EQ(bias.dim(0), cout);
+  if (b == 0) return Tensor::FromData({0, lout, cout}, {});
+  // One GEMM per item, written straight into the output tensor: item bi's
+  // window starts are `lout` GEMM rows with stride cin, and its output rows
+  // are already contiguous — no scratch buffer, no compaction pass, no
+  // wasted rows for the windows straddling item boundaries. The kernel
+  // dispatch is a function-pointer call, so per-item calls cost nothing
+  // next to the GEMM itself, and each output row is computed identically
+  // to a whole-batch GEMM (row-independent kernel), keeping the
+  // batch-split bit-invariance contract.
+  std::vector<float> out(b * lout * cout);
+  for (int64_t bi = 0; bi < b; ++bi) {
+    ann::kernels::GemmBiasAct(xpad.data() + bi * lp * cin, cin,
+                              packed_weight.data(), bias.data(), lout,
+                              kernel * cin, cout,
+                              out.data() + bi * lout * cout, KernelAct(act));
+  }
+  return Tensor::FromData({b, lout, cout}, std::move(out));
+}
+
+Tensor Conv1dOneHotPadded(const std::vector<int32_t>& indices, int64_t b,
+                          int64_t lp, int64_t cin, int64_t kernel,
+                          const Tensor& packed_weight, const Tensor& bias,
+                          FusedAct act) {
+  CheckInferenceOnly("Conv1dOneHotPadded");
+  EL_CHECK_EQ(packed_weight.ndim(), 2);
+  EL_CHECK_EQ(bias.ndim(), 1);
+  EL_CHECK_EQ(packed_weight.dim(0), kernel * cin);
+  EL_CHECK_EQ(static_cast<int64_t>(indices.size()), b * lp);
+  const int64_t lout = lp - kernel + 1;
+  EL_CHECK_GT(lout, 0) << "Conv1dOneHotPadded: input too short";
+  const int64_t cout = packed_weight.dim(1);
+  EL_CHECK_EQ(bias.dim(0), cout);
+  if (b == 0) return Tensor::FromData({0, lout, cout}, {});
+  const float* w = packed_weight.data();
+  const float* bs = bias.data();
+  std::vector<float> out(b * lout * cout);
+  for (int64_t bi = 0; bi < b; ++bi) {
+    const int32_t* item = indices.data() + bi * lp;
+    float* orow = out.data() + bi * lout * cout;
+    for (int64_t t = 0; t < lout; ++t, orow += cout) {
+      std::memcpy(orow, bs, static_cast<size_t>(cout) * sizeof(float));
+      for (int64_t kk = 0; kk < kernel; ++kk) {
+        const int32_t p = item[t + kk];
+        if (p < 0) continue;
+        EL_CHECK_LT(p, cin);
+        const float* wrow = w + (kk * cin + p) * cout;
+        for (int64_t j = 0; j < cout; ++j) orow[j] += wrow[j];
+      }
+      if (act == FusedAct::kRelu) {
+        for (int64_t j = 0; j < cout; ++j) {
+          if (orow[j] < 0.0f) orow[j] = 0.0f;
+        }
+      }
+    }
+  }
+  return Tensor::FromData({b, lout, cout}, std::move(out));
+}
+
+Tensor GlobalMaxPool1dChannelsLast(const Tensor& x) {
+  CheckInferenceOnly("GlobalMaxPool1dChannelsLast");
+  EL_CHECK_EQ(x.ndim(), 3);
+  const int64_t b = x.dim(0), l = x.dim(1), c = x.dim(2);
+  EL_CHECK_GT(l, 0);
+  std::vector<float> out(b * c);
+  for (int64_t bi = 0; bi < b; ++bi) {
+    const float* xb = x.data() + bi * l * c;
+    float* ob = out.data() + bi * c;
+    std::memcpy(ob, xb, static_cast<size_t>(c) * sizeof(float));
+    for (int64_t t = 1; t < l; ++t) {
+      const float* row = xb + t * c;
+      for (int64_t ci = 0; ci < c; ++ci) {
+        if (row[ci] > ob[ci]) ob[ci] = row[ci];
+      }
+    }
+  }
+  return Tensor::FromData({b, c}, std::move(out));
+}
+
+Tensor MaxPool1dChannelsLast(const Tensor& x, int64_t kernel) {
+  CheckInferenceOnly("MaxPool1dChannelsLast");
+  EL_CHECK_EQ(x.ndim(), 3);
+  EL_CHECK_GT(kernel, 0);
+  const int64_t b = x.dim(0), l = x.dim(1), c = x.dim(2);
+  const int64_t lout = l / kernel;
+  EL_CHECK_GT(lout, 0) << "MaxPool1dChannelsLast: input shorter than kernel";
+  std::vector<float> out(b * lout * c);
+  for (int64_t bi = 0; bi < b; ++bi) {
+    const float* xb = x.data() + bi * l * c;
+    float* ob = out.data() + bi * lout * c;
+    for (int64_t t = 0; t < lout; ++t) {
+      const float* win = xb + t * kernel * c;
+      float* orow = ob + t * c;
+      std::memcpy(orow, win, static_cast<size_t>(c) * sizeof(float));
+      for (int64_t j = 1; j < kernel; ++j) {
+        const float* row = win + j * c;
+        for (int64_t ci = 0; ci < c; ++ci) {
+          if (row[ci] > orow[ci]) orow[ci] = row[ci];
+        }
+      }
+    }
+  }
+  return Tensor::FromData({b, lout, c}, std::move(out));
 }
 
 }  // namespace emblookup::tensor

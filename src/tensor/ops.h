@@ -8,6 +8,20 @@
 
 namespace emblookup::tensor {
 
+// Conventions (shared by every op in this header):
+//  - All tensors are dense row-major float32: the LAST dimension is
+//    contiguous. A rank-2 (M, N) tensor stores element (i, j) at
+//    data()[i * N + j]; a rank-3 (B, C, L) tensor stores (b, c, t) at
+//    data()[(b * C + c) * L + t].
+//  - The CNN ops come in two layouts. The autograd ops use channels-major
+//    (B, C, L) — one contiguous length-L strip per channel, matching
+//    torch's Conv1d. The inference-only ops at the bottom of this header
+//    use channels-last (B, L, C) — one contiguous C-vector per string
+//    position — because that is the layout under which a conv1d becomes a
+//    single row-major GEMM (see DESIGN.md §13).
+//  - "Rank-2" matrix operands are never implicitly transposed; MatMul(a, b)
+//    multiplies a (M, K) by b (K, N) exactly as stored.
+
 // ---------------------------------------------------------------------------
 // Elementwise & scalar ops. All ops record autograd tape entries when grad
 // recording is enabled and any operand requires grad.
@@ -148,6 +162,91 @@ Tensor TripletLoss(const Tensor& anchor, const Tensor& positive,
 Tensor ContrastiveLossFromTriplets(const Tensor& anchor,
                                    const Tensor& positive,
                                    const Tensor& negative, float margin);
+
+// ---------------------------------------------------------------------------
+// Inference-only fused & batched ops (the batched encoder path, DESIGN.md
+// §13). These route through the runtime-dispatched SIMD kernel layer
+// (src/ann/kernels.h gemm_bias_act) instead of the scalar autograd loops,
+// fuse the bias add and activation into the GEMM epilogue, and build NO
+// autograd tape — they EL_CHECK that gradient recording is disabled
+// (wrap calls in NoGradGuard). Numerics contract: results are independent
+// of batch size bit-for-bit (each output row reads only its own item's
+// rows, and per-element accumulation order never depends on the batch),
+// but differ from the autograd ops by float summation order and
+// fused-multiply-add rounding — see the per-op comments.
+// ---------------------------------------------------------------------------
+
+/// Activation fused into the GEMM epilogue of the inference ops.
+enum class FusedAct { kNone = 0, kRelu = 1 };
+
+/// act(x @ w + bias): x (M, K), w (K, N), bias (N) -> (M, N), the fused
+/// inference form of Add(MatMul(x, w), bias). Accumulates over K in the
+/// kernel's fixed four-lane interleaved order (see gemm_bias_act in
+/// src/ann/kernels.h), which differs from MatMul's left-to-right
+/// association, so results match MatMul+Add only to float tolerance;
+/// rows are independent, so results are bit-independent of how a
+/// workload is split into batches.
+Tensor MatMulBiasAct(const Tensor& x, const Tensor& w, const Tensor& bias,
+                     FusedAct act);
+
+/// Repacks a Conv1d weight (Cout, Cin, K) into the implicit-im2col GEMM
+/// operand expected by Conv1dChannelsLastPadded: a (K*Cin, Cout) row-major
+/// matrix with row r = kk*Cin + ci holding weight[:, ci, kk]. Row order
+/// matches the channels-last input window layout, where the K*Cin floats
+/// under an output position are position-major: [x[t+0, :], x[t+1, :], ...].
+Tensor PackConv1dWeight(const Tensor& weight);
+
+/// Zero-pads the temporal axis of a channels-last activation batch:
+/// (B, L, C) -> (B, L + 2*padding, C) with `padding` all-zero C-rows
+/// before and after each item. Output feeds Conv1dChannelsLastPadded.
+Tensor PadChannelsLast(const Tensor& x, int64_t padding);
+
+/// Batched 1-D convolution + bias + activation as one row-major GEMM per
+/// item, written directly into the output (stride 1): xpad
+/// (B, L + 2*padding, C_in) channels-last with zeroed pad rows
+/// (PadChannelsLast), packed_weight (K*Cin, Cout) from PackConv1dWeight,
+/// bias (Cout) -> (B, Lout, Cout) channels-last,
+/// Lout = L + 2*padding - K + 1.
+///
+/// Output position t of item b is the GEMM row starting at padded row
+/// (b, t): its K*Cin-float window covers padded rows t..t+K-1, all inside
+/// the item's own padded block, so batched and per-item calls are
+/// bit-identical. An item's Lout output rows are contiguous, so each
+/// per-item GEMM lands in place — no scratch buffer or compaction pass
+/// (the kernel dispatch is a function-pointer call; per-item calls cost
+/// nothing next to the GEMM). All-zero 16-element input spans (padding
+/// tails of short mentions) skip their weight rows inside the kernel;
+/// the fully-sparse first layer goes further and skips the GEMM
+/// entirely (Conv1dOneHotPadded below).
+Tensor Conv1dChannelsLastPadded(const Tensor& xpad, int64_t kernel,
+                                int64_t padding, const Tensor& packed_weight,
+                                const Tensor& bias, FusedAct act);
+
+/// First-layer convolution over one-hot text, without materializing the
+/// one-hot tensor: a conv whose input rows have at most one 1.0 is a
+/// table lookup, so output position t of an item is just
+/// act(bias + sum_kk packed_weight[kk*cin + idx[t+kk], :]) with -1
+/// indices (structural padding / zero-pad tail) contributing nothing.
+/// `indices` is OneHotEncoder::EncodeBatchIndices output: b items of lp
+/// padded positions, each in [-1, cin). packed_weight (K*cin, Cout) from
+/// PackConv1dWeight, bias (Cout) -> (B, Lout, Cout) channels-last,
+/// Lout = lp - kernel + 1, exactly Conv1dChannelsLastPadded's geometry.
+/// Values match that GEMM path to float tolerance (terms sum kk-ascending
+/// in one chain here vs. the GEMM's four interleaved lanes) and are
+/// bit-independent of the batch split (rows never cross item boundaries).
+Tensor Conv1dOneHotPadded(const std::vector<int32_t>& indices, int64_t b,
+                          int64_t lp, int64_t cin, int64_t kernel,
+                          const Tensor& packed_weight, const Tensor& bias,
+                          FusedAct act);
+
+/// Global max over the temporal axis, channels-last: (B, L, C) -> (B, C).
+/// Same values as GlobalMaxPool1d on the (B, C, L) layout (max is
+/// order-free), no argmax recording.
+Tensor GlobalMaxPool1dChannelsLast(const Tensor& x);
+
+/// Non-overlapping temporal max pool, channels-last:
+/// (B, L, C) -> (B, floor(L / kernel), C).
+Tensor MaxPool1dChannelsLast(const Tensor& x, int64_t kernel);
 
 }  // namespace emblookup::tensor
 

@@ -9,11 +9,19 @@
 
 namespace emblookup::tensor {
 
-/// Writes a parameter list to a binary stream (little-endian, versioned).
+/// Writes a parameter list to a binary stream: "ELT1" magic, u64 tensor
+/// count, then per tensor a u32 rank, i64 dims, and the raw row-major
+/// float32 payload. Host-endian PODs (all supported targets are
+/// little-endian); gradients and autograd structure are NOT serialized —
+/// this is a weights format, not a checkpoint of training state.
 Status SaveParameters(const std::vector<Tensor>& params, std::ostream* os);
 
-/// Reads parameters saved by SaveParameters into pre-constructed tensors.
-/// Shapes must match exactly (models must be built with the same config).
+/// Reads parameters saved by SaveParameters into pre-constructed tensors,
+/// in Parameters() order. Count and every shape must match exactly (build
+/// the model with the same config first, then Load into it); magic
+/// mismatch, shape mismatch, or truncation return Status — a failed load
+/// may leave earlier tensors already overwritten, so treat the model as
+/// unusable on error.
 Status LoadParameters(std::vector<Tensor>* params, std::istream* is);
 
 }  // namespace emblookup::tensor

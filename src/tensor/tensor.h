@@ -44,6 +44,12 @@ struct TensorImpl {
 /// Dynamically-shaped float32 tensor with reverse-mode autodiff, modeled on
 /// the subset of torch::Tensor the paper's models need. Value-semantic handle
 /// to shared storage: copying a Tensor aliases the same buffer.
+///
+/// Storage is always dense row-major — the LAST dimension is contiguous,
+/// element (i, j) of an (M, N) tensor sits at data()[i * N + j] — and
+/// there are no strides or transposed views: every op materializes its
+/// result in this layout (see the conventions block in ops.h for the
+/// channels-major vs channels-last CNN layouts built on top of it).
 class Tensor {
  public:
   /// Constructs an empty (null) tensor.

@@ -1,5 +1,6 @@
 #include "text/alphabet.h"
 
+#include <algorithm>
 #include <cctype>
 
 #include "common/logging.h"
@@ -61,6 +62,43 @@ tensor::Tensor OneHotEncoder::EncodeBatch(
     EncodeInto(mentions[i], data.data() + i * rows * max_len_);
   }
   return tensor::Tensor::FromData({b, rows, max_len_}, std::move(data));
+}
+
+tensor::Tensor OneHotEncoder::EncodeBatchChannelsLast(
+    const std::vector<std::string>& mentions, int64_t padding) const {
+  EL_CHECK_GE(padding, 0);
+  const int64_t c = alphabet_->size();
+  const int64_t b = static_cast<int64_t>(mentions.size());
+  const int64_t lp = max_len_ + 2 * padding;
+  std::vector<float> data(b * lp * c, 0.0f);
+  for (int64_t i = 0; i < b; ++i) {
+    float* item = data.data() + i * lp * c;
+    const std::string& m = mentions[i];
+    const int64_t len =
+        std::min<int64_t>(static_cast<int64_t>(m.size()), max_len_);
+    for (int64_t t = 0; t < len; ++t) {
+      item[(padding + t) * c + alphabet_->Pos(m[t])] = 1.0f;
+    }
+  }
+  return tensor::Tensor::FromData({b, lp, c}, std::move(data));
+}
+
+std::vector<int32_t> OneHotEncoder::EncodeBatchIndices(
+    const std::vector<std::string>& mentions, int64_t padding) const {
+  EL_CHECK_GE(padding, 0);
+  const int64_t b = static_cast<int64_t>(mentions.size());
+  const int64_t lp = max_len_ + 2 * padding;
+  std::vector<int32_t> idx(b * lp, -1);
+  for (int64_t i = 0; i < b; ++i) {
+    int32_t* item = idx.data() + i * lp;
+    const std::string& m = mentions[i];
+    const int64_t len =
+        std::min<int64_t>(static_cast<int64_t>(m.size()), max_len_);
+    for (int64_t t = 0; t < len; ++t) {
+      item[padding + t] = static_cast<int32_t>(alphabet_->Pos(m[t]));
+    }
+  }
+  return idx;
 }
 
 }  // namespace emblookup::text

@@ -52,6 +52,27 @@ class OneHotEncoder {
   /// Encodes a batch of mentions as a (B, |A|, L) tensor.
   tensor::Tensor EncodeBatch(const std::vector<std::string>& mentions) const;
 
+  /// Encodes a batch in the channels-last padded layout of the batched
+  /// inference path: (B, L + 2*padding, |A|), where row (b, padding + t)
+  /// holds the one-hot vector of character t and the `padding` rows on
+  /// each side of every item are zero (see Conv1dChannelsLastPadded).
+  /// Same truncation/zero-pad-right semantics as EncodeBatch; each
+  /// position row has at most one nonzero, which is what makes the first
+  /// conv layer's zero-skipping GEMM cheap. Accepts an empty batch.
+  tensor::Tensor EncodeBatchChannelsLast(
+      const std::vector<std::string>& mentions, int64_t padding) const;
+
+  /// The sparse form of EncodeBatchChannelsLast: the alphabet position of
+  /// each padded time-step, or -1 where the one-hot row would be all
+  /// zeros (the `padding` rows flanking every item and the zero-pad tail
+  /// of mentions shorter than max_len). Length b * (max_len + 2*padding).
+  /// Because each one-hot row has at most one 1.0, this is a lossless
+  /// encoding of the dense tensor, and it is what the first conv layer
+  /// consumes directly (Conv1dOneHotPadded) — a conv over one-hot input
+  /// is a table lookup, not a GEMM.
+  std::vector<int32_t> EncodeBatchIndices(
+      const std::vector<std::string>& mentions, int64_t padding) const;
+
   int64_t max_len() const { return max_len_; }
   const Alphabet& alphabet() const { return *alphabet_; }
 

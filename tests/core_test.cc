@@ -2,14 +2,19 @@
 #include <cstdio>
 #include <set>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/rng.h"
 #include "core/emblookup.h"
 #include "core/encoder.h"
+#include "core/encoder_cache.h"
 #include "core/entity_index.h"
 #include "core/trainer.h"
 #include "core/triplets.h"
+#include "kg/noise.h"
 #include "kg/synthetic_kg.h"
 
 namespace emblookup::core {
@@ -95,6 +100,166 @@ TEST(EncoderTest, GradientsFlowToAllParameters) {
     }
   }
   EXPECT_GT(total, 0.0);
+}
+
+TEST(EncoderTest, EmptyBatchReturnsZeroRows) {
+  EncoderConfig config;
+  EmbLookupEncoder encoder(config, nullptr);
+  tensor::NoGradGuard guard;
+  tensor::Tensor out = encoder.EncodeBatch({});
+  EXPECT_EQ(out.dim(0), 0);
+  EXPECT_EQ(out.dim(1), config.embedding_dim);
+  EXPECT_EQ(out.size(), 0);
+}
+
+TEST(EncoderTest, FastPathMatchesReferenceWithinTolerance) {
+  // The batched SIMD path fuses multiply-adds and accumulates GEMM terms
+  // in a different order than the autograd reference, so agreement is to
+  // float tolerance, not bitwise (DESIGN.md §13). Includes a max-length
+  // mention (> max_len, truncated) and the empty string.
+  EncoderConfig config;
+  EmbLookupEncoder encoder(config, nullptr);
+  const std::vector<std::string> mentions = {
+      "germany", "east berlin", "", "x",
+      std::string(100, 'q') /* truncated to max_len */,
+      "federal republic of germany"};
+  tensor::NoGradGuard guard;
+  tensor::Tensor fast = encoder.EncodeBatch(mentions);
+  tensor::Tensor ref = encoder.EncodeBatchReference(mentions);
+  ASSERT_EQ(fast.size(), ref.size());
+  for (int64_t i = 0; i < ref.size(); ++i) {
+    EXPECT_NEAR(fast.data()[i], ref.data()[i], 1e-4f) << "element " << i;
+  }
+}
+
+TEST(EncoderTest, FastPathBatchSplitInvariant) {
+  // Re-batching queries must not change embeddings bitwise: the batched
+  // conv GEMM windows never cross item boundaries, and each row's
+  // accumulation order is batch-independent. Odd batch size on purpose.
+  EncoderConfig config;
+  EmbLookupEncoder encoder(config, nullptr);
+  const std::vector<std::string> mentions = {"germany",     "east berlin",
+                                             "deutschland", "bundesrepublik",
+                                             "g",           "berlin wall",
+                                             "weimar"};
+  tensor::NoGradGuard guard;
+  tensor::Tensor whole = encoder.EncodeBatch(mentions);
+  const int64_t dim = config.embedding_dim;
+  for (size_t i = 0; i < mentions.size(); ++i) {
+    tensor::Tensor single = encoder.EncodeBatch({mentions[i]});
+    for (int64_t j = 0; j < dim; ++j) {
+      EXPECT_EQ(single.data()[j],
+                whole.data()[static_cast<int64_t>(i) * dim + j])
+          << "mention " << i << " dim " << j;
+    }
+  }
+}
+
+TEST(EncoderTest, LoadBumpsGeneration) {
+  EncoderConfig config;
+  EmbLookupEncoder a(config, nullptr);
+  const std::string path = ::testing::TempDir() + "/encoder_gen.bin";
+  ASSERT_TRUE(a.Save(path).ok());
+  const uint64_t before = a.generation();
+  ASSERT_TRUE(a.Load(path).ok());
+  EXPECT_EQ(a.generation(), before + 1);
+  std::remove(path.c_str());
+}
+
+// --- EncoderCache ------------------------------------------------------------
+
+TEST(EncoderCacheTest, MissThenHitRoundTrips) {
+  EncoderCache cache(4, EncoderCacheOptions{});
+  const float emb[4] = {0.1f, 0.2f, 0.3f, 0.4f};
+  float out[4] = {};
+  EXPECT_FALSE(cache.Get("berlin", 1, out));
+  cache.Put("berlin", 1, emb);
+  ASSERT_TRUE(cache.Get("berlin", 1, out));
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(out[i], emb[i]);
+  const EncoderCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_GT(stats.bytes, 0u);
+}
+
+TEST(EncoderCacheTest, KeysCollapseUnderNormalization) {
+  // "  East  BERLIN " and "east berlin" encode identically (the alphabet
+  // lowercases, whitespace collapses), so they must share one cache entry.
+  EncoderCache cache(2, EncoderCacheOptions{});
+  const float emb[2] = {1.0f, 2.0f};
+  cache.Put("  East  BERLIN ", 1, emb);
+  float out[2] = {};
+  EXPECT_TRUE(cache.Get("east berlin", 1, out));
+  EXPECT_EQ(out[0], 1.0f);
+  EXPECT_EQ(cache.Stats().entries, 1u);
+}
+
+TEST(EncoderCacheTest, GenerationMismatchDropsEntry) {
+  EncoderCache cache(2, EncoderCacheOptions{});
+  const float emb[2] = {1.0f, 2.0f};
+  cache.Put("berlin", 1, emb);
+  float out[2] = {};
+  // Probe under a newer generation: stale entry dropped, counted as miss.
+  EXPECT_FALSE(cache.Get("berlin", 2, out));
+  const EncoderCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.stale_drops, 1u);
+  EXPECT_EQ(stats.entries, 0u);
+  // Refill under the new generation works.
+  cache.Put("berlin", 2, emb);
+  EXPECT_TRUE(cache.Get("berlin", 2, out));
+}
+
+TEST(EncoderCacheTest, CapacityEvictsLeastRecentlyUsed) {
+  EncoderCacheOptions options;
+  options.num_shards = 1;  // One LRU so eviction order is deterministic.
+  options.max_entries = 2;
+  EncoderCache cache(1, options);
+  const float emb[1] = {7.0f};
+  cache.Put("a", 1, emb);
+  cache.Put("b", 1, emb);
+  float out[1] = {};
+  ASSERT_TRUE(cache.Get("a", 1, out));  // Promote "a": "b" is now LRU.
+  cache.Put("c", 1, emb);               // Evicts "b".
+  EXPECT_TRUE(cache.Get("a", 1, out));
+  EXPECT_FALSE(cache.Get("b", 1, out));
+  EXPECT_TRUE(cache.Get("c", 1, out));
+  EXPECT_EQ(cache.Stats().evictions, 1u);
+}
+
+TEST(EncoderCacheConcurrencyTest, ConcurrentGetPutClearIsRaceFree) {
+  // Hammered under TSan by ci.sh: shard mutexes must make concurrent
+  // probes, fills, evictions and clears data-race-free.
+  EncoderCacheOptions options;
+  options.max_entries = 64;
+  EncoderCache cache(8, options);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&cache, t] {
+      float emb[8];
+      float out[8];
+      for (int i = 0; i < 500; ++i) {
+        const std::string key = "mention " + std::to_string((t * 7 + i) % 96);
+        for (int j = 0; j < 8; ++j) emb[j] = static_cast<float>(i + j);
+        if (!cache.Get(key, 1, out)) cache.Put(key, 1, emb);
+        if (i % 128 == 0 && t == 0) cache.Clear();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const EncoderCacheStats stats = cache.Stats();
+  EXPECT_GT(stats.hits + stats.misses, 0u);
+}
+
+TEST(EncoderCacheTest, ClearDropsEverythingWithoutEvictionCount) {
+  EncoderCache cache(1, EncoderCacheOptions{});
+  const float emb[1] = {7.0f};
+  cache.Put("a", 1, emb);
+  cache.Clear();
+  float out[1] = {};
+  EXPECT_FALSE(cache.Get("a", 1, out));
+  EXPECT_EQ(cache.Stats().entries, 0u);
+  EXPECT_EQ(cache.Stats().evictions, 0u);
 }
 
 // --- Triplet mining -------------------------------------------------------------
@@ -370,6 +535,90 @@ TEST_F(EmbLookupE2ETest, SaveAndLoadModelReproducesLookups) {
   for (size_t i = 0; i < a.size(); ++i) {
     EXPECT_EQ(a[i].entity, b[i].entity);
   }
+  std::remove(path.c_str());
+}
+
+TEST_F(EmbLookupE2ETest, QualityRegressionFig3Fig4Floors) {
+  // Quality floors for the figure benchmarks under the batched SIMD
+  // encode path (which now feeds both index build and queries): the
+  // fig. 3 proxy — exact-label top-5 hit rate of the trained model — and
+  // the fig. 4 measure — PQ recall against the flat index as ground
+  // truth on typo'd queries. Guards the encode-path numerics end to end:
+  // a fast-path regression larger than the documented float tolerance
+  // shows up here before it shows up in the paper figures.
+  IndexConfig flat_config;
+  flat_config.compress = false;
+  auto flat = EntityIndex::Build(SmallKg(), Model()->encoder(), flat_config,
+                                 Model()->pool());
+  ASSERT_TRUE(flat.ok());
+  IndexConfig pq_config;
+  pq_config.compress = true;
+  auto pq = EntityIndex::Build(SmallKg(), Model()->encoder(), pq_config,
+                               Model()->pool());
+  ASSERT_TRUE(pq.ok());
+
+  Rng rng(17);
+  double recall_sum = 0.0;
+  int64_t queries = 0;
+  const int64_t k = 20;
+  for (kg::EntityId e = 0; e < SmallKg().num_entities(); e += 7) {
+    const auto q =
+        Model()->Embed(kg::RandomTypo(SmallKg().entity(e).label, &rng, 1));
+    const auto truth = flat.value().Search(q.data(), k);
+    const auto approx = pq.value().Search(q.data(), k);
+    ASSERT_FALSE(truth.empty());
+    std::set<kg::EntityId> truth_ids;
+    for (const auto& n : truth) truth_ids.insert(n.id);
+    int64_t inter = 0;
+    for (const auto& n : approx) inter += truth_ids.count(n.id);
+    recall_sum += static_cast<double>(inter) /
+                  static_cast<double>(truth.size());
+    ++queries;
+  }
+  EXPECT_GT(recall_sum / static_cast<double>(queries), 0.6)
+      << "fig. 4 PQ recall@20 regressed";
+}
+
+TEST_F(EmbLookupE2ETest, EncodeCacheIsTransparentToLookups) {
+  // A cache-enabled instance must return exactly the results of the
+  // cache-free Model(), on both the cold (fill) and warm (hit) pass — the
+  // cached embedding is bitwise what the forward recomputes.
+  const std::string path = ::testing::TempDir() + "/el_model_cache.bin";
+  ASSERT_TRUE(Model()->SaveModel(path).ok());
+  EmbLookupOptions options;
+  options.miner.triplets_per_entity = 8;
+  options.trainer.epochs = 6;
+  options.fasttext.epochs = 8;
+  options.encode_cache_entries = 1024;
+  auto loaded = EmbLookup::LoadFromKg(SmallKg(), options, path);
+  ASSERT_TRUE(loaded.ok());
+  EmbLookup* cached = loaded.value().get();
+  ASSERT_NE(cached->encode_cache(), nullptr);
+
+  std::vector<std::string> queries;
+  for (kg::EntityId e = 0; e < 40; ++e) {
+    queries.push_back(SmallKg().entity(e).label);
+  }
+  // Cold pass fills the cache; warm pass serves from it. They must agree
+  // bitwise, and the entity rankings must match the cache-free Model().
+  const auto reference = Model()->BulkLookup(queries, 5, /*parallel=*/false);
+  const auto cold = cached->BulkLookup(queries, 5, /*parallel=*/false);
+  const auto warm = cached->BulkLookup(queries, 5, /*parallel=*/false);
+  ASSERT_EQ(cold.size(), reference.size());
+  ASSERT_EQ(warm.size(), cold.size());
+  for (size_t i = 0; i < cold.size(); ++i) {
+    ASSERT_EQ(cold[i].size(), reference[i].size());
+    ASSERT_EQ(warm[i].size(), cold[i].size());
+    for (size_t j = 0; j < cold[i].size(); ++j) {
+      EXPECT_EQ(cold[i][j].entity, reference[i][j].entity);
+      EXPECT_EQ(warm[i][j].entity, cold[i][j].entity);
+      EXPECT_EQ(warm[i][j].dist, cold[i][j].dist);
+    }
+  }
+  const EncoderCacheStats stats = cached->encode_cache()->Stats();
+  // Pass 2 (and any duplicate labels in pass 1) must hit.
+  EXPECT_GE(stats.hits, queries.size());
+  EXPECT_GT(stats.misses, 0u);
   std::remove(path.c_str());
 }
 

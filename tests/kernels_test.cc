@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdlib>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -119,6 +120,82 @@ TEST(KernelsTest, L2SqrBatchMatchesScalarAcrossOddLengths) {
         simd->l2_sqr_batch(query.data(), rows.data(), n, dim, got.data());
         for (int64_t i = 0; i < n; ++i) ExpectRelNear(got[i], want[i], 1e-4f);
       }
+    }
+  }
+}
+
+TEST(KernelsTest, AxpyMatchesScalarAcrossDims) {
+  const k::KernelTable* scalar = k::Table(k::Arch::kScalar);
+  Rng rng(115);
+  for (const k::KernelTable* simd : SimdTables()) {
+    for (int64_t dim : kDims) {
+      for (int rep = 0; rep < 4; ++rep) {
+        const float a = rng.UniformFloat(-2.0f, 2.0f);
+        const auto x = RandomVec(&rng, dim, -2.0f, 2.0f);
+        auto want = RandomVec(&rng, dim, -2.0f, 2.0f);
+        auto got = want;
+        scalar->axpy(a, x.data(), dim, want.data());
+        simd->axpy(a, x.data(), dim, got.data());
+        for (int64_t i = 0; i < dim; ++i) {
+          // FMA vs separate mul+add: one-rounding differences only.
+          ExpectRelNear(got[i], want[i], 1e-5f);
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelsTest, GemmBiasActMatchesScalar) {
+  const k::KernelTable* scalar = k::Table(k::Arch::kScalar);
+  Rng rng(116);
+  for (const k::KernelTable* simd : SimdTables()) {
+    // Odd n values exercise the axpy tails; lda > k exercises the strided
+    // A-row addressing the batched conv relies on.
+    for (auto [m, kk, n] : {std::tuple<int64_t, int64_t, int64_t>{1, 1, 1},
+                            {3, 5, 7},
+                            {8, 16, 9},
+                            {7, 47, 33}}) {
+      for (int64_t lda : {kk, kk + 3}) {
+        auto a = RandomVec(&rng, m * lda, -2.0f, 2.0f);
+        // Sprinkle zeros into A: both implementations take the zero-skip
+        // branch (the one-hot sparsity win) and must agree on it.
+        for (auto& v : a) {
+          if (rng.Bernoulli(0.5)) v = 0.0f;
+        }
+        const auto b = RandomVec(&rng, kk * n, -2.0f, 2.0f);
+        const auto bias = RandomVec(&rng, n, -1.0f, 1.0f);
+        for (int act : {k::kActIdentity, k::kActRelu}) {
+          std::vector<float> want(m * n), got(m * n);
+          scalar->gemm_bias_act(a.data(), lda, b.data(), bias.data(), m, kk,
+                                n, want.data(), act);
+          simd->gemm_bias_act(a.data(), lda, b.data(), bias.data(), m, kk, n,
+                              got.data(), act);
+          for (int64_t i = 0; i < m * n; ++i) {
+            ExpectRelNear(got[i], want[i], 1e-5f);
+            if (act == k::kActRelu) EXPECT_GE(got[i], 0.0f);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelsTest, GemmBiasActNullBiasZeroInitializes) {
+  // bias == nullptr means C starts at zero — the contract the packed-conv
+  // path relies on when a layer has no bias term.
+  const k::KernelTable& table = k::Dispatch();
+  const int64_t m = 2, kk = 3, n = 5;
+  Rng rng(117);
+  const auto a = RandomVec(&rng, m * kk);
+  const auto b = RandomVec(&rng, kk * n);
+  std::vector<float> out(m * n, 123.0f);  // Poisoned: must be overwritten.
+  table.gemm_bias_act(a.data(), kk, b.data(), nullptr, m, kk, n, out.data(),
+                      k::kActIdentity);
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      float want = 0.0f;
+      for (int64_t r = 0; r < kk; ++r) want += a[i * kk + r] * b[r * n + j];
+      ExpectRelNear(out[i * n + j], want, 1e-5f);
     }
   }
 }

@@ -1,5 +1,7 @@
 #include <cmath>
 #include <sstream>
+#include <utility>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -508,6 +510,214 @@ TEST(OptimTest, SgdMomentumAcceleratesDescent) {
     momentum.Step();
   }
   EXPECT_LT(std::abs(w2.item()), std::abs(w1.item()));
+}
+
+// --- Batched inference ops (DESIGN.md §13) ---------------------------------
+
+// Random (B, C, L) channels-major tensor plus its channels-last (B, L, C)
+// transpose, so the inference ops can be checked against the autograd
+// reference on identical values.
+std::pair<Tensor, Tensor> RandomChannelPair(Rng* rng, int64_t b, int64_t c,
+                                            int64_t l) {
+  std::vector<float> major(b * c * l), last(b * l * c);
+  for (int64_t bi = 0; bi < b; ++bi) {
+    for (int64_t ci = 0; ci < c; ++ci) {
+      for (int64_t t = 0; t < l; ++t) {
+        const float v = rng->UniformFloat(-1.0f, 1.0f);
+        major[(bi * c + ci) * l + t] = v;
+        last[(bi * l + t) * c + ci] = v;
+      }
+    }
+  }
+  return {Tensor::FromData({b, c, l}, std::move(major)),
+          Tensor::FromData({b, l, c}, std::move(last))};
+}
+
+TEST(InferenceOpsTest, MatMulBiasActMatchesReference) {
+  Rng rng(31);
+  NoGradGuard guard;
+  nn::Linear layer(13, 7, &rng);
+  std::vector<float> data(5 * 13);
+  for (auto& v : data) v = rng.UniformFloat(-1.0f, 1.0f);
+  Tensor x = Tensor::FromData({5, 13}, std::move(data));
+  for (FusedAct act : {FusedAct::kNone, FusedAct::kRelu}) {
+    Tensor fused = layer.ForwardFused(x, act);
+    Tensor ref = layer.Forward(x);
+    if (act == FusedAct::kRelu) ref = Relu(ref);
+    ASSERT_EQ(fused.size(), ref.size());
+    for (int64_t i = 0; i < ref.size(); ++i) {
+      EXPECT_NEAR(fused.data()[i], ref.data()[i], 1e-5f);
+    }
+  }
+}
+
+TEST(InferenceOpsTest, Conv1dChannelsLastPaddedMatchesReference) {
+  Rng rng(32);
+  NoGradGuard guard;
+  const int64_t b = 3, cin = 5, cout = 4, l = 9, kernel = 3, pad = 1;
+  nn::Conv1dLayer conv(cin, cout, kernel, pad, &rng);
+  auto [major, last] = RandomChannelPair(&rng, b, cin, l);
+  Tensor ref = Relu(conv.Forward(major));  // (B, Cout, Lout)
+  Tensor packed = PackConv1dWeight(conv.weight());
+  Tensor got = Conv1dChannelsLastPadded(PadChannelsLast(last, pad), kernel,
+                                        pad, packed, conv.bias(),
+                                        FusedAct::kRelu);  // (B, Lout, Cout)
+  ASSERT_EQ(got.dim(0), ref.dim(0));
+  ASSERT_EQ(got.dim(1), ref.dim(2));
+  ASSERT_EQ(got.dim(2), ref.dim(1));
+  for (int64_t bi = 0; bi < b; ++bi) {
+    for (int64_t co = 0; co < cout; ++co) {
+      for (int64_t t = 0; t < ref.dim(2); ++t) {
+        EXPECT_NEAR(got.data()[(bi * got.dim(1) + t) * cout + co],
+                    ref.data()[(bi * cout + co) * ref.dim(2) + t], 1e-5f)
+            << "b=" << bi << " c=" << co << " t=" << t;
+      }
+    }
+  }
+}
+
+TEST(InferenceOpsTest, Conv1dChannelsLastPaddedBatchSplitInvariant) {
+  // The batched GEMM windows never cross item boundaries, so a batch of 5
+  // must be BITWISE identical to five single-item calls — odd batch sizes
+  // included. This is the invariant that lets the serving layer re-batch
+  // queries freely without changing results.
+  Rng rng(33);
+  NoGradGuard guard;
+  const int64_t cin = 4, cout = 6, kernel = 3, pad = 1;
+  nn::Conv1dLayer conv(cin, cout, kernel, pad, &rng);
+  Tensor packed = PackConv1dWeight(conv.weight());
+  for (int64_t b : {1, 2, 5}) {
+    for (int64_t l : {2, 7, 32}) {
+      auto [major, last] = RandomChannelPair(&rng, b, cin, l);
+      (void)major;
+      Tensor whole = Conv1dChannelsLastPadded(PadChannelsLast(last, pad),
+                                              kernel, pad, packed,
+                                              conv.bias(), FusedAct::kRelu);
+      const int64_t per = whole.size() / b;
+      for (int64_t bi = 0; bi < b; ++bi) {
+        std::vector<float> item(last.data() + bi * l * cin,
+                                last.data() + (bi + 1) * l * cin);
+        Tensor single = Conv1dChannelsLastPadded(
+            PadChannelsLast(Tensor::FromData({1, l, cin}, std::move(item)),
+                            pad),
+            kernel, pad, packed, conv.bias(), FusedAct::kRelu);
+        ASSERT_EQ(single.size(), per);
+        for (int64_t i = 0; i < per; ++i) {
+          EXPECT_EQ(single.data()[i], whole.data()[bi * per + i])
+              << "b=" << b << " l=" << l << " item=" << bi;
+        }
+      }
+    }
+  }
+}
+
+TEST(InferenceOpsTest, ChannelsLastPoolsMatchReference) {
+  Rng rng(34);
+  NoGradGuard guard;
+  const int64_t b = 2, c = 5, l = 9;
+  auto [major, last] = RandomChannelPair(&rng, b, c, l);
+  // Max is order-free: channels-last pooling must match bitwise.
+  Tensor gref = GlobalMaxPool1d(major);              // (B, C)
+  Tensor glast = GlobalMaxPool1dChannelsLast(last);  // (B, C)
+  ASSERT_EQ(gref.size(), glast.size());
+  for (int64_t i = 0; i < gref.size(); ++i) {
+    EXPECT_EQ(glast.data()[i], gref.data()[i]);
+  }
+  Tensor mref = MaxPool1d(major, 2);              // (B, C, L/2)
+  Tensor mlast = MaxPool1dChannelsLast(last, 2);  // (B, L/2, C)
+  ASSERT_EQ(mref.size(), mlast.size());
+  for (int64_t bi = 0; bi < b; ++bi) {
+    for (int64_t ci = 0; ci < c; ++ci) {
+      for (int64_t t = 0; t < l / 2; ++t) {
+        EXPECT_EQ(mlast.data()[(bi * (l / 2) + t) * c + ci],
+                  mref.data()[(bi * c + ci) * (l / 2) + t]);
+      }
+    }
+  }
+}
+
+TEST(InferenceOpsTest, Conv1dOneHotPaddedMatchesGemmPath) {
+  // The indexed first-layer conv must agree with the dense one-hot GEMM
+  // path on the same input, within float-summation-order tolerance. -1
+  // indices stand for all-zero rows (structural padding + short-mention
+  // tails) and must contribute nothing.
+  Rng rng(36);
+  NoGradGuard guard;
+  const int64_t b = 3, cin = 7, cout = 5, l = 10, kernel = 3, pad = 1;
+  const int64_t lp = l + 2 * pad;
+  nn::Conv1dLayer conv(cin, cout, kernel, pad, &rng);
+  Tensor packed = PackConv1dWeight(conv.weight());
+  // Random sparse indices: ~1/4 padding (-1), the rest one-hot positions.
+  std::vector<int32_t> idx(b * lp, -1);
+  std::vector<float> dense(b * lp * cin, 0.0f);
+  for (int64_t bi = 0; bi < b; ++bi) {
+    for (int64_t t = 0; t < l; ++t) {
+      if (rng.Uniform(4) == 0) continue;
+      const int32_t p = static_cast<int32_t>(rng.Uniform(cin));
+      idx[bi * lp + pad + t] = p;
+      dense[((bi * lp) + pad + t) * cin + p] = 1.0f;
+    }
+  }
+  Tensor xpad = Tensor::FromData({b, lp, cin}, std::move(dense));
+  for (FusedAct act : {FusedAct::kNone, FusedAct::kRelu}) {
+    Tensor ref = Conv1dChannelsLastPadded(xpad, kernel, pad, packed,
+                                          conv.bias(), act);
+    Tensor got = Conv1dOneHotPadded(idx, b, lp, cin, kernel, packed,
+                                    conv.bias(), act);
+    ASSERT_EQ(got.dim(0), ref.dim(0));
+    ASSERT_EQ(got.dim(1), ref.dim(1));
+    ASSERT_EQ(got.dim(2), ref.dim(2));
+    for (int64_t i = 0; i < ref.size(); ++i) {
+      EXPECT_NEAR(got.data()[i], ref.data()[i], 1e-5f) << "i=" << i;
+    }
+  }
+}
+
+TEST(InferenceOpsTest, Conv1dOneHotPaddedBatchSplitInvariant) {
+  // Same re-batching contract as the GEMM conv: output rows depend only on
+  // their own item's indices, so any batch split is bitwise identical.
+  Rng rng(37);
+  NoGradGuard guard;
+  const int64_t cin = 6, cout = 4, l = 8, kernel = 3, pad = 1;
+  const int64_t lp = l + 2 * pad;
+  nn::Conv1dLayer conv(cin, cout, kernel, pad, &rng);
+  Tensor packed = PackConv1dWeight(conv.weight());
+  const int64_t b = 5;
+  std::vector<int32_t> idx(b * lp, -1);
+  for (int64_t bi = 0; bi < b; ++bi) {
+    for (int64_t t = 0; t < l; ++t) {
+      idx[bi * lp + pad + t] = static_cast<int32_t>(rng.Uniform(cin));
+    }
+  }
+  Tensor whole = Conv1dOneHotPadded(idx, b, lp, cin, kernel, packed,
+                                    conv.bias(), FusedAct::kRelu);
+  const int64_t per = whole.size() / b;
+  for (int64_t bi = 0; bi < b; ++bi) {
+    std::vector<int32_t> item(idx.begin() + bi * lp,
+                              idx.begin() + (bi + 1) * lp);
+    Tensor single = Conv1dOneHotPadded(item, 1, lp, cin, kernel, packed,
+                                       conv.bias(), FusedAct::kRelu);
+    ASSERT_EQ(single.size(), per);
+    for (int64_t i = 0; i < per; ++i) {
+      EXPECT_EQ(single.data()[i], whole.data()[bi * per + i]) << "item=" << bi;
+    }
+  }
+}
+
+TEST(InferenceOpsTest, EmptyBatchProducesEmptyOutput) {
+  Rng rng(35);
+  NoGradGuard guard;
+  nn::Conv1dLayer conv(3, 4, 3, 1, &rng);
+  Tensor packed = PackConv1dWeight(conv.weight());
+  Tensor empty = Tensor::FromData({0, 8, 3}, {});
+  Tensor out = Conv1dChannelsLastPadded(PadChannelsLast(empty, 1), 3, 1,
+                                        packed, conv.bias(), FusedAct::kRelu);
+  EXPECT_EQ(out.dim(0), 0);
+  EXPECT_EQ(out.size(), 0);
+  Tensor onehot = Conv1dOneHotPadded({}, 0, 10, 3, 3, packed, conv.bias(),
+                                     FusedAct::kRelu);
+  EXPECT_EQ(onehot.dim(0), 0);
+  EXPECT_EQ(onehot.size(), 0);
 }
 
 TEST(SerializeTest, RoundTripPreservesParameters) {

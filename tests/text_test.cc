@@ -59,6 +59,28 @@ TEST(OneHotTest, BatchStacksMentions) {
   EXPECT_EQ(x.dim(0), 2);
 }
 
+TEST(OneHotTest, BatchIndicesMatchChannelsLastDense) {
+  // EncodeBatchIndices is the lossless sparse form of
+  // EncodeBatchChannelsLast: position p holds the column of the row's
+  // single 1.0, or -1 for an all-zero row.
+  Alphabet a;
+  OneHotEncoder enc(&a, 6);
+  const std::vector<std::string> mentions = {"ab", "", "toolongmention", "x?"};
+  for (int64_t pad : {0, 1, 2}) {
+    tensor::Tensor dense = enc.EncodeBatchChannelsLast(mentions, pad);
+    std::vector<int32_t> idx = enc.EncodeBatchIndices(mentions, pad);
+    ASSERT_EQ(static_cast<int64_t>(idx.size()), dense.dim(0) * dense.dim(1));
+    const int64_t c = dense.dim(2);
+    for (size_t p = 0; p < idx.size(); ++p) {
+      const float* row = dense.data() + static_cast<int64_t>(p) * c;
+      for (int64_t ci = 0; ci < c; ++ci) {
+        EXPECT_EQ(row[ci], ci == idx[p] ? 1.0f : 0.0f)
+            << "pad=" << pad << " p=" << p << " ci=" << ci;
+      }
+    }
+  }
+}
+
 // --- Edit distance ---------------------------------------------------------
 
 TEST(EditDistanceTest, KnownValues) {

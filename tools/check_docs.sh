@@ -1,9 +1,14 @@
 #!/usr/bin/env bash
-# Docs gate: every CLI subcommand implemented in tools/emblookup_cli.cc
-# must be mentioned in README.md, so a new subcommand cannot land without
-# user-facing documentation. Subcommands are recognised from the dispatch
-# pattern `command == "<name>"`; a README "mention" is the literal
-# subcommand name anywhere in the file (prose, code block, or table).
+# Docs gates:
+#  1. Every CLI subcommand implemented in tools/emblookup_cli.cc must be
+#     mentioned in README.md, so a new subcommand cannot land without
+#     user-facing documentation. Subcommands are recognised from the
+#     dispatch pattern `command == "<name>"`; a README "mention" is the
+#     literal subcommand name anywhere in the file (prose, code block,
+#     or table).
+#  2. DESIGN.md `## N. Title` section numbers must be sequential from 1.
+#     Cross-references ("see §6", "DESIGN.md §13") are written against
+#     these numbers and have drifted before when sections were inserted.
 #
 # Usage: tools/check_docs.sh    (run from anywhere inside the repo)
 set -euo pipefail
@@ -35,3 +40,23 @@ if [ "$missing" -ne 0 ]; then
   exit 1
 fi
 echo "docs OK: ${#subcommands[@]} CLI subcommands all mentioned in $README"
+
+DESIGN=DESIGN.md
+mapfile -t sections < <(sed -n 's/^## \([0-9][0-9]*\)\..*/\1/p' "$DESIGN")
+
+if [ "${#sections[@]}" -eq 0 ]; then
+  echo "FAIL: no numbered '## N. Title' sections found in $DESIGN"
+  exit 1
+fi
+
+expected=1
+for num in "${sections[@]}"; do
+  if [ "$num" -ne "$expected" ]; then
+    echo "FAIL: $DESIGN section numbering drifted: found '## $num.' where" \
+         "'## $expected.' was expected (renumber the headers AND fix any" \
+         "'§' cross-references)"
+    exit 1
+  fi
+  expected=$((expected + 1))
+done
+echo "docs OK: $DESIGN sections 1..$((expected - 1)) are sequential"

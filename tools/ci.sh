@@ -68,15 +68,20 @@ for tier in scalar avx2 avx512 neon; do
   fi
 done
 
-echo "== asan: common_test + serve_test + kernels_test + ann_test + store_test + update_test + net_test + cluster_test =="
+echo "== asan: common_test + serve_test + kernels_test + ann_test + store_test + update_test + net_test + cluster_test + core_test(encode path) =="
 cmake -B build-asan -S . -DEMBLOOKUP_NATIVE_ARCH=OFF \
   -DEMBLOOKUP_SANITIZE=address
 cmake --build build-asan -j "$JOBS" --target common_test serve_test \
   kernels_test ann_test store_test update_test obs_test net_test \
-  cluster_test
+  cluster_test core_test
 ./build-asan/tests/common_test
 ./build-asan/tests/serve_test
 ./build-asan/tests/kernels_test
+# Encode path under ASan: the batched GEMM scratch/compaction buffers and
+# the encoder cache's entry lifecycle (full core_test trains end-to-end
+# models — too slow under sanitizers, so only the encode-path suites run).
+./build-asan/tests/core_test \
+  --gtest_filter='EncoderTest.*:EncoderCacheTest.*:EncoderCacheConcurrencyTest.*'
 # SQ8 train/encode/asymmetric-scan, the PQ/IVF suites, and the HNSW
 # graph build/search/borrowed-geometry paths under ASan.
 ./build-asan/tests/ann_test
@@ -94,10 +99,12 @@ echo "== tsan: serve_test + update concurrency stress + obs spans + net front en
 cmake -B build-tsan -S . -DEMBLOOKUP_NATIVE_ARCH=OFF \
   -DEMBLOOKUP_SANITIZE=thread
 cmake --build build-tsan -j "$JOBS" --target serve_test update_test obs_test \
-  net_test ann_test
+  net_test ann_test core_test
 ./build-tsan/tests/serve_test
 ./build-tsan/tests/update_test --gtest_filter='ConcurrencyTest.*'
 ./build-tsan/tests/obs_test
+# Concurrent encoder-cache probes/fills/clears across shard mutexes.
+./build-tsan/tests/core_test --gtest_filter='EncoderCacheConcurrencyTest.*'
 # Parallel HNSW searches share the visited-set pool and the global
 # search-effort histograms; both must be race-free.
 ./build-tsan/tests/ann_test --gtest_filter='HnswIndexTest.*'

@@ -10,6 +10,7 @@
 //                             [--snapshot snap.bin] [--port P] [--loops N]
 //                             [--clients 4] [--requests 2000] [--k 10]
 //                             [--batch 32] [--delay-us 1000] [--cache 1]
+//                             [--encode-cache-entries N]
 //                             [--depth 4096] [--swaps 0]
 //                             [--metrics-port P] [--trace-sample R]
 //                             [--slow-us T] [--slow-log F]
@@ -202,6 +203,7 @@ int Usage() {
       "  emblookup_cli serve  --kg kg.tsv --model model.bin"
       " [--snapshot F] [--wal W] [--port P] [--loops N] [--clients C]"
       " [--requests N] [--k K] [--batch B] [--delay-us D] [--cache 0|1]"
+      " [--encode-cache-entries N]"
       " [--depth Q] [--swaps S] [--metrics-port P] [--trace-sample R]"
       " [--slow-us T] [--slow-log F] [--shard k/N]"
       " [--replication-port P] [--mutations N]\n"
@@ -781,6 +783,11 @@ core::EmbLookupOptions MakeOptions(
       flags, "hnsw-ef-construction", options.index.hnsw_ef_construction);
   options.index.hnsw_ef_search =
       FlagInt(flags, "hnsw-ef-search", options.index.hnsw_ef_search);
+  // Encoder-output cache in front of the batched forward on query paths
+  // (DESIGN.md §13); 0 (default) disables it so offline runs stay
+  // bit-reproducible regardless of query order.
+  options.encode_cache_entries =
+      static_cast<size_t>(FlagInt(flags, "encode-cache-entries", 0));
   return options;
 }
 
